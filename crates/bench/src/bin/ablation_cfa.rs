@@ -1,0 +1,35 @@
+//! The §5.1 ablation: polymorphic splitting vs 0CFA vs call-string 1CFA —
+//! inline-candidate counts and analysis cost per policy.
+//!
+//! Usage: `cargo run --release -p fdi-bench --bin ablation_cfa [benchmark …]`
+
+use fdi_bench::{ablation_cell, selected};
+use fdi_core::Polyvariance;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let policies = [
+        Polyvariance::Monovariant,
+        Polyvariance::CallStrings(1),
+        Polyvariance::PolymorphicSplitting,
+    ];
+    println!("CFA policy ablation (cf. §5.1): inline candidates per policy");
+    println!();
+    println!(
+        "{:<10} {:<11} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "Program", "policy", "candidates", "callsites", "nodes", "steps", "secs"
+    );
+    println!("{}", "-".repeat(80));
+    for b in selected(&args) {
+        for policy in policies {
+            match ablation_cell(b, b.default_scale, policy) {
+                Ok(c) => println!(
+                    "{:<10} {:<11} {:>10} {:>10} {:>10} {:>12} {:>10.3}",
+                    c.name, c.policy, c.candidates, c.call_sites, c.nodes, c.steps, c.analysis_secs
+                ),
+                Err(e) => println!("{:<10} {:<11} failed: {e}", b.name, policy.name()),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 6: execution times under different inlining thresholds,
+//! normalized to threshold 0, split into mutator (dark) and collector
+//! (light) time.
+//!
+//! Usage: `cargo run --release -p fdi-bench --bin figure6 [benchmark …]`
+
+use fdi_bench::{bar, figure6_rows, selected};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!("Figure 6: normalized execution time vs inline threshold");
+    println!("(each bar: mutator '█' + collector '░'; 40 cells = the threshold-0 total)");
+    for b in selected(&args) {
+        println!();
+        println!("== {} — {}", b.name, b.description);
+        match figure6_rows(b, b.default_scale) {
+            Ok(rows) => {
+                println!(
+                    "{:>9} {:>7} {:>8} {:>9} {:>7}",
+                    "threshold", "total", "mutator", "collector", "calls"
+                );
+                for r in &rows {
+                    let mut_bar = bar(r.norm_mutator, 40);
+                    let gc_cells = ((r.norm_collector) * 40.0).round().max(0.0) as usize;
+                    println!(
+                        "{:>9} {:>7.3} {:>8.3} {:>9.3} {:>7}  {}{}",
+                        r.threshold,
+                        r.norm_total,
+                        r.norm_mutator,
+                        r.norm_collector,
+                        r.counters.calls,
+                        mut_bar,
+                        "░".repeat(gc_cells.min(80)),
+                    );
+                }
+            }
+            Err(e) => println!("  failed: {e}"),
+        }
+    }
+}

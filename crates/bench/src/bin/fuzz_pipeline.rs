@@ -1,0 +1,147 @@
+//! Standalone differential fuzzer: generates random programs with `rand`,
+//! runs the full pipeline at random thresholds/modes/policies, and fails
+//! loudly on any behaviour divergence. Longer-running sibling of the
+//! proptest in `tests/differential.rs`.
+//!
+//! Usage: `cargo run --release -p fdi-bench --bin fuzz_pipeline [iterations] [seed]`
+
+use fdi_core::{optimize_program, InlineMode, PipelineConfig, Polyvariance, RunConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Numeric-valued expression: the workhorse, so most generated programs run
+/// to completion instead of dying on type errors.
+fn gen_num(rng: &mut StdRng, depth: u32) -> String {
+    if depth == 0 {
+        return match rng.gen_range(0..4) {
+            0 | 1 => rng.gen_range(-30i64..30).to_string(),
+            2 => "x".to_string(),
+            _ => "y".to_string(),
+        };
+    }
+    let d = depth - 1;
+    match rng.gen_range(0..12) {
+        0 | 1 => format!("(+ {} {})", gen_num(rng, d), gen_num(rng, d)),
+        2 => format!("(* {} {})", gen_num(rng, d), gen_num(rng, d)),
+        3 => format!("(- {} {})", gen_num(rng, d), gen_num(rng, d)),
+        4 => format!(
+            "(if (zero? (modulo {} 3)) {} {})",
+            gen_num(rng, d),
+            gen_num(rng, d),
+            gen_num(rng, d)
+        ),
+        5 => format!("(let ((x {})) {})", gen_num(rng, d), gen_num(rng, d)),
+        6 => format!("((lambda (y) {}) {})", gen_num(rng, d), gen_num(rng, d)),
+        7 => format!(
+            "(let ((f (lambda (x) {}))) (+ (f {}) (f {})))",
+            gen_num(rng, d),
+            gen_num(rng, d),
+            gen_num(rng, d)
+        ),
+        8 => format!("(begin (display {}) {})", gen_num(rng, d), gen_num(rng, d)),
+        9 => format!(
+            "(letrec ((lp (lambda (i a) (if (zero? i) a (lp (- i 1) (+ a {}))))))
+               (lp (modulo (abs {}) 6) 0))",
+            gen_num(rng, d),
+            gen_num(rng, d)
+        ),
+        10 => format!("(car (cons {} 'junk))", gen_num(rng, d)),
+        _ => format!("(vector-ref (vector {} 1) 0)", gen_num(rng, d)),
+    }
+}
+
+/// Any-valued expression for the program root: numbers plus structured data
+/// built from numeric parts.
+fn gen_expr(rng: &mut StdRng, depth: u32) -> String {
+    match rng.gen_range(0..5) {
+        0 => format!("(cons {} {})", gen_num(rng, depth), gen_num(rng, depth)),
+        1 => format!(
+            "(cons {} (cons 'tag {}))",
+            gen_num(rng, depth),
+            gen_num(rng, depth)
+        ),
+        2 => format!("(null? (cons {} '()))", gen_num(rng, depth)),
+        3 => format!(
+            "(apply (lambda (q) (+ q {})) (cons {} '()))",
+            gen_num(rng, depth),
+            gen_num(rng, depth)
+        ),
+        _ => gen_num(rng, depth),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iterations: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(500);
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0xfd1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let run_cfg = RunConfig {
+        fuel: 20_000_000,
+        ..RunConfig::default()
+    };
+    let mut failures = 0u64;
+    let mut skipped = 0u64;
+    for i in 0..iterations {
+        let src = format!("(let ((x 2) (y 7)) {})", gen_expr(&mut rng, 4));
+        let threshold = rng.gen_range(0..700);
+        let mode = if rng.gen_bool(0.3) {
+            InlineMode::ClRef
+        } else {
+            InlineMode::Closed
+        };
+        let policy = match rng.gen_range(0..4) {
+            0 => Polyvariance::Monovariant,
+            1 => Polyvariance::CallStrings(1),
+            2 => Polyvariance::CallStrings(2),
+            _ => Polyvariance::PolymorphicSplitting,
+        };
+        let unroll = rng.gen_range(0..3);
+        let mut cfg = PipelineConfig::with_threshold(threshold);
+        cfg.mode = mode;
+        cfg.policy = policy;
+        cfg.unroll = unroll;
+        let program = match fdi_lang::parse_and_lower(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("[{i}] FRONT-END BUG: {e}\n{src}");
+                failures += 1;
+                continue;
+            }
+        };
+        let out = match optimize_program(&program, &cfg) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("[{i}] PIPELINE FAILURE ({policy:?}, T={threshold}): {e}\n{src}");
+                failures += 1;
+                continue;
+            }
+        };
+        let base = fdi_vm::run(&out.baseline, &run_cfg);
+        let opt = fdi_vm::run(&out.optimized, &run_cfg);
+        match (base, opt) {
+            (Ok(b), Ok(o)) => {
+                if b.value != o.value || b.output != o.output {
+                    println!(
+                        "[{i}] DIVERGENCE ({policy:?}, {mode:?}, T={threshold}, u={unroll}): {} vs {}\n{src}",
+                        b.value, o.value
+                    );
+                    failures += 1;
+                }
+            }
+            (Err(_), _) => skipped += 1,
+            (Ok(b), Err(e)) => {
+                println!(
+                    "[{i}] OPTIMIZER INTRODUCED FAILURE ({policy:?}, {mode:?}, T={threshold}): {} (baseline {})\n{src}",
+                    e.message, b.value
+                );
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "fuzzed {iterations} programs (seed {seed}): {failures} failures, {skipped} skipped (baseline errors)"
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

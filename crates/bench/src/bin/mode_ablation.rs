@@ -1,0 +1,78 @@
+//! The paper's "future work" measured: closed-procedure inlining (§4's
+//! evaluated configuration) versus the general `cl-ref` algorithm (§3.5) on
+//! a machine whose `cl-ref` is a genuine one-load closure access.
+//!
+//! The paper: "We would expect even greater improvements with an efficient
+//! implementation of cl-ref since this would enable inlining open
+//! procedures." This harness tests that expectation.
+//!
+//! Usage: `cargo run --release -p fdi-bench --bin mode_ablation [benchmark …]`
+
+use fdi_bench::selected;
+use fdi_core::{optimize_program, InlineMode, PipelineConfig, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!("Inline-mode ablation at threshold 400: closed-only (paper's evaluated");
+    println!("configuration) vs general cl-ref inlining (paper's future work)");
+    println!();
+    println!(
+        "{:<10} {:>11} {:>11} {:>13} {:>13} {:>12} {:>12}",
+        "Program",
+        "inl(closed)",
+        "inl(clref)",
+        "total(closed)",
+        "total(clref)",
+        "rejopen(cl)",
+        "rejopen(cd)"
+    );
+    println!("{}", "-".repeat(90));
+    for b in selected(&args) {
+        let program = match fdi_lang::parse_and_lower(&b.scaled(b.default_scale)) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:<10} front-end failed: {e}", b.name);
+                continue;
+            }
+        };
+        let run_cfg = RunConfig::default();
+        let mut results = Vec::new();
+        for mode in [InlineMode::Closed, InlineMode::ClRef] {
+            let mut cfg = PipelineConfig::with_threshold(400);
+            cfg.mode = mode;
+            match optimize_program(&program, &cfg) {
+                Ok(out) => match fdi_vm::run(&out.optimized, &run_cfg) {
+                    Ok(r) => results.push(Some((out.report, r))),
+                    Err(e) => {
+                        println!("{:<10} {mode:?} runtime: {}", b.name, e.message);
+                        results.push(None);
+                    }
+                },
+                Err(e) => {
+                    println!("{:<10} {mode:?} pipeline: {e}", b.name);
+                    results.push(None);
+                }
+            }
+        }
+        if let [Some((rep_c, run_c)), Some((rep_r, run_r))] = &results[..] {
+            if run_c.value != run_r.value {
+                println!(
+                    "{:<10} VALUE MISMATCH: {} vs {}",
+                    b.name, run_c.value, run_r.value
+                );
+                continue;
+            }
+            let m = &run_cfg.model;
+            println!(
+                "{:<10} {:>11} {:>11} {:>13} {:>13} {:>12} {:>12}",
+                b.name,
+                rep_c.sites_inlined,
+                rep_r.sites_inlined,
+                run_c.counters.total(m),
+                run_r.counters.total(m),
+                rep_r.rejected_open,
+                rep_c.rejected_open,
+            );
+        }
+    }
+}

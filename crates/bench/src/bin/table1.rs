@@ -1,0 +1,37 @@
+//! Regenerates Table 1: benchmark sizes, flow-analysis times, and
+//! object-code-size ratios across inline thresholds.
+//!
+//! Usage: `cargo run --release -p fdi-bench --bin table1 [benchmark …]`
+
+use fdi_bench::{selected, table1_row, THRESHOLDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!("Table 1: benchmark programs (cf. PLDI'96 p.202)");
+    println!();
+    println!(
+        "{:<10} {:>6} {:>10}   ratio of object code size to original, per threshold",
+        "Program", "Lines", "Analysis"
+    );
+    print!("{:<10} {:>6} {:>10}  ", "", "", "(secs)");
+    for t in THRESHOLDS {
+        print!(" {t:>6}");
+    }
+    println!();
+    println!("{}", "-".repeat(72));
+    for b in selected(&args) {
+        match table1_row(b, b.default_scale) {
+            Ok(row) => {
+                print!(
+                    "{:<10} {:>6} {:>10.2}  ",
+                    row.name, row.lines, row.analysis_secs
+                );
+                for r in &row.ratios {
+                    print!(" {r:>6.2}");
+                }
+                println!();
+            }
+            Err(e) => println!("{:<10} failed: {e}", b.name),
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Loop-unrolling ablation — the §3.6 extension the paper deliberately
+//! disabled ("we have intentionally avoided unrolling loops in order to
+//! isolate the benefits of inlining"), measured here at unroll depths
+//! 0 (the paper's configuration), 1, and 3.
+//!
+//! Usage: `cargo run --release -p fdi-bench --bin unroll_ablation [benchmark …]`
+
+use fdi_bench::selected;
+use fdi_core::{optimize_program, PipelineConfig, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!("Loop-unrolling ablation at threshold 300 (total cost, normalized to unroll=0)");
+    println!();
+    println!(
+        "{:<10} {:>12} {:>9} {:>9} {:>11} {:>11}",
+        "Program", "total(u=0)", "u=1", "u=3", "size(u=1)", "size(u=3)"
+    );
+    println!("{}", "-".repeat(68));
+    for b in selected(&args) {
+        let program = match fdi_lang::parse_and_lower(&b.scaled(b.default_scale)) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:<10} front-end failed: {e}", b.name);
+                continue;
+            }
+        };
+        let run_cfg = RunConfig::default();
+        let mut rows = Vec::new();
+        let mut ok = true;
+        for unroll in [0usize, 1, 3] {
+            let mut cfg = PipelineConfig::with_threshold(300);
+            cfg.unroll = unroll;
+            match optimize_program(&program, &cfg).and_then(|out| {
+                fdi_vm::run(&out.optimized, &run_cfg)
+                    .map(|r| (out, r))
+                    .map_err(|e| e.message)
+            }) {
+                Ok((out, r)) => rows.push((out.size_ratio(), r)),
+                Err(e) => {
+                    println!("{:<10} u={unroll} failed: {e}", b.name);
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        if rows.iter().any(|(_, r)| r.value != rows[0].1.value) {
+            println!("{:<10} VALUE MISMATCH", b.name);
+            continue;
+        }
+        let m = &run_cfg.model;
+        let base = rows[0].1.counters.total(m) as f64;
+        println!(
+            "{:<10} {:>12} {:>9.3} {:>9.3} {:>11.2} {:>11.2}",
+            b.name,
+            rows[0].1.counters.total(m),
+            rows[1].1.counters.total(m) as f64 / base,
+            rows[2].1.counters.total(m) as f64 / base,
+            rows[1].0,
+            rows[2].0,
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! * `table1` — regenerates Table 1 (lines, analysis time, code-size ratios
+//!   across inline thresholds);
+//! * `figure6` — regenerates Fig. 6 (normalized execution time split into
+//!   mutator and collector, across thresholds);
+//! * `ablation_cfa` — the §5.1 comparison of polymorphic splitting against
+//!   0CFA and 1CFA call strings.
+//!
+//! Numbers and shapes are recorded against the paper in `EXPERIMENTS.md`.
+
+use fdi_benchsuite::{Benchmark, BENCHMARKS};
+use fdi_core::{optimize_program, PipelineConfig, Polyvariance, RunConfig, SweepRow};
+
+/// The paper's threshold axis (Fig. 6 adds the 0 baseline).
+pub const THRESHOLDS: &[usize] = &[50, 100, 200, 500, 1000];
+
+/// Table 1, one row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Source lines after prepending library procedures.
+    pub lines: usize,
+    /// Flow-analysis wall time in seconds.
+    pub analysis_secs: f64,
+    /// Code-size ratio (vs the threshold-0 baseline) per threshold.
+    pub ratios: Vec<f64>,
+}
+
+/// Computes one Table 1 row.
+///
+/// # Errors
+///
+/// Propagates pipeline failures with the benchmark name attached.
+pub fn table1_row(b: &Benchmark, scale: u32) -> Result<Table1Row, String> {
+    let program =
+        fdi_lang::parse_and_lower(&b.scaled(scale)).map_err(|e| format!("{}: {e}", b.name))?;
+    let mut ratios = Vec::new();
+    let mut analysis_secs = 0.0;
+    for &t in THRESHOLDS {
+        let out = optimize_program(&program, &PipelineConfig::with_threshold(t))
+            .map_err(|e| format!("{}: {e}", b.name))?;
+        analysis_secs = out.flow_stats.duration.as_secs_f64();
+        ratios.push(out.size_ratio());
+    }
+    Ok(Table1Row {
+        name: b.name.to_string(),
+        lines: program.line_count(),
+        analysis_secs,
+        ratios,
+    })
+}
+
+/// Fig. 6, one benchmark: rows at thresholds 0 and [`THRESHOLDS`].
+///
+/// # Errors
+///
+/// Propagates pipeline or runtime failures with the benchmark name attached.
+pub fn figure6_rows(b: &Benchmark, scale: u32) -> Result<Vec<SweepRow>, String> {
+    fdi_core::sweep(
+        &b.scaled(scale),
+        THRESHOLDS,
+        &PipelineConfig::default(),
+        &RunConfig::default(),
+    )
+    .map_err(|e| format!("{}: {e}", b.name))
+}
+
+/// §5.1 ablation, one (benchmark, policy) cell.
+#[derive(Debug, Clone)]
+pub struct AblationCell {
+    /// Benchmark name.
+    pub name: String,
+    /// Policy name (`0cfa`, `poly-split`, `1cfa`).
+    pub policy: String,
+    /// Call sites satisfying Inlining Condition 1.
+    pub candidates: usize,
+    /// Total (reachable) call sites for reference.
+    pub call_sites: usize,
+    /// Analysis wall time in seconds.
+    pub analysis_secs: f64,
+    /// Flow-graph size (nodes).
+    pub nodes: usize,
+    /// Worklist steps.
+    pub steps: u64,
+}
+
+/// Runs the analysis under `policy` and counts inline candidates.
+///
+/// # Errors
+///
+/// Fails when the analysis aborts on its safety limits.
+pub fn ablation_cell(
+    b: &Benchmark,
+    scale: u32,
+    policy: Polyvariance,
+) -> Result<AblationCell, String> {
+    let program =
+        fdi_lang::parse_and_lower(&b.scaled(scale)).map_err(|e| format!("{}: {e}", b.name))?;
+    let flow = fdi_cfa::analyze(&program, policy);
+    if flow.stats().aborted {
+        return Err(format!(
+            "{}: analysis aborted under {}",
+            b.name,
+            policy.name()
+        ));
+    }
+    let candidates = flow.candidate_call_sites(&program).len();
+    let mut distinct = std::collections::HashSet::new();
+    for &(l, _) in flow.call_sites() {
+        distinct.insert(l);
+    }
+    Ok(AblationCell {
+        name: b.name.to_string(),
+        policy: policy.name(),
+        candidates,
+        call_sites: distinct.len(),
+        analysis_secs: flow.stats().duration.as_secs_f64(),
+        nodes: flow.stats().nodes,
+        steps: flow.stats().steps,
+    })
+}
+
+/// A simple text bar for the Fig. 6 renderings: `len` cells out of `full`.
+pub fn bar(fraction: f64, full: usize) -> String {
+    let cells = (fraction * full as f64).round().max(0.0) as usize;
+    "█".repeat(cells.min(2 * full))
+}
+
+/// Benchmarks selected by CLI args (all when empty).
+pub fn selected(args: &[String]) -> Vec<&'static Benchmark> {
+    if args.is_empty() {
+        BENCHMARKS.iter().collect()
+    } else {
+        BENCHMARKS
+            .iter()
+            .filter(|b| args.iter().any(|a| a == b.name))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_smoke() {
+        let b = fdi_benchsuite::by_name("boyer").unwrap();
+        let row = table1_row(b, 1).unwrap();
+        assert_eq!(row.ratios.len(), THRESHOLDS.len());
+        assert!(row.lines > 50);
+        assert!(row.ratios.iter().all(|&r| r > 0.1 && r < 10.0));
+    }
+
+    #[test]
+    fn figure6_rows_normalize() {
+        let b = fdi_benchsuite::by_name("dynamic").unwrap();
+        let rows = figure6_rows(b, 1).unwrap();
+        assert_eq!(rows.len(), THRESHOLDS.len() + 1);
+        assert!((rows[0].norm_total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ablation_counts_candidates() {
+        let b = fdi_benchsuite::by_name("maze").unwrap();
+        let poly = ablation_cell(b, 1, Polyvariance::PolymorphicSplitting).unwrap();
+        let mono = ablation_cell(b, 1, Polyvariance::Monovariant).unwrap();
+        assert!(
+            poly.candidates >= mono.candidates,
+            "splitting cannot lose candidates"
+        );
+        assert!(poly.call_sites > 0);
+    }
+
+    #[test]
+    fn bar_renders() {
+        assert_eq!(bar(0.5, 10), "█████");
+        assert_eq!(bar(0.0, 10), "");
+    }
+
+    #[test]
+    fn selection_filters() {
+        assert_eq!(selected(&[]).len(), 8);
+        assert_eq!(selected(&["boyer".to_string()]).len(), 1);
+        assert_eq!(selected(&["nope".to_string()]).len(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+;;; BOYER — a term-rewriting theorem prover (after the Gabriel benchmark).
+;;; Character: first-order symbolic computation; association-list rule base;
+;;; deep recursion over nested list terms.
+;;;
+;;; Terms are symbols, numbers, or (op arg ...) lists. The rule base maps an
+;;; operator symbol to a list of (pattern . replacement) rules. `rewrite`
+;;; normalizes a term bottom-up to a fixpoint; `tautology?` then decides
+;;; nested if-expressions.
+
+(define rules
+  '((if    (((if (if a b c) d e) . (if a (if b d e) (if c d e)))))
+    (and   (((and x y) . (if x (if y (t) (f)) (f)))))
+    (or    (((or x y) . (if x (t) (if y (t) (f))))))
+    (not   (((not x) . (if x (f) (t)))))
+    (implies (((implies x y) . (if x (if y (t) (f)) (t)))))
+    (iff   (((iff x y) . (if x (if y (t) (f)) (if y (f) (t))))))
+    (plus  (((plus (zero) y) . y)
+            ((plus (succ x) y) . (succ (plus x y)))))
+    (times (((times (zero) y) . (zero))
+            ((times (succ x) y) . (plus y (times x y)))))
+    (difference (((difference x x) . (zero))
+                 ((difference (plus x y) x) . y)
+                 ((difference (plus x y) y) . x)))
+    (lessp (((lessp (zero) (succ y)) . (t))
+            ((lessp x (zero)) . (f))
+            ((lessp (succ x) (succ y)) . (lessp x y))))
+    (equalp (((equalp (zero) (zero)) . (t))
+             ((equalp (zero) (succ y)) . (f))
+             ((equalp (succ x) (zero)) . (f))
+             ((equalp (succ x) (succ y)) . (equalp x y))))
+    (append2t (((append2t (nil) y) . y)
+               ((append2t (konz a x) y) . (konz a (append2t x y)))))
+    (reverset (((reverset (nil)) . (nil))
+               ((reverset (konz a x)) . (append2t (reverset x) (konz a (nil))))))
+    (lengtht (((lengtht (nil)) . (zero))
+              ((lengtht (konz a x)) . (succ (lengtht x)))))
+    (membert (((membert a (nil)) . (f))
+              ((membert a (konz a x)) . (t))
+              ((membert a (konz b x)) . (membert a x))))))
+
+(define (get-rules op)
+  (let ((hit (assq op rules)))
+    (if hit (cadr hit) '())))
+
+(define (variable? x) (symbol? x))
+
+;; One-way matching: pattern variables are symbols; a variable may bind one
+;; subterm, and repeated variables must match equal subterms.
+(define (match pat term binds)
+  (cond ((variable? pat)
+         (let ((hit (assq pat binds)))
+           (if hit
+               (if (equal? (cdr hit) term) binds #f)
+               (cons (cons pat term) binds))))
+        ((pair? pat)
+         (if (pair? term)
+             (if (eq? (car pat) (car term))
+                 (match-args (cdr pat) (cdr term) binds)
+                 #f)
+             #f))
+        (else (if (equal? pat term) binds #f))))
+
+(define (match-args pats terms binds)
+  (cond ((null? pats) (if (null? terms) binds #f))
+        ((null? terms) #f)
+        (else (let ((b (match (car pats) (car terms) binds)))
+                (if b (match-args (cdr pats) (cdr terms) b) #f)))))
+
+(define (instantiate tmpl binds)
+  (cond ((variable? tmpl)
+         (let ((hit (assq tmpl binds)))
+           (if hit (cdr hit) tmpl)))
+        ((pair? tmpl) (map (lambda (t) (instantiate t binds)) tmpl))
+        (else tmpl)))
+
+;; Apply the first matching rule for the term's operator, if any.
+(define (rewrite-head term)
+  (if (pair? term)
+      (letrec ((try (lambda (rs)
+                      (if (null? rs)
+                          term
+                          (let ((b (match (car (car rs)) term '())))
+                            (if b
+                                (instantiate (cdr (car rs)) b)
+                                (try (cdr rs))))))))
+        (try (get-rules (car term))))
+      term))
+
+;; Normalize bottom-up to a fixpoint (bounded, to guarantee termination).
+(define (rewrite term fuel)
+  (if (zero? fuel)
+      term
+      (let ((t2 (if (pair? term)
+                    (cons (car term)
+                          (map (lambda (a) (rewrite a (- fuel 1))) (cdr term)))
+                    term)))
+        (let ((t3 (rewrite-head t2)))
+          (if (equal? t3 t2)
+              t3
+              (rewrite t3 (- fuel 1)))))))
+
+;; Decide rewritten boolean terms: (t), (f), or (if c a b).
+(define (tautology? term true-list false-list)
+  (cond ((equal? term '(t)) #t)
+        ((equal? term '(f)) #f)
+        ((member term true-list) #t)
+        ((member term false-list) #f)
+        ((and (pair? term) (eq? (car term) 'if))
+         (let ((c (cadr term))
+               (a (caddr term))
+               (b (cadddr term)))
+           (cond ((or (equal? c '(t)) (member c true-list))
+                  (tautology? a true-list false-list))
+                 ((or (equal? c '(f)) (member c false-list))
+                  (tautology? b true-list false-list))
+                 (else
+                  (and (tautology? a (cons c true-list) false-list)
+                       (tautology? b true-list (cons c false-list)))))))
+        (else #f)))
+
+(define (prove term)
+  (tautology? (rewrite term 100) '() '()))
+
+;; Church-style numerals for the arithmetic lemmas.
+(define (nat n) (if (zero? n) '(zero) (list 'succ (nat (- n 1)))))
+
+(define (list-term xs)
+  (if (null? xs) '(nil) (list 'konz (car xs) (list-term (cdr xs)))))
+
+(define (theorems)
+  (list
+   ;; Propositional tautologies.
+   '(implies p p)
+   '(implies (and p q) p)
+   '(implies p (or p q))
+   '(iff (not (not p)) p)
+   '(implies (and (implies p q) p) q)
+   '(implies (and (implies p q) (implies q r)) (implies p r))
+   ;; Arithmetic on unary naturals.
+   (list 'equalp (list 'plus (nat 3) (nat 4)) (nat 7))
+   (list 'equalp (list 'times (nat 3) (nat 3)) (nat 9))
+   (list 'lessp (nat 3) (list 'plus (nat 2) (nat 2)))
+   (list 'equalp
+         (list 'difference (list 'plus (nat 5) (nat 2)) (list 'times (nat 7) (nat 1)))
+         (nat 0))
+   ;; List lemmas on a concrete instance.
+   (list 'equalp
+         (list 'lengtht (list 'append2t (list-term '(a b c)) (list-term '(d e))))
+         (nat 5))
+   (list 'membert 'b (list 'reverset (list-term '(a b c))))
+   ;; Non-theorems (must come out false).
+   '(implies (or p q) p)
+   (list 'equalp (list 'plus (nat 2) (nat 2)) (nat 5))))
+
+(define (run-boyer iters)
+  (letrec ((go (lambda (i acc)
+                 (if (zero? i)
+                     acc
+                     (go (- i 1)
+                         (foldl (lambda (n th) (if (prove th) (+ (* 2 n) 1) (* 2 n)))
+                                0
+                                (theorems)))))))
+    (go iters 0)))

@@ -1,0 +1,367 @@
+;;; DYNAMIC — a tagging-optimization pass for a dynamically-typed language.
+;;; Character: primarily first-order with complex control flow and many
+;;; deeply-nested conditional expressions (after the original benchmark,
+;;; an implementation of Henglein's global tagging optimization).
+;;;
+;;; Input programs are quoted S-expressions in a mini-Scheme. The pass
+;;; (1) infers a conservative tag set for every subexpression by abstract
+;;; evaluation over association-list environments, and (2) walks the program
+;;; counting which run-time tag checks the inferred sets eliminate.
+;;; The checksum combines eliminated/remaining check counts over a suite of
+;;; embedded programs.
+
+;; --- tag sets: sorted symbol lists --------------------------------------
+
+(define all-tags '(bool char nil num pair proc sym))
+
+(define (tag<? a b)
+  (string<? (symbol->string a) (symbol->string b)))
+
+(define (tag-insert t ts)
+  (cond ((null? ts) (cons t '()))
+        ((eq? t (car ts)) ts)
+        ((tag<? t (car ts)) (cons t ts))
+        (else (cons (car ts) (tag-insert t (cdr ts))))))
+
+(define (tag-union a b)
+  (foldl (lambda (acc t) (tag-insert t acc)) a b))
+
+(define (tag-member? t ts) (if (memq t ts) #t #f))
+
+(define (tag-only? ts t)
+  (if (null? ts) #f (if (pair? (cdr ts)) #f (eq? (car ts) t))))
+
+(define (singleton t) (cons t '()))
+
+;; --- environments ---------------------------------------------------------
+
+(define (env-lookup env x)
+  (let ((hit (assq x env)))
+    (if hit (cdr hit) all-tags)))
+
+(define (env-bind env x ts) (cons (cons x ts) env))
+
+;; --- the abstract evaluator ------------------------------------------------
+;; Returns the tag set an expression may produce. `depth` bounds recursion
+;; through applications so analysis always terminates.
+
+(define (infer e env depth)
+  (cond
+   ((number? e) (singleton 'num))
+   ((boolean? e) (singleton 'bool))
+   ((char? e) (singleton 'char))
+   ((symbol? e) (env-lookup env e))
+   ((null? e) (singleton 'nil))
+   ((pair? e)
+    (let ((op (car e)))
+      (cond
+       ((eq? op 'quote)
+        (let ((d (cadr e)))
+          (cond ((null? d) (singleton 'nil))
+                ((pair? d) (singleton 'pair))
+                ((symbol? d) (singleton 'sym))
+                ((number? d) (singleton 'num))
+                ((boolean? d) (singleton 'bool))
+                (else all-tags))))
+       ((eq? op 'if)
+        (let ((ct (infer (cadr e) env depth)))
+          (cond
+           ;; A test that cannot be false takes only the then branch.
+           ((not (tag-member? 'bool ct))
+            (infer (caddr e) env depth))
+           (else
+            (tag-union (infer (caddr e) env depth)
+                       (infer (cadddr e) env depth))))))
+       ((eq? op 'let)
+        (let ((binds (cadr e)))
+          (letrec ((extend
+                    (lambda (bs env2)
+                      (if (null? bs)
+                          env2
+                          (extend (cdr bs)
+                                  (env-bind env2 (caar bs)
+                                            (infer (cadr (car bs)) env depth)))))))
+            (infer (caddr e) (extend binds env) depth))))
+       ((eq? op 'lambda) (singleton 'proc))
+       ((eq? op 'letrec)
+        ;; All bindings are procedures; the body sees them as 'proc. Calls
+        ;; through letrec variables are analyzed at bounded depth via the
+        ;; application case below when the operator is a literal lambda;
+        ;; named recursive calls degrade to all-tags.
+        (let ((binds (cadr e)))
+          (letrec ((extend (lambda (bs env2)
+                             (if (null? bs)
+                                 env2
+                                 (extend (cdr bs)
+                                         (env-bind env2 (caar bs)
+                                                   (singleton 'proc)))))))
+            (infer (caddr e) (extend binds env) depth))))
+       ((eq? op 'cons) (singleton 'pair))
+       ((eq? op 'car) (infer-proj e env depth))
+       ((eq? op 'cdr) (infer-proj e env depth))
+       ((eq? op 'null?) (singleton 'bool))
+       ((eq? op 'pair?) (singleton 'bool))
+       ((eq? op 'zero?) (singleton 'bool))
+       ((eq? op 'not) (singleton 'bool))
+       ((eq? op 'eq?) (singleton 'bool))
+       ((eq? op '+) (singleton 'num))
+       ((eq? op '-) (singleton 'num))
+       ((eq? op '*) (singleton 'num))
+       ((eq? op '<) (singleton 'bool))
+       ((eq? op '=) (singleton 'bool))
+       (else
+        ;; Application of a computed procedure: unknown result unless the
+        ;; operator is a literal lambda analyzed at bounded depth.
+        (if (and (pair? op) (eq? (car op) 'lambda) (> depth 0))
+            (letrec ((bind-args
+                      (lambda (ps as env2)
+                        (cond ((null? ps) env2)
+                              ((null? as) env2)
+                              (else (bind-args (cdr ps) (cdr as)
+                                               (env-bind env2 (car ps)
+                                                         (infer (car as) env depth))))))))
+              (infer (caddr op)
+                     (bind-args (cadr op) (cdr e) env)
+                     (- depth 1)))
+            all-tags)))))
+   (else all-tags)))
+
+;; car/cdr argument analysis: the projection result is unknown, but we still
+;; analyze the argument (for the check census below).
+(define (infer-proj e env depth)
+  (let ((at (infer (cadr e) env depth)))
+    (if (tag-only? at 'pair)
+        all-tags
+        all-tags)))
+
+;; --- the check census -------------------------------------------------------
+;; Walk the program; at each primitive application decide, from the inferred
+;; tag set of the argument, whether the run-time tag check is eliminable.
+;; Returns (vector eliminated remaining).
+
+(define (census e env depth elim rem)
+  (cond
+   ((pair? e)
+    (let ((op (car e)))
+      (cond
+       ((eq? op 'quote) (vector elim rem))
+       ((eq? op 'if)
+        (let ((r1 (census (cadr e) env depth elim rem)))
+          (let ((r2 (census (caddr e) env depth
+                            (vector-ref r1 0) (vector-ref r1 1))))
+            (census (cadddr e) env depth
+                    (vector-ref r2 0) (vector-ref r2 1)))))
+       ((eq? op 'let)
+        (let ((binds (cadr e)))
+          (letrec ((walk-binds
+                  (lambda (bs acc-e acc-r)
+                    (if (null? bs)
+                        (vector acc-e acc-r)
+                        (let ((r (census (cadr (car bs)) env depth acc-e acc-r)))
+                          (walk-binds (cdr bs) (vector-ref r 0) (vector-ref r 1))))))
+                 (extend
+                  (lambda (bs env2)
+                    (if (null? bs)
+                        env2
+                        (extend (cdr bs)
+                                (env-bind env2 (caar bs)
+                                          (infer (cadr (car bs)) env depth)))))))
+            (let ((r (walk-binds binds elim rem)))
+              (census (caddr e) (extend binds env) depth
+                      (vector-ref r 0) (vector-ref r 1))))))
+       ((eq? op 'lambda)
+        (census (caddr e) env depth elim rem))
+       ((eq? op 'letrec)
+        (let ((binds (cadr e)))
+          (letrec ((walk-binds
+                    (lambda (bs acc-e acc-r)
+                      (if (null? bs)
+                          (vector acc-e acc-r)
+                          (let ((r (census (cadr (car bs)) env depth acc-e acc-r)))
+                            (walk-binds (cdr bs) (vector-ref r 0) (vector-ref r 1))))))
+                   (extend (lambda (bs env2)
+                             (if (null? bs)
+                                 env2
+                                 (extend (cdr bs)
+                                         (env-bind env2 (caar bs)
+                                                   (singleton 'proc)))))))
+            (let ((r (walk-binds binds elim rem)))
+              (census (caddr e) (extend binds env) depth
+                      (vector-ref r 0) (vector-ref r 1))))))
+       ((memq op '(car cdr))
+        (let ((at (infer (cadr e) env depth)))
+          (let ((r (census (cadr e) env depth elim rem)))
+            (if (tag-only? at 'pair)
+                (vector (+ 1 (vector-ref r 0)) (vector-ref r 1))
+                (vector (vector-ref r 0) (+ 1 (vector-ref r 1)))))))
+       ((memq op '(+ - * < = zero?))
+        (letrec ((walk-args
+                  (lambda (as acc-e acc-r)
+                    (if (null? as)
+                        (vector acc-e acc-r)
+                        (let ((at (infer (car as) env depth)))
+                          (let ((r (census (car as) env depth acc-e acc-r)))
+                            (walk-args (cdr as)
+                                       (if (tag-only? at 'num)
+                                           (+ 1 (vector-ref r 0))
+                                           (vector-ref r 0))
+                                       (if (tag-only? at 'num)
+                                           (vector-ref r 1)
+                                           (+ 1 (vector-ref r 1))))))))))
+          (walk-args (cdr e) elim rem)))
+       ((memq op '(cons eq? null? pair? not))
+        (letrec ((walk-args
+                  (lambda (as acc-e acc-r)
+                    (if (null? as)
+                        (vector acc-e acc-r)
+                        (let ((r (census (car as) env depth acc-e acc-r)))
+                          (walk-args (cdr as) (vector-ref r 0) (vector-ref r 1)))))))
+          (walk-args (cdr e) elim rem)))
+       (else
+        (letrec ((walk-all
+                  (lambda (as acc-e acc-r)
+                    (if (null? as)
+                        (vector acc-e acc-r)
+                        (let ((r (census (car as) env depth acc-e acc-r)))
+                          (walk-all (cdr as) (vector-ref r 0) (vector-ref r 1)))))))
+          (walk-all e elim rem))))))
+   (else (vector elim rem))))
+
+;; --- phase 2: cast insertion --------------------------------------------------
+;; Rewrites the program with explicit (check-num e) / (check-pair e) wrappers
+;; at every primitive argument whose check the analysis could not eliminate —
+;; the output form of the tagging optimization. Returns the rewritten term.
+
+(define (wrap kind e) (list kind e))
+
+(define (cast-arg e env depth kind)
+  (let ((t (infer e env depth))
+        (e2 (insert-casts e env depth)))
+    (cond ((eq? kind 'num) (if (tag-only? t 'num) e2 (wrap 'check-num e2)))
+          ((eq? kind 'pair) (if (tag-only? t 'pair) e2 (wrap 'check-pair e2)))
+          (else e2))))
+
+(define (insert-casts e env depth)
+  (cond
+   ((pair? e)
+    (let ((op (car e)))
+      (cond
+       ((eq? op 'quote) e)
+       ((eq? op 'if)
+        (list 'if
+              (insert-casts (cadr e) env depth)
+              (insert-casts (caddr e) env depth)
+              (insert-casts (cadddr e) env depth)))
+       ((eq? op 'let)
+        (let ((binds (cadr e)))
+          (letrec ((walk (lambda (bs acc)
+                           (if (null? bs)
+                               (reverse acc)
+                               (walk (cdr bs)
+                                     (cons (list (caar bs)
+                                                 (insert-casts (cadr (car bs)) env depth))
+                                           acc)))))
+                   (extend (lambda (bs env2)
+                             (if (null? bs)
+                                 env2
+                                 (extend (cdr bs)
+                                         (env-bind env2 (caar bs)
+                                                   (infer (cadr (car bs)) env depth)))))))
+            (list 'let (walk binds '())
+                  (insert-casts (caddr e) (extend binds env) depth)))))
+       ((eq? op 'lambda)
+        (list 'lambda (cadr e) (insert-casts (caddr e) env depth)))
+       ((memq op '(car cdr))
+        (list op (cast-arg (cadr e) env depth 'pair)))
+       ((memq op '(+ - * < =))
+        (cons op
+              (letrec ((walk (lambda (as acc)
+                               (if (null? as)
+                                   (reverse acc)
+                                   (walk (cdr as)
+                                         (cons (cast-arg (car as) env depth 'num) acc))))))
+                (walk (cdr e) '()))))
+       ((eq? op 'zero?)
+        (list 'zero? (cast-arg (cadr e) env depth 'num)))
+       (else
+        (letrec ((walk (lambda (as acc)
+                         (if (null? as)
+                             (reverse acc)
+                             (walk (cdr as)
+                                   (cons (insert-casts (car as) env depth) acc))))))
+          (walk e '()))))))
+   (else e)))
+
+(define (term-nodes e)
+  (if (pair? e)
+      (letrec ((go (lambda (xs acc)
+                     (if (null? xs)
+                         acc
+                         (go (cdr xs) (+ acc (term-nodes (car xs))))))))
+        (go e 1))
+      1))
+
+;; --- the embedded program suite ---------------------------------------------
+
+(define programs
+  '((let ((x 1) (y 2)) (+ x y))
+    (let ((p (cons 1 2))) (+ (car p) (cdr p)))
+    (if (zero? 0) (+ 1 2) (* 3 4))
+    (let ((f (lambda (n) (+ n 1)))) (f 41))
+    ((lambda (a b) (if (< a b) (- b a) (- a b))) 3 9)
+    (let ((l (cons 1 (cons 2 '()))))
+      (let ((h (car l)) (t (cdr l)))
+        (if (pair? t) (+ h (car t)) h)))
+    (let ((x 5))
+      (if (zero? x)
+          (car '())
+          (let ((y (* x x))) (+ y (- y 1)))))
+    ((lambda (p) (if (pair? p) (car p) 0)) (cons #t #f))
+    (let ((k (lambda (v) v)))
+      (let ((a (k 1)) (b (k #t)))
+        (if b (+ a 1) (- a 1))))
+    (let ((swap (lambda (p) (cons (cdr p) (car p)))))
+      (car (swap (cons 1 2))))
+    (let ((deep (cons (cons 1 (cons 2 '())) (cons 3 '()))))
+      (+ (car (car deep)) (car (cdr deep))))
+    (if (null? '()) (if (pair? '(1)) 1 2) 3)))
+
+(define more-programs
+  '((letrec ((len (lambda (l) (if (null? l) 0 (+ 1 (len (cdr l)))))))
+      (len (cons 1 (cons 2 '()))))
+    (letrec ((ev? (lambda (n) (if (zero? n) #t (od? (- n 1)))))
+             (od? (lambda (n) (if (zero? n) #f (ev? (- n 1))))))
+      (ev? 8))
+    (let ((make (lambda (a) (lambda (b) (+ a b)))))
+      ((make 1) 2))
+    (let ((t (cons (cons 1 2) (cons 3 4))))
+      (+ (car (car t)) (cdr (cdr t))))
+    (if (pair? (cons 1 2))
+        (let ((p (cons 5 6))) (* (car p) (cdr p)))
+        0)
+    (let ((choose (lambda (c a b) (if c a b))))
+      (choose (zero? 0) (+ 1 2) (car '())))
+    ((lambda (f g x) (f (g x)))
+     (lambda (n) (+ n 1))
+     (lambda (n) (* n 2))
+     10)
+    (let ((x (cons 1 '())))
+      (if (null? (cdr x)) (car x) (car (cdr x))))))
+
+(define (analyze-once)
+  (foldl (lambda (acc prog)
+           (let ((r (census prog '() 3 0 0))
+                 (rewritten (insert-casts prog '() 3)))
+             (+ acc
+                (* 1000 (vector-ref r 0))
+                (vector-ref r 1)
+                (* 7 (modulo (term-nodes rewritten) 97)))))
+         0
+         (append programs more-programs)))
+
+(define (run-dynamic iters)
+  (letrec ((go (lambda (i acc)
+                 (if (zero? i)
+                     acc
+                     (go (- i 1) (analyze-once))))))
+    (go iters 0)))

@@ -1,0 +1,95 @@
+;;; EXTRA — four classic Scheme benchmarks beyond the paper's Table 1 suite
+;;; (Gabriel-suite style), used for additional correctness and optimizer
+;;; coverage: tak (call-heavy), queens (backtracking), deriv (symbolic
+;;; differentiation), and ack (worst-case recursion).
+
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+
+(define (ack m n)
+  (cond ((zero? m) (+ n 1))
+        ((zero? n) (ack (- m 1) 1))
+        (else (ack (- m 1) (ack m (- n 1))))))
+
+;; N-queens via list-based backtracking with higher-order safety test.
+(define (queens n)
+  (letrec ((ok? (lambda (row dist placed)
+                  (if (null? placed)
+                      #t
+                      (if (if (= (car placed) (+ row dist)) #t
+                              (= (car placed) (- row dist)))
+                          #f
+                          (ok? row (+ dist 1) (cdr placed))))))
+           (solve (lambda (placed row count)
+                    (cond ((= row n) (+ count 1))
+                          (else
+                           (letrec ((try (lambda (col acc)
+                                           (if (= col n)
+                                               acc
+                                               (try (+ col 1)
+                                                    (if (if (memv col placed) #f
+                                                            (ok? col 1 placed))
+                                                        (solve (cons col placed) (+ row 1) acc)
+                                                        acc))))))
+                             (try 0 count)))))))
+    (solve '() 0 0)))
+
+;; Symbolic differentiation over (+ ...), (* ...), constants, and variables.
+(define (deriv exp var)
+  (cond ((number? exp) 0)
+        ((symbol? exp) (if (eq? exp var) 1 0))
+        ((eq? (car exp) '+)
+         (cons '+ (map (lambda (e) (deriv e var)) (cdr exp))))
+        ((eq? (car exp) '*)
+         (cons '+
+               (letrec ((each (lambda (pre post acc)
+                                (if (null? post)
+                                    (reverse acc)
+                                    (each (cons (car post) pre)
+                                          (cdr post)
+                                          (cons (cons '*
+                                                      (append (reverse pre)
+                                                              (cons (deriv (car post) var)
+                                                                    (cdr post))))
+                                                acc))))))
+                 (each '() (cdr exp) '()))))
+        (else (error "deriv: unknown operator" exp))))
+
+(define (simplify-term exp)
+  (cond ((not (pair? exp)) exp)
+        ((eq? (car exp) '+)
+         (let ((args (filter (lambda (e) (not (equal? e 0)))
+                             (map simplify-term (cdr exp)))))
+           (cond ((null? args) 0)
+                 ((null? (cdr args)) (car args))
+                 (else (cons '+ args)))))
+        ((eq? (car exp) '*)
+         (let ((args (filter (lambda (e) (not (equal? e 1)))
+                             (map simplify-term (cdr exp)))))
+           (cond ((memv 0 args) 0)
+                 ((member 0 args) 0)
+                 ((null? args) 1)
+                 ((null? (cdr args)) (car args))
+                 (else (cons '* args)))))
+        (else exp)))
+
+(define (term-size exp)
+  (if (pair? exp)
+      (foldl (lambda (acc e) (+ acc (term-size e))) 1 (cdr exp))
+      1))
+
+(define (run-extra scale)
+  (let ((t (tak (+ 12 (modulo scale 2)) 8 4))
+        (q (queens (+ 5 (modulo scale 2))))
+        (a (ack 2 (+ 3 (modulo scale 3))))
+        (d (term-size
+            (simplify-term
+             (deriv '(* (+ x y 1) (* x x) (+ x (* y y) 3)) 'x)))))
+    (+ (* 1000000 (modulo t 100))
+       (* 10000 (modulo q 100))
+       (* 100 (modulo a 100))
+       (modulo d 100))))

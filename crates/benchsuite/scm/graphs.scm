@@ -1,0 +1,97 @@
+;;; GRAPHS — count rooted directed graphs with bounded out-degree.
+;;; Character: continuation-passing style throughout; extensive higher-order
+;;; procedures (after the original benchmark, which counts directed graphs
+;;; with a distinguished root and k vertices of out-degree at most 2).
+;;;
+;;; Every enumeration procedure takes an explicit success continuation; the
+;;; counting continuation threads an accumulator. Vertices are 0..n-1; a
+;;; graph is a list of adjacency lists (one per vertex, each of length <= 2).
+
+;; CPS list utilities.
+(define (cps-foldl f acc xs k)
+  (if (null? xs)
+      (k acc)
+      (f acc (car xs) (lambda (acc2) (cps-foldl f acc2 (cdr xs) k)))))
+
+(define (cps-map f xs k)
+  (if (null? xs)
+      (k '())
+      (f (car xs)
+         (lambda (y) (cps-map f (cdr xs) (lambda (ys) (k (cons y ys))))))))
+
+(define (cps-filter p xs k)
+  (if (null? xs)
+      (k '())
+      (p (car xs)
+         (lambda (keep)
+           (cps-filter p (cdr xs)
+                       (lambda (rest)
+                         (k (if keep (cons (car xs) rest) rest))))))))
+
+;; All subsets of xs with at most two elements, in CPS.
+(define (choices-upto-2 xs k)
+  (letrec ((pairs (lambda (ys acc k2)
+                    (if (null? ys)
+                        (k2 acc)
+                        (letrec ((inner (lambda (zs acc2 k3)
+                                          (if (null? zs)
+                                              (k3 acc2)
+                                              (inner (cdr zs)
+                                                     (cons (list (car ys) (car zs)) acc2)
+                                                     k3)))))
+                          (inner (cdr ys) acc
+                                 (lambda (acc2) (pairs (cdr ys) acc2 k2))))))))
+    (let ((singles (map (lambda (x) (list x)) xs)))
+      (pairs xs '()
+             (lambda (ps) (k (cons '() (append singles ps))))))))
+
+;; Enumerate every assignment of out-edges to vertices, CPS over a worklist.
+(define (enumerate-graphs n visit k)
+  (let ((verts (iota n)))
+    (choices-upto-2 verts
+      (lambda (edge-choices)
+        (letrec ((assign
+                  (lambda (vs graph-rev acc k2)
+                    (if (null? vs)
+                        (visit (reverse graph-rev) acc k2)
+                        (cps-foldl
+                         (lambda (acc2 choice k3)
+                           (assign (cdr vs) (cons choice graph-rev) acc2 k3))
+                         acc
+                         edge-choices
+                         k2)))))
+          (assign verts '() 0 k))))))
+
+;; Reachability from the root, CPS breadth-first.
+(define (reachable-count graph n k)
+  (letrec ((adj (lambda (v) (list-ref graph v)))
+           (walk (lambda (frontier seen k2)
+                   (if (null? frontier)
+                       (k2 seen)
+                       (let ((v (car frontier)))
+                         (if (memv v seen)
+                             (walk (cdr frontier) seen k2)
+                             (walk (append (adj v) (cdr frontier))
+                                   (cons v seen)
+                                   k2)))))))
+    (walk '(0) '() (lambda (seen) (k (length seen))))))
+
+;; Count graphs where the root reaches every vertex, plus a second statistic:
+;; graphs that are "functional" (every out-degree exactly one).
+(define (count-interesting n k)
+  (enumerate-graphs n
+    (lambda (graph acc k2)
+      (reachable-count graph n
+        (lambda (r)
+          (cps-filter (lambda (outs k3) (k3 (= (length outs) 1)))
+                      graph
+                      (lambda (deg1)
+                        (let ((fully (= r n))
+                              (functional (= (length deg1) n)))
+                          (k2 (+ acc
+                                 (if fully 1 0)
+                                 (if (if fully functional #f) 10000 0)))))))))
+    k))
+
+(define (run-graphs n)
+  (count-interesting n (lambda (total) total)))

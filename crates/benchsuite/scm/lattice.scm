@@ -1,0 +1,111 @@
+;;; LATTICE — enumerate the lattice of monotone maps between two lattices.
+;;; Character: mostly first-order, list-heavy (after the Gabriel benchmark).
+;;;
+;;; A lattice is represented as (elements . leq-pairs): elements is a list,
+;;; and leq-pairs an association list mapping each element to the list of
+;;; elements above-or-equal to it. Maps are association lists. We enumerate
+;;; all monotone maps from lattice A to lattice B, then order the maps
+;;; pointwise and count comparable pairs — exercising list search heavily.
+
+(define (make-lattice elements leq-table)
+  (cons elements leq-table))
+
+(define (lattice-elements lat) (car lat))
+(define (lattice-table lat) (cdr lat))
+
+(define (leq? lat a b)
+  (if (eq? a b)
+      #t
+      (memq b (cdr (assq a (lattice-table lat))))))
+
+;; The two-point lattice 0 <= 1.
+(define lattice-2
+  (make-lattice '(lo hi)
+                '((lo lo hi) (hi hi))))
+
+;; The diamond lattice: bot <= left,right <= top.
+(define lattice-d
+  (make-lattice '(bot left right top)
+                '((bot bot left right top)
+                  (left left top)
+                  (right right top)
+                  (top top))))
+
+;; A chain of four points.
+(define lattice-4
+  (make-lattice '(a b c d)
+                '((a a b c d) (b b c d) (c c d) (d d))))
+
+;; All assignments of elements of bs to the ordered domain as.
+(define (all-maps as bs)
+  (if (null? as)
+      '(())
+      (let ((rest (all-maps (cdr as) bs)))
+        (foldr (lambda (b acc)
+                 (append (map (lambda (m) (cons (cons (car as) b) m)) rest)
+                         acc))
+               '()
+               bs))))
+
+(define (map-image m x) (cdr (assq x m)))
+
+;; A map is monotone when x <= y implies f(x) <= f(y).
+(define (monotone? la lb m)
+  (letrec ((check-pairs
+            (lambda (xs)
+              (if (null? xs)
+                  #t
+                  (letrec ((against
+                            (lambda (ys)
+                              (cond ((null? ys) #t)
+                                    ((leq? la (car xs) (car ys))
+                                     (if (leq? lb (map-image m (car xs))
+                                               (map-image m (car ys)))
+                                         (against (cdr ys))
+                                         #f))
+                                    (else (against (cdr ys)))))))
+                    (if (against (lattice-elements la))
+                        (check-pairs (cdr xs))
+                        #f))))))
+    (check-pairs (lattice-elements la))))
+
+(define (monotone-maps la lb)
+  (filter (lambda (m) (monotone? la lb m))
+          (all-maps (lattice-elements la) (lattice-elements lb))))
+
+;; Pointwise order on maps over domain dom.
+(define (map-leq? lb dom m1 m2)
+  (letrec ((go (lambda (xs)
+                 (cond ((null? xs) #t)
+                       ((leq? lb (map-image m1 (car xs)) (map-image m2 (car xs)))
+                        (go (cdr xs)))
+                       (else #f)))))
+    (go dom)))
+
+;; Count comparable ordered pairs among the monotone maps — the size of the
+;; order relation of the map lattice.
+(define (count-relation la lb)
+  (let ((maps (monotone-maps la lb))
+        (dom (lattice-elements la)))
+    (foldl (lambda (acc m1)
+             (foldl (lambda (acc2 m2)
+                      (if (map-leq? lb dom m1 m2) (+ acc2 1) acc2))
+                    acc
+                    maps))
+           0
+           maps)))
+
+;; Repeat the computation to give the optimizer a workload; the checksum
+;; combines relation sizes across lattice pairs.
+(define (lattice-once)
+  (+ (* 100000 (count-relation lattice-2 lattice-d))
+     (* 100 (count-relation lattice-d lattice-4))
+     (count-relation lattice-4 lattice-2)))
+
+(define (run-lattice iters)
+  (letrec ((go (lambda (i acc)
+                 (if (zero? i)
+                     acc
+                     (go (- i 1) (lattice-once))))))
+    (go iters 0)))
+

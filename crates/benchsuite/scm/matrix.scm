@@ -1,0 +1,124 @@
+;;; MATRIX — maximality of random {+1,-1} matrices under sign changes.
+;;; Character: continuation-passing style; list-of-list matrices; random
+;;; workload generation (after the original benchmark, which tests whether a
+;;; random matrix is maximal among all row/column reorderings and negations).
+;;;
+;;; A matrix is a list of rows; a row is a list of +1/-1. The search explores
+;;; negations of each row and column and lexicographic row reordering, in CPS
+;;; with explicit success/failure continuations, asking: does any transform
+;;; produce a lexicographically larger matrix?
+
+(define (make-random-matrix n)
+  (map (lambda (i)
+         (map (lambda (j) (if (zero? (random 2)) -1 1)) (iota n)))
+       (iota n)))
+
+(define (negate-row row) (map (lambda (x) (- x)) row))
+
+(define (negate-col m j)
+  (map (lambda (row)
+         (letrec ((go (lambda (r i)
+                        (cond ((null? r) '())
+                              ((= i j) (cons (- (car r)) (go (cdr r) (+ i 1))))
+                              (else (cons (car r) (go (cdr r) (+ i 1))))))))
+           (go row 0)))
+       m))
+
+;; Lexicographic comparison of rows, then matrices, in CPS.
+(define (row-compare a b k)
+  (cond ((null? a) (k 'eq))
+        ((> (car a) (car b)) (k 'gt))
+        ((< (car a) (car b)) (k 'lt))
+        (else (row-compare (cdr a) (cdr b) k))))
+
+(define (matrix-compare a b k)
+  (cond ((null? a) (k 'eq))
+        (else (row-compare (car a) (car b)
+                (lambda (c)
+                  (if (eq? c 'eq)
+                      (matrix-compare (cdr a) (cdr b) k)
+                      (k c)))))))
+
+;; Sort rows descending (selection sort in CPS) — canonical row order.
+(define (select-max rows k)
+  (letrec ((go (lambda (best rest acc k2)
+                 (if (null? rest)
+                     (k2 best acc)
+                     (row-compare (car rest) best
+                       (lambda (c)
+                         (if (eq? c 'gt)
+                             (go (car rest) (cdr rest) (cons best acc) k2)
+                             (go best (cdr rest) (cons (car rest) acc) k2))))))))
+    (go (car rows) (cdr rows) '() k)))
+
+(define (sort-rows rows k)
+  (if (null? rows)
+      (k '())
+      (select-max rows
+        (lambda (best rest)
+          (sort-rows rest (lambda (sorted) (k (cons best sorted))))))))
+
+;; Enumerate row-negation patterns (one bit per row) in CPS; for each,
+;; enumerate column negations; canonicalize and compare against the input.
+(define (any-improvement? m n k)
+  (letrec ((rows-loop
+            (lambda (i cur k2)
+              (if (= i n)
+                  (cols-loop 0 cur k2)
+                  (rows-loop (+ i 1) cur
+                    (lambda (found)
+                      (if found
+                          (k2 #t)
+                          (rows-loop (+ i 1) (flip-row cur i)
+                                     k2)))))))
+           (flip-row
+            (lambda (mm i)
+              (letrec ((go (lambda (rs j)
+                             (cond ((null? rs) '())
+                                   ((= j i) (cons (negate-row (car rs)) (go (cdr rs) (+ j 1))))
+                                   (else (cons (car rs) (go (cdr rs) (+ j 1))))))))
+                (go mm 0))))
+           (cols-loop
+            (lambda (j cur k2)
+              (if (= j n)
+                  (check cur k2)
+                  (cols-loop (+ j 1) cur
+                    (lambda (found)
+                      (if found
+                          (k2 #t)
+                          (cols-loop (+ j 1) (negate-col cur j) k2)))))))
+           (check
+            (lambda (cand k2)
+              (sort-rows cand
+                (lambda (canon)
+                  (matrix-compare canon m
+                    (lambda (c) (k2 (eq? c 'gt)))))))))
+    (rows-loop 0 m k)))
+
+(define (maximal? m n k)
+  (sort-rows m
+    (lambda (canon)
+      (any-improvement? canon n
+        (lambda (found) (k (not found)))))))
+
+(define (run-matrix trials)
+  (let ((n 4))
+    (letrec ((go (lambda (i maxed total k)
+                   (if (zero? i)
+                       (k (+ (* 1000 maxed) total))
+                       (let ((m (make-random-matrix n)))
+                         (maximal? m n
+                           (lambda (is-max)
+                             (matrix-checksum m
+                               (lambda (sum)
+                                 (go (- i 1)
+                                     (if is-max (+ maxed 1) maxed)
+                                     (modulo (+ total sum) 997)
+                                     k))))))))))
+      (go trials 0 0 (lambda (r) r)))))
+
+(define (matrix-checksum m k)
+  (cps-sum (map (lambda (row) (apply + row)) m) k))
+
+(define (cps-sum xs k)
+  (if (null? xs) (k 0) (cps-sum (cdr xs) (lambda (s) (k (+ s (car xs)))))))

@@ -1,0 +1,137 @@
+;;; MAZE — generate a random maze with union-find, then solve it.
+;;; Character: primarily first-order; records represented as vectors; heavy
+;;; vector mutation (after the original benchmark, which builds a random
+;;; maze using a union-find algorithm and finds a path through it).
+;;;
+;;; The grid is w × h cells, addressed 0..w*h-1. Walls are the edges between
+;;; adjacent cells. Knocking down a random wall between cells in different
+;;; union-find classes until all cells are connected yields a spanning-tree
+;;; maze; a breadth-first search then finds the path from entrance to exit.
+
+;; Union-find with path halving over parent/rank vectors.
+(define (uf-make n)
+  (let ((parent (make-vector n 0))
+        (rank (make-vector n 0)))
+    (letrec ((init (lambda (i)
+                     (if (< i n)
+                         (begin (vector-set! parent i i) (init (+ i 1)))
+                         #t))))
+      (init 0))
+    (vector parent rank)))
+
+(define (uf-find uf x)
+  (let ((parent (vector-ref uf 0)))
+    (letrec ((walk (lambda (i)
+                     (let ((p (vector-ref parent i)))
+                       (if (= p i)
+                           i
+                           (begin
+                             (vector-set! parent i (vector-ref parent p))
+                             (walk (vector-ref parent i))))))))
+      (walk x))))
+
+(define (uf-union! uf a b)
+  (let ((parent (vector-ref uf 0))
+        (rank (vector-ref uf 1)))
+    (let ((ra (uf-find uf a))
+          (rb (uf-find uf b)))
+      (cond ((= ra rb) #f)
+            ((< (vector-ref rank ra) (vector-ref rank rb))
+             (vector-set! parent ra rb)
+             #t)
+            ((> (vector-ref rank ra) (vector-ref rank rb))
+             (vector-set! parent rb ra)
+             #t)
+            (else
+             (vector-set! parent rb ra)
+             (vector-set! rank ra (+ 1 (vector-ref rank ra)))
+             #t)))))
+
+;; Walls: horizontal walls between (x,y)-(x+1,y), vertical between
+;; (x,y)-(x,y+1). Each wall is (vector cell-a cell-b); the full list is
+;; shuffled with random swaps through a vector.
+(define (all-walls w h)
+  (letrec ((go (lambda (x y acc)
+                 (cond ((= y h) acc)
+                       ((= x w) (go 0 (+ y 1) acc))
+                       (else
+                        (let ((c (+ x (* y w))))
+                          (let ((acc2 (if (< x (- w 1))
+                                          (cons (vector c (+ c 1)) acc)
+                                          acc)))
+                            (let ((acc3 (if (< y (- h 1))
+                                            (cons (vector c (+ c w)) acc2)
+                                            acc2)))
+                              (go (+ x 1) y acc3)))))))))
+    (go 0 0 '())))
+
+(define (shuffle! v)
+  (let ((n (vector-length v)))
+    (letrec ((go (lambda (i)
+                   (if (< i 2)
+                       v
+                       (let ((j (random i)))
+                         (let ((tmp (vector-ref v (- i 1))))
+                           (vector-set! v (- i 1) (vector-ref v j))
+                           (vector-set! v j tmp)
+                           (go (- i 1))))))))
+      (go n))))
+
+;; Knock down walls joining distinct classes; return the open passages as an
+;; adjacency vector of neighbor lists.
+(define (build-maze w h)
+  (let ((n (* w h))
+        (walls (shuffle! (list->vector (all-walls w h)))))
+    (let ((uf (uf-make n))
+          (adj (make-vector n '())))
+      (letrec ((go (lambda (i joined)
+                     (if (= i (vector-length walls))
+                         joined
+                         (let ((wall (vector-ref walls i)))
+                           (let ((a (vector-ref wall 0))
+                                 (b (vector-ref wall 1)))
+                             (if (uf-union! uf a b)
+                                 (begin
+                                   (vector-set! adj a (cons b (vector-ref adj a)))
+                                   (vector-set! adj b (cons a (vector-ref adj b)))
+                                   (go (+ i 1) (+ joined 1)))
+                                 (go (+ i 1) joined))))))))
+        (go 0 0))
+      adj)))
+
+;; Breadth-first search from cell 0 to cell n-1 over the adjacency vector;
+;; returns the path length (cells on the path).
+(define (solve-maze adj n)
+  (let ((dist (make-vector n -1)))
+    (vector-set! dist 0 0)
+    (letrec ((bfs (lambda (frontier)
+                    (if (null? frontier)
+                        #t
+                        (let ((v (car frontier)))
+                          (let ((d (vector-ref dist v)))
+                            (letrec ((relax
+                                      (lambda (ns next)
+                                        (if (null? ns)
+                                            next
+                                            (let ((u (car ns)))
+                                              (if (= (vector-ref dist u) -1)
+                                                  (begin
+                                                    (vector-set! dist u (+ d 1))
+                                                    (relax (cdr ns) (cons u next)))
+                                                  (relax (cdr ns) next)))))))
+                              (bfs (append (cdr frontier)
+                                           (reverse (relax (vector-ref adj v) '())))))))))))
+      (bfs '(0)))
+    (+ 1 (vector-ref dist (- n 1)))))
+
+(define (maze-once w h)
+  (let ((adj (build-maze w h)))
+    (solve-maze adj (* w h))))
+
+(define (run-maze iters)
+  (let ((w 18) (h 12))
+    (letrec ((go (lambda (i acc)
+                   (if (zero? i)
+                       acc
+                       (go (- i 1) (+ acc (maze-once w h)))))))
+      (go iters 0))))

@@ -1,0 +1,104 @@
+;;; NBODY — gravitational forces on point masses in a cube.
+;;; Character: floating-point numerics over vector records with higher-order
+;;; iteration combinators.
+;;;
+;;; Substitution note (see DESIGN.md): the original benchmark implements the
+;;; Greengard fast multipole method; we compute the same forces by direct
+;;; O(n²) summation plus leapfrog integration, keeping the code character
+;;; (float arithmetic, vector records, higher-order sweeps) at a smaller n.
+
+;; A body is #(x y z vx vy vz m); the system is a vector of bodies.
+(define (body x y z vx vy vz m) (vector x y z vx vy vz m))
+
+(define (vector-for-each-i f v)
+  (let ((n (vector-length v)))
+    (letrec ((go (lambda (i)
+                   (if (= i n)
+                       #t
+                       (begin (f (vector-ref v i) i) (go (+ i 1)))))))
+      (go 0))))
+
+(define (vector-fold-i f acc v)
+  (let ((n (vector-length v)))
+    (letrec ((go (lambda (i acc)
+                   (if (= i n)
+                       acc
+                       (go (+ i 1) (f acc (vector-ref v i) i))))))
+      (go 0 acc))))
+
+;; Deterministic pseudo-random uniform distribution in the unit cube.
+(define (make-system n)
+  (let ((sys (make-vector n 0)))
+    (vector-for-each-i
+     (lambda (_ i)
+       (vector-set! sys i
+                    (body (/ (exact->inexact (random 1000)) 1000.0)
+                          (/ (exact->inexact (random 1000)) 1000.0)
+                          (/ (exact->inexact (random 1000)) 1000.0)
+                          0.0 0.0 0.0
+                          (+ 0.5 (/ (exact->inexact (random 100)) 100.0)))))
+     sys)
+    sys))
+
+(define soften 0.0001)
+
+;; Accumulate the acceleration on body b from every other body.
+(define (accel-on sys i)
+  (let ((bi (vector-ref sys i)))
+    (let ((xi (vector-ref bi 0)) (yi (vector-ref bi 1)) (zi (vector-ref bi 2)))
+      (vector-fold-i
+       (lambda (acc bj j)
+         (if (= i j)
+             acc
+             (let ((dx (- (vector-ref bj 0) xi))
+                   (dy (- (vector-ref bj 1) yi))
+                   (dz (- (vector-ref bj 2) zi)))
+               (let ((r2 (+ (* dx dx) (* dy dy) (* dz dz) soften)))
+                 (let ((inv (/ (vector-ref bj 6) (* r2 (sqrt r2)))))
+                   (vector (+ (vector-ref acc 0) (* dx inv))
+                           (+ (vector-ref acc 1) (* dy inv))
+                           (+ (vector-ref acc 2) (* dz inv))))))))
+       (vector 0.0 0.0 0.0)
+       sys))))
+
+;; One leapfrog step of size dt; bodies are replaced functionally.
+(define (step! sys dt)
+  (let ((n (vector-length sys)))
+    (let ((accs (make-vector n 0)))
+      (vector-for-each-i (lambda (_ i) (vector-set! accs i (accel-on sys i))) accs)
+      (vector-for-each-i
+       (lambda (b i)
+         (let ((a (vector-ref accs i)))
+           (let ((vx (+ (vector-ref b 3) (* dt (vector-ref a 0))))
+                 (vy (+ (vector-ref b 4) (* dt (vector-ref a 1))))
+                 (vz (+ (vector-ref b 5) (* dt (vector-ref a 2)))))
+             (vector-set! sys i
+                          (body (+ (vector-ref b 0) (* dt vx))
+                                (+ (vector-ref b 1) (* dt vy))
+                                (+ (vector-ref b 2) (* dt vz))
+                                vx vy vz
+                                (vector-ref b 6))))))
+       sys)
+      sys)))
+
+;; Total kinetic energy — the observable checksum.
+(define (kinetic sys)
+  (vector-fold-i
+   (lambda (acc b i)
+     (+ acc
+        (* 0.5 (vector-ref b 6)
+           (+ (* (vector-ref b 3) (vector-ref b 3))
+              (* (vector-ref b 4) (vector-ref b 4))
+              (* (vector-ref b 5) (vector-ref b 5))))))
+   0.0
+   sys))
+
+(define (run-nbody steps)
+  (let ((sys (make-system 24)))
+    (letrec ((go (lambda (i)
+                   (if (zero? i)
+                       #t
+                       (begin (step! sys 0.01) (go (- i 1)))))))
+      (go steps))
+    ;; Quantize so the checksum compares exactly across pipelines.
+    (inexact->exact (floor (* 1000000.0 (kinetic sys))))))

@@ -1,0 +1,140 @@
+;;; SPLAY — top-down splay trees with a higher-order interface.
+;;; Character: extensive higher-order procedures and pattern-matching-style
+;;; destructuring (after the original benchmark). Nodes are vectors
+;;; #(key value left right); the empty tree is '(). Every operation takes
+;;; the ordering as a comparator closure, and traversals are folds.
+
+(define (node k v l r) (vector k v l r))
+(define (node-key n) (vector-ref n 0))
+(define (node-val n) (vector-ref n 1))
+(define (node-left n) (vector-ref n 2))
+(define (node-right n) (vector-ref n 3))
+(define (leaf? n) (null? n))
+
+;; match-node: destructure a node through a receiver closure — the
+;; pattern-matching idiom of the original.
+(define (match-node n recv)
+  (recv (node-key n) (node-val n) (node-left n) (node-right n)))
+
+;; Top-down splay of key x: returns the rearranged tree with the closest
+;; node at the root. `less?` is the comparator closure.
+(define (splay less? x t)
+  (if (leaf? t)
+      t
+      (match-node t
+        (lambda (k v l r)
+          (cond
+           ((less? x k)
+            (if (leaf? l)
+                t
+                (match-node l
+                  (lambda (lk lv ll lr)
+                    (cond
+                     ((less? x lk)                      ; zig-zig
+                      (let ((ll2 (splay less? x ll)))
+                        (if (leaf? ll2)
+                            (node lk lv ll (node k v lr r))
+                            (match-node ll2
+                              (lambda (k2 v2 l2 r2)
+                                (node k2 v2 l2
+                                      (node lk lv r2 (node k v lr r))))))))
+                     ((less? lk x)                      ; zig-zag
+                      (let ((lr2 (splay less? x lr)))
+                        (if (leaf? lr2)
+                            (node lk lv ll (node k v lr r))
+                            (match-node lr2
+                              (lambda (k2 v2 l2 r2)
+                                (node k2 v2
+                                      (node lk lv ll l2)
+                                      (node k v r2 r)))))))
+                     (else (node lk lv ll (node k v lr r))))))))
+           ((less? k x)
+            (if (leaf? r)
+                t
+                (match-node r
+                  (lambda (rk rv rl rr)
+                    (cond
+                     ((less? rk x)                      ; zag-zag
+                      (let ((rr2 (splay less? x rr)))
+                        (if (leaf? rr2)
+                            (node rk rv (node k v l rl) rr)
+                            (match-node rr2
+                              (lambda (k2 v2 l2 r2)
+                                (node k2 v2
+                                      (node rk rv (node k v l rl) l2)
+                                      r2))))))
+                     ((less? x rk)                      ; zag-zig
+                      (let ((rl2 (splay less? x rl)))
+                        (if (leaf? rl2)
+                            (node rk rv (node k v l rl) rr)
+                            (match-node rl2
+                              (lambda (k2 v2 l2 r2)
+                                (node k2 v2
+                                      (node k v l l2)
+                                      (node rk rv r2 rr)))))))
+                     (else (node rk rv (node k v l rl) rr)))))))
+           (else t))))))
+
+(define (splay-insert less? x v t)
+  (if (leaf? t)
+      (node x v '() '())
+      (let ((t2 (splay less? x t)))
+        (match-node t2
+          (lambda (k kv l r)
+            (cond ((less? x k) (node x v l (node k kv '() r)))
+                  ((less? k x) (node x v (node k kv l '()) r))
+                  (else (node x v l r))))))))
+
+(define (splay-lookup less? x t default)
+  (if (leaf? t)
+      default
+      (let ((t2 (splay less? x t)))
+        (if (if (less? x (node-key t2)) #f (not (less? (node-key t2) x)))
+            (node-val t2)
+            default))))
+
+;; In-order fold — the traversal interface.
+(define (tree-fold f acc t)
+  (if (leaf? t)
+      acc
+      (match-node t
+        (lambda (k v l r)
+          (tree-fold f (f (tree-fold f acc l) k v) r)))))
+
+(define (tree-size t) (tree-fold (lambda (acc k v) (+ acc 1)) 0 t))
+
+(define (tree-depth t)
+  (if (leaf? t)
+      0
+      (+ 1 (max (tree-depth (node-left t)) (tree-depth (node-right t))))))
+
+;; Workload: insert n random keys, splay-lookup a sample, fold a checksum.
+(define (splay-once n)
+  (let ((less? (lambda (a b) (< a b))))
+    (letrec ((fill (lambda (i t)
+                     (if (zero? i)
+                         t
+                         (fill (- i 1)
+                               (splay-insert less? (random 4096) i t))))))
+      (let ((t (fill n '())))
+        (letrec ((probe (lambda (i acc t2)
+                          (if (zero? i)
+                              (cons acc t2)
+                              (let ((key (random 4096)))
+                                (let ((t3 (if (leaf? t2) t2 (splay less? key t2))))
+                                  (probe (- i 1)
+                                         (+ acc (splay-lookup less? key t3 0))
+                                         t3)))))))
+          (let ((result (probe (quotient n 2) 0 t)))
+            (+ (* (tree-size (cdr result)) 1000)
+               (modulo (+ (car result)
+                          (tree-fold (lambda (acc k v) (+ acc k v)) 0 (cdr result))
+                          (tree-depth (cdr result)))
+                       1000))))))))
+
+(define (run-splay iters)
+  (letrec ((go (lambda (i acc)
+                 (if (zero? i)
+                     acc
+                     (go (- i 1) (+ acc (splay-once 600)))))))
+    (go iters 0)))

@@ -1,0 +1,213 @@
+//! The benchmark suite of Table 1.
+//!
+//! Eight Scheme programs matching the character of the paper's suite (§4):
+//! mostly-first-order list code (Lattice), a term rewriter (Boyer),
+//! continuation-passing enumeration and search (Graphs, Matrix), first-order
+//! vector/record code (Maze), higher-order data structures (Splay),
+//! floating-point numerics (Nbody), and a large first-order analyzer with
+//! deeply nested conditionals (Dynamic). See `DESIGN.md` for the workload
+//! substitutions relative to the originals.
+//!
+//! Each entry is the program body (definitions only); [`Benchmark::scaled`]
+//! appends the driver call at a chosen workload scale so tests can run tiny
+//! instances while the experiment harness runs the defaults.
+//!
+//! # Examples
+//!
+//! ```
+//! let b = fdi_benchsuite::by_name("boyer").unwrap();
+//! let src = b.scaled(1);
+//! assert!(src.contains("(run-boyer 1)"));
+//! ```
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Short name (Table 1 row).
+    pub name: &'static str,
+    /// One-line description including its code character.
+    pub description: &'static str,
+    /// Scheme source: definitions only, no driver call.
+    pub body: &'static str,
+    /// Name of the driver procedure taking one scale argument.
+    pub driver: &'static str,
+    /// Workload scale used by the experiment harness.
+    pub default_scale: u32,
+    /// Small scale suitable for debug-build tests.
+    pub test_scale: u32,
+}
+
+impl Benchmark {
+    /// The runnable source at workload scale `n`.
+    pub fn scaled(&self, n: u32) -> String {
+        format!("{}\n({} {})\n", self.body, self.driver, n)
+    }
+
+    /// The runnable source at the harness default scale.
+    pub fn source(&self) -> String {
+        self.scaled(self.default_scale)
+    }
+}
+
+/// All benchmarks, in Table 1 order.
+pub const BENCHMARKS: &[Benchmark] = &[
+    Benchmark {
+        name: "lattice",
+        description: "lattice of monotone maps between lattices; mostly first-order",
+        body: include_str!("../scm/lattice.scm"),
+        driver: "run-lattice",
+        default_scale: 4,
+        test_scale: 1,
+    },
+    Benchmark {
+        name: "boyer",
+        description: "term-rewriting theorem prover; first-order symbolic",
+        body: include_str!("../scm/boyer.scm"),
+        driver: "run-boyer",
+        default_scale: 3,
+        test_scale: 1,
+    },
+    Benchmark {
+        name: "graphs",
+        description: "counts rooted bounded-degree digraphs; continuation-passing style",
+        body: include_str!("../scm/graphs.scm"),
+        driver: "run-graphs",
+        default_scale: 4,
+        test_scale: 3,
+    },
+    Benchmark {
+        name: "matrix",
+        description: "maximality of random ±1 matrices; continuation-passing style",
+        body: include_str!("../scm/matrix.scm"),
+        driver: "run-matrix",
+        default_scale: 150,
+        test_scale: 5,
+    },
+    Benchmark {
+        name: "maze",
+        description: "random maze via union-find, then BFS; first-order, vectors",
+        body: include_str!("../scm/maze.scm"),
+        driver: "run-maze",
+        default_scale: 20,
+        test_scale: 2,
+    },
+    Benchmark {
+        name: "splay",
+        description: "top-down splay trees; higher-order comparators and folds",
+        body: include_str!("../scm/splay.scm"),
+        driver: "run-splay",
+        default_scale: 5,
+        test_scale: 1,
+    },
+    Benchmark {
+        name: "nbody",
+        description: "gravitational n-body (direct summation); float vectors",
+        body: include_str!("../scm/nbody.scm"),
+        driver: "run-nbody",
+        default_scale: 60,
+        test_scale: 3,
+    },
+    Benchmark {
+        name: "dynamic",
+        description: "tagging-optimization analyzer; first-order, nested conditionals",
+        body: include_str!("../scm/dynamic.scm"),
+        driver: "run-dynamic",
+        default_scale: 60,
+        test_scale: 2,
+    },
+];
+
+/// Additional classic programs beyond the paper's Table 1 suite, used for
+/// extra optimizer coverage (tak, ack, n-queens, symbolic differentiation in
+/// one workload).
+pub const EXTRA_BENCHMARKS: &[Benchmark] = &[Benchmark {
+    name: "extra",
+    description: "tak + ack + n-queens + symbolic deriv; call-heavy recursion",
+    body: include_str!("../scm/extra.scm"),
+    driver: "run-extra",
+    default_scale: 2,
+    test_scale: 1,
+}];
+
+/// The paper's suite plus the extras.
+pub fn all_benchmarks() -> impl Iterator<Item = &'static Benchmark> {
+    BENCHMARKS.iter().chain(EXTRA_BENCHMARKS)
+}
+
+/// Looks up a benchmark by name (paper suite and extras).
+pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+    all_benchmarks().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_core::{optimize_program, PipelineConfig, RunConfig};
+
+    #[test]
+    fn registry_is_complete() {
+        assert_eq!(BENCHMARKS.len(), 8);
+        assert!(by_name("boyer").is_some());
+        assert!(by_name("nope").is_none());
+        for b in BENCHMARKS {
+            assert!(!b.body.is_empty());
+            assert!(b.scaled(1).contains(b.driver));
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_lower_and_validate() {
+        for b in BENCHMARKS {
+            let p = fdi_lang::parse_and_lower(&b.scaled(b.test_scale))
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            fdi_lang::validate(&p).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    /// The central correctness property: the optimized program computes the
+    /// same value and produces the same output as the baseline, at several
+    /// thresholds, for every benchmark.
+    #[test]
+    fn optimization_preserves_behavior_at_test_scale() {
+        let run_cfg = RunConfig::default();
+        for b in all_benchmarks() {
+            let src = b.scaled(b.test_scale);
+            let program = fdi_lang::parse_and_lower(&src).unwrap();
+            let mut expected: Option<(String, String)> = None;
+            for threshold in [0usize, 100, 500] {
+                let out = optimize_program(&program, &PipelineConfig::with_threshold(threshold))
+                    .unwrap_or_else(|e| panic!("{} @{threshold}: {e}", b.name));
+                let r = fdi_vm::run(&out.optimized, &run_cfg)
+                    .unwrap_or_else(|e| panic!("{} @{threshold}: {e}", b.name));
+                match &expected {
+                    None => expected = Some((r.value, r.output)),
+                    Some((v, o)) => {
+                        assert_eq!(*v, r.value, "{} value changed at T={threshold}", b.name);
+                        assert_eq!(*o, r.output, "{} output changed at T={threshold}", b.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inlining_reduces_calls_on_every_benchmark() {
+        let run_cfg = RunConfig::default();
+        for b in BENCHMARKS {
+            let src = b.scaled(b.test_scale);
+            let program = fdi_lang::parse_and_lower(&src).unwrap();
+            let base = optimize_program(&program, &PipelineConfig::with_threshold(0)).unwrap();
+            let opt = optimize_program(&program, &PipelineConfig::with_threshold(500)).unwrap();
+            assert!(opt.report.sites_inlined > 0, "{} inlined nothing", b.name);
+            let rb = fdi_vm::run(&base.optimized, &run_cfg).unwrap();
+            let ro = fdi_vm::run(&opt.optimized, &run_cfg).unwrap();
+            assert!(
+                ro.counters.calls <= rb.counters.calls,
+                "{}: calls went up {} -> {}",
+                b.name,
+                rb.counters.calls,
+                ro.counters.calls
+            );
+        }
+    }
+}

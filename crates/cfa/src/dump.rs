@@ -1,0 +1,150 @@
+//! Human-readable rendering of a flow analysis, for `fdi analyze --dump`
+//! and debugging.
+
+use crate::domain::{AbsConst, AbsVal, ValSet};
+use crate::result::{Ctx, FlowAnalysis};
+use fdi_lang::{ExprKind, Label, Program};
+use std::fmt::Write;
+
+/// Renders one abstract value using the program's interner.
+pub fn render_absval(flow: &FlowAnalysis, program: &Program, v: AbsVal) -> String {
+    match v {
+        AbsVal::Const(c) => match c {
+            AbsConst::True => "#t".to_string(),
+            AbsConst::False => "#f".to_string(),
+            AbsConst::Nil => "nil".to_string(),
+            AbsConst::Num => "num".to_string(),
+            AbsConst::Char => "char".to_string(),
+            AbsConst::Str => "str".to_string(),
+            AbsConst::Sym(s) => format!("'{}", program.interner().name(s)),
+            AbsConst::AnySym => "'?".to_string(),
+            AbsConst::Unspec => "unspec".to_string(),
+        },
+        AbsVal::Clo(id) => {
+            let c = flow.closure(id);
+            format!("clo@{}{:?}", c.lambda, flow.contour_labels(c.contour))
+        }
+        AbsVal::Pair(l, k) => format!("pair@{l}{:?}", flow.contour_labels(k)),
+        AbsVal::Vector(l, k) => format!("vec@{l}{:?}", flow.contour_labels(k)),
+    }
+}
+
+/// Renders a value set.
+pub fn render_valset(flow: &FlowAnalysis, program: &Program, vals: &ValSet) -> String {
+    let mut parts: Vec<String> = vals
+        .iter()
+        .map(|v| render_absval(flow, program, v))
+        .collect();
+    parts.sort();
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// A short source-ish sketch of an expression (head form only).
+fn sketch(program: &Program, l: Label) -> String {
+    match program.expr(l) {
+        ExprKind::Const(c) => format!("{}", c.display(program.interner())),
+        ExprKind::Var(v) => program.var_name(*v).to_string(),
+        ExprKind::Prim(p, _) => format!("({p} …)"),
+        ExprKind::Call(_) => "(call …)".to_string(),
+        ExprKind::Apply(..) => "(apply …)".to_string(),
+        ExprKind::Begin(_) => "(begin …)".to_string(),
+        ExprKind::If(..) => "(if …)".to_string(),
+        ExprKind::Let(..) => "(let …)".to_string(),
+        ExprKind::Letrec(..) => "(letrec …)".to_string(),
+        ExprKind::Lambda(lam) => format!("(lambda <{}> …)", lam.params.len()),
+        ExprKind::ClRef(..) => "(cl-ref …)".to_string(),
+    }
+}
+
+/// Dumps the flow values of every reachable call site and conditional test —
+/// the program points the inliner consults.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_cfa::{analyze, dump_analysis, Polyvariance};
+///
+/// let p = fdi_lang::parse_and_lower("((lambda (x) x) 1)").unwrap();
+/// let f = analyze(&p, Polyvariance::PolymorphicSplitting);
+/// let text = dump_analysis(&f, &p);
+/// assert!(text.contains("call site"));
+/// ```
+pub fn dump_analysis(flow: &FlowAnalysis, program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "flow analysis: policy={} nodes={} contours={} closures={}",
+        flow.policy().name(),
+        flow.stats().nodes,
+        flow.stats().contours,
+        flow.stats().closures,
+    );
+    for l in program.reachable() {
+        match program.expr(l) {
+            ExprKind::Call(parts) => {
+                let fn_vals = flow.values(parts[0], Ctx::Top);
+                let unique = flow.unique_callee(program, l).is_some();
+                let _ = writeln!(
+                    out,
+                    "call site {l} [{}]: operator {} = {}{}",
+                    sketch(program, parts[0]),
+                    parts[0],
+                    render_valset(flow, program, &fn_vals),
+                    if unique { "  ← inline candidate" } else { "" },
+                );
+            }
+            ExprKind::Apply(f, _) => {
+                let fn_vals = flow.values(*f, Ctx::Top);
+                let _ = writeln!(
+                    out,
+                    "apply site {l}: operator {f} = {}",
+                    render_valset(flow, program, &fn_vals),
+                );
+            }
+            ExprKind::If(c, _, _) => {
+                let vals = flow.values(*c, Ctx::Top);
+                let verdict = match (vals.may_be_true(), vals.may_be_false()) {
+                    (true, true) => "both",
+                    (true, false) => "always-true",
+                    (false, true) => "always-false",
+                    (false, false) => "divergent",
+                };
+                let _ = writeln!(
+                    out,
+                    "test {c} [{}]: {} → {verdict}",
+                    sketch(program, *c),
+                    render_valset(flow, program, &vals),
+                );
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, Polyvariance};
+
+    #[test]
+    fn dump_mentions_candidates_and_tests() {
+        let p = fdi_lang::parse_and_lower("(define (f x) (if (null? x) 0 1)) (f '())").unwrap();
+        let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+        let text = dump_analysis(&flow, &p);
+        assert!(text.contains("inline candidate"), "{text}");
+        assert!(text.contains("always-true"), "{text}");
+        assert!(text.contains("clo@"), "{text}");
+    }
+
+    #[test]
+    fn renders_every_absval_kind() {
+        let p =
+            fdi_lang::parse_and_lower("(cons (vector 'a \"s\" #\\c 1.5 #t #f '()) (lambda (q) q))")
+                .unwrap();
+        let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+        let vals = flow.values(p.root(), Ctx::Top);
+        let text = render_valset(&flow, &p, &vals);
+        assert!(text.contains("pair@"), "{text}");
+    }
+}

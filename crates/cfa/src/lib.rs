@@ -1,0 +1,414 @@
+//! Polyvariant control-flow analysis (§3.2 of *Flow-directed Inlining*,
+//! Jagannathan & Wright, PLDI 1996).
+//!
+//! The central export is [`analyze`], which computes the flow function
+//!
+//! ```text
+//! F : (Var × Contour) + (Label × Contour) → AbstractValue
+//! ```
+//!
+//! under a chosen [`Polyvariance`] policy. The paper's own policy is
+//! *polymorphic splitting*: contours are strings of `let`/`letrec` labels,
+//! `let` right-hand sides evaluate in `κ:l`, and each use of a `let`-bound
+//! variable substitutes the use label for the binding label in the contours
+//! of the closures it receives — so different uses of the same procedure are
+//! analyzed in different contexts, which is what makes per-call-site
+//! specialization (and therefore flow-directed inlining) possible.
+//!
+//! # Examples
+//!
+//! The paper's §3.2 worked example: under polymorphic splitting the two uses
+//! of `f` are distinguished, so `(f 0)` yields only `number`:
+//!
+//! ```
+//! use fdi_cfa::{analyze, Ctx, Polyvariance};
+//!
+//! let p = fdi_lang::parse_and_lower(
+//!     "(let ((f (lambda (x) x))) (begin (f #t) (+ (f 0) 1)))",
+//! ).unwrap();
+//! let f = analyze(&p, Polyvariance::PolymorphicSplitting);
+//! assert!(!f.stats().aborted);
+//! ```
+
+mod analyze;
+mod domain;
+mod dump;
+mod graph;
+mod policy;
+mod prims;
+mod result;
+
+pub use analyze::{abs_const, analyze, analyze_with_limits};
+pub use domain::{
+    AbsClosure, AbsConst, AbsEnvId, AbsEnvTable, AbsVal, ClosureId, ClosureTable, ContourId,
+    ContourTable, ValSet,
+};
+pub use dump::{dump_analysis, render_absval, render_valset};
+pub use graph::{NodeKey, Transfer};
+pub use policy::{AnalysisLimits, Polyvariance};
+pub use prims::abstract_prim;
+pub use result::{AnalysisStats, Ctx, FlowAnalysis};
+
+#[cfg(test)]
+mod more_tests;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_lang::{parse_and_lower, ExprKind, Label, PrimOp, Program};
+
+    fn run(src: &str) -> (Program, FlowAnalysis) {
+        let p = parse_and_lower(src).unwrap();
+        let f = analyze(&p, Polyvariance::PolymorphicSplitting);
+        assert!(!f.stats().aborted, "analysis aborted");
+        (p, f)
+    }
+
+    fn root_vals(p: &Program, f: &FlowAnalysis) -> ValSet {
+        f.values(p.root(), Ctx::Top)
+    }
+
+    fn find_prim(p: &Program, op: PrimOp) -> Label {
+        p.labels()
+            .find(|&l| matches!(p.expr(l), ExprKind::Prim(q, _) if *q == op))
+            .expect("prim present")
+    }
+
+    const T: AbsVal = AbsVal::Const(AbsConst::True);
+    const F_: AbsVal = AbsVal::Const(AbsConst::False);
+    const NUM: AbsVal = AbsVal::Const(AbsConst::Num);
+    const NIL: AbsVal = AbsVal::Const(AbsConst::Nil);
+
+    #[test]
+    fn constants_flow_to_root() {
+        let (p, f) = run("42");
+        let v = root_vals(&p, &f);
+        assert_eq!(v.as_singleton(), Some(NUM));
+    }
+
+    #[test]
+    fn direct_application_flows_argument() {
+        let (p, f) = run("((lambda (x) x) #t)");
+        assert_eq!(root_vals(&p, &f).as_singleton(), Some(T));
+    }
+
+    #[test]
+    fn begin_returns_last() {
+        let (p, f) = run("(begin 1 #f)");
+        assert_eq!(root_vals(&p, &f).as_singleton(), Some(F_));
+    }
+
+    #[test]
+    fn if_with_known_test_takes_one_branch() {
+        let (p, f) = run("(if #t 'yes 'no)");
+        let v = root_vals(&p, &f);
+        assert_eq!(v.len(), 1);
+        let sym = p.interner().get("yes").unwrap();
+        assert!(v.contains(AbsVal::Const(AbsConst::Sym(sym))));
+    }
+
+    #[test]
+    fn if_with_unknown_test_merges_branches() {
+        let (p, f) = run("(if (zero? 1) 'yes 'no)");
+        assert_eq!(root_vals(&p, &f).len(), 2);
+    }
+
+    #[test]
+    fn paper_polymorphic_splitting_example() {
+        // (let ((f (λ (x) x))) (begin (f² #t) (+ (f³ 0) 1)))
+        // Polymorphic splitting gives (f³ 0) = {number}, not {number, true}.
+        let (p, f) = run("(let ((f (lambda (x) x))) (begin (f #t) (+ (f 0) 1)))");
+        let add = find_prim(&p, PrimOp::Add);
+        let ExprKind::Prim(_, args) = p.expr(add) else {
+            unreachable!()
+        };
+        let call_f0 = args[0];
+        let vals = f.values(call_f0, Ctx::Top);
+        assert_eq!(
+            vals.as_singleton(),
+            Some(NUM),
+            "splitting lost precision: {vals:?}"
+        );
+    }
+
+    #[test]
+    fn monovariant_merges_uses() {
+        // Under 0CFA the same program merges both argument values.
+        let p = parse_and_lower("(let ((f (lambda (x) x))) (begin (f #t) (+ (f 0) 1)))").unwrap();
+        let f = analyze(&p, Polyvariance::Monovariant);
+        let add = find_prim(&p, PrimOp::Add);
+        let ExprKind::Prim(_, args) = p.expr(add) else {
+            unreachable!()
+        };
+        let vals = f.values(args[0], Ctx::Top);
+        assert_eq!(vals.len(), 2, "0CFA should merge: {vals:?}");
+    }
+
+    #[test]
+    fn call_strings_1cfa_also_distinguishes() {
+        let p = parse_and_lower("(let ((f (lambda (x) x))) (begin (f #t) (+ (f 0) 1)))").unwrap();
+        let f = analyze(&p, Polyvariance::CallStrings(1));
+        let add = find_prim(&p, PrimOp::Add);
+        let ExprKind::Prim(_, args) = p.expr(add) else {
+            unreachable!()
+        };
+        let vals = f.values(args[0], Ctx::Top);
+        assert_eq!(
+            vals.as_singleton(),
+            Some(NUM),
+            "1CFA distinguishes call sites"
+        );
+    }
+
+    #[test]
+    fn letrec_recursion_terminates_and_flows() {
+        let (p, f) = run(
+            "(letrec ((len (lambda (l) (if (null? l) 0 (+ 1 (len (cdr l)))))))
+               (len (cons 1 (cons 2 '()))))",
+        );
+        assert_eq!(root_vals(&p, &f).as_singleton(), Some(NUM));
+    }
+
+    #[test]
+    fn letrec_split_example_from_paper() {
+        // §3.2's `last` example: both calls get their own contour.
+        let (p, f) = run(
+            "(letrec ((last (lambda (l) (if (null? (cdr l)) (car l) (last (cdr l))))))
+               (begin (last (cons 1 (cons 2 '())))
+                      (last (cons #t '()))))",
+        );
+        assert!(root_vals(&p, &f).contains(T));
+    }
+
+    #[test]
+    fn pairs_flow_through_car_cdr() {
+        let (p, f) = run("(car (cons #t 1))");
+        assert_eq!(root_vals(&p, &f).as_singleton(), Some(T));
+        let (p, f) = run("(cdr (cons #t 1))");
+        assert_eq!(root_vals(&p, &f).as_singleton(), Some(NUM));
+    }
+
+    #[test]
+    fn set_car_updates_pair_contents() {
+        let (p, f) = run("(let ((p (cons 1 2))) (begin (set-car! p #t) (car p)))");
+        let v = root_vals(&p, &f);
+        assert!(v.contains(T), "{v:?}");
+        assert!(v.contains(NUM), "{v:?}");
+    }
+
+    #[test]
+    fn vectors_flow_through_ref() {
+        let (p, f) = run("(vector-ref (vector #t 2) 0)");
+        let v = root_vals(&p, &f);
+        assert!(v.contains(T));
+        assert!(v.contains(NUM));
+    }
+
+    #[test]
+    fn vector_set_updates_contents() {
+        let (p, f) =
+            run("(let ((v (make-vector 3 0))) (begin (vector-set! v 0 'tag) (vector-ref v 1)))");
+        let v = root_vals(&p, &f);
+        let tag = p.interner().get("tag").unwrap();
+        assert!(v.contains(AbsVal::Const(AbsConst::Sym(tag))));
+    }
+
+    #[test]
+    fn closures_captured_in_pairs_are_tracked() {
+        let (p, f) = run("(let ((p (cons (lambda (x) x) 1))) ((car p) #t))");
+        assert_eq!(root_vals(&p, &f).as_singleton(), Some(T));
+    }
+
+    #[test]
+    fn higher_order_argument_flows() {
+        let (p, f) = run("(let ((twice (lambda (g y) (g (g y))))) (twice (lambda (n) n) #t))");
+        assert_eq!(root_vals(&p, &f).as_singleton(), Some(T));
+    }
+
+    #[test]
+    fn variadic_rest_binds_nil_when_empty() {
+        let (p, f) = run("((lambda args (null? args)))");
+        assert_eq!(root_vals(&p, &f).as_singleton(), Some(T));
+    }
+
+    #[test]
+    fn variadic_rest_binds_pair_when_nonempty() {
+        let (p, f) = run("((lambda args (null? args)) 1 2)");
+        assert_eq!(root_vals(&p, &f).as_singleton(), Some(F_));
+    }
+
+    #[test]
+    fn variadic_rest_elements_flow() {
+        let (p, f) = run("((lambda args (car args)) #t 2)");
+        let v = root_vals(&p, &f);
+        assert!(v.contains(T));
+    }
+
+    #[test]
+    fn apply_flows_list_elements_to_params() {
+        let (p, f) = run("(apply (lambda (a b) a) (cons #t (cons 1 '())))");
+        let v = root_vals(&p, &f);
+        assert!(v.contains(T), "{v:?}");
+    }
+
+    #[test]
+    fn map_example_flows() {
+        // The paper's headline example: (map car m).
+        let (p, f) = run("(define m (cons (cons 1 '()) (cons (cons 2 '()) '())))
+             (map car m)");
+        let v = root_vals(&p, &f);
+        // Result is a list: nil or a pair.
+        assert!(
+            v.iter().any(|x| matches!(x, AbsVal::Pair(..)) || x == NIL),
+            "{v:?}"
+        );
+        assert!(!f.stats().aborted);
+    }
+
+    #[test]
+    fn map_rest_argument_is_precisely_nil() {
+        // Inside (map car m), flow analysis must determine (null? args) = {true}
+        // so the inliner can prune map* (§2.2).
+        let (p, f) = run("(define m (cons (cons 1 '()) '()))
+             (map car m)");
+        let null_tests: Vec<Label> = p
+            .labels()
+            .filter(|&l| matches!(p.expr(l), ExprKind::Prim(PrimOp::NullP, _)))
+            .collect();
+        let mut found_precise_true = false;
+        for l in null_tests {
+            let vals = f.values(l, Ctx::Top);
+            if vals.as_singleton() == Some(T) {
+                found_precise_true = true;
+            }
+        }
+        assert!(
+            found_precise_true,
+            "(null? args) should be exactly {{true}}"
+        );
+    }
+
+    #[test]
+    fn case_dispatch_prunes_via_symbol_precision() {
+        // §2.1's object-oriented example in miniature: (N 'open) selects the
+        // open-branch closure only.
+        let (p, f) = run("(define (make-network)
+               (lambda (msg)
+                 (case msg
+                   ((open) (lambda (addr) 'opened))
+                   ((close) (lambda (port) 'closed))
+                   (else 'unknown))))
+             (((make-network) 'open) 42)");
+        let v = root_vals(&p, &f);
+        let opened = p.interner().get("opened").unwrap();
+        assert_eq!(
+            v.as_singleton(),
+            Some(AbsVal::Const(AbsConst::Sym(opened))),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn unique_callee_identified_for_inlining() {
+        let (p, f) = run("(let ((g (lambda (x) x))) (g 1))");
+        let call = p
+            .labels()
+            .find(|&l| matches!(p.expr(l), ExprKind::Call(_)))
+            .unwrap();
+        let cid = f.unique_callee(&p, call).expect("condition 1 holds");
+        let c = f.closure(cid);
+        assert!(matches!(p.expr(c.lambda), ExprKind::Lambda(_)));
+        assert_eq!(f.candidate_call_sites(&p), vec![call]);
+    }
+
+    #[test]
+    fn merged_callees_are_not_candidates() {
+        let (p, f) = run(
+            "(let ((pick (lambda (b) (if b (lambda (x) x) (lambda (y) y)))))
+               ((pick (zero? 1)) 5))",
+        );
+        let calls: Vec<Label> = p
+            .labels()
+            .filter(|&l| matches!(p.expr(l), ExprKind::Call(_)))
+            .collect();
+        // ((pick ...) 5) has a merged function position.
+        let candidates = f.candidate_call_sites(&p);
+        let merged: Vec<Label> = calls
+            .iter()
+            .copied()
+            .filter(|l| !candidates.contains(l))
+            .collect();
+        assert!(!merged.is_empty(), "some call should be disqualified");
+    }
+
+    #[test]
+    fn arity_mismatch_disqualifies() {
+        let (p, f) = run("(let ((g (lambda (x y) x))) (g 1))");
+        assert!(f.candidate_call_sites(&p).is_empty());
+        assert!(f.stats().arity_mismatches > 0);
+    }
+
+    #[test]
+    fn error_prim_is_bottom() {
+        let (p, f) = run("(if (zero? 1) (error \"boom\") #t)");
+        // Only #t flows out of the conditional.
+        assert_eq!(root_vals(&p, &f).as_singleton(), Some(T));
+    }
+
+    #[test]
+    fn cl_ref_reads_captured_values() {
+        // cl-ref is target-language syntax; build it directly.
+        let p = parse_and_lower("(let ((y #t)) (let ((f (lambda (x) y))) (cl-ref f 0)))").unwrap();
+        let f = analyze(&p, Polyvariance::PolymorphicSplitting);
+        assert_eq!(f.values(p.root(), Ctx::Top).as_singleton(), Some(T));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (_, f) = run("(let ((f (lambda (x) x))) (f 1))");
+        let s = f.stats();
+        assert!(s.nodes > 0);
+        assert!(s.edges > 0);
+        assert!(s.steps > 0);
+        assert!(s.contours >= 2);
+    }
+
+    #[test]
+    fn limits_abort_gracefully() {
+        let p = parse_and_lower("(let ((f (lambda (x) x))) (f (f (f 1))))").unwrap();
+        let f = analyze_with_limits(
+            &p,
+            Polyvariance::PolymorphicSplitting,
+            AnalysisLimits {
+                max_contour_len: 1,
+                max_nodes: 10,
+                max_steps: 5,
+            },
+        );
+        assert!(f.stats().aborted);
+    }
+
+    #[test]
+    fn prelude_programs_analyze() {
+        let (p, f) = run("(length (append '(1 2) '(3)))");
+        assert_eq!(root_vals(&p, &f).as_singleton(), Some(NUM));
+    }
+
+    #[test]
+    fn extend_ctx_mirrors_analysis() {
+        let (p, f) = run("(let ((x 1)) x)");
+        let root = p.root();
+        let ExprKind::Let(..) = p.expr(root) else {
+            panic!("root is let")
+        };
+        let inner = f.extend_ctx(Ctx::At(ContourId::EMPTY), root);
+        assert!(matches!(inner, Ctx::At(_)), "analysis materialized κ:l");
+        assert_eq!(f.extend_ctx(Ctx::Top, root), Ctx::Top);
+        assert_eq!(f.extend_ctx(Ctx::Dead, root), Ctx::Dead);
+        // A label never used as a let: extension is dead.
+        assert_eq!(
+            f.extend_ctx(Ctx::At(ContourId::EMPTY), Label(9999)),
+            Ctx::Dead
+        );
+    }
+}

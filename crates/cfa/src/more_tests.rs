@@ -1,0 +1,195 @@
+//! Additional analysis tests: splitting mechanics, data-flow through the
+//! heap model, apply/variadic interplay, and query-API behaviour.
+
+use crate::{analyze, analyze_with_limits, AbsConst, AbsVal, AnalysisLimits, Ctx, Polyvariance};
+use fdi_lang::{parse_and_lower, ExprKind, Program};
+
+fn run(src: &str) -> (Program, crate::FlowAnalysis) {
+    let p = parse_and_lower(src).unwrap();
+    let f = analyze(&p, Polyvariance::PolymorphicSplitting);
+    assert!(!f.stats().aborted);
+    (p, f)
+}
+
+const T: AbsVal = AbsVal::Const(AbsConst::True);
+const NUM: AbsVal = AbsVal::Const(AbsConst::Num);
+
+#[test]
+fn apply_through_variadic_rest() {
+    // apply to a variadic procedure: the rest parameter receives spine
+    // values and the fixed parameter receives elements.
+    let (p, f) = run("(apply (lambda (a . r) (cons a (null? r))) (cons #t (cons 1 '())))");
+    let v = f.values(p.root(), Ctx::Top);
+    assert!(v.iter().any(|x| matches!(x, AbsVal::Pair(..))), "{v:?}");
+}
+
+#[test]
+fn string_to_symbol_yields_any_symbol() {
+    let (p, f) = run("(string->symbol \"dyn\")");
+    assert_eq!(
+        f.values(p.root(), Ctx::Top).as_singleton(),
+        Some(AbsVal::Const(AbsConst::AnySym))
+    );
+    // eqv? against AnySym is undecidable.
+    let (p, f) = run("(eqv? (string->symbol \"dyn\") 'dyn)");
+    assert_eq!(f.values(p.root(), Ctx::Top).len(), 2);
+}
+
+#[test]
+fn deep_data_structures_flow() {
+    let (p, f) = run("(car (car (cons (cons #t '()) (cons 1 '()))))");
+    assert_eq!(f.values(p.root(), Ctx::Top).as_singleton(), Some(T));
+}
+
+#[test]
+fn mutation_through_aliases_merges() {
+    let (p, f) = run("(let ((a (cons 1 2)))
+           (let ((b a))
+             (begin (set-cdr! b #t) (cdr a))))");
+    let v = f.values(p.root(), Ctx::Top);
+    assert!(v.contains(T), "alias write must be visible: {v:?}");
+}
+
+#[test]
+fn letrec_split_env_keeps_recursion_in_use_contour() {
+    // The §3.2 `last` mechanics: the recursive call inside the split copy
+    // sees the same contour, so each outer call's argument types stay
+    // separate all the way down the recursion.
+    let (p, f) = run(
+        "(letrec ((last (lambda (l) (if (null? (cdr l)) (car l) (last (cdr l))))))
+           (cons (last (cons 1 (cons 2 '())))
+                 (last (cons #t '()))))",
+    );
+    let ExprKind::Letrec(_, body) = p.expr(p.root()) else {
+        panic!("root is letrec")
+    };
+    let ExprKind::Prim(_, args) = p.expr(*body) else {
+        panic!("body is cons")
+    };
+    let first = f.values(args[0], Ctx::Top);
+    let second = f.values(args[1], Ctx::Top);
+    assert_eq!(first.as_singleton(), Some(NUM), "{first:?}");
+    assert_eq!(second.as_singleton(), Some(T), "{second:?}");
+}
+
+#[test]
+fn contour_cap_degrades_gracefully() {
+    // With a contour cap of 1, deeply nested lets reuse contours but the
+    // analysis still terminates and covers the result.
+    let src = "(let ((a 1)) (let ((b a)) (let ((c b)) (let ((d c)) (+ d 0)))))";
+    let p = parse_and_lower(src).unwrap();
+    let f = analyze_with_limits(
+        &p,
+        Polyvariance::PolymorphicSplitting,
+        AnalysisLimits {
+            max_contour_len: 1,
+            ..AnalysisLimits::default()
+        },
+    );
+    assert!(!f.stats().aborted);
+    assert!(f.values(p.root(), Ctx::Top).contains(NUM));
+}
+
+#[test]
+fn var_values_api() {
+    let (p, f) = run("(let ((x #t)) x)");
+    let ExprKind::Let(bindings, _) = p.expr(p.root()) else {
+        panic!()
+    };
+    let x = bindings[0].0;
+    // x is bound in some contour with {#t}.
+    let found =
+        (0..f.stats().contours as u32).any(|k| f.var_values(x, crate::ContourId(k)).contains(T));
+    assert!(found);
+}
+
+#[test]
+fn reached_api() {
+    let (p, f) = run("(if #t 'yes 'no)");
+    let ExprKind::If(_, t, e) = p.expr(p.root()) else {
+        panic!()
+    };
+    assert!(f.reached(*t, Ctx::Top), "then branch is analyzed");
+    assert!(
+        !f.reached(*e, Ctx::Top),
+        "else branch is pruned at analysis time"
+    );
+    assert!(!f.reached(*t, Ctx::Dead));
+}
+
+#[test]
+fn call_sites_are_recorded() {
+    let (_, f) = run("(let ((g (lambda (x) x))) (cons (g 1) (g 2)))");
+    assert!(f.call_sites().len() >= 2);
+}
+
+#[test]
+fn same_code_closures_unify_across_environments() {
+    // Two closures over the same λ with different captured environments:
+    // Condition 1 accepts them ("they must all share the same code").
+    let (p, f) = run("(define (mk k) (lambda (x) (cons k x)))
+         (define a (mk 1))
+         (define b (mk 2))
+         ((if (zero? (random 2)) a b) 9)");
+    let call = p
+        .reachable()
+        .into_iter()
+        .find(|&l| match p.expr(l) {
+            ExprKind::Call(parts) => matches!(p.expr(parts[0]), ExprKind::If(..)),
+            _ => false,
+        })
+        .expect("the dispatching call");
+    assert!(
+        f.unique_callee(&p, call).is_some(),
+        "same-code closures must satisfy Condition 1"
+    );
+}
+
+#[test]
+fn different_code_closures_fail_condition_one() {
+    let (p, f) = run("(define a (lambda (x) x))
+         (define b (lambda (y) (cons y y)))
+         ((if (zero? (random 2)) a b) 9)");
+    let call = p
+        .reachable()
+        .into_iter()
+        .find(|&l| match p.expr(l) {
+            ExprKind::Call(parts) => matches!(p.expr(parts[0]), ExprKind::If(..)),
+            _ => false,
+        })
+        .unwrap();
+    assert!(f.unique_callee(&p, call).is_none());
+}
+
+#[test]
+fn two_cfa_distinguishes_deeper_chains() {
+    // A wrapper that forwards to the identity: 1CFA merges through the
+    // wrapper, 2CFA does not.
+    let src = "
+        (let ((id (lambda (x) x)))
+          (let ((via (lambda (v) (id v))))
+            (begin (via #t) (+ (via 0) 1))))";
+    let p = parse_and_lower(src).unwrap();
+    let f2 = analyze(&p, Polyvariance::CallStrings(2));
+    let add = p
+        .labels()
+        .find(|&l| matches!(p.expr(l), ExprKind::Prim(fdi_lang::PrimOp::Add, _)))
+        .unwrap();
+    let ExprKind::Prim(_, args) = p.expr(add) else {
+        unreachable!()
+    };
+    let v2 = f2.values(args[0], Ctx::Top);
+    let f1 = analyze(&p, Polyvariance::CallStrings(1));
+    let v1 = f1.values(args[0], Ctx::Top);
+    assert!(
+        v2.len() <= v1.len(),
+        "2CFA at least as precise: {v2:?} vs {v1:?}"
+    );
+    assert_eq!(v2.as_singleton(), Some(NUM), "{v2:?}");
+}
+
+#[test]
+fn stats_duration_is_measured() {
+    let (_, f) = run("(length (iota 5))");
+    assert!(f.stats().duration.as_nanos() > 0);
+}

@@ -1,0 +1,165 @@
+//! Contour policies: how execution contexts are abstracted.
+//!
+//! The paper's analysis uses *polymorphic splitting* (§3.2); §5.1 compares it
+//! against monovariant analysis (0CFA) and Shivers-style call strings
+//! (k-CFA). All three are provided so the ablation experiment can measure
+//! candidate-site counts and analysis cost across policies.
+
+use crate::domain::{ContourId, ContourTable};
+use fdi_lang::Label;
+
+/// Selects the contour discipline for an analysis run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polyvariance {
+    /// Monovariant 0CFA: a single (empty) contour, no splitting.
+    Monovariant,
+    /// The paper's polymorphic splitting: `let` right-hand sides extend the
+    /// contour with the `let` label, and uses of `let`/`letrec`-bound
+    /// variables substitute the use label for the binding label.
+    PolymorphicSplitting,
+    /// Shivers-style call strings: the body of an applied closure is analyzed
+    /// in the last *k* call-site labels.
+    CallStrings(u8),
+}
+
+impl Polyvariance {
+    /// Short name for reports.
+    pub fn name(self) -> String {
+        match self {
+            Polyvariance::Monovariant => "0cfa".to_string(),
+            Polyvariance::PolymorphicSplitting => "poly-split".to_string(),
+            Polyvariance::CallStrings(k) => format!("{k}cfa"),
+        }
+    }
+
+    /// Contour for a `let`/`letrec` right-hand side evaluated at `kappa`
+    /// (the paper's `κ : l`).
+    pub fn binding_contour(
+        self,
+        table: &mut ContourTable,
+        kappa: ContourId,
+        let_label: Label,
+        max_len: usize,
+    ) -> ContourId {
+        match self {
+            Polyvariance::PolymorphicSplitting => {
+                if table.labels(kappa).len() >= max_len {
+                    kappa
+                } else {
+                    table.extend(kappa, let_label)
+                }
+            }
+            Polyvariance::Monovariant | Polyvariance::CallStrings(_) => kappa,
+        }
+    }
+
+    /// Contour in which an applied closure's body is analyzed.
+    ///
+    /// * polymorphic splitting: the closure's own (possibly split) contour;
+    /// * 0CFA: the empty contour;
+    /// * k-CFA: the caller's contour extended with the call label, truncated
+    ///   to the last `k` labels.
+    pub fn body_contour(
+        self,
+        table: &mut ContourTable,
+        closure_contour: ContourId,
+        call_label: Label,
+        call_contour: ContourId,
+    ) -> ContourId {
+        match self {
+            Polyvariance::PolymorphicSplitting => closure_contour,
+            Polyvariance::Monovariant => ContourId::EMPTY,
+            Polyvariance::CallStrings(k) => {
+                let extended = table.extend(call_contour, call_label);
+                table.truncate_last(extended, k as usize)
+            }
+        }
+    }
+
+    /// Whether use-site splitting of `let`/`letrec`-bound closures applies.
+    pub fn splits(self) -> bool {
+        matches!(self, Polyvariance::PolymorphicSplitting)
+    }
+}
+
+/// Safety limits that keep the analysis from running away on adversarial
+/// inputs; defaults are far above what the benchmark suite needs.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisLimits {
+    /// Maximum contour length before `binding_contour` stops extending.
+    pub max_contour_len: usize,
+    /// Maximum number of flow-graph nodes before the analysis aborts.
+    pub max_nodes: usize,
+    /// Maximum number of worklist propagation steps before the analysis
+    /// aborts.
+    pub max_steps: usize,
+}
+
+impl Default for AnalysisLimits {
+    fn default() -> AnalysisLimits {
+        AnalysisLimits {
+            max_contour_len: 24,
+            max_nodes: 4_000_000,
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Polyvariance::Monovariant.name(), "0cfa");
+        assert_eq!(Polyvariance::PolymorphicSplitting.name(), "poly-split");
+        assert_eq!(Polyvariance::CallStrings(1).name(), "1cfa");
+    }
+
+    #[test]
+    fn poly_split_extends_at_let() {
+        let mut t = ContourTable::new();
+        let p = Polyvariance::PolymorphicSplitting;
+        let c = p.binding_contour(&mut t, ContourId::EMPTY, Label(5), 24);
+        assert_eq!(t.labels(c), &[Label(5)]);
+        // Body contour of a closure is its own contour.
+        assert_eq!(p.body_contour(&mut t, c, Label(9), ContourId::EMPTY), c);
+        assert!(p.splits());
+    }
+
+    #[test]
+    fn poly_split_respects_length_cap() {
+        let mut t = ContourTable::new();
+        let p = Polyvariance::PolymorphicSplitting;
+        let mut c = ContourId::EMPTY;
+        for i in 0..100 {
+            c = p.binding_contour(&mut t, c, Label(i), 4);
+        }
+        assert_eq!(t.labels(c).len(), 4);
+    }
+
+    #[test]
+    fn monovariant_stays_empty() {
+        let mut t = ContourTable::new();
+        let p = Polyvariance::Monovariant;
+        assert_eq!(
+            p.binding_contour(&mut t, ContourId::EMPTY, Label(5), 24),
+            ContourId::EMPTY
+        );
+        assert_eq!(
+            p.body_contour(&mut t, ContourId::EMPTY, Label(9), ContourId::EMPTY),
+            ContourId::EMPTY
+        );
+        assert!(!p.splits());
+    }
+
+    #[test]
+    fn call_strings_truncate() {
+        let mut t = ContourTable::new();
+        let p = Polyvariance::CallStrings(2);
+        let c1 = p.body_contour(&mut t, ContourId::EMPTY, Label(1), ContourId::EMPTY);
+        let c2 = p.body_contour(&mut t, ContourId::EMPTY, Label(2), c1);
+        let c3 = p.body_contour(&mut t, ContourId::EMPTY, Label(3), c2);
+        assert_eq!(t.labels(c3), &[Label(2), Label(3)]);
+    }
+}

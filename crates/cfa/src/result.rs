@@ -1,0 +1,284 @@
+//! The analysis result: the flow function `F` and query API used by the
+//! inliner (§3.3's Inlining Conditions operate entirely through this).
+
+use crate::domain::{
+    AbsClosure, AbsEnvTable, AbsVal, ClosureId, ClosureTable, ContourId, ContourTable, ValSet,
+};
+use crate::policy::Polyvariance;
+use fdi_lang::{Label, LambdaInfo, Program, VarId};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A transform-time contour context.
+///
+/// `Top` is the paper's special contour `?` with `F(l, ?) = ∪κ F(l, κ)`;
+/// `At(κ)` is a specific contour a procedure is being specialized to; `Dead`
+/// marks contexts the analysis never reached (all queries return ⊥, so the
+/// transformer prunes maximally, exactly as Fig. 5 does for unreached code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ctx {
+    /// The union contour `?`.
+    Top,
+    /// A specific contour.
+    At(ContourId),
+    /// A context the analysis never materialized.
+    Dead,
+}
+
+/// Cost statistics of one analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisStats {
+    /// Flow-graph nodes (program points materialized).
+    pub nodes: usize,
+    /// Flow-graph edges.
+    pub edges: u64,
+    /// Worklist propagation steps.
+    pub steps: u64,
+    /// Distinct contours.
+    pub contours: usize,
+    /// Distinct abstract closures.
+    pub closures: usize,
+    /// Wall-clock analysis time (the "Analysis Time" column of Table 1).
+    pub duration: Duration,
+    /// True when a safety limit stopped the analysis early.
+    pub aborted: bool,
+    /// Calls whose callee arity never matched.
+    pub arity_mismatches: u64,
+}
+
+/// A flow analysis `F` of one program.
+#[derive(Debug)]
+pub struct FlowAnalysis {
+    exprs: HashMap<Label, Vec<(ContourId, ValSet)>>,
+    vars: HashMap<(VarId, ContourId), ValSet>,
+    contours: ContourTable,
+    envs: AbsEnvTable,
+    closures: ClosureTable,
+    call_sites: Vec<(Label, ContourId)>,
+    policy: Polyvariance,
+    stats: AnalysisStats,
+    max_contour_len: usize,
+}
+
+impl FlowAnalysis {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        exprs: HashMap<Label, Vec<(ContourId, ValSet)>>,
+        vars: HashMap<(VarId, ContourId), ValSet>,
+        contours: ContourTable,
+        envs: AbsEnvTable,
+        closures: ClosureTable,
+        call_sites: Vec<(Label, ContourId)>,
+        policy: Polyvariance,
+        stats: AnalysisStats,
+        max_contour_len: usize,
+    ) -> FlowAnalysis {
+        FlowAnalysis {
+            exprs,
+            vars,
+            contours,
+            envs,
+            closures,
+            call_sites,
+            policy,
+            stats,
+            max_contour_len,
+        }
+    }
+
+    /// `F(l, κ)` / `F(l, ?)` — abstract values of expression `l` in context
+    /// `ctx`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fdi_cfa::{analyze, Ctx, Polyvariance};
+    ///
+    /// let p = fdi_lang::parse_and_lower("(+ 1 2)").unwrap();
+    /// let f = analyze(&p, Polyvariance::PolymorphicSplitting);
+    /// let vals = f.values(p.root(), Ctx::Top);
+    /// assert_eq!(vals.len(), 1); // {number}
+    /// ```
+    pub fn values(&self, l: Label, ctx: Ctx) -> ValSet {
+        let Some(entries) = self.exprs.get(&l) else {
+            return ValSet::new();
+        };
+        match ctx {
+            Ctx::Dead => ValSet::new(),
+            Ctx::At(k) => entries
+                .iter()
+                .find(|&&(c, _)| c == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default(),
+            Ctx::Top => {
+                let mut out = ValSet::new();
+                for (_, v) in entries {
+                    out.union_with(v);
+                }
+                out
+            }
+        }
+    }
+
+    /// `F(x, κ)` — abstract values bound to variable `x` in contour `κ`.
+    pub fn var_values(&self, v: VarId, k: ContourId) -> ValSet {
+        self.vars.get(&(v, k)).cloned().unwrap_or_default()
+    }
+
+    /// The contours in which expression `l` was analyzed.
+    pub fn contours_of(&self, l: Label) -> Vec<ContourId> {
+        self.exprs
+            .get(&l)
+            .map(|es| es.iter().map(|&(c, _)| c).collect())
+            .unwrap_or_default()
+    }
+
+    /// Was expression `l` ever analyzed (in the given context)?
+    pub fn reached(&self, l: Label, ctx: Ctx) -> bool {
+        match ctx {
+            Ctx::Dead => false,
+            Ctx::Top => self.exprs.contains_key(&l),
+            Ctx::At(k) => self
+                .exprs
+                .get(&l)
+                .is_some_and(|es| es.iter().any(|&(c, _)| c == k)),
+        }
+    }
+
+    /// The payload of an abstract closure.
+    pub fn closure(&self, id: ClosureId) -> AbsClosure {
+        self.closures.get(id)
+    }
+
+    /// The context in which a closure's body is specialized — the closure's
+    /// own contour under polymorphic splitting.
+    pub fn closure_body_ctx(&self, id: ClosureId) -> Ctx {
+        match self.policy {
+            Polyvariance::PolymorphicSplitting => Ctx::At(self.closures.get(id).contour),
+            Polyvariance::Monovariant => Ctx::At(ContourId::EMPTY),
+            // Call-strings bodies are keyed by call site, which the
+            // transformer does not track; fall back to the union context.
+            Polyvariance::CallStrings(_) => Ctx::Top,
+        }
+    }
+
+    /// Mirrors the analysis contour extension `κ : l` for the transformer's
+    /// descent into a `let`/`letrec` right-hand side. Returns `Dead` when the
+    /// analysis never materialized the extended contour (unreached code).
+    pub fn extend_ctx(&self, ctx: Ctx, let_label: Label) -> Ctx {
+        match ctx {
+            Ctx::Top => Ctx::Top,
+            Ctx::Dead => Ctx::Dead,
+            Ctx::At(k) => {
+                if !self.policy.splits() {
+                    return Ctx::At(k);
+                }
+                let labels = self.contours.labels(k);
+                if labels.len() >= self.max_contour_len {
+                    // The analysis hit its length cap and reused κ.
+                    return Ctx::At(k);
+                }
+                let mut extended = labels.to_vec();
+                extended.push(let_label);
+                match self.contours.get(&extended) {
+                    Some(k2) => Ctx::At(k2),
+                    // Never materialized: this right-hand side was unreached
+                    // in context κ.
+                    None => Ctx::Dead,
+                }
+            }
+        }
+    }
+
+    /// The label string of a contour (diagnostics).
+    pub fn contour_labels(&self, k: ContourId) -> &[Label] {
+        self.contours.labels(k)
+    }
+
+    /// Closure-environment lookup (used by `cl-ref` emission diagnostics).
+    pub fn closure_env_lookup(&self, id: ClosureId, v: VarId) -> Option<ContourId> {
+        self.envs.lookup(self.closures.get(id).env, v)
+    }
+
+    /// Analysis statistics.
+    pub fn stats(&self) -> &AnalysisStats {
+        &self.stats
+    }
+
+    /// The policy this analysis ran under.
+    pub fn policy(&self) -> Polyvariance {
+        self.policy
+    }
+
+    /// All call/apply sites with the contours they were analyzed in.
+    pub fn call_sites(&self) -> &[(Label, ContourId)] {
+        &self.call_sites
+    }
+
+    /// Counts call sites where §3.3's Inlining Condition 1 holds: a single
+    /// abstract closure in the union over all contours of the function
+    /// position (arity-compatible). This is the precision metric the §5.1
+    /// ablation compares across policies.
+    pub fn candidate_call_sites(&self, program: &Program) -> Vec<Label> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for &(call, _) in &self.call_sites {
+            if !seen.insert(call) {
+                continue;
+            }
+            if self.unique_callee(program, call).is_some() {
+                out.push(call);
+            }
+        }
+        out.sort_unstable_by_key(|l| l.0);
+        out
+    }
+
+    /// Inlining Condition 1 (§3.3) at call site `call`: every value in
+    /// `∪κ F(l0, κ)` is an abstract closure over the *same* λ-expression —
+    /// "these exact closures may be closed over different environments, but
+    /// they must all share the same code" — with a compatible arity. Returns
+    /// a representative closure.
+    pub fn unique_callee(&self, program: &Program, call: Label) -> Option<ClosureId> {
+        let (fn_label, argc) = match program.expr(call) {
+            fdi_lang::ExprKind::Call(parts) => (parts[0], Some(parts.len() - 1)),
+            fdi_lang::ExprKind::Apply(f, _) => (*f, None),
+            _ => return None,
+        };
+        let vals = self.values(fn_label, Ctx::Top);
+        let cid = same_code_closure(&vals, |id| self.closures.get(id))?;
+        if let Some(n) = argc {
+            let c = self.closures.get(cid);
+            let fdi_lang::ExprKind::Lambda(lam) = program.expr(c.lambda) else {
+                return None;
+            };
+            if !lambda_accepts(lam, n) {
+                return None;
+            }
+        }
+        Some(cid)
+    }
+}
+
+fn lambda_accepts(lam: &LambdaInfo, n: usize) -> bool {
+    lam.accepts(n)
+}
+
+/// When every value in `vals` is a closure over one λ, returns a
+/// representative; `None` otherwise (mixed kinds, mixed code, or empty).
+pub fn same_code_closure(
+    vals: &ValSet,
+    get: impl Fn(ClosureId) -> AbsClosure,
+) -> Option<ClosureId> {
+    let mut rep: Option<(ClosureId, Label)> = None;
+    for v in vals.iter() {
+        let AbsVal::Clo(id) = v else { return None };
+        let lam = get(id).lambda;
+        match rep {
+            None => rep = Some((id, lam)),
+            Some((_, l0)) if l0 == lam => {}
+            Some(_) => return None,
+        }
+    }
+    rep.map(|(id, _)| id)
+}

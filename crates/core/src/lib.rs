@@ -1,0 +1,391 @@
+//! The flow-directed inlining pipeline (the paper's §2 architecture).
+//!
+//! Three orthogonal components compose a source-to-source optimizer:
+//!
+//! 1. **control-flow analysis** ([`fdi_cfa`]) over the lowered program;
+//! 2. **inlining** ([`fdi_inline`]) driven by the analysis;
+//! 3. **local simplification** ([`fdi_simplify`]), purely syntactic.
+//!
+//! [`optimize`] runs the whole pipeline; [`sweep`] reruns it across inline
+//! thresholds and measures code size and execution cost on the [`fdi_vm`]
+//! substrate — the data behind Table 1 and Fig. 6.
+//!
+//! # Examples
+//!
+//! ```
+//! use fdi_core::{optimize, PipelineConfig};
+//!
+//! let out = optimize("(define (sq x) (* x x)) (sq 7)",
+//!                    &PipelineConfig::with_threshold(200)).unwrap();
+//! assert!(out.optimized_size <= out.baseline_size);
+//! assert_eq!(out.report.sites_inlined, 1);
+//! ```
+
+use std::time::Duration;
+
+pub use fdi_cfa::{AnalysisLimits, AnalysisStats, FlowAnalysis, Polyvariance};
+pub use fdi_inline::{InlineConfig, InlineMode, InlineReport};
+pub use fdi_lang::Program;
+pub use fdi_simplify::SimplifyStats;
+pub use fdi_vm::{CostModel, Counters, Outcome, RunConfig, VmError};
+
+/// Configuration of one pipeline run.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Inline size threshold `T` (0 disables inlining).
+    pub threshold: usize,
+    /// Free-variable discipline of the inliner.
+    pub mode: InlineMode,
+    /// Contour policy of the flow analysis.
+    pub policy: Polyvariance,
+    /// Analysis safety limits.
+    pub limits: AnalysisLimits,
+    /// Bound on simplifier iterations.
+    pub simplify_iters: usize,
+    /// Loop unrolling depth (0 = the paper's configuration).
+    pub unroll: usize,
+}
+
+impl PipelineConfig {
+    /// The paper's evaluated configuration (closed-procedure inlining under
+    /// polymorphic splitting) at threshold `t`.
+    pub fn with_threshold(t: usize) -> PipelineConfig {
+        PipelineConfig {
+            threshold: t,
+            mode: InlineMode::Closed,
+            policy: Polyvariance::PolymorphicSplitting,
+            limits: AnalysisLimits::default(),
+            simplify_iters: fdi_simplify::DEFAULT_ITERS,
+            unroll: 0,
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig::with_threshold(200)
+    }
+}
+
+/// Everything one pipeline run produces.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// The lowered input program (prelude included).
+    pub original: Program,
+    /// The threshold-0 normalization: the original after local
+    /// simplification only. Fig. 6 normalizes execution times to this.
+    pub baseline: Program,
+    /// The inlined and simplified program.
+    pub optimized: Program,
+    /// Flow-analysis statistics (Table 1's "Analysis Time" column).
+    pub flow_stats: AnalysisStats,
+    /// What the inliner did.
+    pub report: InlineReport,
+    /// What the simplifier did to the inlined program.
+    pub simplify_stats: SimplifyStats,
+    /// Size of the original program (paper size metric).
+    pub original_size: usize,
+    /// Size of the baseline program.
+    pub baseline_size: usize,
+    /// Size of the optimized program — Table 1 reports
+    /// `optimized_size / baseline_size`.
+    pub optimized_size: usize,
+    /// Source lines of the lowered program (Table 1's "Lines").
+    pub lines: usize,
+}
+
+impl PipelineOutput {
+    /// Table 1's code-size ratio.
+    pub fn size_ratio(&self) -> f64 {
+        self.optimized_size as f64 / self.baseline_size as f64
+    }
+
+    /// Wall-clock analysis time.
+    pub fn analysis_time(&self) -> Duration {
+        self.flow_stats.duration
+    }
+}
+
+/// Parses, lowers, analyzes, inlines, and simplifies `src`.
+///
+/// # Errors
+///
+/// Returns a message when the front end rejects the program or the analysis
+/// aborts on its safety limits.
+pub fn optimize(src: &str, config: &PipelineConfig) -> Result<PipelineOutput, String> {
+    let program = fdi_lang::parse_and_lower(src)?;
+    optimize_program(&program, config)
+}
+
+/// [`optimize`] for an already-lowered program.
+///
+/// # Errors
+///
+/// Returns a message when the analysis aborts on its safety limits.
+pub fn optimize_program(
+    program: &Program,
+    config: &PipelineConfig,
+) -> Result<PipelineOutput, String> {
+    let flow = fdi_cfa::analyze_with_limits(program, config.policy, config.limits);
+    if flow.stats().aborted {
+        return Err(format!(
+            "flow analysis aborted at {} nodes / {} steps",
+            flow.stats().nodes,
+            flow.stats().steps
+        ));
+    }
+    let inline_config = InlineConfig {
+        threshold: config.threshold,
+        mode: config.mode,
+        unroll: config.unroll,
+    };
+    let (inlined, report) = fdi_inline::inline_program(program, &flow, &inline_config);
+    let (optimized, simplify_stats) = fdi_simplify::simplify_n(&inlined, config.simplify_iters);
+    let (baseline, _) = fdi_simplify::simplify_n(program, config.simplify_iters);
+    fdi_lang::validate(&optimized).map_err(|e| e.to_string())?;
+    Ok(PipelineOutput {
+        original_size: program.size(),
+        baseline_size: baseline.size(),
+        optimized_size: optimized.size(),
+        lines: program.line_count(),
+        original: program.clone(),
+        baseline,
+        optimized,
+        flow_stats: flow.stats().clone(),
+        report,
+        simplify_stats,
+    })
+}
+
+/// Runs the pipeline repeatedly — analyze, inline, simplify, re-analyze —
+/// until the program stops changing or `max_rounds` is reached.
+///
+/// The paper's design makes all inline decisions *before* simplification in
+/// a single pass (§2.2, contrasting SML/NJ's intertwined approach); §2.3
+/// notes that later optimizations may reuse flow information. Iterating the
+/// whole pipeline answers the natural follow-up — how much is left on the
+/// table after one round? (Empirically: very little; see the test below and
+/// the `rounds` field of the result.)
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn optimize_to_fixpoint(
+    src: &str,
+    config: &PipelineConfig,
+    max_rounds: usize,
+) -> Result<(PipelineOutput, usize), String> {
+    let program = fdi_lang::parse_and_lower(src)?;
+    let mut out = optimize_program(&program, config)?;
+    let mut rounds = 1;
+    while rounds < max_rounds {
+        let next = optimize_program(&out.optimized, config)?;
+        rounds += 1;
+        // Stop once a round neither inlines anything nor shrinks the code.
+        let stable = next.report.sites_inlined == 0 && next.optimized_size >= out.optimized_size;
+        out = next;
+        if stable {
+            break;
+        }
+    }
+    Ok((out, rounds))
+}
+
+/// One row of a threshold sweep: the measurements behind Table 1 and Fig. 6.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The inline threshold.
+    pub threshold: usize,
+    /// `optimized_size / baseline_size` (Table 1).
+    pub size_ratio: f64,
+    /// Execution counters of the optimized program.
+    pub counters: Counters,
+    /// Mutator time normalized to the threshold-0 total.
+    pub norm_mutator: f64,
+    /// Collector time normalized to the threshold-0 total.
+    pub norm_collector: f64,
+    /// Total time normalized to the threshold-0 total (Fig. 6 bar height).
+    pub norm_total: f64,
+    /// Inliner activity.
+    pub report: InlineReport,
+    /// The final value (must agree across thresholds).
+    pub value: String,
+}
+
+/// Runs the pipeline at each threshold and executes the results, normalizing
+/// to the threshold-0 run like Fig. 6.
+///
+/// # Errors
+///
+/// Returns a message if compilation fails or any run errs — including when
+/// two thresholds disagree on the program's final value, which would mean a
+/// miscompile.
+/// # Examples
+///
+/// ```
+/// use fdi_core::{sweep, PipelineConfig, RunConfig};
+///
+/// let rows = sweep(
+///     "(define (sq x) (* x x)) (cons (sq 2) (sq 3))",
+///     &[200],
+///     &PipelineConfig::default(),
+///     &RunConfig::default(),
+/// ).unwrap();
+/// assert_eq!(rows.len(), 2); // threshold 0 baseline + threshold 200
+/// assert_eq!(rows[0].value, rows[1].value);
+/// ```
+pub fn sweep(
+    src: &str,
+    thresholds: &[usize],
+    config: &PipelineConfig,
+    run_config: &RunConfig,
+) -> Result<Vec<SweepRow>, String> {
+    let program = fdi_lang::parse_and_lower(src)?;
+    let mut rows = Vec::new();
+    let mut base_total: Option<f64> = None;
+    let mut expected: Option<(String, String)> = None;
+    // Always measure threshold 0 first for normalization.
+    let mut all: Vec<usize> = vec![0];
+    all.extend(thresholds.iter().copied().filter(|&t| t != 0));
+    for t in all {
+        let cfg = PipelineConfig {
+            threshold: t,
+            ..*config
+        };
+        let out = optimize_program(&program, &cfg)?;
+        let result =
+            fdi_vm::run(&out.optimized, run_config).map_err(|e| format!("threshold {t}: {e}"))?;
+        match &expected {
+            None => expected = Some((result.value.clone(), result.output.clone())),
+            Some((v, o)) => {
+                if *v != result.value || *o != result.output {
+                    return Err(format!(
+                        "threshold {t} changed the program's behaviour: {} vs {}",
+                        v, result.value
+                    ));
+                }
+            }
+        }
+        let model = &run_config.model;
+        let total = result.counters.total(model) as f64;
+        let base = *base_total.get_or_insert(total);
+        rows.push(SweepRow {
+            threshold: t,
+            size_ratio: out.size_ratio(),
+            counters: result.counters,
+            norm_mutator: result.counters.mutator as f64 / base,
+            norm_collector: result.counters.collector(model) as f64 / base,
+            norm_total: total / base,
+            report: out.report,
+            value: result.value,
+        });
+    }
+    // Restore caller's threshold order (0 first is our own artifact).
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimize_produces_equivalent_smaller_program() {
+        let src = "(define (compose f g) (lambda (x) (f (g x))))
+                   (define (inc n) (+ n 1))
+                   (define (dbl n) (* n 2))
+                   ((compose inc dbl) 20)";
+        let out = optimize(src, &PipelineConfig::with_threshold(300)).unwrap();
+        let base = fdi_vm::run(&out.baseline, &RunConfig::default()).unwrap();
+        let opt = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(base.value, "41");
+        assert_eq!(opt.value, "41");
+        assert!(opt.counters.calls <= base.counters.calls);
+    }
+
+    #[test]
+    fn threshold_zero_is_identity_modulo_simplification() {
+        let src = "(define (f x) (* x x)) (f (f 2))";
+        let out = optimize(src, &PipelineConfig::with_threshold(0)).unwrap();
+        assert_eq!(out.report.sites_inlined, 0);
+        assert_eq!(out.baseline_size, out.optimized_size);
+        assert!((out.size_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_normalizes_to_threshold_zero() {
+        let src = "(define (add a b) (+ a b))
+                   (letrec ((loop (lambda (n acc)
+                                    (if (zero? n) acc (loop (- n 1) (add acc n))))))
+                     (loop 500 0))";
+        let rows = sweep(
+            src,
+            &[0, 100, 500],
+            &PipelineConfig::default(),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].norm_total - 1.0).abs() < 1e-9);
+        // Larger thresholds should never be slower on this call-heavy loop.
+        assert!(rows[2].norm_total <= rows[0].norm_total);
+        // All rows computed the same value.
+        assert!(rows.iter().all(|r| r.value == rows[0].value));
+    }
+
+    #[test]
+    fn sweep_detects_behavior_preservation() {
+        // Self-check: a program with output must keep it identical.
+        let src = "(define (shout x) (begin (display x) (newline) x))
+                   (shout (+ 1 2))";
+        let rows = sweep(
+            src,
+            &[0, 200],
+            &PipelineConfig::default(),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn map_example_end_to_end() {
+        // Figs. 1–3 as an executable pipeline test.
+        let src = "(define m '((1 2) (3 4) (5 6)))
+                   (map car m)";
+        let out = optimize(src, &PipelineConfig::with_threshold(500)).unwrap();
+        assert!(out.report.sites_inlined >= 1);
+        let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, "(1 3 5)");
+    }
+
+    #[test]
+    fn lines_and_sizes_are_populated() {
+        let out = optimize("(+ 1 2)", &PipelineConfig::default()).unwrap();
+        assert!(out.lines >= 1);
+        assert!(out.original_size >= 3);
+        assert_eq!(out.optimized_size, 1, "folds to a constant");
+    }
+
+    #[test]
+    fn fixpoint_iteration_converges_quickly() {
+        let src = "(define (sq x) (* x x))
+                   (define (tw f x) (f (f x)))
+                   (cons (tw sq 2) (tw sq 3))";
+        let (out, rounds) =
+            optimize_to_fixpoint(src, &PipelineConfig::with_threshold(300), 5).unwrap();
+        assert!(rounds <= 3, "pipeline should converge fast, took {rounds}");
+        let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, "(16 . 81)");
+    }
+
+    #[test]
+    fn policies_are_selectable() {
+        let mut cfg = PipelineConfig::with_threshold(200);
+        cfg.policy = Polyvariance::Monovariant;
+        let out = optimize("(define (sq x) (* x x)) (sq 7)", &cfg).unwrap();
+        assert_eq!(
+            out.report.sites_inlined, 1,
+            "0CFA still finds unique callees"
+        );
+    }
+}

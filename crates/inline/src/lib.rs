@@ -1,0 +1,767 @@
+//! Flow-directed inlining: the transformation `I[e]κρ` of Fig. 5.
+//!
+//! A call site is inlined when a unique abstract closure flows to its
+//! function position (Inlining Condition 1, §3.3), the arity matches, the
+//! site is not already being unfolded (the loop map ρ), and the *specialized*
+//! body passes the `Inline?` size threshold (§3.7). The callee is specialized
+//! to the closure's contour: conditionals whose test can never be true
+//! (resp. false) there lose the corresponding branch (§3.4), and call sites
+//! inside the specialized body are inlined recursively under Inlining
+//! Condition 2. Infinite unfolding is cut by binding the specialized
+//! procedure with `letrec` and emitting back-edge calls to it (§3.6).
+//!
+//! Two modes reproduce the paper's two configurations (§3.5/§4):
+//!
+//! * [`InlineMode::ClRef`] — the general algorithm: free variables of the
+//!   inlined procedure are rebound via `(cl-ref w i)` on the extra closure
+//!   parameter `w`.
+//! * [`InlineMode::Closed`] — the evaluated configuration: only procedures
+//!   *closed up to top-level variables* are inlined, so no `cl-ref` is ever
+//!   emitted. A procedure with free variables still inlines when its free
+//!   references disappear in the specialized copy (pruned branch) or refer
+//!   to procedures that are themselves inlined — exactly the paper's two
+//!   exceptions.
+//!
+//! # Examples
+//!
+//! ```
+//! use fdi_inline::{inline_program, InlineConfig};
+//! use fdi_cfa::{analyze, Polyvariance};
+//!
+//! let p = fdi_lang::parse_and_lower("(define (sq x) (* x x)) (sq 7)").unwrap();
+//! let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+//! let (out, report) = inline_program(&p, &flow, &InlineConfig::with_threshold(100));
+//! assert_eq!(report.sites_inlined, 1);
+//! # let _ = out;
+//! ```
+
+use fdi_cfa::{AbsVal, ContourId, Ctx, FlowAnalysis};
+use fdi_lang::{
+    Binder, Const, ExprKind, FreeVars, Label, LambdaInfo, PrimOp, Program, VarId, VarInfo,
+};
+
+/// How inlined procedures access their free variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InlineMode {
+    /// Only inline procedures closed up to top-level variables (the paper's
+    /// evaluated configuration — never emits `cl-ref`).
+    #[default]
+    Closed,
+    /// Inline any procedure, accessing free variables with `(cl-ref w i)`.
+    ClRef,
+}
+
+/// Configuration of one inlining run.
+#[derive(Debug, Clone, Copy)]
+pub struct InlineConfig {
+    /// The size threshold `T`: a specialization is inlined when its size is
+    /// below this value. Threshold 0 disables inlining.
+    pub threshold: usize,
+    /// Free-variable discipline.
+    pub mode: InlineMode,
+    /// Loop unrolling depth: how many times a recursive back-edge may be
+    /// unfolded before the loop map ties it (§3.6 notes "loop unrolling …
+    /// would be easy to include in this framework"; the paper sets this to
+    /// 0 to isolate the benefits of inlining, and so do we by default).
+    pub unroll: usize,
+}
+
+impl InlineConfig {
+    /// The paper's evaluated configuration at threshold `t`.
+    pub fn with_threshold(t: usize) -> InlineConfig {
+        InlineConfig {
+            threshold: t,
+            mode: InlineMode::Closed,
+            unroll: 0,
+        }
+    }
+}
+
+impl Default for InlineConfig {
+    fn default() -> InlineConfig {
+        // The paper's sweet spot is between 200 and 500 (§4).
+        InlineConfig::with_threshold(200)
+    }
+}
+
+/// What the inliner did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InlineReport {
+    /// Call sites considered (calls and applies).
+    pub calls_seen: usize,
+    /// Call sites inlined.
+    pub sites_inlined: usize,
+    /// Back-edges tied into loops via the loop map.
+    pub loops_tied: usize,
+    /// Candidates rejected because the specialized body exceeded the
+    /// threshold.
+    pub rejected_threshold: usize,
+    /// Candidates rejected for free-variable reasons (Closed mode).
+    pub rejected_open: usize,
+    /// Conditional branches pruned during specialization.
+    pub branches_pruned: usize,
+    /// Subexpressions pruned to the right of a divergent one (§3.4's
+    /// generalized pruning for left-to-right evaluation).
+    pub divergence_prunes: usize,
+    /// Recursive back-edges unfolded by loop unrolling before tying.
+    pub unrolled: usize,
+}
+
+/// Runs flow-directed inlining over `program` using `flow`.
+///
+/// The returned program is *not* yet simplified; run
+/// `fdi_simplify::simplify` afterwards, as §2.3 prescribes.
+pub fn inline_program(
+    program: &Program,
+    flow: &FlowAnalysis,
+    config: &InlineConfig,
+) -> (Program, InlineReport) {
+    let mut rhs_of = std::collections::HashMap::new();
+    for l in program.reachable() {
+        if let ExprKind::Let(bindings, _) | ExprKind::Letrec(bindings, _) = program.expr(l) {
+            for &(v, e) in bindings {
+                rhs_of.insert(v, e);
+            }
+        }
+    }
+    let mut inliner = Inliner {
+        old: program,
+        out: Program::new(program.interner().clone()),
+        flow,
+        config: *config,
+        fv: FreeVars::compute(program),
+        rhs_of,
+        vmap: Vec::new(),
+        loop_map: Vec::new(),
+        report: InlineReport::default(),
+        depth: 0,
+        size_marks: Vec::new(),
+    };
+    let root = inliner
+        .transform(program.root(), Ctx::At(ContourId::EMPTY))
+        .expect("top-level transform cannot poison");
+    inliner.out.set_root(root);
+    debug_assert!(
+        fdi_lang::validate(&inliner.out).is_ok(),
+        "inliner produced ill-formed AST: {:?}",
+        fdi_lang::validate(&inliner.out)
+    );
+    (inliner.out, inliner.report)
+}
+
+/// Aborts a speculative specialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Poison {
+    /// Closed-mode body referenced a disallowed free variable: the nearest
+    /// enclosing speculation rejects and falls back to a plain call.
+    Open,
+    /// The outermost speculation's size budget was exceeded: unwind the
+    /// whole nest.
+    TooBig,
+}
+
+/// Hard cap on transform recursion through nested inlines; combined with the
+/// loop map this cannot trigger on sane thresholds, but keeps adversarial
+/// configurations from overflowing the stack.
+const MAX_INLINE_DEPTH: usize = 64;
+
+struct Inliner<'p> {
+    old: &'p Program,
+    out: Program,
+    flow: &'p FlowAnalysis,
+    config: InlineConfig,
+    fv: FreeVars,
+    /// Binding right-hand sides: variable → RHS label, for recognizing
+    /// direct calls to locally-bound procedures.
+    rhs_of: std::collections::HashMap<VarId, Label>,
+    /// Scope-ordered variable renaming; `None` marks a poisoned variable.
+    vmap: Vec<(VarId, Option<VarId>)>,
+    /// The loop map ρ: (λ label, specialization contour) → loop variable,
+    /// plus whether that variable's λ carries the extra `w` parameter
+    /// (call-site specializations do; letrec-registered originals do not).
+    loop_map: Vec<((Label, ContourId), (VarId, bool))>,
+    report: InlineReport,
+    depth: usize,
+    /// Arena sizes at the start of each in-flight speculative inline; a
+    /// specialization that grows past its budget aborts immediately instead
+    /// of finishing construction (the paper's footnote 2 estimates the
+    /// specialized size "without actually constructing it"; we construct,
+    /// but bail out as soon as the budget is exceeded).
+    size_marks: Vec<usize>,
+}
+
+impl Inliner<'_> {
+    fn lookup(&self, v: VarId) -> Option<Option<VarId>> {
+        self.vmap
+            .iter()
+            .rev()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, nv)| nv)
+    }
+
+    fn loop_var(&self, lam: Label, k: ContourId) -> Option<(VarId, bool)> {
+        self.loop_map
+            .iter()
+            .rev()
+            .find(|&&(key, _)| key == (lam, k))
+            .map(|&(_, y)| y)
+    }
+
+    fn fresh_var(&mut self, name: &str, binder: Binder, top_level: bool) -> VarId {
+        let sym = self.out.interner_mut().intern(name);
+        self.out.add_var(VarInfo {
+            name: sym,
+            binder,
+            top_level,
+        })
+    }
+
+    fn fresh_from(&mut self, old_var: VarId, binder: Binder) -> VarId {
+        let info = *self.old.var(old_var);
+        let nv = self.out.add_var(VarInfo {
+            name: info.name,
+            binder,
+            top_level: info.top_level,
+        });
+        self.vmap.push((old_var, Some(nv)));
+        nv
+    }
+
+    fn konst(&mut self, c: Const) -> Label {
+        self.out.add_expr(ExprKind::Const(c))
+    }
+
+    // --- the transformation I[e]κρ -----------------------------------------
+
+    fn transform(&mut self, l: Label, ctx: Ctx) -> Result<Label, Poison> {
+        if let Some(&mark) = self.size_marks.first() {
+            // Generous slack: arena nodes include speculative garbage, and
+            // the size metric is roughly one unit per node.
+            let budget = mark + self.config.threshold.max(1) * 8;
+            if self.out.expr_count() > budget {
+                return Err(Poison::TooBig);
+            }
+        }
+        match self.old.expr(l).clone() {
+            ExprKind::Const(c) => Ok(self.konst(c)),
+            ExprKind::Var(v) => match self.lookup(v) {
+                Some(Some(nv)) => Ok(self.out.add_expr(ExprKind::Var(nv))),
+                Some(None) => Err(Poison::Open),
+                None => unreachable!("variable {v} not in transform scope"),
+            },
+            ExprKind::Prim(p, args) => {
+                if let Some(done) = self.prune_divergent_sequence(&args, ctx)? {
+                    return Ok(done);
+                }
+                let new_args = args
+                    .iter()
+                    .map(|&a| self.transform(a, ctx))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(self.out.add_expr(ExprKind::Prim(p, new_args)))
+            }
+            ExprKind::Call(parts) => self.transform_call(&parts, ctx),
+            ExprKind::Apply(f, arg) => {
+                self.report.calls_seen += 1;
+                let nf = self.transform(f, ctx)?;
+                let na = self.transform(arg, ctx)?;
+                Ok(self.out.add_expr(ExprKind::Apply(nf, na)))
+            }
+            ExprKind::Begin(parts) => {
+                if let Some(done) = self.prune_divergent_sequence(&parts, ctx)? {
+                    return Ok(done);
+                }
+                let new_parts = parts
+                    .iter()
+                    .map(|&e| self.transform(e, ctx))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(self.out.add_expr(ExprKind::Begin(new_parts)))
+            }
+            ExprKind::If(c, t, e) => self.transform_if(c, t, e, ctx),
+            ExprKind::Let(bindings, body) => {
+                let rhs_ctx = self.flow.extend_ctx(ctx, l);
+                let label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
+                let mark = self.vmap.len();
+                let mut rhss = Vec::new();
+                for &(_, e) in &bindings {
+                    rhss.push(self.transform(e, rhs_ctx)?);
+                }
+                let mut new_bindings = Vec::new();
+                for (&(x, _), ne) in bindings.iter().zip(rhss) {
+                    let nx = self.fresh_from(x, Binder::Let(label));
+                    new_bindings.push((nx, ne));
+                }
+                let nbody = self.transform(body, ctx);
+                self.vmap.truncate(mark);
+                let nbody = nbody?;
+                self.out.set_expr(label, ExprKind::Let(new_bindings, nbody));
+                Ok(label)
+            }
+            ExprKind::Letrec(bindings, body) => self.transform_letrec(l, &bindings, body, ctx),
+            ExprKind::Lambda(lam) => {
+                // Original copies of λ-expressions are not specialized to any
+                // contour: their bodies transform in the union contour `?`.
+                self.transform_lambda(l, &lam, Ctx::Top)
+            }
+            ExprKind::ClRef(e, n) => {
+                let ne = self.transform(e, ctx)?;
+                Ok(self.out.add_expr(ExprKind::ClRef(ne, n)))
+            }
+        }
+    }
+
+    fn transform_lambda(
+        &mut self,
+        old_label: Label,
+        lam: &LambdaInfo,
+        body_ctx: Ctx,
+    ) -> Result<Label, Poison> {
+        let label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
+        // In ClRef mode the capture layout of every original λ copy is
+        // pinned to the source free-variable order, so the `cl-ref` indices
+        // emitted at inline sites stay valid under later simplification
+        // (§3.5's `[z1 … zm]` annotation).
+        if self.config.mode == InlineMode::ClRef {
+            if let Some(free) = self.fv.get(old_label) {
+                let mapped: Option<Vec<VarId>> =
+                    free.iter().map(|&z| self.lookup(z).flatten()).collect();
+                if let Some(pins) = mapped {
+                    if !pins.is_empty() {
+                        self.out.pin_captures(label, pins);
+                    }
+                }
+            }
+        }
+        let mark = self.vmap.len();
+        let params: Vec<VarId> = lam
+            .params
+            .iter()
+            .map(|&p| self.fresh_from(p, Binder::Lambda(label)))
+            .collect();
+        let rest = lam.rest.map(|r| self.fresh_from(r, Binder::Lambda(label)));
+        let body = self.transform(lam.body, body_ctx);
+        self.vmap.truncate(mark);
+        let body = body?;
+        self.out
+            .set_expr(label, ExprKind::Lambda(LambdaInfo { params, rest, body }));
+        Ok(label)
+    }
+
+    fn transform_letrec(
+        &mut self,
+        l: Label,
+        bindings: &[(VarId, Label)],
+        body: Label,
+        ctx: Ctx,
+    ) -> Result<Label, Poison> {
+        let rhs_ctx = self.flow.extend_ctx(ctx, l);
+        let label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
+        let vmark = self.vmap.len();
+        let lmark = self.loop_map.len();
+        let mut new_vars = Vec::new();
+        for &(y, f) in bindings {
+            let ny = self.fresh_from(y, Binder::Letrec(label));
+            new_vars.push(ny);
+            // Register each letrec procedure in the loop map for its binding
+            // contour: recursive references (which the analysis does not
+            // split) then emit plain calls to the letrec variable instead of
+            // unfolding. Only meaningful under a splitting policy — without
+            // splitting every call shares the binding contour and
+            // registration would suppress inlining entirely.
+            if self.flow.policy().splits() {
+                if let Ctx::At(k) = rhs_ctx {
+                    self.loop_map.push(((f, k), (ny, false)));
+                }
+            }
+        }
+        let result = (|| -> Result<Label, Poison> {
+            let mut new_bindings = Vec::new();
+            for (i, &(_, f)) in bindings.iter().enumerate() {
+                let ExprKind::Lambda(lam) = self.old.expr(f).clone() else {
+                    unreachable!("letrec rhs is a lambda")
+                };
+                let nf = self.transform_lambda(f, &lam, Ctx::Top)?;
+                new_bindings.push((new_vars[i], nf));
+            }
+            let nbody = self.transform(body, ctx)?;
+            self.out
+                .set_expr(label, ExprKind::Letrec(new_bindings, nbody));
+            Ok(label)
+        })();
+        self.vmap.truncate(vmark);
+        self.loop_map.truncate(lmark);
+        result
+    }
+
+    fn transform_if(&mut self, c: Label, t: Label, e: Label, ctx: Ctx) -> Result<Label, Poison> {
+        let test_vals = self.flow.values(c, ctx);
+        let may_true = test_vals.may_be_true();
+        let may_false = test_vals.may_be_false();
+        let nc = self.transform(c, ctx)?;
+        match (may_true, may_false) {
+            (true, true) => {
+                let nt = self.transform(t, ctx)?;
+                let ne = self.transform(e, ctx)?;
+                Ok(self.out.add_expr(ExprKind::If(nc, nt, ne)))
+            }
+            (true, false) => {
+                self.report.branches_pruned += 1;
+                let nt = self.transform(t, ctx)?;
+                Ok(self.out.add_expr(ExprKind::Begin(vec![nc, nt])))
+            }
+            (false, true) => {
+                self.report.branches_pruned += 1;
+                let ne = self.transform(e, ctx)?;
+                Ok(self.out.add_expr(ExprKind::Begin(vec![nc, ne])))
+            }
+            (false, false) => {
+                // The test diverges (or the context is dead): both branches
+                // are pruned (Fig. 5's final case).
+                self.report.branches_pruned += 2;
+                Ok(nc)
+            }
+        }
+    }
+
+    fn transform_call(&mut self, parts: &[Label], ctx: Ctx) -> Result<Label, Poison> {
+        self.report.calls_seen += 1;
+        if let Some(done) = self.prune_divergent_sequence(parts, ctx)? {
+            return Ok(done);
+        }
+        let argc = parts.len() - 1;
+        // Inlining Condition 1/2: a unique procedure in this context. Per
+        // §3.3, the closures may differ in environment as long as they share
+        // the same code; we additionally require a single specialization
+        // contour so Fig. 5's specialization context is well defined.
+        let fn_vals = self.flow.values(parts[0], ctx);
+        if let Some(cid) = self.unique_code_and_contour(&fn_vals) {
+            let c = self.flow.closure(cid);
+            let ExprKind::Lambda(lam) = self.old.expr(c.lambda).clone() else {
+                unreachable!("closure over non-lambda")
+            };
+            if lam.accepts(argc) {
+                match self.loop_var(c.lambda, c.contour) {
+                    Some((y, true)) => {
+                        // Already unfolding this procedure at this contour.
+                        // With loop unrolling enabled, unfold up to `unroll`
+                        // more copies before tying the back-edge.
+                        let unfoldings = self
+                            .loop_map
+                            .iter()
+                            .filter(|&&(key, (_, w))| key == (c.lambda, c.contour) && w)
+                            .count();
+                        if unfoldings <= self.config.unroll && self.depth < MAX_INLINE_DEPTH {
+                            if let Some(done) = self.try_inline(parts, ctx, cid, &lam)? {
+                                self.report.unrolled += 1;
+                                return Ok(done);
+                            }
+                        }
+                        self.report.loops_tied += 1;
+                        return self.emit_loop_call(y, &lam, parts, ctx);
+                    }
+                    Some((_, false)) => {
+                        // A letrec-bound original: leave the call as-is (the
+                        // operator already names the letrec variable).
+                    }
+                    None => {
+                        if let Some(done) = self.maybe_inline(parts, ctx, cid, &lam)? {
+                            return Ok(done);
+                        }
+                    }
+                }
+            }
+        }
+        let new_parts = parts
+            .iter()
+            .map(|&e| self.transform(e, ctx))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.out.add_expr(ExprKind::Call(new_parts)))
+    }
+
+    fn maybe_inline(
+        &mut self,
+        parts: &[Label],
+        ctx: Ctx,
+        cid: fdi_cfa::ClosureId,
+        lam: &LambdaInfo,
+    ) -> Result<Option<Label>, Poison> {
+        {
+            {
+                if self.depth < MAX_INLINE_DEPTH {
+                    if let Some(done) = self.try_inline(parts, ctx, cid, lam)? {
+                        return Ok(Some(done));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// §3.4 generalized pruning: with left-to-right evaluation, everything
+    /// to the right of a subexpression whose abstract value is ⊥ (divergent
+    /// or erroring) can never run. Returns the transformed prefix as a
+    /// `begin` when such a subexpression exists (other than in last
+    /// position, where the enclosing form is equivalent anyway).
+    fn prune_divergent_sequence(
+        &mut self,
+        parts: &[Label],
+        ctx: Ctx,
+    ) -> Result<Option<Label>, Poison> {
+        // Only meaningful in a live analyzed context: at `Dead` everything
+        // is ⊥ and the caller's normal transformation handles it.
+        if ctx == Ctx::Dead {
+            return Ok(None);
+        }
+        let divergent = parts
+            .iter()
+            .position(|&e| self.flow.reached(e, ctx) && self.flow.values(e, ctx).is_empty());
+        let Some(i) = divergent else {
+            return Ok(None);
+        };
+        if i + 1 == parts.len() {
+            return Ok(None);
+        }
+        self.report.divergence_prunes += parts.len() - i - 1;
+        let kept = parts[..=i]
+            .iter()
+            .map(|&e| self.transform(e, ctx))
+            .collect::<Result<Vec<_>, _>>()?;
+        if kept.len() == 1 {
+            return Ok(Some(kept[0]));
+        }
+        Ok(Some(self.out.add_expr(ExprKind::Begin(kept))))
+    }
+
+    /// All values are closures over one λ in one contour → representative.
+    fn unique_code_and_contour(&self, vals: &fdi_cfa::ValSet) -> Option<fdi_cfa::ClosureId> {
+        let mut rep: Option<(fdi_cfa::ClosureId, Label, ContourId)> = None;
+        for v in vals.iter() {
+            let AbsVal::Clo(id) = v else { return None };
+            let c = self.flow.closure(id);
+            match rep {
+                None => rep = Some((id, c.lambda, c.contour)),
+                Some((_, l0, k0)) if l0 == c.lambda && k0 == c.contour => {}
+                Some(_) => return None,
+            }
+        }
+        rep.map(|(id, _, _)| id)
+    }
+
+    /// The operator expression passed as the extra `w` argument. In Closed
+    /// mode `w` is never read, so a bare variable reference — which carries
+    /// no effects, and may refer to a procedure that only stays inlinable if
+    /// we do not materialize the reference (the paper's free-procedure
+    /// exception) — becomes the unspecified constant. In ClRef mode the body
+    /// loads captures through `w`, so the operator must be passed for real.
+    fn w_argument(&mut self, e0: Label, ctx: Ctx) -> Result<Label, Poison> {
+        let w_unused = self.config.mode == InlineMode::Closed;
+        if w_unused && matches!(self.old.expr(e0), ExprKind::Var(_)) {
+            Ok(self.konst(Const::Unspecified))
+        } else {
+            self.transform(e0, ctx)
+        }
+    }
+
+    /// Arguments for a call to a specialized procedure `y`: fixed parameters
+    /// pass through; a variadic callee's extra arguments build the rest list
+    /// explicitly so the emitted λ has fixed arity.
+    fn loop_call_args(
+        &mut self,
+        lam: &LambdaInfo,
+        parts: &[Label],
+        ctx: Ctx,
+    ) -> Result<Vec<Label>, Poison> {
+        let mut out = Vec::new();
+        for &a in &parts[1..1 + lam.params.len()] {
+            out.push(self.transform(a, ctx)?);
+        }
+        if lam.rest.is_some() {
+            let extras = &parts[1 + lam.params.len()..];
+            let transformed = extras
+                .iter()
+                .map(|&e| self.transform(e, ctx))
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut list = self.konst(Const::Nil);
+            for e in transformed.into_iter().rev() {
+                list = self
+                    .out
+                    .add_expr(ExprKind::Prim(PrimOp::Cons, vec![e, list]));
+            }
+            out.push(list);
+        }
+        Ok(out)
+    }
+
+    fn emit_loop_call(
+        &mut self,
+        y: VarId,
+        lam: &LambdaInfo,
+        parts: &[Label],
+        ctx: Ctx,
+    ) -> Result<Label, Poison> {
+        let yref = self.out.add_expr(ExprKind::Var(y));
+        let w = self.w_argument(parts[0], ctx)?;
+        let mut call = vec![yref, w];
+        call.extend(self.loop_call_args(lam, parts, ctx)?);
+        Ok(self.out.add_expr(ExprKind::Call(call)))
+    }
+
+    /// Attempts to specialize and inline the unique callee at a call site.
+    /// Returns `Ok(None)` when rejected (threshold, free variables); the
+    /// caller then emits a plain call. Speculative output nodes simply stay
+    /// unreachable in the arena.
+    fn try_inline(
+        &mut self,
+        parts: &[Label],
+        ctx: Ctx,
+        cid: fdi_cfa::ClosureId,
+        lam: &LambdaInfo,
+    ) -> Result<Option<Label>, Poison> {
+        let c = self.flow.closure(cid);
+        let body_ctx = self.flow.closure_body_ctx(cid);
+        let free = self
+            .fv
+            .get(c.lambda)
+            .map(<[VarId]>::to_vec)
+            .unwrap_or_default();
+        // A *direct local call*: the operator is a let/letrec variable whose
+        // right-hand side is this very λ. Such a call always receives the
+        // closure created by the current activation of the enclosing scope,
+        // so the λ's free variables denote exactly the bindings lexically
+        // visible here and may be referenced directly — this is what lets
+        // Fig. 2 specialize `map1` (whose `f` is free) inside the inlined
+        // copy of `map`.
+        let direct_local = match self.old.expr(parts[0]) {
+            ExprKind::Var(v) => self.rhs_of.get(v) == Some(&c.lambda),
+            _ => false,
+        };
+
+        // Set up the specialized λ skeleton.
+        let letrec_label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
+        let lam_label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
+        let y = self.fresh_var("%inl", Binder::Letrec(letrec_label), false);
+        let w = self.fresh_var("%w", Binder::Lambda(lam_label), false);
+
+        let vmark = self.vmap.len();
+        let lmark = self.loop_map.len();
+        // Free-variable discipline.
+        let mut cl_ref_binds: Vec<(VarId, u32)> = Vec::new(); // (new var, index)
+        for (i, &z) in free.iter().enumerate() {
+            let info = self.old.var(z);
+            match self.config.mode {
+                InlineMode::Closed => {
+                    if (info.top_level || direct_local)
+                        && self.lookup(z).is_some_and(|m| m.is_some())
+                    {
+                        // Top-level variables have a single activation, and a
+                        // direct local call sees the creating activation's
+                        // bindings: reference them through the enclosing
+                        // mapping (no push).
+                    } else {
+                        // Poison: the specialization only survives if this
+                        // reference disappears (pruned branch or inlined
+                        // procedure reference).
+                        self.vmap.push((z, None));
+                    }
+                }
+                InlineMode::ClRef => {
+                    if (info.top_level || direct_local)
+                        && self.lookup(z).is_some_and(|m| m.is_some())
+                    {
+                        // Direct references beat cl-ref loads when sound.
+                    } else {
+                        let name = self.old.var_name(z).to_string();
+                        let nz = self.fresh_var(&name, Binder::Let(Label(0)), false);
+                        self.vmap.push((z, Some(nz)));
+                        cl_ref_binds.push((nz, i as u32));
+                    }
+                }
+            }
+        }
+        // Parameters (fixed arity in the emitted λ; rest becomes explicit).
+        let mut new_params = vec![w];
+        for &p in &lam.params {
+            new_params.push(self.fresh_from(p, Binder::Lambda(lam_label)));
+        }
+        if let Some(r) = lam.rest {
+            new_params.push(self.fresh_from(r, Binder::Lambda(lam_label)));
+        }
+        // Guard against unbounded unfolding of this closure. The key is the
+        // closure's identity (λ, creation contour) — a recursive reference
+        // yields the same abstract closure under every policy, so the
+        // back-edge is caught even when the body specializes in the union
+        // context (call-strings policy, whose body contours the transformer
+        // does not track).
+        self.loop_map.push(((c.lambda, c.contour), (y, true)));
+        self.depth += 1;
+        self.size_marks.push(self.out.expr_count());
+        let body = self.transform(lam.body, body_ctx);
+        self.size_marks.pop();
+        self.depth -= 1;
+        self.vmap.truncate(vmark);
+        self.loop_map.truncate(lmark);
+        let body = match body {
+            Ok(b) => b,
+            Err(Poison::Open) => {
+                // This specialization references a disallowed free variable:
+                // reject it and let the caller emit a plain call (enclosing
+                // speculations are unaffected).
+                self.report.rejected_open += 1;
+                return Ok(None);
+            }
+            Err(Poison::TooBig) => {
+                // The *outermost* budget was exceeded. If that is this
+                // speculation, reject it; otherwise keep unwinding.
+                if self.size_marks.is_empty() {
+                    self.report.rejected_threshold += 1;
+                    return Ok(None);
+                }
+                return Err(Poison::TooBig);
+            }
+        };
+
+        // Inline? — the size of the specialized body must be under T.
+        let specialized_size = fdi_lang::expr_size(&self.out, body);
+        if specialized_size >= self.config.threshold {
+            self.report.rejected_threshold += 1;
+            return Ok(None);
+        }
+
+        // Bind cl-refs around the body (Fig. 5's let of (cl-ref w i)).
+        let final_body = if cl_ref_binds.is_empty() {
+            body
+        } else {
+            let let_label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
+            let mut binds = Vec::new();
+            for (nz, i) in cl_ref_binds {
+                self.out.set_var_binder(nz, Binder::Let(let_label));
+                let wref = self.out.add_expr(ExprKind::Var(w));
+                let clref = self.out.add_expr(ExprKind::ClRef(wref, i));
+                binds.push((nz, clref));
+            }
+            self.out.set_expr(let_label, ExprKind::Let(binds, body));
+            let_label
+        };
+
+        self.out.set_expr(
+            lam_label,
+            ExprKind::Lambda(LambdaInfo {
+                params: new_params,
+                rest: None,
+                body: final_body,
+            }),
+        );
+        // (letrec ((y λ')) (call y I[e0] I[e1] … I[en]))
+        let yref = self.out.add_expr(ExprKind::Var(y));
+        let warg = self.w_argument(parts[0], ctx)?;
+        let mut call_parts = vec![yref, warg];
+        call_parts.extend(self.loop_call_args(lam, parts, ctx)?);
+        let ncall = self.out.add_expr(ExprKind::Call(call_parts));
+        self.out
+            .set_expr(letrec_label, ExprKind::Letrec(vec![(y, lam_label)], ncall));
+        self.report.sites_inlined += 1;
+        Ok(Some(letrec_label))
+    }
+}
+
+#[cfg(test)]
+mod tests;

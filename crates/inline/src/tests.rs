@@ -1,0 +1,343 @@
+use crate::{inline_program, InlineConfig, InlineMode, InlineReport};
+use fdi_cfa::{analyze, Polyvariance};
+use fdi_lang::{parse_and_lower, ExprKind, Program};
+
+fn run(src: &str, config: &InlineConfig) -> (Program, InlineReport) {
+    let p = parse_and_lower(src).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    assert!(!flow.stats().aborted);
+    let (out, report) = inline_program(&p, &flow, config);
+    fdi_lang::validate(&out).expect("inlined program is well-formed");
+    (out, report)
+}
+
+/// Inline, then simplify — the full §2 pipeline after analysis.
+fn run_simplified(src: &str, threshold: usize) -> (String, InlineReport) {
+    let (out, report) = run(src, &InlineConfig::with_threshold(threshold));
+    let (simple, _) = fdi_simplify::simplify(&out);
+    (fdi_lang::unparse(&simple).to_string(), report)
+}
+
+#[test]
+fn inlines_simple_known_call() {
+    let (out, report) = run(
+        "(define (sq x) (* x x)) (sq 7)",
+        &InlineConfig::with_threshold(100),
+    );
+    assert_eq!(report.sites_inlined, 1);
+    assert!(fdi_lang::validate(&out).is_ok());
+}
+
+#[test]
+fn simplifies_to_constant_after_inline() {
+    let (out, _) = run_simplified("(define (sq x) (* x x)) (sq 7)", 100);
+    assert_eq!(out, "49");
+}
+
+#[test]
+fn threshold_zero_disables_inlining() {
+    let (_, report) = run(
+        "(define (sq x) (* x x)) (sq 7)",
+        &InlineConfig::with_threshold(0),
+    );
+    assert_eq!(report.sites_inlined, 0);
+    assert!(report.rejected_threshold >= 1);
+}
+
+#[test]
+fn higher_order_argument_is_inlined() {
+    // The paper's generality claim: procedures passed as arguments inline.
+    let (out, report) = run_simplified(
+        "(define (twice f x) (f (f x)))
+         (define (add1 n) (+ n 1))
+         (twice add1 5)",
+        200,
+    );
+    assert!(report.sites_inlined >= 2, "{report:?}");
+    assert_eq!(out, "7");
+}
+
+#[test]
+fn procedure_from_data_structure_is_inlined() {
+    let (out, report) = run_simplified(
+        "(define p (cons (lambda (x) (* 3 x)) '()))
+         ((car p) 4)",
+        200,
+    );
+    assert!(report.sites_inlined >= 1, "{report:?}");
+    assert_eq!(out, "12");
+}
+
+#[test]
+fn object_style_dispatch_is_inlined() {
+    // §2.1's make-network example: ((N 'open) addr) inlines the open-branch
+    // procedure even though N itself is a dispatcher. Each network instance
+    // receives one message kind, so polymorphic splitting keeps the
+    // dispatch tests precise and specialization prunes the other branches.
+    let (out, report) = run_simplified(
+        "(define (make-counter)
+           (lambda (msg)
+             (case msg
+               ((get) (lambda (c) (car c)))
+               ((bump) (lambda (c) (set-car! c (+ 1 (car c)))))
+               (else (error \"bad msg\")))))
+         (define cell (cons 41 '()))
+         (define bumper (make-counter))
+         (define getter (make-counter))
+         (begin ((bumper 'bump) cell) ((getter 'get) cell))",
+        500,
+    );
+    assert!(report.sites_inlined >= 2, "{report:?}");
+    assert!(
+        report.branches_pruned >= 1,
+        "case dispatch should prune: {report:?}"
+    );
+    assert!(!out.contains("error"), "dead else branches pruned: {out}");
+}
+
+#[test]
+fn recursive_procedure_builds_loop_not_unfolding() {
+    let (out, report) = run(
+        "(define (count n) (if (zero? n) 0 (count (- n 1))))
+         (count 10)",
+        &InlineConfig::with_threshold(500),
+    );
+    assert!(report.sites_inlined >= 1, "{report:?}");
+    assert!(report.loops_tied >= 1, "{report:?}");
+    assert!(fdi_lang::validate(&out).is_ok());
+}
+
+#[test]
+fn mutual_recursion_terminates() {
+    let (out, report) = run(
+        "(define (even2? n) (if (zero? n) #t (odd2? (- n 1))))
+         (define (odd2? n) (if (zero? n) #f (even2? (- n 1))))
+         (even2? 10)",
+        &InlineConfig::with_threshold(1000),
+    );
+    assert!(report.loops_tied >= 1, "{report:?}");
+    assert!(fdi_lang::validate(&out).is_ok());
+}
+
+#[test]
+fn open_procedure_rejected_in_closed_mode() {
+    // The returned closure captures k (not top-level) and k's reference
+    // survives specialization → rejected in Closed mode.
+    let (_, report) = run(
+        "(define (const k) (lambda () k))
+         (define f (const 5))
+         (f)",
+        &InlineConfig::with_threshold(500),
+    );
+    assert!(report.rejected_open >= 1, "{report:?}");
+}
+
+#[test]
+fn open_procedure_inlined_in_cl_ref_mode() {
+    let config = InlineConfig {
+        threshold: 500,
+        mode: InlineMode::ClRef,
+        unroll: 0,
+    };
+    let (out, report) = run(
+        "(define (const k) (lambda () k))
+         (define f (const 5))
+         (f)",
+        &config,
+    );
+    assert!(report.sites_inlined >= 1, "{report:?}");
+    // The inlined copy accesses k through cl-ref.
+    let has_clref = out
+        .labels()
+        .any(|l| matches!(out.expr(l), ExprKind::ClRef(..)));
+    assert!(has_clref, "cl-ref should be emitted");
+}
+
+#[test]
+fn free_var_in_pruned_branch_allows_closed_inline() {
+    // The paper's exception (i): z occurs only in a conditional branch that
+    // specialization eliminates, so the procedure inlines in Closed mode.
+    let (_, report) = run(
+        "(define (make z)
+           (lambda (flag) (if flag 'const z)))
+         (define g (make (cons 1 2)))
+         (g #t)",
+        &InlineConfig::with_threshold(500),
+    );
+    assert!(report.sites_inlined >= 1, "{report:?}");
+    assert!(report.branches_pruned >= 1, "{report:?}");
+}
+
+#[test]
+fn map_car_specializes_and_prunes_map_star() {
+    // Figs. 1–3: inlining (map car m) prunes the variable-arity path.
+    let (out, report) = run_simplified(
+        "(define m (cons (cons 1 2) (cons (cons 3 4) '())))
+         (map car m)",
+        500,
+    );
+    assert!(report.sites_inlined >= 1, "map should inline: {report:?}");
+    assert!(
+        report.branches_pruned >= 1,
+        "(null? args) should prune: {report:?}"
+    );
+    assert!(
+        !out.contains("apply"),
+        "map* (apply path) should be pruned: {out}"
+    );
+}
+
+#[test]
+fn selective_inlining_per_call_site() {
+    // A large procedure may be inlined where specialization shrinks it and
+    // rejected elsewhere — here the same callee at two sites with a small
+    // threshold: both still inline or not coherently; the point is the
+    // decision is per-site.
+    let src = "(define (f sel x)
+                 (if sel
+                     (+ x 1)
+                     (begin (display x) (display x) (display x) (display x)
+                            (display x) (display x) (display x) (display x)
+                            (display x) (display x) (display x) (display x)
+                            (- x 1))))
+               (cons (f #t 1) (f #f 2))";
+    let (_, report) = run(src, &InlineConfig::with_threshold(12));
+    // The #t site specializes to (+ x 1) — small enough; the #f site's
+    // specialization keeps the display chain — too big.
+    assert_eq!(report.sites_inlined, 1, "{report:?}");
+    assert_eq!(report.rejected_threshold, 1, "{report:?}");
+}
+
+#[test]
+fn inlining_inside_large_procedures_still_happens() {
+    // §2.2: a procedure too big to inline still gets inlining *within* it.
+    let src = "(define (tiny x) (+ x 1))
+               (define (huge y)
+                 (begin (display y) (display y) (display y) (display y)
+                        (display y) (display y) (display y) (display y)
+                        (tiny y)))
+               (huge 5)";
+    let (_, report) = run(src, &InlineConfig::with_threshold(8));
+    assert!(
+        report.sites_inlined >= 1,
+        "tiny inlines inside huge: {report:?}"
+    );
+    assert!(
+        report.rejected_threshold >= 1,
+        "huge itself rejected: {report:?}"
+    );
+}
+
+#[test]
+fn variadic_callee_inlines_with_explicit_rest_list() {
+    let (out, report) = run_simplified(
+        "(define (collect . xs) xs)
+         (collect 1 2 3)",
+        200,
+    );
+    assert!(report.sites_inlined >= 1, "{report:?}");
+    assert_eq!(out, "(cons 1 (cons 2 (cons 3 (quote ()))))");
+}
+
+#[test]
+fn unknown_callee_left_alone() {
+    let (_, report) = run(
+        "(define (pick b) (if b (lambda (x) (+ x 1)) (lambda (x) (- x 1))))
+         ((pick (zero? (random 2))) 5)",
+        &InlineConfig::with_threshold(500),
+    );
+    // ((pick …) 5) has two possible closures → not a candidate.
+    assert!(report.sites_inlined <= 2, "{report:?}");
+}
+
+#[test]
+fn behaviour_preserved_under_inline_plus_simplify() {
+    // Source-to-source round trip sanity: the pipeline output re-lowers.
+    let (out, _) = run_simplified(
+        "(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+         (len (cons 1 (cons 2 (cons 3 '()))))",
+        300,
+    );
+    assert!(parse_and_lower(&out).is_ok(), "{out}");
+}
+
+#[test]
+fn loop_unrolling_unfolds_then_ties() {
+    let src = "(define (count n) (if (zero? n) 0 (count (- n 1)))) (count 10)";
+    let p = parse_and_lower(src).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    let mut config = InlineConfig::with_threshold(500);
+    config.unroll = 2;
+    let (out, report) = inline_program(&p, &flow, &config);
+    fdi_lang::validate(&out).expect("unrolled program is well-formed");
+    assert!(report.unrolled >= 1, "{report:?}");
+    assert!(report.loops_tied >= 1, "loops must still tie: {report:?}");
+    // Behaviour is preserved.
+    let (simple, _) = fdi_simplify::simplify(&out);
+    let r = fdi_vm::run(&simple, &fdi_vm::RunConfig::default()).unwrap();
+    assert_eq!(r.value, "0");
+}
+
+#[test]
+fn unrolling_reduces_dynamic_calls() {
+    let src = "(define (count n) (if (zero? n) 0 (count (- n 1)))) (count 60)";
+    let p = parse_and_lower(src).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    let run = |unroll: usize| {
+        let mut config = InlineConfig::with_threshold(2000);
+        config.unroll = unroll;
+        let (out, _) = inline_program(&p, &flow, &config);
+        let (simple, _) = fdi_simplify::simplify(&out);
+        fdi_vm::run(&simple, &fdi_vm::RunConfig::default()).unwrap()
+    };
+    let plain = run(0);
+    let unrolled = run(3);
+    assert_eq!(plain.value, unrolled.value);
+    assert!(
+        unrolled.counters.calls < plain.counters.calls,
+        "unrolling should execute fewer calls: {} vs {}",
+        unrolled.counters.calls,
+        plain.counters.calls
+    );
+}
+
+#[test]
+fn divergence_prunes_right_of_error() {
+    // §3.4: with left-to-right evaluation, the subexpressions to the right
+    // of one whose abstract value is ⊥ can be pruned.
+    let (out, report) = run(
+        "(define (boom) (error \"unreachable\"))
+         (begin (display 1) (boom) (display 2) (display 3))",
+        &InlineConfig::with_threshold(100),
+    );
+    assert!(report.divergence_prunes >= 2, "{report:?}");
+    let printed = fdi_lang::unparse(&out).to_string();
+    assert!(!printed.contains("(display 2)"), "{printed}");
+    assert!(printed.contains("(display 1)"), "{printed}");
+}
+
+#[test]
+fn divergent_call_argument_prunes_the_call() {
+    let (out, report) = run(
+        "(define (f a b) (cons a b))
+         (f (error \"stop\") (display 9))",
+        &InlineConfig::with_threshold(100),
+    );
+    assert!(report.divergence_prunes >= 1, "{report:?}");
+    let printed = fdi_lang::unparse(&out).to_string();
+    assert!(!printed.contains("(display 9)"), "{printed}");
+    // Behaviour preserved: the program still errors with the same message.
+    let (simple, _) = fdi_simplify::simplify(&out);
+    let err = fdi_vm::run(&simple, &fdi_vm::RunConfig::default()).unwrap_err();
+    assert!(err.message.contains("stop"), "{}", err.message);
+}
+
+#[test]
+fn report_counts_are_consistent() {
+    let (_, report) = run(
+        "(define (sq x) (* x x)) (cons (sq 2) (sq 3))",
+        &InlineConfig::with_threshold(100),
+    );
+    assert!(report.calls_seen >= 2);
+    assert_eq!(report.sites_inlined, 2);
+}

@@ -1,0 +1,402 @@
+//! Arena-based labeled AST.
+//!
+//! Every subexpression of a program carries a unique [`Label`] (§3.1: "each
+//! subterm of a program must have a unique label") and every binding occurrence
+//! a unique [`VarId`] ("all free and bound variables in a program are
+//! distinct"). Both properties are established by lowering and preserved by
+//! the inliner and simplifier, which build fresh programs through the same
+//! arena API.
+
+use crate::consts::Const;
+use crate::intern::{Interner, Sym};
+use crate::prims::PrimOp;
+use std::fmt;
+
+/// A label naming one subexpression — an index into the program's expression
+/// arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A renamed variable — an index into the program's variable table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Which form binds a variable. The flow analysis splits contours at uses of
+/// `Let`/`Letrec`-bound variables (polymorphic splitting), keyed by the
+/// binding expression's label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binder {
+    /// Bound by the λ-expression with this label.
+    Lambda(Label),
+    /// Bound by the `let` expression with this label.
+    Let(Label),
+    /// Bound by the `letrec` expression with this label.
+    Letrec(Label),
+}
+
+impl Binder {
+    /// The label of the binding expression.
+    pub fn label(self) -> Label {
+        match self {
+            Binder::Lambda(l) | Binder::Let(l) | Binder::Letrec(l) => l,
+        }
+    }
+}
+
+/// Metadata for one variable binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Source name (for unparsing).
+    pub name: Sym,
+    /// The binding form.
+    pub binder: Binder,
+    /// True for variables bound by the outermost `let`/`letrec` chain that
+    /// lowering builds from top-level `define`s (including the prelude).
+    /// The paper's evaluated configuration inlines only procedures *closed up
+    /// to top-level variables* (§4).
+    pub top_level: bool,
+}
+
+/// A λ-expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LambdaInfo {
+    /// Required parameters.
+    pub params: Vec<VarId>,
+    /// Rest parameter for variadic procedures, e.g. `(lambda (f al . args) …)`.
+    pub rest: Option<VarId>,
+    /// Body expression.
+    pub body: Label,
+}
+
+impl LambdaInfo {
+    /// True when a call with `n` arguments matches this arity.
+    pub fn accepts(&self, n: usize) -> bool {
+        if self.rest.is_some() {
+            n >= self.params.len()
+        } else {
+            n == self.params.len()
+        }
+    }
+}
+
+/// One core-language expression form.
+///
+/// This is the paper's Fig. 4 grammar plus the extensions documented in
+/// `DESIGN.md`: variadic λ, `apply`, vectors (folded into [`PrimOp`]), and
+/// the target-language `cl-ref` form of §3.5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// A constant `c`.
+    Const(Const),
+    /// A variable reference `x`. The *use label* that polymorphic splitting
+    /// substitutes into contours is this node's own label.
+    Var(VarId),
+    /// A primitive application `(p e1 … en)`.
+    Prim(PrimOp, Vec<Label>),
+    /// A procedure call `(call e0 e1 … en)`; element 0 is the operator.
+    Call(Vec<Label>),
+    /// `(apply e0 e1)` — call `e0` with the elements of list `e1`.
+    Apply(Label, Label),
+    /// `(begin e1 … en)`, non-empty.
+    Begin(Vec<Label>),
+    /// `(if e1 e2 e3)`.
+    If(Label, Label, Label),
+    /// `(let ((x e) …) body)`.
+    Let(Vec<(VarId, Label)>, Label),
+    /// `(letrec ((y f) …) body)` — every right-hand side is a `Lambda`.
+    Letrec(Vec<(VarId, Label)>, Label),
+    /// `(lambda (x … [. r]) body)`.
+    Lambda(LambdaInfo),
+    /// `(cl-ref e n)` — the n-th captured free variable of closure `e`
+    /// (target language of §3.5; produced only by the inliner in open mode).
+    ClRef(Label, u32),
+}
+
+/// A closed program: an expression arena, a variable table, and a root.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_lang::parse_and_lower;
+///
+/// let p = parse_and_lower("((lambda (x) x) 1)").unwrap();
+/// assert!(matches!(p.expr(p.root()), fdi_lang::ExprKind::Call(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Program {
+    exprs: Vec<ExprKind>,
+    vars: Vec<VarInfo>,
+    interner: Interner,
+    root: Label,
+    /// Pinned capture layouts: the target language of §3.5 annotates each
+    /// λ with an ordered free-variable list `[z1 … zm]` so `cl-ref` indices
+    /// stay meaningful under later transformation. `None` (absent) means the
+    /// layout is the λ's first-occurrence free-variable order.
+    pinned_captures: std::collections::HashMap<Label, Vec<VarId>>,
+}
+
+impl Program {
+    /// Creates an empty program (no expressions yet; the root defaults to the
+    /// first expression added).
+    pub fn new(interner: Interner) -> Program {
+        Program {
+            exprs: Vec::new(),
+            vars: Vec::new(),
+            interner,
+            root: Label(0),
+            pinned_captures: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Pins the capture layout of the λ at `label` (the `[z1 … zm]`
+    /// annotation of §3.5's target language). `cl-ref` indices into this λ
+    /// refer to positions in this list; the VM lays captures out as this
+    /// list followed by any remaining free variables.
+    pub fn pin_captures(&mut self, label: Label, vars: Vec<VarId>) {
+        self.pinned_captures.insert(label, vars);
+    }
+
+    /// The pinned capture layout of a λ, if any.
+    pub fn pinned_captures(&self, label: Label) -> Option<&[VarId]> {
+        self.pinned_captures.get(&label).map(Vec::as_slice)
+    }
+
+    /// All variables appearing in pinned capture lists (they must stay
+    /// materialized: the simplifier may not substitute them away).
+    pub fn pinned_capture_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.pinned_captures.values().flatten().copied()
+    }
+
+    /// The root expression.
+    pub fn root(&self) -> Label {
+        self.root
+    }
+
+    /// Sets the root expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn set_root(&mut self, label: Label) {
+        assert!((label.0 as usize) < self.exprs.len(), "root out of range");
+        self.root = label;
+    }
+
+    /// Adds an expression, returning its fresh label.
+    pub fn add_expr(&mut self, kind: ExprKind) -> Label {
+        let l = Label(self.exprs.len() as u32);
+        self.exprs.push(kind);
+        l
+    }
+
+    /// Overwrites an expression in place. Used by passes that must allocate
+    /// a binding form's label before lowering its children (the label is the
+    /// binder recorded in each [`VarInfo`]).
+    pub fn set_expr(&mut self, label: Label, kind: ExprKind) {
+        self.exprs[label.0 as usize] = kind;
+    }
+
+    /// Adds a variable binding, returning its fresh id.
+    pub fn add_var(&mut self, info: VarInfo) -> VarId {
+        let v = VarId(self.vars.len() as u32);
+        self.vars.push(info);
+        v
+    }
+
+    /// Looks up an expression.
+    pub fn expr(&self, label: Label) -> &ExprKind {
+        &self.exprs[label.0 as usize]
+    }
+
+    /// Looks up a variable.
+    pub fn var(&self, v: VarId) -> &VarInfo {
+        &self.vars[v.0 as usize]
+    }
+
+    /// Patches a variable's binder (used when a transform re-parents a
+    /// binding, e.g. the loop `letrec` the inliner introduces).
+    pub fn set_var_binder(&mut self, v: VarId, binder: Binder) {
+        self.vars[v.0 as usize].binder = binder;
+    }
+
+    /// The variable's source name.
+    pub fn var_name(&self, v: VarId) -> &str {
+        self.interner.name(self.vars[v.0 as usize].name)
+    }
+
+    /// Number of expressions in the arena (labels are `0..count`).
+    pub fn expr_count(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Number of variables (ids are `0..count`).
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Iterates over all labels in the arena. Note that transforms may leave
+    /// unreachable (dead) nodes in the arena; use [`Program::reachable`] for
+    /// the live set.
+    pub fn labels(&self) -> impl Iterator<Item = Label> {
+        (0..self.exprs.len() as u32).map(Label)
+    }
+
+    /// The string interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the interner (for transforms that invent names).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Calls `f` on each direct child label of `label`, in evaluation order.
+    pub fn for_each_child(&self, label: Label, mut f: impl FnMut(Label)) {
+        match self.expr(label) {
+            ExprKind::Const(_) | ExprKind::Var(_) => {}
+            ExprKind::Prim(_, args) => args.iter().copied().for_each(&mut f),
+            ExprKind::Call(parts) | ExprKind::Begin(parts) => {
+                parts.iter().copied().for_each(&mut f)
+            }
+            ExprKind::Apply(e0, e1) => {
+                f(*e0);
+                f(*e1);
+            }
+            ExprKind::If(c, t, e) => {
+                f(*c);
+                f(*t);
+                f(*e);
+            }
+            ExprKind::Let(bindings, body) | ExprKind::Letrec(bindings, body) => {
+                bindings.iter().for_each(|&(_, e)| f(e));
+                f(*body);
+            }
+            ExprKind::Lambda(lam) => f(lam.body),
+            ExprKind::ClRef(e, _) => f(*e),
+        }
+    }
+
+    /// Labels reachable from the root, in preorder.
+    pub fn reachable(&self) -> Vec<Label> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        let mut seen = vec![false; self.exprs.len()];
+        while let Some(l) = stack.pop() {
+            if std::mem::replace(&mut seen[l.0 as usize], true) {
+                continue;
+            }
+            out.push(l);
+            let mut kids = Vec::new();
+            self.for_each_child(l, |c| kids.push(c));
+            // Push reversed so preorder pops left-to-right.
+            stack.extend(kids.into_iter().rev());
+        }
+        out
+    }
+
+    /// Size of the whole program under the paper's code-size metric
+    /// (see [`crate::expr_size`]).
+    pub fn size(&self) -> usize {
+        crate::size::subtree_size(self, self.root)
+    }
+
+    /// Number of source lines this program would occupy when pretty-printed —
+    /// the "Lines" column of Table 1.
+    pub fn line_count(&self) -> usize {
+        fdi_sexpr::pretty(&crate::unparse::unparse(self))
+            .lines()
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Program {
+        let mut interner = Interner::new();
+        let x = interner.intern("x");
+        let mut p = Program::new(interner);
+        let lam_label_guess = Label(2); // the lambda will be the third node
+        let v = p.add_var(VarInfo {
+            name: x,
+            binder: Binder::Lambda(lam_label_guess),
+            top_level: false,
+        });
+        let body = p.add_expr(ExprKind::Var(v));
+        let one = p.add_expr(ExprKind::Const(Const::Int(1)));
+        let lam = p.add_expr(ExprKind::Lambda(LambdaInfo {
+            params: vec![v],
+            rest: None,
+            body,
+        }));
+        assert_eq!(lam, lam_label_guess);
+        let call = p.add_expr(ExprKind::Call(vec![lam, one]));
+        p.set_root(call);
+        p
+    }
+
+    #[test]
+    fn arena_roundtrip() {
+        let p = tiny();
+        assert_eq!(p.expr_count(), 4);
+        assert_eq!(p.var_count(), 1);
+        assert!(matches!(p.expr(p.root()), ExprKind::Call(parts) if parts.len() == 2));
+        assert_eq!(p.var_name(VarId(0)), "x");
+    }
+
+    #[test]
+    fn children_in_eval_order() {
+        let p = tiny();
+        let mut kids = Vec::new();
+        p.for_each_child(p.root(), |c| kids.push(c));
+        assert_eq!(kids, vec![Label(2), Label(1)]);
+    }
+
+    #[test]
+    fn reachable_is_preorder_and_complete() {
+        let p = tiny();
+        let r = p.reachable();
+        assert_eq!(r, vec![Label(3), Label(2), Label(0), Label(1)]);
+    }
+
+    #[test]
+    fn lambda_arity() {
+        let fixed = LambdaInfo {
+            params: vec![VarId(0), VarId(1)],
+            rest: None,
+            body: Label(0),
+        };
+        assert!(fixed.accepts(2));
+        assert!(!fixed.accepts(1));
+        assert!(!fixed.accepts(3));
+        let var = LambdaInfo {
+            params: vec![VarId(0)],
+            rest: Some(VarId(1)),
+            body: Label(0),
+        };
+        assert!(var.accepts(1));
+        assert!(var.accepts(4));
+        assert!(!var.accepts(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "root out of range")]
+    fn set_root_validates() {
+        let mut p = Program::new(Interner::new());
+        p.set_root(Label(0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Constants of the core language.
+
+use crate::intern::{Interner, Sym};
+use std::fmt;
+
+/// A literal constant.
+///
+/// Floats are stored as raw bits so that `Const` can be `Eq`/`Hash` (needed
+/// because constants appear inside abstract values and interned AST nodes);
+/// use [`Const::as_f64`] to recover the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Const {
+    /// `#t` / `#f`.
+    Bool(bool),
+    /// Exact integer.
+    Int(i64),
+    /// Inexact real, stored as bits.
+    Float(u64),
+    /// Character.
+    Char(char),
+    /// String literal (interned).
+    Str(Sym),
+    /// Symbol literal (interned). Symbols stay precise in the abstract
+    /// domain, which is what lets `case` dispatch prune.
+    Symbol(Sym),
+    /// The empty list.
+    Nil,
+    /// The unspecified value returned by side-effecting operations.
+    Unspecified,
+}
+
+impl Const {
+    /// Builds a float constant.
+    pub fn float(x: f64) -> Const {
+        Const::Float(x.to_bits())
+    }
+
+    /// Recovers a float value, if this constant is a float.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Const::Float(bits) => Some(f64::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// True for `#f` — the only false value in Scheme.
+    pub fn is_false(self) -> bool {
+        self == Const::Bool(false)
+    }
+
+    /// Renders the constant using `interner` for strings and symbols.
+    pub fn display<'a>(self, interner: &'a Interner) -> ConstDisplay<'a> {
+        ConstDisplay {
+            konst: self,
+            interner,
+        }
+    }
+}
+
+/// Helper returned by [`Const::display`].
+#[derive(Debug)]
+pub struct ConstDisplay<'a> {
+    konst: Const,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for ConstDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.konst {
+            Const::Bool(true) => write!(f, "#t"),
+            Const::Bool(false) => write!(f, "#f"),
+            Const::Int(n) => write!(f, "{n}"),
+            Const::Float(bits) => write!(f, "{}", f64::from_bits(bits)),
+            Const::Char(c) => write!(f, "#\\{c}"),
+            Const::Str(s) => write!(f, "{:?}", self.interner.name(s)),
+            Const::Symbol(s) => write!(f, "'{}", self.interner.name(s)),
+            Const::Nil => write!(f, "'()"),
+            Const::Unspecified => write!(f, "#!unspecified"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_roundtrip() {
+        let c = Const::float(2.5);
+        assert_eq!(c.as_f64(), Some(2.5));
+        assert_eq!(Const::Int(1).as_f64(), None);
+    }
+
+    #[test]
+    fn only_false_is_false() {
+        assert!(Const::Bool(false).is_false());
+        assert!(!Const::Bool(true).is_false());
+        assert!(!Const::Nil.is_false());
+        assert!(!Const::Int(0).is_false());
+    }
+
+    #[test]
+    fn display_uses_interner() {
+        let mut i = Interner::new();
+        let s = i.intern("hello");
+        assert_eq!(Const::Symbol(s).display(&i).to_string(), "'hello");
+        assert_eq!(Const::Str(s).display(&i).to_string(), "\"hello\"");
+        assert_eq!(Const::Bool(true).display(&i).to_string(), "#t");
+    }
+}

@@ -1,0 +1,902 @@
+//! Macro expansion from the R4RS-like surface syntax to the core forms of
+//! the paper's Fig. 4 grammar.
+//!
+//! Derived forms (`define`, named `let`, `let*`, `cond`, `case`, `and`, `or`,
+//! `when`, `unless`, `do`, depth-1 `quasiquote`) expand into applications of
+//! the core forms. Compound `quote` literals are hoisted to top-level
+//! bindings so that a literal inside a loop is allocated once, matching the
+//! storage behaviour of compiled Scheme.
+
+use fdi_sexpr::Datum;
+use std::fmt;
+
+/// An error during macro expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expand error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ExpandError> {
+    Err(ExpandError {
+        message: message.into(),
+    })
+}
+
+fn sym(s: &str) -> Datum {
+    Datum::sym(s)
+}
+
+fn list(items: Vec<Datum>) -> Datum {
+    Datum::list(items)
+}
+
+/// The core datum `(unspecified)` — lowered to `Const::Unspecified`.
+fn unspecified() -> Datum {
+    list(vec![sym("unspecified")])
+}
+
+/// Expands a whole top-level program into one core expression.
+///
+/// Top-level `define`s become nested `let`/`letrec` scopes: maximal runs of
+/// consecutive procedure definitions form one (mutually recursive) `letrec`;
+/// value definitions form `let`s; interleaved expressions are sequenced with
+/// `begin`. The final value is the last top-level expression.
+///
+/// # Errors
+///
+/// Returns [`ExpandError`] for malformed special forms or unsupported syntax
+/// (`set!`, nested `quasiquote`).
+///
+/// # Examples
+///
+/// ```
+/// let data = fdi_sexpr::parse("(define (f x) x) (f 1)").unwrap();
+/// let core = fdi_lang::expand_program(&data).unwrap();
+/// assert!(core.is_form("letrec"));
+/// ```
+pub fn expand_program(forms: &[Datum]) -> Result<Datum, ExpandError> {
+    let mut exp = Expander::default();
+    let mut items = Vec::new();
+    for form in forms {
+        items.push(exp.expand_top(form)?);
+    }
+    // Prepend hoisted literal bindings as value definitions.
+    let mut all = Vec::new();
+    for (name, build) in std::mem::take(&mut exp.hoisted) {
+        all.push(Item::Define {
+            name,
+            value: build,
+            is_lambda: false,
+        });
+    }
+    all.extend(items);
+    Ok(assemble_body(all))
+}
+
+/// Expands a single expression (no top-level defines). Mostly for tests.
+///
+/// # Errors
+///
+/// Returns [`ExpandError`] on malformed input.
+pub fn expand_expr_standalone(d: &Datum) -> Result<Datum, ExpandError> {
+    expand_program(std::slice::from_ref(d))
+}
+
+/// One processed top-level or body item.
+enum Item {
+    Define {
+        name: String,
+        value: Datum,
+        is_lambda: bool,
+    },
+    Expr(Datum),
+}
+
+/// Folds a define/expression sequence into nested `letrec`/`let`/`begin`.
+fn assemble_body(items: Vec<Item>) -> Datum {
+    // Walk backwards, accumulating the continuation expression.
+    let mut rest: Option<Datum> = None;
+    let mut i = items.len();
+    while i > 0 {
+        i -= 1;
+        match &items[i] {
+            Item::Expr(e) => {
+                rest = Some(match rest {
+                    None => e.clone(),
+                    Some(r) => match r {
+                        // Flatten nested begins as we build them.
+                        Datum::List(mut parts) if parts[0].as_sym() == Some("begin") => {
+                            parts.insert(1, e.clone());
+                            Datum::List(parts)
+                        }
+                        r => list(vec![sym("begin"), e.clone(), r]),
+                    },
+                });
+            }
+            Item::Define {
+                is_lambda: true, ..
+            } => {
+                // Collect the maximal run of consecutive lambda defines.
+                let mut start = i;
+                while start > 0 {
+                    if let Item::Define {
+                        is_lambda: true, ..
+                    } = items[start - 1]
+                    {
+                        start -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                let bindings: Vec<Datum> = items[start..=i]
+                    .iter()
+                    .map(|it| match it {
+                        Item::Define { name, value, .. } => list(vec![sym(name), value.clone()]),
+                        Item::Expr(_) => unreachable!("run contains only defines"),
+                    })
+                    .collect();
+                let body = rest.unwrap_or(Datum::Bool(true));
+                rest = Some(list(vec![sym("letrec"), list(bindings), body]));
+                i = start;
+            }
+            Item::Define {
+                name,
+                value,
+                is_lambda: false,
+            } => {
+                let body = rest.unwrap_or(Datum::Bool(true));
+                rest = Some(list(vec![
+                    sym("let"),
+                    list(vec![list(vec![sym(name), value.clone()])]),
+                    body,
+                ]));
+            }
+        }
+    }
+    rest.unwrap_or(Datum::Bool(true))
+}
+
+#[derive(Default)]
+struct Expander {
+    counter: u32,
+    hoisted: Vec<(String, Datum)>,
+}
+
+impl Expander {
+    fn fresh(&mut self, hint: &str) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        format!("%{hint}{n}")
+    }
+
+    fn expand_top(&mut self, d: &Datum) -> Result<Item, ExpandError> {
+        if d.is_form("define") {
+            let (name, value, is_lambda) = self.expand_define(d.as_list().unwrap())?;
+            Ok(Item::Define {
+                name,
+                value,
+                is_lambda,
+            })
+        } else {
+            Ok(Item::Expr(self.expand(d)?))
+        }
+    }
+
+    /// `(define (f . args) body…)` or `(define x e)` → (name, value, is_lambda).
+    fn expand_define(&mut self, parts: &[Datum]) -> Result<(String, Datum, bool), ExpandError> {
+        match parts {
+            [_, Datum::Sym(name), value] => {
+                let v = self.expand(value)?;
+                let is_lambda = v.is_form("lambda");
+                Ok((name.clone(), v, is_lambda))
+            }
+            [_, Datum::Sym(name)] => Ok((name.clone(), unspecified(), false)),
+            [_, header, body @ ..] if !body.is_empty() => {
+                // (define (f a b . r) body...) — the header may be improper.
+                let (name, formals) = match header {
+                    Datum::List(hs) => {
+                        let name = hs[0]
+                            .as_sym()
+                            .ok_or_else(|| ExpandError {
+                                message: "define: procedure name must be a symbol".into(),
+                            })?
+                            .to_string();
+                        (name, Datum::list(hs[1..].to_vec()))
+                    }
+                    Datum::Improper(hs, tail) => {
+                        let name = hs[0]
+                            .as_sym()
+                            .ok_or_else(|| ExpandError {
+                                message: "define: procedure name must be a symbol".into(),
+                            })?
+                            .to_string();
+                        let rest = hs[1..].to_vec();
+                        let formals = if rest.is_empty() {
+                            (**tail).clone()
+                        } else {
+                            Datum::Improper(rest, tail.clone())
+                        };
+                        (name, formals)
+                    }
+                    _ => return err("define: bad header"),
+                };
+                let lam = self.expand_lambda(&formals, body)?;
+                Ok((name, lam, true))
+            }
+            _ => err("define: bad syntax"),
+        }
+    }
+
+    /// Body sequence with internal defines → one expression.
+    fn expand_body(&mut self, body: &[Datum]) -> Result<Datum, ExpandError> {
+        if body.is_empty() {
+            return err("empty body");
+        }
+        let mut items = Vec::new();
+        for d in body {
+            items.push(self.expand_top(d)?);
+        }
+        if let Some(Item::Define { .. }) = items.last() {
+            return err("body ends with a definition");
+        }
+        Ok(assemble_body(items))
+    }
+
+    fn expand_lambda(&mut self, formals: &Datum, body: &[Datum]) -> Result<Datum, ExpandError> {
+        let body = self.expand_body(body)?;
+        Ok(list(vec![sym("lambda"), formals.clone(), body]))
+    }
+
+    fn expand_all(&mut self, ds: &[Datum]) -> Result<Vec<Datum>, ExpandError> {
+        ds.iter().map(|d| self.expand(d)).collect()
+    }
+
+    /// Hoists a compound literal, returning a variable reference.
+    fn hoist_literal(&mut self, d: &Datum) -> Datum {
+        let name = self.fresh("lit");
+        let build = build_literal(d);
+        self.hoisted.push((name.clone(), build));
+        sym(&name)
+    }
+
+    fn expand_quote(&mut self, d: &Datum) -> Datum {
+        match d {
+            Datum::List(_) | Datum::Improper(..) | Datum::Vector(_) => self.hoist_literal(d),
+            Datum::Nil | Datum::Sym(_) => list(vec![sym("quote"), d.clone()]),
+            atom => atom.clone(),
+        }
+    }
+
+    fn expand(&mut self, d: &Datum) -> Result<Datum, ExpandError> {
+        let Some(parts) = d.as_list() else {
+            // Atoms self-evaluate; symbols are variable references.
+            return match d {
+                Datum::Improper(..) => err(format!("bad expression: {d}")),
+                other => Ok(other.clone()),
+            };
+        };
+        if parts.is_empty() {
+            return err("() is not an expression");
+        }
+        let head = parts[0].as_sym();
+        match head {
+            Some("quote") => {
+                if parts.len() != 2 {
+                    return err("quote: bad syntax");
+                }
+                Ok(self.expand_quote(&parts[1]))
+            }
+            Some("quasiquote") => {
+                if parts.len() != 2 {
+                    return err("quasiquote: bad syntax");
+                }
+                self.expand_quasi(&parts[1])
+            }
+            Some("unquote") | Some("unquote-splicing") => err("unquote outside quasiquote"),
+            Some("lambda") => {
+                if parts.len() < 3 {
+                    return err("lambda: bad syntax");
+                }
+                self.expand_lambda(&parts[1], &parts[2..])
+            }
+            Some("if") => match parts.len() {
+                3 => Ok(list(vec![
+                    sym("if"),
+                    self.expand(&parts[1])?,
+                    self.expand(&parts[2])?,
+                    unspecified(),
+                ])),
+                4 => Ok(list(vec![
+                    sym("if"),
+                    self.expand(&parts[1])?,
+                    self.expand(&parts[2])?,
+                    self.expand(&parts[3])?,
+                ])),
+                _ => err("if: bad syntax"),
+            },
+            Some("begin") => {
+                if parts.len() == 1 {
+                    return Ok(unspecified());
+                }
+                let body = self.expand_all(&parts[1..])?;
+                if body.len() == 1 {
+                    Ok(body.into_iter().next().unwrap())
+                } else {
+                    let mut items = vec![sym("begin")];
+                    items.extend(body);
+                    Ok(list(items))
+                }
+            }
+            Some("let") => self.expand_let(parts),
+            Some("let*") => self.expand_let_star(parts),
+            Some("letrec") | Some("letrec*") => self.expand_letrec(parts),
+            Some("cond") => self.expand_cond(&parts[1..]),
+            Some("case") => self.expand_case(parts),
+            Some("and") => self.expand_and(&parts[1..]),
+            Some("or") => self.expand_or(&parts[1..]),
+            Some("when") => {
+                if parts.len() < 3 {
+                    return err("when: bad syntax");
+                }
+                let mut body = vec![sym("begin")];
+                body.extend(self.expand_all(&parts[2..])?);
+                Ok(list(vec![
+                    sym("if"),
+                    self.expand(&parts[1])?,
+                    if body.len() == 2 {
+                        body.pop().unwrap()
+                    } else {
+                        list(body)
+                    },
+                    unspecified(),
+                ]))
+            }
+            Some("unless") => {
+                if parts.len() < 3 {
+                    return err("unless: bad syntax");
+                }
+                let mut body = vec![sym("begin")];
+                body.extend(self.expand_all(&parts[2..])?);
+                Ok(list(vec![
+                    sym("if"),
+                    self.expand(&parts[1])?,
+                    unspecified(),
+                    if body.len() == 2 {
+                        body.pop().unwrap()
+                    } else {
+                        list(body)
+                    },
+                ]))
+            }
+            Some("do") => self.expand_do(parts),
+            Some("set!") => err("set! is not in the core language; use pairs or vectors"),
+            Some("define") => err("define in expression position"),
+            Some("unspecified") if parts.len() == 1 => Ok(unspecified()),
+            _ => {
+                // Application (or a core form like apply/cl-ref, which lowering
+                // distinguishes by head symbol).
+                Ok(list(self.expand_all(parts)?))
+            }
+        }
+    }
+
+    fn expand_let(&mut self, parts: &[Datum]) -> Result<Datum, ExpandError> {
+        // Named let: (let loop ((v init) ...) body...)
+        if parts.len() >= 4 && parts[1].as_sym().is_some() {
+            let name = parts[1].as_sym().unwrap();
+            let bindings = parts[2].as_list().ok_or_else(|| ExpandError {
+                message: "named let: bad bindings".into(),
+            })?;
+            let mut vars = Vec::new();
+            let mut inits = Vec::new();
+            for b in bindings {
+                let pair = b
+                    .as_list()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| ExpandError {
+                        message: "named let: bad binding".into(),
+                    })?;
+                vars.push(pair[0].clone());
+                inits.push(pair[1].clone());
+            }
+            let lam = self.expand_lambda(&Datum::list(vars), &parts[3..])?;
+            let mut call = vec![sym(name)];
+            call.extend(self.expand_all(&inits)?);
+            return Ok(list(vec![
+                sym("letrec"),
+                list(vec![list(vec![sym(name), lam])]),
+                list(call),
+            ]));
+        }
+        if parts.len() < 3 {
+            return err("let: bad syntax");
+        }
+        let bindings = parts[1].as_list().ok_or_else(|| ExpandError {
+            message: "let: bad bindings".into(),
+        })?;
+        let mut out_binds = Vec::new();
+        for b in bindings {
+            let pair = b
+                .as_list()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| ExpandError {
+                    message: format!("let: bad binding {b}"),
+                })?;
+            if pair[0].as_sym().is_none() {
+                return err("let: binding name must be a symbol");
+            }
+            out_binds.push(list(vec![pair[0].clone(), self.expand(&pair[1])?]));
+        }
+        let body = self.expand_body(&parts[2..])?;
+        if out_binds.is_empty() {
+            return Ok(body);
+        }
+        Ok(list(vec![sym("let"), list(out_binds), body]))
+    }
+
+    fn expand_let_star(&mut self, parts: &[Datum]) -> Result<Datum, ExpandError> {
+        if parts.len() < 3 {
+            return err("let*: bad syntax");
+        }
+        let bindings = parts[1].as_list().ok_or_else(|| ExpandError {
+            message: "let*: bad bindings".into(),
+        })?;
+        if bindings.is_empty() {
+            return self.expand_body(&parts[2..]);
+        }
+        // (let* ((a x) rest...) body) → (let ((a x)) (let* (rest...) body))
+        let mut inner = vec![sym("let*"), Datum::list(bindings[1..].to_vec())];
+        inner.extend_from_slice(&parts[2..]);
+        let rewritten = list(vec![
+            sym("let"),
+            list(vec![bindings[0].clone()]),
+            list(inner),
+        ]);
+        self.expand(&rewritten)
+    }
+
+    fn expand_letrec(&mut self, parts: &[Datum]) -> Result<Datum, ExpandError> {
+        if parts.len() < 3 {
+            return err("letrec: bad syntax");
+        }
+        let bindings = parts[1].as_list().ok_or_else(|| ExpandError {
+            message: "letrec: bad bindings".into(),
+        })?;
+        let mut out_binds = Vec::new();
+        for b in bindings {
+            let pair = b
+                .as_list()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| ExpandError {
+                    message: format!("letrec: bad binding {b}"),
+                })?;
+            let rhs = self.expand(&pair[1])?;
+            if !rhs.is_form("lambda") {
+                return err(format!(
+                    "letrec: right-hand side of {} must be a lambda",
+                    pair[0]
+                ));
+            }
+            out_binds.push(list(vec![pair[0].clone(), rhs]));
+        }
+        let body = self.expand_body(&parts[2..])?;
+        if out_binds.is_empty() {
+            return Ok(body);
+        }
+        Ok(list(vec![sym("letrec"), list(out_binds), body]))
+    }
+
+    fn expand_cond(&mut self, clauses: &[Datum]) -> Result<Datum, ExpandError> {
+        let Some((clause, rest)) = clauses.split_first() else {
+            return Ok(unspecified());
+        };
+        let parts = clause.as_list().ok_or_else(|| ExpandError {
+            message: format!("cond: bad clause {clause}"),
+        })?;
+        if parts.is_empty() {
+            return err("cond: empty clause");
+        }
+        if parts[0].as_sym() == Some("else") {
+            if !rest.is_empty() {
+                return err("cond: else clause must be last");
+            }
+            return self.expand_body(&parts[1..]);
+        }
+        let test = self.expand(&parts[0])?;
+        let rest_expr = self.expand_cond(rest)?;
+        match parts.len() {
+            1 => {
+                // (test) — the test's value is the result when true.
+                let t = self.fresh("t");
+                Ok(list(vec![
+                    sym("let"),
+                    list(vec![list(vec![sym(&t), test])]),
+                    list(vec![sym("if"), sym(&t), sym(&t), rest_expr]),
+                ]))
+            }
+            3 if parts[1].as_sym() == Some("=>") => {
+                let t = self.fresh("t");
+                let f = self.expand(&parts[2])?;
+                Ok(list(vec![
+                    sym("let"),
+                    list(vec![list(vec![sym(&t), test])]),
+                    list(vec![sym("if"), sym(&t), list(vec![f, sym(&t)]), rest_expr]),
+                ]))
+            }
+            _ => {
+                let body = self.expand_body(&parts[1..])?;
+                Ok(list(vec![sym("if"), test, body, rest_expr]))
+            }
+        }
+    }
+
+    fn expand_case(&mut self, parts: &[Datum]) -> Result<Datum, ExpandError> {
+        if parts.len() < 3 {
+            return err("case: bad syntax");
+        }
+        let key = self.expand(&parts[1])?;
+        let k = self.fresh("k");
+        let mut arms: Option<Datum> = None;
+        for clause in parts[2..].iter().rev() {
+            let cparts = clause.as_list().ok_or_else(|| ExpandError {
+                message: format!("case: bad clause {clause}"),
+            })?;
+            if cparts.is_empty() {
+                return err("case: empty clause");
+            }
+            let body = self.expand_body(&cparts[1..])?;
+            if cparts[0].as_sym() == Some("else") {
+                if arms.is_some() {
+                    return err("case: else clause must be last");
+                }
+                arms = Some(body);
+                continue;
+            }
+            let datums = cparts[0].as_list().ok_or_else(|| ExpandError {
+                message: "case: clause datums must be a list".into(),
+            })?;
+            let mut test: Option<Datum> = None;
+            for datum in datums.iter().rev() {
+                let cmp = list(vec![sym("eqv?"), sym(&k), self.expand_quote(datum)]);
+                test = Some(match test {
+                    None => cmp,
+                    Some(t) => list(vec![sym("if"), cmp, Datum::Bool(true), t]),
+                });
+            }
+            let test = test.unwrap_or(Datum::Bool(false));
+            let rest = arms.unwrap_or_else(unspecified);
+            arms = Some(list(vec![sym("if"), test, body, rest]));
+        }
+        Ok(list(vec![
+            sym("let"),
+            list(vec![list(vec![sym(&k), key])]),
+            arms.unwrap_or_else(unspecified),
+        ]))
+    }
+
+    fn expand_and(&mut self, args: &[Datum]) -> Result<Datum, ExpandError> {
+        match args {
+            [] => Ok(Datum::Bool(true)),
+            [e] => self.expand(e),
+            [e, rest @ ..] => Ok(list(vec![
+                sym("if"),
+                self.expand(e)?,
+                self.expand_and(rest)?,
+                Datum::Bool(false),
+            ])),
+        }
+    }
+
+    fn expand_or(&mut self, args: &[Datum]) -> Result<Datum, ExpandError> {
+        match args {
+            [] => Ok(Datum::Bool(false)),
+            [e] => self.expand(e),
+            [e, rest @ ..] => {
+                let t = self.fresh("t");
+                Ok(list(vec![
+                    sym("let"),
+                    list(vec![list(vec![sym(&t), self.expand(e)?])]),
+                    list(vec![sym("if"), sym(&t), sym(&t), self.expand_or(rest)?]),
+                ]))
+            }
+        }
+    }
+
+    /// `(do ((v init step)…) (test res…) body…)` → a `letrec` loop.
+    fn expand_do(&mut self, parts: &[Datum]) -> Result<Datum, ExpandError> {
+        if parts.len() < 3 {
+            return err("do: bad syntax");
+        }
+        let specs = parts[1].as_list().ok_or_else(|| ExpandError {
+            message: "do: bad variable specs".into(),
+        })?;
+        let mut vars = Vec::new();
+        let mut inits = Vec::new();
+        let mut steps = Vec::new();
+        for spec in specs {
+            let sp = spec.as_list().ok_or_else(|| ExpandError {
+                message: format!("do: bad spec {spec}"),
+            })?;
+            match sp {
+                [v, init] => {
+                    vars.push(v.clone());
+                    inits.push(init.clone());
+                    steps.push(v.clone());
+                }
+                [v, init, step] => {
+                    vars.push(v.clone());
+                    inits.push(init.clone());
+                    steps.push(step.clone());
+                }
+                _ => return err("do: bad spec"),
+            }
+        }
+        let exit = parts[2].as_list().ok_or_else(|| ExpandError {
+            message: "do: bad exit clause".into(),
+        })?;
+        if exit.is_empty() {
+            return err("do: empty exit clause");
+        }
+        let loop_name = self.fresh("do-loop");
+        let mut recur = vec![sym(&loop_name)];
+        recur.extend(steps);
+        let mut loop_body: Vec<Datum> = parts[3..].to_vec();
+        loop_body.push(list(recur));
+        let mut begin = vec![sym("begin")];
+        begin.extend(loop_body);
+        let result = if exit.len() == 1 {
+            unspecified()
+        } else {
+            let mut b = vec![sym("begin")];
+            b.extend_from_slice(&exit[1..]);
+            list(b)
+        };
+        let lam_body = list(vec![sym("if"), exit[0].clone(), result, list(begin)]);
+        let lam = list(vec![sym("lambda"), Datum::list(vars), lam_body]);
+        let mut call = vec![sym(&loop_name)];
+        call.extend(inits);
+        let rewritten = list(vec![
+            sym("letrec"),
+            list(vec![list(vec![sym(&loop_name), lam])]),
+            list(call),
+        ]);
+        self.expand(&rewritten)
+    }
+
+    /// Depth-1 quasiquote.
+    fn expand_quasi(&mut self, d: &Datum) -> Result<Datum, ExpandError> {
+        match d {
+            Datum::List(parts) if parts[0].as_sym() == Some("unquote") && parts.len() == 2 => {
+                self.expand(&parts[1])
+            }
+            Datum::List(parts) if parts[0].as_sym() == Some("quasiquote") => {
+                err("nested quasiquote is not supported")
+            }
+            Datum::List(parts) => self.expand_quasi_list(parts, &Datum::Nil),
+            Datum::Improper(parts, tail) => self.expand_quasi_list(parts, tail),
+            Datum::Vector(items) => {
+                let mut out = vec![sym("vector")];
+                for item in items {
+                    out.push(self.expand_quasi(item)?);
+                }
+                Ok(list(out))
+            }
+            atom => Ok(self.expand_quote(atom)),
+        }
+    }
+
+    fn expand_quasi_list(&mut self, parts: &[Datum], tail: &Datum) -> Result<Datum, ExpandError> {
+        let mut acc = match tail {
+            Datum::Nil => list(vec![sym("quote"), Datum::Nil]),
+            t => self.expand_quasi(t)?,
+        };
+        for part in parts.iter().rev() {
+            if let Some(ps) = part.as_list() {
+                if !ps.is_empty() && ps[0].as_sym() == Some("unquote-splicing") {
+                    if ps.len() != 2 {
+                        return err("unquote-splicing: bad syntax");
+                    }
+                    let spliced = self.expand(&ps[1])?;
+                    acc = list(vec![sym("append"), spliced, acc]);
+                    continue;
+                }
+            }
+            acc = list(vec![sym("cons"), self.expand_quasi(part)?, acc]);
+        }
+        Ok(acc)
+    }
+}
+
+/// Builds the construction expression for a hoisted compound literal.
+fn build_literal(d: &Datum) -> Datum {
+    match d {
+        Datum::List(items) => {
+            let mut acc = list(vec![sym("quote"), Datum::Nil]);
+            for item in items.iter().rev() {
+                acc = list(vec![sym("cons"), build_literal(item), acc]);
+            }
+            acc
+        }
+        Datum::Improper(items, tail) => {
+            let mut acc = build_literal(tail);
+            for item in items.iter().rev() {
+                acc = list(vec![sym("cons"), build_literal(item), acc]);
+            }
+            acc
+        }
+        Datum::Vector(items) => {
+            let mut out = vec![sym("vector")];
+            out.extend(items.iter().map(build_literal));
+            list(out)
+        }
+        Datum::Sym(_) | Datum::Nil => list(vec![sym("quote"), d.clone()]),
+        atom => atom.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_sexpr::{parse, parse_one};
+
+    fn expand_str(src: &str) -> String {
+        let data = parse(src).unwrap();
+        expand_program(&data).unwrap().to_string()
+    }
+
+    #[test]
+    fn defines_group_into_letrec() {
+        let out = expand_str("(define (f x) (g x)) (define (g x) x) (f 1)");
+        assert!(out.starts_with("(letrec ((f (lambda (x)"), "{out}");
+        assert!(out.contains("(g (lambda (x) x))"), "{out}");
+    }
+
+    #[test]
+    fn value_define_becomes_let() {
+        let out = expand_str("(define n 10) (+ n 1)");
+        assert_eq!(out, "(let ((n 10)) (+ n 1))");
+    }
+
+    #[test]
+    fn interleaved_expressions_are_sequenced() {
+        let out = expand_str("(display 1) (define x 2) x");
+        assert_eq!(out, "(begin (display 1) (let ((x 2)) x))");
+    }
+
+    #[test]
+    fn cond_expands_to_ifs() {
+        let out = expand_str("(cond ((= x 1) 'a) (else 'b))");
+        assert_eq!(out, "(if (= x 1) (quote a) (quote b))");
+    }
+
+    #[test]
+    fn cond_arrow_and_test_only() {
+        let out = expand_str("(cond (x => f) (y))");
+        assert!(out.contains("(f %t"), "{out}");
+        assert!(out.contains("(let ((%t"), "{out}");
+    }
+
+    #[test]
+    fn case_expands_to_eqv_dispatch() {
+        let out = expand_str("(case m ((open) 1) ((close shut) 2) (else 3))");
+        assert!(out.contains("(eqv? %k0 (quote open))"), "{out}");
+        assert!(out.contains("(eqv? %k0 (quote shut))"), "{out}");
+        assert!(out.ends_with("3)))"), "{out}");
+    }
+
+    #[test]
+    fn and_or_expand() {
+        assert_eq!(expand_str("(and)"), "#t");
+        assert_eq!(expand_str("(or)"), "#f");
+        assert_eq!(expand_str("(and a b)"), "(if a b #f)");
+        let or = expand_str("(or a b)");
+        assert!(or.contains("(if %t"), "{or}");
+    }
+
+    #[test]
+    fn named_let_becomes_letrec() {
+        let out = expand_str("(let loop ((i 0)) (if (= i 3) i (loop (+ i 1))))");
+        assert!(out.starts_with("(letrec ((loop (lambda (i)"), "{out}");
+        assert!(out.ends_with("(loop 0))"), "{out}");
+    }
+
+    #[test]
+    fn let_star_nests() {
+        let out = expand_str("(let* ((a 1) (b a)) b)");
+        assert_eq!(out, "(let ((a 1)) (let ((b a)) b))");
+    }
+
+    #[test]
+    fn do_becomes_loop() {
+        let out = expand_str("(do ((i 0 (+ i 1)) (s 0 (+ s i))) ((= i 4) s))");
+        assert!(out.contains("letrec"), "{out}");
+        assert!(out.contains("%do-loop"), "{out}");
+    }
+
+    #[test]
+    fn compound_quotes_are_hoisted() {
+        let out = expand_str("(car '(1 2))");
+        assert_eq!(
+            out,
+            "(let ((%lit0 (cons 1 (cons 2 (quote ()))))) (car %lit0))"
+        );
+    }
+
+    #[test]
+    fn atom_quotes_stay_inline() {
+        assert_eq!(expand_str("'x"), "(quote x)");
+        assert_eq!(expand_str("'()"), "(quote ())");
+        assert_eq!(expand_str("'5"), "5");
+    }
+
+    #[test]
+    fn quoted_vector_hoists_to_vector_build() {
+        let out = expand_str("'#(1 (2))");
+        assert!(out.contains("(vector 1 (cons 2 (quote ())))"), "{out}");
+    }
+
+    #[test]
+    fn quasiquote_with_unquote() {
+        let out = expand_str("`(a ,b)");
+        assert_eq!(out, "(cons (quote a) (cons b (quote ())))");
+    }
+
+    #[test]
+    fn quasiquote_with_splicing() {
+        let out = expand_str("`(a ,@bs c)");
+        assert_eq!(
+            out,
+            "(cons (quote a) (append bs (cons (quote c) (quote ()))))"
+        );
+    }
+
+    #[test]
+    fn internal_defines_expand_in_bodies() {
+        let out = expand_str("(lambda (x) (define (h y) y) (h x))");
+        assert!(out.contains("(letrec ((h (lambda (y) y))) (h x))"), "{out}");
+    }
+
+    #[test]
+    fn if_without_else_gets_unspecified() {
+        let out = expand_str("(if a b)");
+        assert_eq!(out, "(if a b (unspecified))");
+    }
+
+    #[test]
+    fn when_unless_expand() {
+        assert_eq!(expand_str("(when a b)"), "(if a b (unspecified))");
+        assert_eq!(expand_str("(unless a b)"), "(if a (unspecified) b)");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        for src in [
+            "(set! x 1)",
+            "(define x 1)(define)",
+            "(cond (else 1) (2 3))",
+            "``x",
+            "(lambda (x))",
+            "(let ((x)) x)",
+            "(letrec ((f 5)) f)",
+        ] {
+            let data = parse(src).unwrap();
+            assert!(expand_program(&data).is_err(), "{src}");
+        }
+    }
+
+    #[test]
+    fn empty_program_is_true() {
+        assert_eq!(expand_str(""), "#t");
+        let d = parse_one("#t").unwrap();
+        assert_eq!(expand_program(&[d]).unwrap().to_string(), "#t");
+    }
+}

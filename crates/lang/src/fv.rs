@@ -1,0 +1,217 @@
+//! Free-variable computation (§3.1's FV, used by §3.5's free-variable lists).
+
+use crate::ast::{ExprKind, Label, Program, VarId};
+use std::collections::{HashMap, HashSet};
+
+/// Free variables of every λ-expression in `program`, each list ordered by
+/// first occurrence in the body (the order `cl-ref` indexes use).
+#[derive(Debug, Clone, Default)]
+pub struct FreeVars {
+    per_lambda: HashMap<Label, Vec<VarId>>,
+}
+
+impl FreeVars {
+    /// Computes free variables for all λs reachable from the root.
+    pub fn compute(program: &Program) -> FreeVars {
+        let mut fv = FreeVars::default();
+        for label in program.reachable() {
+            if let ExprKind::Lambda(lam) = program.expr(label) {
+                let mut bound: HashSet<VarId> = lam.params.iter().copied().collect();
+                bound.extend(lam.rest);
+                let mut order = Vec::new();
+                let mut seen = HashSet::new();
+                collect(program, lam.body, &mut bound, &mut seen, &mut order);
+                fv.per_lambda.insert(label, order);
+            }
+        }
+        fv
+    }
+
+    /// The ordered free-variable list of the λ at `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is not a reachable λ of the analyzed program.
+    pub fn of(&self, label: Label) -> &[VarId] {
+        &self.per_lambda[&label]
+    }
+
+    /// Like [`FreeVars::of`] but returns `None` for non-λ labels.
+    pub fn get(&self, label: Label) -> Option<&[VarId]> {
+        self.per_lambda.get(&label).map(Vec::as_slice)
+    }
+}
+
+/// Collects variables free in `label` given `bound`, appending first
+/// occurrences to `order`.
+fn collect(
+    program: &Program,
+    label: Label,
+    bound: &mut HashSet<VarId>,
+    seen: &mut HashSet<VarId>,
+    order: &mut Vec<VarId>,
+) {
+    match program.expr(label) {
+        ExprKind::Var(v) => {
+            if !bound.contains(v) && seen.insert(*v) {
+                order.push(*v);
+            }
+        }
+        ExprKind::Const(_) => {}
+        ExprKind::Lambda(lam) => {
+            let added: Vec<VarId> = lam
+                .params
+                .iter()
+                .copied()
+                .chain(lam.rest)
+                .filter(|v| bound.insert(*v))
+                .collect();
+            collect(program, lam.body, bound, seen, order);
+            // A nested λ's *pinned* captures (§3.5 target language) must be
+            // materializable at its creation site, so they count as free
+            // mentions in every enclosing λ even when no direct reference
+            // remains in the body.
+            for &v in program.pinned_captures(label).unwrap_or(&[]) {
+                if !bound.contains(&v) && seen.insert(v) {
+                    order.push(v);
+                }
+            }
+            for v in added {
+                bound.remove(&v);
+            }
+        }
+        ExprKind::Let(bindings, body) => {
+            for &(_, e) in bindings {
+                collect(program, e, bound, seen, order);
+            }
+            let added: Vec<VarId> = bindings
+                .iter()
+                .map(|&(v, _)| v)
+                .filter(|v| bound.insert(*v))
+                .collect();
+            collect(program, *body, bound, seen, order);
+            for v in added {
+                bound.remove(&v);
+            }
+        }
+        ExprKind::Letrec(bindings, body) => {
+            let added: Vec<VarId> = bindings
+                .iter()
+                .map(|&(v, _)| v)
+                .filter(|v| bound.insert(*v))
+                .collect();
+            for &(_, e) in bindings {
+                collect(program, e, bound, seen, order);
+            }
+            collect(program, *body, bound, seen, order);
+            for v in added {
+                bound.remove(&v);
+            }
+        }
+        other => {
+            let mut kids = Vec::new();
+            let _ = other;
+            program.for_each_child(label, |c| kids.push(c));
+            for c in kids {
+                collect(program, c, bound, seen, order);
+            }
+        }
+    }
+}
+
+/// Convenience: the free variables of a single λ computed in isolation.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_lang::parse_and_lower;
+///
+/// let p = parse_and_lower("(lambda (x) (lambda (y) (cons x y)))").unwrap();
+/// // the outer lambda is closed; the inner one has {x} free
+/// ```
+pub fn free_vars_of_lambda(program: &Program, lambda: Label) -> Vec<VarId> {
+    FreeVars::compute(program)
+        .get(lambda)
+        .map(<[VarId]>::to_vec)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_lower;
+
+    fn lambdas(p: &Program) -> Vec<Label> {
+        p.reachable()
+            .into_iter()
+            .filter(|&l| matches!(p.expr(l), ExprKind::Lambda(_)))
+            .collect()
+    }
+
+    #[test]
+    fn closed_lambda_has_no_free_vars() {
+        let p = parse_and_lower("(lambda (x) x)").unwrap();
+        let fv = FreeVars::compute(&p);
+        assert_eq!(fv.of(p.root()), &[]);
+    }
+
+    #[test]
+    fn nested_lambda_captures_outer_param() {
+        let p = parse_and_lower("(lambda (x) (lambda (y) (cons x y)))").unwrap();
+        let fv = FreeVars::compute(&p);
+        let ls = lambdas(&p);
+        assert_eq!(ls.len(), 2);
+        let inner = ls
+            .iter()
+            .copied()
+            .find(|&l| !fv.of(l).is_empty())
+            .expect("one lambda captures x");
+        assert_eq!(fv.of(inner).len(), 1);
+        assert_eq!(p.var_name(fv.of(inner)[0]), "x");
+    }
+
+    #[test]
+    fn let_bound_vars_are_not_free_in_body() {
+        let p = parse_and_lower("(lambda (z) (let ((a z)) a))").unwrap();
+        let fv = FreeVars::compute(&p);
+        assert_eq!(fv.of(p.root()), &[]);
+    }
+
+    #[test]
+    fn let_rhs_sees_outer_scope_only() {
+        // In (let ((a a0)) ...) the RHS `a0` refers to an outer binding.
+        let p = parse_and_lower("(lambda (a) (lambda (b) (let ((a (cons a b))) a)))").unwrap();
+        let fv = FreeVars::compute(&p);
+        let ls = lambdas(&p);
+        let inner = ls
+            .iter()
+            .copied()
+            .find(|&l| fv.of(l).len() == 1)
+            .expect("inner lambda frees outer a");
+        assert_eq!(p.var_name(fv.of(inner)[0]), "a");
+    }
+
+    #[test]
+    fn letrec_binds_in_rhs() {
+        let p = parse_and_lower("(letrec ((f (lambda (n) (f n)))) (f 1))").unwrap();
+        let fv = FreeVars::compute(&p);
+        let ls = lambdas(&p);
+        // f's lambda has f free (bound by the letrec, so free *in the λ*).
+        assert_eq!(ls.len(), 1);
+        assert_eq!(p.var_name(fv.of(ls[0])[0]), "f");
+    }
+
+    #[test]
+    fn order_is_first_occurrence() {
+        let p = parse_and_lower("(lambda (a b c) (lambda () (cons c (cons a b))))").unwrap();
+        let fv = FreeVars::compute(&p);
+        let ls = lambdas(&p);
+        let inner = ls
+            .iter()
+            .copied()
+            .find(|&l| fv.of(l).len() == 3)
+            .expect("inner lambda");
+        let names: Vec<&str> = fv.of(inner).iter().map(|&v| p.var_name(v)).collect();
+        assert_eq!(names, vec!["c", "a", "b"]);
+    }
+}

@@ -1,0 +1,108 @@
+//! String interning for variable and symbol names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string.
+///
+/// `Sym` is a cheap copyable handle; resolve it with [`Interner::name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// Interns strings to [`Sym`] handles.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_lang::Interner;
+///
+/// let mut i = Interner::new();
+/// let a = i.intern("car");
+/// let b = i.intern("car");
+/// assert_eq!(a, b);
+/// assert_eq!(i.name(a), "car");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Sym>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its handle.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = Sym(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), s);
+        s
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// Resolves a handle to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different interner.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("x"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.name(b), "y");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("z"), None);
+        let z = i.intern("z");
+        assert_eq!(i.get("z"), Some(z));
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

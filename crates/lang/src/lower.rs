@@ -1,0 +1,563 @@
+//! Lowering: core S-expressions → labeled, α-renamed [`Program`]s.
+//!
+//! Lowering establishes the two uniqueness properties the paper assumes in
+//! §3.1 (unique labels, distinct variables), resolves primitive names, and
+//! η-expands primitives used as values so that `(map car m)` passes a real
+//! closure — which the flow analysis can then track and the inliner inline.
+
+use crate::ast::{Binder, ExprKind, Label, LambdaInfo, Program, VarId, VarInfo};
+use crate::consts::Const;
+use crate::intern::Interner;
+use crate::prims::PrimOp;
+use fdi_sexpr::Datum;
+use std::fmt;
+
+/// An error during lowering (scope resolution or arity checking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lower error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, LowerError> {
+    Err(LowerError {
+        message: message.into(),
+    })
+}
+
+/// Names with core-form or surface-form meaning; binding them is rejected so
+/// shadowing bugs fail loudly at lowering time instead of misparsing.
+const RESERVED: &[&str] = &[
+    "define",
+    "lambda",
+    "if",
+    "begin",
+    "let",
+    "let*",
+    "letrec",
+    "letrec*",
+    "cond",
+    "case",
+    "and",
+    "or",
+    "when",
+    "unless",
+    "do",
+    "quote",
+    "quasiquote",
+    "unquote",
+    "unquote-splicing",
+    "set!",
+    "apply",
+    "cl-ref",
+    "else",
+    "=>",
+    "unspecified",
+];
+
+/// Lowers one fully-expanded core expression into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`LowerError`] for unbound variables, reserved-name bindings, bad
+/// primitive arities, and malformed core forms.
+///
+/// # Examples
+///
+/// ```
+/// let data = fdi_sexpr::parse("(let ((x 1)) x)").unwrap();
+/// let core = fdi_lang::expand_program(&data).unwrap();
+/// let p = fdi_lang::lower_program(&core).unwrap();
+/// assert!(matches!(p.expr(p.root()), fdi_lang::ExprKind::Let(..)));
+/// ```
+pub fn lower_program(core: &Datum) -> Result<Program, LowerError> {
+    let mut lowerer = Lowerer {
+        program: Program::new(Interner::new()),
+        scope: Vec::new(),
+    };
+    let root = lowerer.lower(core, true)?;
+    lowerer.program.set_root(root);
+    Ok(lowerer.program)
+}
+
+struct Lowerer {
+    program: Program,
+    scope: Vec<(String, VarId)>,
+}
+
+impl Lowerer {
+    fn lookup(&self, name: &str) -> Option<VarId> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    fn bind(&mut self, name: &str, binder: Binder, top_level: bool) -> Result<VarId, LowerError> {
+        if RESERVED.contains(&name) {
+            return err(format!("cannot bind reserved name '{name}'"));
+        }
+        let sym = self.program.interner_mut().intern(name);
+        let v = self.program.add_var(VarInfo {
+            name: sym,
+            binder,
+            top_level,
+        });
+        self.scope.push((name.to_string(), v));
+        Ok(v)
+    }
+
+    fn konst(&mut self, c: Const) -> Label {
+        self.program.add_expr(ExprKind::Const(c))
+    }
+
+    fn lower(&mut self, d: &Datum, at_top: bool) -> Result<Label, LowerError> {
+        match d {
+            Datum::Bool(b) => Ok(self.konst(Const::Bool(*b))),
+            Datum::Int(n) => Ok(self.konst(Const::Int(*n))),
+            Datum::Float(x) => Ok(self.konst(Const::float(*x))),
+            Datum::Char(c) => Ok(self.konst(Const::Char(*c))),
+            Datum::Str(s) => {
+                let sym = self.program.interner_mut().intern(s);
+                Ok(self.konst(Const::Str(sym)))
+            }
+            Datum::Sym(name) => self.lower_var(name),
+            Datum::Nil => err("() is not an expression"),
+            Datum::Vector(_) => err("vector literals must be quoted"),
+            Datum::Improper(..) => err(format!("bad expression: {d}")),
+            Datum::List(parts) => self.lower_form(parts, at_top),
+        }
+    }
+
+    fn lower_var(&mut self, name: &str) -> Result<Label, LowerError> {
+        if let Some(v) = self.lookup(name) {
+            return Ok(self.program.add_expr(ExprKind::Var(v)));
+        }
+        if let Some(p) = PrimOp::from_name(name) {
+            return self.eta_expand(p);
+        }
+        err(format!("unbound variable '{name}'"))
+    }
+
+    /// A primitive used as a value becomes a procedure wrapper.
+    ///
+    /// Fixed-arity primitives η-expand directly. Variadic folding primitives
+    /// (`+`, `*`, …) and chained comparisons (`<`, `=`, …) get genuinely
+    /// variadic wrappers so `(apply + lst)` behaves like R4RS — these accept
+    /// two or more arguments.
+    fn eta_expand(&mut self, p: PrimOp) -> Result<Label, LowerError> {
+        use PrimOp::*;
+        let name = p.name();
+        let src = match p {
+            Add | Sub | Mul | Div | Min | Max | StringAppend => format!(
+                "(lambda (a b . rest)
+                   (letrec ((go (lambda (acc l)
+                                  (if (null? l)
+                                      acc
+                                      (go ({name} acc (car l)) (cdr l))))))
+                     (go ({name} a b) rest)))"
+            ),
+            NumEq | Lt | Gt | Le | Ge => format!(
+                "(lambda (a b . rest)
+                   (letrec ((go (lambda (prev l)
+                                  (if (null? l)
+                                      #t
+                                      (if ({name} prev (car l))
+                                          (go (car l) (cdr l))
+                                          #f)))))
+                     (if ({name} a b) (go b rest) #f)))"
+            ),
+            _ => {
+                let sig = p.sig();
+                let arity = match sig.max_args {
+                    Some(m) if m as usize == sig.min_args as usize => sig.min_args as usize,
+                    // Other variadic primitives (e.g. `vector`) specialize to
+                    // the common binary use.
+                    _ => (sig.min_args as usize).max(2),
+                };
+                let params: Vec<String> = (0..arity).map(|i| format!("%eta{i}")).collect();
+                format!(
+                    "(lambda ({params}) ({name} {params}))",
+                    params = params.join(" ")
+                )
+            }
+        };
+        let datum = fdi_sexpr::parse_one(&src).expect("eta template parses");
+        // The template binds every name it references except the primitive
+        // itself, which must not be shadowed here — guaranteed because η
+        // expansion only triggers for unshadowed primitive references.
+        self.lower(&datum, false)
+    }
+
+    fn set(&mut self, label: Label, kind: ExprKind) {
+        self.program.set_expr(label, kind);
+    }
+
+    fn lower_form(&mut self, parts: &[Datum], at_top: bool) -> Result<Label, LowerError> {
+        debug_assert!(!parts.is_empty());
+        match parts[0].as_sym() {
+            Some("quote") => self.lower_quote(parts),
+            Some("unspecified") if parts.len() == 1 => Ok(self.konst(Const::Unspecified)),
+            Some("lambda") => self.lower_lambda(parts),
+            Some("if") => {
+                if parts.len() != 4 {
+                    return err("if: expected 3 subexpressions");
+                }
+                let c = self.lower(&parts[1], false)?;
+                let t = self.lower(&parts[2], false)?;
+                let e = self.lower(&parts[3], false)?;
+                Ok(self.program.add_expr(ExprKind::If(c, t, e)))
+            }
+            Some("begin") => {
+                if parts.len() < 2 {
+                    return err("begin: empty");
+                }
+                let mut labels = Vec::new();
+                for (i, e) in parts[1..].iter().enumerate() {
+                    let last = i == parts.len() - 2;
+                    labels.push(self.lower(e, at_top && last)?);
+                }
+                Ok(self.program.add_expr(ExprKind::Begin(labels)))
+            }
+            Some("let") => self.lower_let(parts, at_top),
+            Some("letrec") => self.lower_letrec(parts, at_top),
+            Some("apply") => self.lower_apply(parts),
+            Some("cl-ref") => {
+                if parts.len() != 3 {
+                    return err("cl-ref: expected 2 subexpressions");
+                }
+                let e = self.lower(&parts[1], false)?;
+                let Datum::Int(n) = parts[2] else {
+                    return err("cl-ref: index must be an integer literal");
+                };
+                if n < 0 {
+                    return err("cl-ref: negative index");
+                }
+                Ok(self.program.add_expr(ExprKind::ClRef(e, n as u32)))
+            }
+            Some(name) if self.lookup(name).is_none() && PrimOp::from_name(name).is_some() => {
+                let p = PrimOp::from_name(name).unwrap();
+                if !p.sig().accepts(parts.len() - 1) {
+                    return err(format!(
+                        "primitive {name} applied to {} arguments",
+                        parts.len() - 1
+                    ));
+                }
+                let mut args = Vec::new();
+                for a in &parts[1..] {
+                    args.push(self.lower(a, false)?);
+                }
+                Ok(self.program.add_expr(ExprKind::Prim(p, args)))
+            }
+            _ => {
+                let mut labels = Vec::new();
+                for e in parts {
+                    labels.push(self.lower(e, false)?);
+                }
+                Ok(self.program.add_expr(ExprKind::Call(labels)))
+            }
+        }
+    }
+
+    fn lower_quote(&mut self, parts: &[Datum]) -> Result<Label, LowerError> {
+        if parts.len() != 2 {
+            return err("quote: bad syntax");
+        }
+        match &parts[1] {
+            Datum::Sym(s) => {
+                let sym = self.program.interner_mut().intern(s);
+                Ok(self.konst(Const::Symbol(sym)))
+            }
+            Datum::Nil => Ok(self.konst(Const::Nil)),
+            Datum::Bool(b) => Ok(self.konst(Const::Bool(*b))),
+            Datum::Int(n) => Ok(self.konst(Const::Int(*n))),
+            Datum::Float(x) => Ok(self.konst(Const::float(*x))),
+            Datum::Char(c) => Ok(self.konst(Const::Char(*c))),
+            Datum::Str(s) => {
+                let sym = self.program.interner_mut().intern(s);
+                Ok(self.konst(Const::Str(sym)))
+            }
+            other => err(format!(
+                "compound quote not hoisted by the expander: {other}"
+            )),
+        }
+    }
+
+    fn lower_lambda(&mut self, parts: &[Datum]) -> Result<Label, LowerError> {
+        if parts.len() != 3 {
+            return err("lambda: expected exactly one body expression after expansion");
+        }
+        let (required, rest_name): (Vec<&str>, Option<&str>) = match &parts[1] {
+            Datum::Sym(r) => (Vec::new(), Some(r.as_str())),
+            Datum::Nil => (Vec::new(), None),
+            Datum::List(ps) => {
+                let names = ps
+                    .iter()
+                    .map(|p| {
+                        p.as_sym().ok_or_else(|| LowerError {
+                            message: format!("lambda: bad parameter {p}"),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                (names, None)
+            }
+            Datum::Improper(ps, tail) => {
+                let names = ps
+                    .iter()
+                    .map(|p| {
+                        p.as_sym().ok_or_else(|| LowerError {
+                            message: format!("lambda: bad parameter {p}"),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let rest = tail.as_sym().ok_or_else(|| LowerError {
+                    message: format!("lambda: bad rest parameter {tail}"),
+                })?;
+                (names, Some(rest))
+            }
+            other => return err(format!("lambda: bad formals {other}")),
+        };
+        let lam = self.program.add_expr(ExprKind::Const(Const::Unspecified));
+        let mark = self.scope.len();
+        let mut params = Vec::new();
+        for name in required {
+            params.push(self.bind(name, Binder::Lambda(lam), false)?);
+        }
+        let rest = rest_name
+            .map(|n| self.bind(n, Binder::Lambda(lam), false))
+            .transpose()?;
+        let body = self.lower(&parts[2], false)?;
+        self.scope.truncate(mark);
+        self.set(lam, ExprKind::Lambda(LambdaInfo { params, rest, body }));
+        Ok(lam)
+    }
+
+    fn lower_let(&mut self, parts: &[Datum], at_top: bool) -> Result<Label, LowerError> {
+        if parts.len() != 3 {
+            return err("let: expected bindings and one body expression");
+        }
+        let bindings = parts[1].as_list().ok_or_else(|| LowerError {
+            message: "let: bad bindings".into(),
+        })?;
+        let mut rhs_labels = Vec::new();
+        let mut names = Vec::new();
+        for b in bindings {
+            let pair = b
+                .as_list()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| LowerError {
+                    message: format!("let: bad binding {b}"),
+                })?;
+            let name = pair[0].as_sym().ok_or_else(|| LowerError {
+                message: "let: binding name must be a symbol".into(),
+            })?;
+            names.push(name);
+            rhs_labels.push(self.lower(&pair[1], false)?);
+        }
+        let label = self.program.add_expr(ExprKind::Const(Const::Unspecified));
+        let mark = self.scope.len();
+        let mut bound = Vec::new();
+        for (name, rhs) in names.into_iter().zip(rhs_labels) {
+            let v = self.bind(name, Binder::Let(label), at_top)?;
+            bound.push((v, rhs));
+        }
+        let body = self.lower(&parts[2], at_top)?;
+        self.scope.truncate(mark);
+        self.set(label, ExprKind::Let(bound, body));
+        Ok(label)
+    }
+
+    fn lower_letrec(&mut self, parts: &[Datum], at_top: bool) -> Result<Label, LowerError> {
+        if parts.len() != 3 {
+            return err("letrec: expected bindings and one body expression");
+        }
+        let bindings = parts[1].as_list().ok_or_else(|| LowerError {
+            message: "letrec: bad bindings".into(),
+        })?;
+        let label = self.program.add_expr(ExprKind::Const(Const::Unspecified));
+        let mark = self.scope.len();
+        let mut vars = Vec::new();
+        for b in bindings {
+            let pair = b
+                .as_list()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| LowerError {
+                    message: format!("letrec: bad binding {b}"),
+                })?;
+            let name = pair[0].as_sym().ok_or_else(|| LowerError {
+                message: "letrec: binding name must be a symbol".into(),
+            })?;
+            vars.push(self.bind(name, Binder::Letrec(label), at_top)?);
+        }
+        let mut bound = Vec::new();
+        for (i, b) in bindings.iter().enumerate() {
+            let pair = b.as_list().unwrap();
+            if !pair[1].is_form("lambda") {
+                return err("letrec: right-hand side must be a lambda");
+            }
+            let rhs = self.lower(&pair[1], false)?;
+            bound.push((vars[i], rhs));
+        }
+        let body = self.lower(&parts[2], at_top)?;
+        self.scope.truncate(mark);
+        self.set(label, ExprKind::Letrec(bound, body));
+        Ok(label)
+    }
+
+    fn lower_apply(&mut self, parts: &[Datum]) -> Result<Label, LowerError> {
+        if parts.len() < 3 {
+            return err("apply: expected a procedure and at least one argument");
+        }
+        let f = self.lower(&parts[1], false)?;
+        // (apply f a b lst) ≡ (apply f (cons a (cons b lst)))
+        let last = self.lower(parts.last().unwrap(), false)?;
+        let mut arg = last;
+        for fixed in parts[2..parts.len() - 1].iter().rev() {
+            let a = self.lower(fixed, false)?;
+            arg = self
+                .program
+                .add_expr(ExprKind::Prim(PrimOp::Cons, vec![a, arg]));
+        }
+        Ok(self.program.add_expr(ExprKind::Apply(f, arg)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_lower;
+
+    #[test]
+    fn resolves_lexical_scope() {
+        let p = parse_and_lower("(let ((x 1)) (let ((x 2)) x))").unwrap();
+        // The inner x reference must point at the inner binding.
+        let ExprKind::Let(outer, body) = p.expr(p.root()) else {
+            panic!("expected let")
+        };
+        let outer_var = outer[0].0;
+        let ExprKind::Let(inner, body2) = p.expr(*body) else {
+            panic!("expected inner let")
+        };
+        let inner_var = inner[0].0;
+        assert_ne!(outer_var, inner_var);
+        let ExprKind::Var(used) = p.expr(*body2) else {
+            panic!("expected var")
+        };
+        assert_eq!(*used, inner_var);
+    }
+
+    #[test]
+    fn prim_head_becomes_prim_node() {
+        let p = parse_and_lower("(+ 1 2)").unwrap();
+        assert!(matches!(p.expr(p.root()), ExprKind::Prim(PrimOp::Add, args) if args.len() == 2));
+    }
+
+    #[test]
+    fn shadowed_prim_becomes_call() {
+        let p = parse_and_lower("(let ((car (lambda (x) x))) (car 5))").unwrap();
+        let ExprKind::Let(_, body) = p.expr(p.root()) else {
+            panic!()
+        };
+        assert!(matches!(p.expr(*body), ExprKind::Call(_)));
+    }
+
+    #[test]
+    fn prim_as_value_eta_expands() {
+        let p = parse_and_lower("(map car m-is-unbound)");
+        // m-is-unbound is unbound → error; use a bound var.
+        assert!(p.is_err());
+        let p = parse_and_lower("(let ((m '())) (map car m))").unwrap();
+        // find an eta lambda wrapping Car
+        let found = p.labels().any(|l| match p.expr(l) {
+            ExprKind::Lambda(lam) => {
+                matches!(p.expr(lam.body), ExprKind::Prim(PrimOp::Car, _))
+            }
+            _ => false,
+        });
+        assert!(found, "car was not eta-expanded");
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let e = parse_and_lower("nope").unwrap_err();
+        assert!(e.contains("unbound"), "{e}");
+    }
+
+    #[test]
+    fn reserved_names_cannot_be_bound() {
+        let e = parse_and_lower("(let ((if 1)) if)").unwrap_err();
+        assert!(e.contains("reserved"), "{e}");
+    }
+
+    #[test]
+    fn bad_prim_arity_is_an_error() {
+        let e = parse_and_lower("(cons 1)").unwrap_err();
+        assert!(e.contains("applied to 1 argument"), "{e}");
+    }
+
+    #[test]
+    fn apply_desugars_fixed_args() {
+        let p = parse_and_lower("(let ((f (lambda (a b c) a)) (l '())) (apply f 1 2 l))").unwrap();
+        let apply = p
+            .labels()
+            .find(|&l| matches!(p.expr(l), ExprKind::Apply(..)))
+            .expect("apply node");
+        let ExprKind::Apply(_, arg) = p.expr(apply) else {
+            unreachable!()
+        };
+        // Argument is (cons 1 (cons 2 l)).
+        assert!(matches!(p.expr(*arg), ExprKind::Prim(PrimOp::Cons, _)));
+    }
+
+    #[test]
+    fn top_level_marking() {
+        let p = parse_and_lower("(define (f x) x) (define n 3) (f n)").unwrap();
+        let mut top = 0;
+        let mut non_top = 0;
+        for i in 0..p.var_count() {
+            if p.var(crate::VarId(i as u32)).top_level {
+                top += 1;
+            } else {
+                non_top += 1;
+            }
+        }
+        assert_eq!(top, 2, "f and n are top-level");
+        assert!(non_top >= 1, "x is not");
+    }
+
+    #[test]
+    fn variadic_lambda_forms() {
+        let p = parse_and_lower("(lambda args args)").unwrap();
+        let ExprKind::Lambda(lam) = p.expr(p.root()) else {
+            panic!()
+        };
+        assert!(lam.params.is_empty());
+        assert!(lam.rest.is_some());
+        let p = parse_and_lower("(lambda (a b . r) r)").unwrap();
+        let ExprKind::Lambda(lam) = p.expr(p.root()) else {
+            panic!()
+        };
+        assert_eq!(lam.params.len(), 2);
+        assert!(lam.rest.is_some());
+    }
+
+    #[test]
+    fn quote_symbols_and_nil() {
+        let p = parse_and_lower("'hello").unwrap();
+        assert!(matches!(
+            p.expr(p.root()),
+            ExprKind::Const(Const::Symbol(_))
+        ));
+        let p = parse_and_lower("'()").unwrap();
+        assert!(matches!(p.expr(p.root()), ExprKind::Const(Const::Nil)));
+    }
+}

@@ -1,0 +1,299 @@
+//! The Scheme prelude: library procedures prepended to every program.
+//!
+//! Table 1's "Lines" column counts each benchmark "after prepending necessary
+//! library procedures"; we reproduce that by tree-shaking this prelude
+//! against the program's referenced names and prepending only what is used.
+//! `map` is the paper's own implementation from Fig. 1 — the worked example
+//! `(map car m)` of Figs. 1–3 runs through exactly this code.
+
+use fdi_sexpr::Datum;
+use std::collections::{HashMap, HashSet};
+
+/// Source text of the prelude.
+pub const PRELUDE: &str = r#"
+(define (caar p) (car (car p)))
+(define (cadr p) (car (cdr p)))
+(define (cdar p) (cdr (car p)))
+(define (cddr p) (cdr (cdr p)))
+(define (caddr p) (car (cdr (cdr p))))
+(define (cdddr p) (cdr (cdr (cdr p))))
+(define (cadddr p) (car (cdr (cdr (cdr p)))))
+(define (list . xs) xs)
+(define (length l)
+  (letrec ((len (lambda (l n) (if (null? l) n (len (cdr l) (+ n 1))))))
+    (len l 0)))
+(define (append2 a b)
+  (if (null? a) b (cons (car a) (append2 (cdr a) b))))
+(define (append . ls)
+  (cond ((null? ls) '())
+        ((null? (cdr ls)) (car ls))
+        (else (append2 (car ls) (apply append (cdr ls))))))
+(define (reverse l)
+  (letrec ((rev (lambda (l acc) (if (null? l) acc (rev (cdr l) (cons (car l) acc))))))
+    (rev l '())))
+(define (list-tail l k)
+  (if (zero? k) l (list-tail (cdr l) (- k 1))))
+(define (list-ref l k) (car (list-tail l k)))
+(define (last-pair l)
+  (if (null? (cdr l)) l (last-pair (cdr l))))
+(define (list? x)
+  (cond ((null? x) #t)
+        ((pair? x) (list? (cdr x)))
+        (else #f)))
+(define (memq x l)
+  (cond ((null? l) #f)
+        ((eq? x (car l)) l)
+        (else (memq x (cdr l)))))
+(define (memv x l)
+  (cond ((null? l) #f)
+        ((eqv? x (car l)) l)
+        (else (memv x (cdr l)))))
+(define (member x l)
+  (cond ((null? l) #f)
+        ((equal? x (car l)) l)
+        (else (member x (cdr l)))))
+(define (assq x l)
+  (cond ((null? l) #f)
+        ((eq? x (caar l)) (car l))
+        (else (assq x (cdr l)))))
+(define (assv x l)
+  (cond ((null? l) #f)
+        ((eqv? x (caar l)) (car l))
+        (else (assv x (cdr l)))))
+(define (assoc x l)
+  (cond ((null? l) #f)
+        ((equal? x (caar l)) (car l))
+        (else (assoc x (cdr l)))))
+(define (map f al . args)
+  (letrec ((map1 (lambda (f l)
+                   (if (null? l)
+                       '()
+                       (cons (f (car l)) (map1 f (cdr l))))))
+           (map* (lambda (lists)
+                   (if (null? (car lists))
+                       '()
+                       (cons (apply f (map1 car lists))
+                             (map* (map1 cdr lists)))))))
+    (if (null? args)
+        (map1 f al)
+        (map* (cons al args)))))
+(define (for-each f al . args)
+  (letrec ((fe1 (lambda (l)
+                  (if (null? l)
+                      #t
+                      (begin (f (car l)) (fe1 (cdr l))))))
+           (fe* (lambda (lists)
+                  (if (null? (car lists))
+                      #t
+                      (begin (apply f (map car lists))
+                             (fe* (map cdr lists)))))))
+    (if (null? args)
+        (fe1 al)
+        (fe* (cons al args)))))
+(define (filter keep? l)
+  (cond ((null? l) '())
+        ((keep? (car l)) (cons (car l) (filter keep? (cdr l))))
+        (else (filter keep? (cdr l)))))
+(define (foldl f acc l)
+  (if (null? l) acc (foldl f (f acc (car l)) (cdr l))))
+(define (foldr f acc l)
+  (if (null? l) acc (f (car l) (foldr f acc (cdr l)))))
+(define (iota n)
+  (letrec ((up (lambda (i) (if (= i n) '() (cons i (up (+ i 1)))))))
+    (up 0)))
+(define (list->vector l)
+  (let ((v (make-vector (length l) 0)))
+    (letrec ((fill (lambda (l i)
+                     (if (null? l)
+                         v
+                         (begin (vector-set! v i (car l)) (fill (cdr l) (+ i 1)))))))
+      (fill l 0))))
+(define (vector->list v)
+  (letrec ((grab (lambda (i acc)
+                   (if (< i 0) acc (grab (- i 1) (cons (vector-ref v i) acc))))))
+    (grab (- (vector-length v) 1) '())))
+(define (vector-fill! v x)
+  (letrec ((fill (lambda (i)
+                   (if (< i 0) v (begin (vector-set! v i x) (fill (- i 1)))))))
+    (fill (- (vector-length v) 1))))
+(define (sort l less?)
+  (letrec ((merge (lambda (a b)
+                    (cond ((null? a) b)
+                          ((null? b) a)
+                          ((less? (car b) (car a))
+                           (cons (car b) (merge a (cdr b))))
+                          (else (cons (car a) (merge (cdr a) b))))))
+           (split (lambda (l)
+                    (if (or (null? l) (null? (cdr l)))
+                        (cons l '())
+                        (let ((rest (split (cddr l))))
+                          (cons (cons (car l) (car rest))
+                                (cons (cadr l) (cdr rest)))))))
+           (msort (lambda (l)
+                    (if (or (null? l) (null? (cdr l)))
+                        l
+                        (let ((halves (split l)))
+                          (merge (msort (car halves)) (msort (cdr halves))))))))
+    (msort l)))
+"#;
+
+/// Parses the prelude into `(name, define-form)` pairs, in order.
+fn prelude_defines() -> Vec<(String, Datum)> {
+    let forms = fdi_sexpr::parse(PRELUDE).expect("prelude parses");
+    forms
+        .into_iter()
+        .map(|form| {
+            let parts = form.as_list().expect("prelude form is a list");
+            assert!(form.is_form("define"), "prelude contains only defines");
+            let name = match &parts[1] {
+                Datum::Sym(s) => s.clone(),
+                Datum::List(hs) | Datum::Improper(hs, _) => {
+                    hs[0].as_sym().expect("prelude name").to_string()
+                }
+                other => panic!("bad prelude header {other}"),
+            };
+            (name, form)
+        })
+        .collect()
+}
+
+/// Every symbol occurring anywhere in a datum (conservative reference scan).
+fn symbols_in(d: &Datum, out: &mut HashSet<String>) {
+    match d {
+        Datum::Sym(s) => {
+            out.insert(s.clone());
+        }
+        Datum::List(items) | Datum::Vector(items) => {
+            items.iter().for_each(|i| symbols_in(i, out));
+        }
+        Datum::Improper(items, tail) => {
+            items.iter().for_each(|i| symbols_in(i, out));
+            symbols_in(tail, out);
+        }
+        _ => {}
+    }
+}
+
+/// Prepends the prelude procedures transitively referenced by `forms`.
+///
+/// The scan is conservative (any symbol occurrence counts as a reference, so
+/// `'(map of the world)` pulls in `map`), which can only add unused library
+/// code, never omit needed code. Programs using `quasiquote` additionally
+/// pull in `append`.
+///
+/// # Examples
+///
+/// ```
+/// let user = fdi_sexpr::parse("(length '(1 2 3))").unwrap();
+/// let all = fdi_lang::with_prelude(&user);
+/// assert!(all.len() > user.len());
+/// assert!(all[0].to_string().contains("length"));
+/// ```
+pub fn with_prelude(forms: &[Datum]) -> Vec<Datum> {
+    let defs = prelude_defines();
+    let index: HashMap<&str, usize> = defs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| (name.as_str(), i))
+        .collect();
+    let mut referenced = HashSet::new();
+    for form in forms {
+        symbols_in(form, &mut referenced);
+    }
+    if referenced.contains("quasiquote") || referenced.contains("unquote-splicing") {
+        referenced.insert("append".to_string());
+    }
+    // Transitively close over prelude-internal references.
+    let mut needed: Vec<usize> = Vec::new();
+    let mut included = vec![false; defs.len()];
+    let mut work: Vec<usize> = defs
+        .iter()
+        .enumerate()
+        .filter(|(_, (name, _))| referenced.contains(name))
+        .map(|(i, _)| i)
+        .collect();
+    while let Some(i) = work.pop() {
+        if std::mem::replace(&mut included[i], true) {
+            continue;
+        }
+        needed.push(i);
+        let mut refs = HashSet::new();
+        symbols_in(&defs[i].1, &mut refs);
+        for r in refs {
+            if let Some(&j) = index.get(r.as_str()) {
+                if !included[j] {
+                    work.push(j);
+                }
+            }
+        }
+    }
+    needed.sort_unstable();
+    let mut out: Vec<Datum> = needed.into_iter().map(|i| defs[i].1.clone()).collect();
+    out.extend_from_slice(forms);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_parses_and_every_form_is_a_define() {
+        let defs = prelude_defines();
+        assert!(defs.len() >= 30);
+        assert!(defs.iter().any(|(n, _)| n == "map"));
+        assert!(defs.iter().any(|(n, _)| n == "sort"));
+    }
+
+    #[test]
+    fn tree_shake_pulls_transitive_deps() {
+        let user = fdi_sexpr::parse("(append '(1) '(2))").unwrap();
+        let all = with_prelude(&user);
+        let names: Vec<String> = all
+            .iter()
+            .filter(|f| f.is_form("define"))
+            .map(|f| f.to_string())
+            .collect();
+        // append depends on append2.
+        assert!(
+            names.iter().any(|n| n.contains("(append2 a b)")),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn unreferenced_prelude_is_dropped() {
+        let user = fdi_sexpr::parse("(+ 1 2)").unwrap();
+        let all = with_prelude(&user);
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn prelude_definitions_keep_order() {
+        let user = fdi_sexpr::parse("(map car m) (assq 'k l)").unwrap();
+        let all = with_prelude(&user);
+        let pos = |name: &str| {
+            all.iter()
+                .position(|f| f.to_string().contains(&format!("({name} ")))
+                .unwrap_or(usize::MAX)
+        };
+        // map's map* path references car through (map car lists).
+        assert!(pos("assq") < all.len());
+        assert!(pos("map") < all.len());
+    }
+
+    #[test]
+    fn full_prelude_lowers() {
+        // Reference everything at once; the combined program must lower.
+        let every: String = prelude_defines()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let user = fdi_sexpr::parse(&format!("(list {every})")).unwrap();
+        let all = with_prelude(&user);
+        let core = crate::expand_program(&all).unwrap();
+        let program = crate::lower_program(&core).unwrap();
+        assert!(crate::validate(&program).is_ok());
+    }
+}

@@ -1,0 +1,350 @@
+//! The primitive operations `p` of the paper's grammar.
+//!
+//! The paper treats `cons`/`car`/`cdr`/`set-car!`/`set-cdr!` as core forms
+//! and everything else as primitives with an `AbstractResultOf`. We fold the
+//! pair (and vector) operations into [`PrimOp`] as well; the flow analysis
+//! and VM give them the special treatment the paper's Fig. 4 rules describe.
+
+use std::fmt;
+
+macro_rules! prims {
+    ($( $variant:ident => ($name:literal, $min:literal, $max:expr, $pure:literal, $nofail:literal) ),+ $(,)?) => {
+        /// A primitive operation.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum PrimOp {
+            $(
+                #[doc = concat!("The `", $name, "` primitive.")]
+                $variant,
+            )+
+        }
+
+        impl PrimOp {
+            /// All primitives, in declaration order.
+            pub const ALL: &'static [PrimOp] = &[$(PrimOp::$variant),+];
+
+            /// The Scheme-level name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(PrimOp::$variant => $name,)+
+                }
+            }
+
+            /// Looks a primitive up by Scheme-level name.
+            pub fn from_name(name: &str) -> Option<PrimOp> {
+                match name {
+                    $($name => Some(PrimOp::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// Arity and effect signature.
+            pub fn sig(self) -> PrimSig {
+                match self {
+                    $(PrimOp::$variant => PrimSig {
+                        min_args: $min,
+                        max_args: $max,
+                        pure: $pure,
+                        no_fail: $nofail,
+                    },)+
+                }
+            }
+        }
+
+        impl fmt::Display for PrimOp {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.name())
+            }
+        }
+    };
+}
+
+// (name, min_args, max_args(None = variadic), pure, cannot-fail)
+//
+// `pure` means no heap mutation, no I/O, no dependence on mutable state —
+// the expression may be reordered or duplicated. `no_fail` additionally
+// means evaluation cannot signal a run-time error on any inputs, so an
+// unused application may be discarded entirely (§3.8 "discarding purely
+// functional expressions whose result is never used").
+prims! {
+    // Pairs (core data forms in the paper's grammar).
+    Cons      => ("cons", 2, Some(2), true, true),
+    Car       => ("car", 1, Some(1), false, false),
+    Cdr       => ("cdr", 1, Some(1), false, false),
+    SetCar    => ("set-car!", 2, Some(2), false, false),
+    SetCdr    => ("set-cdr!", 2, Some(2), false, false),
+    // Vectors (extension; records in the benchmarks are built on these).
+    MakeVector => ("make-vector", 1, Some(2), true, false),
+    Vector     => ("vector", 0, None, true, true),
+    VectorRef  => ("vector-ref", 2, Some(2), false, false),
+    VectorSet  => ("vector-set!", 3, Some(3), false, false),
+    VectorLength => ("vector-length", 1, Some(1), true, false),
+    // Arithmetic.
+    Add       => ("+", 0, None, true, false),
+    Sub       => ("-", 1, None, true, false),
+    Mul       => ("*", 0, None, true, false),
+    Div       => ("/", 1, None, true, false),
+    Quotient  => ("quotient", 2, Some(2), true, false),
+    Remainder => ("remainder", 2, Some(2), true, false),
+    Modulo    => ("modulo", 2, Some(2), true, false),
+    Abs       => ("abs", 1, Some(1), true, false),
+    Min       => ("min", 1, None, true, false),
+    Max       => ("max", 1, None, true, false),
+    Gcd       => ("gcd", 2, Some(2), true, false),
+    Sqrt      => ("sqrt", 1, Some(1), true, false),
+    Expt      => ("expt", 2, Some(2), true, false),
+    Exp       => ("exp", 1, Some(1), true, false),
+    Log       => ("log", 1, Some(1), true, false),
+    Sin       => ("sin", 1, Some(1), true, false),
+    Cos       => ("cos", 1, Some(1), true, false),
+    Atan      => ("atan", 1, Some(2), true, false),
+    Floor     => ("floor", 1, Some(1), true, false),
+    Ceiling   => ("ceiling", 1, Some(1), true, false),
+    Truncate  => ("truncate", 1, Some(1), true, false),
+    Round     => ("round", 1, Some(1), true, false),
+    ExactToInexact => ("exact->inexact", 1, Some(1), true, false),
+    InexactToExact => ("inexact->exact", 1, Some(1), true, false),
+    // Numeric comparisons and predicates.
+    NumEq     => ("=", 2, None, true, false),
+    Lt        => ("<", 2, None, true, false),
+    Gt        => (">", 2, None, true, false),
+    Le        => ("<=", 2, None, true, false),
+    Ge        => (">=", 2, None, true, false),
+    ZeroP     => ("zero?", 1, Some(1), true, false),
+    PositiveP => ("positive?", 1, Some(1), true, false),
+    NegativeP => ("negative?", 1, Some(1), true, false),
+    EvenP     => ("even?", 1, Some(1), true, false),
+    OddP      => ("odd?", 1, Some(1), true, false),
+    // Type predicates and equality — these never fail.
+    Not       => ("not", 1, Some(1), true, true),
+    NullP     => ("null?", 1, Some(1), true, true),
+    PairP     => ("pair?", 1, Some(1), true, true),
+    VectorP   => ("vector?", 1, Some(1), true, true),
+    NumberP   => ("number?", 1, Some(1), true, true),
+    IntegerP  => ("integer?", 1, Some(1), true, true),
+    BooleanP  => ("boolean?", 1, Some(1), true, true),
+    SymbolP   => ("symbol?", 1, Some(1), true, true),
+    StringP   => ("string?", 1, Some(1), true, true),
+    CharP     => ("char?", 1, Some(1), true, true),
+    ProcedureP => ("procedure?", 1, Some(1), true, true),
+    EqP       => ("eq?", 2, Some(2), true, true),
+    EqvP      => ("eqv?", 2, Some(2), true, true),
+    EqualP    => ("equal?", 2, Some(2), true, true),
+    // Strings, symbols, characters.
+    StringLength => ("string-length", 1, Some(1), true, false),
+    StringRef    => ("string-ref", 2, Some(2), true, false),
+    StringAppend => ("string-append", 0, None, true, false),
+    SubstringOp  => ("substring", 3, Some(3), true, false),
+    StringEqP    => ("string=?", 2, Some(2), true, false),
+    StringLtP    => ("string<?", 2, Some(2), true, false),
+    SymbolToString => ("symbol->string", 1, Some(1), true, false),
+    StringToSymbol => ("string->symbol", 1, Some(1), true, false),
+    NumberToString => ("number->string", 1, Some(1), true, false),
+    CharToInteger => ("char->integer", 1, Some(1), true, false),
+    IntegerToChar => ("integer->char", 1, Some(1), true, false),
+    CharEqP      => ("char=?", 2, Some(2), true, false),
+    CharLtP      => ("char<?", 2, Some(2), true, false),
+    // I/O and control.
+    Display   => ("display", 1, Some(1), false, true),
+    Write     => ("write", 1, Some(1), false, true),
+    Newline   => ("newline", 0, Some(0), false, true),
+    ErrorOp   => ("error", 0, None, false, false),
+    Random    => ("random", 1, Some(1), false, false),
+}
+
+/// Arity and effect signature of a primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimSig {
+    /// Minimum argument count.
+    pub min_args: u8,
+    /// Maximum argument count; `None` means variadic.
+    pub max_args: Option<u8>,
+    /// No mutation, I/O, or hidden state.
+    pub pure: bool,
+    /// Cannot raise a run-time error; safe to discard when unused.
+    pub no_fail: bool,
+}
+
+impl PrimSig {
+    /// True when `n` arguments are acceptable.
+    pub fn accepts(self, n: usize) -> bool {
+        n >= self.min_args as usize && self.max_args.is_none_or(|m| n <= m as usize)
+    }
+}
+
+/// The dynamic type a checked primitive argument must have at run time.
+///
+/// Used by the check-elimination pass (the optimization of the companion
+/// paper "Effective Flow Analysis for Avoiding Run-Time Checks", cited as
+/// future work in §6) and by the VM's check-cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArgKind {
+    /// Any number.
+    Num,
+    /// An exact integer.
+    Int,
+    /// A pair.
+    Pair,
+    /// A vector.
+    Vector,
+    /// A string.
+    Str,
+    /// A character.
+    Char,
+    /// A procedure.
+    Proc,
+}
+
+impl PrimOp {
+    /// The run-time tag checks a safe implementation of this primitive
+    /// performs: `(argument index, required kind)` pairs. Variadic numeric
+    /// primitives check every argument; those are encoded with the sentinel
+    /// index `u8::MAX` meaning "each argument".
+    pub fn checked_args(self) -> &'static [(u8, ArgKind)] {
+        use ArgKind::{Char, Int, Num, Pair, Str, Vector as Vec_};
+        use PrimOp::*;
+        const EACH: u8 = u8::MAX;
+        match self {
+            Car | Cdr => &[(0, Pair)],
+            SetCar | SetCdr => &[(0, Pair)],
+            Add | Sub | Mul | Div | Min | Max | NumEq | Lt | Gt | Le | Ge => &[(EACH, Num)],
+            Quotient | Remainder | Modulo | Gcd => &[(0, Int), (1, Int)],
+            Abs | Sqrt | Exp | Log | Sin | Cos | Floor | Ceiling | Truncate | Round | ZeroP
+            | PositiveP | NegativeP | ExactToInexact | InexactToExact => &[(0, Num)],
+            Atan | Expt => &[(EACH, Num)],
+            EvenP | OddP | Random => &[(0, Int)],
+            MakeVector => &[(0, Int)],
+            VectorRef => &[(0, Vec_), (1, Int)],
+            VectorSet => &[(0, Vec_), (1, Int)],
+            VectorLength => &[(0, Vec_)],
+            StringLength | SymbolToString | StringToSymbol => match self {
+                StringLength => &[(0, Str)],
+                StringToSymbol => &[(0, Str)],
+                _ => &[],
+            },
+            StringRef => &[(0, Str), (1, Int)],
+            SubstringOp => &[(0, Str), (1, Int), (2, Int)],
+            StringAppend => &[(EACH, Str)],
+            StringEqP | StringLtP => &[(0, Str), (1, Str)],
+            NumberToString => &[(0, Num)],
+            CharToInteger | CharEqP | CharLtP => match self {
+                CharToInteger => &[(0, Char)],
+                _ => &[(0, Char), (1, Char)],
+            },
+            IntegerToChar => &[(0, Int)],
+            _ => &[],
+        }
+    }
+
+    /// Number of run-time checks an application with `argc` arguments pays
+    /// when none are eliminated.
+    pub fn check_count(self, argc: usize) -> usize {
+        self.checked_args()
+            .iter()
+            .map(|&(i, _)| if i == u8::MAX { argc } else { 1 })
+            .sum()
+    }
+
+    /// True when this primitive allocates heap storage (for the VM's
+    /// allocation accounting).
+    pub fn allocates(self) -> bool {
+        matches!(
+            self,
+            PrimOp::Cons
+                | PrimOp::MakeVector
+                | PrimOp::Vector
+                | PrimOp::StringAppend
+                | PrimOp::SubstringOp
+                | PrimOp::NumberToString
+                | PrimOp::SymbolToString
+        )
+    }
+
+    /// True for pair and vector operations, which the flow analysis models
+    /// with per-(label, contour) content nodes rather than `AbstractResultOf`.
+    pub fn is_data_op(self) -> bool {
+        matches!(
+            self,
+            PrimOp::Cons
+                | PrimOp::Car
+                | PrimOp::Cdr
+                | PrimOp::SetCar
+                | PrimOp::SetCdr
+                | PrimOp::MakeVector
+                | PrimOp::Vector
+                | PrimOp::VectorRef
+                | PrimOp::VectorSet
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(PrimOp::from_name("cons"), Some(PrimOp::Cons));
+        assert_eq!(PrimOp::from_name("set-car!"), Some(PrimOp::SetCar));
+        assert_eq!(PrimOp::from_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for &p in PrimOp::ALL {
+            assert_eq!(PrimOp::from_name(p.name()), Some(p), "{p}");
+        }
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(PrimOp::Cons.sig().accepts(2));
+        assert!(!PrimOp::Cons.sig().accepts(1));
+        assert!(!PrimOp::Cons.sig().accepts(3));
+        assert!(PrimOp::Add.sig().accepts(0));
+        assert!(PrimOp::Add.sig().accepts(7));
+        assert!(!PrimOp::Sub.sig().accepts(0));
+        assert!(PrimOp::MakeVector.sig().accepts(1));
+        assert!(PrimOp::MakeVector.sig().accepts(2));
+        assert!(!PrimOp::MakeVector.sig().accepts(3));
+    }
+
+    #[test]
+    fn effect_flags_are_sensible() {
+        assert!(PrimOp::Cons.sig().pure && PrimOp::Cons.sig().no_fail);
+        assert!(!PrimOp::Car.sig().no_fail);
+        assert!(!PrimOp::SetCar.sig().pure);
+        assert!(!PrimOp::Display.sig().pure);
+        assert!(PrimOp::NullP.sig().no_fail);
+        assert!(!PrimOp::Div.sig().no_fail);
+    }
+
+    #[test]
+    fn checked_args_table() {
+        use ArgKind::*;
+        assert_eq!(PrimOp::Car.checked_args(), &[(0, Pair)]);
+        assert_eq!(PrimOp::Add.checked_args(), &[(u8::MAX, Num)]);
+        assert_eq!(PrimOp::Cons.checked_args(), &[] as &[(u8, ArgKind)]);
+        assert_eq!(PrimOp::VectorRef.checked_args().len(), 2);
+        assert_eq!(
+            PrimOp::SymbolToString.checked_args(),
+            &[] as &[(u8, ArgKind)]
+        );
+    }
+
+    #[test]
+    fn check_counts() {
+        assert_eq!(PrimOp::Add.check_count(3), 3);
+        assert_eq!(PrimOp::Car.check_count(1), 1);
+        assert_eq!(PrimOp::NullP.check_count(1), 0);
+        assert_eq!(PrimOp::VectorSet.check_count(3), 2);
+    }
+
+    #[test]
+    fn data_op_classification() {
+        assert!(PrimOp::Cons.is_data_op());
+        assert!(PrimOp::VectorSet.is_data_op());
+        assert!(!PrimOp::Add.is_data_op());
+        assert!(PrimOp::Cons.allocates());
+        assert!(!PrimOp::Car.allocates());
+    }
+}

@@ -1,0 +1,79 @@
+//! The code-size metric behind the `Inline?` threshold predicate (§3.7).
+//!
+//! The paper estimates "the size of the generated code for the inlined
+//! procedure at a particular call site". We charge one unit per expression
+//! node with small extra charges for binding structure, so that thresholds
+//! have roughly the granularity of the paper's (where `(map car m)` becomes
+//! inlinable above threshold 60).
+
+use crate::ast::{ExprKind, Label, Program};
+
+/// Size charged for a single node of the given kind (children not included).
+pub fn node_size(kind: &ExprKind) -> usize {
+    match kind {
+        ExprKind::Const(_) | ExprKind::Var(_) => 1,
+        ExprKind::Prim(..) | ExprKind::Call(_) | ExprKind::Apply(..) => 1,
+        ExprKind::Begin(_) | ExprKind::If(..) => 1,
+        // Binding forms pay one unit per binding: each binding compiles to
+        // a register move / closure slot.
+        ExprKind::Let(bindings, _) | ExprKind::Letrec(bindings, _) => 1 + bindings.len(),
+        // A λ pays for closure creation plus one slot per parameter.
+        ExprKind::Lambda(lam) => 2 + lam.params.len() + lam.rest.is_some() as usize,
+        ExprKind::ClRef(..) => 1,
+    }
+}
+
+/// Size of the subtree rooted at `label`.
+///
+/// # Examples
+///
+/// ```
+/// let p = fdi_lang::parse_and_lower("(+ 1 2)").unwrap();
+/// assert_eq!(fdi_lang::expr_size(&p, p.root()), 3);
+/// ```
+pub fn expr_size(program: &Program, label: Label) -> usize {
+    subtree_size(program, label)
+}
+
+pub(crate) fn subtree_size(program: &Program, root: Label) -> usize {
+    let mut total = 0;
+    let mut stack = vec![root];
+    while let Some(l) = stack.pop() {
+        total += node_size(program.expr(l));
+        program.for_each_child(l, |c| stack.push(c));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_and_lower;
+
+    #[test]
+    fn constants_and_vars_are_unit_size() {
+        let p = parse_and_lower("1").unwrap();
+        assert_eq!(p.size(), 1);
+    }
+
+    #[test]
+    fn lambda_charges_for_params() {
+        let one = parse_and_lower("(lambda (x) 1)").unwrap();
+        let two = parse_and_lower("(lambda (x y) 1)").unwrap();
+        assert_eq!(two.size(), one.size() + 1);
+    }
+
+    #[test]
+    fn let_charges_per_binding() {
+        let one = parse_and_lower("(let ((a 1)) a)").unwrap();
+        let two = parse_and_lower("(let ((a 1) (b 2)) a)").unwrap();
+        // One more binding: +1 for the slot, +1 for the extra constant.
+        assert_eq!(two.size(), one.size() + 2);
+    }
+
+    #[test]
+    fn size_is_sum_over_reachable_tree() {
+        let p = parse_and_lower("(if (null? '()) 1 2)").unwrap();
+        // if + prim + nil + 1 + 2
+        assert_eq!(p.size(), 5);
+    }
+}

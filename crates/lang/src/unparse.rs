@@ -1,0 +1,193 @@
+//! Unparser from core programs back to S-expressions.
+//!
+//! Variable names are made unique by suffixing `%<id>` when two distinct
+//! bindings share a source name, so that unparsed output can be re-lowered
+//! (used by the source-to-source tests and the printed examples).
+
+use crate::ast::{ExprKind, Label, Program, VarId};
+use crate::consts::Const;
+use fdi_sexpr::Datum;
+use std::collections::HashMap;
+
+/// Renders the whole program.
+///
+/// # Examples
+///
+/// ```
+/// let p = fdi_lang::parse_and_lower("(if #t 1 2)").unwrap();
+/// assert_eq!(fdi_lang::unparse(&p).to_string(), "(if #t 1 2)");
+/// ```
+pub fn unparse(program: &Program) -> Datum {
+    Unparser::new(program).expr(program.root())
+}
+
+/// Renders a single subexpression.
+pub fn unparse_expr(program: &Program, label: Label) -> Datum {
+    Unparser::new(program).expr(label)
+}
+
+struct Unparser<'a> {
+    program: &'a Program,
+    display_names: HashMap<VarId, String>,
+}
+
+impl<'a> Unparser<'a> {
+    fn new(program: &'a Program) -> Unparser<'a> {
+        // A name is ambiguous if two reachable bindings share it.
+        let mut uses: HashMap<&str, Vec<VarId>> = HashMap::new();
+        let mut seen = std::collections::HashSet::new();
+        for label in program.reachable() {
+            let mut record = |v: VarId| {
+                if seen.insert(v) {
+                    uses.entry(program.var_name(v)).or_default().push(v);
+                }
+            };
+            match program.expr(label) {
+                ExprKind::Lambda(lam) => lam
+                    .params
+                    .iter()
+                    .copied()
+                    .chain(lam.rest)
+                    .for_each(&mut record),
+                ExprKind::Let(bindings, _) | ExprKind::Letrec(bindings, _) => {
+                    bindings.iter().for_each(|&(v, _)| record(v))
+                }
+                _ => {}
+            }
+        }
+        let mut display_names = HashMap::new();
+        for (name, vars) in uses {
+            if vars.len() == 1 {
+                display_names.insert(vars[0], name.to_string());
+            } else {
+                for v in vars {
+                    display_names.insert(v, format!("{name}%{}", v.0));
+                }
+            }
+        }
+        Unparser {
+            program,
+            display_names,
+        }
+    }
+
+    fn var(&self, v: VarId) -> Datum {
+        let name = self
+            .display_names
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| format!("{}%{}", self.program.var_name(v), v.0));
+        Datum::Sym(name)
+    }
+
+    fn konst(&self, c: Const) -> Datum {
+        match c {
+            Const::Bool(b) => Datum::Bool(b),
+            Const::Int(n) => Datum::Int(n),
+            Const::Float(bits) => Datum::Float(f64::from_bits(bits)),
+            Const::Char(ch) => Datum::Char(ch),
+            Const::Str(s) => Datum::Str(self.program.interner().name(s).to_string()),
+            Const::Symbol(s) => Datum::List(vec![
+                Datum::sym("quote"),
+                Datum::sym(self.program.interner().name(s)),
+            ]),
+            Const::Nil => Datum::List(vec![Datum::sym("quote"), Datum::Nil]),
+            Const::Unspecified => Datum::List(vec![Datum::sym("quote"), Datum::sym("unspecified")]),
+        }
+    }
+
+    fn expr(&self, label: Label) -> Datum {
+        match self.program.expr(label) {
+            ExprKind::Const(c) => self.konst(*c),
+            ExprKind::Var(v) => self.var(*v),
+            ExprKind::Prim(p, args) => {
+                let mut items = vec![Datum::sym(p.name())];
+                items.extend(args.iter().map(|&a| self.expr(a)));
+                Datum::List(items)
+            }
+            ExprKind::Call(parts) => Datum::List(parts.iter().map(|&e| self.expr(e)).collect()),
+            ExprKind::Apply(f, arg) => {
+                Datum::List(vec![Datum::sym("apply"), self.expr(*f), self.expr(*arg)])
+            }
+            ExprKind::Begin(parts) => {
+                let mut items = vec![Datum::sym("begin")];
+                items.extend(parts.iter().map(|&e| self.expr(e)));
+                Datum::List(items)
+            }
+            ExprKind::If(c, t, e) => Datum::List(vec![
+                Datum::sym("if"),
+                self.expr(*c),
+                self.expr(*t),
+                self.expr(*e),
+            ]),
+            ExprKind::Let(bindings, body) => self.binding_form("let", bindings, *body),
+            ExprKind::Letrec(bindings, body) => self.binding_form("letrec", bindings, *body),
+            ExprKind::Lambda(lam) => {
+                let params: Vec<Datum> = lam.params.iter().map(|&v| self.var(v)).collect();
+                let formals = match lam.rest {
+                    None => Datum::list(params),
+                    Some(r) => {
+                        if params.is_empty() {
+                            self.var(r)
+                        } else {
+                            Datum::Improper(params, Box::new(self.var(r)))
+                        }
+                    }
+                };
+                Datum::List(vec![Datum::sym("lambda"), formals, self.expr(lam.body)])
+            }
+            ExprKind::ClRef(e, n) => Datum::List(vec![
+                Datum::sym("cl-ref"),
+                self.expr(*e),
+                Datum::Int(*n as i64),
+            ]),
+        }
+    }
+
+    fn binding_form(&self, head: &str, bindings: &[(VarId, Label)], body: Label) -> Datum {
+        let binds = bindings
+            .iter()
+            .map(|&(v, e)| Datum::List(vec![self.var(v), self.expr(e)]))
+            .collect();
+        Datum::List(vec![Datum::sym(head), Datum::list(binds), self.expr(body)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_and_lower;
+
+    #[test]
+    fn unparses_core_forms() {
+        for (src, expect) in [
+            ("(if #t 1 2)", "(if #t 1 2)"),
+            ("(begin 1 2)", "(begin 1 2)"),
+            ("(cons 1 '())", "(cons 1 (quote ()))"),
+            ("(lambda (x) x)", "(lambda (x) x)"),
+            ("(lambda args args)", "(lambda args args)"),
+            ("(lambda (a . r) r)", "(lambda (a . r) r)"),
+            ("'sym", "(quote sym)"),
+        ] {
+            let p = parse_and_lower(src).unwrap();
+            assert_eq!(crate::unparse(&p).to_string(), expect, "{src}");
+        }
+    }
+
+    #[test]
+    fn shadowed_names_get_unique_suffixes() {
+        let p = parse_and_lower("(let ((x 1)) (let ((x 2)) x))").unwrap();
+        let out = crate::unparse(&p).to_string();
+        assert!(out.contains("x%"), "{out}");
+        // And the output re-lowers cleanly.
+        assert!(parse_and_lower(&out).is_ok(), "{out}");
+    }
+
+    #[test]
+    fn unparse_relower_preserves_size() {
+        let src =
+            "(letrec ((f (lambda (n acc) (if (zero? n) acc (f (- n 1) (* acc n)))))) (f 5 1))";
+        let p = parse_and_lower(src).unwrap();
+        let p2 = parse_and_lower(&crate::unparse(&p).to_string()).unwrap();
+        assert_eq!(p.size(), p2.size());
+    }
+}

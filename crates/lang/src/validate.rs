@@ -1,0 +1,290 @@
+//! Well-formedness checks for [`Program`]s.
+//!
+//! The inliner and simplifier both produce fresh programs; tests and debug
+//! assertions run [`validate`] on their outputs to catch scoping or arity
+//! mistakes immediately rather than as downstream miscompiles.
+
+use crate::ast::{Binder, ExprKind, Label, Program, VarId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// The offending expression.
+    pub label: Label,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ill-formed program at {}: {}", self.label, self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Checks that `program` is well formed:
+///
+/// * every variable reference is in scope;
+/// * no label is shared between two parents (unique-label property, §3.1);
+/// * no variable is bound twice (unique-binding property, §3.1);
+/// * `letrec` right-hand sides are λ-expressions;
+/// * `begin`/`call` have at least the required subexpressions;
+/// * primitive applications match the primitive's arity.
+///
+/// # Errors
+///
+/// Returns the first violation found in a preorder walk.
+pub fn validate(program: &Program) -> Result<(), ValidateError> {
+    let mut seen_labels = HashSet::new();
+    let mut bound_once = HashSet::new();
+    let mut scope = Vec::new();
+    check(
+        program,
+        program.root(),
+        &mut scope,
+        &mut seen_labels,
+        &mut bound_once,
+    )
+}
+
+fn err(label: Label, message: impl Into<String>) -> ValidateError {
+    ValidateError {
+        label,
+        message: message.into(),
+    }
+}
+
+fn check(
+    program: &Program,
+    label: Label,
+    scope: &mut Vec<VarId>,
+    seen_labels: &mut HashSet<Label>,
+    bound_once: &mut HashSet<VarId>,
+) -> Result<(), ValidateError> {
+    if !seen_labels.insert(label) {
+        return Err(err(label, "label reachable through two parents"));
+    }
+    let bind = |v: VarId,
+                binder_label: Label,
+                scope: &mut Vec<VarId>,
+                bound_once: &mut HashSet<VarId>|
+     -> Result<(), ValidateError> {
+        if !bound_once.insert(v) {
+            return Err(err(binder_label, format!("variable {v} bound twice")));
+        }
+        let info = program.var(v);
+        if info.binder.label() != binder_label {
+            return Err(err(
+                binder_label,
+                format!(
+                    "variable {v} has binder {} but is bound at {binder_label}",
+                    info.binder.label()
+                ),
+            ));
+        }
+        scope.push(v);
+        Ok(())
+    };
+    match program.expr(label) {
+        ExprKind::Const(_) => {}
+        ExprKind::Var(v) => {
+            if !scope.contains(v) {
+                return Err(err(label, format!("unbound variable {v}")));
+            }
+        }
+        ExprKind::Prim(p, args) => {
+            if !p.sig().accepts(args.len()) {
+                return Err(err(
+                    label,
+                    format!("primitive {p} applied to {} args", args.len()),
+                ));
+            }
+            for &a in args {
+                check(program, a, scope, seen_labels, bound_once)?;
+            }
+        }
+        ExprKind::Call(parts) => {
+            if parts.is_empty() {
+                return Err(err(label, "empty call"));
+            }
+            for &e in parts {
+                check(program, e, scope, seen_labels, bound_once)?;
+            }
+        }
+        ExprKind::Apply(f, arg) => {
+            check(program, *f, scope, seen_labels, bound_once)?;
+            check(program, *arg, scope, seen_labels, bound_once)?;
+        }
+        ExprKind::Begin(parts) => {
+            if parts.is_empty() {
+                return Err(err(label, "empty begin"));
+            }
+            for &e in parts {
+                check(program, e, scope, seen_labels, bound_once)?;
+            }
+        }
+        ExprKind::If(c, t, e) => {
+            check(program, *c, scope, seen_labels, bound_once)?;
+            check(program, *t, scope, seen_labels, bound_once)?;
+            check(program, *e, scope, seen_labels, bound_once)?;
+        }
+        ExprKind::Let(bindings, body) => {
+            for &(_, e) in bindings {
+                check(program, e, scope, seen_labels, bound_once)?;
+            }
+            let mark = scope.len();
+            for &(v, _) in bindings {
+                if !matches!(program.var(v).binder, Binder::Let(_)) {
+                    return Err(err(label, format!("{v} bound by let but marked otherwise")));
+                }
+                bind(v, label, scope, bound_once)?;
+            }
+            check(program, *body, scope, seen_labels, bound_once)?;
+            scope.truncate(mark);
+        }
+        ExprKind::Letrec(bindings, body) => {
+            let mark = scope.len();
+            for &(v, _) in bindings {
+                if !matches!(program.var(v).binder, Binder::Letrec(_)) {
+                    return Err(err(
+                        label,
+                        format!("{v} bound by letrec but marked otherwise"),
+                    ));
+                }
+                bind(v, label, scope, bound_once)?;
+            }
+            for &(_, e) in bindings {
+                if !matches!(program.expr(e), ExprKind::Lambda(_)) {
+                    return Err(err(label, "letrec right-hand side is not a lambda"));
+                }
+                check(program, e, scope, seen_labels, bound_once)?;
+            }
+            check(program, *body, scope, seen_labels, bound_once)?;
+            scope.truncate(mark);
+        }
+        ExprKind::Lambda(lam) => {
+            let mark = scope.len();
+            for v in lam.params.iter().chain(lam.rest.iter()) {
+                if !matches!(program.var(*v).binder, Binder::Lambda(_)) {
+                    return Err(err(
+                        label,
+                        format!("{v} bound by lambda but marked otherwise"),
+                    ));
+                }
+                bind(*v, label, scope, bound_once)?;
+            }
+            check(program, lam.body, scope, seen_labels, bound_once)?;
+            scope.truncate(mark);
+        }
+        ExprKind::ClRef(e, _) => {
+            check(program, *e, scope, seen_labels, bound_once)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{LambdaInfo, VarInfo};
+    use crate::consts::Const;
+    use crate::intern::Interner;
+    use crate::parse_and_lower;
+
+    #[test]
+    fn lowered_programs_validate() {
+        for src in [
+            "1",
+            "(lambda (x) x)",
+            "(let ((x 1) (y 2)) (+ x y))",
+            "(letrec ((f (lambda (n) (if (zero? n) 0 (f (- n 1)))))) (f 3))",
+            "(define (g a) (cons a a)) (g 1)",
+        ] {
+            let p = parse_and_lower(src).unwrap();
+            assert!(validate(&p).is_ok(), "{src}");
+        }
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        let mut interner = Interner::new();
+        let x = interner.intern("x");
+        let mut p = crate::Program::new(interner);
+        let v = p.add_var(VarInfo {
+            name: x,
+            binder: Binder::Lambda(Label(1)),
+            top_level: false,
+        });
+        let r = p.add_expr(ExprKind::Var(v));
+        p.set_root(r);
+        let e = validate(&p).unwrap_err();
+        assert!(e.message.contains("unbound"));
+    }
+
+    #[test]
+    fn rejects_shared_labels() {
+        let mut p = crate::Program::new(Interner::new());
+        let one = p.add_expr(ExprKind::Const(Const::Int(1)));
+        let b = p.add_expr(ExprKind::Begin(vec![one, one]));
+        p.set_root(b);
+        let e = validate(&p).unwrap_err();
+        assert!(e.message.contains("two parents"));
+    }
+
+    #[test]
+    fn rejects_letrec_non_lambda_rhs() {
+        let mut interner = Interner::new();
+        let f = interner.intern("f");
+        let mut p = crate::Program::new(interner);
+        let one = p.add_expr(ExprKind::Const(Const::Int(1)));
+        let body = p.add_expr(ExprKind::Const(Const::Int(2)));
+        let v = p.add_var(VarInfo {
+            name: f,
+            binder: Binder::Letrec(Label(2)),
+            top_level: false,
+        });
+        let lr = p.add_expr(ExprKind::Letrec(vec![(v, one)], body));
+        p.set_root(lr);
+        let e = validate(&p).unwrap_err();
+        assert!(e.message.contains("not a lambda"));
+    }
+
+    #[test]
+    fn rejects_double_binding() {
+        let mut interner = Interner::new();
+        let x = interner.intern("x");
+        let mut p = crate::Program::new(interner);
+        let v = p.add_var(VarInfo {
+            name: x,
+            binder: Binder::Lambda(Label(1)),
+            top_level: false,
+        });
+        let body = p.add_expr(ExprKind::Var(v));
+        let inner = p.add_expr(ExprKind::Lambda(LambdaInfo {
+            params: vec![v],
+            rest: None,
+            body,
+        }));
+        // Rebind the same VarId in an enclosing lambda.
+        let outer = p.add_expr(ExprKind::Lambda(LambdaInfo {
+            params: vec![v],
+            rest: None,
+            body: inner,
+        }));
+        p.set_root(outer);
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_prim_arity() {
+        let mut p = crate::Program::new(Interner::new());
+        let one = p.add_expr(ExprKind::Const(Const::Int(1)));
+        let c = p.add_expr(ExprKind::Prim(crate::PrimOp::Cons, vec![one]));
+        p.set_root(c);
+        let e = validate(&p).unwrap_err();
+        assert!(e.message.contains("applied to 1 args"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Surface-language conformance tests: every derived form must expand,
+//! lower, validate, and round-trip through the unparser.
+
+use fdi_lang::{parse_and_lower, unparse, validate, ExprKind, PrimOp};
+
+fn roundtrips(src: &str) {
+    let p = parse_and_lower(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+    validate(&p).unwrap_or_else(|e| panic!("{src}: {e}"));
+    // The unparsed program is closed, so re-lower it without prelude
+    // injection (prelude names appearing as bound variables would otherwise
+    // pull library code in a second time).
+    let printed = unparse(&p).to_string();
+    let data = fdi_sexpr::parse(&printed).unwrap();
+    let core = fdi_lang::expand_program(&data).unwrap();
+    let p2 = fdi_lang::lower_program(&core).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+    validate(&p2).unwrap_or_else(|e| panic!("revalidate {printed}: {e}"));
+    assert_eq!(p.size(), p2.size(), "size drift through unparse: {src}");
+}
+
+#[test]
+fn all_derived_forms_roundtrip() {
+    for src in [
+        "(cond ((= 1 2) 'a) ((= 2 2) 'b) (else 'c))",
+        "(cond (#f 'x) (42))",
+        "(cond ((assq 'k '((k 1))) => cdr) (else 'no))",
+        "(case (* 2 3) ((2 3 5 7) 'prime) ((1 4 6 8 9) 'composite))",
+        "(case 9 ((1) 'one) (else 'many))",
+        "(and 1 2 3)",
+        "(or #f #f 3)",
+        "(when (= 1 1) (display 1) 2)",
+        "(unless (= 1 2) 'fine)",
+        "(let* ((a 1) (b (+ a 1)) (c (+ b 1))) c)",
+        "(let loop ((i 0) (acc '())) (if (= i 3) acc (loop (+ i 1) (cons i acc))))",
+        "(do ((i 0 (+ i 1)) (s 0 (+ s i))) ((= i 10) s) (display i))",
+        "(letrec ((f (lambda (x) (g x))) (g (lambda (x) x))) (f 1))",
+        "((lambda args (length args)) 1 2 3)",
+        "((lambda (a b . rest) (cons a rest)) 1 2 3 4)",
+        "`(1 ,(+ 1 1) ,@(list 3 4) 5)",
+        "'(nested (quoted (structure)))",
+        "'#(1 2 (3 . 4))",
+        "(define x 1) (define (f) x) (define (g) (f)) (g)",
+        "(begin)",
+        "(if (< 1 2) 'then)",
+        "(apply max 1 2 '(3 4))",
+    ] {
+        roundtrips(src);
+    }
+}
+
+#[test]
+fn internal_defines_nest_correctly() {
+    let p = parse_and_lower(
+        "(define (outer x)
+           (define (helper y) (* y y))
+           (define k 10)
+           (+ (helper x) k))
+         (outer 3)",
+    )
+    .unwrap();
+    assert!(validate(&p).is_ok());
+}
+
+#[test]
+fn body_with_trailing_define_is_rejected() {
+    assert!(parse_and_lower("(lambda (x) (define y 1))").is_err());
+}
+
+#[test]
+fn duplicate_parameter_names_shadow_consistently() {
+    // R4RS forbids duplicate formals; our lowering keeps last-binding-wins
+    // scoping, which the unique-binding property makes unambiguous.
+    let p = parse_and_lower("(let ((x 1)) (let ((x 2)) x))").unwrap();
+    assert!(validate(&p).is_ok());
+}
+
+#[test]
+fn quoted_data_shares_hoisted_structure() {
+    // The same literal appearing twice still yields two hoisted bindings
+    // (no accidental label sharing).
+    let p = parse_and_lower("(cons '(1 2) '(1 2))").unwrap();
+    assert!(validate(&p).is_ok());
+    let conses = p
+        .reachable()
+        .iter()
+        .filter(|&&l| matches!(p.expr(l), ExprKind::Prim(PrimOp::Cons, _)))
+        .count();
+    assert!(
+        conses >= 5,
+        "two hoisted lists plus the outer cons: {conses}"
+    );
+}
+
+#[test]
+fn deeply_nested_quotes_lower() {
+    let src = format!("(length '({}))", "x ".repeat(500));
+    let p = parse_and_lower(&src).unwrap();
+    assert!(validate(&p).is_ok());
+}
+
+#[test]
+fn prelude_is_tree_shaken() {
+    let small = parse_and_lower("(+ 1 2)").unwrap();
+    let with_map = parse_and_lower("(map car '((1)))").unwrap();
+    assert!(
+        with_map.size() > small.size() + 50,
+        "map and its dependencies should be prepended only when used"
+    );
+}
+
+#[test]
+fn size_metric_is_stable_across_alpha_renaming() {
+    let a = parse_and_lower("(lambda (x) (lambda (y) (cons x y)))").unwrap();
+    let b = parse_and_lower("(lambda (q) (lambda (r) (cons q r)))").unwrap();
+    assert_eq!(a.size(), b.size());
+}
+
+#[test]
+fn line_count_reflects_pretty_printing() {
+    let p = parse_and_lower("(define (f x) (if (zero? x) 'a 'b)) (f 1)").unwrap();
+    assert!(p.line_count() >= 1);
+}
+
+#[test]
+fn errors_name_the_offending_construct() {
+    for (src, needle) in [
+        ("(lambda)", "lambda"),
+        ("(if 1)", "if"),
+        ("(let ((1 2)) 3)", "let"),
+        ("(case)", "case"),
+        ("(cond bad-clause)", "cond"),
+        ("(do x y)", "do"),
+        ("(quote)", "quote"),
+        ("(set! x 1)", "set!"),
+        ("(unquote x)", "unquote"),
+    ] {
+        let err = parse_and_lower(src).unwrap_err();
+        assert!(
+            err.contains(needle),
+            "error for {src} should mention {needle}: {err}"
+        );
+    }
+}
+
+#[test]
+fn eta_expanded_variadic_prims_have_rest_wrappers() {
+    // `+` as a value must accept any arity ≥ 2, so its η expansion is a
+    // genuinely variadic wrapper (the VM-level behaviour is covered by
+    // fdi-vm's `variadic_and_apply` test).
+    let p = parse_and_lower("(apply + '(1 2 3 4 5))").unwrap();
+    assert!(validate(&p).is_ok());
+    let has_variadic_wrapper = p.labels().any(|l| match p.expr(l) {
+        ExprKind::Lambda(lam) => lam.rest.is_some() && lam.params.len() == 2,
+        _ => false,
+    });
+    assert!(has_variadic_wrapper, "variadic η wrapper missing");
+}

@@ -1,0 +1,198 @@
+//! The [`Datum`] tree: the external representation of Scheme data.
+
+use std::fmt;
+
+/// A parsed S-expression.
+///
+/// `Datum` is the output of the reader and the input to the `fdi-lang`
+/// expander. Proper lists are represented as [`Datum::List`]; a dotted tail
+/// uses [`Datum::Improper`], whose head vector is always non-empty and whose
+/// tail is never itself a list (the reader normalizes `(a . (b c))` to
+/// `(a b c)`).
+///
+/// # Examples
+///
+/// ```
+/// use fdi_sexpr::Datum;
+///
+/// let d = Datum::list(vec![Datum::sym("+"), Datum::Int(1), Datum::Int(2)]);
+/// assert_eq!(d.to_string(), "(+ 1 2)");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    /// `#t` or `#f`.
+    Bool(bool),
+    /// An exact integer.
+    Int(i64),
+    /// An inexact real.
+    Float(f64),
+    /// A character literal such as `#\a`, `#\space`, `#\newline`.
+    Char(char),
+    /// A string literal.
+    Str(String),
+    /// A symbol.
+    Sym(String),
+    /// The empty list `()`.
+    Nil,
+    /// A proper list `(d ...)` with at least one element.
+    List(Vec<Datum>),
+    /// A dotted list `(d ... . tail)`. The head is non-empty and the tail is
+    /// neither `Nil` nor a list.
+    Improper(Vec<Datum>, Box<Datum>),
+    /// A vector literal `#(d ...)`.
+    Vector(Vec<Datum>),
+}
+
+impl Datum {
+    /// Builds a symbol datum.
+    ///
+    /// ```
+    /// # use fdi_sexpr::Datum;
+    /// assert_eq!(Datum::sym("car"), Datum::Sym("car".to_string()));
+    /// ```
+    pub fn sym(name: impl Into<String>) -> Datum {
+        Datum::Sym(name.into())
+    }
+
+    /// Builds a list datum, normalizing the empty case to [`Datum::Nil`].
+    ///
+    /// ```
+    /// # use fdi_sexpr::Datum;
+    /// assert_eq!(Datum::list(vec![]), Datum::Nil);
+    /// ```
+    pub fn list(items: Vec<Datum>) -> Datum {
+        if items.is_empty() {
+            Datum::Nil
+        } else {
+            Datum::List(items)
+        }
+    }
+
+    /// Returns the symbol name if this datum is a symbol.
+    ///
+    /// ```
+    /// # use fdi_sexpr::Datum;
+    /// assert_eq!(Datum::sym("x").as_sym(), Some("x"));
+    /// assert_eq!(Datum::Int(3).as_sym(), None);
+    /// ```
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Datum::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this datum is a proper list (or `Nil`).
+    ///
+    /// ```
+    /// # use fdi_sexpr::Datum;
+    /// assert_eq!(Datum::Nil.as_list(), Some(&[][..]));
+    /// ```
+    pub fn as_list(&self) -> Option<&[Datum]> {
+        match self {
+            Datum::Nil => Some(&[]),
+            Datum::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True when this datum is a proper list starting with the given symbol.
+    ///
+    /// ```
+    /// # use fdi_sexpr::{parse_one, Datum};
+    /// let d = parse_one("(define x 1)").unwrap();
+    /// assert!(d.is_form("define"));
+    /// assert!(!d.is_form("lambda"));
+    /// ```
+    pub fn is_form(&self, head: &str) -> bool {
+        matches!(self, Datum::List(items) if items[0].as_sym() == Some(head))
+    }
+
+    /// Total number of atoms and collection nodes in the tree — a crude size
+    /// measure used by reader tests.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Datum::List(items) | Datum::Vector(items) => {
+                1 + items.iter().map(Datum::node_count).sum::<usize>()
+            }
+            Datum::Improper(items, tail) => {
+                1 + items.iter().map(Datum::node_count).sum::<usize>() + tail.node_count()
+            }
+            _ => 1,
+        }
+    }
+}
+
+fn write_char(c: char, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match c {
+        ' ' => write!(f, "#\\space"),
+        '\n' => write!(f, "#\\newline"),
+        '\t' => write!(f, "#\\tab"),
+        c => write!(f, "#\\{c}"),
+    }
+}
+
+fn write_str_escaped(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\t' => write!(f, "\\t")?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Bool(true) => write!(f, "#t"),
+            Datum::Bool(false) => write!(f, "#f"),
+            Datum::Int(n) => write!(f, "{n}"),
+            Datum::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Datum::Char(c) => write_char(*c, f),
+            Datum::Str(s) => write_str_escaped(s, f),
+            Datum::Sym(s) => write!(f, "{s}"),
+            Datum::Nil => write!(f, "()"),
+            Datum::List(items) => {
+                write!(f, "(")?;
+                for (i, d) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, ")")
+            }
+            Datum::Improper(items, tail) => {
+                write!(f, "(")?;
+                for (i, d) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, " . {tail})")
+            }
+            Datum::Vector(items) => {
+                write!(f, "#(")?;
+                for (i, d) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Tokenizer for the S-expression reader.
+
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `(` or `[`.
+    LParen,
+    /// `)` or `]`.
+    RParen,
+    /// `'`.
+    Quote,
+    /// `` ` ``.
+    Quasiquote,
+    /// `,`.
+    Unquote,
+    /// `,@`.
+    UnquoteSplicing,
+    /// `.` separating a dotted tail.
+    Dot,
+    /// `#(` opening a vector literal.
+    VecOpen,
+    /// `#t` / `#f`.
+    Bool(bool),
+    /// An exact integer literal.
+    Int(i64),
+    /// An inexact real literal.
+    Float(f64),
+    /// A character literal.
+    Char(char),
+    /// A string literal (already unescaped).
+    Str(String),
+    /// A symbol.
+    Sym(String),
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was read.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A streaming tokenizer over source text.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_sexpr::{Lexer, TokenKind};
+///
+/// let toks: Vec<_> = Lexer::new("(+ 1 2)").map(|t| t.unwrap().kind).collect();
+/// assert_eq!(toks.len(), 5);
+/// assert_eq!(toks[1], TokenKind::Sym("+".to_string()));
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    failed: bool,
+}
+
+/// A lexical error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_delimiter(b: u8) -> bool {
+    matches!(b, b'(' | b')' | b'[' | b']' | b'"' | b';') || b.is_ascii_whitespace()
+}
+
+fn is_symbol_byte(b: u8) -> bool {
+    !is_delimiter(b) && !matches!(b, b'\'' | b'`' | b',')
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            failed: false,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn skip_atmosphere(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b';') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'#') if self.peek2() == Some(b'|') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'|'), Some(b'#')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                            }
+                            (Some(b'#'), Some(b'|')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn read_string(&mut self) -> Result<TokenKind, LexError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some(b'"') => return Ok(TokenKind::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    Some(other) => {
+                        return Err(
+                            self.error(format!("unknown string escape '\\{}'", other as char))
+                        )
+                    }
+                    None => return Err(self.error("unterminated string escape")),
+                },
+                Some(b) => out.push(b as char),
+            }
+        }
+    }
+
+    fn read_char_literal(&mut self) -> Result<TokenKind, LexError> {
+        // The leading `#\` has been consumed. A named character is a run of
+        // symbol bytes; a single punctuation character stands for itself.
+        let start = self.pos;
+        let first = self
+            .bump()
+            .ok_or_else(|| self.error("unterminated character literal"))?;
+        if (first as char).is_ascii_alphabetic() {
+            while let Some(b) = self.peek() {
+                if is_symbol_byte(b) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let c = match text {
+            "space" => ' ',
+            "newline" => '\n',
+            "tab" => '\t',
+            t if t.chars().count() == 1 => t.chars().next().unwrap(),
+            t => return Err(self.error(format!("unknown character name '#\\{t}'"))),
+        };
+        Ok(TokenKind::Char(c))
+    }
+
+    fn read_atom(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if is_symbol_byte(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.error("non-UTF8 atom"))?;
+        if text == "." {
+            return Ok(TokenKind::Dot);
+        }
+        // Numbers: optional sign, digits, optional fraction/exponent.
+        let looks_numeric = {
+            let t = text.strip_prefix(['+', '-']).unwrap_or(text);
+            !t.is_empty() && t.starts_with(|c: char| c.is_ascii_digit() || c == '.')
+        };
+        if looks_numeric {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(TokenKind::Int(n));
+            }
+            if let Ok(x) = text.parse::<f64>() {
+                return Ok(TokenKind::Float(x));
+            }
+        }
+        Ok(TokenKind::Sym(text.to_string()))
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        self.skip_atmosphere()?;
+        let (line, col) = (self.line, self.col);
+        let Some(b) = self.peek() else {
+            return Ok(None);
+        };
+        let kind = match b {
+            b'(' | b'[' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' | b']' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'\'' => {
+                self.bump();
+                TokenKind::Quote
+            }
+            b'`' => {
+                self.bump();
+                TokenKind::Quasiquote
+            }
+            b',' => {
+                self.bump();
+                if self.peek() == Some(b'@') {
+                    self.bump();
+                    TokenKind::UnquoteSplicing
+                } else {
+                    TokenKind::Unquote
+                }
+            }
+            b'"' => {
+                self.bump();
+                self.read_string()?
+            }
+            b'#' => match self.peek2() {
+                Some(b'(') => {
+                    self.bump();
+                    self.bump();
+                    TokenKind::VecOpen
+                }
+                Some(b't') | Some(b'f') => {
+                    self.bump();
+                    let v = self.bump() == Some(b't');
+                    if self.peek().is_some_and(is_symbol_byte) {
+                        return Err(self.error("junk after boolean literal"));
+                    }
+                    TokenKind::Bool(v)
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump();
+                    self.read_char_literal()?
+                }
+                other => {
+                    let e = self.error(format!(
+                        "unknown '#' syntax: #{}",
+                        other.map(|b| (b as char).to_string()).unwrap_or_default()
+                    ));
+                    self.bump();
+                    return Err(e);
+                }
+            },
+            _ => self.read_atom()?,
+        };
+        Ok(Some(Token { kind, line, col }))
+    }
+}
+
+impl Iterator for Lexer<'_> {
+    type Item = Result<Token, LexError>;
+
+    /// The iterator fuses after yielding an error, so looping over a lexer
+    /// always terminates even on malformed input.
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let out = self.next_token().transpose();
+        if matches!(out, Some(Err(_))) {
+            self.failed = true;
+        }
+        out
+    }
+}

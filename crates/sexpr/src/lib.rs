@@ -1,0 +1,29 @@
+//! S-expression reader and printer for the flow-directed-inlining toolchain.
+//!
+//! This crate implements the concrete-syntax layer of the system described in
+//! *Flow-directed Inlining* (Jagannathan & Wright, PLDI 1996): a reader for a
+//! Scheme-like surface language producing [`Datum`] trees, and printers that
+//! render data back to text (both compactly and indented).
+//!
+//! # Examples
+//!
+//! ```
+//! use fdi_sexpr::{parse, Datum};
+//!
+//! let data = parse("(let ((x 1)) (+ x 2)) ; a program").unwrap();
+//! assert_eq!(data.len(), 1);
+//! assert_eq!(data[0].to_string(), "(let ((x 1)) (+ x 2))");
+//! ```
+
+mod datum;
+mod lexer;
+mod parser;
+mod printer;
+
+pub use datum::Datum;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse, parse_one, ParseError};
+pub use printer::pretty;
+
+#[cfg(test)]
+mod tests;

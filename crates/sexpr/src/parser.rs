@@ -1,0 +1,227 @@
+//! Recursive-descent parser from tokens to [`Datum`] trees.
+
+use std::fmt;
+
+use crate::datum::Datum;
+use crate::lexer::{LexError, Lexer, Token, TokenKind};
+
+/// An error produced while reading S-expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line of the offending token (0 when at end of input).
+    pub line: u32,
+    /// 1-based column of the offending token (0 when at end of input).
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    lookahead: Option<Token>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Parser<'a> {
+        Parser {
+            lexer: Lexer::new(src),
+            lookahead: None,
+        }
+    }
+
+    fn peek(&mut self) -> Result<Option<&Token>, ParseError> {
+        if self.lookahead.is_none() {
+            self.lookahead = self.lexer.next().transpose()?;
+        }
+        Ok(self.lookahead.as_ref())
+    }
+
+    fn bump(&mut self) -> Result<Option<Token>, ParseError> {
+        self.peek()?;
+        Ok(self.lookahead.take())
+    }
+
+    fn error_at(tok: Option<&Token>, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: tok.map_or(0, |t| t.line),
+            col: tok.map_or(0, |t| t.col),
+        }
+    }
+
+    fn parse_datum(&mut self) -> Result<Option<Datum>, ParseError> {
+        let Some(tok) = self.bump()? else {
+            return Ok(None);
+        };
+        let d = match tok.kind {
+            TokenKind::Bool(b) => Datum::Bool(b),
+            TokenKind::Int(n) => Datum::Int(n),
+            TokenKind::Float(x) => Datum::Float(x),
+            TokenKind::Char(c) => Datum::Char(c),
+            TokenKind::Str(s) => Datum::Str(s),
+            TokenKind::Sym(s) => Datum::Sym(s),
+            TokenKind::Quote => self.parse_abbrev("quote", &tok)?,
+            TokenKind::Quasiquote => self.parse_abbrev("quasiquote", &tok)?,
+            TokenKind::Unquote => self.parse_abbrev("unquote", &tok)?,
+            TokenKind::UnquoteSplicing => self.parse_abbrev("unquote-splicing", &tok)?,
+            TokenKind::LParen => self.parse_list(&tok)?,
+            TokenKind::VecOpen => self.parse_vector(&tok)?,
+            TokenKind::RParen => {
+                return Err(Self::error_at(Some(&tok), "unexpected ')'"));
+            }
+            TokenKind::Dot => {
+                return Err(Self::error_at(Some(&tok), "unexpected '.'"));
+            }
+        };
+        Ok(Some(d))
+    }
+
+    fn parse_abbrev(&mut self, head: &str, at: &Token) -> Result<Datum, ParseError> {
+        let inner = self
+            .parse_datum()?
+            .ok_or_else(|| Self::error_at(Some(at), format!("'{head}' at end of input")))?;
+        Ok(Datum::List(vec![Datum::sym(head), inner]))
+    }
+
+    fn parse_list(&mut self, open: &Token) -> Result<Datum, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek()? {
+                None => return Err(Self::error_at(Some(open), "unterminated list")),
+                Some(t) if t.kind == TokenKind::RParen => {
+                    self.bump()?;
+                    return Ok(Datum::list(items));
+                }
+                Some(t) if t.kind == TokenKind::Dot => {
+                    let dot = self.bump()?.unwrap();
+                    if items.is_empty() {
+                        return Err(Self::error_at(Some(&dot), "dot with no preceding datum"));
+                    }
+                    let tail = self
+                        .parse_datum()?
+                        .ok_or_else(|| Self::error_at(Some(&dot), "missing datum after '.'"))?;
+                    match self.bump()? {
+                        Some(t) if t.kind == TokenKind::RParen => {}
+                        t => {
+                            return Err(Self::error_at(
+                                t.as_ref(),
+                                "expected ')' after dotted tail",
+                            ))
+                        }
+                    }
+                    // Normalize a list tail into a longer proper/improper list.
+                    return Ok(match tail {
+                        Datum::Nil => Datum::list(items),
+                        Datum::List(rest) => {
+                            items.extend(rest);
+                            Datum::List(items)
+                        }
+                        Datum::Improper(rest, t2) => {
+                            items.extend(rest);
+                            Datum::Improper(items, t2)
+                        }
+                        other => Datum::Improper(items, Box::new(other)),
+                    });
+                }
+                Some(_) => {
+                    let d = self.parse_datum()?.expect("peeked token");
+                    items.push(d);
+                }
+            }
+        }
+    }
+
+    fn parse_vector(&mut self, open: &Token) -> Result<Datum, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek()? {
+                None => return Err(Self::error_at(Some(open), "unterminated vector")),
+                Some(t) if t.kind == TokenKind::RParen => {
+                    self.bump()?;
+                    return Ok(Datum::Vector(items));
+                }
+                Some(t) if t.kind == TokenKind::Dot => {
+                    return Err(Self::error_at(Some(t), "'.' not allowed in vector"));
+                }
+                Some(_) => {
+                    let d = self.parse_datum()?.expect("peeked token");
+                    items.push(d);
+                }
+            }
+        }
+    }
+}
+
+/// Reads every datum in `src`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input (unbalanced parentheses, bad
+/// literals, stray dots).
+///
+/// # Examples
+///
+/// ```
+/// let data = fdi_sexpr::parse("1 (2 . 3) #(x)").unwrap();
+/// assert_eq!(data.len(), 3);
+/// ```
+pub fn parse(src: &str) -> Result<Vec<Datum>, ParseError> {
+    let mut parser = Parser::new(src);
+    let mut out = Vec::new();
+    while let Some(d) = parser.parse_datum()? {
+        out.push(d);
+    }
+    Ok(out)
+}
+
+/// Reads exactly one datum from `src`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if `src` is empty, malformed, or contains more
+/// than one datum.
+///
+/// # Examples
+///
+/// ```
+/// let d = fdi_sexpr::parse_one("(lambda (x) x)").unwrap();
+/// assert!(d.is_form("lambda"));
+/// ```
+pub fn parse_one(src: &str) -> Result<Datum, ParseError> {
+    let mut data = parse(src)?;
+    match data.len() {
+        1 => Ok(data.pop().unwrap()),
+        0 => Err(ParseError {
+            message: "expected one datum, found none".to_string(),
+            line: 0,
+            col: 0,
+        }),
+        n => Err(ParseError {
+            message: format!("expected one datum, found {n}"),
+            line: 0,
+            col: 0,
+        }),
+    }
+}

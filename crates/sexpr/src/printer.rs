@@ -1,0 +1,105 @@
+//! Indenting pretty-printer for [`Datum`] trees.
+
+use crate::datum::Datum;
+
+const WIDTH: usize = 78;
+
+/// Renders `d` with indentation, breaking lists that exceed the line width.
+///
+/// The printer keeps binding forms readable: `let`/`letrec` binding lists and
+/// `lambda` parameter lists stay on the head line when they fit, and body
+/// forms are indented by two spaces.
+///
+/// # Examples
+///
+/// ```
+/// let d = fdi_sexpr::parse_one("(if a b c)").unwrap();
+/// assert_eq!(fdi_sexpr::pretty(&d), "(if a b c)");
+/// ```
+pub fn pretty(d: &Datum) -> String {
+    let mut out = String::new();
+    emit(d, 0, &mut out);
+    out
+}
+
+fn flat(d: &Datum) -> String {
+    d.to_string()
+}
+
+fn emit(d: &Datum, indent: usize, out: &mut String) {
+    let one_line = flat(d);
+    if indent + one_line.len() <= WIDTH {
+        out.push_str(&one_line);
+        return;
+    }
+    match d {
+        Datum::List(items) => emit_list(items, indent, out),
+        Datum::Vector(items) => {
+            out.push_str("#(");
+            emit_items(items, indent + 2, out);
+            out.push(')');
+        }
+        Datum::Improper(items, tail) => {
+            out.push('(');
+            emit_items(items, indent + 1, out);
+            out.push_str(&format!("\n{} . ", " ".repeat(indent + 1)));
+            emit(tail, indent + 4, out);
+            out.push(')');
+        }
+        _ => out.push_str(&one_line),
+    }
+}
+
+/// Number of head subforms kept on the first line for each special form.
+fn head_args(head: &str) -> usize {
+    match head {
+        "lambda" | "let" | "letrec" | "let*" | "define" | "named-lambda" => 1,
+        "if" | "set-car!" | "set-cdr!" | "case" => 1,
+        _ => 0,
+    }
+}
+
+fn emit_list(items: &[Datum], indent: usize, out: &mut String) {
+    out.push('(');
+    let head_is_sym = items[0].as_sym().is_some();
+    let keep = if head_is_sym {
+        head_args(items[0].as_sym().unwrap())
+    } else {
+        0
+    };
+    emit(&items[0], indent + 1, out);
+    let head_len = flat(&items[0]).len();
+    let mut body_indent = indent + 2;
+    let mut i = 1;
+    // Keep `keep` arguments on the head line when they fit.
+    while i < items.len() && i <= keep {
+        let arg = flat(&items[i]);
+        if indent + 1 + head_len + 1 + arg.len() <= WIDTH {
+            out.push(' ');
+            out.push_str(&arg);
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    if !head_is_sym {
+        // Application of a computed head: align under the head.
+        body_indent = indent + 1;
+    }
+    for item in &items[i..] {
+        out.push('\n');
+        out.push_str(&" ".repeat(body_indent));
+        emit(item, body_indent, out);
+    }
+    out.push(')');
+}
+
+fn emit_items(items: &[Datum], indent: usize, out: &mut String) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+        }
+        emit(item, indent, out);
+    }
+}

@@ -1,0 +1,307 @@
+use crate::{parse, parse_one, pretty, Datum, Lexer, TokenKind};
+use proptest::prelude::*;
+
+fn sym(s: &str) -> Datum {
+    Datum::sym(s)
+}
+
+#[test]
+fn lexes_simple_tokens() {
+    let kinds: Vec<_> = Lexer::new("( ) ' ` , ,@ . #(")
+        .map(|t| t.unwrap().kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokenKind::LParen,
+            TokenKind::RParen,
+            TokenKind::Quote,
+            TokenKind::Quasiquote,
+            TokenKind::Unquote,
+            TokenKind::UnquoteSplicing,
+            TokenKind::Dot,
+            TokenKind::VecOpen,
+        ]
+    );
+}
+
+#[test]
+fn lexes_numbers() {
+    let kinds: Vec<_> = Lexer::new("1 -2 +3 4.5 -0.25 1e3")
+        .map(|t| t.unwrap().kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokenKind::Int(1),
+            TokenKind::Int(-2),
+            TokenKind::Int(3),
+            TokenKind::Float(4.5),
+            TokenKind::Float(-0.25),
+            TokenKind::Float(1000.0),
+        ]
+    );
+}
+
+#[test]
+fn signs_alone_are_symbols() {
+    let kinds: Vec<_> = Lexer::new("+ - -foo 1+").map(|t| t.unwrap().kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokenKind::Sym("+".into()),
+            TokenKind::Sym("-".into()),
+            TokenKind::Sym("-foo".into()),
+            TokenKind::Sym("1+".into()),
+        ]
+    );
+}
+
+#[test]
+fn lexes_characters() {
+    let kinds: Vec<_> = Lexer::new(r"#\a #\space #\newline #\( ")
+        .map(|t| t.unwrap().kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokenKind::Char('a'),
+            TokenKind::Char(' '),
+            TokenKind::Char('\n'),
+            TokenKind::Char('('),
+        ]
+    );
+}
+
+#[test]
+fn lexes_strings_with_escapes() {
+    let kinds: Vec<_> = Lexer::new(r#""hi" "a\nb" "q\"q""#)
+        .map(|t| t.unwrap().kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokenKind::Str("hi".into()),
+            TokenKind::Str("a\nb".into()),
+            TokenKind::Str("q\"q".into()),
+        ]
+    );
+}
+
+#[test]
+fn skips_comments() {
+    let data = parse("; line comment\n 1 #| block #| nested |# |# 2").unwrap();
+    assert_eq!(data, vec![Datum::Int(1), Datum::Int(2)]);
+}
+
+#[test]
+fn unterminated_block_comment_errors() {
+    assert!(parse("#| oops").is_err());
+}
+
+#[test]
+fn parses_nested_lists() {
+    let d = parse_one("(a (b c) ())").unwrap();
+    assert_eq!(
+        d,
+        Datum::List(vec![
+            sym("a"),
+            Datum::List(vec![sym("b"), sym("c")]),
+            Datum::Nil,
+        ])
+    );
+}
+
+#[test]
+fn parses_dotted_pairs() {
+    let d = parse_one("(1 . 2)").unwrap();
+    assert_eq!(
+        d,
+        Datum::Improper(vec![Datum::Int(1)], Box::new(Datum::Int(2)))
+    );
+}
+
+#[test]
+fn normalizes_dotted_list_tail() {
+    // (a . (b c)) reads as (a b c)
+    let d = parse_one("(a . (b c))").unwrap();
+    assert_eq!(d, parse_one("(a b c)").unwrap());
+    // (a . ()) reads as (a)
+    let d = parse_one("(a . ())").unwrap();
+    assert_eq!(d, parse_one("(a)").unwrap());
+    // (a . (b . c)) reads as (a b . c)
+    let d = parse_one("(a . (b . c))").unwrap();
+    assert_eq!(d, parse_one("(a b . c)").unwrap());
+}
+
+#[test]
+fn parses_quote_abbreviations() {
+    assert_eq!(parse_one("'x").unwrap(), parse_one("(quote x)").unwrap());
+    assert_eq!(
+        parse_one("`x").unwrap(),
+        parse_one("(quasiquote x)").unwrap()
+    );
+    assert_eq!(parse_one(",x").unwrap(), parse_one("(unquote x)").unwrap());
+    assert_eq!(
+        parse_one(",@x").unwrap(),
+        parse_one("(unquote-splicing x)").unwrap()
+    );
+}
+
+#[test]
+fn parses_vectors() {
+    let d = parse_one("#(1 x #(2))").unwrap();
+    assert_eq!(
+        d,
+        Datum::Vector(vec![
+            Datum::Int(1),
+            sym("x"),
+            Datum::Vector(vec![Datum::Int(2)]),
+        ])
+    );
+}
+
+#[test]
+fn brackets_match_parens() {
+    assert_eq!(
+        parse_one("[let ([x 1]) x]").unwrap(),
+        parse_one("(let ((x 1)) x)").unwrap()
+    );
+}
+
+#[test]
+fn parse_errors_carry_position() {
+    let e = parse("(a\n b").unwrap_err();
+    assert_eq!((e.line, e.col), (1, 1));
+    let e = parse(")").unwrap_err();
+    assert_eq!((e.line, e.col), (1, 1));
+    let e = parse("(. 2)").unwrap_err();
+    assert!(e.message.contains("dot"));
+}
+
+#[test]
+fn parse_one_rejects_extra_data() {
+    assert!(parse_one("1 2").is_err());
+    assert!(parse_one("").is_err());
+}
+
+#[test]
+fn vector_rejects_dot() {
+    assert!(parse("#(1 . 2)").is_err());
+}
+
+#[test]
+fn display_roundtrips_basic_forms() {
+    for src in [
+        "(a b c)",
+        "(1 . 2)",
+        "(a b . c)",
+        "#t",
+        "#f",
+        "()",
+        "#(1 2)",
+        "\"a\\nb\"",
+        "#\\space",
+        "(quote x)",
+    ] {
+        let d = parse_one(src).unwrap();
+        let printed = d.to_string();
+        assert_eq!(parse_one(&printed).unwrap(), d, "roundtrip of {src}");
+    }
+}
+
+#[test]
+fn pretty_prints_small_forms_on_one_line() {
+    let d = parse_one("(if a b c)").unwrap();
+    assert_eq!(pretty(&d), "(if a b c)");
+}
+
+#[test]
+fn pretty_breaks_long_forms() {
+    let src = format!("(begin {})", "xxxxxxxxxx ".repeat(12));
+    let d = parse_one(&src).unwrap();
+    let printed = pretty(&d);
+    assert!(printed.contains('\n'));
+    assert_eq!(parse_one(&printed).unwrap(), d);
+}
+
+#[test]
+fn is_form_and_accessors() {
+    let d = parse_one("(define x 1)").unwrap();
+    assert!(d.is_form("define"));
+    assert_eq!(d.as_list().unwrap().len(), 3);
+    assert_eq!(Datum::Nil.as_list(), Some(&[][..]));
+    assert_eq!(sym("y").as_sym(), Some("y"));
+    assert!(Datum::Int(1).as_list().is_none());
+}
+
+#[test]
+fn node_count_counts_tree_nodes() {
+    let d = parse_one("(a (b) . c)").unwrap();
+    // Improper node + a + (b) list + b + c
+    assert_eq!(d.node_count(), 5);
+}
+
+// --- property tests ------------------------------------------------------
+
+fn arb_datum() -> impl Strategy<Value = Datum> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Datum::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Datum::Int),
+        "[a-z][a-z0-9!?*+-]{0,6}".prop_map(Datum::Sym),
+        "[ a-zA-Z0-9]{0,8}".prop_map(Datum::Str),
+        Just(Datum::Nil),
+        prop::char::range('a', 'z').prop_map(Datum::Char),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..5).prop_map(Datum::List),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Datum::Vector),
+            (prop::collection::vec(inner.clone(), 1..4), inner).prop_map(
+                |(items, tail)| match tail {
+                    // Keep the improper-list invariant: tail is never a list.
+                    Datum::Nil => Datum::list(items),
+                    Datum::List(rest) => {
+                        let mut items = items;
+                        items.extend(rest);
+                        Datum::List(items)
+                    }
+                    Datum::Improper(rest, t) => {
+                        let mut items = items;
+                        items.extend(rest);
+                        Datum::Improper(items, t)
+                    }
+                    t => Datum::Improper(items, Box::new(t)),
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(d in arb_datum()) {
+        let printed = d.to_string();
+        let reparsed = parse_one(&printed).unwrap();
+        prop_assert_eq!(reparsed, d);
+    }
+
+    #[test]
+    fn pretty_parse_roundtrip(d in arb_datum()) {
+        let printed = pretty(&d);
+        let reparsed = parse_one(&printed).unwrap();
+        prop_assert_eq!(reparsed, d);
+    }
+
+    #[test]
+    fn lexer_never_panics(s in "\\PC{0,64}") {
+        for tok in Lexer::new(&s) {
+            let _ = tok;
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(s in "[ ()'`,.#a-z0-9\"\\\\]{0,64}") {
+        let _ = parse(&s);
+    }
+}

@@ -1,0 +1,117 @@
+//! Conservative effect analysis: may an expression be discarded?
+//!
+//! §3.8 discards "purely functional expressions whose result is never used".
+//! We additionally require that evaluation cannot signal a run-time error
+//! (`no_fail`), so discarding never turns an erroring program into a
+//! non-erroring one.
+
+use fdi_lang::{ExprKind, Label, Program};
+
+/// True when evaluating `label` has no observable effect: no mutation, no
+/// I/O, no possible run-time error, and guaranteed termination.
+pub fn effect_free(program: &Program, label: Label) -> bool {
+    match program.expr(label) {
+        ExprKind::Const(_) | ExprKind::Var(_) | ExprKind::Lambda(_) => true,
+        ExprKind::Prim(p, args) => {
+            let sig = p.sig();
+            sig.pure && sig.no_fail && args.iter().all(|&a| effect_free(program, a))
+        }
+        ExprKind::Begin(parts) => parts.iter().all(|&e| effect_free(program, e)),
+        ExprKind::If(c, t, e) => {
+            effect_free(program, *c) && effect_free(program, *t) && effect_free(program, *e)
+        }
+        ExprKind::Let(bindings, body) => {
+            bindings.iter().all(|&(_, e)| effect_free(program, e)) && effect_free(program, *body)
+        }
+        // letrec right-hand sides are λs (pure); the body decides.
+        ExprKind::Letrec(_, body) => effect_free(program, *body),
+        // Calls may not terminate; cl-ref can fail on a non-closure.
+        ExprKind::Call(_) | ExprKind::Apply(..) | ExprKind::ClRef(..) => false,
+    }
+}
+
+/// Heap-reading primitives: not `pure` (they cannot be reordered across
+/// mutation) but still side-effect-free, so an unused application may be
+/// discarded.
+fn reads_only(p: fdi_lang::PrimOp) -> bool {
+    use fdi_lang::PrimOp::*;
+    matches!(p, Car | Cdr | VectorRef | VectorLength)
+}
+
+/// True when `label` is *discardable*: purely functional in the paper's
+/// sense (§3.8 discards "purely functional expressions whose result is never
+/// used"). Unlike [`effect_free`], a discardable expression may signal a
+/// run-time error (`(car '())`), matching the paper's simplifier, which may
+/// drop such expressions.
+pub fn discardable(program: &Program, label: Label) -> bool {
+    match program.expr(label) {
+        ExprKind::Const(_) | ExprKind::Var(_) | ExprKind::Lambda(_) => true,
+        ExprKind::ClRef(e, _) => discardable(program, *e),
+        ExprKind::Prim(p, args) => {
+            (p.sig().pure || reads_only(*p)) && args.iter().all(|&a| discardable(program, a))
+        }
+        ExprKind::Begin(parts) => parts.iter().all(|&e| discardable(program, e)),
+        ExprKind::If(c, t, e) => {
+            discardable(program, *c) && discardable(program, *t) && discardable(program, *e)
+        }
+        ExprKind::Let(bindings, body) => {
+            bindings.iter().all(|&(_, e)| discardable(program, e)) && discardable(program, *body)
+        }
+        ExprKind::Letrec(_, body) => discardable(program, *body),
+        ExprKind::Call(_) | ExprKind::Apply(..) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_lang::parse_and_lower;
+
+    fn check(src: &str) -> bool {
+        let p = parse_and_lower(src).unwrap();
+        effect_free(&p, p.root())
+    }
+
+    #[test]
+    fn values_are_effect_free() {
+        assert!(check("1"));
+        assert!(check("(lambda (x) (display x))")); // creating a λ is pure
+        assert!(check("(cons 1 2)"));
+        assert!(check("(null? '())"));
+    }
+
+    #[test]
+    fn failing_prims_are_not() {
+        assert!(!check("(car '())"));
+        assert!(!check("(+ 1 2)")); // + can fail on non-numbers; conservative
+    }
+
+    #[test]
+    fn io_and_mutation_are_not() {
+        assert!(!check("(display 1)"));
+        assert!(!check("(set-car! (cons 1 2) 3)"));
+    }
+
+    #[test]
+    fn calls_are_not() {
+        assert!(!check("((lambda (x) x) 1)"));
+    }
+
+    #[test]
+    fn discardable_allows_failable_pure_prims() {
+        let p = parse_and_lower("(car '())").unwrap();
+        assert!(discardable(&p, p.root()));
+        assert!(!effect_free(&p, p.root()));
+        let p = parse_and_lower("(display 1)").unwrap();
+        assert!(!discardable(&p, p.root()));
+        let p = parse_and_lower("((lambda () 1))").unwrap();
+        assert!(!discardable(&p, p.root()));
+    }
+
+    #[test]
+    fn compound_pure_forms_are() {
+        assert!(check("(if (null? '()) (cons 1 2) #f)"));
+        assert!(check("(let ((x (cons 1 2))) (pair? x))"));
+        assert!(check("(begin #t #f)"));
+    }
+}

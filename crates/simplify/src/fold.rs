@@ -1,0 +1,308 @@
+//! Constant folding for primitive applications (§3.8 "simple constant
+//! propagation and constant folding").
+
+use fdi_lang::{Const, PrimOp};
+
+/// Attempts to fold `prim` applied to constant arguments.
+///
+/// Folding is conservative: anything that could signal a run-time error
+/// (division by zero, overflow, `car` of a non-pair) is left unfolded so the
+/// simplifier never changes an erroring program into a non-erroring one.
+pub fn fold_prim(prim: PrimOp, args: &[Const]) -> Option<Const> {
+    use Const::*;
+    use PrimOp::*;
+    let ints = || -> Option<Vec<i64>> {
+        args.iter()
+            .map(|c| match c {
+                Int(n) => Some(*n),
+                _ => None,
+            })
+            .collect()
+    };
+    let nums = || -> Option<Vec<f64>> {
+        args.iter()
+            .map(|c| match c {
+                Int(n) => Some(*n as f64),
+                Float(_) => c.as_f64(),
+                _ => None,
+            })
+            .collect()
+    };
+    let any_float = args.iter().any(|c| matches!(c, Float(_)));
+    let bool_of = |b: bool| Some(Bool(b));
+    match prim {
+        Add => {
+            if let (Some(is), false) = (ints(), any_float) {
+                let mut acc: i64 = 0;
+                for n in is {
+                    acc = acc.checked_add(n)?;
+                }
+                Some(Int(acc))
+            } else {
+                nums().map(|ns| Const::float(ns.iter().sum()))
+            }
+        }
+        Mul => {
+            if let (Some(is), false) = (ints(), any_float) {
+                let mut acc: i64 = 1;
+                for n in is {
+                    acc = acc.checked_mul(n)?;
+                }
+                Some(Int(acc))
+            } else {
+                nums().map(|ns| Const::float(ns.iter().product()))
+            }
+        }
+        Sub => {
+            if let (Some(is), false) = (ints(), any_float) {
+                if is.len() == 1 {
+                    is[0].checked_neg().map(Int)
+                } else {
+                    let mut acc = is[0];
+                    for &n in &is[1..] {
+                        acc = acc.checked_sub(n)?;
+                    }
+                    Some(Int(acc))
+                }
+            } else {
+                let ns = nums()?;
+                if ns.len() == 1 {
+                    Some(Const::float(-ns[0]))
+                } else {
+                    Some(Const::float(ns[1..].iter().fold(ns[0], |a, b| a - b)))
+                }
+            }
+        }
+        Quotient => {
+            let is = ints()?;
+            if is[1] == 0 {
+                return None;
+            }
+            is[0].checked_div(is[1]).map(Int)
+        }
+        Remainder => {
+            let is = ints()?;
+            if is[1] == 0 {
+                return None;
+            }
+            is[0].checked_rem(is[1]).map(Int)
+        }
+        Modulo => {
+            let is = ints()?;
+            if is[1] == 0 || is[1] == i64::MIN || is[0] == i64::MIN {
+                return None;
+            }
+            Some(Int(
+                is[0].rem_euclid(is[1].abs()) * if is[1] < 0 { -1 } else { 1 }
+            ))
+        }
+        Abs => {
+            if let Some(is) = ints() {
+                is[0].checked_abs().map(Int)
+            } else {
+                nums().map(|ns| Const::float(ns[0].abs()))
+            }
+        }
+        Min => {
+            if let (Some(is), false) = (ints(), any_float) {
+                is.into_iter().min().map(Int)
+            } else {
+                nums().map(|ns| Const::float(ns.into_iter().fold(f64::INFINITY, f64::min)))
+            }
+        }
+        Max => {
+            if let (Some(is), false) = (ints(), any_float) {
+                is.into_iter().max().map(Int)
+            } else {
+                nums().map(|ns| Const::float(ns.into_iter().fold(f64::NEG_INFINITY, f64::max)))
+            }
+        }
+        NumEq => cmp_chain(args, |a, b| a == b),
+        Lt => cmp_chain(args, |a, b| a < b),
+        Gt => cmp_chain(args, |a, b| a > b),
+        Le => cmp_chain(args, |a, b| a <= b),
+        Ge => cmp_chain(args, |a, b| a >= b),
+        ZeroP => num1(args).map(|x| Bool(x == 0.0)),
+        PositiveP => num1(args).map(|x| Bool(x > 0.0)),
+        NegativeP => num1(args).map(|x| Bool(x < 0.0)),
+        EvenP => match args[0] {
+            Int(n) => bool_of(n % 2 == 0),
+            _ => None,
+        },
+        OddP => match args[0] {
+            Int(n) => bool_of(n % 2 != 0),
+            _ => None,
+        },
+        Not => bool_of(args[0].is_false()),
+        NullP => bool_of(args[0] == Nil),
+        PairP | VectorP | ProcedureP => bool_of(false),
+        NumberP | IntegerP => match args[0] {
+            Int(_) => bool_of(true),
+            Float(_) => bool_of(prim == NumberP),
+            _ => bool_of(false),
+        },
+        BooleanP => bool_of(matches!(args[0], Bool(_))),
+        SymbolP => bool_of(matches!(args[0], Symbol(_))),
+        StringP => bool_of(matches!(args[0], Str(_))),
+        CharP => bool_of(matches!(args[0], Char(_))),
+        EqP | EqvP | EqualP => match (&args[0], &args[1]) {
+            // Strings: eq?/eqv? compare identity, which constant folding
+            // cannot decide; equal? compares contents.
+            (Str(a), Str(b)) => {
+                if prim == EqualP {
+                    bool_of(a == b)
+                } else {
+                    None
+                }
+            }
+            (a, b) => bool_of(a == b),
+        },
+        _ => None,
+    }
+}
+
+fn num1(args: &[Const]) -> Option<f64> {
+    match args[0] {
+        Const::Int(n) => Some(n as f64),
+        Const::Float(_) => args[0].as_f64(),
+        _ => None,
+    }
+}
+
+fn cmp_chain(args: &[Const], f: impl Fn(f64, f64) -> bool) -> Option<Const> {
+    let ns: Option<Vec<f64>> = args
+        .iter()
+        .map(|c| match c {
+            Const::Int(n) => Some(*n as f64),
+            Const::Float(_) => c.as_f64(),
+            _ => None,
+        })
+        .collect();
+    let ns = ns?;
+    Some(Const::Bool(ns.windows(2).all(|w| f(w[0], w[1]))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_lang::Interner;
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(
+            fold_prim(PrimOp::Add, &[Const::Int(2), Const::Int(3)]),
+            Some(Const::Int(5))
+        );
+        assert_eq!(
+            fold_prim(PrimOp::Sub, &[Const::Int(2)]),
+            Some(Const::Int(-2))
+        );
+        assert_eq!(
+            fold_prim(PrimOp::Mul, &[Const::Int(4), Const::Int(5), Const::Int(2)]),
+            Some(Const::Int(40))
+        );
+        assert_eq!(
+            fold_prim(PrimOp::Quotient, &[Const::Int(7), Const::Int(2)]),
+            Some(Const::Int(3))
+        );
+    }
+
+    #[test]
+    fn division_by_zero_does_not_fold() {
+        assert_eq!(
+            fold_prim(PrimOp::Quotient, &[Const::Int(7), Const::Int(0)]),
+            None
+        );
+        assert_eq!(
+            fold_prim(PrimOp::Remainder, &[Const::Int(7), Const::Int(0)]),
+            None
+        );
+        assert_eq!(
+            fold_prim(PrimOp::Modulo, &[Const::Int(7), Const::Int(0)]),
+            None
+        );
+    }
+
+    #[test]
+    fn overflow_does_not_fold() {
+        assert_eq!(
+            fold_prim(PrimOp::Add, &[Const::Int(i64::MAX), Const::Int(1)]),
+            None
+        );
+        assert_eq!(fold_prim(PrimOp::Abs, &[Const::Int(i64::MIN)]), None);
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        assert_eq!(
+            fold_prim(PrimOp::Add, &[Const::float(1.5), Const::Int(2)]),
+            Some(Const::float(3.5))
+        );
+    }
+
+    #[test]
+    fn comparison_chains() {
+        assert_eq!(
+            fold_prim(PrimOp::Lt, &[Const::Int(1), Const::Int(2), Const::Int(3)]),
+            Some(Const::Bool(true))
+        );
+        assert_eq!(
+            fold_prim(PrimOp::Lt, &[Const::Int(1), Const::Int(3), Const::Int(2)]),
+            Some(Const::Bool(false))
+        );
+    }
+
+    #[test]
+    fn predicates() {
+        assert_eq!(
+            fold_prim(PrimOp::NullP, &[Const::Nil]),
+            Some(Const::Bool(true))
+        );
+        assert_eq!(
+            fold_prim(PrimOp::NullP, &[Const::Int(0)]),
+            Some(Const::Bool(false))
+        );
+        assert_eq!(
+            fold_prim(PrimOp::Not, &[Const::Bool(false)]),
+            Some(Const::Bool(true))
+        );
+        assert_eq!(
+            fold_prim(PrimOp::ZeroP, &[Const::Int(0)]),
+            Some(Const::Bool(true))
+        );
+        assert_eq!(
+            fold_prim(PrimOp::EvenP, &[Const::Int(3)]),
+            Some(Const::Bool(false))
+        );
+    }
+
+    #[test]
+    fn eqv_on_constants() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_eq!(
+            fold_prim(PrimOp::EqvP, &[Const::Symbol(a), Const::Symbol(a)]),
+            Some(Const::Bool(true))
+        );
+        assert_eq!(
+            fold_prim(PrimOp::EqvP, &[Const::Symbol(a), Const::Symbol(b)]),
+            Some(Const::Bool(false))
+        );
+        // eq? on strings is identity — not folded.
+        let s = i.intern("s");
+        assert_eq!(
+            fold_prim(PrimOp::EqP, &[Const::Str(s), Const::Str(s)]),
+            None
+        );
+        assert_eq!(
+            fold_prim(PrimOp::EqualP, &[Const::Str(s), Const::Str(s)]),
+            Some(Const::Bool(true))
+        );
+    }
+
+    #[test]
+    fn non_constant_kinds_do_not_fold_arithmetic() {
+        assert_eq!(fold_prim(PrimOp::Add, &[Const::Nil, Const::Int(1)]), None);
+    }
+}

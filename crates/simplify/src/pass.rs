@@ -1,0 +1,774 @@
+//! The rebuild pass: one bottom-up copy of the program applying the §3.8
+//! local simplifications.
+
+use crate::effects::discardable;
+use crate::fold::fold_prim;
+use fdi_lang::{Binder, Const, ExprKind, Label, LambdaInfo, PrimOp, Program, VarId, VarInfo};
+use std::collections::{HashMap, HashSet};
+
+/// Counters for one simplification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// β-reductions turned into `let`s (direct λ applications).
+    pub betas: usize,
+    /// Primitive applications folded to constants.
+    pub folds: usize,
+    /// Conditionals with a constant test reduced to one branch.
+    pub if_prunes: usize,
+    /// `let`/`letrec` bindings removed (dead or propagated).
+    pub dead_bindings: usize,
+    /// Constant/variable copy propagations.
+    pub propagations: usize,
+    /// Effect-free `begin` elements discarded.
+    pub begin_drops: usize,
+    /// Unused formal parameters removed from known procedures.
+    pub formals_removed: usize,
+    /// Rebuild iterations executed.
+    pub iterations: usize,
+}
+
+impl SimplifyStats {
+    fn changed(&self) -> bool {
+        self.betas
+            + self.folds
+            + self.if_prunes
+            + self.dead_bindings
+            + self.propagations
+            + self.begin_drops
+            + self.formals_removed
+            > 0
+    }
+
+    fn absorb(&mut self, other: SimplifyStats) {
+        self.betas += other.betas;
+        self.folds += other.folds;
+        self.if_prunes += other.if_prunes;
+        self.dead_bindings += other.dead_bindings;
+        self.propagations += other.propagations;
+        self.begin_drops += other.begin_drops;
+        self.formals_removed += other.formals_removed;
+    }
+}
+
+/// Runs rebuild passes to a fixpoint (bounded by `max_iters`).
+///
+/// # Examples
+///
+/// ```
+/// let p = fdi_lang::parse_and_lower("(if (null? '()) (+ 20 22) 0)").unwrap();
+/// let (out, stats) = fdi_simplify::simplify_n(&p, 4);
+/// assert_eq!(fdi_lang::unparse(&out).to_string(), "42");
+/// assert!(stats.if_prunes >= 1);
+/// ```
+pub fn simplify_n(program: &Program, max_iters: usize) -> (Program, SimplifyStats) {
+    let mut total = SimplifyStats::default();
+    let mut current = program.clone();
+    for _ in 0..max_iters {
+        let (next, stats) = rebuild_once(&current);
+        total.absorb(stats);
+        total.iterations += 1;
+        current = next;
+        if !stats.changed() {
+            break;
+        }
+    }
+    (current, total)
+}
+
+fn rebuild_once(old: &Program) -> (Program, SimplifyStats) {
+    let mut s = Simplifier::new(old);
+    let root = s.copy(old.root());
+    s.out.set_root(root);
+    (s.out, s.stats)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Subst {
+    /// Replace with a constant.
+    Const(Const),
+    /// Replace with a reference to a new-program variable.
+    Var(VarId),
+    /// Replace with a fresh copy of an old-program λ (single-use bindings).
+    LambdaAt(Label),
+}
+
+struct Simplifier<'p> {
+    old: &'p Program,
+    out: Program,
+    /// Variables in pinned capture lists: never substituted or dropped,
+    /// so cl-ref layouts stay valid.
+    pinned_vars: HashSet<VarId>,
+    subst: HashMap<VarId, Subst>,
+    var_map: HashMap<VarId, VarId>,
+    uses: HashMap<VarId, usize>,
+    /// letrec-bound procedures whose unused formals are being removed:
+    /// var → keep-mask over original parameters.
+    param_masks: HashMap<VarId, Vec<bool>>,
+    stats: SimplifyStats,
+}
+
+impl<'p> Simplifier<'p> {
+    fn new(old: &'p Program) -> Simplifier<'p> {
+        let mut uses: HashMap<VarId, usize> = HashMap::new();
+        let mut operator_uses: HashMap<VarId, usize> = HashMap::new();
+        let mut rhs_of: HashMap<VarId, Label> = HashMap::new();
+        let reachable = old.reachable();
+        for &l in &reachable {
+            match old.expr(l) {
+                ExprKind::Var(v) => {
+                    *uses.entry(*v).or_default() += 1;
+                }
+                ExprKind::Let(bindings, _) | ExprKind::Letrec(bindings, _) => {
+                    for &(v, e) in bindings {
+                        rhs_of.insert(v, e);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for &l in &reachable {
+            if let ExprKind::Call(parts) = old.expr(l) {
+                if let ExprKind::Var(v) = old.expr(parts[0]) {
+                    if let Some(&rhs) = rhs_of.get(v) {
+                        if let ExprKind::Lambda(lam) = old.expr(rhs) {
+                            if lam.rest.is_none() && lam.params.len() == parts.len() - 1 {
+                                *operator_uses.entry(*v).or_default() += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Unused-formal removal (§2.3): a parameter of a known procedure is
+        // *useless* when its value can only flow into useless parameters.
+        // Known procedures are letrec-bound λs whose every use is an
+        // exact-arity operator position. Computed as a fixpoint: seed every
+        // parameter of a known procedure as useless, then mark essential any
+        // parameter with a use outside a droppable argument position (or
+        // whose argument at some call site has effects), propagating through
+        // direct argument flows until stable.
+        // Pinned capture-list entries (§3.5 target language) are uses: the
+        // closure record materializes them even without a direct reference.
+        let pinned_vars: HashSet<VarId> = old.pinned_capture_vars().collect();
+        for &v in &pinned_vars {
+            *uses.entry(v).or_default() += 1;
+        }
+        let param_masks = compute_param_masks(old, &reachable, &uses, &operator_uses, &rhs_of);
+        Simplifier {
+            old,
+            out: Program::new(old.interner().clone()),
+            pinned_vars,
+            subst: HashMap::new(),
+            var_map: HashMap::new(),
+            uses,
+            param_masks,
+            stats: SimplifyStats::default(),
+        }
+    }
+
+    fn konst(&mut self, c: Const) -> Label {
+        self.out.add_expr(ExprKind::Const(c))
+    }
+
+    /// The λ an old expression evaluates to syntactically, following
+    /// single-use substitutions.
+    fn resolve_lambda(&self, l: Label) -> Option<Label> {
+        match self.old.expr(l) {
+            ExprKind::Lambda(_) => Some(l),
+            ExprKind::Var(v) => match self.subst.get(v) {
+                Some(Subst::LambdaAt(ol)) => Some(*ol),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn copy(&mut self, l: Label) -> Label {
+        match self.old.expr(l).clone() {
+            ExprKind::Const(c) => self.konst(c),
+            ExprKind::Var(v) => match self.subst.get(&v).copied() {
+                Some(Subst::Const(c)) => {
+                    self.stats.propagations += 1;
+                    self.konst(c)
+                }
+                Some(Subst::Var(nv)) => {
+                    self.stats.propagations += 1;
+                    self.out.add_expr(ExprKind::Var(nv))
+                }
+                Some(Subst::LambdaAt(ol)) => {
+                    self.stats.propagations += 1;
+                    self.copy(ol)
+                }
+                None => {
+                    let nv = *self
+                        .var_map
+                        .get(&v)
+                        .unwrap_or_else(|| panic!("unmapped variable {v}"));
+                    self.out.add_expr(ExprKind::Var(nv))
+                }
+            },
+            ExprKind::Prim(p, args) => {
+                let new_args: Vec<Label> = args.iter().map(|&a| self.copy(a)).collect();
+                let consts: Option<Vec<Const>> = new_args
+                    .iter()
+                    .map(|&a| match self.out.expr(a) {
+                        ExprKind::Const(c) => Some(*c),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(cs) = consts {
+                    if let Some(folded) = fold_prim(p, &cs) {
+                        self.stats.folds += 1;
+                        return self.konst(folded);
+                    }
+                }
+                if let Some(simpler) = self.algebraic(p, &new_args) {
+                    self.stats.folds += 1;
+                    return simpler;
+                }
+                self.out.add_expr(ExprKind::Prim(p, new_args))
+            }
+            ExprKind::Call(parts) => self.copy_call(&parts),
+            ExprKind::Apply(f, arg) => {
+                let nf = self.copy(f);
+                let na = self.copy(arg);
+                self.out.add_expr(ExprKind::Apply(nf, na))
+            }
+            ExprKind::Begin(parts) => self.copy_begin(&parts),
+            ExprKind::If(c, t, e) => {
+                let nc = self.copy(c);
+                if let ExprKind::Const(k) = self.out.expr(nc) {
+                    let k = *k;
+                    self.stats.if_prunes += 1;
+                    let branch = if k.is_false() { e } else { t };
+                    return self.copy(branch);
+                }
+                let nt = self.copy(t);
+                let ne = self.copy(e);
+                self.out.add_expr(ExprKind::If(nc, nt, ne))
+            }
+            ExprKind::Let(bindings, body) => self.copy_let(&bindings, body),
+            ExprKind::Letrec(bindings, body) => self.copy_letrec(l, &bindings, body),
+            ExprKind::Lambda(lam) => self.copy_lambda(l, &lam, &[]),
+            ExprKind::ClRef(e, n) => {
+                let ne = self.copy(e);
+                self.out.add_expr(ExprKind::ClRef(ne, n))
+            }
+        }
+    }
+
+    /// β-conversion: `((λ (x …) body) e …)` becomes `(let ((x e) …) body)`.
+    /// Extra arguments of a variadic callee build the rest list explicitly.
+    /// Algebraic identities over already-copied arguments (one operand
+    /// constant). Only identities valid for *numbers* are applied, and only
+    /// when the non-constant operand provably evaluates to a number cannot
+    /// be established syntactically — so we restrict to identities that are
+    /// also type-preserving errors: `(+ x 0)`, `(- x 0)`, `(* x 1)` still
+    /// require `x` numeric at run time, exactly like the original, because
+    /// the remaining operand keeps its own evaluation. We therefore rewrite
+    /// to `(+ x 0)` → `(+ x)`-style single-operand forms only where the
+    /// primitive accepts them, or keep the form but simplify nested `not`.
+    fn algebraic(&mut self, p: PrimOp, args: &[Label]) -> Option<Label> {
+        use fdi_lang::Const as C;
+        let konst_of = |l: Label, out: &Program| match out.expr(l) {
+            ExprKind::Const(c) => Some(*c),
+            _ => None,
+        };
+        match p {
+            // (not (not e)) where e is itself a predicate result is just a
+            // boolean normalization; general e is not (any value is truthy).
+            // Safe special case: (not (null? e)) etc. keep as-is; only fold
+            // (not #t)/(not #f) — already handled by fold_prim. Here:
+            // (if-style) double negation over comparison prims.
+            PrimOp::Not => {
+                let inner = args[0];
+                if let ExprKind::Prim(PrimOp::Not, inner_args) = self.out.expr(inner) {
+                    let e = inner_args[0];
+                    if let ExprKind::Prim(q, _) = self.out.expr(e) {
+                        // The inner value is a genuine boolean: (not (not e)) ≡ e.
+                        if matches!(
+                            q,
+                            PrimOp::Not
+                                | PrimOp::NullP
+                                | PrimOp::PairP
+                                | PrimOp::VectorP
+                                | PrimOp::NumberP
+                                | PrimOp::IntegerP
+                                | PrimOp::BooleanP
+                                | PrimOp::SymbolP
+                                | PrimOp::StringP
+                                | PrimOp::CharP
+                                | PrimOp::ProcedureP
+                                | PrimOp::EqP
+                                | PrimOp::EqvP
+                                | PrimOp::EqualP
+                                | PrimOp::NumEq
+                                | PrimOp::Lt
+                                | PrimOp::Gt
+                                | PrimOp::Le
+                                | PrimOp::Ge
+                                | PrimOp::ZeroP
+                                | PrimOp::EvenP
+                                | PrimOp::OddP
+                        ) {
+                            return Some(e);
+                        }
+                    }
+                }
+                None
+            }
+            // (car (cons a b)) → a and (cdr (cons a b)) → b when the other
+            // component is discardable *in the output program*.
+            PrimOp::Car | PrimOp::Cdr => {
+                let inner = args[0];
+                if let ExprKind::Prim(PrimOp::Cons, cons_args) = self.out.expr(inner) {
+                    let (keep, drop) = if p == PrimOp::Car {
+                        (cons_args[0], cons_args[1])
+                    } else {
+                        (cons_args[1], cons_args[0])
+                    };
+                    if out_discardable(&self.out, drop) {
+                        return Some(keep);
+                    }
+                }
+                None
+            }
+            // Numeric identities where the result is exactly the other
+            // operand and the run-time type obligation is preserved by the
+            // remaining unary form: (+ x 0) → (+ x)? `+` with one argument
+            // returns x but still checks it is numeric — except our `+`
+            // implementation folds single args through numeric_fold, so the
+            // check survives. (* x 1) likewise.
+            PrimOp::Add if args.len() == 2 => {
+                let z = C::Int(0);
+                if konst_of(args[1], &self.out) == Some(z) {
+                    return Some(
+                        self.out
+                            .add_expr(ExprKind::Prim(PrimOp::Add, vec![args[0]])),
+                    );
+                }
+                if konst_of(args[0], &self.out) == Some(z) {
+                    return Some(
+                        self.out
+                            .add_expr(ExprKind::Prim(PrimOp::Add, vec![args[1]])),
+                    );
+                }
+                None
+            }
+            PrimOp::Mul if args.len() == 2 => {
+                let one = C::Int(1);
+                if konst_of(args[1], &self.out) == Some(one) {
+                    return Some(
+                        self.out
+                            .add_expr(ExprKind::Prim(PrimOp::Mul, vec![args[0]])),
+                    );
+                }
+                if konst_of(args[0], &self.out) == Some(one) {
+                    return Some(
+                        self.out
+                            .add_expr(ExprKind::Prim(PrimOp::Mul, vec![args[1]])),
+                    );
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn copy_call(&mut self, parts: &[Label]) -> Label {
+        if let Some(lam_label) = self.resolve_lambda(parts[0]) {
+            let ExprKind::Lambda(lam) = self.old.expr(lam_label).clone() else {
+                unreachable!()
+            };
+            let argc = parts.len() - 1;
+            if lam.accepts(argc) {
+                self.stats.betas += 1;
+                let label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
+                let mut bindings = Vec::new();
+                for (i, &p) in lam.params.iter().enumerate() {
+                    let ne = self.copy(parts[1 + i]);
+                    let np = self.fresh_from(p, Binder::Let(label));
+                    bindings.push((np, ne));
+                }
+                if let Some(r) = lam.rest {
+                    let extras: Vec<Label> = parts[1 + lam.params.len()..]
+                        .iter()
+                        .map(|&e| self.copy(e))
+                        .collect();
+                    let mut list = self.konst(Const::Nil);
+                    for e in extras.into_iter().rev() {
+                        list = self
+                            .out
+                            .add_expr(ExprKind::Prim(fdi_lang::PrimOp::Cons, vec![e, list]));
+                    }
+                    let nr = self.fresh_from(r, Binder::Let(label));
+                    bindings.push((nr, list));
+                }
+                let body = self.copy(lam.body);
+                if bindings.is_empty() {
+                    return body;
+                }
+                self.out.set_expr(label, ExprKind::Let(bindings, body));
+                return label;
+            }
+        }
+        // Unused-formal removal at the call site.
+        if let ExprKind::Var(v) = self.old.expr(parts[0]) {
+            if let Some(mask) = self.param_masks.get(v).cloned() {
+                if mask.len() == parts.len() - 1 {
+                    let can_drop = parts[1..]
+                        .iter()
+                        .zip(&mask)
+                        .all(|(&a, &keep)| keep || discardable(self.old, a));
+                    if can_drop {
+                        let mut new_parts = vec![self.copy(parts[0])];
+                        for (&a, &keep) in parts[1..].iter().zip(&mask) {
+                            if keep {
+                                new_parts.push(self.copy(a));
+                            } else {
+                                self.stats.formals_removed += 1;
+                            }
+                        }
+                        return self.out.add_expr(ExprKind::Call(new_parts));
+                    }
+                }
+            }
+        }
+        let new_parts: Vec<Label> = parts.iter().map(|&e| self.copy(e)).collect();
+        self.out.add_expr(ExprKind::Call(new_parts))
+    }
+
+    fn copy_begin(&mut self, parts: &[Label]) -> Label {
+        let mut kept: Vec<Label> = Vec::new();
+        for (i, &e) in parts.iter().enumerate() {
+            let last = i == parts.len() - 1;
+            if !last && discardable(self.old, e) {
+                self.stats.begin_drops += 1;
+                continue;
+            }
+            let ne = self.copy(e);
+            if !last {
+                // Flatten nested begins and drop now-obviously-pure copies.
+                if let ExprKind::Begin(inner) = self.out.expr(ne).clone() {
+                    kept.extend(inner);
+                    continue;
+                }
+                if matches!(self.out.expr(ne), ExprKind::Const(_) | ExprKind::Var(_)) {
+                    self.stats.begin_drops += 1;
+                    continue;
+                }
+            }
+            kept.push(ne);
+        }
+        match kept.len() {
+            0 => self.konst(Const::Unspecified),
+            1 => kept[0],
+            _ => self.out.add_expr(ExprKind::Begin(kept)),
+        }
+    }
+
+    fn copy_let(&mut self, bindings: &[(VarId, Label)], body: Label) -> Label {
+        // (let ((x e)) x) ≡ e
+        if let [(x, e)] = bindings {
+            if matches!(self.old.expr(body), ExprKind::Var(v) if v == x) {
+                self.stats.dead_bindings += 1;
+                return self.copy(*e);
+            }
+        }
+        let label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
+        let mut kept: Vec<(VarId, Label)> = Vec::new();
+        for &(x, e) in bindings {
+            let use_count = self.uses.get(&x).copied().unwrap_or(0);
+            if self.pinned_vars.contains(&x) {
+                // Pinned capture targets always stay materialized.
+                let ne = self.copy(e);
+                let nx = self.fresh_from(x, Binder::Let(label));
+                kept.push((nx, ne));
+                continue;
+            }
+            // Single-use λ: substitute at the use site (β will fire there).
+            if use_count == 1 && matches!(self.old.expr(e), ExprKind::Lambda(_)) {
+                self.subst.insert(x, Subst::LambdaAt(e));
+                self.stats.dead_bindings += 1;
+                continue;
+            }
+            if use_count == 0 && discardable(self.old, e) {
+                self.stats.dead_bindings += 1;
+                continue;
+            }
+            let ne = self.copy(e);
+            match self.out.expr(ne) {
+                ExprKind::Const(c) => {
+                    self.subst.insert(x, Subst::Const(*c));
+                    self.stats.dead_bindings += 1;
+                }
+                ExprKind::Var(nv) => {
+                    self.subst.insert(x, Subst::Var(*nv));
+                    self.stats.dead_bindings += 1;
+                }
+                _ => {
+                    let nx = self.fresh_from(x, Binder::Let(label));
+                    kept.push((nx, ne));
+                }
+            }
+        }
+        let nbody = self.copy(body);
+        if kept.is_empty() {
+            return nbody;
+        }
+        self.out.set_expr(label, ExprKind::Let(kept, nbody));
+        label
+    }
+
+    fn copy_letrec(&mut self, l: Label, bindings: &[(VarId, Label)], body: Label) -> Label {
+        // Liveness: a binding is live if reachable from the body's references
+        // through the binding reference graph.
+        let live = live_letrec_bindings(self.old, l, bindings, body);
+        // A binding is *independent* when its right-hand side references no
+        // variable of this letrec group; such bindings get the `let`
+        // treatment (single-use substitution in particular), which is what
+        // collapses the inliner's non-recursive `(letrec ((y λ)) (y …))`
+        // wrappers into β-redexes.
+        let group: HashSet<VarId> = bindings.iter().map(|&(v, _)| v).collect();
+        let independent: Vec<bool> = bindings
+            .iter()
+            .map(|&(_, f)| !subtree_references(self.old, f, &group))
+            .collect();
+        let label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
+        let mut kept: Vec<(VarId, VarId, Label)> = Vec::new(); // (old var, new var, old rhs)
+        for (i, &(y, f)) in bindings.iter().enumerate() {
+            if !live[i] && !self.pinned_vars.contains(&y) {
+                self.stats.dead_bindings += 1;
+                continue;
+            }
+            if independent[i]
+                && self.uses.get(&y).copied().unwrap_or(0) == 1
+                && matches!(self.old.expr(f), ExprKind::Lambda(_))
+                && !self.param_masks.contains_key(&y)
+                && !self.pinned_vars.contains(&y)
+            {
+                self.subst.insert(y, Subst::LambdaAt(f));
+                self.stats.dead_bindings += 1;
+                continue;
+            }
+            let ny = self.fresh_from(y, Binder::Letrec(label));
+            kept.push((y, ny, f));
+        }
+        let mut new_bindings = Vec::new();
+        for &(y, ny, f) in &kept {
+            let ExprKind::Lambda(lam) = self.old.expr(f).clone() else {
+                unreachable!("letrec rhs is a lambda")
+            };
+            let mask = self.param_masks.get(&y).cloned();
+            let nf = self.copy_lambda(f, &lam, mask.as_deref().unwrap_or(&[]));
+            new_bindings.push((ny, nf));
+        }
+        let nbody = self.copy(body);
+        if new_bindings.is_empty() {
+            return nbody;
+        }
+        self.out
+            .set_expr(label, ExprKind::Letrec(new_bindings, nbody));
+        label
+    }
+
+    /// Copies a λ; `drop_mask` marks parameters to remove (empty = keep all).
+    fn copy_lambda(&mut self, old_label: Label, lam: &LambdaInfo, drop_mask: &[bool]) -> Label {
+        let label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
+        if let Some(pins) = self.old.pinned_captures(old_label) {
+            let mapped: Vec<VarId> = pins
+                .iter()
+                .map(|z| {
+                    *self
+                        .var_map
+                        .get(z)
+                        .unwrap_or_else(|| panic!("pinned capture {z} unmapped"))
+                })
+                .collect();
+            self.out.pin_captures(label, mapped);
+        }
+        let mut params = Vec::new();
+        for (i, &p) in lam.params.iter().enumerate() {
+            if !drop_mask.is_empty() && !drop_mask[i] {
+                // Removed formal: no binding needed; the body never uses it.
+                continue;
+            }
+            params.push(self.fresh_from(p, Binder::Lambda(label)));
+        }
+        let rest = lam.rest.map(|r| self.fresh_from(r, Binder::Lambda(label)));
+        let body = self.copy(lam.body);
+        self.out
+            .set_expr(label, ExprKind::Lambda(LambdaInfo { params, rest, body }));
+        label
+    }
+
+    fn fresh_from(&mut self, old_var: VarId, binder: Binder) -> VarId {
+        let info = *self.old.var(old_var);
+        let nv = self.out.add_var(VarInfo {
+            name: info.name,
+            binder,
+            top_level: info.top_level,
+        });
+        self.var_map.insert(old_var, nv);
+        nv
+    }
+}
+
+/// Computes keep-masks for the unused-formal-elimination pass.
+fn compute_param_masks(
+    old: &Program,
+    reachable: &[Label],
+    uses: &HashMap<VarId, usize>,
+    operator_uses: &HashMap<VarId, usize>,
+    rhs_of: &HashMap<VarId, Label>,
+) -> HashMap<VarId, Vec<bool>> {
+    // Known procedures: letrec-bound λ, no rest parameter, every use in
+    // operator position with exact arity.
+    let mut known: HashMap<VarId, Vec<VarId>> = HashMap::new(); // fn var → params
+    for &l in reachable {
+        let ExprKind::Letrec(bindings, _) = old.expr(l) else {
+            continue;
+        };
+        for &(y, f) in bindings {
+            let ExprKind::Lambda(lam) = old.expr(f) else {
+                continue;
+            };
+            if lam.rest.is_some() {
+                continue;
+            }
+            let total = uses.get(&y).copied().unwrap_or(0);
+            let ops = operator_uses.get(&y).copied().unwrap_or(0);
+            if total > 0 && total == ops {
+                known.insert(y, lam.params.clone());
+            }
+        }
+    }
+    if known.is_empty() {
+        return HashMap::new();
+    }
+    let param_of: HashMap<VarId, (VarId, usize)> = known
+        .iter()
+        .flat_map(|(&y, params)| params.iter().enumerate().map(move |(i, &p)| (p, (y, i))))
+        .collect();
+    // Count, for each candidate parameter, how many of its uses are direct
+    // argument occurrences at known-procedure calls, and record the flows.
+    let mut direct_uses: HashMap<VarId, usize> = HashMap::new();
+    let mut flows_into: HashMap<(VarId, usize), Vec<VarId>> = HashMap::new();
+    let mut effectful_positions: HashSet<(VarId, usize)> = HashSet::new();
+    for &l in reachable {
+        let ExprKind::Call(parts) = old.expr(l) else {
+            continue;
+        };
+        let ExprKind::Var(g) = old.expr(parts[0]) else {
+            continue;
+        };
+        let Some(params) = known.get(g) else {
+            continue;
+        };
+        if params.len() != parts.len() - 1 {
+            continue;
+        }
+        for (j, &arg) in parts[1..].iter().enumerate() {
+            if let ExprKind::Var(p) = old.expr(arg) {
+                if param_of.contains_key(p) {
+                    *direct_uses.entry(*p).or_default() += 1;
+                    flows_into.entry((*g, j)).or_default().push(*p);
+                    continue;
+                }
+            }
+            // A non-parameter argument: droppable only when effect-free.
+            if !discardable(old, arg) {
+                effectful_positions.insert((*g, j));
+            }
+        }
+    }
+    // Fixpoint: start with parameters whose uses are all direct flows (or
+    // none); essential-ness propagates backwards along flows.
+    let mut essential: HashSet<VarId> = HashSet::new();
+    let mut work: Vec<VarId> = Vec::new();
+    for (&p, &(g, i)) in &param_of {
+        let total = uses.get(&p).copied().unwrap_or(0);
+        let direct = direct_uses.get(&p).copied().unwrap_or(0);
+        if total > direct || effectful_positions.contains(&(g, i)) {
+            essential.insert(p);
+            work.push(p);
+        }
+    }
+    while let Some(p) = work.pop() {
+        let (g, i) = param_of[&p];
+        // Everything flowing into an essential parameter becomes essential.
+        for &q in flows_into.get(&(g, i)).map(Vec::as_slice).unwrap_or(&[]) {
+            if essential.insert(q) {
+                work.push(q);
+            }
+        }
+    }
+    let mut masks = HashMap::new();
+    for (y, params) in known {
+        let mask: Vec<bool> = params.iter().map(|p| essential.contains(p)).collect();
+        if mask.iter().any(|&keep| !keep) {
+            masks.insert(y, mask);
+        }
+    }
+    let _ = rhs_of;
+    masks
+}
+
+/// Does the subtree at `root` reference any variable in `vars`?
+fn subtree_references(old: &Program, root: Label, vars: &HashSet<VarId>) -> bool {
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if let ExprKind::Var(v) = old.expr(n) {
+            if vars.contains(v) {
+                return true;
+            }
+        }
+        old.for_each_child(n, |c| stack.push(c));
+    }
+    false
+}
+
+/// `discardable` over the output program (the effects module's analysis is
+/// program-generic).
+fn out_discardable(out: &Program, l: Label) -> bool {
+    crate::effects::discardable(out, l)
+}
+
+fn live_letrec_bindings(
+    old: &Program,
+    _l: Label,
+    bindings: &[(VarId, Label)],
+    body: Label,
+) -> Vec<bool> {
+    let index: HashMap<VarId, usize> = bindings
+        .iter()
+        .enumerate()
+        .map(|(i, &(v, _))| (v, i))
+        .collect();
+    let refs_in = |root: Label| -> HashSet<usize> {
+        let mut out = HashSet::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if let ExprKind::Var(v) = old.expr(n) {
+                if let Some(&i) = index.get(v) {
+                    out.insert(i);
+                }
+            }
+            old.for_each_child(n, |c| stack.push(c));
+        }
+        out
+    };
+    let mut live = vec![false; bindings.len()];
+    let mut work: Vec<usize> = refs_in(body).into_iter().collect();
+    while let Some(i) = work.pop() {
+        if std::mem::replace(&mut live[i], true) {
+            continue;
+        }
+        for j in refs_in(bindings[i].1) {
+            if !live[j] {
+                work.push(j);
+            }
+        }
+    }
+    live
+}

@@ -1,0 +1,697 @@
+//! The CEK-style abstract machine.
+//!
+//! Tail calls consume no continuation space, so Scheme loops run in constant
+//! control stack. Environments are per-activation frame chains behind `Rc`
+//! (reclaimed when dead); pairs, vectors, closures, and strings live in
+//! append-only heaps whose allocation volume feeds the simulated collector
+//! cost (see [`crate::CostModel`]).
+
+use crate::cost::{CostModel, Counters};
+use crate::resolve::{resolve, Code, LambdaCode, Resolved, VarRef};
+use crate::value::{ClosId, PairId, StrId, Value, VecId};
+use fdi_lang::{Const, Label, Program, Sym};
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Machine steps before aborting with "out of fuel".
+    pub fuel: u64,
+    /// Seed of the deterministic `random` primitive.
+    pub seed: u64,
+    /// Cost model.
+    pub model: CostModel,
+    /// Cap on bytes written by `display`/`write`.
+    pub max_output: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            fuel: 2_000_000_000,
+            seed: 0x5eed_cafe,
+            model: CostModel::default(),
+            max_output: 1 << 20,
+        }
+    }
+}
+
+/// A successful run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// `write`-style rendering of the final value.
+    pub value: String,
+    /// Cost counters.
+    pub counters: Counters,
+    /// Text written by `display`/`write`/`newline`.
+    pub output: String,
+}
+
+/// A failed run.
+#[derive(Debug, Clone)]
+pub struct VmError {
+    /// What went wrong.
+    pub message: String,
+    /// Counters at the time of the error.
+    pub counters: Counters,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Resolves and runs `program`.
+///
+/// # Errors
+///
+/// Returns [`VmError`] for Scheme run-time errors (type errors, arity
+/// mismatches, `(error …)`) and for fuel exhaustion.
+///
+/// # Examples
+///
+/// ```
+/// let p = fdi_lang::parse_and_lower("(+ 1 2)").unwrap();
+/// let out = fdi_vm::run(&p, &fdi_vm::RunConfig::default()).unwrap();
+/// assert_eq!(out.value, "3");
+/// ```
+pub fn run(program: &Program, config: &RunConfig) -> Result<Outcome, VmError> {
+    run_with_checks(program, config, None)
+}
+
+/// Like [`run`], with a set of `(primitive label, argument index)` tag
+/// checks proven redundant by check elimination (`fdi-checks`); those
+/// positions are exempt from the [`CostModel::type_check_cost`] charge.
+pub fn run_with_checks(
+    program: &Program,
+    config: &RunConfig,
+    safe_checks: Option<&HashSet<(Label, usize)>>,
+) -> Result<Outcome, VmError> {
+    let resolved = resolve(program);
+    let mut m = Machine::new(program, &resolved, config);
+    m.safe_checks = safe_checks;
+    m.run()
+}
+
+#[derive(Clone)]
+pub(crate) struct Env(Option<Rc<Frame>>);
+
+pub(crate) struct Frame {
+    values: Box<[Cell<Value>]>,
+    parent: Env,
+}
+
+impl Env {
+    const EMPTY: Env = Env(None);
+
+    fn push(&self, values: Vec<Value>) -> Env {
+        Env(Some(Rc::new(Frame {
+            values: values.into_iter().map(Cell::new).collect(),
+            parent: self.clone(),
+        })))
+    }
+
+    fn get(&self, depth: u16, slot: u16) -> Value {
+        let mut frame = self.0.as_ref().expect("env deep enough");
+        for _ in 0..depth {
+            frame = frame.parent.0.as_ref().expect("env deep enough");
+        }
+        frame.values[slot as usize].get()
+    }
+
+    fn set(&self, depth: u16, slot: u16, v: Value) {
+        let mut frame = self.0.as_ref().expect("env deep enough");
+        for _ in 0..depth {
+            frame = frame.parent.0.as_ref().expect("env deep enough");
+        }
+        frame.values[slot as usize].set(v);
+    }
+}
+
+pub(crate) struct ClosureData {
+    pub(crate) lambda: Label,
+    pub(crate) captures: Box<[Cell<Value>]>,
+}
+
+enum Kont {
+    Call {
+        label: Label,
+        next: usize,
+        vals: Vec<Value>,
+        env: Env,
+        clo: Option<ClosId>,
+    },
+    Prim {
+        label: Label,
+        next: usize,
+        vals: Vec<Value>,
+        env: Env,
+        clo: Option<ClosId>,
+    },
+    ApplyFun {
+        label: Label,
+        env: Env,
+        clo: Option<ClosId>,
+    },
+    ApplyArg {
+        f: Value,
+    },
+    Begin {
+        label: Label,
+        next: usize,
+        env: Env,
+        clo: Option<ClosId>,
+    },
+    If {
+        label: Label,
+        env: Env,
+        clo: Option<ClosId>,
+    },
+    Let {
+        label: Label,
+        next: usize,
+        vals: Vec<Value>,
+        env: Env,
+        clo: Option<ClosId>,
+    },
+    ClRefK {
+        index: u32,
+    },
+}
+
+pub(crate) struct Machine<'p> {
+    pub(crate) program: &'p Program,
+    pub(crate) safe_checks: Option<&'p HashSet<(Label, usize)>>,
+    res: &'p Resolved,
+    pub(crate) pairs: Vec<(Cell<Value>, Cell<Value>)>,
+    pub(crate) vectors: Vec<Vec<Cell<Value>>>,
+    pub(crate) closures: Vec<ClosureData>,
+    pub(crate) strings: Vec<String>,
+    str_of_sym: HashMap<Sym, StrId>,
+    pub(crate) counters: Counters,
+    pub(crate) model: CostModel,
+    fuel: u64,
+    pub(crate) rng: u64,
+    pub(crate) output: String,
+    pub(crate) max_output: usize,
+}
+
+impl<'p> Machine<'p> {
+    pub(crate) fn new(program: &'p Program, res: &'p Resolved, config: &RunConfig) -> Machine<'p> {
+        Machine {
+            program,
+            safe_checks: None,
+            res,
+            pairs: Vec::new(),
+            vectors: Vec::new(),
+            closures: Vec::new(),
+            strings: Vec::new(),
+            str_of_sym: HashMap::new(),
+            counters: Counters::default(),
+            model: config.model,
+            fuel: config.fuel,
+            rng: config.seed,
+            output: String::new(),
+            max_output: config.max_output,
+        }
+    }
+
+    pub(crate) fn error<T>(&self, message: impl Into<String>) -> Result<T, VmError> {
+        Err(VmError {
+            message: message.into(),
+            counters: self.counters,
+        })
+    }
+
+    // --- heap ---------------------------------------------------------------
+
+    pub(crate) fn alloc_pair(&mut self, car: Value, cdr: Value) -> Value {
+        self.counters.words_allocated += self.model.pair_words;
+        self.counters.pairs_made += 1;
+        self.pairs.push((Cell::new(car), Cell::new(cdr)));
+        Value::Pair(PairId((self.pairs.len() - 1) as u32))
+    }
+
+    pub(crate) fn alloc_vector(&mut self, elems: Vec<Value>) -> Value {
+        self.counters.words_allocated += self.model.vector_base_words + elems.len() as u64;
+        self.vectors
+            .push(elems.into_iter().map(Cell::new).collect());
+        Value::Vector(VecId((self.vectors.len() - 1) as u32))
+    }
+
+    pub(crate) fn alloc_string(&mut self, s: String) -> Value {
+        self.counters.words_allocated += 1 + (s.len() as u64).div_ceil(8);
+        self.strings.push(s);
+        Value::Str(StrId((self.strings.len() - 1) as u32))
+    }
+
+    fn alloc_closure(&mut self, lambda: Label, captures: Vec<Value>) -> Value {
+        self.counters.words_allocated += self.model.closure_base_words + captures.len() as u64;
+        self.counters.closures_made += 1;
+        self.closures.push(ClosureData {
+            lambda,
+            captures: captures.into_iter().map(Cell::new).collect(),
+        });
+        Value::Closure(ClosId((self.closures.len() - 1) as u32))
+    }
+
+    pub(crate) fn str_value(&mut self, sym: Sym) -> Value {
+        if let Some(&id) = self.str_of_sym.get(&sym) {
+            return Value::Str(id);
+        }
+        let s = self.program.interner().name(sym).to_string();
+        self.strings.push(s);
+        let id = StrId((self.strings.len() - 1) as u32);
+        self.str_of_sym.insert(sym, id);
+        Value::Str(id)
+    }
+
+    fn value_of_const(&mut self, c: Const) -> Value {
+        match c {
+            Const::Bool(b) => Value::Bool(b),
+            Const::Int(n) => Value::Int(n),
+            Const::Float(bits) => Value::Float(f64::from_bits(bits)),
+            Const::Char(ch) => Value::Char(ch),
+            Const::Str(s) => self.str_value(s),
+            Const::Symbol(s) => Value::Sym(s),
+            Const::Nil => Value::Nil,
+            Const::Unspecified => Value::Unspec,
+        }
+    }
+
+    fn lambda_code(&self, label: Label) -> &'p LambdaCode {
+        match self.res.code(label) {
+            Code::Lambda(lc) => lc,
+            other => panic!("expected lambda code at {label}, found {other:?}"),
+        }
+    }
+
+    fn capture_values(&self, plan: &[VarRef], env: &Env, clo: Option<ClosId>) -> Vec<Value> {
+        plan.iter()
+            .map(|&vr| match vr {
+                VarRef::Env { depth, slot } => env.get(depth, slot),
+                VarRef::Capture(i) => {
+                    let c = clo.expect("capture read outside closure");
+                    self.closures[c.0 as usize].captures[i as usize].get()
+                }
+            })
+            .collect()
+    }
+
+    // --- the driver loop ----------------------------------------------------
+
+    pub(crate) fn run(&mut self) -> Result<Outcome, VmError> {
+        let mut kont: Vec<Kont> = Vec::new();
+        let mut env = Env::EMPTY;
+        let mut clo: Option<ClosId> = None;
+        let mut control: Result<Label, Value> = Ok(self.res.root());
+        loop {
+            if self.fuel == 0 {
+                return self.error("out of fuel");
+            }
+            self.fuel -= 1;
+            self.counters.steps += 1;
+            match control {
+                Ok(label) => {
+                    // Evaluate the expression at `label`.
+                    match self.res.code(label) {
+                        Code::Const(c) => control = Err(self.value_of_const(*c)),
+                        Code::Var(vr) => {
+                            let v = match *vr {
+                                VarRef::Env { depth, slot } => env.get(depth, slot),
+                                VarRef::Capture(i) => {
+                                    let c = clo.expect("capture read outside closure");
+                                    self.closures[c.0 as usize].captures[i as usize].get()
+                                }
+                            };
+                            control = Err(v);
+                        }
+                        Code::Prim(_, args) => {
+                            if args.is_empty() {
+                                let v = self.apply_prim(label, &[])?;
+                                control = Err(v);
+                            } else {
+                                let first = args[0];
+                                kont.push(Kont::Prim {
+                                    label,
+                                    next: 1,
+                                    vals: Vec::with_capacity(args.len()),
+                                    env: env.clone(),
+                                    clo,
+                                });
+                                control = Ok(first);
+                            }
+                        }
+                        Code::Call(parts) => {
+                            let first = parts[0];
+                            kont.push(Kont::Call {
+                                label,
+                                next: 1,
+                                vals: Vec::with_capacity(parts.len()),
+                                env: env.clone(),
+                                clo,
+                            });
+                            control = Ok(first);
+                        }
+                        Code::Apply(f, _) => {
+                            kont.push(Kont::ApplyFun {
+                                label,
+                                env: env.clone(),
+                                clo,
+                            });
+                            control = Ok(*f);
+                        }
+                        Code::Begin(parts) => {
+                            if parts.len() == 1 {
+                                control = Ok(parts[0]);
+                            } else {
+                                let first = parts[0];
+                                kont.push(Kont::Begin {
+                                    label,
+                                    next: 1,
+                                    env: env.clone(),
+                                    clo,
+                                });
+                                control = Ok(first);
+                            }
+                        }
+                        Code::If(c, _, _) => {
+                            kont.push(Kont::If {
+                                label,
+                                env: env.clone(),
+                                clo,
+                            });
+                            control = Ok(*c);
+                        }
+                        Code::Let(rhs, body) => {
+                            if rhs.is_empty() {
+                                env = env.push(Vec::new());
+                                control = Ok(*body);
+                            } else {
+                                let first = rhs[0];
+                                kont.push(Kont::Let {
+                                    label,
+                                    next: 1,
+                                    vals: Vec::with_capacity(rhs.len()),
+                                    env: env.clone(),
+                                    clo,
+                                });
+                                control = Ok(first);
+                            }
+                        }
+                        Code::Letrec(lambdas, body) => {
+                            self.counters.mutator +=
+                                self.model.let_per_binding * lambdas.len() as u64;
+                            let n = lambdas.len();
+                            env = env.push(vec![Value::Unspec; n]);
+                            // First pass: create closures (sibling captures
+                            // may still read Unspec).
+                            let mut made = Vec::with_capacity(n);
+                            for (i, &f) in lambdas.iter().enumerate() {
+                                let lc = self.lambda_code(f);
+                                let caps = self.capture_values(&lc.capture_plan, &env, clo);
+                                let v = self.alloc_closure(f, caps);
+                                env.set(0, i as u16, v);
+                                made.push((f, v));
+                            }
+                            // Second pass: backpatch captures now that every
+                            // sibling closure exists.
+                            for &(f, v) in &made {
+                                let lc = self.lambda_code(f);
+                                let caps = self.capture_values(&lc.capture_plan, &env, clo);
+                                let Value::Closure(cid) = v else {
+                                    unreachable!()
+                                };
+                                for (cell, nv) in
+                                    self.closures[cid.0 as usize].captures.iter().zip(caps)
+                                {
+                                    cell.set(nv);
+                                }
+                            }
+                            control = Ok(*body);
+                        }
+                        Code::Lambda(lc) => {
+                            let caps = self.capture_values(&lc.capture_plan, &env, clo);
+                            let v = self.alloc_closure(label, caps);
+                            control = Err(v);
+                        }
+                        Code::ClRef(e, n) => {
+                            kont.push(Kont::ClRefK { index: *n });
+                            control = Ok(*e);
+                        }
+                        Code::Dead => panic!("evaluating dead code at {label}"),
+                    }
+                }
+                Err(value) => {
+                    // Return `value` to the top continuation frame.
+                    let Some(frame) = kont.pop() else {
+                        return Ok(Outcome {
+                            value: self.render(value, true),
+                            counters: self.counters,
+                            output: std::mem::take(&mut self.output),
+                        });
+                    };
+                    match frame {
+                        Kont::Call {
+                            label,
+                            next,
+                            mut vals,
+                            env: senv,
+                            clo: sclo,
+                        } => {
+                            vals.push(value);
+                            let Code::Call(parts) = self.res.code(label) else {
+                                unreachable!()
+                            };
+                            if next < parts.len() {
+                                let e = parts[next];
+                                env = senv.clone();
+                                clo = sclo;
+                                kont.push(Kont::Call {
+                                    label,
+                                    next: next + 1,
+                                    vals,
+                                    env: senv,
+                                    clo: sclo,
+                                });
+                                control = Ok(e);
+                            } else {
+                                let f = vals[0];
+                                let args = &vals[1..];
+                                let (nenv, nclo, body) = self.enter(f, args, 0)?;
+                                env = nenv;
+                                clo = Some(nclo);
+                                control = Ok(body);
+                            }
+                        }
+                        Kont::Prim {
+                            label,
+                            next,
+                            mut vals,
+                            env: senv,
+                            clo: sclo,
+                        } => {
+                            vals.push(value);
+                            let Code::Prim(_, args) = self.res.code(label) else {
+                                unreachable!()
+                            };
+                            if next < args.len() {
+                                let e = args[next];
+                                env = senv.clone();
+                                clo = sclo;
+                                kont.push(Kont::Prim {
+                                    label,
+                                    next: next + 1,
+                                    vals,
+                                    env: senv,
+                                    clo: sclo,
+                                });
+                                control = Ok(e);
+                            } else {
+                                let v = self.apply_prim(label, &vals)?;
+                                control = Err(v);
+                            }
+                        }
+                        Kont::ApplyFun {
+                            label,
+                            env: senv,
+                            clo: sclo,
+                        } => {
+                            let Code::Apply(_, arg) = self.res.code(label) else {
+                                unreachable!()
+                            };
+                            let e = *arg;
+                            env = senv;
+                            clo = sclo;
+                            kont.push(Kont::ApplyArg { f: value });
+                            control = Ok(e);
+                        }
+                        Kont::ApplyArg { f } => {
+                            let args = self.list_to_vec(value)?;
+                            self.counters.mutator += self.model.apply_per_elem * args.len() as u64;
+                            let (nenv, nclo, body) = self.enter(f, &args, 0)?;
+                            env = nenv;
+                            clo = Some(nclo);
+                            control = Ok(body);
+                        }
+                        Kont::Begin {
+                            label,
+                            next,
+                            env: senv,
+                            clo: sclo,
+                        } => {
+                            let Code::Begin(parts) = self.res.code(label) else {
+                                unreachable!()
+                            };
+                            env = senv.clone();
+                            clo = sclo;
+                            if next == parts.len() - 1 {
+                                control = Ok(parts[next]);
+                            } else {
+                                let e = parts[next];
+                                kont.push(Kont::Begin {
+                                    label,
+                                    next: next + 1,
+                                    env: senv,
+                                    clo: sclo,
+                                });
+                                control = Ok(e);
+                            }
+                        }
+                        Kont::If {
+                            label,
+                            env: senv,
+                            clo: sclo,
+                        } => {
+                            self.counters.mutator += self.model.if_cost;
+                            let Code::If(_, t, e) = self.res.code(label) else {
+                                unreachable!()
+                            };
+                            env = senv;
+                            clo = sclo;
+                            control = Ok(if value.is_truthy() { *t } else { *e });
+                        }
+                        Kont::Let {
+                            label,
+                            next,
+                            mut vals,
+                            env: senv,
+                            clo: sclo,
+                        } => {
+                            vals.push(value);
+                            let Code::Let(rhs, body) = self.res.code(label) else {
+                                unreachable!()
+                            };
+                            if next < rhs.len() {
+                                let e = rhs[next];
+                                env = senv.clone();
+                                clo = sclo;
+                                kont.push(Kont::Let {
+                                    label,
+                                    next: next + 1,
+                                    vals,
+                                    env: senv,
+                                    clo: sclo,
+                                });
+                                control = Ok(e);
+                            } else {
+                                self.counters.mutator +=
+                                    self.model.let_per_binding * vals.len() as u64;
+                                let body = *body;
+                                env = senv.push(vals);
+                                clo = sclo;
+                                control = Ok(body);
+                            }
+                        }
+                        Kont::ClRefK { index } => {
+                            self.counters.mutator += self.model.cl_ref_cost;
+                            let Value::Closure(cid) = value else {
+                                return self.error(format!(
+                                    "cl-ref: expected procedure, got {}",
+                                    value.type_name()
+                                ));
+                            };
+                            let caps = &self.closures[cid.0 as usize].captures;
+                            let Some(cell) = caps.get(index as usize) else {
+                                return self.error("cl-ref: index out of range");
+                            };
+                            control = Err(cell.get());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Performs a procedure call: arity check, rest-list collection, cost
+    /// accounting. Returns the callee's activation.
+    fn enter(
+        &mut self,
+        f: Value,
+        args: &[Value],
+        extra_cost: u64,
+    ) -> Result<(Env, ClosId, Label), VmError> {
+        let Value::Closure(cid) = f else {
+            return self.error(format!("call: expected procedure, got {}", f.type_name()));
+        };
+        let lambda = self.closures[cid.0 as usize].lambda;
+        let lc = self.lambda_code(lambda);
+        if args.len() < lc.params || (!lc.rest && args.len() != lc.params) {
+            return self.error(format!(
+                "call: procedure expects {}{} arguments, got {}",
+                lc.params,
+                if lc.rest { "+" } else { "" },
+                args.len()
+            ));
+        }
+        self.counters.calls += 1;
+        self.counters.mutator +=
+            self.model.call_overhead + self.model.call_per_arg * args.len() as u64 + extra_cost;
+        let mut frame: Vec<Value> = args[..lc.params].to_vec();
+        if lc.rest {
+            let mut rest = Value::Nil;
+            for &v in args[lc.params..].iter().rev() {
+                rest = self.alloc_pair(v, rest);
+            }
+            frame.push(rest);
+        }
+        Ok((Env::EMPTY.push(frame), cid, lc.body))
+    }
+
+    /// The primitive operator at a `Prim` code label.
+    pub(crate) fn prim_op(&self, label: Label) -> fdi_lang::PrimOp {
+        match self.res.code(label) {
+            Code::Prim(p, _) => *p,
+            other => panic!("expected prim at {label}, found {other:?}"),
+        }
+    }
+
+    /// Spreads a list value into a vector (for `apply`).
+    pub(crate) fn list_to_vec(&self, mut v: Value) -> Result<Vec<Value>, VmError> {
+        let mut out = Vec::new();
+        loop {
+            match v {
+                Value::Nil => return Ok(out),
+                Value::Pair(p) => {
+                    let (car, cdr) = &self.pairs[p.0 as usize];
+                    out.push(car.get());
+                    v = cdr.get();
+                }
+                other => {
+                    return self.error(format!(
+                        "apply: expected a proper list, got {}",
+                        other.type_name()
+                    ))
+                }
+            }
+            if out.len() > 1_000_000 {
+                return self.error("apply: argument list too long (or cyclic)");
+            }
+        }
+    }
+}

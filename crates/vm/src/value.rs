@@ -1,0 +1,89 @@
+//! Runtime values of the abstract machine.
+
+use fdi_lang::Sym;
+
+/// Index into the machine's string heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrId(pub u32);
+
+/// Index into the machine's pair heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PairId(pub u32);
+
+/// Index into the machine's vector heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VecId(pub u32);
+
+/// Index into the machine's closure heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClosId(pub u32);
+
+/// A first-class value. All variants are word-sized handles, matching the
+/// uniform representation of a dynamically-typed Scheme implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Exact integer.
+    Int(i64),
+    /// Inexact real.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Character.
+    Char(char),
+    /// Symbol (interned in the program's interner).
+    Sym(Sym),
+    /// String (heap).
+    Str(StrId),
+    /// The empty list.
+    Nil,
+    /// The unspecified value.
+    Unspec,
+    /// A mutable pair.
+    Pair(PairId),
+    /// A mutable vector.
+    Vector(VecId),
+    /// A flat closure.
+    Closure(ClosId),
+}
+
+impl Value {
+    /// Scheme truthiness: everything except `#f` is true.
+    pub fn is_truthy(self) -> bool {
+        self != Value::Bool(false)
+    }
+
+    /// The type name used in error messages.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            Value::Int(_) | Value::Float(_) => "number",
+            Value::Bool(_) => "boolean",
+            Value::Char(_) => "char",
+            Value::Sym(_) => "symbol",
+            Value::Str(_) => "string",
+            Value::Nil => "()",
+            Value::Unspec => "unspecified",
+            Value::Pair(_) => "pair",
+            Value::Vector(_) => "vector",
+            Value::Closure(_) => "procedure",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Bool(true).is_truthy());
+        assert!(Value::Nil.is_truthy());
+        assert!(Value::Int(0).is_truthy());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Int(1).type_name(), "number");
+        assert_eq!(Value::Pair(PairId(0)).type_name(), "pair");
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: run the flow-directed inlining pipeline on a small program
+//! and inspect what happened.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fdi_core::{optimize, PipelineConfig, RunConfig};
+
+fn main() {
+    // Both procedures are used twice, so a syntactic (single-use) inliner
+    // cannot touch them; flow-directed inlining specializes each call site.
+    let src = "
+        (define (square n) (* n n))
+        (define (cube n) (* n (* n n)))
+        (define (sum-to n f)
+          (letrec ((go (lambda (i acc)
+                         (if (> i n) acc (go (+ i 1) (+ acc (f i)))))))
+            (go 1 0)))
+        (+ (sum-to 1000 square) (sum-to 1000 cube)
+           (sum-to 10 square) (sum-to 10 cube))";
+
+    println!("source:\n{src}\n");
+
+    let out = optimize(src, &PipelineConfig::with_threshold(300)).expect("pipeline");
+
+    println!("optimized (threshold 300):");
+    println!(
+        "{}\n",
+        fdi_sexpr::pretty(&fdi_lang::unparse(&out.optimized))
+    );
+
+    println!(
+        "inliner: {} sites inlined, {} branches pruned, {} loops tied",
+        out.report.sites_inlined, out.report.branches_pruned, out.report.loops_tied
+    );
+    println!(
+        "size: {} -> {} (ratio {:.2})",
+        out.baseline_size,
+        out.optimized_size,
+        out.size_ratio()
+    );
+
+    let cfg = RunConfig::default();
+    let before = fdi_vm::run(&out.baseline, &cfg).expect("baseline runs");
+    let after = fdi_vm::run(&out.optimized, &cfg).expect("optimized runs");
+    assert_eq!(before.value, after.value, "behaviour preserved");
+    println!(
+        "result {} — calls {} -> {}, mutator cost {} -> {}",
+        after.value,
+        before.counters.calls,
+        after.counters.calls,
+        before.counters.mutator,
+        after.counters.mutator
+    );
+}

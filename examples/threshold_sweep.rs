@@ -1,0 +1,57 @@
+//! Sweep the inline threshold over one benchmark and watch Table 1 / Fig. 6
+//! form: code size grows slowly with the threshold while execution time
+//! drops and then flattens.
+//!
+//! Run with: `cargo run --release --example threshold_sweep [benchmark] [scale]`
+
+use fdi_core::{sweep, PipelineConfig, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("splay");
+    let bench = fdi_benchsuite::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown benchmark '{name}'; have: {}",
+            fdi_benchsuite::BENCHMARKS
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    });
+    let scale: u32 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(bench.test_scale);
+
+    println!("benchmark: {} (scale {scale})", bench.name);
+    println!("{}", bench.description);
+    println!();
+
+    let rows = sweep(
+        &bench.scaled(scale),
+        &[50, 100, 200, 500, 1000],
+        &PipelineConfig::default(),
+        &RunConfig::default(),
+    )
+    .expect("sweep");
+
+    println!(
+        "{:>9} {:>9} {:>8} {:>9} {:>9} {:>8}",
+        "threshold", "size", "total", "mutator", "collector", "inlined"
+    );
+    for r in &rows {
+        println!(
+            "{:>9} {:>9.2} {:>8.3} {:>9.3} {:>9.3} {:>8}",
+            r.threshold,
+            r.size_ratio,
+            r.norm_total,
+            r.norm_mutator,
+            r.norm_collector,
+            r.report.sites_inlined
+        );
+    }
+    println!();
+    println!("value at every threshold: {}", rows[0].value);
+}

@@ -1,0 +1,201 @@
+//! `fdi` — the flow-directed inlining optimizer as a command-line tool.
+//!
+//! ```text
+//! fdi optimize <file.scm> [-t THRESHOLD] [--clref] [--policy 0cfa|poly|1cfa]
+//! fdi run      <file.scm> [-t THRESHOLD] [--clref] [--stats]
+//! fdi analyze  <file.scm> [--policy …]
+//! ```
+//!
+//! `optimize` prints the optimized source; `run` executes baseline and
+//! optimized versions on the cost-model VM and reports both; `analyze`
+//! prints flow-analysis statistics and inline candidates.
+
+use fdi_core::{optimize, PipelineConfig, Polyvariance, RunConfig};
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    file: String,
+    threshold: usize,
+    unroll: usize,
+    clref: bool,
+    policy: Polyvariance,
+    stats: bool,
+    dump: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fdi <optimize|run|analyze> <file.scm> \
+         [-t THRESHOLD] [--unroll N] [--clref] [--policy 0cfa|poly|1cfa] [--stats] [--dump]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Option<Options> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next()?;
+    let mut opts = Options {
+        command,
+        file: String::new(),
+        threshold: 200,
+        unroll: 0,
+        clref: false,
+        policy: Polyvariance::PolymorphicSplitting,
+        stats: false,
+        dump: false,
+    };
+    let mut rest: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "-t" | "--threshold" => {
+                opts.threshold = rest.get(i + 1)?.parse().ok()?;
+                rest.drain(i..=i + 1);
+            }
+            "--unroll" => {
+                opts.unroll = rest.get(i + 1)?.parse().ok()?;
+                rest.drain(i..=i + 1);
+            }
+            "--clref" => {
+                opts.clref = true;
+                rest.remove(i);
+            }
+            "--stats" => {
+                opts.stats = true;
+                rest.remove(i);
+            }
+            "--dump" => {
+                opts.dump = true;
+                rest.remove(i);
+            }
+            "--policy" => {
+                opts.policy = match rest.get(i + 1)?.as_str() {
+                    "0cfa" => Polyvariance::Monovariant,
+                    "poly" | "poly-split" => Polyvariance::PolymorphicSplitting,
+                    "1cfa" => Polyvariance::CallStrings(1),
+                    "2cfa" => Polyvariance::CallStrings(2),
+                    _ => return None,
+                };
+                rest.drain(i..=i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    opts.file = rest.into_iter().next()?;
+    Some(opts)
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse_args() else {
+        return usage();
+    };
+    let src = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fdi: cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = PipelineConfig::with_threshold(opts.threshold);
+    config.policy = opts.policy;
+    config.unroll = opts.unroll;
+    if opts.clref {
+        config.mode = fdi_core::InlineMode::ClRef;
+    }
+    match opts.command.as_str() {
+        "optimize" => {
+            let out = match optimize(&src, &config) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("fdi: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{}", fdi_sexpr::pretty(&fdi_lang::unparse(&out.optimized)));
+            eprintln!(
+                ";; inlined {} sites, pruned {} branches, size ratio {:.2}, analysis {:?}",
+                out.report.sites_inlined,
+                out.report.branches_pruned,
+                out.size_ratio(),
+                out.flow_stats.duration
+            );
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let out = match optimize(&src, &config) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("fdi: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = RunConfig::default();
+            let base = fdi_vm::run(&out.baseline, &cfg);
+            let opt = fdi_vm::run(&out.optimized, &cfg);
+            match (base, opt) {
+                (Ok(b), Ok(o)) => {
+                    print!("{}", o.output);
+                    println!("{}", o.value);
+                    if b.value != o.value {
+                        eprintln!("fdi: MISCOMPILE: baseline computed {}", b.value);
+                        return ExitCode::FAILURE;
+                    }
+                    if opts.stats {
+                        let m = &cfg.model;
+                        eprintln!(
+                            ";; baseline : total {:>12} (mutator {}, collector {}), {} calls",
+                            b.counters.total(m),
+                            b.counters.mutator,
+                            b.counters.collector(m),
+                            b.counters.calls
+                        );
+                        eprintln!(
+                            ";; optimized: total {:>12} (mutator {}, collector {}), {} calls",
+                            o.counters.total(m),
+                            o.counters.mutator,
+                            o.counters.collector(m),
+                            o.counters.calls
+                        );
+                        eprintln!(
+                            ";; speedup  : {:.3}x",
+                            b.counters.total(m) as f64 / o.counters.total(m) as f64
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                (_, Err(e)) | (Err(e), _) => {
+                    eprintln!("fdi: runtime error: {}", e.message);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "analyze" => {
+            let program = match fdi_lang::parse_and_lower(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("fdi: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let flow = fdi_cfa::analyze(&program, opts.policy);
+            let s = flow.stats();
+            let candidates = flow.candidate_call_sites(&program);
+            println!("policy            : {}", opts.policy.name());
+            println!("nodes             : {}", s.nodes);
+            println!("edges             : {}", s.edges);
+            println!("worklist steps    : {}", s.steps);
+            println!("contours          : {}", s.contours);
+            println!("abstract closures : {}", s.closures);
+            println!("analysis time     : {:?}", s.duration);
+            println!("inline candidates : {}", candidates.len());
+            println!("arity mismatches  : {}", s.arity_mismatches);
+            if opts.dump {
+                println!();
+                print!("{}", fdi_cfa::dump_analysis(&flow, &program));
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

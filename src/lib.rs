@@ -1,0 +1,14 @@
+//! Meta-crate for the Flow-directed Inlining reproduction.
+//!
+//! Re-exports the pipeline API from [`fdi_core`] and the component crates.
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduced tables and figures.
+
+pub use fdi_benchsuite as benchsuite;
+pub use fdi_cfa as cfa;
+pub use fdi_core as core;
+pub use fdi_inline as inline;
+pub use fdi_lang as lang;
+pub use fdi_sexpr as sexpr;
+pub use fdi_simplify as simplify;
+pub use fdi_vm as vm;

@@ -1,0 +1,53 @@
+//! Cross-crate smoke tests over the benchmark suite at tiny scales.
+
+use fdi_benchsuite::BENCHMARKS;
+use fdi_core::{optimize_program, PipelineConfig, Polyvariance, RunConfig};
+
+#[test]
+fn every_benchmark_runs_and_optimizes() {
+    for b in BENCHMARKS {
+        let src = b.scaled(1);
+        let program = fdi_lang::parse_and_lower(&src).unwrap();
+        let out = optimize_program(&program, &PipelineConfig::with_threshold(200))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let base = fdi_vm::run(&out.baseline, &RunConfig::default())
+            .unwrap_or_else(|e| panic!("{} baseline: {e}", b.name));
+        let opt = fdi_vm::run(&out.optimized, &RunConfig::default())
+            .unwrap_or_else(|e| panic!("{} optimized: {e}", b.name));
+        assert_eq!(base.value, opt.value, "{}", b.name);
+        assert_eq!(base.output, opt.output, "{}", b.name);
+    }
+}
+
+#[test]
+fn cl_ref_mode_preserves_benchmarks() {
+    let mut cfg = PipelineConfig::with_threshold(200);
+    cfg.mode = fdi_core::InlineMode::ClRef;
+    for b in BENCHMARKS {
+        let src = b.scaled(1);
+        let program = fdi_lang::parse_and_lower(&src).unwrap();
+        let out = optimize_program(&program, &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let base = fdi_vm::run(&out.baseline, &RunConfig::default()).unwrap();
+        let opt = fdi_vm::run(&out.optimized, &RunConfig::default())
+            .unwrap_or_else(|e| panic!("{} optimized(clref): {e}", b.name));
+        assert_eq!(base.value, opt.value, "{} (cl-ref mode)", b.name);
+    }
+}
+
+#[test]
+fn alternative_policies_preserve_benchmarks() {
+    for policy in [Polyvariance::Monovariant, Polyvariance::CallStrings(1)] {
+        let mut cfg = PipelineConfig::with_threshold(200);
+        cfg.policy = policy;
+        for b in BENCHMARKS {
+            let src = b.scaled(1);
+            let program = fdi_lang::parse_and_lower(&src).unwrap();
+            let out =
+                optimize_program(&program, &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let base = fdi_vm::run(&out.baseline, &RunConfig::default()).unwrap();
+            let opt = fdi_vm::run(&out.optimized, &RunConfig::default())
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", b.name, policy.name()));
+            assert_eq!(base.value, opt.value, "{} under {}", b.name, policy.name());
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end reproductions of the paper's worked examples.
+
+use fdi_core::{optimize, PipelineConfig, RunConfig};
+
+fn run_at(src: &str, threshold: usize) -> (String, fdi_core::Counters, fdi_core::InlineReport) {
+    let out = optimize(src, &PipelineConfig::with_threshold(threshold)).expect("pipeline");
+    let r = fdi_vm::run(&out.optimized, &RunConfig::default()).expect("runs");
+    (r.value, r.counters, out.report)
+}
+
+/// Figs. 1–3: `(map car m)` inlines `map`, prunes the `map*`/`apply` path,
+/// and specializes `map1` over `car`.
+#[test]
+fn figs_1_to_3_map_car() {
+    let src = "(define m '((1 2) (3 4) (5 6))) (map car m)";
+    let out = optimize(src, &PipelineConfig::with_threshold(500)).expect("pipeline");
+    let printed = fdi_lang::unparse(&out.optimized).to_string();
+    assert!(out.report.branches_pruned >= 1);
+    assert!(!printed.contains("apply"), "map* pruned: {printed}");
+    let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+    assert_eq!(r.value, "(1 3 5)");
+}
+
+/// Selectivity on `map` when it has several call sites of different arity:
+/// only the per-site specialization of `(map car m)` may drop the `map*`
+/// path, and only at a sufficient threshold (the paper: "inlined at
+/// thresholds above 60").
+#[test]
+fn map_with_multiple_sites_is_selective() {
+    let src = "
+        (define m '((1 2) (3 4) (5 6)))
+        (define m2 '(10 20 30))
+        (cons (map car m) (map + m2 m2))";
+    // Large threshold: the unary site inlines and specializes away map*;
+    // the binary site keeps the apply path somewhere.
+    let out = optimize(src, &PipelineConfig::with_threshold(800)).expect("pipeline");
+    assert!(out.report.sites_inlined >= 1, "{:?}", out.report);
+    let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+    assert_eq!(r.value, "((1 3 5) 20 40 60)");
+    // Tiny threshold: map is rejected at both sites; the generic map with
+    // its apply path must survive.
+    let low = optimize(src, &PipelineConfig::with_threshold(10)).expect("pipeline");
+    assert!(low.report.rejected_threshold >= 1, "{:?}", low.report);
+    let printed_low = fdi_lang::unparse(&low.optimized).to_string();
+    assert!(
+        printed_low.contains("apply"),
+        "threshold 10 must keep the variable-arity path: {printed_low}"
+    );
+    let r_low = fdi_vm::run(&low.optimized, &RunConfig::default()).unwrap();
+    assert_eq!(r_low.value, "((1 3 5) 20 40 60)");
+}
+
+/// §2.1: closures-as-objects; method dispatch devirtualizes per instance.
+#[test]
+fn network_object_dispatch() {
+    let src = "
+        (define (make-network)
+          (lambda (msg)
+            (case msg
+              ((open) (lambda (addr) (cons 'opened addr)))
+              ((close) (lambda (port) (cons 'closed port)))
+              (else (error \"bad\")))))
+        (define n1 (make-network))
+        (define n2 (make-network))
+        (cons ((n1 'open) 80) ((n2 'close) 81))";
+    let (value, _, report) = run_at(src, 500);
+    assert_eq!(value, "((opened . 80) closed . 81)");
+    assert!(report.sites_inlined >= 2, "{report:?}");
+    assert!(report.branches_pruned >= 2, "{report:?}");
+}
+
+/// §3.2: polymorphic splitting distinguishes two uses of the same
+/// let-bound procedure (observable through the final value's precision in
+/// the flow analysis, and end-to-end through unchanged behaviour).
+#[test]
+fn polymorphic_splitting_example() {
+    let src = "(let ((f (lambda (x) x))) (begin (f #t) (+ (f 0) 1)))";
+    for t in [0, 100, 1000] {
+        let (value, _, _) = run_at(src, t);
+        assert_eq!(value, "1");
+    }
+}
+
+/// §3.6: recursive procedures inline as loops, not unfoldings — and still
+/// terminate and compute the right value.
+#[test]
+fn loops_not_unfoldings() {
+    let src = "
+        (define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+        (fib 15)";
+    let (v0, c0, _) = run_at(src, 0);
+    let (v1, c1, report) = run_at(src, 500);
+    assert_eq!(v0, "610");
+    assert_eq!(v1, "610");
+    assert!(report.loops_tied >= 1, "{report:?}");
+    assert!(c1.mutator <= c0.mutator);
+}
+
+/// §2.2: inlining is selective per call site — and procedures too big to
+/// inline still get inlining performed inside their bodies.
+#[test]
+fn selective_and_nested_inlining() {
+    let src = "
+        (define (tiny x) (+ x 1))
+        (define (big y)
+          (begin (display y) (display y) (display y) (display y)
+                 (display y) (display y) (display y) (display y)
+                 (tiny (tiny y))))
+        (big 1)";
+    let out = optimize(src, &PipelineConfig::with_threshold(10)).expect("pipeline");
+    assert!(
+        out.report.sites_inlined >= 1,
+        "tiny inlines: {:?}",
+        out.report
+    );
+    assert!(
+        out.report.rejected_threshold >= 1,
+        "big rejected: {:?}",
+        out.report
+    );
+}
+
+/// The extra `w` argument (§3.3) preserves the effects and termination of
+/// the operator expression even when the call itself is inlined.
+#[test]
+fn operator_effects_preserved() {
+    let src = "
+        (define (pick) (begin (display \"effect!\") (lambda (x) (* x 10))))
+        ((pick) 4)";
+    for t in [0usize, 500] {
+        let out = optimize(src, &PipelineConfig::with_threshold(t)).expect("pipeline");
+        let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, "40", "threshold {t}");
+        assert_eq!(r.output, "effect!", "threshold {t}: operator effect lost");
+    }
+}
+
+/// cl-ref mode (§3.5): open procedures inline and behave identically.
+#[test]
+fn cl_ref_mode_preserves_behavior() {
+    let src = "
+        (define (make-adder k) (lambda (x) (+ x k)))
+        (define add3 (make-adder 3))
+        (define add9 (make-adder 9))
+        (cons (add3 10) (add9 10))";
+    let mut cfg = PipelineConfig::with_threshold(500);
+    cfg.mode = fdi_core::InlineMode::ClRef;
+    let out = optimize(src, &cfg).expect("pipeline");
+    let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+    assert_eq!(r.value, "(13 . 19)");
+    assert!(out.report.sites_inlined >= 2, "{:?}", out.report);
+}

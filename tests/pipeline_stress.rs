@@ -1,0 +1,113 @@
+//! Stress and interplay tests across the whole stack.
+
+use fdi_core::{optimize_program, optimize_to_fixpoint, PipelineConfig, RunConfig};
+
+/// A deep chain of wrappers: each layer forwards to the next. Flow-directed
+/// inlining collapses the whole tower; behaviour must be preserved and the
+/// result must execute with no residual calls.
+#[test]
+fn deep_wrapper_tower_collapses() {
+    let mut src = String::from("(define (f0 x) (* x x))\n");
+    for i in 1..30 {
+        src.push_str(&format!("(define (f{i} x) (f{} x))\n", i - 1));
+    }
+    src.push_str("(f29 9)");
+    let program = fdi_lang::parse_and_lower(&src).unwrap();
+    let out = optimize_program(&program, &PipelineConfig::with_threshold(2000)).unwrap();
+    let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+    assert_eq!(r.value, "81");
+    assert_eq!(r.counters.calls, 0, "the tower should fully collapse");
+}
+
+/// Wide fan-out: one small procedure called from many sites, each inlined
+/// and specialized independently.
+#[test]
+fn wide_fanout_inlines_every_site() {
+    let mut src = String::from("(define (g a b) (if (< a b) (- b a) (- a b)))\n(+ ");
+    for i in 0..40 {
+        src.push_str(&format!("(g {i} {}) ", 40 - i));
+    }
+    src.push(')');
+    let program = fdi_lang::parse_and_lower(&src).unwrap();
+    let out = optimize_program(&program, &PipelineConfig::with_threshold(100)).unwrap();
+    assert!(out.report.sites_inlined >= 40, "{:?}", out.report);
+    let base = fdi_vm::run(&out.baseline, &RunConfig::default()).unwrap();
+    let opt = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+    assert_eq!(base.value, opt.value);
+    assert_eq!(opt.counters.calls, 0);
+}
+
+/// Fixpoint iteration on a real benchmark: round 2+ must keep behaviour and
+/// converge within a few rounds.
+#[test]
+fn fixpoint_on_benchmark_is_stable() {
+    let b = fdi_benchsuite::by_name("dynamic").unwrap();
+    let src = b.scaled(1);
+    let (out, rounds) =
+        optimize_to_fixpoint(&src, &PipelineConfig::with_threshold(300), 4).unwrap();
+    assert!(rounds <= 4);
+    let program = fdi_lang::parse_and_lower(&src).unwrap();
+    let base = fdi_vm::run(&program, &RunConfig::default()).unwrap();
+    let opt = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+    assert_eq!(base.value, opt.value);
+    assert!(
+        opt.counters.total(&RunConfig::default().model)
+            <= base.counters.total(&RunConfig::default().model)
+    );
+}
+
+/// Mutual recursion across module-like letrec groups with higher-order
+/// plumbing: a miniature of the prelude/map interaction.
+#[test]
+fn mutual_recursion_with_higher_order_plumbing() {
+    let src = "
+        (define (compose f g) (lambda (x) (f (g x))))
+        (define (dec n) (- n 1))
+        (define (even-odd pick)
+          (letrec ((ev? (lambda (n) (if (zero? n) #t (od? (dec n)))))
+                   (od? (lambda (n) (if (zero? n) #f (ev? (dec n))))))
+            (pick ev? od?)))
+        (define choose-ev (lambda (a b) a))
+        (define ev ((compose (lambda (f) f) (lambda (x) x)) (even-odd choose-ev)))
+        (cons (ev 10) (ev 7))";
+    let program = fdi_lang::parse_and_lower(src).unwrap();
+    for t in [0usize, 150, 800] {
+        let out = optimize_program(&program, &PipelineConfig::with_threshold(t)).unwrap();
+        let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, "(#t . #f)", "threshold {t}");
+    }
+}
+
+/// The unused-formal pass and the inliner's `w` argument interact: after the
+/// whole pipeline no `%w` parameters remain in closed mode.
+#[test]
+fn w_parameters_are_fully_cleaned_up() {
+    let src = "
+        (define (h x y) (+ x y))
+        (define (k n) (h n (h n n)))
+        (letrec ((go (lambda (i acc) (if (zero? i) acc (go (- i 1) (k i))))))
+          (go 50 0))";
+    let program = fdi_lang::parse_and_lower(src).unwrap();
+    let out = optimize_program(&program, &PipelineConfig::with_threshold(400)).unwrap();
+    let printed = fdi_lang::unparse(&out.optimized).to_string();
+    assert!(!printed.contains("%w"), "{printed}");
+    let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+    assert_eq!(r.value, "3");
+}
+
+/// Pathological shadowing and reuse of the same source names everywhere.
+#[test]
+fn heavy_shadowing_survives_the_pipeline() {
+    let src = "
+        (define (f f) (lambda (x) (f x)))
+        (let ((x (lambda (x) (* x 2))))
+          (let ((x (f x)))
+            (let ((x (f x)))
+              (x 10))))";
+    let program = fdi_lang::parse_and_lower(src).unwrap();
+    for t in [0usize, 300] {
+        let out = optimize_program(&program, &PipelineConfig::with_threshold(t)).unwrap();
+        let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, "20", "threshold {t}");
+    }
+}

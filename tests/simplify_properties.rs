@@ -1,0 +1,96 @@
+//! Property tests for the simplifier alone: behaviour preservation and
+//! idempotence over randomly generated programs.
+
+use fdi_vm::RunConfig;
+use proptest::prelude::*;
+
+fn arb_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(|n| n.to_string()),
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("#t".to_string()),
+        Just("#f".to_string()),
+        Just("'()".to_string()),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = arb_expr(depth - 1);
+    prop_oneof![
+        3 => leaf,
+        2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("(+ {a} {b})")),
+        1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("(* {a} {b})")),
+        2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("(cons {a} {b})")),
+        1 => sub.clone().prop_map(|a| format!("(null? {a})")),
+        1 => sub.clone().prop_map(|a| format!("(zero? (modulo {a} 7))")),
+        2 => (sub.clone(), sub.clone(), sub.clone())
+            .prop_map(|(c, t, e)| format!("(if {c} {t} {e})")),
+        2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("(let ((x {a})) {b})")),
+        1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("(let ((y {a})) {b})")),
+        2 => (sub.clone(), sub.clone())
+            .prop_map(|(a, b)| format!("((lambda (x) {b}) {a})")),
+        1 => (sub.clone(), sub.clone())
+            .prop_map(|(a, b)| format!("(begin (display {a}) {b})")),
+        1 => (sub.clone(), sub.clone(), sub.clone()).prop_map(|(f, a, b)| format!(
+            "(let ((h (lambda (x) {f}))) (cons (h {a}) (h {b})))"
+        )),
+        1 => (sub.clone(), sub.clone()).prop_map(|(n, acc)| format!(
+            "(letrec ((lp (lambda (i a) (if (zero? i) a (lp (- i 1) (cons {acc} a))))))
+               (lp (modulo (abs {n}) 4) '()))"
+        )),
+    ]
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = String> {
+    arb_expr(4).prop_map(|e| format!("(let ((x 3) (y 4)) {e})"))
+}
+
+fn run(p: &fdi_lang::Program) -> Result<(String, String), String> {
+    let cfg = RunConfig {
+        fuel: 10_000_000,
+        ..RunConfig::default()
+    };
+    fdi_vm::run(p, &cfg)
+        .map(|o| (o.value, o.output))
+        .map_err(|e| e.message)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Simplification must preserve successful results exactly. (It may
+    /// remove failures — dropping an unused failable expression is §3.8's
+    /// license — so error cases are not compared.)
+    #[test]
+    fn simplify_preserves_success(src in arb_program()) {
+        let p = fdi_lang::parse_and_lower(&src).unwrap();
+        let (simple, _) = fdi_simplify::simplify(&p);
+        fdi_lang::validate(&simple).unwrap();
+        if let Ok(expected) = run(&p) {
+            let got = run(&simple);
+            prop_assert_eq!(Ok(expected), got, "simplify diverged on\n{}", src);
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent(src in arb_program()) {
+        let p = fdi_lang::parse_and_lower(&src).unwrap();
+        let (once, _) = fdi_simplify::simplify(&p);
+        let (twice, stats) = fdi_simplify::simplify(&once);
+        prop_assert_eq!(once.size(), twice.size(), "{}", src);
+        prop_assert_eq!(stats.iterations, 1, "second run must converge instantly: {}", src);
+    }
+
+    #[test]
+    fn simplify_never_grows_programs(src in arb_program()) {
+        let p = fdi_lang::parse_and_lower(&src).unwrap();
+        let (simple, _) = fdi_simplify::simplify(&p);
+        prop_assert!(
+            simple.size() <= p.size(),
+            "simplifier grew {} from {} to {}",
+            src, p.size(), simple.size()
+        );
+    }
+}
