@@ -1,88 +1,75 @@
-//! Criterion benchmarks for the optimizer itself: front-end, flow analysis
-//! per policy, inlining + simplification, and the VM's execution of baseline
-//! vs optimized code.
+//! Micro-benchmarks for the optimizer itself: front-end, flow analysis per
+//! policy, inlining + simplification, and the VM's execution of baseline vs
+//! optimized code. Runs on the self-contained [`fdi_testutil::Bench`]
+//! harness (hermetic builds have no `criterion`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use fdi_core::{optimize_program, PipelineConfig, Polyvariance, RunConfig};
+use fdi_testutil::Bench;
 use std::hint::black_box;
 
-fn bench_front_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("front-end");
+fn bench_front_end(b: &mut Bench) {
     for name in ["boyer", "dynamic"] {
-        let b = fdi_benchsuite::by_name(name).unwrap();
-        let src = b.scaled(1);
-        g.bench_function(name, |bench| {
-            bench.iter(|| fdi_lang::parse_and_lower(black_box(&src)).unwrap())
+        let bm = fdi_benchsuite::by_name(name).unwrap();
+        let src = bm.scaled(1);
+        b.bench(&format!("front-end/{name}"), 20, || {
+            fdi_lang::parse_and_lower(black_box(&src)).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("flow-analysis");
+fn bench_analysis(b: &mut Bench) {
     for name in ["lattice", "boyer", "splay"] {
-        let b = fdi_benchsuite::by_name(name).unwrap();
-        let program = fdi_lang::parse_and_lower(&b.scaled(1)).unwrap();
+        let bm = fdi_benchsuite::by_name(name).unwrap();
+        let program = fdi_lang::parse_and_lower(&bm.scaled(1)).unwrap();
         for policy in [
             Polyvariance::Monovariant,
             Polyvariance::PolymorphicSplitting,
             Polyvariance::CallStrings(1),
         ] {
-            g.bench_function(format!("{name}/{}", policy.name()), |bench| {
-                bench.iter(|| fdi_cfa::analyze(black_box(&program), policy))
-            });
+            b.bench(
+                &format!("flow-analysis/{name}/{}", policy.name()),
+                10,
+                || fdi_cfa::analyze(black_box(&program), policy),
+            );
         }
     }
-    g.finish();
 }
 
-fn bench_inline_and_simplify(c: &mut Criterion) {
-    let mut g = c.benchmark_group("inline+simplify");
+fn bench_inline_and_simplify(b: &mut Bench) {
     for name in ["boyer", "splay"] {
-        let b = fdi_benchsuite::by_name(name).unwrap();
-        let program = fdi_lang::parse_and_lower(&b.scaled(1)).unwrap();
+        let bm = fdi_benchsuite::by_name(name).unwrap();
+        let program = fdi_lang::parse_and_lower(&bm.scaled(1)).unwrap();
         let flow = fdi_cfa::analyze(&program, Polyvariance::PolymorphicSplitting);
-        g.bench_function(name, |bench| {
-            bench.iter_batched(
-                || (),
-                |()| {
-                    let (inlined, _) = fdi_inline::inline_program(
-                        black_box(&program),
-                        &flow,
-                        &fdi_inline::InlineConfig::with_threshold(200),
-                    );
-                    fdi_simplify::simplify(&inlined)
-                },
-                BatchSize::SmallInput,
-            )
+        b.bench(&format!("inline+simplify/{name}"), 10, || {
+            let (inlined, _) = fdi_inline::inline_program(
+                black_box(&program),
+                &flow,
+                &fdi_inline::InlineConfig::with_threshold(200),
+            );
+            fdi_simplify::simplify(&inlined)
         });
     }
-    g.finish();
 }
 
-fn bench_vm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vm-execution");
-    g.sample_size(10);
+fn bench_vm(b: &mut Bench) {
     for name in ["boyer", "maze"] {
-        let b = fdi_benchsuite::by_name(name).unwrap();
-        let program = fdi_lang::parse_and_lower(&b.scaled(1)).unwrap();
+        let bm = fdi_benchsuite::by_name(name).unwrap();
+        let program = fdi_lang::parse_and_lower(&bm.scaled(1)).unwrap();
         let out = optimize_program(&program, &PipelineConfig::with_threshold(200)).unwrap();
         let cfg = RunConfig::default();
-        g.bench_function(format!("{name}/baseline"), |bench| {
-            bench.iter(|| fdi_vm::run(black_box(&out.baseline), &cfg).unwrap())
+        b.bench(&format!("vm-execution/{name}/baseline"), 10, || {
+            fdi_vm::run(black_box(&out.baseline), &cfg).unwrap()
         });
-        g.bench_function(format!("{name}/optimized"), |bench| {
-            bench.iter(|| fdi_vm::run(black_box(&out.optimized), &cfg).unwrap())
+        b.bench(&format!("vm-execution/{name}/optimized"), 10, || {
+            fdi_vm::run(black_box(&out.optimized), &cfg).unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_front_end,
-    bench_analysis,
-    bench_inline_and_simplify,
-    bench_vm
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    bench_front_end(&mut b);
+    bench_analysis(&mut b);
+    bench_inline_and_simplify(&mut b);
+    bench_vm(&mut b);
+}

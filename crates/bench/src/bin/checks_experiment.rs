@@ -13,7 +13,7 @@
 //! Usage: `cargo run --release -p fdi-bench --bin checks_experiment [benchmark …]`
 
 use fdi_bench::selected;
-use fdi_core::{optimize_program, PipelineConfig, Polyvariance, RunConfig};
+use fdi_core::{optimize_program, PipelineConfig, PipelineError, Polyvariance, RunConfig};
 use fdi_lang::Program;
 use fdi_vm::CostModel;
 
@@ -33,15 +33,21 @@ struct Cell {
     value: String,
 }
 
-fn measure(program: &Program, eliminate: bool, cfg: &RunConfig) -> Result<Cell, String> {
+const THRESHOLD: usize = 400;
+
+fn measure(program: &Program, eliminate: bool, cfg: &RunConfig) -> Result<Cell, PipelineError> {
     let elim = if eliminate {
         let flow = fdi_cfa::analyze(program, Polyvariance::PolymorphicSplitting);
         Some(fdi_checks::eliminate_checks(program, &flow))
     } else {
         None
     };
-    let r = fdi_vm::run_with_checks(program, cfg, elim.as_ref().map(|e| &e.safe))
-        .map_err(|e| e.message)?;
+    let r = fdi_vm::run_with_checks(program, cfg, elim.as_ref().map(|e| &e.safe)).map_err(|e| {
+        PipelineError::Vm {
+            threshold: THRESHOLD,
+            message: e.message,
+        }
+    })?;
     Ok(Cell {
         total: r.counters.total(&cfg.model),
         checks: r.counters.checks,
@@ -68,9 +74,12 @@ fn main() {
                 continue;
             }
         };
-        let pipeline = PipelineConfig::with_threshold(400);
-        let run = || -> Result<(Cell, Cell, Cell, Cell), String> {
+        let pipeline = PipelineConfig::with_threshold(THRESHOLD);
+        let run = || -> Result<(Cell, Cell, Cell, Cell), PipelineError> {
             let out = optimize_program(&program, &pipeline)?;
+            if out.health.degraded() {
+                println!("{:<10} degraded: {}", b.name, out.health.summary());
+            }
             let plain = measure(&out.baseline, false, &cfg)?;
             let checked = measure(&out.baseline, true, &cfg)?;
             let inlined = measure(&out.optimized, false, &cfg)?;

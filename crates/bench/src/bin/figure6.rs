@@ -32,6 +32,9 @@ fn main() {
                         mut_bar,
                         "░".repeat(gc_cells.min(80)),
                     );
+                    if r.health.degraded() {
+                        println!("{:>9}   degraded: {}", "", r.health.summary());
+                    }
                 }
             }
             Err(e) => println!("  failed: {e}"),

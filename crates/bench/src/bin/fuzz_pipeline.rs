@@ -1,26 +1,41 @@
-//! Standalone differential fuzzer: generates random programs with `rand`,
-//! runs the full pipeline at random thresholds/modes/policies, and fails
-//! loudly on any behaviour divergence. Longer-running sibling of the
-//! proptest in `tests/differential.rs`.
+//! Standalone differential fuzzer: generates random programs, runs the full
+//! pipeline at random thresholds/modes/policies, and fails loudly on any
+//! behaviour divergence, contained panic, or invalid output. Longer-running
+//! sibling of the property test in `tests/differential.rs`.
 //!
-//! Usage: `cargo run --release -p fdi-bench --bin fuzz_pipeline [iterations] [seed]`
+//! A failing input is automatically minimized (greedy subtree shrinking on
+//! the s-expression) and, with `--save DIR`, written to `DIR/*.scm` with the
+//! failing configuration in a header comment — `tests/corpus_replay.rs`
+//! replays that directory as a regression suite.
+//!
+//! Usage:
+//! ```text
+//! fuzz_pipeline [iterations] [seed] [--seconds N] [--corpus DIR] [--save DIR]
+//! ```
+//!
+//! `--corpus DIR` replays every `.scm` file in `DIR` (using each file's
+//! header configuration when present) before fuzzing; `--seconds N` stops
+//! the fuzz loop after a wall-clock budget, for CI smoke runs.
 
-use fdi_core::{optimize_program, InlineMode, PipelineConfig, Polyvariance, RunConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fdi_core::{
+    optimize_program, InlineMode, PipelineConfig, PipelineError, Polyvariance, RunConfig,
+};
+use fdi_sexpr::Datum;
+use fdi_testutil::Rng;
+use std::time::{Duration, Instant};
 
 /// Numeric-valued expression: the workhorse, so most generated programs run
 /// to completion instead of dying on type errors.
-fn gen_num(rng: &mut StdRng, depth: u32) -> String {
+fn gen_num(rng: &mut Rng, depth: u32) -> String {
     if depth == 0 {
-        return match rng.gen_range(0..4) {
-            0 | 1 => rng.gen_range(-30i64..30).to_string(),
+        return match rng.index(4) {
+            0 | 1 => rng.range(-30, 30).to_string(),
             2 => "x".to_string(),
             _ => "y".to_string(),
         };
     }
     let d = depth - 1;
-    match rng.gen_range(0..12) {
+    match rng.index(12) {
         0 | 1 => format!("(+ {} {})", gen_num(rng, d), gen_num(rng, d)),
         2 => format!("(* {} {})", gen_num(rng, d), gen_num(rng, d)),
         3 => format!("(- {} {})", gen_num(rng, d), gen_num(rng, d)),
@@ -52,8 +67,8 @@ fn gen_num(rng: &mut StdRng, depth: u32) -> String {
 
 /// Any-valued expression for the program root: numbers plus structured data
 /// built from numeric parts.
-fn gen_expr(rng: &mut StdRng, depth: u32) -> String {
-    match rng.gen_range(0..5) {
+fn gen_expr(rng: &mut Rng, depth: u32) -> String {
+    match rng.index(5) {
         0 => format!("(cons {} {})", gen_num(rng, depth), gen_num(rng, depth)),
         1 => format!(
             "(cons {} (cons 'tag {}))",
@@ -70,76 +85,382 @@ fn gen_expr(rng: &mut StdRng, depth: u32) -> String {
     }
 }
 
+/// One fuzzed pipeline configuration, serializable into a corpus header.
+#[derive(Debug, Clone, Copy)]
+struct FuzzCfg {
+    threshold: usize,
+    mode: InlineMode,
+    policy: Polyvariance,
+    unroll: usize,
+}
+
+impl FuzzCfg {
+    fn random(rng: &mut Rng) -> FuzzCfg {
+        FuzzCfg {
+            threshold: rng.index(700),
+            mode: if rng.chance(0.3) {
+                InlineMode::ClRef
+            } else {
+                InlineMode::Closed
+            },
+            policy: match rng.index(4) {
+                0 => Polyvariance::Monovariant,
+                1 => Polyvariance::CallStrings(1),
+                2 => Polyvariance::CallStrings(2),
+                _ => Polyvariance::PolymorphicSplitting,
+            },
+            unroll: rng.index(3),
+        }
+    }
+
+    fn pipeline_config(&self) -> PipelineConfig {
+        let mut cfg = PipelineConfig::with_threshold(self.threshold);
+        cfg.mode = self.mode;
+        cfg.policy = self.policy;
+        cfg.unroll = self.unroll;
+        cfg
+    }
+
+    fn header(&self) -> String {
+        format!(
+            ";; fuzz-cfg threshold={} mode={} policy={} unroll={}",
+            self.threshold,
+            match self.mode {
+                InlineMode::Closed => "closed",
+                InlineMode::ClRef => "clref",
+            },
+            self.policy.name(),
+            self.unroll
+        )
+    }
+
+    /// Parses a `;; fuzz-cfg …` header line written by [`FuzzCfg::header`].
+    fn from_header(src: &str) -> Option<FuzzCfg> {
+        let line = src.lines().find(|l| l.starts_with(";; fuzz-cfg "))?;
+        let mut cfg = FuzzCfg {
+            threshold: 200,
+            mode: InlineMode::Closed,
+            policy: Polyvariance::PolymorphicSplitting,
+            unroll: 0,
+        };
+        for part in line.trim_start_matches(";; fuzz-cfg ").split_whitespace() {
+            let (key, value) = part.split_once('=')?;
+            match key {
+                "threshold" => cfg.threshold = value.parse().ok()?,
+                "mode" => {
+                    cfg.mode = match value {
+                        "clref" => InlineMode::ClRef,
+                        _ => InlineMode::Closed,
+                    }
+                }
+                "policy" => {
+                    cfg.policy = match value {
+                        "0cfa" => Polyvariance::Monovariant,
+                        "1cfa" => Polyvariance::CallStrings(1),
+                        "2cfa" => Polyvariance::CallStrings(2),
+                        _ => Polyvariance::PolymorphicSplitting,
+                    }
+                }
+                "unroll" => cfg.unroll = value.parse().ok()?,
+                _ => {}
+            }
+        }
+        Some(cfg)
+    }
+}
+
+/// The differential oracle: `Some(description)` when `src` under `cfg`
+/// exposes a pipeline bug.
+///
+/// Budget/limit degradations are healthy behaviour and do not count; a
+/// contained panic, an invalid phase output, a divergence, or an
+/// optimizer-introduced runtime failure does.
+fn check(src: &str, cfg: &FuzzCfg, run_cfg: &RunConfig) -> Option<String> {
+    let Ok(program) = fdi_lang::parse_and_lower(src) else {
+        return None;
+    };
+    let out = match optimize_program(&program, &cfg.pipeline_config()) {
+        Ok(o) => o,
+        Err(e) => return Some(format!("pipeline failure: {e}")),
+    };
+    for d in &out.health.degradations {
+        match d.error {
+            PipelineError::PhasePanicked { .. } | PipelineError::Validation { .. } => {
+                return Some(format!("contained bug in {}: {}", d.phase, d.error));
+            }
+            _ => {}
+        }
+    }
+    let base = fdi_vm::run(&out.baseline, run_cfg);
+    let opt = fdi_vm::run(&out.optimized, run_cfg);
+    match (base, opt) {
+        (Ok(b), Ok(o)) => {
+            if b.value != o.value || b.output != o.output {
+                Some(format!("divergence: {} vs {}", b.value, o.value))
+            } else {
+                None
+            }
+        }
+        (Err(_), _) => None,
+        (Ok(b), Err(e)) => Some(format!(
+            "optimizer introduced failure: {} (baseline {})",
+            e.message, b.value
+        )),
+    }
+}
+
+fn render(forms: &[Datum]) -> String {
+    forms
+        .iter()
+        .map(Datum::to_string)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Paths (child-index sequences) to every composite node of `d`, root first.
+fn composite_paths(d: &Datum) -> Vec<Vec<usize>> {
+    fn walk(d: &Datum, path: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        let children: &[Datum] = match d {
+            Datum::List(xs) | Datum::Vector(xs) | Datum::Improper(xs, _) => xs,
+            _ => return,
+        };
+        out.push(path.clone());
+        for (i, c) in children.iter().enumerate() {
+            path.push(i);
+            walk(c, path, out);
+            path.pop();
+        }
+        if let Datum::Improper(xs, tail) = d {
+            path.push(xs.len());
+            walk(tail, path, out);
+            path.pop();
+        }
+    }
+    let mut out = Vec::new();
+    walk(d, &mut Vec::new(), &mut out);
+    out
+}
+
+fn node_at_mut<'a>(d: &'a mut Datum, path: &[usize]) -> &'a mut Datum {
+    match path.split_first() {
+        None => d,
+        Some((&i, rest)) => {
+            let child = match d {
+                Datum::List(xs) | Datum::Vector(xs) => &mut xs[i],
+                Datum::Improper(xs, tail) => {
+                    if i < xs.len() {
+                        &mut xs[i]
+                    } else {
+                        tail.as_mut()
+                    }
+                }
+                _ => unreachable!("path into an atom"),
+            };
+            node_at_mut(child, rest)
+        }
+    }
+}
+
+fn node_at<'a>(d: &'a Datum, path: &[usize]) -> &'a Datum {
+    match path.split_first() {
+        None => d,
+        Some((&i, rest)) => {
+            let child = match d {
+                Datum::List(xs) | Datum::Vector(xs) => &xs[i],
+                Datum::Improper(xs, tail) => {
+                    if i < xs.len() {
+                        &xs[i]
+                    } else {
+                        tail.as_ref()
+                    }
+                }
+                _ => unreachable!("path into an atom"),
+            };
+            node_at(child, rest)
+        }
+    }
+}
+
+/// One greedy shrink step: the first smaller variant that still fails.
+///
+/// Tries, in order: dropping a top-level form, hoisting a child over its
+/// parent, and replacing a composite subtree with `0`.
+fn shrink_once(forms: &[Datum], fails: &dyn Fn(&str) -> bool) -> Option<Vec<Datum>> {
+    if forms.len() > 1 {
+        for i in 0..forms.len() {
+            let mut candidate = forms.to_vec();
+            candidate.remove(i);
+            if fails(&render(&candidate)) {
+                return Some(candidate);
+            }
+        }
+    }
+    for fi in 0..forms.len() {
+        for path in composite_paths(&forms[fi]) {
+            let node = node_at(&forms[fi], &path);
+            let size = node.node_count();
+            let mut replacements: Vec<Datum> = match node {
+                Datum::List(xs) | Datum::Vector(xs) => xs.clone(),
+                Datum::Improper(xs, tail) => {
+                    let mut r = xs.clone();
+                    r.push((**tail).clone());
+                    r
+                }
+                _ => Vec::new(),
+            };
+            replacements.push(Datum::Int(0));
+            for replacement in replacements {
+                if replacement.node_count() >= size {
+                    continue;
+                }
+                let mut candidate = forms.to_vec();
+                *node_at_mut(&mut candidate[fi], &path) = replacement;
+                if fails(&render(&candidate)) {
+                    return Some(candidate);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Greedy minimization of a failing source, bounded by a step budget.
+fn minimize(src: &str, fails: &dyn Fn(&str) -> bool) -> String {
+    let Ok(mut forms) = fdi_sexpr::parse(src) else {
+        return src.to_string();
+    };
+    for _ in 0..400 {
+        match shrink_once(&forms, fails) {
+            Some(smaller) => forms = smaller,
+            None => break,
+        }
+    }
+    render(&forms)
+}
+
+/// Replays every `.scm` file in `dir` through the oracle. Returns the number
+/// of failing files.
+fn replay_corpus(dir: &str, run_cfg: &RunConfig) -> u64 {
+    let mut entries: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "scm"))
+            .collect(),
+        Err(e) => {
+            eprintln!("fuzz_pipeline: cannot read corpus {dir}: {e}");
+            return 1;
+        }
+    };
+    entries.sort();
+    let mut failures = 0;
+    for path in &entries {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fuzz_pipeline: cannot read {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let cfg = FuzzCfg::from_header(&src).unwrap_or(FuzzCfg {
+            threshold: 200,
+            mode: InlineMode::Closed,
+            policy: Polyvariance::PolymorphicSplitting,
+            unroll: 0,
+        });
+        match check(&src, &cfg, run_cfg) {
+            Some(why) => {
+                println!("corpus {}: FAIL: {why}", path.display());
+                failures += 1;
+            }
+            None => println!("corpus {}: ok", path.display()),
+        }
+    }
+    println!(
+        "replayed {} corpus files, {failures} failing",
+        entries.len()
+    );
+    failures
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let iterations: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(500);
-    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0xfd1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut iterations: u64 = 500;
+    let mut seed: u64 = 0xfd1;
+    let mut seconds: Option<u64> = None;
+    let mut corpus: Option<String> = None;
+    let mut save: Option<String> = None;
+    let mut positional = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seconds" => seconds = args.next().and_then(|s| s.parse().ok()),
+            "--corpus" => corpus = args.next(),
+            "--save" => save = args.next(),
+            _ => {
+                match positional {
+                    0 => iterations = a.parse().unwrap_or(iterations),
+                    _ => seed = a.parse().unwrap_or(seed),
+                }
+                positional += 1;
+            }
+        }
+    }
+    if seconds.is_some() && positional == 0 {
+        // A pure time budget: run until the clock says stop.
+        iterations = u64::MAX;
+    }
     let run_cfg = RunConfig {
         fuel: 20_000_000,
         ..RunConfig::default()
     };
     let mut failures = 0u64;
+    if let Some(dir) = &corpus {
+        failures += replay_corpus(dir, &run_cfg);
+    }
+    let deadline = seconds.map(|s| Instant::now() + Duration::from_secs(s));
+    let mut rng = Rng::new(seed);
     let mut skipped = 0u64;
+    let mut executed = 0u64;
     for i in 0..iterations {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            println!("time budget reached after {i} iterations");
+            break;
+        }
+        executed = i + 1;
         let src = format!("(let ((x 2) (y 7)) {})", gen_expr(&mut rng, 4));
-        let threshold = rng.gen_range(0..700);
-        let mode = if rng.gen_bool(0.3) {
-            InlineMode::ClRef
-        } else {
-            InlineMode::Closed
-        };
-        let policy = match rng.gen_range(0..4) {
-            0 => Polyvariance::Monovariant,
-            1 => Polyvariance::CallStrings(1),
-            2 => Polyvariance::CallStrings(2),
-            _ => Polyvariance::PolymorphicSplitting,
-        };
-        let unroll = rng.gen_range(0..3);
-        let mut cfg = PipelineConfig::with_threshold(threshold);
-        cfg.mode = mode;
-        cfg.policy = policy;
-        cfg.unroll = unroll;
-        let program = match fdi_lang::parse_and_lower(&src) {
-            Ok(p) => p,
-            Err(e) => {
-                println!("[{i}] FRONT-END BUG: {e}\n{src}");
-                failures += 1;
-                continue;
-            }
-        };
-        let out = match optimize_program(&program, &cfg) {
-            Ok(o) => o,
-            Err(e) => {
-                println!("[{i}] PIPELINE FAILURE ({policy:?}, T={threshold}): {e}\n{src}");
-                failures += 1;
-                continue;
-            }
-        };
-        let base = fdi_vm::run(&out.baseline, &run_cfg);
-        let opt = fdi_vm::run(&out.optimized, &run_cfg);
-        match (base, opt) {
-            (Ok(b), Ok(o)) => {
-                if b.value != o.value || b.output != o.output {
-                    println!(
-                        "[{i}] DIVERGENCE ({policy:?}, {mode:?}, T={threshold}, u={unroll}): {} vs {}\n{src}",
-                        b.value, o.value
-                    );
-                    failures += 1;
+        let cfg = FuzzCfg::random(&mut rng);
+        match check(&src, &cfg, &run_cfg) {
+            None => {
+                // Count baseline-level VM errors separately: they say the
+                // generator produced a crashing program, not a pipeline bug.
+                if fdi_lang::parse_and_lower(&src)
+                    .ok()
+                    .and_then(|p| fdi_vm::run(&p, &run_cfg).err())
+                    .is_some()
+                {
+                    skipped += 1;
                 }
             }
-            (Err(_), _) => skipped += 1,
-            (Ok(b), Err(e)) => {
-                println!(
-                    "[{i}] OPTIMIZER INTRODUCED FAILURE ({policy:?}, {mode:?}, T={threshold}): {} (baseline {})\n{src}",
-                    e.message, b.value
-                );
+            Some(why) => {
                 failures += 1;
+                let minimized = minimize(&src, &|s| check(s, &cfg, &run_cfg).is_some());
+                println!("[{i}] {why} ({:?})", cfg);
+                println!("  input    : {src}");
+                println!("  minimized: {minimized}");
+                if let Some(dir) = &save {
+                    let _ = std::fs::create_dir_all(dir);
+                    let path = format!("{dir}/fuzz-{seed:x}-{i}.scm");
+                    let body = format!("{}\n{minimized}\n", cfg.header());
+                    match std::fs::write(&path, body) {
+                        Ok(()) => println!("  saved    : {path}"),
+                        Err(e) => eprintln!("  could not save {path}: {e}"),
+                    }
+                }
             }
         }
     }
     println!(
-        "fuzzed {iterations} programs (seed {seed}): {failures} failures, {skipped} skipped (baseline errors)"
+        "fuzzed {executed} programs (seed {seed}): {failures} failures, {skipped} skipped (baseline errors)"
     );
     if failures > 0 {
         std::process::exit(1);

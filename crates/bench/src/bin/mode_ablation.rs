@@ -41,13 +41,18 @@ fn main() {
             let mut cfg = PipelineConfig::with_threshold(400);
             cfg.mode = mode;
             match optimize_program(&program, &cfg) {
-                Ok(out) => match fdi_vm::run(&out.optimized, &run_cfg) {
-                    Ok(r) => results.push(Some((out.report, r))),
-                    Err(e) => {
-                        println!("{:<10} {mode:?} runtime: {}", b.name, e.message);
-                        results.push(None);
+                Ok(out) => {
+                    if out.health.degraded() {
+                        println!("{:<10} {mode:?} degraded: {}", b.name, out.health.summary());
                     }
-                },
+                    match fdi_vm::run(&out.optimized, &run_cfg) {
+                        Ok(r) => results.push(Some((out.report, r))),
+                        Err(e) => {
+                            println!("{:<10} {mode:?} runtime: {}", b.name, e.message);
+                            results.push(None);
+                        }
+                    }
+                }
                 Err(e) => {
                     println!("{:<10} {mode:?} pipeline: {e}", b.name);
                     results.push(None);

@@ -30,6 +30,9 @@ fn main() {
                     print!(" {r:>6.2}");
                 }
                 println!();
+                for w in &row.warnings {
+                    println!("{:<10}   degraded: {w}", "");
+                }
             }
             Err(e) => println!("{:<10} failed: {e}", b.name),
         }

@@ -6,7 +6,7 @@
 //! Usage: `cargo run --release -p fdi-bench --bin unroll_ablation [benchmark …]`
 
 use fdi_bench::selected;
-use fdi_core::{optimize_program, PipelineConfig, RunConfig};
+use fdi_core::{optimize_program, PipelineConfig, PipelineError, RunConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,9 +32,19 @@ fn main() {
             let mut cfg = PipelineConfig::with_threshold(300);
             cfg.unroll = unroll;
             match optimize_program(&program, &cfg).and_then(|out| {
+                if out.health.degraded() {
+                    println!(
+                        "{:<10} u={unroll} degraded: {}",
+                        b.name,
+                        out.health.summary()
+                    );
+                }
                 fdi_vm::run(&out.optimized, &run_cfg)
                     .map(|r| (out, r))
-                    .map_err(|e| e.message)
+                    .map_err(|e| PipelineError::Vm {
+                        threshold: cfg.threshold,
+                        message: e.message,
+                    })
             }) {
                 Ok((out, r)) => rows.push((out.size_ratio(), r)),
                 Err(e) => {

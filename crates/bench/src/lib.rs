@@ -8,9 +8,17 @@
 //!   0CFA and 1CFA call strings.
 //!
 //! Numbers and shapes are recorded against the paper in `EXPERIMENTS.md`.
+//!
+//! All harness entry points ride the degradation-aware pipeline: a
+//! benchmark whose run trips limits or budgets produces a row with a
+//! non-empty `warnings` (or per-row [`SweepRow::health`]) instead of
+//! killing the whole table, and hard failures are typed
+//! [`PipelineError`]s, not strings.
 
 use fdi_benchsuite::{Benchmark, BENCHMARKS};
-use fdi_core::{optimize_program, PipelineConfig, Polyvariance, RunConfig, SweepRow};
+use fdi_core::{
+    optimize_program, PipelineConfig, PipelineError, Polyvariance, RunConfig, SweepRow,
+};
 
 /// The paper's threshold axis (Fig. 6 adds the 0 baseline).
 pub const THRESHOLDS: &[usize] = &[50, 100, 200, 500, 1000];
@@ -26,45 +34,58 @@ pub struct Table1Row {
     pub analysis_secs: f64,
     /// Code-size ratio (vs the threshold-0 baseline) per threshold.
     pub ratios: Vec<f64>,
+    /// Degradation summaries (`"T=500: analysis: … → baseline"`), one per
+    /// threshold whose pipeline fell back. Empty on a healthy row.
+    pub warnings: Vec<String>,
 }
 
 /// Computes one Table 1 row.
 ///
+/// A threshold whose pipeline degrades still contributes its (baseline)
+/// ratio, with the event recorded in [`Table1Row::warnings`].
+///
 /// # Errors
 ///
-/// Propagates pipeline failures with the benchmark name attached.
-pub fn table1_row(b: &Benchmark, scale: u32) -> Result<Table1Row, String> {
-    let program =
-        fdi_lang::parse_and_lower(&b.scaled(scale)).map_err(|e| format!("{}: {e}", b.name))?;
+/// Returns [`PipelineError::Frontend`] when the benchmark source does not
+/// lower.
+pub fn table1_row(b: &Benchmark, scale: u32) -> Result<Table1Row, PipelineError> {
+    let program = fdi_lang::parse_and_lower(&b.scaled(scale))?;
     let mut ratios = Vec::new();
+    let mut warnings = Vec::new();
     let mut analysis_secs = 0.0;
     for &t in THRESHOLDS {
-        let out = optimize_program(&program, &PipelineConfig::with_threshold(t))
-            .map_err(|e| format!("{}: {e}", b.name))?;
+        let out = optimize_program(&program, &PipelineConfig::with_threshold(t))?;
         analysis_secs = out.flow_stats.duration.as_secs_f64();
         ratios.push(out.size_ratio());
+        if out.health.degraded() {
+            warnings.push(format!("T={t}: {}", out.health.summary()));
+        }
     }
     Ok(Table1Row {
         name: b.name.to_string(),
         lines: program.line_count(),
         analysis_secs,
         ratios,
+        warnings,
     })
 }
 
 /// Fig. 6, one benchmark: rows at thresholds 0 and [`THRESHOLDS`].
 ///
+/// Rows degrade independently (see [`fdi_core::sweep`]); inspect each
+/// [`SweepRow::health`].
+///
 /// # Errors
 ///
-/// Propagates pipeline or runtime failures with the benchmark name attached.
-pub fn figure6_rows(b: &Benchmark, scale: u32) -> Result<Vec<SweepRow>, String> {
+/// Returns [`PipelineError::Frontend`] when the source does not lower, or
+/// [`PipelineError::Vm`] when the threshold-0 baseline fails to execute.
+pub fn figure6_rows(b: &Benchmark, scale: u32) -> Result<Vec<SweepRow>, PipelineError> {
     fdi_core::sweep(
         &b.scaled(scale),
         THRESHOLDS,
         &PipelineConfig::default(),
         &RunConfig::default(),
     )
-    .map_err(|e| format!("{}: {e}", b.name))
 }
 
 /// §5.1 ablation, one (benchmark, policy) cell.
@@ -90,21 +111,23 @@ pub struct AblationCell {
 ///
 /// # Errors
 ///
-/// Fails when the analysis aborts on its safety limits.
+/// Returns [`PipelineError::Frontend`] when the source does not lower and
+/// [`PipelineError::AnalysisAborted`] when the analysis trips its safety
+/// limits.
 pub fn ablation_cell(
     b: &Benchmark,
     scale: u32,
     policy: Polyvariance,
-) -> Result<AblationCell, String> {
-    let program =
-        fdi_lang::parse_and_lower(&b.scaled(scale)).map_err(|e| format!("{}: {e}", b.name))?;
+) -> Result<AblationCell, PipelineError> {
+    let program = fdi_lang::parse_and_lower(&b.scaled(scale))?;
     let flow = fdi_cfa::analyze(&program, policy);
-    if flow.stats().aborted {
-        return Err(format!(
-            "{}: analysis aborted under {}",
-            b.name,
-            policy.name()
-        ));
+    let stats = flow.stats();
+    if stats.aborted {
+        return Err(PipelineError::AnalysisAborted {
+            nodes: stats.nodes,
+            steps: stats.steps,
+            reason: stats.abort_reason,
+        });
     }
     let candidates = flow.candidate_call_sites(&program).len();
     let mut distinct = std::collections::HashSet::new();
@@ -116,9 +139,9 @@ pub fn ablation_cell(
         policy: policy.name(),
         candidates,
         call_sites: distinct.len(),
-        analysis_secs: flow.stats().duration.as_secs_f64(),
-        nodes: flow.stats().nodes,
-        steps: flow.stats().steps,
+        analysis_secs: stats.duration.as_secs_f64(),
+        nodes: stats.nodes,
+        steps: stats.steps,
     })
 }
 
@@ -151,6 +174,7 @@ mod tests {
         assert_eq!(row.ratios.len(), THRESHOLDS.len());
         assert!(row.lines > 50);
         assert!(row.ratios.iter().all(|&r| r > 0.1 && r < 10.0));
+        assert!(row.warnings.is_empty(), "{:?}", row.warnings);
     }
 
     #[test]
@@ -159,6 +183,7 @@ mod tests {
         let rows = figure6_rows(b, 1).unwrap();
         assert_eq!(rows.len(), THRESHOLDS.len() + 1);
         assert!((rows[0].norm_total - 1.0).abs() < 1e-9);
+        assert!(rows.iter().all(|r| !r.health.degraded()));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::domain::{
     ContourTable, ValSet,
 };
 use crate::graph::{FlowGraph, Listener, ListenerId, NodeId, NodeKey, Transfer, WalkEnv};
-use crate::policy::{AnalysisLimits, Polyvariance};
+use crate::policy::{AbortReason, AnalysisLimits, Polyvariance};
 use crate::result::{AnalysisStats, FlowAnalysis};
 use fdi_lang::{Binder, Const, ExprKind, FreeVars, Label, PrimOp, Program, VarId};
 use std::collections::{HashMap, HashSet};
@@ -69,6 +69,7 @@ struct Analyzer<'p> {
     steps: u64,
     arity_mismatches: u64,
     aborted: bool,
+    abort_reason: Option<AbortReason>,
 }
 
 impl<'p> Analyzer<'p> {
@@ -106,6 +107,16 @@ impl<'p> Analyzer<'p> {
             steps: 0,
             arity_mismatches: 0,
             aborted: false,
+            abort_reason: None,
+        }
+    }
+
+    /// Records the first limit that fired; later aborts keep the original
+    /// reason.
+    fn abort(&mut self, reason: AbortReason) {
+        if !self.aborted {
+            self.aborted = true;
+            self.abort_reason = Some(reason);
         }
     }
 
@@ -211,7 +222,7 @@ impl<'p> Analyzer<'p> {
     fn walk(&mut self, l: Label, k: ContourId, env: WalkEnv) -> NodeId {
         let result = self.expr_node(l, k);
         if self.graph.node_count() > self.limits.max_nodes {
-            self.aborted = true;
+            self.abort(AbortReason::Nodes);
             return result;
         }
         match self.program.expr(l).clone() {
@@ -687,11 +698,24 @@ impl<'p> Analyzer<'p> {
     fn run(&mut self) {
         while let Some(n) = self.graph.pop_dirty() {
             self.steps += 1;
-            if self.steps > self.limits.max_steps as u64
-                || self.graph.node_count() > self.limits.max_nodes
-            {
-                self.aborted = true;
+            if self.steps > self.limits.max_steps as u64 {
+                self.abort(AbortReason::Steps);
                 return;
+            }
+            if self.graph.node_count() > self.limits.max_nodes {
+                self.abort(AbortReason::Nodes);
+                return;
+            }
+            // Checking the clock every step would dominate the solver loop;
+            // every 1024 steps keeps overshoot of the shared pipeline
+            // deadline bounded to microseconds.
+            if self.steps & 0x3ff == 0 {
+                if let Some(deadline) = self.limits.deadline {
+                    if Instant::now() >= deadline {
+                        self.abort(AbortReason::Deadline);
+                        return;
+                    }
+                }
             }
             let vals = self.graph.vals(n).clone();
             let mut i = 0;
@@ -719,6 +743,7 @@ impl<'p> Analyzer<'p> {
             closures: self.closures.len(),
             duration: start.elapsed(),
             aborted: self.aborted,
+            abort_reason: self.abort_reason,
             arity_mismatches: self.arity_mismatches,
         };
         let (exprs, vars) = self.graph.into_tables();

@@ -45,7 +45,7 @@ pub use domain::{
 };
 pub use dump::{dump_analysis, render_absval, render_valset};
 pub use graph::{NodeKey, Transfer};
-pub use policy::{AnalysisLimits, Polyvariance};
+pub use policy::{AbortReason, AnalysisLimits, Polyvariance};
 pub use prims::abstract_prim;
 pub use result::{AnalysisStats, Ctx, FlowAnalysis};
 
@@ -383,9 +383,11 @@ mod tests {
                 max_contour_len: 1,
                 max_nodes: 10,
                 max_steps: 5,
+                deadline: None,
             },
         );
         assert!(f.stats().aborted);
+        assert!(f.stats().abort_reason.is_some());
     }
 
     #[test]

@@ -93,6 +93,9 @@ pub struct AnalysisLimits {
     /// Maximum number of worklist propagation steps before the analysis
     /// aborts.
     pub max_steps: usize,
+    /// Wall-clock deadline shared with the rest of the pipeline: the solver
+    /// aborts once `Instant::now()` passes it. `None` means unbounded.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for AnalysisLimits {
@@ -101,6 +104,28 @@ impl Default for AnalysisLimits {
             max_contour_len: 24,
             max_nodes: 4_000_000,
             max_steps: 200_000_000,
+            deadline: None,
+        }
+    }
+}
+
+/// Which safety limit stopped an aborted analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The flow graph exceeded [`AnalysisLimits::max_nodes`].
+    Nodes,
+    /// The worklist exceeded [`AnalysisLimits::max_steps`].
+    Steps,
+    /// The shared [`AnalysisLimits::deadline`] passed mid-solve.
+    Deadline,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::Nodes => write!(f, "node limit"),
+            AbortReason::Steps => write!(f, "step limit"),
+            AbortReason::Deadline => write!(f, "deadline"),
         }
     }
 }

@@ -26,7 +26,7 @@ pub enum Ctx {
 }
 
 /// Cost statistics of one analysis run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AnalysisStats {
     /// Flow-graph nodes (program points materialized).
     pub nodes: usize,
@@ -42,6 +42,8 @@ pub struct AnalysisStats {
     pub duration: Duration,
     /// True when a safety limit stopped the analysis early.
     pub aborted: bool,
+    /// Which limit fired, when `aborted` is set.
+    pub abort_reason: Option<crate::policy::AbortReason>,
     /// Calls whose callee arity never matched.
     pub arity_mismatches: u64,
 }

@@ -1,0 +1,199 @@
+//! The typed error taxonomy of the pipeline.
+//!
+//! Every way a pipeline run can fail is a [`PipelineError`] variant tagged
+//! with the [`Phase`] that failed. The degrading entry points
+//! ([`crate::optimize`], [`crate::sweep`]) convert these into
+//! [`crate::PipelineHealth`] records instead of propagating them; the strict
+//! entry points ([`crate::optimize_strict`]) return them directly.
+
+use fdi_cfa::AbortReason;
+use std::fmt;
+
+/// A pipeline phase, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Reader, macro expander, lowering.
+    Frontend,
+    /// Simplification of the original program (the threshold-0 fallback).
+    Baseline,
+    /// Polyvariant control-flow analysis.
+    Analysis,
+    /// Flow-directed inlining.
+    Inline,
+    /// Local simplification of the inlined program.
+    Simplify,
+    /// Execution of a pipeline output on the cost-model VM (sweeps only).
+    Execution,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::Frontend => "frontend",
+            Phase::Baseline => "baseline",
+            Phase::Analysis => "analysis",
+            Phase::Inline => "inline",
+            Phase::Simplify => "simplify",
+            Phase::Execution => "execution",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Which budget resource ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The shared wall-clock deadline passed.
+    Deadline,
+    /// The cross-phase fuel counter reached zero.
+    Fuel,
+    /// A phase output exceeded the size-growth cap.
+    Growth {
+        /// Observed size of the phase output.
+        size: usize,
+        /// Maximum size the cap allowed.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Deadline => write!(f, "wall-clock deadline exceeded"),
+            BudgetKind::Fuel => write!(f, "fuel exhausted"),
+            BudgetKind::Growth { size, cap } => {
+                write!(f, "size growth cap exceeded ({size} > {cap})")
+            }
+        }
+    }
+}
+
+/// A typed pipeline failure.
+#[derive(Debug, Clone)]
+pub enum PipelineError {
+    /// The front end rejected the source (reader, expander, or lowerer).
+    Frontend(fdi_lang::FrontendError),
+    /// The flow analysis stopped on one of its safety limits.
+    AnalysisAborted {
+        /// Flow-graph nodes at abort.
+        nodes: usize,
+        /// Worklist steps at abort.
+        steps: u64,
+        /// Which limit fired, when known.
+        reason: Option<AbortReason>,
+    },
+    /// The inliner reported an internal failure.
+    Inline(String),
+    /// The simplifier reported an internal failure.
+    Simplify(String),
+    /// A phase produced an ill-formed program (post-phase checkpoint).
+    Validation {
+        /// The phase whose output failed validation.
+        phase: Phase,
+        /// The well-formedness violation.
+        error: fdi_lang::ValidateError,
+    },
+    /// The cross-phase [`crate::Budget`] ran out before or during a phase.
+    BudgetExhausted {
+        /// The phase that hit the budget.
+        phase: Phase,
+        /// Which resource was exhausted.
+        kind: BudgetKind,
+    },
+    /// A phase panicked; the panic was contained by the phase runner.
+    PhasePanicked {
+        /// The phase that panicked.
+        phase: Phase,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A pipeline output failed to execute on the VM (sweeps only).
+    Vm {
+        /// The inline threshold of the failing run.
+        threshold: usize,
+        /// The VM's error message.
+        message: String,
+    },
+    /// Two thresholds computed different answers — a miscompile.
+    BehaviorDivergence {
+        /// The inline threshold of the diverging run.
+        threshold: usize,
+        /// Value computed by the threshold-0 baseline.
+        expected: String,
+        /// Value computed by the diverging run.
+        got: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Frontend(e) => write!(f, "{e}"),
+            PipelineError::AnalysisAborted {
+                nodes,
+                steps,
+                reason,
+            } => {
+                write!(f, "flow analysis aborted at {nodes} nodes / {steps} steps")?;
+                if let Some(r) = reason {
+                    write!(f, " ({r})")?;
+                }
+                Ok(())
+            }
+            PipelineError::Inline(m) => write!(f, "inliner failed: {m}"),
+            PipelineError::Simplify(m) => write!(f, "simplifier failed: {m}"),
+            PipelineError::Validation { phase, error } => {
+                write!(f, "{phase} produced an ill-formed program: {error}")
+            }
+            PipelineError::BudgetExhausted { phase, kind } => {
+                write!(f, "budget exhausted during {phase}: {kind}")
+            }
+            PipelineError::PhasePanicked { phase, message } => {
+                write!(f, "{phase} phase panicked: {message}")
+            }
+            PipelineError::Vm { threshold, message } => {
+                write!(f, "threshold {threshold}: {message}")
+            }
+            PipelineError::BehaviorDivergence {
+                threshold,
+                expected,
+                got,
+            } => write!(
+                f,
+                "threshold {threshold} changed the program's behaviour: {expected} vs {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Frontend(e) => Some(e),
+            PipelineError::Validation { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<fdi_lang::FrontendError> for PipelineError {
+    fn from(e: fdi_lang::FrontendError) -> PipelineError {
+        PipelineError::Frontend(e)
+    }
+}
+
+impl PipelineError {
+    /// The phase this error is attributed to.
+    pub fn phase(&self) -> Phase {
+        match self {
+            PipelineError::Frontend(_) => Phase::Frontend,
+            PipelineError::AnalysisAborted { .. } => Phase::Analysis,
+            PipelineError::Inline(_) => Phase::Inline,
+            PipelineError::Simplify(_) => Phase::Simplify,
+            PipelineError::Validation { phase, .. }
+            | PipelineError::BudgetExhausted { phase, .. }
+            | PipelineError::PhasePanicked { phase, .. } => *phase,
+            PipelineError::Vm { .. } | PipelineError::BehaviorDivergence { .. } => Phase::Execution,
+        }
+    }
+}

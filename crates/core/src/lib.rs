@@ -10,6 +10,19 @@
 //! thresholds and measures code size and execution cost on the [`fdi_vm`]
 //! substrate — the data behind Table 1 and Fig. 6.
 //!
+//! # Fault isolation
+//!
+//! Because every phase is a source-to-source rewrite, the pipeline always
+//! holds *some* semantically equivalent program — so no phase failure needs
+//! to lose the run. The default entry points **degrade**: each phase runs
+//! under panic containment with a shared [`Budget`] (wall-clock deadline,
+//! cross-phase fuel, size-growth cap) and a post-phase validation
+//! checkpoint, and on any failure the pipeline keeps the last validated
+//! program and records what happened in [`PipelineOutput::health`]. The
+//! `_strict` variants ([`optimize_strict`], [`optimize_program_strict`],
+//! [`sweep_strict`]) preserve the original error-propagating contract,
+//! returning the first failure as a typed [`PipelineError`].
+//!
 //! # Examples
 //!
 //! ```
@@ -19,15 +32,22 @@
 //!                    &PipelineConfig::with_threshold(200)).unwrap();
 //! assert!(out.optimized_size <= out.baseline_size);
 //! assert_eq!(out.report.sites_inlined, 1);
+//! assert!(!out.health.degraded());
 //! ```
 
+mod error;
+mod runner;
+
+use runner::{run_phase, BudgetTracker};
 use std::time::Duration;
 
-pub use fdi_cfa::{AnalysisLimits, AnalysisStats, FlowAnalysis, Polyvariance};
+pub use error::{BudgetKind, Phase, PipelineError};
+pub use fdi_cfa::{AbortReason, AnalysisLimits, AnalysisStats, FlowAnalysis, Polyvariance};
 pub use fdi_inline::{InlineConfig, InlineMode, InlineReport};
-pub use fdi_lang::Program;
+pub use fdi_lang::{FrontendError, Program};
 pub use fdi_simplify::SimplifyStats;
 pub use fdi_vm::{CostModel, Counters, Outcome, RunConfig, VmError};
+pub use runner::{Budget, Degradation, Fallback, PipelineHealth};
 
 /// Configuration of one pipeline run.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +64,8 @@ pub struct PipelineConfig {
     pub simplify_iters: usize,
     /// Loop unrolling depth (0 = the paper's configuration).
     pub unroll: usize,
+    /// Cross-phase resource budget (unbounded by default).
+    pub budget: Budget,
 }
 
 impl PipelineConfig {
@@ -57,6 +79,7 @@ impl PipelineConfig {
             limits: AnalysisLimits::default(),
             simplify_iters: fdi_simplify::DEFAULT_ITERS,
             unroll: 0,
+            budget: Budget::default(),
         }
     }
 }
@@ -92,6 +115,8 @@ pub struct PipelineOutput {
     pub optimized_size: usize,
     /// Source lines of the lowered program (Table 1's "Lines").
     pub lines: usize,
+    /// Which phases degraded and why (empty on a fully healthy run).
+    pub health: PipelineHealth,
 }
 
 impl PipelineOutput {
@@ -106,13 +131,182 @@ impl PipelineOutput {
     }
 }
 
-/// Parses, lowers, analyzes, inlines, and simplifies `src`.
+/// The fault-isolated engine behind every entry point.
+///
+/// Runs baseline simplification, analysis, inlining, and simplification in
+/// order; each phase is admitted by the budget, executed under panic
+/// containment, and its output validated. Any failure rolls the run back to
+/// the last validated program and is recorded in the returned health ledger,
+/// so this function is total: given a lowered program it always produces a
+/// semantically equivalent output.
+fn run_pipeline(program: &Program, config: &PipelineConfig) -> PipelineOutput {
+    use Phase::{Analysis, Baseline, Inline, Simplify};
+
+    let mut health = PipelineHealth::default();
+    let mut tracker = BudgetTracker::new(&config.budget);
+
+    // Phase 0: the baseline — everything later degrades to this (or, if this
+    // phase itself fails, to the untouched original).
+    let baseline = match tracker
+        .admit(Baseline)
+        .and_then(|()| {
+            run_phase(Baseline, || {
+                fdi_simplify::simplify_n(program, config.simplify_iters)
+            })
+        })
+        .and_then(|(b, _)| match fdi_lang::validate(&b) {
+            Ok(()) => Ok(b),
+            Err(error) => Err(PipelineError::Validation {
+                phase: Baseline,
+                error,
+            }),
+        }) {
+        Ok(b) => b,
+        Err(e) => {
+            health.record(Baseline, e, Fallback::Original);
+            program.clone()
+        }
+    };
+    tracker.charge(baseline.size() as u64);
+
+    let mut flow_stats = AnalysisStats::default();
+    let mut report = InlineReport::default();
+    let mut simplify_stats = SimplifyStats::default();
+    let mut optimized = baseline.clone();
+
+    // Phases 1–3 under a labelled block: any degradation breaks out with
+    // `optimized` still holding the last validated program.
+    'optimize: {
+        // Phase 1: flow analysis, with the shared deadline threaded into the
+        // solver's own limits so it stops mid-phase, not just between phases.
+        if let Err(e) = tracker.admit(Analysis) {
+            health.record(Analysis, e, Fallback::Baseline);
+            break 'optimize;
+        }
+        let mut limits = config.limits;
+        limits.deadline = match (limits.deadline, tracker.deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let flow = match run_phase(Analysis, || {
+            fdi_cfa::analyze_with_limits(program, config.policy, limits)
+        }) {
+            Ok(f) => f,
+            Err(e) => {
+                health.record(Analysis, e, Fallback::Baseline);
+                break 'optimize;
+            }
+        };
+        flow_stats = flow.stats().clone();
+        tracker.charge(flow_stats.steps);
+        if flow_stats.aborted {
+            health.record(
+                Analysis,
+                PipelineError::AnalysisAborted {
+                    nodes: flow_stats.nodes,
+                    steps: flow_stats.steps,
+                    reason: flow_stats.abort_reason,
+                },
+                Fallback::Baseline,
+            );
+            break 'optimize;
+        }
+
+        // Phase 2: inlining, checkpointed by validation and the growth cap.
+        if let Err(e) = tracker.admit(Inline) {
+            health.record(Inline, e, Fallback::Baseline);
+            break 'optimize;
+        }
+        let inline_config = InlineConfig {
+            threshold: config.threshold,
+            mode: config.mode,
+            unroll: config.unroll,
+        };
+        let (inlined, inline_report) = match run_phase(Inline, || {
+            fdi_inline::inline_program(program, &flow, &inline_config)
+        }) {
+            Ok(x) => x,
+            Err(e) => {
+                health.record(Inline, e, Fallback::Baseline);
+                break 'optimize;
+            }
+        };
+        if let Err(error) = fdi_lang::validate(&inlined) {
+            health.record(
+                Inline,
+                PipelineError::Validation {
+                    phase: Inline,
+                    error,
+                },
+                Fallback::Baseline,
+            );
+            break 'optimize;
+        }
+        if let Err(e) = tracker.check_growth(Inline, inlined.size(), baseline.size()) {
+            health.record(Inline, e, Fallback::Baseline);
+            break 'optimize;
+        }
+        tracker.charge(inlined.size() as u64);
+        report = inline_report;
+        optimized = inlined;
+
+        // Phase 3: simplification of the inlined program. On failure the
+        // validated inlined program stands.
+        if let Err(e) = tracker.admit(Simplify) {
+            health.record(Simplify, e, Fallback::Inlined);
+            break 'optimize;
+        }
+        match run_phase(Simplify, || {
+            fdi_simplify::simplify_n(&optimized, config.simplify_iters)
+        }) {
+            Err(e) => health.record(Simplify, e, Fallback::Inlined),
+            Ok((simplified, stats)) => match fdi_lang::validate(&simplified) {
+                Err(error) => health.record(
+                    Simplify,
+                    PipelineError::Validation {
+                        phase: Simplify,
+                        error,
+                    },
+                    Fallback::Inlined,
+                ),
+                Ok(()) => {
+                    tracker.charge(simplified.size() as u64);
+                    simplify_stats = stats;
+                    optimized = simplified;
+                }
+            },
+        }
+    }
+
+    PipelineOutput {
+        original_size: program.size(),
+        baseline_size: baseline.size(),
+        optimized_size: optimized.size(),
+        lines: program.line_count(),
+        original: program.clone(),
+        baseline,
+        optimized,
+        flow_stats,
+        report,
+        simplify_stats,
+        health,
+    }
+}
+
+/// Parses, lowers, analyzes, inlines, and simplifies `src`, degrading on
+/// phase failures.
+///
+/// A phase that panics, trips its safety limits, exhausts the
+/// [`Budget`], or produces an invalid program does not fail the run: the
+/// pipeline falls back to the last validated program and records the event
+/// in [`PipelineOutput::health`]. Use [`optimize_strict`] for the
+/// error-propagating contract.
 ///
 /// # Errors
 ///
-/// Returns a message when the front end rejects the program or the analysis
-/// aborts on its safety limits.
-pub fn optimize(src: &str, config: &PipelineConfig) -> Result<PipelineOutput, String> {
+/// Returns [`PipelineError::Frontend`] when the reader, expander, or lowerer
+/// rejects `src` — with no program, there is nothing to degrade to.
+pub fn optimize(src: &str, config: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
     let program = fdi_lang::parse_and_lower(src)?;
     optimize_program(&program, config)
 }
@@ -121,40 +315,44 @@ pub fn optimize(src: &str, config: &PipelineConfig) -> Result<PipelineOutput, St
 ///
 /// # Errors
 ///
-/// Returns a message when the analysis aborts on its safety limits.
+/// Never fails today: every phase failure degrades into
+/// [`PipelineOutput::health`]. The `Result` keeps the signature uniform with
+/// the strict variant.
 pub fn optimize_program(
     program: &Program,
     config: &PipelineConfig,
-) -> Result<PipelineOutput, String> {
-    let flow = fdi_cfa::analyze_with_limits(program, config.policy, config.limits);
-    if flow.stats().aborted {
-        return Err(format!(
-            "flow analysis aborted at {} nodes / {} steps",
-            flow.stats().nodes,
-            flow.stats().steps
-        ));
+) -> Result<PipelineOutput, PipelineError> {
+    Ok(run_pipeline(program, config))
+}
+
+/// [`optimize`] with the strict, error-propagating contract: the first
+/// phase failure is returned as a typed error instead of degrading.
+///
+/// # Errors
+///
+/// Returns the typed [`PipelineError`] of the first failing phase.
+pub fn optimize_strict(
+    src: &str,
+    config: &PipelineConfig,
+) -> Result<PipelineOutput, PipelineError> {
+    let program = fdi_lang::parse_and_lower(src)?;
+    optimize_program_strict(&program, config)
+}
+
+/// [`optimize_program`] with the strict, error-propagating contract.
+///
+/// # Errors
+///
+/// Returns the typed [`PipelineError`] of the first failing phase.
+pub fn optimize_program_strict(
+    program: &Program,
+    config: &PipelineConfig,
+) -> Result<PipelineOutput, PipelineError> {
+    let out = run_pipeline(program, config);
+    match out.health.first_error() {
+        Some(e) => Err(e.clone()),
+        None => Ok(out),
     }
-    let inline_config = InlineConfig {
-        threshold: config.threshold,
-        mode: config.mode,
-        unroll: config.unroll,
-    };
-    let (inlined, report) = fdi_inline::inline_program(program, &flow, &inline_config);
-    let (optimized, simplify_stats) = fdi_simplify::simplify_n(&inlined, config.simplify_iters);
-    let (baseline, _) = fdi_simplify::simplify_n(program, config.simplify_iters);
-    fdi_lang::validate(&optimized).map_err(|e| e.to_string())?;
-    Ok(PipelineOutput {
-        original_size: program.size(),
-        baseline_size: baseline.size(),
-        optimized_size: optimized.size(),
-        lines: program.line_count(),
-        original: program.clone(),
-        baseline,
-        optimized,
-        flow_stats: flow.stats().clone(),
-        report,
-        simplify_stats,
-    })
 }
 
 /// Runs the pipeline repeatedly — analyze, inline, simplify, re-analyze —
@@ -167,27 +365,34 @@ pub fn optimize_program(
 /// table after one round? (Empirically: very little; see the test below and
 /// the `rounds` field of the result.)
 ///
+/// Rounds degrade independently; the returned output's health ledger
+/// accumulates every round's degradations. A round that degrades ends the
+/// iteration (its fallback output would re-derive the same program).
+///
 /// # Errors
 ///
-/// Propagates pipeline failures.
+/// Returns [`PipelineError::Frontend`] when `src` does not lower.
 pub fn optimize_to_fixpoint(
     src: &str,
     config: &PipelineConfig,
     max_rounds: usize,
-) -> Result<(PipelineOutput, usize), String> {
+) -> Result<(PipelineOutput, usize), PipelineError> {
     let program = fdi_lang::parse_and_lower(src)?;
-    let mut out = optimize_program(&program, config)?;
+    let mut out = run_pipeline(&program, config);
+    let mut health = std::mem::take(&mut out.health);
     let mut rounds = 1;
-    while rounds < max_rounds {
-        let next = optimize_program(&out.optimized, config)?;
+    while rounds < max_rounds && !health.degraded() {
+        let mut next = run_pipeline(&out.optimized, config);
         rounds += 1;
         // Stop once a round neither inlines anything nor shrinks the code.
         let stable = next.report.sites_inlined == 0 && next.optimized_size >= out.optimized_size;
+        health.absorb(std::mem::take(&mut next.health));
         out = next;
         if stable {
             break;
         }
     }
+    out.health = health;
     Ok((out, rounds))
 }
 
@@ -210,16 +415,27 @@ pub struct SweepRow {
     pub report: InlineReport,
     /// The final value (must agree across thresholds).
     pub value: String,
+    /// Pipeline and execution health of this row. A degraded row reports the
+    /// threshold-0 baseline's measurements.
+    pub health: PipelineHealth,
 }
 
 /// Runs the pipeline at each threshold and executes the results, normalizing
 /// to the threshold-0 run like Fig. 6.
 ///
+/// Each row degrades independently: a threshold whose pipeline degrades,
+/// whose output fails to execute, or whose output diverges from the
+/// threshold-0 answer falls back to the baseline measurements with the
+/// failure recorded in that row's health — one pathological configuration
+/// no longer kills the whole sweep. [`sweep_strict`] restores the
+/// fail-fast contract.
+///
 /// # Errors
 ///
-/// Returns a message if compilation fails or any run errs — including when
-/// two thresholds disagree on the program's final value, which would mean a
-/// miscompile.
+/// Returns [`PipelineError::Frontend`] when `src` does not lower, and
+/// [`PipelineError::Vm`] when the threshold-0 baseline itself fails to
+/// execute (there is no healthy measurement to normalize to).
+///
 /// # Examples
 ///
 /// ```
@@ -233,16 +449,18 @@ pub struct SweepRow {
 /// ).unwrap();
 /// assert_eq!(rows.len(), 2); // threshold 0 baseline + threshold 200
 /// assert_eq!(rows[0].value, rows[1].value);
+/// assert!(rows.iter().all(|r| !r.health.degraded()));
 /// ```
 pub fn sweep(
     src: &str,
     thresholds: &[usize],
     config: &PipelineConfig,
     run_config: &RunConfig,
-) -> Result<Vec<SweepRow>, String> {
+) -> Result<Vec<SweepRow>, PipelineError> {
     let program = fdi_lang::parse_and_lower(src)?;
-    let mut rows = Vec::new();
+    let mut rows: Vec<SweepRow> = Vec::new();
     let mut base_total: Option<f64> = None;
+    let mut base_counters: Option<Counters> = None;
     let mut expected: Option<(String, String)> = None;
     // Always measure threshold 0 first for normalization.
     let mut all: Vec<usize> = vec![0];
@@ -252,35 +470,90 @@ pub fn sweep(
             threshold: t,
             ..*config
         };
-        let out = optimize_program(&program, &cfg)?;
-        let result =
-            fdi_vm::run(&out.optimized, run_config).map_err(|e| format!("threshold {t}: {e}"))?;
-        match &expected {
-            None => expected = Some((result.value.clone(), result.output.clone())),
-            Some((v, o)) => {
-                if *v != result.value || *o != result.output {
-                    return Err(format!(
-                        "threshold {t} changed the program's behaviour: {} vs {}",
-                        v, result.value
-                    ));
+        let out = run_pipeline(&program, &cfg);
+        let mut health = out.health.clone();
+        let model = &run_config.model;
+        let run_result = run_phase(Phase::Execution, || fdi_vm::run(&out.optimized, run_config))
+            .and_then(|r| {
+                r.map_err(|e| PipelineError::Vm {
+                    threshold: t,
+                    message: e.message,
+                })
+            })
+            .and_then(|result| match &expected {
+                Some((v, o)) if *v != result.value || *o != result.output => {
+                    Err(PipelineError::BehaviorDivergence {
+                        threshold: t,
+                        expected: v.clone(),
+                        got: result.value.clone(),
+                    })
                 }
+                _ => Ok(result),
+            });
+        match run_result {
+            Ok(result) => {
+                if expected.is_none() {
+                    expected = Some((result.value.clone(), result.output.clone()));
+                }
+                let total = result.counters.total(model) as f64;
+                let base = *base_total.get_or_insert(total);
+                base_counters.get_or_insert(result.counters);
+                rows.push(SweepRow {
+                    threshold: t,
+                    size_ratio: out.size_ratio(),
+                    counters: result.counters,
+                    norm_mutator: result.counters.mutator as f64 / base,
+                    norm_collector: result.counters.collector(model) as f64 / base,
+                    norm_total: total / base,
+                    report: out.report,
+                    value: result.value,
+                    health,
+                });
+            }
+            Err(e) => {
+                // The threshold-0 row anchors normalization; without it the
+                // sweep has no healthy measurement to degrade to.
+                let (Some((value, _)), Some(counters), Some(base)) =
+                    (&expected, &base_counters, base_total)
+                else {
+                    return Err(e);
+                };
+                health.record(Phase::Execution, e, Fallback::Baseline);
+                rows.push(SweepRow {
+                    threshold: t,
+                    size_ratio: 1.0,
+                    counters: *counters,
+                    norm_mutator: counters.mutator as f64 / base,
+                    norm_collector: counters.collector(model) as f64 / base,
+                    norm_total: 1.0,
+                    report: InlineReport::default(),
+                    value: value.clone(),
+                    health,
+                });
             }
         }
-        let model = &run_config.model;
-        let total = result.counters.total(model) as f64;
-        let base = *base_total.get_or_insert(total);
-        rows.push(SweepRow {
-            threshold: t,
-            size_ratio: out.size_ratio(),
-            counters: result.counters,
-            norm_mutator: result.counters.mutator as f64 / base,
-            norm_collector: result.counters.collector(model) as f64 / base,
-            norm_total: total / base,
-            report: out.report,
-            value: result.value,
-        });
     }
-    // Restore caller's threshold order (0 first is our own artifact).
+    Ok(rows)
+}
+
+/// [`sweep`] with the fail-fast contract: the first degraded row's error is
+/// returned instead of a baseline-fallback row.
+///
+/// # Errors
+///
+/// Returns the typed [`PipelineError`] of the first failing row.
+pub fn sweep_strict(
+    src: &str,
+    thresholds: &[usize],
+    config: &PipelineConfig,
+    run_config: &RunConfig,
+) -> Result<Vec<SweepRow>, PipelineError> {
+    let rows = sweep(src, thresholds, config, run_config)?;
+    for row in &rows {
+        if let Some(e) = row.health.first_error() {
+            return Err(e.clone());
+        }
+    }
     Ok(rows)
 }
 
@@ -295,6 +568,7 @@ mod tests {
                    (define (dbl n) (* n 2))
                    ((compose inc dbl) 20)";
         let out = optimize(src, &PipelineConfig::with_threshold(300)).unwrap();
+        assert!(!out.health.degraded());
         let base = fdi_vm::run(&out.baseline, &RunConfig::default()).unwrap();
         let opt = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
         assert_eq!(base.value, "41");
@@ -330,6 +604,7 @@ mod tests {
         assert!(rows[2].norm_total <= rows[0].norm_total);
         // All rows computed the same value.
         assert!(rows.iter().all(|r| r.value == rows[0].value));
+        assert!(rows.iter().all(|r| !r.health.degraded()));
     }
 
     #[test]
@@ -387,5 +662,52 @@ mod tests {
             out.report.sites_inlined, 1,
             "0CFA still finds unique callees"
         );
+    }
+
+    #[test]
+    fn tiny_limits_degrade_instead_of_failing() {
+        let mut cfg = PipelineConfig::with_threshold(200);
+        cfg.limits = AnalysisLimits {
+            max_contour_len: 1,
+            max_nodes: 10,
+            max_steps: 5,
+            deadline: None,
+        };
+        let src = "(define (sq x) (* x x)) (sq (sq 7))";
+        let out = optimize(src, &cfg).unwrap();
+        assert!(out.health.degraded());
+        assert!(matches!(
+            out.health.first_error(),
+            Some(PipelineError::AnalysisAborted { .. })
+        ));
+        assert!(fdi_lang::validate(&out.optimized).is_ok());
+        // The degraded output still computes the right answer.
+        let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, "2401");
+        // Strict mode propagates the same failure as a typed error.
+        let err = optimize_strict(src, &cfg).unwrap_err();
+        assert!(matches!(err, PipelineError::AnalysisAborted { .. }));
+    }
+
+    #[test]
+    fn exhausted_fuel_skips_optimization_phases() {
+        let mut cfg = PipelineConfig::with_threshold(200);
+        cfg.budget = Budget::default().with_fuel(1);
+        let out = optimize("(define (sq x) (* x x)) (sq 7)", &cfg).unwrap();
+        assert!(out.health.degraded());
+        assert!(matches!(
+            out.health.first_error(),
+            Some(PipelineError::BudgetExhausted { .. })
+        ));
+        let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, "49");
+    }
+
+    #[test]
+    fn frontend_errors_still_propagate() {
+        let err = optimize("(let ((x 1)", &PipelineConfig::default()).unwrap_err();
+        assert!(matches!(err, PipelineError::Frontend(_)));
+        let err = optimize_strict("(((", &PipelineConfig::default()).unwrap_err();
+        assert!(matches!(err, PipelineError::Frontend(_)));
     }
 }

@@ -1,0 +1,322 @@
+//! The fault-isolated phase runner: budgets, panic containment, and the
+//! degradation ledger.
+//!
+//! The pipeline's output must always be a semantically equivalent program,
+//! so the correct failure mode for any phase is "keep the program you
+//! already had", never "lose the run". This module provides the three
+//! mechanisms the degrading entry points are built from:
+//!
+//! * [`Budget`] — a wall-clock deadline, a cross-phase fuel counter, and a
+//!   size-growth cap shared by every phase of one run;
+//! * [`run_phase`] — executes one phase under `catch_unwind`, converting a
+//!   panic into a typed [`PipelineError::PhasePanicked`];
+//! * [`PipelineHealth`] — the per-run ledger recording which phases
+//!   degraded, why, and what the pipeline fell back to.
+
+use crate::error::{BudgetKind, Phase, PipelineError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Resource bounds shared across all phases of one pipeline run.
+///
+/// The default budget is unbounded — exactly the pre-budget behaviour. Each
+/// bound is independent: a run can carry only a deadline, only fuel, or any
+/// combination.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_core::Budget;
+/// use std::time::Duration;
+///
+/// let b = Budget::default().with_deadline(Duration::from_secs(5));
+/// assert!(b.deadline.is_some() && b.fuel.is_none());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Wall-clock allowance for the whole run, measured from pipeline entry.
+    /// Threaded into [`fdi_cfa::AnalysisLimits::deadline`] so the analysis
+    /// solver respects it mid-phase.
+    pub deadline: Option<Duration>,
+    /// Cross-phase fuel: work units (AST nodes produced, analysis worklist
+    /// steps) drawn from one shared counter. A phase that would start with
+    /// zero fuel is skipped and recorded as degraded.
+    pub fuel: Option<u64>,
+    /// Cap on code growth: no phase output may exceed
+    /// `max_growth × baseline_size` nodes.
+    pub max_growth: Option<f64>,
+}
+
+impl Budget {
+    /// Adds a wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Budget {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Adds a cross-phase fuel allowance.
+    pub fn with_fuel(mut self, fuel: u64) -> Budget {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Adds a size-growth cap (relative to the baseline program size).
+    pub fn with_max_growth(mut self, factor: f64) -> Budget {
+        self.max_growth = Some(factor);
+        self
+    }
+
+    /// True when no bound is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none() && self.fuel.is_none() && self.max_growth.is_none()
+    }
+}
+
+/// Live accounting for one run's [`Budget`].
+#[derive(Debug)]
+pub(crate) struct BudgetTracker {
+    deadline: Option<Instant>,
+    fuel_left: Option<u64>,
+    max_growth: Option<f64>,
+}
+
+impl BudgetTracker {
+    pub(crate) fn new(budget: &Budget) -> BudgetTracker {
+        BudgetTracker {
+            deadline: budget.deadline.map(|d| Instant::now() + d),
+            fuel_left: budget.fuel,
+            max_growth: budget.max_growth,
+        }
+    }
+
+    /// The absolute deadline, for threading into `AnalysisLimits`.
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Checks the between-phase budget gate: may `phase` start?
+    pub(crate) fn admit(&self, phase: Phase) -> Result<(), PipelineError> {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(PipelineError::BudgetExhausted {
+                    phase,
+                    kind: BudgetKind::Deadline,
+                });
+            }
+        }
+        if self.fuel_left == Some(0) {
+            return Err(PipelineError::BudgetExhausted {
+                phase,
+                kind: BudgetKind::Fuel,
+            });
+        }
+        Ok(())
+    }
+
+    /// Deducts `units` of work from the shared fuel counter.
+    pub(crate) fn charge(&mut self, units: u64) {
+        if let Some(f) = &mut self.fuel_left {
+            *f = f.saturating_sub(units);
+        }
+    }
+
+    /// Checks a phase output against the size-growth cap.
+    pub(crate) fn check_growth(
+        &self,
+        phase: Phase,
+        size: usize,
+        baseline_size: usize,
+    ) -> Result<(), PipelineError> {
+        if let Some(factor) = self.max_growth {
+            let cap = (baseline_size as f64 * factor).ceil() as usize;
+            if size > cap {
+                return Err(PipelineError::BudgetExhausted {
+                    phase,
+                    kind: BudgetKind::Growth { size, cap },
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the pipeline fell back to when a phase degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fallback {
+    /// The lowered input program, untouched.
+    Original,
+    /// The simplified threshold-0 baseline.
+    Baseline,
+    /// The inlined (but not further simplified) program.
+    Inlined,
+    /// The phase was skipped; the pipeline continued with its input.
+    Skipped,
+}
+
+impl std::fmt::Display for Fallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Fallback::Original => "original program",
+            Fallback::Baseline => "baseline program",
+            Fallback::Inlined => "inlined program",
+            Fallback::Skipped => "phase skipped",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One degradation event: a phase failed and the pipeline kept going.
+#[derive(Debug, Clone)]
+pub struct Degradation {
+    /// The phase that failed.
+    pub phase: Phase,
+    /// Why it failed.
+    pub error: PipelineError,
+    /// What the run fell back to.
+    pub fallback: Fallback,
+}
+
+/// The per-run health ledger: empty means every phase completed.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_core::PipelineHealth;
+///
+/// let h = PipelineHealth::default();
+/// assert!(!h.degraded());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PipelineHealth {
+    /// Degradation events in phase order.
+    pub degradations: Vec<Degradation>,
+}
+
+impl PipelineHealth {
+    /// True when any phase failed and the pipeline fell back.
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+
+    /// Records one degradation event.
+    pub fn record(&mut self, phase: Phase, error: PipelineError, fallback: Fallback) {
+        self.degradations.push(Degradation {
+            phase,
+            error,
+            fallback,
+        });
+    }
+
+    /// The first failure, for strict-mode propagation.
+    pub fn first_error(&self) -> Option<&PipelineError> {
+        self.degradations.first().map(|d| &d.error)
+    }
+
+    /// Folds another run's ledger into this one (fixpoint iteration, sweeps).
+    pub fn absorb(&mut self, other: PipelineHealth) {
+        self.degradations.extend(other.degradations);
+    }
+
+    /// One line per degradation, for report footers and CLI warnings.
+    pub fn summary(&self) -> String {
+        if !self.degraded() {
+            return "healthy".to_string();
+        }
+        self.degradations
+            .iter()
+            .map(|d| format!("{}: {} → {}", d.phase, d.error, d.fallback))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Runs one phase with panic containment.
+///
+/// A panicking phase must not take down the run (or a whole benchmark
+/// sweep), so the body executes under `catch_unwind` and a panic becomes a
+/// typed [`PipelineError::PhasePanicked`] carrying the panic message.
+pub(crate) fn run_phase<T>(phase: Phase, body: impl FnOnce() -> T) -> Result<T, PipelineError> {
+    catch_unwind(AssertUnwindSafe(body)).map_err(|payload| {
+        let message = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic payload>")
+            .to_string();
+        PipelineError::PhasePanicked { phase, message }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_phase_passes_values_through() {
+        let v = run_phase(Phase::Simplify, || 41 + 1).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn run_phase_contains_panics() {
+        // The default panic hook prints a backtrace to stderr here; that is
+        // cosmetic. The important part is that the panic does not escape.
+        let err = run_phase(Phase::Inline, || -> usize { panic!("boom {}", 7) }).unwrap_err();
+        match err {
+            PipelineError::PhasePanicked { phase, message } => {
+                assert_eq!(phase, Phase::Inline);
+                assert_eq!(message, "boom 7");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuel_gate_admits_then_blocks() {
+        let mut t = BudgetTracker::new(&Budget::default().with_fuel(10));
+        assert!(t.admit(Phase::Analysis).is_ok());
+        t.charge(25);
+        let err = t.admit(Phase::Inline).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::BudgetExhausted {
+                phase: Phase::Inline,
+                kind: BudgetKind::Fuel
+            }
+        ));
+    }
+
+    #[test]
+    fn growth_cap_flags_oversized_outputs() {
+        let t = BudgetTracker::new(&Budget::default().with_max_growth(2.0));
+        assert!(t.check_growth(Phase::Inline, 199, 100).is_ok());
+        assert!(t.check_growth(Phase::Inline, 201, 100).is_err());
+    }
+
+    #[test]
+    fn health_summary_reads_well() {
+        let mut h = PipelineHealth::default();
+        assert_eq!(h.summary(), "healthy");
+        h.record(
+            Phase::Analysis,
+            PipelineError::AnalysisAborted {
+                nodes: 10,
+                steps: 5,
+                reason: None,
+            },
+            Fallback::Baseline,
+        );
+        assert!(h.degraded());
+        assert!(h.summary().contains("analysis"));
+        assert!(h.summary().contains("baseline"));
+    }
+
+    #[test]
+    fn unbounded_budget_admits_everything() {
+        let t = BudgetTracker::new(&Budget::default());
+        assert!(Budget::default().is_unbounded());
+        assert!(t.admit(Phase::Analysis).is_ok());
+        assert!(t.check_growth(Phase::Inline, usize::MAX, 1).is_ok());
+        assert!(t.deadline().is_none());
+    }
+}

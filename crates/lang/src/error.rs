@@ -1,0 +1,60 @@
+//! The typed front-end error: everything that can go wrong between source
+//! text and a lowered [`crate::Program`].
+
+use crate::expand::ExpandError;
+use crate::lower::LowerError;
+use std::fmt;
+
+/// Why the front end rejected a program.
+///
+/// Each variant wraps the phase-specific error so callers can react to the
+/// failing phase (the pipeline maps all three onto
+/// `PipelineError::Frontend`) while `Display` keeps the old human-readable
+/// messages intact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// The reader rejected the S-expression syntax.
+    Parse(fdi_sexpr::ParseError),
+    /// The macro expander rejected a special form.
+    Expand(ExpandError),
+    /// Scope resolution / α-renaming failed.
+    Lower(LowerError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Parse(e) => write!(f, "{e}"),
+            FrontendError::Expand(e) => write!(f, "{e}"),
+            FrontendError::Lower(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrontendError::Parse(e) => Some(e),
+            FrontendError::Expand(e) => Some(e),
+            FrontendError::Lower(e) => Some(e),
+        }
+    }
+}
+
+impl From<fdi_sexpr::ParseError> for FrontendError {
+    fn from(e: fdi_sexpr::ParseError) -> FrontendError {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<ExpandError> for FrontendError {
+    fn from(e: ExpandError) -> FrontendError {
+        FrontendError::Expand(e)
+    }
+}
+
+impl From<LowerError> for FrontendError {
+    fn from(e: LowerError) -> FrontendError {
+        FrontendError::Lower(e)
+    }
+}

@@ -79,7 +79,32 @@ pub fn expand_program(forms: &[Datum]) -> Result<Datum, ExpandError> {
         });
     }
     all.extend(items);
+    check_define_depth(&all)?;
     Ok(assemble_body(all))
+}
+
+/// Maximum number of definitions one body may chain.
+///
+/// `assemble_body` nests one `let`/`letrec` per definition (runs of lambda
+/// defines collapse into a shared `letrec`), so a long define sequence
+/// becomes a deep core form without ever re-entering the recursive
+/// expander. Capping it here keeps every downstream recursive pass — and
+/// the eventual `Drop` of the assembled tree — within stack bounds.
+const MAX_BODY_DEFINES: usize = 1_000;
+
+/// Rejects bodies whose assembled form would nest too deeply.
+fn check_define_depth(items: &[Item]) -> Result<(), ExpandError> {
+    let defines = items
+        .iter()
+        .filter(|i| matches!(i, Item::Define { .. }))
+        .count();
+    if defines > MAX_BODY_DEFINES {
+        return err(format!(
+            "body chains {defines} definitions; the assembled program would nest \
+             deeper than {MAX_BODY_DEFINES} levels"
+        ));
+    }
+    Ok(())
 }
 
 /// Expands a single expression (no top-level defines). Mostly for tests.
@@ -165,10 +190,40 @@ fn assemble_body(items: Vec<Item>) -> Datum {
     rest.unwrap_or(Datum::Bool(true))
 }
 
+/// Maximum expansion recursion depth.
+///
+/// Matches the reader's nesting cap: expansion recurses subexpression-wise,
+/// so parser-legal input keeps it below this bound; anything deeper fails
+/// with an [`ExpandError`] instead of overflowing the stack.
+const MAX_EXPAND_DEPTH: usize = 400;
+
+/// Maximum number of elements a width-folding derived form may carry.
+///
+/// `let*`, `cond`, `and`, `or`, `case`, quasiquote templates, and hoisted
+/// compound literals each fold a flat sequence into one nested core form,
+/// so input *width* becomes output *depth* — past what the reader's nesting
+/// cap admits. Capping the width bounds the depth every downstream
+/// recursive pass (and the eventual `Drop` of the tree) must tolerate; the
+/// value is sized so those descents fit a 2 MiB thread stack (the
+/// test-harness default).
+const MAX_EXPAND_WIDTH: usize = 512;
+
+/// Rejects a folding form whose expansion would nest deeper than the cap.
+fn check_width(count: usize, what: &str) -> Result<(), ExpandError> {
+    if count > MAX_EXPAND_WIDTH {
+        return err(format!(
+            "{what} folds {count} elements; the expansion would nest deeper \
+             than {MAX_EXPAND_WIDTH} levels"
+        ));
+    }
+    Ok(())
+}
+
 #[derive(Default)]
 struct Expander {
     counter: u32,
     hoisted: Vec<(String, Datum)>,
+    depth: usize,
 }
 
 impl Expander {
@@ -248,6 +303,7 @@ impl Expander {
         if let Some(Item::Define { .. }) = items.last() {
             return err("body ends with a definition");
         }
+        check_define_depth(&items)?;
         Ok(assemble_body(items))
     }
 
@@ -261,22 +317,34 @@ impl Expander {
     }
 
     /// Hoists a compound literal, returning a variable reference.
-    fn hoist_literal(&mut self, d: &Datum) -> Datum {
+    fn hoist_literal(&mut self, d: &Datum) -> Result<Datum, ExpandError> {
         let name = self.fresh("lit");
-        let build = build_literal(d);
+        let build = build_literal(d)?;
         self.hoisted.push((name.clone(), build));
-        sym(&name)
+        Ok(sym(&name))
     }
 
-    fn expand_quote(&mut self, d: &Datum) -> Datum {
-        match d {
-            Datum::List(_) | Datum::Improper(..) | Datum::Vector(_) => self.hoist_literal(d),
+    fn expand_quote(&mut self, d: &Datum) -> Result<Datum, ExpandError> {
+        Ok(match d {
+            Datum::List(_) | Datum::Improper(..) | Datum::Vector(_) => self.hoist_literal(d)?,
             Datum::Nil | Datum::Sym(_) => list(vec![sym("quote"), d.clone()]),
             atom => atom.clone(),
-        }
+        })
     }
 
     fn expand(&mut self, d: &Datum) -> Result<Datum, ExpandError> {
+        if self.depth >= MAX_EXPAND_DEPTH {
+            return err(format!(
+                "expression nests deeper than {MAX_EXPAND_DEPTH} levels during expansion"
+            ));
+        }
+        self.depth += 1;
+        let result = self.expand_inner(d);
+        self.depth -= 1;
+        result
+    }
+
+    fn expand_inner(&mut self, d: &Datum) -> Result<Datum, ExpandError> {
         let Some(parts) = d.as_list() else {
             // Atoms self-evaluate; symbols are variable references.
             return match d {
@@ -293,7 +361,7 @@ impl Expander {
                 if parts.len() != 2 {
                     return err("quote: bad syntax");
                 }
-                Ok(self.expand_quote(&parts[1]))
+                self.expand_quote(&parts[1])
             }
             Some("quasiquote") => {
                 if parts.len() != 2 {
@@ -450,18 +518,28 @@ impl Expander {
         let bindings = parts[1].as_list().ok_or_else(|| ExpandError {
             message: "let*: bad bindings".into(),
         })?;
-        if bindings.is_empty() {
-            return self.expand_body(&parts[2..]);
+        check_width(bindings.len(), "let*")?;
+        // (let* ((a x) (b y)) body) → (let ((a x)) (let ((b y)) body)),
+        // folded iteratively: re-entering the expander once per binding
+        // would turn width into recursion depth.
+        let mut expanded = Vec::with_capacity(bindings.len());
+        for b in bindings {
+            let pair = b
+                .as_list()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| ExpandError {
+                    message: format!("let*: bad binding {b}"),
+                })?;
+            if pair[0].as_sym().is_none() {
+                return err("let*: binding name must be a symbol");
+            }
+            expanded.push((pair[0].clone(), self.expand(&pair[1])?));
         }
-        // (let* ((a x) rest...) body) → (let ((a x)) (let* (rest...) body))
-        let mut inner = vec![sym("let*"), Datum::list(bindings[1..].to_vec())];
-        inner.extend_from_slice(&parts[2..]);
-        let rewritten = list(vec![
-            sym("let"),
-            list(vec![bindings[0].clone()]),
-            list(inner),
-        ]);
-        self.expand(&rewritten)
+        let mut acc = self.expand_body(&parts[2..])?;
+        for (name, rhs) in expanded.into_iter().rev() {
+            acc = list(vec![sym("let"), list(vec![list(vec![name, rhs])]), acc]);
+        }
+        Ok(acc)
     }
 
     fn expand_letrec(&mut self, parts: &[Datum]) -> Result<Datum, ExpandError> {
@@ -496,53 +574,59 @@ impl Expander {
     }
 
     fn expand_cond(&mut self, clauses: &[Datum]) -> Result<Datum, ExpandError> {
-        let Some((clause, rest)) = clauses.split_first() else {
-            return Ok(unspecified());
-        };
-        let parts = clause.as_list().ok_or_else(|| ExpandError {
-            message: format!("cond: bad clause {clause}"),
-        })?;
-        if parts.is_empty() {
-            return err("cond: empty clause");
+        check_width(clauses.len(), "cond")?;
+        // Folded from the last clause backwards so width stays iteration,
+        // not recursion depth.
+        let mut acc: Option<Datum> = None;
+        for (idx, clause) in clauses.iter().enumerate().rev() {
+            let parts = clause.as_list().ok_or_else(|| ExpandError {
+                message: format!("cond: bad clause {clause}"),
+            })?;
+            if parts.is_empty() {
+                return err("cond: empty clause");
+            }
+            if parts[0].as_sym() == Some("else") {
+                if idx + 1 != clauses.len() {
+                    return err("cond: else clause must be last");
+                }
+                acc = Some(self.expand_body(&parts[1..])?);
+                continue;
+            }
+            let test = self.expand(&parts[0])?;
+            let rest_expr = acc.take().unwrap_or_else(unspecified);
+            acc = Some(match parts.len() {
+                1 => {
+                    // (test) — the test's value is the result when true.
+                    let t = self.fresh("t");
+                    list(vec![
+                        sym("let"),
+                        list(vec![list(vec![sym(&t), test])]),
+                        list(vec![sym("if"), sym(&t), sym(&t), rest_expr]),
+                    ])
+                }
+                3 if parts[1].as_sym() == Some("=>") => {
+                    let t = self.fresh("t");
+                    let f = self.expand(&parts[2])?;
+                    list(vec![
+                        sym("let"),
+                        list(vec![list(vec![sym(&t), test])]),
+                        list(vec![sym("if"), sym(&t), list(vec![f, sym(&t)]), rest_expr]),
+                    ])
+                }
+                _ => {
+                    let body = self.expand_body(&parts[1..])?;
+                    list(vec![sym("if"), test, body, rest_expr])
+                }
+            });
         }
-        if parts[0].as_sym() == Some("else") {
-            if !rest.is_empty() {
-                return err("cond: else clause must be last");
-            }
-            return self.expand_body(&parts[1..]);
-        }
-        let test = self.expand(&parts[0])?;
-        let rest_expr = self.expand_cond(rest)?;
-        match parts.len() {
-            1 => {
-                // (test) — the test's value is the result when true.
-                let t = self.fresh("t");
-                Ok(list(vec![
-                    sym("let"),
-                    list(vec![list(vec![sym(&t), test])]),
-                    list(vec![sym("if"), sym(&t), sym(&t), rest_expr]),
-                ]))
-            }
-            3 if parts[1].as_sym() == Some("=>") => {
-                let t = self.fresh("t");
-                let f = self.expand(&parts[2])?;
-                Ok(list(vec![
-                    sym("let"),
-                    list(vec![list(vec![sym(&t), test])]),
-                    list(vec![sym("if"), sym(&t), list(vec![f, sym(&t)]), rest_expr]),
-                ]))
-            }
-            _ => {
-                let body = self.expand_body(&parts[1..])?;
-                Ok(list(vec![sym("if"), test, body, rest_expr]))
-            }
-        }
+        Ok(acc.unwrap_or_else(unspecified))
     }
 
     fn expand_case(&mut self, parts: &[Datum]) -> Result<Datum, ExpandError> {
         if parts.len() < 3 {
             return err("case: bad syntax");
         }
+        check_width(parts.len() - 2, "case")?;
         let key = self.expand(&parts[1])?;
         let k = self.fresh("k");
         let mut arms: Option<Datum> = None;
@@ -564,9 +648,10 @@ impl Expander {
             let datums = cparts[0].as_list().ok_or_else(|| ExpandError {
                 message: "case: clause datums must be a list".into(),
             })?;
+            check_width(datums.len(), "case clause")?;
             let mut test: Option<Datum> = None;
             for datum in datums.iter().rev() {
-                let cmp = list(vec![sym("eqv?"), sym(&k), self.expand_quote(datum)]);
+                let cmp = list(vec![sym("eqv?"), sym(&k), self.expand_quote(datum)?]);
                 test = Some(match test {
                     None => cmp,
                     Some(t) => list(vec![sym("if"), cmp, Datum::Bool(true), t]),
@@ -584,31 +669,32 @@ impl Expander {
     }
 
     fn expand_and(&mut self, args: &[Datum]) -> Result<Datum, ExpandError> {
-        match args {
-            [] => Ok(Datum::Bool(true)),
-            [e] => self.expand(e),
-            [e, rest @ ..] => Ok(list(vec![
-                sym("if"),
-                self.expand(e)?,
-                self.expand_and(rest)?,
-                Datum::Bool(false),
-            ])),
+        check_width(args.len(), "and")?;
+        let mut exprs = self.expand_all(args)?;
+        let Some(mut acc) = exprs.pop() else {
+            return Ok(Datum::Bool(true));
+        };
+        for e in exprs.into_iter().rev() {
+            acc = list(vec![sym("if"), e, acc, Datum::Bool(false)]);
         }
+        Ok(acc)
     }
 
     fn expand_or(&mut self, args: &[Datum]) -> Result<Datum, ExpandError> {
-        match args {
-            [] => Ok(Datum::Bool(false)),
-            [e] => self.expand(e),
-            [e, rest @ ..] => {
-                let t = self.fresh("t");
-                Ok(list(vec![
-                    sym("let"),
-                    list(vec![list(vec![sym(&t), self.expand(e)?])]),
-                    list(vec![sym("if"), sym(&t), sym(&t), self.expand_or(rest)?]),
-                ]))
-            }
+        check_width(args.len(), "or")?;
+        let mut exprs = self.expand_all(args)?;
+        let Some(mut acc) = exprs.pop() else {
+            return Ok(Datum::Bool(false));
+        };
+        for e in exprs.into_iter().rev() {
+            let t = self.fresh("t");
+            acc = list(vec![
+                sym("let"),
+                list(vec![list(vec![sym(&t), e])]),
+                list(vec![sym("if"), sym(&t), sym(&t), acc]),
+            ]);
         }
+        Ok(acc)
     }
 
     /// `(do ((v init step)…) (test res…) body…)` → a `letrec` loop.
@@ -690,11 +776,12 @@ impl Expander {
                 }
                 Ok(list(out))
             }
-            atom => Ok(self.expand_quote(atom)),
+            atom => self.expand_quote(atom),
         }
     }
 
     fn expand_quasi_list(&mut self, parts: &[Datum], tail: &Datum) -> Result<Datum, ExpandError> {
+        check_width(parts.len(), "quasiquote template")?;
         let mut acc = match tail {
             Datum::Nil => list(vec![sym("quote"), Datum::Nil]),
             t => self.expand_quasi(t)?,
@@ -717,30 +804,37 @@ impl Expander {
 }
 
 /// Builds the construction expression for a hoisted compound literal.
-fn build_literal(d: &Datum) -> Datum {
-    match d {
+///
+/// Fails when a quoted list is wide enough that its cons chain would nest
+/// past [`MAX_EXPAND_WIDTH`] (width becomes depth in the built expression).
+fn build_literal(d: &Datum) -> Result<Datum, ExpandError> {
+    Ok(match d {
         Datum::List(items) => {
+            check_width(items.len(), "quoted list")?;
             let mut acc = list(vec![sym("quote"), Datum::Nil]);
             for item in items.iter().rev() {
-                acc = list(vec![sym("cons"), build_literal(item), acc]);
+                acc = list(vec![sym("cons"), build_literal(item)?, acc]);
             }
             acc
         }
         Datum::Improper(items, tail) => {
-            let mut acc = build_literal(tail);
+            check_width(items.len(), "quoted list")?;
+            let mut acc = build_literal(tail)?;
             for item in items.iter().rev() {
-                acc = list(vec![sym("cons"), build_literal(item), acc]);
+                acc = list(vec![sym("cons"), build_literal(item)?, acc]);
             }
             acc
         }
         Datum::Vector(items) => {
             let mut out = vec![sym("vector")];
-            out.extend(items.iter().map(build_literal));
+            for item in items {
+                out.push(build_literal(item)?);
+            }
             list(out)
         }
         Datum::Sym(_) | Datum::Nil => list(vec![sym("quote"), d.clone()]),
         atom => atom.clone(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -44,6 +44,12 @@ impl FreeVars {
 
 /// Collects variables free in `label` given `bound`, appending first
 /// occurrences to `order`.
+///
+/// Driven by an explicit worklist rather than recursion: program depth is
+/// unbounded from this function's point of view (inlining can deepen what
+/// the reader's nesting cap admitted), so a deep program must cost heap,
+/// not stack. Scope save/restore is properly nested, so `Bind`/`Unbind`
+/// markers on the same stack reconstruct the recursive discipline exactly.
 fn collect(
     program: &Program,
     label: Label,
@@ -51,69 +57,76 @@ fn collect(
     seen: &mut HashSet<VarId>,
     order: &mut Vec<VarId>,
 ) {
-    match program.expr(label) {
-        ExprKind::Var(v) => {
-            if !bound.contains(v) && seen.insert(*v) {
-                order.push(*v);
-            }
+    enum Task {
+        Visit(Label),
+        /// Inserts the vars into `bound`, remembering which were new.
+        Bind(Vec<VarId>),
+        /// Removes the most recent `Bind`'s additions.
+        Unbind,
+        /// Records a λ's pinned captures (after its body, inside its scope).
+        Pinned(Label),
+    }
+    let mut free = |bound: &HashSet<VarId>, seen: &mut HashSet<VarId>, v: VarId| {
+        if !bound.contains(&v) && seen.insert(v) {
+            order.push(v);
         }
-        ExprKind::Const(_) => {}
-        ExprKind::Lambda(lam) => {
-            let added: Vec<VarId> = lam
-                .params
-                .iter()
-                .copied()
-                .chain(lam.rest)
-                .filter(|v| bound.insert(*v))
-                .collect();
-            collect(program, lam.body, bound, seen, order);
-            // A nested λ's *pinned* captures (§3.5 target language) must be
-            // materializable at its creation site, so they count as free
-            // mentions in every enclosing λ even when no direct reference
-            // remains in the body.
-            for &v in program.pinned_captures(label).unwrap_or(&[]) {
-                if !bound.contains(&v) && seen.insert(v) {
-                    order.push(v);
+    };
+    let mut tasks = vec![Task::Visit(label)];
+    let mut scopes: Vec<Vec<VarId>> = Vec::new();
+    while let Some(task) = tasks.pop() {
+        match task {
+            Task::Visit(l) => match program.expr(l) {
+                ExprKind::Var(v) => free(bound, seen, *v),
+                ExprKind::Const(_) => {}
+                ExprKind::Lambda(lam) => {
+                    // A nested λ's *pinned* captures (§3.5 target language)
+                    // must be materializable at its creation site, so they
+                    // count as free mentions in every enclosing λ even when
+                    // no direct reference remains in the body.
+                    tasks.push(Task::Unbind);
+                    tasks.push(Task::Pinned(l));
+                    tasks.push(Task::Visit(lam.body));
+                    tasks.push(Task::Bind(
+                        lam.params.iter().copied().chain(lam.rest).collect(),
+                    ));
+                }
+                ExprKind::Let(bindings, body) => {
+                    tasks.push(Task::Unbind);
+                    tasks.push(Task::Visit(*body));
+                    tasks.push(Task::Bind(bindings.iter().map(|&(v, _)| v).collect()));
+                    for &(_, e) in bindings.iter().rev() {
+                        tasks.push(Task::Visit(e));
+                    }
+                }
+                ExprKind::Letrec(bindings, body) => {
+                    tasks.push(Task::Unbind);
+                    tasks.push(Task::Visit(*body));
+                    for &(_, e) in bindings.iter().rev() {
+                        tasks.push(Task::Visit(e));
+                    }
+                    tasks.push(Task::Bind(bindings.iter().map(|&(v, _)| v).collect()));
+                }
+                _ => {
+                    let mut kids = Vec::new();
+                    program.for_each_child(l, |c| kids.push(c));
+                    for c in kids.into_iter().rev() {
+                        tasks.push(Task::Visit(c));
+                    }
+                }
+            },
+            Task::Bind(vars) => {
+                let added: Vec<VarId> = vars.into_iter().filter(|v| bound.insert(*v)).collect();
+                scopes.push(added);
+            }
+            Task::Unbind => {
+                for v in scopes.pop().expect("balanced bind/unbind") {
+                    bound.remove(&v);
                 }
             }
-            for v in added {
-                bound.remove(&v);
-            }
-        }
-        ExprKind::Let(bindings, body) => {
-            for &(_, e) in bindings {
-                collect(program, e, bound, seen, order);
-            }
-            let added: Vec<VarId> = bindings
-                .iter()
-                .map(|&(v, _)| v)
-                .filter(|v| bound.insert(*v))
-                .collect();
-            collect(program, *body, bound, seen, order);
-            for v in added {
-                bound.remove(&v);
-            }
-        }
-        ExprKind::Letrec(bindings, body) => {
-            let added: Vec<VarId> = bindings
-                .iter()
-                .map(|&(v, _)| v)
-                .filter(|v| bound.insert(*v))
-                .collect();
-            for &(_, e) in bindings {
-                collect(program, e, bound, seen, order);
-            }
-            collect(program, *body, bound, seen, order);
-            for v in added {
-                bound.remove(&v);
-            }
-        }
-        other => {
-            let mut kids = Vec::new();
-            let _ = other;
-            program.for_each_child(label, |c| kids.push(c));
-            for c in kids {
-                collect(program, c, bound, seen, order);
+            Task::Pinned(l) => {
+                for &v in program.pinned_captures(l).unwrap_or(&[]) {
+                    free(bound, seen, v);
+                }
             }
         }
     }

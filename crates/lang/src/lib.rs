@@ -28,6 +28,7 @@
 
 mod ast;
 mod consts;
+mod error;
 mod expand;
 mod fv;
 mod intern;
@@ -40,6 +41,7 @@ mod validate;
 
 pub use ast::{Binder, ExprKind, Label, LambdaInfo, Program, VarId, VarInfo};
 pub use consts::Const;
+pub use error::FrontendError;
 pub use expand::{expand_expr_standalone, expand_program, ExpandError};
 pub use fv::{free_vars_of_lambda, FreeVars};
 pub use intern::{Interner, Sym};
@@ -57,7 +59,7 @@ pub use validate::{validate, ValidateError};
 ///
 /// # Errors
 ///
-/// Returns a human-readable message when the reader, expander, or lowerer
+/// Returns a typed [`FrontendError`] when the reader, expander, or lowerer
 /// rejects the program.
 ///
 /// # Examples
@@ -66,11 +68,11 @@ pub use validate::{validate, ValidateError};
 /// let p = fdi_lang::parse_and_lower("(let ((x 1)) (+ x x))").unwrap();
 /// assert!(fdi_lang::validate(&p).is_ok());
 /// ```
-pub fn parse_and_lower(src: &str) -> Result<Program, String> {
-    let data = fdi_sexpr::parse(src).map_err(|e| e.to_string())?;
+pub fn parse_and_lower(src: &str) -> Result<Program, FrontendError> {
+    let data = fdi_sexpr::parse(src)?;
     let data = with_prelude(&data);
-    let core = expand_program(&data).map_err(|e| e.to_string())?;
-    let program = lower_program(&core).map_err(|e| e.to_string())?;
+    let core = expand_program(&data)?;
+    let program = lower_program(&core)?;
     debug_assert!(
         validate(&program).is_ok(),
         "lowering produced ill-formed AST: {:?}",

@@ -82,15 +82,24 @@ pub fn lower_program(core: &Datum) -> Result<Program, LowerError> {
     let mut lowerer = Lowerer {
         program: Program::new(Interner::new()),
         scope: Vec::new(),
+        depth: 0,
     };
     let root = lowerer.lower(core, true)?;
     lowerer.program.set_root(root);
     Ok(lowerer.program)
 }
 
+/// Maximum lowering recursion depth. Expansion can deepen wide forms
+/// (`let*`, `cond`) well past the reader's nesting cap, so the lowerer
+/// carries its own guard and fails with a [`LowerError`] instead of
+/// overflowing the stack. Sized so the full descent fits a 2 MiB thread
+/// stack (the test-harness default) with room for the expander above it.
+const MAX_LOWER_DEPTH: usize = 600;
+
 struct Lowerer {
     program: Program,
     scope: Vec<(String, VarId)>,
+    depth: usize,
 }
 
 impl Lowerer {
@@ -121,6 +130,18 @@ impl Lowerer {
     }
 
     fn lower(&mut self, d: &Datum, at_top: bool) -> Result<Label, LowerError> {
+        if self.depth >= MAX_LOWER_DEPTH {
+            return err(format!(
+                "expression nests deeper than {MAX_LOWER_DEPTH} levels"
+            ));
+        }
+        self.depth += 1;
+        let result = self.lower_inner(d, at_top);
+        self.depth -= 1;
+        result
+    }
+
+    fn lower_inner(&mut self, d: &Datum, at_top: bool) -> Result<Label, LowerError> {
         match d {
             Datum::Bool(b) => Ok(self.konst(Const::Bool(*b))),
             Datum::Int(n) => Ok(self.konst(Const::Int(*n))),
@@ -489,19 +510,19 @@ mod tests {
     #[test]
     fn unbound_variable_is_an_error() {
         let e = parse_and_lower("nope").unwrap_err();
-        assert!(e.contains("unbound"), "{e}");
+        assert!(e.to_string().contains("unbound"), "{e}");
     }
 
     #[test]
     fn reserved_names_cannot_be_bound() {
         let e = parse_and_lower("(let ((if 1)) if)").unwrap_err();
-        assert!(e.contains("reserved"), "{e}");
+        assert!(e.to_string().contains("reserved"), "{e}");
     }
 
     #[test]
     fn bad_prim_arity_is_an_error() {
         let e = parse_and_lower("(cons 1)").unwrap_err();
-        assert!(e.contains("applied to 1 argument"), "{e}");
+        assert!(e.to_string().contains("applied to 1 argument"), "{e}");
     }
 
     #[test]

@@ -96,32 +96,53 @@ impl<'a> Unparser<'a> {
         }
     }
 
-    fn expr(&self, label: Label) -> Datum {
+    /// The labels of `label`'s subexpressions, in source order.
+    fn children(&self, label: Label) -> Vec<Label> {
+        match self.program.expr(label) {
+            ExprKind::Const(_) | ExprKind::Var(_) => Vec::new(),
+            ExprKind::Prim(_, args) => args.clone(),
+            ExprKind::Call(parts) => parts.clone(),
+            ExprKind::Apply(f, arg) => vec![*f, *arg],
+            ExprKind::Begin(parts) => parts.clone(),
+            ExprKind::If(c, t, e) => vec![*c, *t, *e],
+            ExprKind::Let(bindings, body) | ExprKind::Letrec(bindings, body) => {
+                let mut out: Vec<Label> = bindings.iter().map(|&(_, e)| e).collect();
+                out.push(*body);
+                out
+            }
+            ExprKind::Lambda(lam) => vec![lam.body],
+            ExprKind::ClRef(e, _) => vec![*e],
+        }
+    }
+
+    /// Assembles the datum for `label` from its already-rendered children.
+    fn assemble(&self, label: Label, kids: Vec<Datum>) -> Datum {
         match self.program.expr(label) {
             ExprKind::Const(c) => self.konst(*c),
             ExprKind::Var(v) => self.var(*v),
-            ExprKind::Prim(p, args) => {
+            ExprKind::Prim(p, _) => {
                 let mut items = vec![Datum::sym(p.name())];
-                items.extend(args.iter().map(|&a| self.expr(a)));
+                items.extend(kids);
                 Datum::List(items)
             }
-            ExprKind::Call(parts) => Datum::List(parts.iter().map(|&e| self.expr(e)).collect()),
-            ExprKind::Apply(f, arg) => {
-                Datum::List(vec![Datum::sym("apply"), self.expr(*f), self.expr(*arg)])
+            ExprKind::Call(_) => Datum::List(kids),
+            ExprKind::Apply(..) => {
+                let mut items = vec![Datum::sym("apply")];
+                items.extend(kids);
+                Datum::List(items)
             }
-            ExprKind::Begin(parts) => {
+            ExprKind::Begin(_) => {
                 let mut items = vec![Datum::sym("begin")];
-                items.extend(parts.iter().map(|&e| self.expr(e)));
+                items.extend(kids);
                 Datum::List(items)
             }
-            ExprKind::If(c, t, e) => Datum::List(vec![
-                Datum::sym("if"),
-                self.expr(*c),
-                self.expr(*t),
-                self.expr(*e),
-            ]),
-            ExprKind::Let(bindings, body) => self.binding_form("let", bindings, *body),
-            ExprKind::Letrec(bindings, body) => self.binding_form("letrec", bindings, *body),
+            ExprKind::If(..) => {
+                let mut items = vec![Datum::sym("if")];
+                items.extend(kids);
+                Datum::List(items)
+            }
+            ExprKind::Let(bindings, _) => self.binding_form("let", bindings, kids),
+            ExprKind::Letrec(bindings, _) => self.binding_form("letrec", bindings, kids),
             ExprKind::Lambda(lam) => {
                 let params: Vec<Datum> = lam.params.iter().map(|&v| self.var(v)).collect();
                 let formals = match lam.rest {
@@ -134,22 +155,52 @@ impl<'a> Unparser<'a> {
                         }
                     }
                 };
-                Datum::List(vec![Datum::sym("lambda"), formals, self.expr(lam.body)])
+                let body = kids.into_iter().next().expect("lambda body rendered");
+                Datum::List(vec![Datum::sym("lambda"), formals, body])
             }
-            ExprKind::ClRef(e, n) => Datum::List(vec![
-                Datum::sym("cl-ref"),
-                self.expr(*e),
-                Datum::Int(*n as i64),
-            ]),
+            ExprKind::ClRef(_, n) => {
+                let e = kids.into_iter().next().expect("cl-ref argument rendered");
+                Datum::List(vec![Datum::sym("cl-ref"), e, Datum::Int(*n as i64)])
+            }
         }
     }
 
-    fn binding_form(&self, head: &str, bindings: &[(VarId, Label)], body: Label) -> Datum {
+    /// Renders `label` with an explicit post-order worklist: program depth is
+    /// unbounded from the unparser's point of view (inlining can deepen
+    /// what the reader's nesting cap admitted), so no recursion here.
+    fn expr(&self, label: Label) -> Datum {
+        enum Task {
+            Visit(Label),
+            Reduce(Label, usize),
+        }
+        let mut tasks = vec![Task::Visit(label)];
+        let mut vals: Vec<Datum> = Vec::new();
+        while let Some(task) = tasks.pop() {
+            match task {
+                Task::Visit(l) => {
+                    let kids = self.children(l);
+                    tasks.push(Task::Reduce(l, kids.len()));
+                    for &k in kids.iter().rev() {
+                        tasks.push(Task::Visit(k));
+                    }
+                }
+                Task::Reduce(l, n) => {
+                    let kids = vals.split_off(vals.len() - n);
+                    vals.push(self.assemble(l, kids));
+                }
+            }
+        }
+        vals.pop().expect("root rendered")
+    }
+
+    fn binding_form(&self, head: &str, bindings: &[(VarId, Label)], mut kids: Vec<Datum>) -> Datum {
+        let body = kids.pop().expect("binding body rendered");
         let binds = bindings
             .iter()
-            .map(|&(v, e)| Datum::List(vec![self.var(v), self.expr(e)]))
+            .zip(kids)
+            .map(|(&(v, _), rhs)| Datum::List(vec![self.var(v), rhs]))
             .collect();
-        Datum::List(vec![Datum::sym(head), Datum::list(binds), self.expr(body)])
+        Datum::List(vec![Datum::sym(head), Datum::list(binds), body])
     }
 }
 

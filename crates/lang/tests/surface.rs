@@ -135,7 +135,7 @@ fn errors_name_the_offending_construct() {
     ] {
         let err = parse_and_lower(src).unwrap_err();
         assert!(
-            err.contains(needle),
+            err.to_string().contains(needle),
             "error for {src} should mention {needle}: {err}"
         );
     }
@@ -153,4 +153,23 @@ fn eta_expanded_variadic_prims_have_rest_wrappers() {
         _ => false,
     });
     assert!(has_variadic_wrapper, "variadic η wrapper missing");
+}
+
+#[test]
+fn adversarial_nesting_errors_instead_of_overflowing() {
+    // Reader-level nesting: caught by the parser's depth guard.
+    let parens = format!("{}1{}", "(car ".repeat(100_000), ")".repeat(100_000));
+    assert!(parse_and_lower(&parens).is_err());
+    // Expansion-level nesting: a wide let* re-enters the expander once per
+    // binding, so width becomes depth past the reader's cap.
+    let bindings: String = (0..5_000).map(|i| format!("(a{i} 1)")).collect();
+    let wide_let_star = format!("(let* ({bindings}) 0)");
+    let e = parse_and_lower(&wide_let_star).unwrap_err();
+    assert!(e.to_string().contains("deeper"), "{e}");
+    // Lowering-level nesting: sequential non-lambda defines assemble into
+    // nested lets without re-entering the expander.
+    let defines: String = (0..100_000).map(|i| format!("(define d{i} 1)")).collect();
+    let deep_defines = format!("{defines} 0");
+    let e = parse_and_lower(&deep_defines).unwrap_err();
+    assert!(e.to_string().contains("deeper"), "{e}");
 }

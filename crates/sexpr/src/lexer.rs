@@ -213,8 +213,19 @@ impl<'a> Lexer<'a> {
                     break;
                 }
             }
+        } else if first >= 0x80 {
+            // A non-ASCII character stands for itself; consume the rest of
+            // its UTF-8 sequence so the slice below stays on a boundary.
+            while let Some(b) = self.peek() {
+                if b & 0xC0 == 0x80 {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.error("malformed character literal"))?;
         let c = match text {
             "space" => ' ',
             "newline" => '\n',

@@ -22,7 +22,7 @@ mod printer;
 
 pub use datum::Datum;
 pub use lexer::{Lexer, Token, TokenKind};
-pub use parser::{parse, parse_one, ParseError};
+pub use parser::{parse, parse_one, ParseError, MAX_DEPTH};
 pub use printer::pretty;
 
 #[cfg(test)]

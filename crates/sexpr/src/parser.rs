@@ -38,9 +38,19 @@ impl From<LexError> for ParseError {
     }
 }
 
+/// Maximum nesting depth the reader accepts.
+///
+/// The parser is recursive-descent, so unbounded nesting (`"(".repeat(100_000)`)
+/// would overflow the stack; past this depth it returns a [`ParseError`]
+/// instead. The bound must leave the full descent (about three frames per
+/// level) inside a 2 MiB test-thread stack, and is still far beyond any
+/// program the toolchain produces.
+pub const MAX_DEPTH: usize = 400;
+
 struct Parser<'a> {
     lexer: Lexer<'a>,
     lookahead: Option<Token>,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -48,7 +58,26 @@ impl<'a> Parser<'a> {
         Parser {
             lexer: Lexer::new(src),
             lookahead: None,
+            depth: 0,
         }
+    }
+
+    /// Guards one level of recursive descent around `body`.
+    fn nested<T>(
+        &mut self,
+        at: &Token,
+        body: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(Self::error_at(
+                Some(at),
+                format!("nesting deeper than {MAX_DEPTH} levels"),
+            ));
+        }
+        self.depth += 1;
+        let result = body(self);
+        self.depth -= 1;
+        result
     }
 
     fn peek(&mut self) -> Result<Option<&Token>, ParseError> {
@@ -82,12 +111,14 @@ impl<'a> Parser<'a> {
             TokenKind::Char(c) => Datum::Char(c),
             TokenKind::Str(s) => Datum::Str(s),
             TokenKind::Sym(s) => Datum::Sym(s),
-            TokenKind::Quote => self.parse_abbrev("quote", &tok)?,
-            TokenKind::Quasiquote => self.parse_abbrev("quasiquote", &tok)?,
-            TokenKind::Unquote => self.parse_abbrev("unquote", &tok)?,
-            TokenKind::UnquoteSplicing => self.parse_abbrev("unquote-splicing", &tok)?,
-            TokenKind::LParen => self.parse_list(&tok)?,
-            TokenKind::VecOpen => self.parse_vector(&tok)?,
+            TokenKind::Quote => self.nested(&tok, |p| p.parse_abbrev("quote", &tok))?,
+            TokenKind::Quasiquote => self.nested(&tok, |p| p.parse_abbrev("quasiquote", &tok))?,
+            TokenKind::Unquote => self.nested(&tok, |p| p.parse_abbrev("unquote", &tok))?,
+            TokenKind::UnquoteSplicing => {
+                self.nested(&tok, |p| p.parse_abbrev("unquote-splicing", &tok))?
+            }
+            TokenKind::LParen => self.nested(&tok, |p| p.parse_list(&tok))?,
+            TokenKind::VecOpen => self.nested(&tok, |p| p.parse_vector(&tok))?,
             TokenKind::RParen => {
                 return Err(Self::error_at(Some(&tok), "unexpected ')'"));
             }

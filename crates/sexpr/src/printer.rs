@@ -60,12 +60,15 @@ fn head_args(head: &str) -> usize {
 }
 
 fn emit_list(items: &[Datum], indent: usize, out: &mut String) {
+    let Some(head) = items.first() else {
+        out.push_str("()");
+        return;
+    };
     out.push('(');
-    let head_is_sym = items[0].as_sym().is_some();
-    let keep = if head_is_sym {
-        head_args(items[0].as_sym().unwrap())
-    } else {
-        0
+    let head_is_sym = head.as_sym().is_some();
+    let keep = match head.as_sym() {
+        Some(s) => head_args(s),
+        None => 0,
     };
     emit(&items[0], indent + 1, out);
     let head_len = flat(&items[0]).len();

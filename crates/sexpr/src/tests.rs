@@ -1,5 +1,5 @@
 use crate::{parse, parse_one, pretty, Datum, Lexer, TokenKind};
-use proptest::prelude::*;
+use fdi_testutil::{check, Rng};
 
 fn sym(s: &str) -> Datum {
     Datum::sym(s)
@@ -191,6 +191,43 @@ fn vector_rejects_dot() {
 }
 
 #[test]
+fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+    // 100k open parens must come back as a ParseError, never a crash.
+    let deep = "(".repeat(100_000);
+    let e = parse(&deep).unwrap_err();
+    assert!(e.message.contains("nesting"), "{e}");
+    let quotes = "'".repeat(100_000);
+    assert!(parse(&quotes).is_err());
+    let vecs = "#(".repeat(100_000);
+    assert!(parse(&vecs).is_err());
+}
+
+#[test]
+fn max_depth_boundary_is_exact() {
+    let ok = format!(
+        "{}{}{}",
+        "(".repeat(crate::MAX_DEPTH),
+        "x",
+        ")".repeat(crate::MAX_DEPTH)
+    );
+    assert!(parse(&ok).is_ok());
+    let over = format!(
+        "{}{}{}",
+        "(".repeat(crate::MAX_DEPTH + 1),
+        "x",
+        ")".repeat(crate::MAX_DEPTH + 1)
+    );
+    assert!(parse(&over).is_err());
+}
+
+#[test]
+fn non_ascii_char_literal_lexes_without_panicking() {
+    // `#\é` starts mid-way into a multi-byte UTF-8 sequence; the lexer must
+    // consume the whole sequence instead of slicing it in half.
+    assert_eq!(parse_one("#\\é").unwrap(), Datum::Char('é'));
+}
+
+#[test]
 fn display_roundtrips_basic_forms() {
     for src in [
         "(a b c)",
@@ -244,64 +281,99 @@ fn node_count_counts_tree_nodes() {
 
 // --- property tests ------------------------------------------------------
 
-fn arb_datum() -> impl Strategy<Value = Datum> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(Datum::Bool),
-        (-1_000_000i64..1_000_000).prop_map(Datum::Int),
-        "[a-z][a-z0-9!?*+-]{0,6}".prop_map(Datum::Sym),
-        "[ a-zA-Z0-9]{0,8}".prop_map(Datum::Str),
-        Just(Datum::Nil),
-        prop::char::range('a', 'z').prop_map(Datum::Char),
-    ];
-    leaf.prop_recursive(4, 64, 6, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..5).prop_map(Datum::List),
-            prop::collection::vec(inner.clone(), 0..4).prop_map(Datum::Vector),
-            (prop::collection::vec(inner.clone(), 1..4), inner).prop_map(
-                |(items, tail)| match tail {
-                    // Keep the improper-list invariant: tail is never a list.
-                    Datum::Nil => Datum::list(items),
-                    Datum::List(rest) => {
-                        let mut items = items;
-                        items.extend(rest);
-                        Datum::List(items)
-                    }
-                    Datum::Improper(rest, t) => {
-                        let mut items = items;
-                        items.extend(rest);
-                        Datum::Improper(items, t)
-                    }
-                    t => Datum::Improper(items, Box::new(t)),
-                }
-            ),
-        ]
-    })
+fn arb_leaf(rng: &mut Rng) -> Datum {
+    match rng.index(6) {
+        0 => Datum::Bool(rng.chance(0.5)),
+        1 => Datum::Int(rng.range(-1_000_000, 1_000_000)),
+        2 => {
+            let mut s = rng.ident(1);
+            let tail = b"abcdefghijklmnopqrstuvwxyz0123456789!?*+-";
+            for _ in 0..rng.index(7) {
+                s.push(tail[rng.index(tail.len())] as char);
+            }
+            Datum::Sym(s)
+        }
+        3 => {
+            let chars = b" abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+            let s: String = (0..rng.index(9))
+                .map(|_| chars[rng.index(chars.len())] as char)
+                .collect();
+            Datum::Str(s)
+        }
+        4 => Datum::Nil,
+        _ => Datum::Char((b'a' + rng.index(26) as u8) as char),
+    }
 }
 
-proptest! {
-    #[test]
-    fn display_parse_roundtrip(d in arb_datum()) {
+fn arb_datum(rng: &mut Rng, depth: u32) -> Datum {
+    if depth == 0 || rng.chance(0.3) {
+        return arb_leaf(rng);
+    }
+    let kids = |rng: &mut Rng, lo: usize, hi: usize, depth: u32| -> Vec<Datum> {
+        let n = lo + rng.index(hi - lo);
+        (0..n).map(|_| arb_datum(rng, depth - 1)).collect()
+    };
+    match rng.index(3) {
+        0 => Datum::List(kids(rng, 1, 5, depth)),
+        1 => Datum::Vector(kids(rng, 0, 4, depth)),
+        _ => {
+            let mut items = kids(rng, 1, 4, depth);
+            match arb_datum(rng, depth - 1) {
+                // Keep the improper-list invariant: tail is never a list.
+                Datum::Nil => Datum::list(items),
+                Datum::List(rest) => {
+                    items.extend(rest);
+                    Datum::List(items)
+                }
+                Datum::Improper(rest, t) => {
+                    items.extend(rest);
+                    Datum::Improper(items, t)
+                }
+                t => Datum::Improper(items, Box::new(t)),
+            }
+        }
+    }
+}
+
+#[test]
+fn display_parse_roundtrip() {
+    check("display_parse_roundtrip", 256, |rng| {
+        let d = arb_datum(rng, 4);
         let printed = d.to_string();
         let reparsed = parse_one(&printed).unwrap();
-        prop_assert_eq!(reparsed, d);
-    }
+        assert_eq!(reparsed, d);
+    });
+}
 
-    #[test]
-    fn pretty_parse_roundtrip(d in arb_datum()) {
+#[test]
+fn pretty_parse_roundtrip() {
+    check("pretty_parse_roundtrip", 256, |rng| {
+        let d = arb_datum(rng, 4);
         let printed = pretty(&d);
         let reparsed = parse_one(&printed).unwrap();
-        prop_assert_eq!(reparsed, d);
-    }
+        assert_eq!(reparsed, d);
+    });
+}
 
-    #[test]
-    fn lexer_never_panics(s in "\\PC{0,64}") {
+#[test]
+fn lexer_never_panics() {
+    check("lexer_never_panics", 256, |rng| {
+        let s: String = (0..rng.index(65))
+            .map(|_| char::from_u32(32 + rng.index(0x250) as u32).unwrap_or('x'))
+            .collect();
         for tok in Lexer::new(&s) {
             let _ = tok;
         }
-    }
+    });
+}
 
-    #[test]
-    fn parser_never_panics(s in "[ ()'`,.#a-z0-9\"\\\\]{0,64}") {
+#[test]
+fn parser_never_panics() {
+    check("parser_never_panics", 512, |rng| {
+        let alphabet = br#" ()'`,.#abcxyz0189"\"#;
+        let s: String = (0..rng.index(65))
+            .map(|_| alphabet[rng.index(alphabet.len())] as char)
+            .collect();
         let _ = parse(&s);
-    }
+    });
 }

@@ -9,9 +9,15 @@
 //! `optimize` prints the optimized source; `run` executes baseline and
 //! optimized versions on the cost-model VM and reports both; `analyze`
 //! prints flow-analysis statistics and inline candidates.
+//!
+//! By default the pipeline degrades on phase failures (budget trips, limit
+//! aborts, contained panics) and reports them as `;; degraded:` warnings on
+//! stderr; `--strict` turns the first such failure into a non-zero exit.
+//! `--deadline-ms`, `--fuel`, and `--max-growth` bound the run.
 
-use fdi_core::{optimize, PipelineConfig, Polyvariance, RunConfig};
+use fdi_core::{optimize, optimize_strict, Budget, PipelineConfig, Polyvariance, RunConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     command: String,
@@ -22,12 +28,15 @@ struct Options {
     policy: Polyvariance,
     stats: bool,
     dump: bool,
+    strict: bool,
+    budget: Budget,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: fdi <optimize|run|analyze> <file.scm> \
-         [-t THRESHOLD] [--unroll N] [--clref] [--policy 0cfa|poly|1cfa] [--stats] [--dump]"
+         [-t THRESHOLD] [--unroll N] [--clref] [--policy 0cfa|poly|1cfa] [--stats] [--dump] \
+         [--strict] [--deadline-ms N] [--fuel N] [--max-growth X]"
     );
     ExitCode::FAILURE
 }
@@ -44,6 +53,8 @@ fn parse_args() -> Option<Options> {
         policy: Polyvariance::PolymorphicSplitting,
         stats: false,
         dump: false,
+        strict: false,
+        budget: Budget::default(),
     };
     let mut rest: Vec<String> = args.collect();
     let mut i = 0;
@@ -68,6 +79,23 @@ fn parse_args() -> Option<Options> {
             "--dump" => {
                 opts.dump = true;
                 rest.remove(i);
+            }
+            "--strict" => {
+                opts.strict = true;
+                rest.remove(i);
+            }
+            "--deadline-ms" => {
+                let ms: u64 = rest.get(i + 1)?.parse().ok()?;
+                opts.budget = opts.budget.with_deadline(Duration::from_millis(ms));
+                rest.drain(i..=i + 1);
+            }
+            "--fuel" => {
+                opts.budget = opts.budget.with_fuel(rest.get(i + 1)?.parse().ok()?);
+                rest.drain(i..=i + 1);
+            }
+            "--max-growth" => {
+                opts.budget = opts.budget.with_max_growth(rest.get(i + 1)?.parse().ok()?);
+                rest.drain(i..=i + 1);
             }
             "--policy" => {
                 opts.policy = match rest.get(i + 1)?.as_str() {
@@ -100,17 +128,34 @@ fn main() -> ExitCode {
     let mut config = PipelineConfig::with_threshold(opts.threshold);
     config.policy = opts.policy;
     config.unroll = opts.unroll;
+    config.budget = opts.budget;
     if opts.clref {
         config.mode = fdi_core::InlineMode::ClRef;
     }
+    // Degrading by default; `--strict` propagates the first phase failure.
+    let run_pipeline = |src: &str| {
+        let result = if opts.strict {
+            optimize_strict(src, &config)
+        } else {
+            optimize(src, &config)
+        };
+        match result {
+            Ok(out) => {
+                if out.health.degraded() {
+                    eprintln!(";; degraded: {}", out.health.summary());
+                }
+                Some(out)
+            }
+            Err(e) => {
+                eprintln!("fdi: {e}");
+                None
+            }
+        }
+    };
     match opts.command.as_str() {
         "optimize" => {
-            let out = match optimize(&src, &config) {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("fdi: {e}");
-                    return ExitCode::FAILURE;
-                }
+            let Some(out) = run_pipeline(&src) else {
+                return ExitCode::FAILURE;
             };
             println!("{}", fdi_sexpr::pretty(&fdi_lang::unparse(&out.optimized)));
             eprintln!(
@@ -123,12 +168,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "run" => {
-            let out = match optimize(&src, &config) {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("fdi: {e}");
-                    return ExitCode::FAILURE;
-                }
+            let Some(out) = run_pipeline(&src) else {
+                return ExitCode::FAILURE;
             };
             let cfg = RunConfig::default();
             let base = fdi_vm::run(&out.baseline, &cfg);

@@ -1,0 +1,14 @@
+;; fuzz-cfg threshold=800 mode=closed policy=poly-split unroll=0
+;; A tower of forwarding wrappers: stresses contour growth and the
+;; inliner's recursive descent through nested letrec scopes.
+(define (f0 x) (* x x))
+(define (f1 x) (f0 x))
+(define (f2 x) (f1 x))
+(define (f3 x) (f2 x))
+(define (f4 x) (f3 x))
+(define (f5 x) (f4 x))
+(define (f6 x) (f5 x))
+(define (f7 x) (f6 x))
+(define (f8 x) (f7 x))
+(define (f9 x) (f8 x))
+(f9 7)

@@ -1,0 +1,9 @@
+;; fuzz-cfg threshold=2000 mode=clref policy=poly-split unroll=1
+;; One big procedure called from many sites at a huge threshold: the
+;; inlined program grows far past the baseline, probing the growth cap.
+(define (big a b)
+  (+ (* a a) (* b b) (* a b) (- a b) (- b a)
+     (if (< a b) (* 2 a) (* 2 b))
+     (if (zero? a) 1 (quotient b (if (zero? a) 1 a)))))
+(+ (big 1 2) (big 2 3) (big 3 4) (big 4 5) (big 5 6)
+   (big 6 7) (big 7 8) (big 8 9) (big 9 10) (big 10 11))

@@ -1,0 +1,9 @@
+;; fuzz-cfg threshold=300 mode=closed policy=2cfa unroll=0
+;; Shared higher-order plumbing under a deep call-string policy: many
+;; contours per lambda, exercising the analysis abort paths.
+(define (compose f g) (lambda (x) (f (g x))))
+(define (twice f) (compose f f))
+(define (inc n) (+ n 1))
+(define (dbl n) (* n 2))
+(define pipeline (twice (twice (compose inc dbl))))
+(cons (pipeline 3) ((twice pipeline) 1))

@@ -1,0 +1,7 @@
+;; fuzz-cfg threshold=150 mode=clref policy=1cfa unroll=0
+;; Mutually recursive even/odd through a selector: closure-reference
+;; inlining must keep the shared environment consistent.
+(define (dec n) (- n 1))
+(letrec ((ev? (lambda (n) (if (zero? n) #t (od? (dec n)))))
+         (od? (lambda (n) (if (zero? n) #f (ev? (dec n))))))
+  (cons (ev? 12) (od? 9)))

@@ -1,0 +1,6 @@
+;; fuzz-cfg threshold=250 mode=closed policy=poly-split unroll=0
+;; Variadic lambdas, apply, and quasiquote splicing: eta wrappers and
+;; hoisted literals flowing through the whole pipeline.
+(define (sum . xs) (apply + 0 0 xs))
+(define parts (list 1 2 3 4))
+(sum (length `(a ,@parts b)) (apply sum parts) (sum))

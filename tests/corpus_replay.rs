@@ -1,0 +1,116 @@
+//! Regression harness over `tests/corpus/*.scm`.
+//!
+//! Each corpus file — seed stressors plus inputs minimized by
+//! `fuzz_pipeline --save` — is replayed through [`fdi_core::optimize`]
+//! under its recorded configuration and again under starved limits. The
+//! invariant is *degraded, not crashed*: the pipeline may reject the input
+//! at the frontend or fall back to an earlier program, but it must never
+//! panic, return a non-frontend error, or produce an invalid or
+//! behaviour-changing program.
+
+use fdi_cfa::Polyvariance;
+use fdi_core::{Budget, InlineMode, PipelineConfig, PipelineError, RunConfig};
+use std::path::{Path, PathBuf};
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "scm"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus must not be empty");
+    files
+}
+
+/// Parses the `;; fuzz-cfg …` header written by `fuzz_pipeline --save`.
+fn config_of(src: &str) -> PipelineConfig {
+    let mut config = PipelineConfig::with_threshold(200);
+    let Some(line) = src.lines().find(|l| l.starts_with(";; fuzz-cfg ")) else {
+        return config;
+    };
+    for part in line.trim_start_matches(";; fuzz-cfg ").split_whitespace() {
+        let Some((key, value)) = part.split_once('=') else {
+            continue;
+        };
+        match key {
+            "threshold" => config.threshold = value.parse().unwrap_or(200),
+            "mode" => {
+                config.mode = if value == "clref" {
+                    InlineMode::ClRef
+                } else {
+                    InlineMode::Closed
+                }
+            }
+            "policy" => {
+                config.policy = match value {
+                    "0cfa" => Polyvariance::Monovariant,
+                    "1cfa" => Polyvariance::CallStrings(1),
+                    "2cfa" => Polyvariance::CallStrings(2),
+                    _ => Polyvariance::PolymorphicSplitting,
+                }
+            }
+            "unroll" => config.unroll = value.parse().unwrap_or(0),
+            _ => {}
+        }
+    }
+    config
+}
+
+/// One replay: `optimize` must succeed (or reject at the frontend), the
+/// output must validate, and behaviour must match the baseline.
+fn replay(path: &Path, src: &str, config: &PipelineConfig, label: &str) {
+    let name = path.file_name().unwrap().to_string_lossy();
+    let out = match fdi_core::optimize(src, config) {
+        Ok(out) => out,
+        Err(PipelineError::Frontend(_)) => return, // rejected inputs are fine
+        Err(e) => panic!("{name} [{label}]: non-frontend error: {e}"),
+    };
+    fdi_lang::validate(&out.optimized)
+        .unwrap_or_else(|e| panic!("{name} [{label}]: invalid output: {e}"));
+    let run_cfg = RunConfig::default();
+    let base = fdi_vm::run(&out.baseline, &run_cfg);
+    let opt = fdi_vm::run(&out.optimized, &run_cfg);
+    match (base, opt) {
+        (Ok(b), Ok(o)) => assert_eq!(
+            b.value,
+            o.value,
+            "{name} [{label}]: behaviour diverged (health: {})",
+            out.health.summary()
+        ),
+        (Err(_), _) => {} // baseline itself fails: nothing to compare
+        (Ok(_), Err(e)) => panic!("{name} [{label}]: optimizer broke the program: {e}"),
+    }
+}
+
+#[test]
+fn corpus_replays_under_recorded_config() {
+    for path in corpus_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let config = config_of(&src);
+        replay(&path, &src, &config, "recorded");
+    }
+}
+
+#[test]
+fn corpus_degrades_gracefully_under_starved_limits() {
+    for path in corpus_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let mut config = config_of(&src);
+        config.limits.max_contour_len = 1;
+        config.limits.max_nodes = 16;
+        config.limits.max_steps = 8;
+        replay(&path, &src, &config, "starved-limits");
+    }
+}
+
+#[test]
+fn corpus_degrades_gracefully_under_tiny_budget() {
+    for path in corpus_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let mut config = config_of(&src);
+        config.budget = Budget::default().with_fuel(1).with_max_growth(1.0);
+        replay(&path, &src, &config, "tiny-budget");
+    }
+}

@@ -111,3 +111,75 @@ fn heavy_shadowing_survives_the_pipeline() {
         assert_eq!(r.value, "20", "threshold {t}");
     }
 }
+
+/// Starved analysis limits must degrade the pipeline, not fail it: the
+/// output is the last-validated program (here the baseline) and behaviour
+/// is unchanged.
+#[test]
+fn starved_analysis_degrades_to_validated_baseline() {
+    let src = "
+        (define (compose f g) (lambda (x) (f (g x))))
+        (define (inc n) (+ n 1))
+        (define (dbl n) (* n 2))
+        ((compose (compose inc dbl) (compose dbl inc)) 5)";
+    let program = fdi_lang::parse_and_lower(src).unwrap();
+    let mut config = PipelineConfig::with_threshold(800);
+    config.limits.max_contour_len = 1;
+    config.limits.max_nodes = 8;
+    config.limits.max_steps = 3;
+    let out = optimize_program(&program, &config).unwrap();
+    assert!(out.health.degraded(), "{:?}", out.health);
+    fdi_lang::validate(&out.optimized).expect("degraded output still validates");
+    let original = fdi_vm::run(&program, &RunConfig::default()).unwrap();
+    let degraded = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+    assert_eq!(original.value, degraded.value);
+}
+
+/// A near-zero cross-phase fuel budget exhausts before the optimization
+/// phases run; the pipeline reports the exhaustion in its health ledger and
+/// still returns a runnable, behaviour-preserving program.
+#[test]
+fn exhausted_budget_degrades_to_validated_baseline() {
+    use fdi_core::{Budget, BudgetKind, PipelineError};
+    let src = "
+        (define (h x y) (+ x y))
+        (define (k n) (h n (h n n)))
+        (k 7)";
+    let program = fdi_lang::parse_and_lower(src).unwrap();
+    let mut config = PipelineConfig::with_threshold(400);
+    config.budget = Budget::default().with_fuel(1);
+    let out = optimize_program(&program, &config).unwrap();
+    assert!(out.health.degraded(), "{:?}", out.health);
+    assert!(
+        matches!(
+            out.health.first_error(),
+            Some(PipelineError::BudgetExhausted {
+                kind: BudgetKind::Fuel,
+                ..
+            })
+        ),
+        "{:?}",
+        out.health
+    );
+    fdi_lang::validate(&out.optimized).expect("degraded output still validates");
+    let original = fdi_vm::run(&program, &RunConfig::default()).unwrap();
+    let degraded = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+    assert_eq!(original.value, degraded.value);
+}
+
+/// An already-expired deadline starves every phase including the analysis;
+/// degradation must still produce the baseline behaviour.
+#[test]
+fn expired_deadline_degrades_not_crashes() {
+    use fdi_core::Budget;
+    use std::time::Duration;
+    let src = "(define (f x) (* x x)) (f 9)";
+    let program = fdi_lang::parse_and_lower(src).unwrap();
+    let mut config = PipelineConfig::with_threshold(400);
+    config.budget = Budget::default().with_deadline(Duration::from_nanos(1));
+    let out = optimize_program(&program, &config).unwrap();
+    assert!(out.health.degraded(), "{:?}", out.health);
+    fdi_lang::validate(&out.optimized).expect("degraded output still validates");
+    let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+    assert_eq!(r.value, "81");
+}

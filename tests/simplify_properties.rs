@@ -1,50 +1,62 @@
 //! Property tests for the simplifier alone: behaviour preservation and
 //! idempotence over randomly generated programs.
 
+use fdi_testutil::{check, Rng};
 use fdi_vm::RunConfig;
-use proptest::prelude::*;
 
-fn arb_expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (-50i64..50).prop_map(|n| n.to_string()),
-        Just("x".to_string()),
-        Just("y".to_string()),
-        Just("#t".to_string()),
-        Just("#f".to_string()),
-        Just("'()".to_string()),
-    ];
+fn arb_expr(rng: &mut Rng, depth: u32) -> String {
+    let leaf = |rng: &mut Rng| -> String {
+        match rng.index(6) {
+            0 => rng.range(-50, 50).to_string(),
+            1 => "x".to_string(),
+            2 => "y".to_string(),
+            3 => "#t".to_string(),
+            4 => "#f".to_string(),
+            _ => "'()".to_string(),
+        }
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let sub = arb_expr(depth - 1);
-    prop_oneof![
-        3 => leaf,
-        2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("(+ {a} {b})")),
-        1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("(* {a} {b})")),
-        2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("(cons {a} {b})")),
-        1 => sub.clone().prop_map(|a| format!("(null? {a})")),
-        1 => sub.clone().prop_map(|a| format!("(zero? (modulo {a} 7))")),
-        2 => (sub.clone(), sub.clone(), sub.clone())
-            .prop_map(|(c, t, e)| format!("(if {c} {t} {e})")),
-        2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("(let ((x {a})) {b})")),
-        1 => (sub.clone(), sub.clone()).prop_map(|(a, b)| format!("(let ((y {a})) {b})")),
-        2 => (sub.clone(), sub.clone())
-            .prop_map(|(a, b)| format!("((lambda (x) {b}) {a})")),
-        1 => (sub.clone(), sub.clone())
-            .prop_map(|(a, b)| format!("(begin (display {a}) {b})")),
-        1 => (sub.clone(), sub.clone(), sub.clone()).prop_map(|(f, a, b)| format!(
-            "(let ((h (lambda (x) {f}))) (cons (h {a}) (h {b})))"
-        )),
-        1 => (sub.clone(), sub.clone()).prop_map(|(n, acc)| format!(
-            "(letrec ((lp (lambda (i a) (if (zero? i) a (lp (- i 1) (cons {acc} a))))))
-               (lp (modulo (abs {n}) 4) '()))"
-        )),
-    ]
-    .boxed()
+    let d = depth - 1;
+    match rng.weighted(&[3, 2, 1, 2, 1, 1, 2, 2, 1, 2, 1, 1, 1]) {
+        0 => leaf(rng),
+        1 => format!("(+ {} {})", arb_expr(rng, d), arb_expr(rng, d)),
+        2 => format!("(* {} {})", arb_expr(rng, d), arb_expr(rng, d)),
+        3 => format!("(cons {} {})", arb_expr(rng, d), arb_expr(rng, d)),
+        4 => format!("(null? {})", arb_expr(rng, d)),
+        5 => format!("(zero? (modulo {} 7))", arb_expr(rng, d)),
+        6 => format!(
+            "(if {} {} {})",
+            arb_expr(rng, d),
+            arb_expr(rng, d),
+            arb_expr(rng, d)
+        ),
+        7 => format!("(let ((x {})) {})", arb_expr(rng, d), arb_expr(rng, d)),
+        8 => format!("(let ((y {})) {})", arb_expr(rng, d), arb_expr(rng, d)),
+        9 => format!("((lambda (x) {}) {})", arb_expr(rng, d), arb_expr(rng, d)),
+        10 => format!(
+            "(begin (display {}) {})",
+            arb_expr(rng, d),
+            arb_expr(rng, d)
+        ),
+        11 => format!(
+            "(let ((h (lambda (x) {}))) (cons (h {}) (h {})))",
+            arb_expr(rng, d),
+            arb_expr(rng, d),
+            arb_expr(rng, d)
+        ),
+        _ => format!(
+            "(letrec ((lp (lambda (i a) (if (zero? i) a (lp (- i 1) (cons {} a))))))
+               (lp (modulo (abs {}) 4) '()))",
+            arb_expr(rng, d),
+            arb_expr(rng, d)
+        ),
+    }
 }
 
-fn arb_program() -> impl Strategy<Value = String> {
-    arb_expr(4).prop_map(|e| format!("(let ((x 3) (y 4)) {e})"))
+fn arb_program(rng: &mut Rng) -> String {
+    format!("(let ((x 3) (y 4)) {})", arb_expr(rng, 4))
 }
 
 fn run(p: &fdi_lang::Program) -> Result<(String, String), String> {
@@ -57,40 +69,51 @@ fn run(p: &fdi_lang::Program) -> Result<(String, String), String> {
         .map_err(|e| e.message)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Simplification must preserve successful results exactly. (It may
-    /// remove failures — dropping an unused failable expression is §3.8's
-    /// license — so error cases are not compared.)
-    #[test]
-    fn simplify_preserves_success(src in arb_program()) {
+/// Simplification must preserve successful results exactly. (It may
+/// remove failures — dropping an unused failable expression is §3.8's
+/// license — so error cases are not compared.)
+#[test]
+fn simplify_preserves_success() {
+    check("simplify_preserves_success", 128, |rng| {
+        let src = arb_program(rng);
         let p = fdi_lang::parse_and_lower(&src).unwrap();
         let (simple, _) = fdi_simplify::simplify(&p);
         fdi_lang::validate(&simple).unwrap();
         if let Ok(expected) = run(&p) {
             let got = run(&simple);
-            prop_assert_eq!(Ok(expected), got, "simplify diverged on\n{}", src);
+            assert_eq!(Ok(expected), got, "simplify diverged on\n{}", src);
         }
-    }
+    });
+}
 
-    #[test]
-    fn simplify_is_idempotent(src in arb_program()) {
+#[test]
+fn simplify_is_idempotent() {
+    check("simplify_is_idempotent", 128, |rng| {
+        let src = arb_program(rng);
         let p = fdi_lang::parse_and_lower(&src).unwrap();
         let (once, _) = fdi_simplify::simplify(&p);
         let (twice, stats) = fdi_simplify::simplify(&once);
-        prop_assert_eq!(once.size(), twice.size(), "{}", src);
-        prop_assert_eq!(stats.iterations, 1, "second run must converge instantly: {}", src);
-    }
+        assert_eq!(once.size(), twice.size(), "{}", src);
+        assert_eq!(
+            stats.iterations, 1,
+            "second run must converge instantly: {}",
+            src
+        );
+    });
+}
 
-    #[test]
-    fn simplify_never_grows_programs(src in arb_program()) {
+#[test]
+fn simplify_never_grows_programs() {
+    check("simplify_never_grows_programs", 128, |rng| {
+        let src = arb_program(rng);
         let p = fdi_lang::parse_and_lower(&src).unwrap();
         let (simple, _) = fdi_simplify::simplify(&p);
-        prop_assert!(
+        assert!(
             simple.size() <= p.size(),
             "simplifier grew {} from {} to {}",
-            src, p.size(), simple.size()
+            src,
+            p.size(),
+            simple.size()
         );
-    }
+    });
 }
