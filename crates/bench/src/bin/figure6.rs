@@ -2,18 +2,26 @@
 //! normalized to threshold 0, split into mutator (dark) and collector
 //! (light) time.
 //!
-//! Usage: `cargo run --release -p fdi-bench --bin figure6 [benchmark …]`
+//! Usage: `cargo run --release -p fdi-bench --bin figure6 [--jobs N] [benchmark …]`
+//!
+//! `--jobs N` computes the sweeps on the batch engine with `N` workers; the
+//! rows are byte-identical to the sequential ones.
 
-use fdi_bench::{bar, figure6_rows, selected};
+use fdi_bench::{bar, figure6_rows, figure6_rows_on, jobs_flag, selected};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = jobs_flag(&mut args).map(fdi_engine::Engine::with_jobs);
     println!("Figure 6: normalized execution time vs inline threshold");
     println!("(each bar: mutator '█' + collector '░'; 40 cells = the threshold-0 total)");
     for b in selected(&args) {
         println!();
         println!("== {} — {}", b.name, b.description);
-        match figure6_rows(b, b.default_scale) {
+        let rows = match &engine {
+            Some(engine) => figure6_rows_on(engine, b, b.default_scale),
+            None => figure6_rows(b, b.default_scale),
+        };
+        match rows {
             Ok(rows) => {
                 println!(
                     "{:>9} {:>7} {:>8} {:>9} {:>7}",
@@ -39,5 +47,15 @@ fn main() {
             }
             Err(e) => println!("  failed: {e}"),
         }
+    }
+    if let Some(engine) = &engine {
+        let stats = engine.stats();
+        eprintln!(
+            ";; engine: {} workers, {} jobs, analysis cache {:.0}% hit ({} CFAs run)",
+            engine.workers(),
+            stats.jobs_completed,
+            stats.analysis_hit_rate() * 100.0,
+            stats.analysis_misses,
+        );
     }
 }

@@ -1,12 +1,16 @@
 //! Regenerates Table 1: benchmark sizes, flow-analysis times, and
 //! object-code-size ratios across inline thresholds.
 //!
-//! Usage: `cargo run --release -p fdi-bench --bin table1 [benchmark …]`
+//! Usage: `cargo run --release -p fdi-bench --bin table1 [--jobs N] [benchmark …]`
+//!
+//! `--jobs N` computes the rows on the batch engine with `N` workers; the
+//! numbers are identical, the wall clock is not.
 
-use fdi_bench::{selected, table1_row, THRESHOLDS};
+use fdi_bench::{jobs_flag, selected, table1_row, table1_row_on, THRESHOLDS};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = jobs_flag(&mut args).map(fdi_engine::Engine::with_jobs);
     println!("Table 1: benchmark programs (cf. PLDI'96 p.202)");
     println!();
     println!(
@@ -20,7 +24,11 @@ fn main() {
     println!();
     println!("{}", "-".repeat(72));
     for b in selected(&args) {
-        match table1_row(b, b.default_scale) {
+        let row = match &engine {
+            Some(engine) => table1_row_on(engine, b, b.default_scale),
+            None => table1_row(b, b.default_scale),
+        };
+        match row {
             Ok(row) => {
                 print!(
                     "{:<10} {:>6} {:>10.2}  ",
@@ -36,5 +44,15 @@ fn main() {
             }
             Err(e) => println!("{:<10} failed: {e}", b.name),
         }
+    }
+    if let Some(engine) = &engine {
+        let stats = engine.stats();
+        eprintln!(
+            ";; engine: {} workers, {} jobs, analysis cache {:.0}% hit ({} CFAs run)",
+            engine.workers(),
+            stats.jobs_completed,
+            stats.analysis_hit_rate() * 100.0,
+            stats.analysis_misses,
+        );
     }
 }

@@ -17,8 +17,11 @@
 
 use fdi_benchsuite::{Benchmark, BENCHMARKS};
 use fdi_core::{
-    optimize_program, PipelineConfig, PipelineError, Polyvariance, RunConfig, SweepRow,
+    analyze_contained, optimize_program_with_analysis, PipelineConfig, PipelineError, Polyvariance,
+    RunConfig, SweepRow,
 };
+use fdi_engine::{Engine, Job};
+use std::sync::Arc;
 
 /// The paper's threshold axis (Fig. 6 adds the 0 baseline).
 pub const THRESHOLDS: &[usize] = &[50, 100, 200, 500, 1000];
@@ -50,11 +53,19 @@ pub struct Table1Row {
 /// lower.
 pub fn table1_row(b: &Benchmark, scale: u32) -> Result<Table1Row, PipelineError> {
     let program = fdi_lang::parse_and_lower(&b.scaled(scale))?;
+    // The analysis is threshold-independent: run it once and share it across
+    // the row, exactly as `fdi_core::sweep` and the batch engine do.
+    let config = PipelineConfig::default();
+    let analysis = analyze_contained(&program, &config);
     let mut ratios = Vec::new();
     let mut warnings = Vec::new();
     let mut analysis_secs = 0.0;
     for &t in THRESHOLDS {
-        let out = optimize_program(&program, &PipelineConfig::with_threshold(t))?;
+        let cfg = PipelineConfig {
+            threshold: t,
+            ..config
+        };
+        let out = optimize_program_with_analysis(&program, &cfg, analysis.as_ref());
         analysis_secs = out.flow_stats.duration.as_secs_f64();
         ratios.push(out.size_ratio());
         if out.health.degraded() {
@@ -64,6 +75,45 @@ pub fn table1_row(b: &Benchmark, scale: u32) -> Result<Table1Row, PipelineError>
     Ok(Table1Row {
         name: b.name.to_string(),
         lines: program.line_count(),
+        analysis_secs,
+        ratios,
+        warnings,
+    })
+}
+
+/// [`table1_row`] on the batch engine: the row's thresholds become jobs, the
+/// engine's artifact cache supplies the shared parse and analysis.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Frontend`] when the benchmark source does not
+/// lower.
+pub fn table1_row_on(
+    engine: &Engine,
+    b: &Benchmark,
+    scale: u32,
+) -> Result<Table1Row, PipelineError> {
+    let source: Arc<str> = Arc::from(b.scaled(scale));
+    let results = engine.run_batch(THRESHOLDS.iter().map(|&t| Job {
+        source: source.clone(),
+        config: PipelineConfig::with_threshold(t),
+    }));
+    let mut ratios = Vec::new();
+    let mut warnings = Vec::new();
+    let mut analysis_secs = 0.0;
+    let mut lines = 0;
+    for (&t, result) in THRESHOLDS.iter().zip(results) {
+        let out = result?;
+        lines = out.lines;
+        analysis_secs = out.flow_stats.duration.as_secs_f64();
+        ratios.push(out.size_ratio());
+        if out.health.degraded() {
+            warnings.push(format!("T={t}: {}", out.health.summary()));
+        }
+    }
+    Ok(Table1Row {
+        name: b.name.to_string(),
+        lines,
         analysis_secs,
         ratios,
         warnings,
@@ -86,6 +136,41 @@ pub fn figure6_rows(b: &Benchmark, scale: u32) -> Result<Vec<SweepRow>, Pipeline
         &PipelineConfig::default(),
         &RunConfig::default(),
     )
+}
+
+/// [`figure6_rows`] on the batch engine — byte-identical rows, computed on
+/// the pool with one flow analysis per benchmark.
+///
+/// # Errors
+///
+/// Exactly [`figure6_rows`]'s.
+pub fn figure6_rows_on(
+    engine: &Engine,
+    b: &Benchmark,
+    scale: u32,
+) -> Result<Vec<SweepRow>, PipelineError> {
+    engine.sweep(
+        &b.scaled(scale),
+        THRESHOLDS,
+        &PipelineConfig::default(),
+        &RunConfig::default(),
+    )
+}
+
+/// Extracts a `--jobs N` flag from CLI args (removing it), for the harness
+/// binaries' engine mode. `None` means run sequentially.
+pub fn jobs_flag(args: &mut Vec<String>) -> Option<usize> {
+    let i = args.iter().position(|a| a == "--jobs")?;
+    if i + 1 >= args.len() {
+        eprintln!("--jobs needs a worker count");
+        std::process::exit(2);
+    }
+    let n: usize = args[i + 1].parse().unwrap_or_else(|_| {
+        eprintln!("--jobs needs an integer, got {:?}", args[i + 1]);
+        std::process::exit(2);
+    });
+    args.drain(i..=i + 1);
+    Some(n)
 }
 
 /// §5.1 ablation, one (benchmark, policy) cell.

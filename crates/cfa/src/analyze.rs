@@ -33,12 +33,28 @@ pub fn analyze(program: &Program, policy: Polyvariance) -> FlowAnalysis {
     analyze_with_limits(program, policy, AnalysisLimits::default())
 }
 
+thread_local! {
+    static ANALYZE_COUNT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of analysis runs performed **by this thread** since it started.
+///
+/// A diagnostics counter for reuse-regression tests: code that should
+/// analyze a program once and share the [`FlowAnalysis`] across many
+/// transform configurations (threshold sweeps, the batch engine's
+/// content-addressed cache) asserts the delta across a call. Thread-local on
+/// purpose, so concurrent tests and worker pools don't pollute each other.
+pub fn analyze_count() -> u64 {
+    ANALYZE_COUNT.with(std::cell::Cell::get)
+}
+
 /// Like [`analyze`] but with explicit safety limits.
 pub fn analyze_with_limits(
     program: &Program,
     policy: Polyvariance,
     limits: AnalysisLimits,
 ) -> FlowAnalysis {
+    ANALYZE_COUNT.with(|c| c.set(c.get() + 1));
     let start = Instant::now();
     let mut a = Analyzer::new(program, policy, limits);
     let root = program.root();

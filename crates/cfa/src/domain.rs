@@ -32,7 +32,7 @@ impl fmt::Display for ContourId {
 }
 
 /// Interns contours; [`ContourId::EMPTY`] is always id 0.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ContourTable {
     strings: Vec<Vec<Label>>,
     map: HashMap<Vec<Label>, ContourId>,
@@ -127,7 +127,7 @@ impl AbsEnvId {
 }
 
 /// Interns abstract environments.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AbsEnvTable {
     envs: Vec<Vec<(VarId, ContourId)>>,
     map: HashMap<Vec<(VarId, ContourId)>, AbsEnvId>,
@@ -203,7 +203,7 @@ pub struct AbsClosure {
 }
 
 /// Interns abstract closures.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ClosureTable {
     closures: Vec<AbsClosure>,
     map: HashMap<AbsClosure, ClosureId>,

@@ -38,7 +38,7 @@ mod policy;
 mod prims;
 mod result;
 
-pub use analyze::{abs_const, analyze, analyze_with_limits};
+pub use analyze::{abs_const, analyze, analyze_count, analyze_with_limits};
 pub use domain::{
     AbsClosure, AbsConst, AbsEnvId, AbsEnvTable, AbsVal, ClosureId, ClosureTable, ContourId,
     ContourTable, ValSet,

@@ -49,7 +49,13 @@ pub struct AnalysisStats {
 }
 
 /// A flow analysis `F` of one program.
-#[derive(Debug)]
+///
+/// The result is **cache-safe**: it is immutable after construction, owns
+/// all of its data (no interior mutability, no borrowed program state), and
+/// is `Send + Sync + Clone` — the compile-time assertion below is what lets
+/// the batch engine share one analysis across worker threads behind an
+/// `Arc`, keyed by (source hash, analysis fingerprint).
+#[derive(Debug, Clone)]
 pub struct FlowAnalysis {
     exprs: HashMap<Label, Vec<(ContourId, ValSet)>>,
     vars: HashMap<(VarId, ContourId), ValSet>,
@@ -261,6 +267,13 @@ impl FlowAnalysis {
         Some(cid)
     }
 }
+
+// The cache-safety contract: analysis results may be shared across threads.
+const _: () = {
+    const fn assert_cache_safe<T: Send + Sync + Clone>() {}
+    assert_cache_safe::<FlowAnalysis>();
+    assert_cache_safe::<AnalysisStats>();
+};
 
 fn lambda_accepts(lam: &LambdaInfo, n: usize) -> bool {
     lam.accepts(n)

@@ -1,0 +1,274 @@
+//! Stable fingerprints for content-addressed caching.
+//!
+//! The batch engine (`fdi-engine`) shares artifacts between jobs through a
+//! content-addressed cache: parse/expand/lower artifacts are keyed by a hash
+//! of the source text, and flow analyses by the pair (source hash,
+//! analysis-policy fingerprint). Those keys must be *stable* — equal for
+//! semantically equal configurations, across processes and compiler versions
+//! — so they cannot ride on `#[derive(Hash)]` (whose output is explicitly
+//! unspecified) or on `DefaultHasher` (whose algorithm may change between
+//! releases).
+//!
+//! This module defines the canonical encoding by hand: every field that can
+//! influence the artifact is written to an FNV-1a 64 accumulator in a fixed
+//! order, with explicit tag bytes for enum variants and `Option`s. Two
+//! levels of key are exposed:
+//!
+//! * [`PipelineConfig::analysis_fingerprint`] covers exactly the fields that
+//!   determine a [`fdi_cfa::FlowAnalysis`] for a given program — the contour
+//!   policy and the deterministic analysis limits. Configurations differing
+//!   only in inline threshold, inliner mode, simplifier iterations, unroll
+//!   depth, or budget share this key, which is what lets a threshold sweep
+//!   analyze each program exactly once.
+//! * [`PipelineConfig::fingerprint`] additionally covers every field that
+//!   can change the pipeline's *output* (threshold, mode, simplifier
+//!   iterations, unroll, and the resource budget), and is the whole-job
+//!   deduplication key.
+//!
+//! Wall-clock anchors are deliberately excluded: [`AnalysisLimits::deadline`]
+//! is an absolute `Instant` and is meaningless across runs. Callers that set
+//! a deadline (on the limits or the budget) must bypass result caches
+//! entirely — the engine does — because a deadline can make otherwise equal
+//! runs diverge.
+
+use crate::runner::Budget;
+use crate::PipelineConfig;
+use fdi_cfa::{AnalysisLimits, Polyvariance};
+use fdi_inline::InlineMode;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// An FNV-1a 64 accumulator over a canonical byte encoding.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Fingerprint {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    /// A fresh accumulator at the FNV offset basis.
+    pub fn new() -> Fingerprint {
+        Fingerprint(FNV_OFFSET)
+    }
+
+    /// The accumulated hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+
+    /// Hashes one byte.
+    pub fn byte(mut self, b: u8) -> Fingerprint {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        self
+    }
+
+    /// Hashes a byte slice (length-prefixed so concatenations can't collide
+    /// by reassociation).
+    pub fn bytes(self, bs: &[u8]) -> Fingerprint {
+        let mut f = self.u64(bs.len() as u64);
+        for &b in bs {
+            f = f.byte(b);
+        }
+        f
+    }
+
+    /// Hashes a `u64` in little-endian byte order.
+    pub fn u64(mut self, v: u64) -> Fingerprint {
+        for b in v.to_le_bytes() {
+            self = self.byte(b);
+        }
+        self
+    }
+
+    /// Hashes a `usize` widened to `u64` (stable across pointer widths).
+    pub fn usize(self, v: usize) -> Fingerprint {
+        self.u64(v as u64)
+    }
+
+    /// Hashes an `f64` by its IEEE-754 bit pattern.
+    pub fn f64(self, v: f64) -> Fingerprint {
+        self.u64(v.to_bits())
+    }
+
+    /// Hashes an `Option` with a presence tag byte.
+    pub fn opt(self, v: Option<u64>) -> Fingerprint {
+        match v {
+            None => self.byte(0),
+            Some(x) => self.byte(1).u64(x),
+        }
+    }
+}
+
+/// The content address of a source text: FNV-1a 64 over its bytes.
+///
+/// Identical sources — and only identical sources, up to hash collisions —
+/// share parse/expand/lower artifacts in the engine's cache.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_core::source_fingerprint;
+///
+/// assert_eq!(source_fingerprint("(+ 1 2)"), source_fingerprint("(+ 1 2)"));
+/// assert_ne!(source_fingerprint("(+ 1 2)"), source_fingerprint("(+ 1 3)"));
+/// ```
+pub fn source_fingerprint(src: &str) -> u64 {
+    Fingerprint::new().bytes(src.as_bytes()).finish()
+}
+
+fn encode_policy(f: Fingerprint, p: Polyvariance) -> Fingerprint {
+    match p {
+        Polyvariance::Monovariant => f.byte(0),
+        Polyvariance::PolymorphicSplitting => f.byte(1),
+        Polyvariance::CallStrings(k) => f.byte(2).byte(k),
+    }
+}
+
+fn encode_limits(f: Fingerprint, l: &AnalysisLimits) -> Fingerprint {
+    // `l.deadline` is an absolute wall-clock anchor and is excluded; callers
+    // with a deadline must not cache (see the module docs).
+    f.usize(l.max_contour_len)
+        .usize(l.max_nodes)
+        .usize(l.max_steps)
+}
+
+fn encode_budget(f: Fingerprint, b: &Budget) -> Fingerprint {
+    f.opt(b.deadline.map(|d| d.as_nanos() as u64))
+        .opt(b.fuel)
+        .opt(b.max_growth.map(f64::to_bits))
+}
+
+impl PipelineConfig {
+    /// Stable fingerprint of the fields that determine the flow analysis of
+    /// a program: the contour policy and the deterministic analysis limits.
+    ///
+    /// This is the analysis-level cache key: configurations that differ only
+    /// in inline threshold (or any other transform-side knob) collide here,
+    /// so a threshold sweep performs one analysis per program.
+    pub fn analysis_fingerprint(&self) -> u64 {
+        let f = Fingerprint::new().byte(1); // encoding version
+        encode_limits(encode_policy(f, self.policy), &self.limits).finish()
+    }
+
+    /// Stable fingerprint of every field that can influence the pipeline's
+    /// output — the whole-job deduplication key.
+    ///
+    /// Semantically equal configurations (same field values, however
+    /// constructed) always collide; the absolute
+    /// [`AnalysisLimits::deadline`] is excluded (see the module docs).
+    pub fn fingerprint(&self) -> u64 {
+        let f = Fingerprint::new().byte(1); // encoding version
+        let f = encode_limits(encode_policy(f, self.policy), &self.limits);
+        let f = f.usize(self.threshold);
+        let f = match self.mode {
+            InlineMode::Closed => f.byte(0),
+            InlineMode::ClRef => f.byte(1),
+        };
+        let f = f.usize(self.simplify_iters).usize(self.unroll);
+        encode_budget(f, &self.budget).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn equal_configs_collide() {
+        // Separately constructed but semantically equal configurations must
+        // produce the same key — the property `#[derive(Hash)]` cannot
+        // promise across releases.
+        let a = PipelineConfig::with_threshold(200);
+        let b = PipelineConfig::with_threshold(200);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.analysis_fingerprint(), b.analysis_fingerprint());
+    }
+
+    #[test]
+    fn thresholds_share_the_analysis_key() {
+        let fps: Vec<(u64, u64)> = [0usize, 50, 100, 200, 500, 1000]
+            .iter()
+            .map(|&t| {
+                let c = PipelineConfig::with_threshold(t);
+                (c.analysis_fingerprint(), c.fingerprint())
+            })
+            .collect();
+        // All thresholds share the analysis-level key…
+        assert!(fps.iter().all(|&(a, _)| a == fps[0].0));
+        // …but each is a distinct job.
+        let mut jobs: Vec<u64> = fps.iter().map(|&(_, j)| j).collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        assert_eq!(jobs.len(), fps.len());
+    }
+
+    #[test]
+    fn transform_knobs_do_not_touch_the_analysis_key() {
+        let base = PipelineConfig::with_threshold(200);
+        let mut clref = base;
+        clref.mode = InlineMode::ClRef;
+        let mut unrolled = base;
+        unrolled.unroll = 2;
+        let mut fewer = base;
+        fewer.simplify_iters = 1;
+        for other in [clref, unrolled, fewer] {
+            assert_eq!(base.analysis_fingerprint(), other.analysis_fingerprint());
+            assert_ne!(base.fingerprint(), other.fingerprint());
+        }
+    }
+
+    #[test]
+    fn policy_and_limits_split_the_analysis_key() {
+        let base = PipelineConfig::with_threshold(200);
+        let mut mono = base;
+        mono.policy = Polyvariance::Monovariant;
+        let mut onecfa = base;
+        onecfa.policy = Polyvariance::CallStrings(1);
+        let mut twocfa = base;
+        twocfa.policy = Polyvariance::CallStrings(2);
+        let mut capped = base;
+        capped.limits.max_contour_len = 4;
+        let keys: Vec<u64> = [base, mono, onecfa, twocfa, capped]
+            .iter()
+            .map(|c| c.analysis_fingerprint())
+            .collect();
+        let mut uniq = keys.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), keys.len(), "{keys:?}");
+    }
+
+    #[test]
+    fn budget_splits_the_job_key_only() {
+        let base = PipelineConfig::with_threshold(200);
+        let mut fueled = base;
+        fueled.budget = Budget::default().with_fuel(100);
+        let mut deadlined = base;
+        deadlined.budget = Budget::default().with_deadline(Duration::from_secs(1));
+        for other in [fueled, deadlined] {
+            assert_eq!(base.analysis_fingerprint(), other.analysis_fingerprint());
+            assert_ne!(base.fingerprint(), other.fingerprint());
+        }
+    }
+
+    #[test]
+    fn source_fingerprint_is_content_addressed() {
+        assert_eq!(source_fingerprint(""), Fingerprint::new().u64(0).finish());
+        let a = source_fingerprint("(define (f x) x)");
+        assert_eq!(a, source_fingerprint("(define (f x) x)"));
+        assert_ne!(a, source_fingerprint("(define (f y) y)"));
+        assert_ne!(source_fingerprint("ab"), source_fingerprint("ba"));
+    }
+
+    #[test]
+    fn encoding_is_pinned() {
+        // The encoding is part of the cache-key contract; a change here must
+        // be deliberate (bump the version byte in the encoders).
+        assert_eq!(source_fingerprint("(+ 1 2)"), 0xabd2_9f54_a6d4_5c29);
+    }
+}

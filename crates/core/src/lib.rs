@@ -36,9 +36,11 @@
 //! ```
 
 mod error;
+mod fingerprint;
 mod runner;
 
 use runner::{run_phase, BudgetTracker};
+use std::sync::Arc;
 use std::time::Duration;
 
 pub use error::{BudgetKind, Phase, PipelineError};
@@ -47,6 +49,7 @@ pub use fdi_inline::{InlineConfig, InlineMode, InlineReport};
 pub use fdi_lang::{FrontendError, Program};
 pub use fdi_simplify::SimplifyStats;
 pub use fdi_vm::{CostModel, Counters, Outcome, RunConfig, VmError};
+pub use fingerprint::{source_fingerprint, Fingerprint};
 pub use runner::{Budget, Degradation, Fallback, PipelineHealth};
 
 /// Configuration of one pipeline run.
@@ -140,6 +143,26 @@ impl PipelineOutput {
 /// so this function is total: given a lowered program it always produces a
 /// semantically equivalent output.
 fn run_pipeline(program: &Program, config: &PipelineConfig) -> PipelineOutput {
+    run_pipeline_with(program, config, None)
+}
+
+/// [`run_pipeline`], optionally reusing a pre-computed flow analysis.
+///
+/// `shared` is the cache seam: `None` computes the analysis in-process
+/// (exactly the historical behaviour); `Some(Ok(flow))` substitutes a flow
+/// analysis computed elsewhere — by [`analyze_contained`], possibly on
+/// another thread and shared through the engine's content-addressed cache —
+/// and `Some(Err(e))` replays a contained analysis failure, degrading this
+/// run to its baseline just as an in-process failure would.
+///
+/// The budget still gates the analysis phase and is still charged the
+/// analysis's worklist steps, so a cached analysis draws the same fuel as a
+/// computed one.
+fn run_pipeline_with(
+    program: &Program,
+    config: &PipelineConfig,
+    shared: Option<Result<&FlowAnalysis, &PipelineError>>,
+) -> PipelineOutput {
     use Phase::{Analysis, Baseline, Inline, Simplify};
 
     let mut health = PipelineHealth::default();
@@ -183,18 +206,31 @@ fn run_pipeline(program: &Program, config: &PipelineConfig) -> PipelineOutput {
             health.record(Analysis, e, Fallback::Baseline);
             break 'optimize;
         }
-        let mut limits = config.limits;
-        limits.deadline = match (limits.deadline, tracker.deadline()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        let flow = match run_phase(Analysis, || {
-            fdi_cfa::analyze_with_limits(program, config.policy, limits)
-        }) {
-            Ok(f) => f,
-            Err(e) => {
-                health.record(Analysis, e, Fallback::Baseline);
+        let computed: FlowAnalysis;
+        let flow: &FlowAnalysis = match shared {
+            Some(Ok(flow)) => flow,
+            Some(Err(e)) => {
+                health.record(Analysis, e.clone(), Fallback::Baseline);
                 break 'optimize;
+            }
+            None => {
+                let mut limits = config.limits;
+                limits.deadline = match (limits.deadline, tracker.deadline()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                match run_phase(Analysis, || {
+                    fdi_cfa::analyze_with_limits(program, config.policy, limits)
+                }) {
+                    Ok(f) => {
+                        computed = f;
+                        &computed
+                    }
+                    Err(e) => {
+                        health.record(Analysis, e, Fallback::Baseline);
+                        break 'optimize;
+                    }
+                }
             }
         };
         flow_stats = flow.stats().clone();
@@ -223,7 +259,7 @@ fn run_pipeline(program: &Program, config: &PipelineConfig) -> PipelineOutput {
             unroll: config.unroll,
         };
         let (inlined, inline_report) = match run_phase(Inline, || {
-            fdi_inline::inline_program(program, &flow, &inline_config)
+            fdi_inline::inline_program(program, flow, &inline_config)
         }) {
             Ok(x) => x,
             Err(e) => {
@@ -355,6 +391,63 @@ pub fn optimize_program_strict(
     }
 }
 
+/// Runs the front end alone (reader → expander → lowerer), under panic
+/// containment.
+///
+/// This is the compute half of the engine's parse cache: the lowered
+/// [`Program`] depends only on the source text, so one call serves every
+/// configuration over the same source (key it by [`source_fingerprint`]).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Frontend`] when the source is rejected and
+/// [`PipelineError::PhasePanicked`] when the front end panics.
+pub fn parse_contained(src: &str) -> Result<Program, PipelineError> {
+    run_phase(Phase::Frontend, || fdi_lang::parse_and_lower(src))
+        .and_then(|r| r.map_err(PipelineError::from))
+}
+
+/// Runs the analysis phase alone, exactly as the pipeline would: under
+/// panic containment, with the configuration's policy and limits.
+///
+/// This is the compute half of the engine's analysis cache: the result is
+/// threshold-independent, so one call serves every transform-side
+/// configuration over the same program (key it by
+/// [`PipelineConfig::analysis_fingerprint`]). An aborted analysis is an
+/// `Ok` carrying aborted stats — [`optimize_program_with_analysis`] turns it
+/// into the same degradation an in-process abort produces.
+///
+/// The caller is responsible for the deadline caveat: a configuration with
+/// a wall-clock deadline (on the budget or the limits) must not share the
+/// result, because the deadline is anchored to this call's wall clock.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::PhasePanicked`] when the analysis panics.
+pub fn analyze_contained(
+    program: &Program,
+    config: &PipelineConfig,
+) -> Result<FlowAnalysis, PipelineError> {
+    run_phase(Phase::Analysis, || {
+        fdi_cfa::analyze_with_limits(program, config.policy, config.limits)
+    })
+}
+
+/// [`optimize_program`] with an externally supplied analysis phase.
+///
+/// `analysis` is the outcome of [`analyze_contained`] (possibly computed on
+/// another thread and shared through a cache): `Ok(flow)` substitutes the
+/// flow analysis, `Err(e)` replays a contained analysis failure, degrading
+/// the run to its baseline exactly as an in-process failure would. The
+/// run's own budget still gates and is charged for the analysis phase.
+pub fn optimize_program_with_analysis(
+    program: &Program,
+    config: &PipelineConfig,
+    analysis: Result<&FlowAnalysis, &PipelineError>,
+) -> PipelineOutput {
+    run_pipeline_with(program, config, Some(analysis))
+}
+
 /// Runs the pipeline repeatedly — analyze, inline, simplify, re-analyze —
 /// until the program stops changing or `max_rounds` is reached.
 ///
@@ -458,38 +551,131 @@ pub fn sweep(
     run_config: &RunConfig,
 ) -> Result<Vec<SweepRow>, PipelineError> {
     let program = fdi_lang::parse_and_lower(src)?;
-    let mut rows: Vec<SweepRow> = Vec::new();
-    let mut base_total: Option<f64> = None;
-    let mut base_counters: Option<Counters> = None;
-    let mut expected: Option<(String, String)> = None;
+    sweep_program(&program, thresholds, config, run_config)
+}
+
+/// [`sweep`] for an already-lowered program.
+///
+/// The flow analysis is threshold-independent, so it runs **once** per sweep
+/// (when no wall-clock deadline is configured) and is shared across every
+/// threshold's pipeline; only the inline + simplify tail runs per threshold.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Vm`] when the threshold-0 baseline itself fails
+/// to execute.
+pub fn sweep_program(
+    program: &Program,
+    thresholds: &[usize],
+    config: &PipelineConfig,
+    run_config: &RunConfig,
+) -> Result<Vec<SweepRow>, PipelineError> {
     // Always measure threshold 0 first for normalization.
     let mut all: Vec<usize> = vec![0];
     all.extend(thresholds.iter().copied().filter(|&t| t != 0));
+    // A deadline (absolute or budget-relative) makes analyses of the same
+    // program diverge between rows, so only deadline-free sweeps share one.
+    let sharable = config.budget.deadline.is_none() && config.limits.deadline.is_none();
+    let shared = sharable.then(|| analyze_contained(program, config));
+    let mut cells = Vec::with_capacity(all.len());
     for t in all {
         let cfg = PipelineConfig {
             threshold: t,
             ..*config
         };
-        let out = run_pipeline(&program, &cfg);
+        let output = match &shared {
+            Some(analysis) => run_pipeline_with(program, &cfg, Some(analysis.as_ref())),
+            None => run_pipeline(program, &cfg),
+        };
+        let exec = execute_cell(&output, t, run_config);
+        cells.push(SweepCell {
+            threshold: t,
+            output: Arc::new(output),
+            exec,
+        });
+    }
+    assemble_sweep_rows(cells, run_config)
+}
+
+/// One threshold's pipeline output and (unnormalized) execution outcome —
+/// the unit of work [`assemble_sweep_rows`] folds into [`SweepRow`]s.
+///
+/// The output rides in an [`Arc`] so the engine's deduplicated jobs can
+/// share one pipeline result between cells.
+#[derive(Debug)]
+pub struct SweepCell {
+    /// The inline threshold.
+    pub threshold: usize,
+    /// The pipeline's output at this threshold.
+    pub output: Arc<PipelineOutput>,
+    /// The contained VM execution of the optimized program.
+    pub exec: Result<Outcome, PipelineError>,
+}
+
+/// Executes one sweep cell's optimized program on the cost-model VM, under
+/// panic containment.
+///
+/// Divergence against the threshold-0 answer is *not* checked here — that
+/// needs the sweep-wide expected value and happens in
+/// [`assemble_sweep_rows`] — so cells can execute in any order, or in
+/// parallel.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Vm`] when the program fails to execute and
+/// [`PipelineError::PhasePanicked`] when the VM panics.
+pub fn execute_cell(
+    output: &PipelineOutput,
+    threshold: usize,
+    run_config: &RunConfig,
+) -> Result<Outcome, PipelineError> {
+    run_phase(Phase::Execution, || {
+        fdi_vm::run(&output.optimized, run_config)
+    })
+    .and_then(|r| {
+        r.map_err(|e| PipelineError::Vm {
+            threshold,
+            message: e.message,
+        })
+    })
+}
+
+/// Folds executed sweep cells into normalized [`SweepRow`]s — the
+/// order-dependent half of a sweep.
+///
+/// Cells must arrive in sweep order (threshold 0 first): the first cell
+/// anchors normalization and the expected answer. Each later cell is checked
+/// for behaviour divergence against that answer; a cell whose pipeline
+/// degraded or whose execution failed falls back to the baseline
+/// measurements with the failure recorded in its row's health.
+///
+/// # Errors
+///
+/// Returns the threshold-0 cell's execution error when it has none to
+/// normalize to.
+pub fn assemble_sweep_rows(
+    cells: Vec<SweepCell>,
+    run_config: &RunConfig,
+) -> Result<Vec<SweepRow>, PipelineError> {
+    let mut rows: Vec<SweepRow> = Vec::with_capacity(cells.len());
+    let mut base_total: Option<f64> = None;
+    let mut base_counters: Option<Counters> = None;
+    let mut expected: Option<(String, String)> = None;
+    let model = &run_config.model;
+    for cell in cells {
+        let t = cell.threshold;
+        let out = &*cell.output;
         let mut health = out.health.clone();
-        let model = &run_config.model;
-        let run_result = run_phase(Phase::Execution, || fdi_vm::run(&out.optimized, run_config))
-            .and_then(|r| {
-                r.map_err(|e| PipelineError::Vm {
+        let run_result = cell.exec.and_then(|result| match &expected {
+            Some((v, o)) if *v != result.value || *o != result.output => {
+                Err(PipelineError::BehaviorDivergence {
                     threshold: t,
-                    message: e.message,
+                    expected: v.clone(),
+                    got: result.value.clone(),
                 })
-            })
-            .and_then(|result| match &expected {
-                Some((v, o)) if *v != result.value || *o != result.output => {
-                    Err(PipelineError::BehaviorDivergence {
-                        threshold: t,
-                        expected: v.clone(),
-                        got: result.value.clone(),
-                    })
-                }
-                _ => Ok(result),
-            });
+            }
+            _ => Ok(result),
+        });
         match run_result {
             Ok(result) => {
                 if expected.is_none() {
@@ -699,6 +885,80 @@ mod tests {
             out.health.first_error(),
             Some(PipelineError::BudgetExhausted { .. })
         ));
+        let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, "49");
+    }
+
+    #[test]
+    fn sweep_parses_and_analyzes_once() {
+        // Regression test for the batch-engine refactor: a threshold sweep
+        // must parse its source once and run the (threshold-independent)
+        // flow analysis once, not once per threshold. The counters are
+        // thread-local, so parallel test threads don't interfere.
+        let src = "(define (add a b) (+ a b)) (add (add 1 2) 3)";
+        let parses = fdi_lang::parse_count();
+        let analyses = fdi_cfa::analyze_count();
+        let rows = sweep(
+            src,
+            &[50, 100, 200, 500, 1000],
+            &PipelineConfig::default(),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(fdi_lang::parse_count() - parses, 1, "re-parsed per row");
+        assert_eq!(
+            fdi_cfa::analyze_count() - analyses,
+            1,
+            "re-analyzed per threshold"
+        );
+    }
+
+    #[test]
+    fn fixpoint_parses_once_per_call() {
+        let src = "(define (sq x) (* x x)) (sq (sq 2))";
+        let parses = fdi_lang::parse_count();
+        let (_, rounds) =
+            optimize_to_fixpoint(src, &PipelineConfig::with_threshold(300), 5).unwrap();
+        assert!(rounds >= 1);
+        assert_eq!(fdi_lang::parse_count() - parses, 1, "re-parsed per round");
+    }
+
+    #[test]
+    fn shared_analysis_matches_in_process_analysis() {
+        let src = "(define (compose f g) (lambda (x) (f (g x))))
+                   (define (inc n) (+ n 1))
+                   ((compose inc inc) 40)";
+        let program = fdi_lang::parse_and_lower(src).unwrap();
+        let config = PipelineConfig::with_threshold(300);
+        let flow = analyze_contained(&program, &config).unwrap();
+        let shared = optimize_program_with_analysis(&program, &config, Ok(&flow));
+        let solo = optimize_program(&program, &config).unwrap();
+        assert_eq!(
+            fdi_lang::unparse(&shared.optimized).to_string(),
+            fdi_lang::unparse(&solo.optimized).to_string()
+        );
+        assert_eq!(shared.optimized_size, solo.optimized_size);
+        assert_eq!(shared.report.sites_inlined, solo.report.sites_inlined);
+        assert!(!shared.health.degraded());
+    }
+
+    #[test]
+    fn replayed_analysis_failure_degrades_to_baseline() {
+        let src = "(define (sq x) (* x x)) (sq 7)";
+        let program = fdi_lang::parse_and_lower(src).unwrap();
+        let config = PipelineConfig::with_threshold(300);
+        let err = PipelineError::PhasePanicked {
+            phase: Phase::Analysis,
+            message: "replayed".to_string(),
+        };
+        let out = optimize_program_with_analysis(&program, &config, Err(&err));
+        assert!(out.health.degraded());
+        assert!(matches!(
+            out.health.first_error(),
+            Some(PipelineError::PhasePanicked { .. })
+        ));
+        assert_eq!(out.report.sites_inlined, 0);
         let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
         assert_eq!(r.value, "49");
     }

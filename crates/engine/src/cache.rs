@@ -1,0 +1,255 @@
+//! The content-addressed artifact cache and its in-flight computation
+//! gates.
+//!
+//! Two layers:
+//!
+//! * [`Gate`] — a write-once cell a computing thread fills and any number of
+//!   threads wait on (the engine also uses gates directly for job results
+//!   and sweep executions);
+//! * [`KeyedCache`] — a keyed map of gates with *in-flight deduplication*:
+//!   the first thread to ask for a key computes it, every concurrent asker
+//!   blocks on the same gate, and later askers read the finished value. A
+//!   key is therefore computed at most once, which is the engine's central
+//!   invariant ("one CFA per (program, policy)").
+//!
+//! Values are cached as `Result`s: contained failures (frontend rejections,
+//! analysis panics) are deterministic for a given key and are negatively
+//! cached like any other artifact.
+//!
+//! Panic safety: compute closures are expected to be *total* (the engine
+//! only passes panic-contained closures). If one unwinds anyway, a guard
+//! abandons the gate — waiters wake up and retry the computation themselves
+//! instead of blocking forever.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug)]
+struct GateState<V> {
+    value: Option<V>,
+    abandoned: bool,
+}
+
+/// A write-once value cell with blocking readers.
+#[derive(Debug)]
+pub(crate) struct Gate<V> {
+    state: Mutex<GateState<V>>,
+    ready: Condvar,
+}
+
+impl<V: Clone> Gate<V> {
+    pub(crate) fn new() -> Gate<V> {
+        Gate {
+            state: Mutex::new(GateState {
+                value: None,
+                abandoned: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Publishes the value and wakes every waiter.
+    pub(crate) fn set(&self, v: V) {
+        let mut s = self.state.lock().unwrap();
+        debug_assert!(s.value.is_none(), "gate filled twice");
+        s.value = Some(v);
+        self.ready.notify_all();
+    }
+
+    /// Marks the gate as never-to-be-filled and wakes every waiter.
+    fn abandon(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.abandoned = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the value is published (`Some`) or the computation was
+    /// abandoned (`None`).
+    pub(crate) fn wait(&self) -> Option<V> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(v) = &s.value {
+                return Some(v.clone());
+            }
+            if s.abandoned {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap();
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Slot<V> {
+    InFlight(Arc<Gate<V>>),
+    Ready(V),
+}
+
+/// A content-addressed cache with in-flight deduplication.
+#[derive(Debug)]
+pub(crate) struct KeyedCache<K, V> {
+    map: Mutex<HashMap<K, Slot<V>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> KeyedCache<K, V> {
+    pub(crate) fn new() -> KeyedCache<K, V> {
+        KeyedCache {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of cached (ready or in-flight) entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Returns the value for `key`, computing it at most once across all
+    /// threads.
+    ///
+    /// The boolean is `true` on a *hit*: the value came from the cache or
+    /// from another thread's in-flight computation (waited on). It is
+    /// `false` exactly when this call ran `compute`.
+    pub(crate) fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> (V, bool) {
+        let mut compute = Some(compute);
+        loop {
+            let gate = {
+                let mut map = self.map.lock().unwrap();
+                match map.get(&key) {
+                    Some(Slot::Ready(v)) => return (v.clone(), true),
+                    Some(Slot::InFlight(g)) => g.clone(),
+                    None => {
+                        let g = Arc::new(Gate::new());
+                        map.insert(key.clone(), Slot::InFlight(g.clone()));
+                        drop(map);
+                        // Owner path: compute, publish, fill the gate. The
+                        // guard abandons the gate if `compute` unwinds so
+                        // waiters retry instead of hanging.
+                        let mut guard = AbandonOnUnwind {
+                            cache: self,
+                            key: &key,
+                            gate: &g,
+                            armed: true,
+                        };
+                        let v = (compute.take().expect("compute consumed twice"))();
+                        guard.armed = false;
+                        self.map
+                            .lock()
+                            .unwrap()
+                            .insert(key.clone(), Slot::Ready(v.clone()));
+                        g.set(v.clone());
+                        return (v, false);
+                    }
+                }
+            };
+            match gate.wait() {
+                Some(v) => return (v, true),
+                // The owner unwound; race to become the new owner.
+                None => continue,
+            }
+        }
+    }
+}
+
+/// Removes the in-flight entry and abandons its gate if the owning
+/// computation unwinds.
+struct AbandonOnUnwind<'a, K: Eq + Hash + Clone, V: Clone> {
+    cache: &'a KeyedCache<K, V>,
+    key: &'a K,
+    gate: &'a Gate<V>,
+    armed: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for AbandonOnUnwind<'_, K, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.map.lock().unwrap().remove(self.key);
+            self.gate.abandon();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::time::Duration;
+
+    #[test]
+    fn computes_once_and_hits_after() {
+        let c: KeyedCache<u64, u64> = KeyedCache::new();
+        let runs = AtomicU64::new(0);
+        let (v, hit) = c.get_or_compute(7, || {
+            runs.fetch_add(1, Relaxed);
+            42
+        });
+        assert_eq!((v, hit), (42, false));
+        let (v, hit) = c.get_or_compute(7, || {
+            runs.fetch_add(1, Relaxed);
+            99
+        });
+        assert_eq!((v, hit), (42, true));
+        assert_eq!(runs.load(Relaxed), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_askers_share_one_computation() {
+        let c: Arc<KeyedCache<u64, u64>> = Arc::new(KeyedCache::new());
+        let runs = Arc::new(AtomicU64::new(0));
+        let hits = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let (c, runs, hits) = (c.clone(), runs.clone(), hits.clone());
+                std::thread::spawn(move || {
+                    let (v, hit) = c.get_or_compute(1, || {
+                        // Slow compute: give the other threads time to pile
+                        // onto the in-flight gate.
+                        std::thread::sleep(Duration::from_millis(30));
+                        runs.fetch_add(1, Relaxed);
+                        7
+                    });
+                    if hit {
+                        hits.fetch_add(1, Relaxed);
+                    }
+                    assert_eq!(v, 7);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(runs.load(Relaxed), 1, "exactly one computation");
+        assert_eq!(hits.load(Relaxed), 7, "everyone else shared it");
+    }
+
+    #[test]
+    fn unwinding_owner_does_not_strand_waiters() {
+        let c: Arc<KeyedCache<u64, u64>> = Arc::new(KeyedCache::new());
+        let c2 = c.clone();
+        let owner = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c2.get_or_compute(5, || {
+                    std::thread::sleep(Duration::from_millis(20));
+                    panic!("owner died");
+                })
+            }));
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        // This waiter piles onto the in-flight gate, sees it abandoned, and
+        // becomes the new owner.
+        let (v, _) = c.get_or_compute(5, || 11);
+        assert_eq!(v, 11);
+        owner.join().unwrap();
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share() {
+        let c: KeyedCache<(u64, u64), u64> = KeyedCache::new();
+        let (a, _) = c.get_or_compute((1, 1), || 1);
+        let (b, _) = c.get_or_compute((1, 2), || 2);
+        assert_ne!(a, b);
+        assert_eq!(c.len(), 2);
+    }
+}

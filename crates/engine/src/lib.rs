@@ -1,0 +1,571 @@
+//! `fdi-engine` — the concurrent batch-optimization engine.
+//!
+//! The sequential pipeline in [`fdi_core`] optimizes one program under one
+//! configuration. The experiments that matter — Table 1, the Fig. 6
+//! threshold sweep, policy ablations — run the pipeline over a *batch*:
+//! many programs × many configurations, where most of the cost (the front
+//! end, and above all the polyvariant flow analysis) depends on only part of
+//! the configuration. This crate runs such batches on a worker pool and
+//! makes the redundancy structural, with a content-addressed artifact
+//! cache:
+//!
+//! * **parse artifacts** keyed by [`source_fingerprint`] — one front-end run
+//!   per distinct source, shared by every configuration;
+//! * **flow analyses** keyed by (source fingerprint,
+//!   [`PipelineConfig::analysis_fingerprint`]) — one CFA per (program,
+//!   analysis policy), shared by every inline threshold. A six-threshold
+//!   sweep analyzes each program exactly once.
+//!
+//! Both caches deduplicate *in-flight* work (see [`cache`]): concurrent
+//! jobs needing the same artifact block on one computation instead of
+//! racing. Whole jobs deduplicate the same way: submitting a job identical
+//! (by [`PipelineConfig::fingerprint`]) to one already in flight returns a
+//! handle to the existing run.
+//!
+//! Fault isolation follows the pipeline's own contract: every phase runs
+//! contained, a panicking or over-budget job degrades through
+//! [`PipelineOutput::health`] (or resolves to a typed [`PipelineError`])
+//! without poisoning the pool, and deterministic failures are negatively
+//! cached like successes.
+//!
+//! Determinism: the engine's sweeps reuse the sequential sweep's own
+//! order-independent pieces ([`fdi_core::execute_cell`]) and funnel results
+//! through the same order-dependent assembly
+//! ([`fdi_core::assemble_sweep_rows`]), so an engine sweep at any worker
+//! count is byte-identical to the sequential one.
+//!
+//! Deadline caveat: a configuration with a wall-clock deadline (on the
+//! budget or the analysis limits) is anchored to *its* run's clock, so such
+//! jobs bypass the analysis cache and job dedup entirely (counted in
+//! [`EngineStats::analysis_uncached`]); only the deadline-independent parse
+//! artifact is shared.
+
+mod cache;
+mod pool;
+mod stats;
+
+pub use stats::EngineStats;
+
+use cache::{Gate, KeyedCache};
+use fdi_core::{
+    analyze_contained, assemble_sweep_rows, execute_cell, optimize_program,
+    optimize_program_with_analysis, parse_contained, source_fingerprint, FlowAnalysis, Outcome,
+    Phase, PipelineConfig, PipelineError, PipelineOutput, Program, RunConfig, SweepCell, SweepRow,
+};
+use pool::{Pool, Task};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Sizing of an [`Engine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads. Defaults to the machine's available parallelism.
+    pub workers: usize,
+    /// Bounded queue slots *per worker*; a full shard blocks submission
+    /// (backpressure). Defaults to 64.
+    pub queue_cap: usize,
+}
+
+impl EngineConfig {
+    /// `workers` threads with the default queue capacity.
+    pub fn with_workers(workers: usize) -> EngineConfig {
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_cap: 64,
+        }
+    }
+}
+
+/// One unit of batch work: a source program under a pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Scheme source text. `Arc<str>` so a sweep's jobs share one copy.
+    pub source: Arc<str>,
+    /// The pipeline configuration to run it under.
+    pub config: PipelineConfig,
+}
+
+impl Job {
+    /// A job optimizing `source` under `config`.
+    pub fn new(source: impl Into<Arc<str>>, config: PipelineConfig) -> Job {
+        Job {
+            source: source.into(),
+            config,
+        }
+    }
+
+    /// The job's identity: (source fingerprint, whole-config fingerprint).
+    /// Jobs with equal keys produce identical outputs and are deduplicated
+    /// in flight.
+    pub fn key(&self) -> (u64, u64) {
+        (source_fingerprint(&self.source), self.config.fingerprint())
+    }
+
+    /// Does this job carry a wall-clock deadline? Deadlines are anchored to
+    /// the run's own clock, so such jobs share no analysis and dedup with
+    /// nothing.
+    fn has_deadline(&self) -> bool {
+        self.config.budget.deadline.is_some() || self.config.limits.deadline.is_some()
+    }
+}
+
+/// What a job resolves to: the pipeline's output (possibly degraded — see
+/// [`PipelineOutput::health`]) behind an `Arc` shared with every
+/// deduplicated waiter, or the typed error of a source that never produced
+/// a program.
+pub type JobResult = Result<Arc<PipelineOutput>, PipelineError>;
+
+type ExecResult = Result<Outcome, PipelineError>;
+type JobKey = (u64, u64);
+
+/// A claim on a submitted job's eventual result.
+#[derive(Debug)]
+pub struct JobHandle {
+    gate: Arc<Gate<JobResult>>,
+    /// True when this submission coalesced onto an identical in-flight job.
+    pub deduped: bool,
+}
+
+impl JobHandle {
+    /// Blocks until the job finishes.
+    pub fn wait(&self) -> JobResult {
+        self.gate
+            .wait()
+            .expect("engine job gates are always filled")
+    }
+}
+
+/// Shared engine state: every worker task holds an `Arc<Inner>`.
+struct Inner {
+    stats: stats::StatsInner,
+    /// Parse artifacts by source fingerprint.
+    programs: KeyedCache<u64, Result<Arc<Program>, PipelineError>>,
+    /// Flow analyses by (source fingerprint, analysis fingerprint).
+    analyses: KeyedCache<JobKey, Result<Arc<FlowAnalysis>, PipelineError>>,
+    /// In-flight jobs by whole-job key, for submission dedup.
+    inflight: Mutex<HashMap<JobKey, Arc<Gate<JobResult>>>>,
+    /// Round-robin shard assignment for execution tasks.
+    exec_shard: AtomicU64,
+}
+
+/// The concurrent batch-optimization engine.
+///
+/// Dropping the engine closes its queues and joins the workers; work
+/// already submitted still runs to completion first, so outstanding
+/// [`JobHandle`]s always resolve.
+pub struct Engine {
+    inner: Arc<Inner>,
+    pool: Pool,
+}
+
+impl Engine {
+    /// An engine sized by `config`.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            inner: Arc::new(Inner {
+                stats: stats::StatsInner::default(),
+                programs: KeyedCache::new(),
+                analyses: KeyedCache::new(),
+                inflight: Mutex::new(HashMap::new()),
+                exec_shard: AtomicU64::new(0),
+            }),
+            pool: Pool::new(config.workers, config.queue_cap),
+        }
+    }
+
+    /// An engine with `jobs` workers (the `--jobs N` entry point).
+    pub fn with_jobs(jobs: usize) -> Engine {
+        Engine::new(EngineConfig::with_workers(jobs))
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// A point-in-time snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Submits a job, blocking only when the target shard's queue is full.
+    ///
+    /// An identical deadline-free job already in flight is joined instead
+    /// of re-run: the returned handle (marked `deduped`) resolves to the
+    /// same shared output.
+    pub fn submit(&self, job: Job) -> JobHandle {
+        let key = job.key();
+        let dedupable = !job.has_deadline();
+        let gate = Arc::new(Gate::new());
+        if dedupable {
+            match self.inner.inflight.lock().unwrap().entry(key) {
+                Entry::Occupied(e) => {
+                    self.inner.stats.jobs_deduped.fetch_add(1, Relaxed);
+                    return JobHandle {
+                        gate: e.get().clone(),
+                        deduped: true,
+                    };
+                }
+                Entry::Vacant(e) => {
+                    e.insert(gate.clone());
+                }
+            }
+        }
+        self.inner.stats.jobs_submitted.fetch_add(1, Relaxed);
+        self.inner.stats.enqueue();
+        let inner = self.inner.clone();
+        let task_gate = gate.clone();
+        let task: Task = Box::new(move || {
+            inner.stats.dequeue();
+            // run_job is built from contained phases; the catch here is the
+            // backstop that keeps a stray unwind from stranding waiters.
+            let result =
+                catch_unwind(AssertUnwindSafe(|| run_job(&inner, &job))).unwrap_or_else(|_| {
+                    Err(PipelineError::PhasePanicked {
+                        phase: Phase::Frontend,
+                        message: "engine job unwound outside phase containment".into(),
+                    })
+                });
+            if dedupable {
+                inner.inflight.lock().unwrap().remove(&key);
+            }
+            // Count completion before publishing: anyone woken by the gate
+            // must already see this job in `jobs_completed`.
+            inner.stats.jobs_completed.fetch_add(1, Relaxed);
+            task_gate.set(result);
+        });
+        self.pool.submit(key.0 ^ key.1.rotate_left(32), task);
+        JobHandle {
+            gate,
+            deduped: false,
+        }
+    }
+
+    /// Submits every job, then waits for all of them; results come back in
+    /// submission order.
+    pub fn run_batch(&self, jobs: impl IntoIterator<Item = Job>) -> Vec<JobResult> {
+        let handles: Vec<JobHandle> = jobs.into_iter().map(|j| self.submit(j)).collect();
+        handles.iter().map(JobHandle::wait).collect()
+    }
+
+    /// The engine-backed threshold sweep: semantically identical (and
+    /// byte-identical in its rows) to [`fdi_core::sweep`], but with the
+    /// per-threshold pipelines and VM executions spread over the pool and
+    /// the analysis shared through the artifact cache.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`fdi_core::sweep`]'s: a front end rejection, or a
+    /// threshold-0 baseline that fails to execute.
+    pub fn sweep(
+        &self,
+        src: &str,
+        thresholds: &[usize],
+        config: &PipelineConfig,
+        run_config: &RunConfig,
+    ) -> Result<Vec<SweepRow>, PipelineError> {
+        self.sweep_many(&[src], thresholds, config, run_config)
+            .pop()
+            .expect("one sweep per source")
+    }
+
+    /// Sweeps many programs at once — the shape of the Table 1 / Fig. 6
+    /// experiments. Every (source × threshold) pipeline job is submitted up
+    /// front so the pool works across programs, not one program at a time.
+    /// Results come back in `sources` order.
+    pub fn sweep_many(
+        &self,
+        sources: &[&str],
+        thresholds: &[usize],
+        config: &PipelineConfig,
+        run_config: &RunConfig,
+    ) -> Vec<Result<Vec<SweepRow>, PipelineError>> {
+        // Threshold 0 always runs first: it anchors normalization.
+        let mut all: Vec<usize> = vec![0];
+        all.extend(thresholds.iter().copied().filter(|&t| t != 0));
+
+        // Phase 1: submit every pipeline job.
+        let handles: Vec<Vec<JobHandle>> = sources
+            .iter()
+            .map(|&src| {
+                let source: Arc<str> = Arc::from(src);
+                all.iter()
+                    .map(|&t| {
+                        self.submit(Job {
+                            source: source.clone(),
+                            config: PipelineConfig {
+                                threshold: t,
+                                ..*config
+                            },
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Phase 2: as each source's pipelines finish, put its executions on
+        // the pool. A job-level error (front end rejection) fails that
+        // source's sweep, matching the sequential contract.
+        type PendingCell = (usize, Arc<PipelineOutput>, Arc<Gate<ExecResult>>);
+        let pending: Vec<Result<Vec<PendingCell>, PipelineError>> = handles
+            .iter()
+            .map(|source_handles| {
+                let mut cells = Vec::with_capacity(all.len());
+                for (handle, &t) in source_handles.iter().zip(&all) {
+                    let output = handle.wait()?;
+                    let gate = self.submit_exec(output.clone(), t, run_config);
+                    cells.push((t, output, gate));
+                }
+                Ok(cells)
+            })
+            .collect();
+
+        // Phase 3: collect executions and fold through the same assembly
+        // the sequential sweep uses.
+        pending
+            .into_iter()
+            .map(|cells| {
+                let cells = cells?
+                    .into_iter()
+                    .map(|(threshold, output, gate)| SweepCell {
+                        threshold,
+                        output,
+                        exec: gate.wait().expect("engine exec gates are always filled"),
+                    })
+                    .collect();
+                assemble_sweep_rows(cells, run_config)
+            })
+            .collect()
+    }
+
+    /// Puts one sweep cell's VM execution on the pool.
+    fn submit_exec(
+        &self,
+        output: Arc<PipelineOutput>,
+        threshold: usize,
+        run_config: &RunConfig,
+    ) -> Arc<Gate<ExecResult>> {
+        let gate = Arc::new(Gate::new());
+        let task_gate = gate.clone();
+        let inner = self.inner.clone();
+        let run_config = *run_config;
+        self.inner.stats.enqueue();
+        let task: Task = Box::new(move || {
+            inner.stats.dequeue();
+            let started = Instant::now();
+            let exec = catch_unwind(AssertUnwindSafe(|| {
+                execute_cell(&output, threshold, &run_config)
+            }))
+            .unwrap_or_else(|_| {
+                Err(PipelineError::PhasePanicked {
+                    phase: Phase::Execution,
+                    message: "engine execution unwound outside phase containment".into(),
+                })
+            });
+            stats::StatsInner::add_time(&inner.stats.execute_ns, started.elapsed());
+            task_gate.set(exec);
+        });
+        let shard = self.inner.exec_shard.fetch_add(1, Relaxed);
+        self.pool.submit(shard, task);
+        gate
+    }
+}
+
+/// One job, start to finish, on a worker thread: parse through the artifact
+/// cache, analyze through the artifact cache (unless a deadline forbids
+/// sharing), then run the inline + simplify tail in-process.
+fn run_job(inner: &Inner, job: &Job) -> JobResult {
+    let src_key = source_fingerprint(&job.source);
+
+    let parse_started = Instant::now();
+    let source = job.source.clone();
+    let (parsed, hit) = inner
+        .programs
+        .get_or_compute(src_key, move || parse_contained(&source).map(Arc::new));
+    stats::StatsInner::cache_event(&inner.stats.parse_hits, &inner.stats.parse_misses, hit);
+    stats::StatsInner::add_time(&inner.stats.parse_ns, parse_started.elapsed());
+    let program = parsed?;
+
+    let output = if job.has_deadline() {
+        // The deadline anchors to this run's clock: no artifact of the
+        // analysis phase can be shared, so run the whole pipeline in-process.
+        inner.stats.analysis_uncached.fetch_add(1, Relaxed);
+        let started = Instant::now();
+        let out = optimize_program(&program, &job.config)
+            .expect("optimize_program degrades instead of failing");
+        stats::StatsInner::add_time(&inner.stats.transform_ns, started.elapsed());
+        out
+    } else {
+        let analysis_started = Instant::now();
+        let analysis_program = program.clone();
+        let config = job.config;
+        let (analysis, hit) = inner
+            .analyses
+            .get_or_compute((src_key, job.config.analysis_fingerprint()), move || {
+                analyze_contained(&analysis_program, &config).map(Arc::new)
+            });
+        stats::StatsInner::cache_event(
+            &inner.stats.analysis_hits,
+            &inner.stats.analysis_misses,
+            hit,
+        );
+        stats::StatsInner::add_time(&inner.stats.analysis_ns, analysis_started.elapsed());
+
+        let transform_started = Instant::now();
+        let shared = match &analysis {
+            Ok(flow) => Ok(&**flow),
+            Err(e) => Err(e),
+        };
+        let out = optimize_program_with_analysis(&program, &job.config, shared);
+        stats::StatsInner::add_time(&inner.stats.transform_ns, transform_started.elapsed());
+        out
+    };
+    Ok(Arc::new(output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_core::Budget;
+
+    const SRC: &str = "(define (sq x) (* x x)) (cons (sq 2) (sq 3))";
+
+    #[test]
+    fn identical_inflight_jobs_dedup_onto_one_run() {
+        // One worker: the first job occupies it, so the next two identical
+        // submissions are still queued/in-flight when dedup is checked.
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            queue_cap: 8,
+        });
+        let blocker = engine.submit(Job::new(SRC, PipelineConfig::with_threshold(0)));
+        let first = engine.submit(Job::new(SRC, PipelineConfig::with_threshold(200)));
+        let second = engine.submit(Job::new(SRC, PipelineConfig::with_threshold(200)));
+        assert!(!first.deduped);
+        assert!(second.deduped, "identical in-flight job must coalesce");
+        let (a, b) = (first.wait().unwrap(), second.wait().unwrap());
+        assert!(Arc::ptr_eq(&a, &b), "deduped handles share one output");
+        blocker.wait().unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_submitted, 2);
+        assert_eq!(stats.jobs_deduped, 1);
+        assert_eq!(stats.jobs_completed, 2);
+    }
+
+    #[test]
+    fn thresholds_share_one_analysis() {
+        let engine = Engine::with_jobs(4);
+        let results = engine.run_batch(
+            [0, 100, 200, 400].map(|t| Job::new(SRC, PipelineConfig::with_threshold(t))),
+        );
+        assert!(results.iter().all(|r| r.is_ok()));
+        let stats = engine.stats();
+        assert_eq!(stats.parse_misses, 1, "one front-end run");
+        assert_eq!(stats.analysis_misses, 1, "one CFA for all four thresholds");
+        assert_eq!(stats.analysis_hits, 3);
+        assert_eq!(stats.analysis_uncached, 0);
+    }
+
+    #[test]
+    fn over_budget_job_degrades_without_poisoning_the_pool() {
+        let engine = Engine::with_jobs(2);
+        let starved = PipelineConfig {
+            budget: Budget::default().with_fuel(0),
+            ..PipelineConfig::with_threshold(200)
+        };
+        let degraded = engine.submit(Job::new(SRC, starved)).wait().unwrap();
+        assert!(degraded.health.degraded(), "zero fuel must degrade");
+        // The pool still serves healthy work afterwards.
+        let healthy = engine
+            .submit(Job::new(SRC, PipelineConfig::with_threshold(200)))
+            .wait()
+            .unwrap();
+        assert!(!healthy.health.degraded());
+        assert_eq!(engine.stats().jobs_completed, 2);
+    }
+
+    #[test]
+    fn frontend_failures_are_negatively_cached() {
+        let engine = Engine::with_jobs(2);
+        let bad = "(define (f x) (* x x"; // unbalanced
+        let first = engine
+            .submit(Job::new(bad, PipelineConfig::with_threshold(0)))
+            .wait();
+        let second = engine
+            .submit(Job::new(bad, PipelineConfig::with_threshold(200)))
+            .wait();
+        assert!(matches!(first, Err(PipelineError::Frontend(_))));
+        assert!(matches!(second, Err(PipelineError::Frontend(_))));
+        let stats = engine.stats();
+        assert_eq!(stats.parse_misses, 1, "the rejection is cached too");
+        assert_eq!(stats.parse_hits, 1);
+    }
+
+    #[test]
+    fn deadline_jobs_bypass_the_analysis_cache() {
+        let engine = Engine::with_jobs(2);
+        let deadline = PipelineConfig {
+            budget: Budget::default().with_deadline(std::time::Duration::from_secs(60)),
+            ..PipelineConfig::with_threshold(200)
+        };
+        let out = engine.submit(Job::new(SRC, deadline)).wait().unwrap();
+        assert!(!out.health.degraded(), "a generous deadline still succeeds");
+        let stats = engine.stats();
+        assert_eq!(stats.analysis_uncached, 1);
+        assert_eq!(stats.analysis_hits + stats.analysis_misses, 0);
+        // And such jobs never dedup, even against an identical twin.
+        let a = engine.submit(Job::new(SRC, deadline));
+        let b = engine.submit(Job::new(SRC, deadline));
+        assert!(!a.deduped && !b.deduped);
+        a.wait().unwrap();
+        b.wait().unwrap();
+    }
+
+    #[test]
+    fn engine_sweep_matches_sequential_sweep() {
+        let engine = Engine::with_jobs(4);
+        let config = PipelineConfig::default();
+        let run_config = RunConfig::default();
+        let thresholds = [100, 400];
+        let ours = engine
+            .sweep(SRC, &thresholds, &config, &run_config)
+            .unwrap();
+        let theirs = fdi_core::sweep(SRC, &thresholds, &config, &run_config).unwrap();
+        assert_eq!(ours.len(), theirs.len());
+        for (a, b) in ours.iter().zip(&theirs) {
+            assert_eq!(a.threshold, b.threshold);
+            assert_eq!(a.value, b.value);
+            assert_eq!(format!("{:?}", a.counters), format!("{:?}", b.counters));
+            assert_eq!(a.norm_total.to_bits(), b.norm_total.to_bits());
+            assert_eq!(a.size_ratio.to_bits(), b.size_ratio.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_reports_frontend_errors_per_source() {
+        let engine = Engine::with_jobs(2);
+        let results = engine.sweep_many(
+            &[SRC, "(oops"],
+            &[200],
+            &PipelineConfig::default(),
+            &RunConfig::default(),
+        );
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(PipelineError::Frontend(_))));
+    }
+}

@@ -1,0 +1,140 @@
+//! The sharded worker pool.
+//!
+//! Plain `std::thread` workers, one bounded [`sync_channel`] queue per
+//! worker. Submission picks a shard from the task's key and **blocks** when
+//! that shard's queue is full — bounded queues are the engine's
+//! backpressure: a caller enqueuing a ten-thousand-job batch is throttled to
+//! roughly `workers × queue_cap` outstanding tasks instead of materializing
+//! every closure up front.
+//!
+//! Deadlock-freedom rests on two rules the engine upholds:
+//!
+//! 1. only *caller* threads submit — a worker never enqueues onto the pool,
+//!    so a full queue cannot block the thread that would drain it;
+//! 2. a worker only ever blocks on a [`cache::Gate`](crate::cache) whose
+//!    owner is *running* on another worker (gates are created by the task
+//!    that fills them, never by queued work), so waits are bounded by one
+//!    computation, not by queue position.
+//!
+//! Workers run each task under `catch_unwind`: a panicking task must not
+//! take its whole shard down with it. (Engine tasks additionally contain
+//! panics themselves and report them as typed errors; the pool-level catch
+//! is the backstop.)
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+pub(crate) type Task = Box<dyn FnOnce() + Send>;
+
+/// A fixed set of worker threads, each owning one bounded task queue.
+pub(crate) struct Pool {
+    senders: Vec<SyncSender<Task>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads, each with a `queue_cap`-slot queue.
+    pub(crate) fn new(workers: usize, queue_cap: usize) -> Pool {
+        let workers = workers.max(1);
+        let queue_cap = queue_cap.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = sync_channel::<Task>(queue_cap);
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("fdi-engine-{i}"))
+                .spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        let _ = catch_unwind(AssertUnwindSafe(task));
+                    }
+                })
+                .expect("spawn engine worker");
+            handles.push(handle);
+        }
+        Pool { senders, handles }
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Enqueues `task` on the shard chosen by `shard_key`, blocking while
+    /// that shard's queue is full.
+    pub(crate) fn submit(&self, shard_key: u64, task: Task) {
+        let shard = (shard_key % self.senders.len() as u64) as usize;
+        self.senders[shard]
+            .send(task)
+            .expect("engine worker exited");
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Closing the channels lets each worker drain its remaining queue
+        // and exit; queued tasks still run, so gates handed out for
+        // already-submitted work are always filled.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_every_task_across_shards() {
+        let pool = Pool::new(4, 2);
+        let ran = Arc::new(AtomicU64::new(0));
+        for key in 0..64u64 {
+            let ran = ran.clone();
+            pool.submit(
+                key,
+                Box::new(move || {
+                    ran.fetch_add(1, Relaxed);
+                }),
+            );
+        }
+        drop(pool); // joins: every queued task has run
+        assert_eq!(ran.load(Relaxed), 64);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_its_shard() {
+        let pool = Pool::new(1, 4);
+        pool.submit(0, Box::new(|| panic!("task exploded")));
+        let ran = Arc::new(AtomicU64::new(0));
+        let ran2 = ran.clone();
+        pool.submit(
+            0,
+            Box::new(move || {
+                ran2.fetch_add(1, Relaxed);
+            }),
+        );
+        drop(pool);
+        assert_eq!(ran.load(Relaxed), 1, "same shard still serves tasks");
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = Pool::new(0, 0);
+        assert_eq!(pool.workers(), 1);
+        let ran = Arc::new(AtomicU64::new(0));
+        let ran2 = ran.clone();
+        pool.submit(
+            17,
+            Box::new(move || {
+                ran2.fetch_add(1, Relaxed);
+            }),
+        );
+        drop(pool);
+        assert_eq!(ran.load(Relaxed), 1);
+    }
+}

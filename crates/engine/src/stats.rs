@@ -1,0 +1,203 @@
+//! Engine observability: lock-free counters and the [`EngineStats`]
+//! snapshot.
+//!
+//! Workers record into a shared [`StatsInner`] (plain relaxed atomics — the
+//! counters are monotone and independent, so no ordering is needed);
+//! [`StatsInner::snapshot`] reads them into the plain-data [`EngineStats`]
+//! callers consume.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Shared mutable counters, one per engine.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub jobs_submitted: AtomicU64,
+    pub jobs_deduped: AtomicU64,
+    pub jobs_completed: AtomicU64,
+    pub parse_hits: AtomicU64,
+    pub parse_misses: AtomicU64,
+    pub analysis_hits: AtomicU64,
+    pub analysis_misses: AtomicU64,
+    pub analysis_uncached: AtomicU64,
+    pub queue_depth: AtomicU64,
+    pub queue_highwater: AtomicU64,
+    pub parse_ns: AtomicU64,
+    pub analysis_ns: AtomicU64,
+    pub transform_ns: AtomicU64,
+    pub execute_ns: AtomicU64,
+}
+
+impl StatsInner {
+    /// Records a job entering a queue, maintaining the high-water mark.
+    pub(crate) fn enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Relaxed) + 1;
+        self.queue_highwater.fetch_max(depth, Relaxed);
+    }
+
+    /// Records a job leaving a queue (it started executing).
+    pub(crate) fn dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Relaxed);
+    }
+
+    /// Adds a measured phase duration to `counter`.
+    pub(crate) fn add_time(counter: &AtomicU64, elapsed: Duration) {
+        counter.fetch_add(elapsed.as_nanos() as u64, Relaxed);
+    }
+
+    /// Bumps a hit or miss counter pair.
+    pub(crate) fn cache_event(hits: &AtomicU64, misses: &AtomicU64, hit: bool) {
+        if hit {
+            hits.fetch_add(1, Relaxed);
+        } else {
+            misses.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    pub(crate) fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            jobs_submitted: self.jobs_submitted.load(Relaxed),
+            jobs_deduped: self.jobs_deduped.load(Relaxed),
+            jobs_completed: self.jobs_completed.load(Relaxed),
+            parse_hits: self.parse_hits.load(Relaxed),
+            parse_misses: self.parse_misses.load(Relaxed),
+            analysis_hits: self.analysis_hits.load(Relaxed),
+            analysis_misses: self.analysis_misses.load(Relaxed),
+            analysis_uncached: self.analysis_uncached.load(Relaxed),
+            queue_highwater: self.queue_highwater.load(Relaxed),
+            parse_ns: self.parse_ns.load(Relaxed),
+            analysis_ns: self.analysis_ns.load(Relaxed),
+            transform_ns: self.transform_ns.load(Relaxed),
+            execute_ns: self.execute_ns.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one engine's counters.
+///
+/// Cache hits count every job that *reused* an artifact — whether it found
+/// the artifact ready or waited on another worker's in-flight computation —
+/// so `analysis_misses` is exactly the number of control-flow analyses the
+/// engine performed: one per distinct (source, analysis-policy) pair, which
+/// is the invariant the warm-cache tests assert.
+///
+/// The `*_ns` totals are cumulative wall-clock time spent obtaining each
+/// artifact across all workers (cache waits included), so they can exceed
+/// elapsed wall time under parallelism. `transform_ns` covers the
+/// inline + simplify tail; for deadline-bearing jobs that bypass the
+/// analysis cache (`analysis_uncached`) it covers the analysis too.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs accepted and enqueued (dedup'd jobs excluded).
+    pub jobs_submitted: u64,
+    /// Jobs coalesced onto an identical in-flight job.
+    pub jobs_deduped: u64,
+    /// Jobs that finished (degraded runs included — they complete).
+    pub jobs_completed: u64,
+    /// Parse artifacts reused.
+    pub parse_hits: u64,
+    /// Front-end runs performed.
+    pub parse_misses: u64,
+    /// Flow analyses reused.
+    pub analysis_hits: u64,
+    /// Flow analyses performed through the cache.
+    pub analysis_misses: u64,
+    /// Jobs that bypassed the analysis cache (wall-clock deadline set).
+    pub analysis_uncached: u64,
+    /// Highest number of jobs simultaneously queued or executing.
+    pub queue_highwater: u64,
+    /// Total time spent obtaining parse artifacts.
+    pub parse_ns: u64,
+    /// Total time spent obtaining analysis artifacts.
+    pub analysis_ns: u64,
+    /// Total time in the inline + simplify tail.
+    pub transform_ns: u64,
+    /// Total time executing sweep cells on the VM.
+    pub execute_ns: u64,
+}
+
+impl EngineStats {
+    /// Fraction of analysis-cache lookups that reused a result.
+    pub fn analysis_hit_rate(&self) -> f64 {
+        let total = self.analysis_hits + self.analysis_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.analysis_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of parse-cache lookups that reused a result.
+    pub fn parse_hit_rate(&self) -> f64 {
+        let total = self.parse_hits + self.parse_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.parse_hits as f64 / total as f64
+        }
+    }
+
+    /// The snapshot as one JSON object (stable key order, no trailing
+    /// newline) — for the `fdi batch` CLI and the experiment logs.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"jobs_submitted\":{},\"jobs_deduped\":{},\"jobs_completed\":{},",
+                "\"parse_hits\":{},\"parse_misses\":{},",
+                "\"analysis_hits\":{},\"analysis_misses\":{},\"analysis_uncached\":{},",
+                "\"queue_highwater\":{},",
+                "\"parse_ms\":{:.3},\"analysis_ms\":{:.3},\"transform_ms\":{:.3},\"execute_ms\":{:.3}}}"
+            ),
+            self.jobs_submitted,
+            self.jobs_deduped,
+            self.jobs_completed,
+            self.parse_hits,
+            self.parse_misses,
+            self.analysis_hits,
+            self.analysis_misses,
+            self.analysis_uncached,
+            self.queue_highwater,
+            self.parse_ns as f64 / 1e6,
+            self.analysis_ns as f64 / 1e6,
+            self.transform_ns as f64 / 1e6,
+            self.execute_ns as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highwater_tracks_peak_depth() {
+        let s = StatsInner::default();
+        s.enqueue();
+        s.enqueue();
+        s.dequeue();
+        s.enqueue();
+        s.dequeue();
+        s.dequeue();
+        let snap = s.snapshot();
+        assert_eq!(snap.queue_highwater, 2);
+    }
+
+    #[test]
+    fn hit_rates() {
+        let mut s = EngineStats::default();
+        assert_eq!(s.analysis_hit_rate(), 0.0);
+        s.analysis_hits = 3;
+        s.analysis_misses = 1;
+        assert!((s.analysis_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let s = EngineStats::default();
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"analysis_misses\":0"));
+        assert_eq!(j.matches('{').count(), 1);
+    }
+}

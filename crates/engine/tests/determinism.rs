@@ -1,0 +1,81 @@
+//! The engine's determinism contract: a sweep run on the pool is
+//! **byte-identical** to the sequential sweep, at any worker count.
+//!
+//! Rows are rendered with exact float bit patterns so "close enough"
+//! cannot pass: the engine shares the sequential path's analysis, its
+//! transform tail, its VM execution, and its assembly, so every derived
+//! number must match to the last bit.
+
+use fdi_core::{PipelineConfig, RunConfig, SweepRow};
+use fdi_engine::Engine;
+
+/// A row as an exact byte string: floats by bit pattern, everything else by
+/// `Debug`.
+fn render(rows: &[SweepRow]) -> String {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "t={} size={:016x} mut={:016x} col={:016x} tot={:016x} val={:?} ctr={:?} rep={:?} deg={}",
+                r.threshold,
+                r.size_ratio.to_bits(),
+                r.norm_mutator.to_bits(),
+                r.norm_collector.to_bits(),
+                r.norm_total.to_bits(),
+                r.value,
+                r.counters,
+                r.report,
+                r.health.degraded(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn engine_sweep_is_byte_identical_to_sequential_at_any_job_count() {
+    let benches: Vec<&fdi_benchsuite::Benchmark> =
+        fdi_benchsuite::BENCHMARKS.iter().take(2).collect();
+    let thresholds = [100, 500];
+    let config = PipelineConfig::default();
+    let run_config = RunConfig::default();
+
+    for bench in benches {
+        let src = bench.scaled(bench.test_scale);
+        let expected = render(
+            &fdi_core::sweep(&src, &thresholds, &config, &run_config)
+                .expect("sequential sweep succeeds"),
+        );
+        for jobs in [1, 4, 8] {
+            let engine = Engine::with_jobs(jobs);
+            let rows = engine
+                .sweep(&src, &thresholds, &config, &run_config)
+                .expect("engine sweep succeeds");
+            assert_eq!(
+                render(&rows),
+                expected,
+                "{} at --jobs {jobs} diverged from the sequential sweep",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_many_matches_per_source_sweeps() {
+    let sources: Vec<String> = fdi_benchsuite::BENCHMARKS
+        .iter()
+        .take(3)
+        .map(|b| b.scaled(b.test_scale))
+        .collect();
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let thresholds = [200];
+    let config = PipelineConfig::default();
+    let run_config = RunConfig::default();
+
+    let engine = Engine::with_jobs(4);
+    let batched = engine.sweep_many(&refs, &thresholds, &config, &run_config);
+    for (src, rows) in refs.iter().zip(batched) {
+        let alone = fdi_core::sweep(src, &thresholds, &config, &run_config).unwrap();
+        assert_eq!(render(&rows.unwrap()), render(&alone));
+    }
+}

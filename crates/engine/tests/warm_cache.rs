@@ -1,0 +1,82 @@
+//! The acceptance invariant: a warm-cache sweep over the benchmark suite
+//! performs **exactly one control-flow analysis per (program, CFA policy)**,
+//! regardless of how many thresholds the sweep spans — asserted through the
+//! engine's own counters ([`fdi_engine::EngineStats::analysis_misses`] is
+//! the number of CFAs actually run).
+
+use fdi_core::{PipelineConfig, RunConfig};
+use fdi_engine::Engine;
+
+#[test]
+fn six_threshold_suite_sweep_analyzes_each_program_once() {
+    let sources: Vec<String> = fdi_benchsuite::BENCHMARKS
+        .iter()
+        .map(|b| b.scaled(b.test_scale))
+        .collect();
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let programs = refs.len() as u64;
+    // 0 is implicit; six thresholds per program in total.
+    let thresholds = [100, 200, 400, 600, 800];
+    let rows_per_program = thresholds.len() as u64 + 1;
+    let config = PipelineConfig::default();
+    let run_config = RunConfig::default();
+
+    let engine = Engine::with_jobs(4);
+    let results = engine.sweep_many(&refs, &thresholds, &config, &run_config);
+    assert!(results.iter().all(|r| r.is_ok()), "suite sweep is healthy");
+
+    let stats = engine.stats();
+    assert_eq!(
+        stats.analysis_misses, programs,
+        "exactly one CFA per (program, policy) across a {rows_per_program}-threshold sweep"
+    );
+    assert_eq!(
+        stats.parse_misses, programs,
+        "one front-end run per program"
+    );
+    assert_eq!(
+        stats.analysis_hits,
+        programs * (rows_per_program - 1),
+        "every other threshold reused a cached analysis"
+    );
+    assert_eq!(stats.jobs_completed, programs * rows_per_program);
+
+    // Resweeping the warm engine performs no new analysis at all.
+    let again = engine.sweep_many(&refs, &thresholds, &config, &run_config);
+    assert!(again.iter().all(|r| r.is_ok()));
+    let stats = engine.stats();
+    assert_eq!(
+        stats.analysis_misses, programs,
+        "warm resweep: zero new CFAs"
+    );
+    assert_eq!(
+        stats.parse_misses, programs,
+        "warm resweep: zero new parses"
+    );
+}
+
+#[test]
+fn distinct_policies_get_distinct_analyses() {
+    let bench = &fdi_benchsuite::BENCHMARKS[0];
+    let src = bench.scaled(bench.test_scale);
+    let engine = Engine::with_jobs(2);
+    for policy in [
+        fdi_core::Polyvariance::PolymorphicSplitting,
+        fdi_core::Polyvariance::Monovariant,
+        fdi_core::Polyvariance::CallStrings(1),
+    ] {
+        let config = PipelineConfig {
+            policy,
+            ..PipelineConfig::default()
+        };
+        engine
+            .sweep(&src, &[200], &config, &RunConfig::default())
+            .unwrap();
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.parse_misses, 1, "one program, one parse");
+    assert_eq!(
+        stats.analysis_misses, 3,
+        "three policies are three analysis-cache keys"
+    );
+}

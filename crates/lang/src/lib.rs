@@ -69,6 +69,7 @@ pub use validate::{validate, ValidateError};
 /// assert!(fdi_lang::validate(&p).is_ok());
 /// ```
 pub fn parse_and_lower(src: &str) -> Result<Program, FrontendError> {
+    PARSE_COUNT.with(|c| c.set(c.get() + 1));
     let data = fdi_sexpr::parse(src)?;
     let data = with_prelude(&data);
     let core = expand_program(&data)?;
@@ -79,4 +80,28 @@ pub fn parse_and_lower(src: &str) -> Result<Program, FrontendError> {
         validate(&program)
     );
     Ok(program)
+}
+
+thread_local! {
+    static PARSE_COUNT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`parse_and_lower`] runs performed **by this thread** since it
+/// started.
+///
+/// A diagnostics counter for reuse-regression tests: code that should parse
+/// a source once and reuse the lowered program (threshold sweeps, fixpoint
+/// iteration, the batch engine's artifact cache) asserts the delta across a
+/// call. Thread-local on purpose — concurrent tests and worker pools don't
+/// pollute each other's counts.
+///
+/// # Examples
+///
+/// ```
+/// let before = fdi_lang::parse_count();
+/// fdi_lang::parse_and_lower("(+ 1 2)").unwrap();
+/// assert_eq!(fdi_lang::parse_count() - before, 1);
+/// ```
+pub fn parse_count() -> u64 {
+    PARSE_COUNT.with(std::cell::Cell::get)
 }

@@ -11,7 +11,9 @@
 //! * [`check`] — run a seeded closure over `n` cases and panic with the
 //!   failing seed on the first counterexample;
 //! * [`Bench`] — a wall-clock micro-benchmark harness for `harness = false`
-//!   bench targets.
+//!   bench targets;
+//! * [`timed`] — a one-shot wall-clock timer for workloads too expensive to
+//!   iterate.
 //!
 //! # Examples
 //!
@@ -184,6 +186,15 @@ impl Bench {
     pub fn results(&self) -> &[Measurement] {
         &self.results
     }
+}
+
+/// Times a single call of `f` — for one-shot wall-clock comparisons where
+/// repeating the workload is too expensive (whole-suite sweeps, engine
+/// versus sequential runs).
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let started = Instant::now();
+    let result = f();
+    (result, started.elapsed())
 }
 
 #[cfg(test)]

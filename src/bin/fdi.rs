@@ -4,11 +4,20 @@
 //! fdi optimize <file.scm> [-t THRESHOLD] [--clref] [--policy 0cfa|poly|1cfa]
 //! fdi run      <file.scm> [-t THRESHOLD] [--clref] [--stats]
 //! fdi analyze  <file.scm> [--policy …]
+//! fdi batch    <manifest> [--jobs N] [--out FILE]
 //! ```
 //!
 //! `optimize` prints the optimized source; `run` executes baseline and
 //! optimized versions on the cost-model VM and reports both; `analyze`
 //! prints flow-analysis statistics and inline candidates.
+//!
+//! `batch` runs a whole manifest of jobs on the concurrent engine
+//! (`fdi-engine`) and emits one JSON report. Each manifest line is a job:
+//! a source — `path/to/file.scm` or `bench:<name>[@<scale>]` — followed by
+//! per-job flags (`-t`, `--policy`, `--unroll`, `--clref`, `--fuel`,
+//! `--deadline-ms`, `--max-growth`). Blank lines and `#` comments are
+//! skipped. Identical jobs dedup in flight, and jobs sharing a source or an
+//! analysis policy share artifacts through the engine's cache.
 //!
 //! By default the pipeline degrades on phase failures (budget trips, limit
 //! aborts, contained panics) and reports them as `;; degraded:` warnings on
@@ -36,7 +45,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: fdi <optimize|run|analyze> <file.scm> \
          [-t THRESHOLD] [--unroll N] [--clref] [--policy 0cfa|poly|1cfa] [--stats] [--dump] \
-         [--strict] [--deadline-ms N] [--fuel N] [--max-growth X]"
+         [--strict] [--deadline-ms N] [--fuel N] [--max-growth X]\n       \
+         fdi batch <manifest> [--jobs N] [--out FILE]"
     );
     ExitCode::FAILURE
 }
@@ -114,7 +124,254 @@ fn parse_args() -> Option<Options> {
     Some(opts)
 }
 
+/// Minimal JSON string escaping for the batch report.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Applies one manifest line's per-job flags to `config`.
+fn apply_job_flags(config: &mut PipelineConfig, tokens: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    let next = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        tokens
+            .get(*i)
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < tokens.len() {
+        match tokens[i] {
+            "-t" | "--threshold" => {
+                config.threshold = next(&mut i, "-t")?
+                    .parse()
+                    .map_err(|e| format!("-t: {e}"))?;
+            }
+            "--unroll" => {
+                config.unroll = next(&mut i, "--unroll")?
+                    .parse()
+                    .map_err(|e| format!("--unroll: {e}"))?;
+            }
+            "--clref" => config.mode = fdi_core::InlineMode::ClRef,
+            "--policy" => {
+                config.policy = match next(&mut i, "--policy")?.as_str() {
+                    "0cfa" => Polyvariance::Monovariant,
+                    "poly" | "poly-split" => Polyvariance::PolymorphicSplitting,
+                    "1cfa" => Polyvariance::CallStrings(1),
+                    "2cfa" => Polyvariance::CallStrings(2),
+                    p => return Err(format!("unknown policy {p:?}")),
+                };
+            }
+            "--fuel" => {
+                let fuel = next(&mut i, "--fuel")?
+                    .parse()
+                    .map_err(|e| format!("--fuel: {e}"))?;
+                config.budget = config.budget.with_fuel(fuel);
+            }
+            "--deadline-ms" => {
+                let ms: u64 = next(&mut i, "--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                config.budget = config.budget.with_deadline(Duration::from_millis(ms));
+            }
+            "--max-growth" => {
+                let x = next(&mut i, "--max-growth")?
+                    .parse()
+                    .map_err(|e| format!("--max-growth: {e}"))?;
+                config.budget = config.budget.with_max_growth(x);
+            }
+            flag => return Err(format!("unknown job flag {flag:?}")),
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// Resolves a manifest source spec: `bench:<name>[@<scale>]` or a file path.
+fn resolve_source(spec: &str) -> Result<String, String> {
+    if let Some(bench) = spec.strip_prefix("bench:") {
+        let (name, scale) = match bench.split_once('@') {
+            Some((n, s)) => {
+                let scale: u32 = s.parse().map_err(|e| format!("{spec}: bad scale: {e}"))?;
+                (n, Some(scale))
+            }
+            None => (bench, None),
+        };
+        let b = fdi_benchsuite::by_name(name)
+            .ok_or_else(|| format!("{spec}: no benchmark named {name:?}"))?;
+        Ok(b.scaled(scale.unwrap_or(b.default_scale)))
+    } else {
+        std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))
+    }
+}
+
+/// `fdi batch <manifest> [--jobs N] [--out FILE]`.
+fn run_batch_command(mut args: Vec<String>) -> ExitCode {
+    let mut jobs = None;
+    let mut out_file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                jobs = Some(n);
+                args.drain(i..=i + 1);
+            }
+            "--out" => {
+                let Some(f) = args.get(i + 1) else {
+                    return usage();
+                };
+                out_file = Some(f.clone());
+                args.drain(i..=i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    let Some(manifest_path) = args.first() else {
+        return usage();
+    };
+    let manifest = match std::fs::read_to_string(manifest_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("fdi: cannot read {manifest_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Parse the manifest into (spec, config, source?) jobs. Source
+    // resolution failures become per-job errors in the report, not a
+    // manifest rejection — one bad path must not kill the batch.
+    struct Line {
+        spec: String,
+        config: PipelineConfig,
+        source: Result<String, String>,
+    }
+    let mut lines = Vec::new();
+    for (lineno, raw) in manifest.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let spec = tokens[0].to_string();
+        let mut config = PipelineConfig::default();
+        if let Err(e) = apply_job_flags(&mut config, &tokens[1..]) {
+            eprintln!("fdi: {manifest_path}:{}: {e}", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        let source = resolve_source(&spec);
+        lines.push(Line {
+            spec,
+            config,
+            source,
+        });
+    }
+
+    let engine = match jobs {
+        Some(n) => fdi_engine::Engine::with_jobs(n),
+        None => fdi_engine::Engine::new(fdi_engine::EngineConfig::default()),
+    };
+    let handles: Vec<Option<fdi_engine::JobHandle>> = lines
+        .iter()
+        .map(|line| {
+            line.source
+                .as_ref()
+                .ok()
+                .map(|src| engine.submit(fdi_engine::Job::new(src.as_str(), line.config)))
+        })
+        .collect();
+
+    let mut entries = Vec::new();
+    let mut failures = 0u32;
+    for (line, handle) in lines.iter().zip(handles) {
+        let head = format!(
+            "{{\"spec\":\"{}\",\"threshold\":{}",
+            json_escape(&line.spec),
+            line.config.threshold
+        );
+        let entry = match handle.map(|h| h.wait()) {
+            None => {
+                failures += 1;
+                format!(
+                    "{head},\"ok\":false,\"error\":\"{}\"}}",
+                    json_escape(line.source.as_ref().unwrap_err())
+                )
+            }
+            Some(Err(e)) => {
+                failures += 1;
+                format!(
+                    "{head},\"ok\":false,\"error\":\"{}\"}}",
+                    json_escape(&e.to_string())
+                )
+            }
+            Some(Ok(out)) => format!(
+                concat!(
+                    "{},\"ok\":true,\"degraded\":{},\"size_ratio\":{:.6},",
+                    "\"baseline_size\":{},\"optimized_size\":{},\"sites_inlined\":{},",
+                    "\"analysis_ms\":{:.3}{}}}"
+                ),
+                head,
+                out.health.degraded(),
+                out.size_ratio(),
+                out.baseline_size,
+                out.optimized_size,
+                out.report.sites_inlined,
+                out.flow_stats.duration.as_secs_f64() * 1e3,
+                if out.health.degraded() {
+                    format!(
+                        ",\"degradation\":\"{}\"",
+                        json_escape(&out.health.summary())
+                    )
+                } else {
+                    String::new()
+                },
+            ),
+        };
+        entries.push(entry);
+    }
+    let report = format!(
+        "{{\"jobs\":[{}],\"stats\":{}}}\n",
+        entries.join(","),
+        engine.stats().to_json()
+    );
+    print!("{report}");
+    if let Some(path) = out_file {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("fdi: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failures > 0 {
+        eprintln!("fdi: {failures} job(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    // `batch` has its own argument shape; intercept it before the
+    // single-file parser.
+    {
+        let mut argv = std::env::args().skip(1);
+        if argv.next().as_deref() == Some("batch") {
+            return run_batch_command(argv.collect());
+        }
+    }
     let Some(opts) = parse_args() else {
         return usage();
     };
