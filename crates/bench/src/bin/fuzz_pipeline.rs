@@ -11,14 +11,24 @@
 //! Usage:
 //! ```text
 //! fuzz_pipeline [iterations] [seed] [--seconds N] [--corpus DIR] [--save DIR]
+//!               [--faults SEED]
 //! ```
 //!
 //! `--corpus DIR` replays every `.scm` file in `DIR` (using each file's
 //! header configuration when present) before fuzzing; `--seconds N` stops
 //! the fuzz loop after a wall-clock budget, for CI smoke runs.
+//!
+//! `--faults SEED` switches to chaos fuzzing: every iteration also arms a
+//! seeded fault plan (derived from `SEED` and the iteration) and the
+//! translation-validation oracle. Injected failures — typed fault errors,
+//! `"injected fault"` panics, oracle rollbacks — count as *healthy*
+//! degradations; what must still never happen is a genuine contained bug, a
+//! validation failure, or a behaviour divergence in the final (possibly
+//! rolled-back) program.
 
 use fdi_core::{
-    optimize_program, InlineMode, PipelineConfig, PipelineError, Polyvariance, RunConfig,
+    optimize_program, FaultPlan, InlineMode, OracleConfig, PipelineConfig, PipelineError,
+    Polyvariance, RunConfig,
 };
 use fdi_sexpr::Datum;
 use fdi_testutil::Rng;
@@ -92,7 +102,20 @@ struct FuzzCfg {
     mode: InlineMode,
     policy: Polyvariance,
     unroll: usize,
+    /// Chaos seed for this run's fault plan; `None` runs fault-free.
+    faults: Option<u64>,
+    /// Arms the translation-validation oracle.
+    validate: bool,
 }
+
+const DEFAULT_FUZZ_CFG: FuzzCfg = FuzzCfg {
+    threshold: 200,
+    mode: InlineMode::Closed,
+    policy: Polyvariance::PolymorphicSplitting,
+    unroll: 0,
+    faults: None,
+    validate: false,
+};
 
 impl FuzzCfg {
     fn random(rng: &mut Rng) -> FuzzCfg {
@@ -110,6 +133,8 @@ impl FuzzCfg {
                 _ => Polyvariance::PolymorphicSplitting,
             },
             unroll: rng.index(3),
+            faults: None,
+            validate: false,
         }
     }
 
@@ -118,11 +143,17 @@ impl FuzzCfg {
         cfg.mode = self.mode;
         cfg.policy = self.policy;
         cfg.unroll = self.unroll;
+        if let Some(seed) = self.faults {
+            cfg.faults = FaultPlan::new(seed);
+        }
+        if self.validate {
+            cfg.oracle = OracleConfig::on();
+        }
         cfg
     }
 
     fn header(&self) -> String {
-        format!(
+        let mut h = format!(
             ";; fuzz-cfg threshold={} mode={} policy={} unroll={}",
             self.threshold,
             match self.mode {
@@ -131,18 +162,20 @@ impl FuzzCfg {
             },
             self.policy.name(),
             self.unroll
-        )
+        );
+        if let Some(seed) = self.faults {
+            h.push_str(&format!(" faults={seed}"));
+        }
+        if self.validate {
+            h.push_str(" validate=1");
+        }
+        h
     }
 
     /// Parses a `;; fuzz-cfg …` header line written by [`FuzzCfg::header`].
     fn from_header(src: &str) -> Option<FuzzCfg> {
         let line = src.lines().find(|l| l.starts_with(";; fuzz-cfg "))?;
-        let mut cfg = FuzzCfg {
-            threshold: 200,
-            mode: InlineMode::Closed,
-            policy: Polyvariance::PolymorphicSplitting,
-            unroll: 0,
-        };
+        let mut cfg = DEFAULT_FUZZ_CFG;
         for part in line.trim_start_matches(";; fuzz-cfg ").split_whitespace() {
             let (key, value) = part.split_once('=')?;
             match key {
@@ -162,10 +195,22 @@ impl FuzzCfg {
                     }
                 }
                 "unroll" => cfg.unroll = value.parse().ok()?,
+                "faults" => cfg.faults = Some(value.parse().ok()?),
+                "validate" => cfg.validate = value != "0",
                 _ => {}
             }
         }
         Some(cfg)
+    }
+}
+
+/// Is this failure an *injected* one (or the oracle catching one)? In chaos
+/// mode these are the system working as designed, not bugs.
+fn injected(e: &PipelineError) -> bool {
+    match e {
+        PipelineError::FaultInjected { .. } | PipelineError::OracleRejected { .. } => true,
+        PipelineError::PhasePanicked { message, .. } => message.contains("injected fault"),
+        _ => false,
     }
 }
 
@@ -179,11 +224,25 @@ fn check(src: &str, cfg: &FuzzCfg, run_cfg: &RunConfig) -> Option<String> {
     let Ok(program) = fdi_lang::parse_and_lower(src) else {
         return None;
     };
-    let out = match optimize_program(&program, &cfg.pipeline_config()) {
+    let chaos = cfg.faults.is_some();
+    // Chaos mode goes through `optimize` so the frontend's fault points are
+    // exercised too; the fault-free mode keeps the pre-lowered path (one
+    // parse, shared with the baseline comparison below).
+    let result = if chaos {
+        fdi_core::optimize(src, &cfg.pipeline_config())
+    } else {
+        optimize_program(&program, &cfg.pipeline_config())
+    };
+    let out = match result {
         Ok(o) => o,
+        Err(e) if chaos && injected(&e) => return None,
+        Err(PipelineError::Frontend(_)) if chaos => return None,
         Err(e) => return Some(format!("pipeline failure: {e}")),
     };
     for d in &out.health.degradations {
+        if chaos && injected(&d.error) {
+            continue;
+        }
         match d.error {
             PipelineError::PhasePanicked { .. } | PipelineError::Validation { .. } => {
                 return Some(format!("contained bug in {}: {}", d.phase, d.error));
@@ -362,12 +421,7 @@ fn replay_corpus(dir: &str, run_cfg: &RunConfig) -> u64 {
                 continue;
             }
         };
-        let cfg = FuzzCfg::from_header(&src).unwrap_or(FuzzCfg {
-            threshold: 200,
-            mode: InlineMode::Closed,
-            policy: Polyvariance::PolymorphicSplitting,
-            unroll: 0,
-        });
+        let cfg = FuzzCfg::from_header(&src).unwrap_or(DEFAULT_FUZZ_CFG);
         match check(&src, &cfg, run_cfg) {
             Some(why) => {
                 println!("corpus {}: FAIL: {why}", path.display());
@@ -389,6 +443,7 @@ fn main() {
     let mut seconds: Option<u64> = None;
     let mut corpus: Option<String> = None;
     let mut save: Option<String> = None;
+    let mut chaos: Option<u64> = None;
     let mut positional = 0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -396,6 +451,7 @@ fn main() {
             "--seconds" => seconds = args.next().and_then(|s| s.parse().ok()),
             "--corpus" => corpus = args.next(),
             "--save" => save = args.next(),
+            "--faults" => chaos = args.next().and_then(|s| s.parse().ok()),
             _ => {
                 match positional {
                     0 => iterations = a.parse().unwrap_or(iterations),
@@ -428,7 +484,13 @@ fn main() {
         }
         executed = i + 1;
         let src = format!("(let ((x 2) (y 7)) {})", gen_expr(&mut rng, 4));
-        let cfg = FuzzCfg::random(&mut rng);
+        let mut cfg = FuzzCfg::random(&mut rng);
+        if let Some(base) = chaos {
+            // A distinct per-iteration chaos seed, reproducible from the
+            // `--faults` base; the oracle guards against silent wrong code.
+            cfg.faults = Some(base.wrapping_add(i));
+            cfg.validate = true;
+        }
         match check(&src, &cfg, &run_cfg) {
             None => {
                 // Count baseline-level VM errors separately: they say the

@@ -123,6 +123,21 @@ pub enum PipelineError {
         /// Value computed by the diverging run.
         got: String,
     },
+    /// A seeded [`crate::FaultPlan`] fired at this point (chaos testing).
+    FaultInjected {
+        /// The fault point that fired.
+        point: crate::faults::FaultPoint,
+    },
+    /// The translation-validation oracle observed the phase output
+    /// diverging from the original program — a caught miscompile.
+    OracleRejected {
+        /// The phase whose output was rejected.
+        phase: Phase,
+        /// Observation of the original program.
+        expected: String,
+        /// Observation of the rejected phase output.
+        got: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -162,6 +177,17 @@ impl fmt::Display for PipelineError {
                 f,
                 "threshold {threshold} changed the program's behaviour: {expected} vs {got}"
             ),
+            PipelineError::FaultInjected { point } => {
+                write!(f, "injected fault at {point}")
+            }
+            PipelineError::OracleRejected {
+                phase,
+                expected,
+                got,
+            } => write!(
+                f,
+                "oracle rejected {phase} output: expected {expected}, got {got}"
+            ),
         }
     }
 }
@@ -194,6 +220,31 @@ impl PipelineError {
             | PipelineError::BudgetExhausted { phase, .. }
             | PipelineError::PhasePanicked { phase, .. } => *phase,
             PipelineError::Vm { .. } | PipelineError::BehaviorDivergence { .. } => Phase::Execution,
+            PipelineError::FaultInjected { point } => point.phase(),
+            PipelineError::OracleRejected { phase, .. } => *phase,
         }
+    }
+
+    /// Whether this failure is *transient*: plausibly scheduling- or
+    /// chaos-dependent, so a supervised retry may succeed. Deterministic
+    /// failures (the program itself is rejected by a phase) are not worth
+    /// retrying — the same input will fail the same way.
+    ///
+    /// [`PipelineError::OracleRejected`] is classified transient on
+    /// purpose: a rejection caused by an injected miscompile disappears on
+    /// a clean retry, and a *persistent* rejection exhausting its retries
+    /// lands in quarantine — exactly where a reproducible miscompile
+    /// belongs.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            PipelineError::FaultInjected { .. }
+                | PipelineError::PhasePanicked { .. }
+                | PipelineError::OracleRejected { .. }
+                | PipelineError::BudgetExhausted {
+                    kind: BudgetKind::Deadline,
+                    ..
+                }
+        )
     }
 }

@@ -1,0 +1,497 @@
+//! Deterministic fault injection: the chaos half of the robustness layer.
+//!
+//! A [`FaultPlan`] is a tiny `Copy` configuration — a seed, a firing rate, a
+//! point mask, and a per-point cap — that decides, as a **pure function** of
+//! `(seed, point, arrival index)`, whether the *n*-th arrival at a named
+//! [`FaultPoint`] fires and which [`FaultAction`] it takes. A
+//! [`FaultInjector`] is the runtime half: it owns the per-point arrival
+//! counters, so a pipeline run that constructs a fresh injector replays
+//! *exactly* the same faults for the same seed, and an engine that shares
+//! one injector across its workers fires a deterministic *set* of
+//! `(point, n)` faults even though which job observes arrival `n` depends on
+//! scheduling.
+//!
+//! Fault points cover the three layers the chaos tests exercise:
+//!
+//! * **pipeline phase boundaries** — parse, expand, lower, analyze, inline,
+//!   simplify, and the post-phase validation checkpoints;
+//! * **engine cache gates** — abandoning a cache owner mid-fill, evicting a
+//!   freshly filled entry, and corrupting a stored artifact checksum (which
+//!   the fingerprint recheck must then detect);
+//! * **pool seams** — killing a worker thread (exercising respawn) and
+//!   delaying a dequeue (exercising backpressure under latency).
+//!
+//! One special point, [`FaultPoint::Miscompile`], does not fail a phase at
+//! all: it silently replaces the inliner's output with a *valid but wrong*
+//! program. It exists to prove the translation-validation oracle
+//! ([`crate::validate_equivalence`]) earns its keep — nothing but the oracle
+//! (or a downstream behaviour comparison) can catch it.
+//!
+//! Process-wide fired counters ([`fired_counts`]) record how often each
+//! point has fired since process start; the chaos harness uses them to
+//! assert that a sweep exercised every catalogued point at least once.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// A named place where the chaos layer may inject a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// The reader, before s-expression parsing.
+    Parse,
+    /// The macro expander, after the reader.
+    Expand,
+    /// The lowering pass, after expansion.
+    Lower,
+    /// The flow-analysis phase boundary.
+    Analyze,
+    /// The inlining phase boundary.
+    Inline,
+    /// The simplification phase boundary.
+    Simplify,
+    /// A post-phase validation checkpoint.
+    Validate,
+    /// Replace the inliner's output with a valid but wrong program — the
+    /// test-only broken pass the translation-validation oracle must catch.
+    Miscompile,
+    /// Abandon an engine cache gate mid-fill (the owner unwinds; waiters
+    /// must retry instead of hanging).
+    CacheAbandon,
+    /// Evict a freshly obtained engine cache entry (the next asker must
+    /// recompute).
+    CacheEvict,
+    /// Corrupt a cached artifact's stored checksum (the fingerprint recheck
+    /// must detect the mismatch and recompute).
+    CacheCorrupt,
+    /// Kill a pool worker thread between tasks (the supervisor must
+    /// respawn it; no queued task may be lost).
+    WorkerPanic,
+    /// Artificial latency at a pool dequeue.
+    QueueDelay,
+}
+
+/// Every catalogued fault point, in a fixed order (also the bit order of
+/// [`FaultPlan::mask`]).
+pub const ALL_FAULT_POINTS: &[FaultPoint] = &[
+    FaultPoint::Parse,
+    FaultPoint::Expand,
+    FaultPoint::Lower,
+    FaultPoint::Analyze,
+    FaultPoint::Inline,
+    FaultPoint::Simplify,
+    FaultPoint::Validate,
+    FaultPoint::Miscompile,
+    FaultPoint::CacheAbandon,
+    FaultPoint::CacheEvict,
+    FaultPoint::CacheCorrupt,
+    FaultPoint::WorkerPanic,
+    FaultPoint::QueueDelay,
+];
+
+const N_POINTS: usize = 13;
+
+/// The pinned chaos seed used by the harnesses and CI: under
+/// `FaultPlan::new(CHAOS_SEED)` every catalogued point fires within 64
+/// arrivals (asserted by a unit test below).
+pub const CHAOS_SEED: u64 = 0xC4A05;
+
+impl FaultPoint {
+    /// Stable index of this point (bit position in [`FaultPlan::mask`]).
+    pub fn index(self) -> usize {
+        match self {
+            FaultPoint::Parse => 0,
+            FaultPoint::Expand => 1,
+            FaultPoint::Lower => 2,
+            FaultPoint::Analyze => 3,
+            FaultPoint::Inline => 4,
+            FaultPoint::Simplify => 5,
+            FaultPoint::Validate => 6,
+            FaultPoint::Miscompile => 7,
+            FaultPoint::CacheAbandon => 8,
+            FaultPoint::CacheEvict => 9,
+            FaultPoint::CacheCorrupt => 10,
+            FaultPoint::WorkerPanic => 11,
+            FaultPoint::QueueDelay => 12,
+        }
+    }
+
+    /// The pipeline phase a fault at this point is attributed to. Engine
+    /// and pool points, which fire outside any pipeline phase, map to
+    /// [`crate::Phase::Execution`].
+    pub fn phase(self) -> crate::Phase {
+        match self {
+            FaultPoint::Parse | FaultPoint::Expand | FaultPoint::Lower => crate::Phase::Frontend,
+            FaultPoint::Analyze => crate::Phase::Analysis,
+            FaultPoint::Inline | FaultPoint::Miscompile => crate::Phase::Inline,
+            FaultPoint::Simplify | FaultPoint::Validate => crate::Phase::Simplify,
+            FaultPoint::CacheAbandon
+            | FaultPoint::CacheEvict
+            | FaultPoint::CacheCorrupt
+            | FaultPoint::WorkerPanic
+            | FaultPoint::QueueDelay => crate::Phase::Execution,
+        }
+    }
+
+    /// Short stable name, for error messages and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::Parse => "parse",
+            FaultPoint::Expand => "expand",
+            FaultPoint::Lower => "lower",
+            FaultPoint::Analyze => "analyze",
+            FaultPoint::Inline => "inline",
+            FaultPoint::Simplify => "simplify",
+            FaultPoint::Validate => "validate",
+            FaultPoint::Miscompile => "miscompile",
+            FaultPoint::CacheAbandon => "cache-abandon",
+            FaultPoint::CacheEvict => "cache-evict",
+            FaultPoint::CacheCorrupt => "cache-corrupt",
+            FaultPoint::WorkerPanic => "worker-panic",
+            FaultPoint::QueueDelay => "queue-delay",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a fired fault manifests at its injection site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with a recognizable `"injected fault"` message (exercises the
+    /// panic-containment paths).
+    Panic,
+    /// Return a typed [`crate::PipelineError::FaultInjected`].
+    Error,
+    /// Sleep for the given duration, then proceed normally (exercises
+    /// deadline and backpressure paths).
+    Latency(Duration),
+}
+
+/// The seeded, `Copy` chaos configuration.
+///
+/// Disabled by default (`den == 0`): the zero-cost production state. An
+/// enabled plan fires the *n*-th arrival at point *p* iff
+/// `mix(seed, p, n) % den < num`, the point's mask bit is set, and the point
+/// has fired fewer than `limit` times through the consulting injector — all
+/// deterministic in the seed.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_core::{FaultPlan, FaultPoint};
+///
+/// let plan = FaultPlan::new(42);
+/// assert!(plan.enabled());
+/// // Pure decision function: the same (seed, point, n) always agrees.
+/// assert_eq!(
+///     plan.fires(FaultPoint::Inline, 3),
+///     FaultPlan::new(42).fires(FaultPoint::Inline, 3),
+/// );
+/// assert!(!FaultPlan::default().enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The chaos seed; everything else is derived from it.
+    pub seed: u64,
+    /// Firing-rate numerator.
+    pub num: u32,
+    /// Firing-rate denominator; `0` disables the plan entirely.
+    pub den: u32,
+    /// Bitmask of enabled points by [`FaultPoint::index`].
+    pub mask: u64,
+    /// Per-point cap on fires through one injector (`u32::MAX` = unlimited).
+    pub limit: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            num: 0,
+            den: 0,
+            mask: !0,
+            limit: u32::MAX,
+        }
+    }
+}
+
+/// SplitMix64: a small, well-mixed permutation for decision hashing.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An enabled plan firing roughly one arrival in three at every point.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            num: 1,
+            den: 3,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan restricted to `points`, firing every arrival (subject to
+    /// `limit`). The surgical tool for targeting one seam in a test.
+    pub fn only(seed: u64, points: &[FaultPoint]) -> FaultPlan {
+        FaultPlan {
+            seed,
+            num: 1,
+            den: 1,
+            mask: points.iter().fold(0, |m, p| m | (1 << p.index())),
+            limit: u32::MAX,
+        }
+    }
+
+    /// Sets the firing rate to `num`-in-`den` arrivals.
+    pub fn with_rate(mut self, num: u32, den: u32) -> FaultPlan {
+        self.num = num;
+        self.den = den;
+        self
+    }
+
+    /// Caps each point at `limit` fires per injector.
+    pub fn with_limit(mut self, limit: u32) -> FaultPlan {
+        self.limit = limit;
+        self
+    }
+
+    /// True when the plan can fire at all.
+    pub fn enabled(&self) -> bool {
+        self.den > 0 && self.num > 0 && self.mask != 0
+    }
+
+    /// The pure decision function: does the `n`-th arrival at `point` fire,
+    /// and as what? Ignores the per-injector `limit` (which needs runtime
+    /// state); see [`FaultInjector::poll`] for the capped form.
+    pub fn fires(&self, point: FaultPoint, n: u64) -> Option<FaultAction> {
+        if !self.enabled() || self.mask & (1 << point.index()) == 0 {
+            return None;
+        }
+        let h = mix(self
+            .seed
+            .wrapping_add(0x517c_c1b7_2722_0a95u64.wrapping_mul(point.index() as u64 + 1))
+            .wrapping_add(n.wrapping_mul(0x2545_f491_4f6c_dd1d)));
+        if h % self.den as u64 >= self.num as u64 {
+            return None;
+        }
+        Some(match (h >> 32) % 3 {
+            0 => FaultAction::Panic,
+            1 => FaultAction::Error,
+            _ => FaultAction::Latency(Duration::from_micros(200 + (h >> 34) % 800)),
+        })
+    }
+}
+
+/// Process-wide fired counters, one per fault point. Monotone diagnostics:
+/// the chaos harness asserts coverage ("every point fired at least once")
+/// against them.
+static FIRED_GLOBAL: [AtomicU64; N_POINTS] = [const { AtomicU64::new(0) }; N_POINTS];
+
+/// Total fires per fault point (indexed like [`ALL_FAULT_POINTS`]) since
+/// process start, across every injector.
+pub fn fired_counts() -> [u64; N_POINTS] {
+    std::array::from_fn(|i| FIRED_GLOBAL[i].load(Relaxed))
+}
+
+/// The runtime half of a [`FaultPlan`]: per-point arrival and fired
+/// counters.
+///
+/// A fresh injector replays a plan exactly; a shared injector (the engine's)
+/// distributes the plan's deterministic `(point, n)` fault set over whatever
+/// thread arrives `n`-th.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    arrivals: [AtomicU64; N_POINTS],
+    fired: [AtomicU64; N_POINTS],
+}
+
+impl FaultInjector {
+    /// An injector executing `plan` from arrival zero.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            arrivals: [const { AtomicU64::new(0) }; N_POINTS],
+            fired: [const { AtomicU64::new(0) }; N_POINTS],
+        }
+    }
+
+    /// An injector that never fires.
+    pub fn disabled() -> FaultInjector {
+        FaultInjector::new(FaultPlan::default())
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Registers one arrival at `point` and returns the action to take, if
+    /// the plan fires and the point's cap is not yet exhausted.
+    pub fn poll(&self, point: FaultPoint) -> Option<FaultAction> {
+        if !self.plan.enabled() {
+            return None;
+        }
+        let i = point.index();
+        let n = self.arrivals[i].fetch_add(1, Relaxed);
+        let action = self.plan.fires(point, n)?;
+        if self.fired[i].fetch_add(1, Relaxed) >= self.plan.limit as u64 {
+            self.fired[i].fetch_sub(1, Relaxed);
+            return None;
+        }
+        FIRED_GLOBAL[i].fetch_add(1, Relaxed);
+        Some(action)
+    }
+
+    /// Fires per point so far, indexed like [`ALL_FAULT_POINTS`].
+    pub fn fired(&self) -> [u64; N_POINTS] {
+        std::array::from_fn(|i| self.fired[i].load(Relaxed))
+    }
+
+    /// Total fires across all points.
+    pub fn total_fired(&self) -> u64 {
+        self.fired().iter().sum()
+    }
+
+    /// Polls `point` and *executes* the action: panics (with a
+    /// recognizable message), sleeps, or returns the typed error for the
+    /// caller to propagate. Call sites inside panic containment get all
+    /// three manifestations for free.
+    pub fn fire(&self, point: FaultPoint) -> Result<(), crate::PipelineError> {
+        match self.poll(point) {
+            None => Ok(()),
+            Some(FaultAction::Panic) => panic!("injected fault at {point}"),
+            Some(FaultAction::Error) => Err(crate::PipelineError::FaultInjected { point }),
+            Some(FaultAction::Latency(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let inj = FaultInjector::disabled();
+        for _ in 0..100 {
+            for &p in ALL_FAULT_POINTS {
+                assert!(inj.poll(p).is_none());
+            }
+        }
+        assert_eq!(inj.total_fired(), 0);
+    }
+
+    #[test]
+    fn decision_is_pure_and_seed_sensitive() {
+        let a = FaultPlan::new(7);
+        let b = FaultPlan::new(7);
+        let c = FaultPlan::new(8);
+        let mut differs = false;
+        for n in 0..64 {
+            for &p in ALL_FAULT_POINTS {
+                assert_eq!(a.fires(p, n), b.fires(p, n));
+                if a.fires(p, n) != c.fires(p, n) {
+                    differs = true;
+                }
+            }
+        }
+        assert!(differs, "different seeds should fire differently");
+    }
+
+    #[test]
+    fn fresh_injectors_replay_identically() {
+        let plan = FaultPlan::new(0xfd1);
+        let run = |plan: FaultPlan| {
+            let inj = FaultInjector::new(plan);
+            let mut log = Vec::new();
+            for _ in 0..32 {
+                for &p in ALL_FAULT_POINTS {
+                    log.push(inj.poll(p));
+                }
+            }
+            log
+        };
+        assert_eq!(run(plan), run(plan));
+    }
+
+    #[test]
+    fn rate_roughly_holds() {
+        let plan = FaultPlan::new(3).with_rate(1, 3);
+        let inj = FaultInjector::new(plan);
+        let mut fired = 0;
+        for _ in 0..3000 {
+            if inj.poll(FaultPoint::Analyze).is_some() {
+                fired += 1;
+            }
+        }
+        assert!((700..1300).contains(&fired), "1-in-3 rate way off: {fired}");
+    }
+
+    #[test]
+    fn mask_restricts_points() {
+        let plan = FaultPlan::only(9, &[FaultPoint::WorkerPanic]);
+        let inj = FaultInjector::new(plan);
+        for _ in 0..16 {
+            assert!(inj.poll(FaultPoint::Parse).is_none());
+            assert!(inj.poll(FaultPoint::WorkerPanic).is_some());
+        }
+    }
+
+    #[test]
+    fn limit_caps_fires_per_point() {
+        let plan = FaultPlan::only(11, &[FaultPoint::CacheEvict]).with_limit(2);
+        let inj = FaultInjector::new(plan);
+        let fired: usize = (0..50)
+            .filter(|_| inj.poll(FaultPoint::CacheEvict).is_some())
+            .count();
+        assert_eq!(fired, 2);
+    }
+
+    #[test]
+    fn every_point_fires_under_the_chaos_seed() {
+        // The seed the chaos harness pins must reach every catalogued
+        // point within a modest number of arrivals.
+        let plan = FaultPlan::new(CHAOS_SEED);
+        for &p in ALL_FAULT_POINTS {
+            assert!(
+                (0..64).any(|n| plan.fires(p, n).is_some()),
+                "point {p} never fires in 64 arrivals"
+            );
+        }
+    }
+
+    #[test]
+    fn fire_executes_actions() {
+        let plan = FaultPlan::only(1, &[FaultPoint::Inline]);
+        let inj = FaultInjector::new(plan);
+        let mut saw_panic = false;
+        let mut saw_error = false;
+        for _ in 0..64 {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                inj.fire(FaultPoint::Inline)
+            }));
+            match outcome {
+                Err(_) => saw_panic = true,
+                Ok(Err(crate::PipelineError::FaultInjected { point })) => {
+                    assert_eq!(point, FaultPoint::Inline);
+                    saw_error = true;
+                }
+                Ok(Err(e)) => panic!("unexpected error {e}"),
+                Ok(Ok(())) => {}
+            }
+        }
+        assert!(saw_panic && saw_error, "both manifestations should occur");
+    }
+}

@@ -161,7 +161,7 @@ impl PipelineConfig {
     /// constructed) always collide; the absolute
     /// [`AnalysisLimits::deadline`] is excluded (see the module docs).
     pub fn fingerprint(&self) -> u64 {
-        let f = Fingerprint::new().byte(1); // encoding version
+        let f = Fingerprint::new().byte(2); // encoding version
         let f = encode_limits(encode_policy(f, self.policy), &self.limits);
         let f = f.usize(self.threshold);
         let f = match self.mode {
@@ -169,7 +169,18 @@ impl PipelineConfig {
             InlineMode::ClRef => f.byte(1),
         };
         let f = f.usize(self.simplify_iters).usize(self.unroll);
-        encode_budget(f, &self.budget).finish()
+        let f = encode_budget(f, &self.budget);
+        // Chaos and oracle knobs change what a run produces (degradations,
+        // rollbacks), so they split the whole-job key — a faulted run must
+        // never be served from a clean run's cache entry, or vice versa.
+        let f = f
+            .u64(self.faults.seed)
+            .u64(self.faults.num as u64)
+            .u64(self.faults.den as u64)
+            .u64(self.faults.mask)
+            .u64(self.faults.limit as u64);
+        let f = f.byte(self.oracle.enabled as u8).u64(self.oracle.fuel);
+        f.finish()
     }
 }
 
@@ -251,6 +262,19 @@ mod tests {
         let mut deadlined = base;
         deadlined.budget = Budget::default().with_deadline(Duration::from_secs(1));
         for other in [fueled, deadlined] {
+            assert_eq!(base.analysis_fingerprint(), other.analysis_fingerprint());
+            assert_ne!(base.fingerprint(), other.fingerprint());
+        }
+    }
+
+    #[test]
+    fn chaos_and_oracle_knobs_split_the_job_key_only() {
+        let base = PipelineConfig::with_threshold(200);
+        let mut faulted = base;
+        faulted.faults = crate::FaultPlan::new(7);
+        let mut checked = base;
+        checked.oracle = crate::OracleConfig::on();
+        for other in [faulted, checked] {
             assert_eq!(base.analysis_fingerprint(), other.analysis_fingerprint());
             assert_ne!(base.fingerprint(), other.fingerprint());
         }

@@ -36,20 +36,27 @@
 //! ```
 
 mod error;
+pub mod faults;
 mod fingerprint;
+mod oracle;
 mod runner;
 
+use faults::FaultInjector;
 use runner::{run_phase, BudgetTracker};
 use std::sync::Arc;
 use std::time::Duration;
 
 pub use error::{BudgetKind, Phase, PipelineError};
+pub use faults::{fired_counts, FaultAction, FaultPlan, FaultPoint, ALL_FAULT_POINTS, CHAOS_SEED};
 pub use fdi_cfa::{AbortReason, AnalysisLimits, AnalysisStats, FlowAnalysis, Polyvariance};
 pub use fdi_inline::{InlineConfig, InlineMode, InlineReport};
 pub use fdi_lang::{FrontendError, Program};
 pub use fdi_simplify::SimplifyStats;
 pub use fdi_vm::{CostModel, Counters, Outcome, RunConfig, VmError};
 pub use fingerprint::{source_fingerprint, Fingerprint};
+pub use oracle::{
+    compare_observations, observe, validate_equivalence, Observation, OracleConfig, OracleVerdict,
+};
 pub use runner::{Budget, Degradation, Fallback, PipelineHealth};
 
 /// Configuration of one pipeline run.
@@ -69,6 +76,10 @@ pub struct PipelineConfig {
     pub unroll: usize,
     /// Cross-phase resource budget (unbounded by default).
     pub budget: Budget,
+    /// Seeded fault-injection plan (disabled by default; chaos testing).
+    pub faults: FaultPlan,
+    /// Translation-validation oracle (disabled by default).
+    pub oracle: OracleConfig,
 }
 
 impl PipelineConfig {
@@ -83,6 +94,8 @@ impl PipelineConfig {
             simplify_iters: fdi_simplify::DEFAULT_ITERS,
             unroll: 0,
             budget: Budget::default(),
+            faults: FaultPlan::default(),
+            oracle: OracleConfig::default(),
         }
     }
 }
@@ -167,6 +180,16 @@ fn run_pipeline_with(
 
     let mut health = PipelineHealth::default();
     let mut tracker = BudgetTracker::new(&config.budget);
+    // A fresh injector per run: the same seed replays exactly the same
+    // faults. Disabled plans cost one branch per fire site.
+    let injector = FaultInjector::new(config.faults);
+    // The oracle's reference observation — the original program's behaviour
+    // under the capped VM — is computed once and reused at every post-phase
+    // checkpoint.
+    let reference = config
+        .oracle
+        .enabled
+        .then(|| oracle::observe(program, &config.oracle));
 
     // Phase 0: the baseline — everything later degrades to this (or, if this
     // phase itself fails, to the untouched original).
@@ -174,16 +197,28 @@ fn run_pipeline_with(
         .admit(Baseline)
         .and_then(|()| {
             run_phase(Baseline, || {
-                fdi_simplify::simplify_n(program, config.simplify_iters)
+                injector
+                    .fire(FaultPoint::Simplify)
+                    .map(|()| fdi_simplify::simplify_n(program, config.simplify_iters))
             })
         })
-        .and_then(|(b, _)| match fdi_lang::validate(&b) {
-            Ok(()) => Ok(b),
-            Err(error) => Err(PipelineError::Validation {
-                phase: Baseline,
-                error,
-            }),
-        }) {
+        .and_then(|r| r.map(|(b, _)| b))
+        .and_then(|b| {
+            fire_contained(&injector, Baseline, FaultPoint::Validate)?;
+            match fdi_lang::validate(&b) {
+                Ok(()) => Ok(b),
+                Err(error) => Err(PipelineError::Validation {
+                    phase: Baseline,
+                    error,
+                }),
+            }
+        })
+        .and_then(
+            |b| match oracle_gate(reference.as_ref(), &config.oracle, Baseline, &b) {
+                Some(e) => Err(e),
+                None => Ok(b),
+            },
+        ) {
         Ok(b) => b,
         Err(e) => {
             health.record(Baseline, e, Fallback::Original);
@@ -208,7 +243,13 @@ fn run_pipeline_with(
         }
         let computed: FlowAnalysis;
         let flow: &FlowAnalysis = match shared {
-            Some(Ok(flow)) => flow,
+            Some(Ok(flow)) => {
+                if let Err(e) = fire_contained(&injector, Analysis, FaultPoint::Analyze) {
+                    health.record(Analysis, e, Fallback::Baseline);
+                    break 'optimize;
+                }
+                flow
+            }
             Some(Err(e)) => {
                 health.record(Analysis, e.clone(), Fallback::Baseline);
                 break 'optimize;
@@ -220,13 +261,15 @@ fn run_pipeline_with(
                     (a, b) => a.or(b),
                 };
                 match run_phase(Analysis, || {
-                    fdi_cfa::analyze_with_limits(program, config.policy, limits)
+                    injector
+                        .fire(FaultPoint::Analyze)
+                        .map(|()| fdi_cfa::analyze_with_limits(program, config.policy, limits))
                 }) {
-                    Ok(f) => {
+                    Ok(Ok(f)) => {
                         computed = f;
                         &computed
                     }
-                    Err(e) => {
+                    Ok(Err(e)) | Err(e) => {
                         health.record(Analysis, e, Fallback::Baseline);
                         break 'optimize;
                     }
@@ -258,15 +301,30 @@ fn run_pipeline_with(
             mode: config.mode,
             unroll: config.unroll,
         };
-        let (inlined, inline_report) = match run_phase(Inline, || {
-            fdi_inline::inline_program(program, flow, &inline_config)
+        let (mut inlined, inline_report) = match run_phase(Inline, || {
+            injector
+                .fire(FaultPoint::Inline)
+                .map(|()| fdi_inline::inline_program(program, flow, &inline_config))
         }) {
-            Ok(x) => x,
-            Err(e) => {
+            Ok(Ok(x)) => x,
+            Ok(Err(e)) | Err(e) => {
                 health.record(Inline, e, Fallback::Baseline);
                 break 'optimize;
             }
         };
+        // The broken-pass fault: silently substitute a valid but wrong
+        // program. It passes validation and the growth cap by design — only
+        // the translation-validation oracle (or a downstream behaviour
+        // comparison) can catch it.
+        if injector.poll(FaultPoint::Miscompile).is_some() {
+            if let Ok(wrong) = fdi_lang::parse_and_lower("(quote miscompiled)") {
+                inlined = wrong;
+            }
+        }
+        if let Err(e) = fire_contained(&injector, Inline, FaultPoint::Validate) {
+            health.record(Inline, e, Fallback::Baseline);
+            break 'optimize;
+        }
         if let Err(error) = fdi_lang::validate(&inlined) {
             health.record(
                 Inline,
@@ -282,6 +340,10 @@ fn run_pipeline_with(
             health.record(Inline, e, Fallback::Baseline);
             break 'optimize;
         }
+        if let Some(e) = oracle_gate(reference.as_ref(), &config.oracle, Inline, &inlined) {
+            health.record(Inline, e, Fallback::Baseline);
+            break 'optimize;
+        }
         tracker.charge(inlined.size() as u64);
         report = inline_report;
         optimized = inlined;
@@ -293,24 +355,38 @@ fn run_pipeline_with(
             break 'optimize;
         }
         match run_phase(Simplify, || {
-            fdi_simplify::simplify_n(&optimized, config.simplify_iters)
+            injector
+                .fire(FaultPoint::Simplify)
+                .map(|()| fdi_simplify::simplify_n(&optimized, config.simplify_iters))
         }) {
-            Err(e) => health.record(Simplify, e, Fallback::Inlined),
-            Ok((simplified, stats)) => match fdi_lang::validate(&simplified) {
-                Err(error) => health.record(
-                    Simplify,
-                    PipelineError::Validation {
-                        phase: Simplify,
-                        error,
-                    },
-                    Fallback::Inlined,
-                ),
-                Ok(()) => {
-                    tracker.charge(simplified.size() as u64);
-                    simplify_stats = stats;
-                    optimized = simplified;
+            Ok(Err(e)) | Err(e) => health.record(Simplify, e, Fallback::Inlined),
+            Ok(Ok((simplified, stats))) => {
+                if let Err(e) = fire_contained(&injector, Simplify, FaultPoint::Validate) {
+                    health.record(Simplify, e, Fallback::Inlined);
+                    break 'optimize;
                 }
-            },
+                match fdi_lang::validate(&simplified) {
+                    Err(error) => health.record(
+                        Simplify,
+                        PipelineError::Validation {
+                            phase: Simplify,
+                            error,
+                        },
+                        Fallback::Inlined,
+                    ),
+                    Ok(()) => {
+                        match oracle_gate(reference.as_ref(), &config.oracle, Simplify, &simplified)
+                        {
+                            Some(e) => health.record(Simplify, e, Fallback::Inlined),
+                            None => {
+                                tracker.charge(simplified.size() as u64);
+                                simplify_stats = stats;
+                                optimized = simplified;
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -329,6 +405,58 @@ fn run_pipeline_with(
     }
 }
 
+/// Fires a fault point under its own panic containment, so an injected
+/// panic at a seam outside any `run_phase` body still becomes a typed
+/// error. Free when the plan is disabled.
+fn fire_contained(
+    injector: &FaultInjector,
+    phase: Phase,
+    point: FaultPoint,
+) -> Result<(), PipelineError> {
+    if !injector.plan().enabled() {
+        return Ok(());
+    }
+    run_phase(phase, || injector.fire(point)).and_then(|r| r)
+}
+
+/// One oracle checkpoint: compares `candidate` against the reference
+/// observation and returns the typed rejection, if any. `None` when the
+/// oracle is off, the comparison is inconclusive, or the programs agree.
+fn oracle_gate(
+    reference: Option<&Observation>,
+    config: &OracleConfig,
+    phase: Phase,
+    candidate: &Program,
+) -> Option<PipelineError> {
+    let reference = reference?;
+    let verdict = compare_observations(reference, &oracle::observe(candidate, config));
+    oracle::rejection_error(phase, &verdict)
+}
+
+/// The front end (reader → expander → lowerer), staged so the Parse,
+/// Expand, and Lower fault points can fire between stages.
+///
+/// Without an enabled fault plan this is exactly [`fdi_lang::parse_and_lower`]
+/// — including its thread-local parse counter, which the reuse-regression
+/// tests observe.
+fn frontend(src: &str, config: &PipelineConfig) -> Result<Program, PipelineError> {
+    if !config.faults.enabled() {
+        return fdi_lang::parse_and_lower(src).map_err(PipelineError::from);
+    }
+    let injector = FaultInjector::new(config.faults);
+    run_phase(Phase::Frontend, || -> Result<Program, PipelineError> {
+        injector.fire(FaultPoint::Parse)?;
+        let data = fdi_sexpr::parse(src).map_err(|e| PipelineError::Frontend(e.into()))?;
+        let data = fdi_lang::with_prelude(&data);
+        injector.fire(FaultPoint::Expand)?;
+        let core =
+            fdi_lang::expand_program(&data).map_err(|e| PipelineError::Frontend(e.into()))?;
+        injector.fire(FaultPoint::Lower)?;
+        fdi_lang::lower_program(&core).map_err(|e| PipelineError::Frontend(e.into()))
+    })
+    .and_then(|r| r)
+}
+
 /// Parses, lowers, analyzes, inlines, and simplifies `src`, degrading on
 /// phase failures.
 ///
@@ -341,9 +469,11 @@ fn run_pipeline_with(
 /// # Errors
 ///
 /// Returns [`PipelineError::Frontend`] when the reader, expander, or lowerer
-/// rejects `src` — with no program, there is nothing to degrade to.
+/// rejects `src` — with no program, there is nothing to degrade to. Under an
+/// enabled fault plan, an injected frontend failure surfaces the same way,
+/// as [`PipelineError::FaultInjected`] or [`PipelineError::PhasePanicked`].
 pub fn optimize(src: &str, config: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
-    let program = fdi_lang::parse_and_lower(src)?;
+    let program = frontend(src, config)?;
     optimize_program(&program, config)
 }
 
@@ -371,7 +501,7 @@ pub fn optimize_strict(
     src: &str,
     config: &PipelineConfig,
 ) -> Result<PipelineOutput, PipelineError> {
-    let program = fdi_lang::parse_and_lower(src)?;
+    let program = frontend(src, config)?;
     optimize_program_strict(&program, config)
 }
 
@@ -470,7 +600,7 @@ pub fn optimize_to_fixpoint(
     config: &PipelineConfig,
     max_rounds: usize,
 ) -> Result<(PipelineOutput, usize), PipelineError> {
-    let program = fdi_lang::parse_and_lower(src)?;
+    let program = frontend(src, config)?;
     let mut out = run_pipeline(&program, config);
     let mut health = std::mem::take(&mut out.health);
     let mut rounds = 1;
@@ -550,7 +680,7 @@ pub fn sweep(
     config: &PipelineConfig,
     run_config: &RunConfig,
 ) -> Result<Vec<SweepRow>, PipelineError> {
-    let program = fdi_lang::parse_and_lower(src)?;
+    let program = frontend(src, config)?;
     sweep_program(&program, thresholds, config, run_config)
 }
 
@@ -575,7 +705,11 @@ pub fn sweep_program(
     all.extend(thresholds.iter().copied().filter(|&t| t != 0));
     // A deadline (absolute or budget-relative) makes analyses of the same
     // program diverge between rows, so only deadline-free sweeps share one.
-    let sharable = config.budget.deadline.is_none() && config.limits.deadline.is_none();
+    // An enabled fault plan also forbids sharing: each row must fire its own
+    // analysis-phase faults.
+    let sharable = config.budget.deadline.is_none()
+        && config.limits.deadline.is_none()
+        && !config.faults.enabled();
     let shared = sharable.then(|| analyze_contained(program, config));
     let mut cells = Vec::with_capacity(all.len());
     for t in all {
@@ -961,6 +1095,125 @@ mod tests {
         assert_eq!(out.report.sites_inlined, 0);
         let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
         assert_eq!(r.value, "49");
+    }
+
+    #[test]
+    fn oracle_accepts_clean_runs() {
+        let mut cfg = PipelineConfig::with_threshold(300);
+        cfg.oracle = OracleConfig::on();
+        let src = "(define (compose f g) (lambda (x) (f (g x))))
+                   (define (inc n) (+ n 1))
+                   ((compose inc inc) 40)";
+        let out = optimize(src, &cfg).unwrap();
+        assert!(!out.health.degraded(), "{}", out.health.summary());
+        assert!(out.report.sites_inlined >= 1);
+    }
+
+    #[test]
+    fn miscompile_is_caught_by_the_oracle() {
+        // The test-only broken pass: the Miscompile fault silently replaces
+        // the inliner's output with a valid but wrong program. Without the
+        // oracle the pipeline reports a healthy run with wrong behaviour;
+        // with it, the run degrades to the baseline and records the
+        // rejection.
+        let src = "(define (sq x) (* x x)) (sq 7)";
+        let mut broken = PipelineConfig::with_threshold(300);
+        broken.faults = FaultPlan::only(1, &[FaultPoint::Miscompile]);
+
+        let silent = optimize(src, &broken).unwrap();
+        assert!(!silent.health.degraded(), "nothing but the oracle sees it");
+        let r = fdi_vm::run(&silent.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, "miscompiled", "the miscompile really happened");
+
+        broken.oracle = OracleConfig::on();
+        let caught = optimize(src, &broken).unwrap();
+        assert!(
+            caught.health.oracle_rejected(),
+            "{}",
+            caught.health.summary()
+        );
+        assert!(matches!(
+            caught.health.first_error(),
+            Some(PipelineError::OracleRejected {
+                phase: Phase::Inline,
+                ..
+            })
+        ));
+        // The degraded output still computes the right answer.
+        let r = fdi_vm::run(&caught.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, "49");
+    }
+
+    #[test]
+    fn injected_faults_replay_deterministically() {
+        let src = "(define (add a b) (+ a b)) (add (add 1 2) 3)";
+        let mut cfg = PipelineConfig::with_threshold(200);
+        cfg.faults = FaultPlan::only(
+            CHAOS_SEED,
+            &[
+                FaultPoint::Analyze,
+                FaultPoint::Inline,
+                FaultPoint::Simplify,
+                FaultPoint::Validate,
+            ],
+        )
+        .with_rate(1, 3);
+        let a = optimize(src, &cfg).unwrap();
+        let b = optimize(src, &cfg).unwrap();
+        assert_eq!(a.health.summary(), b.health.summary());
+        assert_eq!(
+            fdi_lang::unparse(&a.optimized).to_string(),
+            fdi_lang::unparse(&b.optimized).to_string()
+        );
+    }
+
+    #[test]
+    fn transform_faults_degrade_not_fail() {
+        // Whatever mix of panics, typed errors, and latency the plan deals
+        // out mid-pipeline, the degrading entry point stays total and its
+        // output stays semantically correct.
+        let src = "(define (sq x) (* x x)) (sq (sq 2))";
+        for seed in 0..24u64 {
+            let mut cfg = PipelineConfig::with_threshold(300);
+            cfg.faults = FaultPlan::only(
+                seed,
+                &[
+                    FaultPoint::Analyze,
+                    FaultPoint::Inline,
+                    FaultPoint::Simplify,
+                ],
+            )
+            .with_rate(1, 2);
+            let out = optimize(src, &cfg).unwrap();
+            let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
+            assert_eq!(r.value, "16", "seed {seed} broke behaviour");
+        }
+    }
+
+    #[test]
+    fn frontend_faults_surface_as_typed_errors() {
+        // Find a seed whose first Parse arrival is a hard failure (panic or
+        // typed error, not latency) and check it surfaces as a typed error
+        // from the degrading entry point instead of unwinding.
+        let seed = (0..64u64)
+            .find(|&s| {
+                matches!(
+                    FaultPlan::only(s, &[FaultPoint::Parse]).fires(FaultPoint::Parse, 0),
+                    Some(FaultAction::Panic | FaultAction::Error)
+                )
+            })
+            .expect("some seed fails hard on the first parse");
+        let mut cfg = PipelineConfig::with_threshold(200);
+        cfg.faults = FaultPlan::only(seed, &[FaultPoint::Parse]);
+        let err = optimize("(+ 1 2)", &cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PipelineError::FaultInjected { .. } | PipelineError::PhasePanicked { .. }
+            ),
+            "unexpected error: {err}"
+        );
+        assert!(err.is_transient());
     }
 
     #[test]

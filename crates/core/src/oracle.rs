@@ -1,0 +1,312 @@
+//! The translation-validation oracle.
+//!
+//! The paper's central safety claim is that flow-directed inlining is
+//! semantics-preserving: Fig. 5's inlining conditions exist precisely so
+//! specialization never changes observable behaviour. This module makes
+//! that claim *checkable* per run: [`validate_equivalence`] executes the
+//! original and the optimized program on the cost-model VM under a fuel cap
+//! and compares their **observations** — final value, captured output, and
+//! termination class.
+//!
+//! Nontermination makes full equivalence undecidable, so the oracle is
+//! deliberately one-sided: it only *rejects* on a definite disagreement
+//! (two completed runs with different values or output, or an optimizer-
+//! introduced runtime failure). Runs cut short by the fuel cap, and
+//! programs whose original already fails at runtime, yield
+//! [`OracleVerdict::Inconclusive`] — the pipeline treats inconclusive as
+//! pass, because a degradation there would punish correct optimizations of
+//! slow or crashing programs.
+//!
+//! The degrading pipeline ([`crate::optimize`]) consults the oracle after
+//! every transforming phase when [`OracleConfig::enabled`] is set: a
+//! rejected phase output is rolled back to the last validated program and
+//! recorded as [`crate::PipelineError::OracleRejected`] in
+//! [`crate::PipelineOutput::health`].
+
+use crate::error::{Phase, PipelineError};
+use crate::runner::run_phase;
+use fdi_lang::Program;
+use fdi_vm::RunConfig;
+
+/// Oracle configuration, carried by [`crate::PipelineConfig`].
+///
+/// Disabled by default: the oracle costs two VM executions per checked
+/// phase (one amortized reference run plus one candidate run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleConfig {
+    /// Run the oracle at the pipeline's post-phase checkpoints.
+    pub enabled: bool,
+    /// Fuel cap per oracle execution. Runs that exceed it are
+    /// inconclusive, never rejections.
+    pub fuel: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            enabled: false,
+            fuel: 50_000_000,
+        }
+    }
+}
+
+impl OracleConfig {
+    /// An enabled oracle with the default fuel cap.
+    pub fn on() -> OracleConfig {
+        OracleConfig {
+            enabled: true,
+            ..OracleConfig::default()
+        }
+    }
+
+    /// Sets the per-execution fuel cap.
+    pub fn with_fuel(mut self, fuel: u64) -> OracleConfig {
+        self.fuel = fuel;
+        self
+    }
+}
+
+/// What one VM execution looked like to the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observation {
+    /// The program completed: final value and captured output.
+    Completed {
+        /// `write`-rendered final value.
+        value: String,
+        /// Text written by `display`/`write`/`newline`.
+        output: String,
+    },
+    /// The program failed at runtime (type error, arity error, `(error …)`).
+    Failed {
+        /// The VM's error message.
+        message: String,
+    },
+    /// The fuel cap expired before the program finished.
+    OutOfFuel,
+    /// The VM itself panicked (contained) — a VM bug, not a program
+    /// behaviour; always inconclusive.
+    VmPanicked,
+}
+
+/// Executes `program` under the oracle's capped configuration and
+/// classifies the outcome.
+pub fn observe(program: &Program, config: &OracleConfig) -> Observation {
+    let run_config = RunConfig {
+        fuel: config.fuel,
+        ..RunConfig::default()
+    };
+    match run_phase(Phase::Execution, || fdi_vm::run(program, &run_config)) {
+        Err(_) => Observation::VmPanicked,
+        Ok(Ok(outcome)) => Observation::Completed {
+            value: outcome.value,
+            output: outcome.output,
+        },
+        Ok(Err(e)) if e.message.contains("fuel") => Observation::OutOfFuel,
+        Ok(Err(e)) => Observation::Failed { message: e.message },
+    }
+}
+
+/// The oracle's judgement on one (reference, candidate) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// Both runs completed with identical value and output.
+    Equivalent,
+    /// The comparison was not definite (fuel cap, failing reference, VM
+    /// panic); treated as pass.
+    Inconclusive(&'static str),
+    /// Definite disagreement: the optimized program observably diverges.
+    Rejected {
+        /// What the reference program observed.
+        expected: String,
+        /// What the candidate program observed.
+        got: String,
+    },
+}
+
+impl OracleVerdict {
+    /// True unless the verdict is a definite rejection.
+    pub fn accepted(&self) -> bool {
+        !matches!(self, OracleVerdict::Rejected { .. })
+    }
+}
+
+fn render(obs: &Observation) -> String {
+    match obs {
+        Observation::Completed { value, output } if output.is_empty() => value.clone(),
+        Observation::Completed { value, output } => format!("{value} (output {output:?})"),
+        Observation::Failed { message } => format!("runtime error: {message}"),
+        Observation::OutOfFuel => "out of fuel".to_string(),
+        Observation::VmPanicked => "vm panicked".to_string(),
+    }
+}
+
+/// Compares two pre-computed observations.
+///
+/// Factored out of [`validate_equivalence`] so the pipeline can amortize
+/// one reference observation across several post-phase checkpoints.
+pub fn compare_observations(reference: &Observation, candidate: &Observation) -> OracleVerdict {
+    use Observation::{Completed, Failed, OutOfFuel, VmPanicked};
+    match (reference, candidate) {
+        (VmPanicked, _) | (_, VmPanicked) => OracleVerdict::Inconclusive("vm panicked"),
+        (OutOfFuel, _) | (_, OutOfFuel) => OracleVerdict::Inconclusive("oracle fuel cap"),
+        // A failing reference has no canonical observation to defend: the
+        // optimizer may legitimately change or remove the failure (e.g. by
+        // folding past it), so only a *definite* completed-vs-completed or
+        // completed-vs-failed disagreement rejects.
+        (Failed { .. }, _) => OracleVerdict::Inconclusive("reference fails at runtime"),
+        (Completed { .. }, Failed { .. }) => OracleVerdict::Rejected {
+            expected: render(reference),
+            got: render(candidate),
+        },
+        (
+            Completed { value, output },
+            Completed {
+                value: v,
+                output: o,
+            },
+        ) => {
+            if value == v && output == o {
+                OracleVerdict::Equivalent
+            } else {
+                OracleVerdict::Rejected {
+                    expected: render(reference),
+                    got: render(candidate),
+                }
+            }
+        }
+    }
+}
+
+/// The translation-validation oracle: runs `original` and `optimized` on
+/// the VM under `config`'s fuel cap and compares observable results.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_core::{validate_equivalence, OracleConfig, OracleVerdict};
+///
+/// let original = fdi_lang::parse_and_lower("(+ 1 2)").unwrap();
+/// let optimized = fdi_lang::parse_and_lower("3").unwrap();
+/// let broken = fdi_lang::parse_and_lower("4").unwrap();
+/// let oracle = OracleConfig::on();
+/// assert_eq!(
+///     validate_equivalence(&original, &optimized, &oracle),
+///     OracleVerdict::Equivalent,
+/// );
+/// assert!(!validate_equivalence(&original, &broken, &oracle).accepted());
+/// ```
+pub fn validate_equivalence(
+    original: &Program,
+    optimized: &Program,
+    config: &OracleConfig,
+) -> OracleVerdict {
+    compare_observations(&observe(original, config), &observe(optimized, config))
+}
+
+/// Turns a rejection into the typed pipeline error recorded in the health
+/// ledger. `None` for accepted verdicts.
+pub(crate) fn rejection_error(phase: Phase, verdict: &OracleVerdict) -> Option<PipelineError> {
+    match verdict {
+        OracleVerdict::Rejected { expected, got } => Some(PipelineError::OracleRejected {
+            phase,
+            expected: expected.clone(),
+            got: got.clone(),
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(src: &str) -> Program {
+        fdi_lang::parse_and_lower(src).unwrap()
+    }
+
+    #[test]
+    fn identical_behaviour_is_equivalent() {
+        let a = program("(define (sq x) (* x x)) (sq 7)");
+        let b = program("49");
+        assert_eq!(
+            validate_equivalence(&a, &b, &OracleConfig::on()),
+            OracleVerdict::Equivalent
+        );
+    }
+
+    #[test]
+    fn value_divergence_is_rejected() {
+        let a = program("(+ 1 2)");
+        let b = program("(+ 1 3)");
+        let v = validate_equivalence(&a, &b, &OracleConfig::on());
+        match v {
+            OracleVerdict::Rejected { expected, got } => {
+                assert_eq!(expected, "3");
+                assert_eq!(got, "4");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_divergence_is_rejected() {
+        let a = program("(begin (display \"hi\") 0)");
+        let b = program("(begin (display \"ho\") 0)");
+        assert!(!validate_equivalence(&a, &b, &OracleConfig::on()).accepted());
+    }
+
+    #[test]
+    fn introduced_failure_is_rejected() {
+        let a = program("(+ 1 2)");
+        let b = program("(car '())");
+        assert!(!validate_equivalence(&a, &b, &OracleConfig::on()).accepted());
+    }
+
+    #[test]
+    fn failing_reference_is_inconclusive() {
+        let a = program("(car '())");
+        let b = program("(+ 1 2)");
+        assert_eq!(
+            validate_equivalence(&a, &b, &OracleConfig::on()),
+            OracleVerdict::Inconclusive("reference fails at runtime")
+        );
+    }
+
+    #[test]
+    fn fuel_cap_is_inconclusive_not_rejected() {
+        // The loop exceeds the tiny cap on the reference side while the
+        // "optimized" side completes instantly — legitimately possible
+        // when folding collapses a loop, so it must not reject.
+        let slow = program(
+            "(letrec ((lp (lambda (n a) (if (zero? n) a (lp (- n 1) (+ a 1))))))
+               (lp 100000 0))",
+        );
+        let fast = program("100000");
+        let oracle = OracleConfig::on().with_fuel(1000);
+        assert_eq!(
+            validate_equivalence(&slow, &fast, &oracle),
+            OracleVerdict::Inconclusive("oracle fuel cap")
+        );
+        assert_eq!(
+            validate_equivalence(&fast, &slow, &oracle),
+            OracleVerdict::Inconclusive("oracle fuel cap")
+        );
+    }
+
+    #[test]
+    fn observations_classify_termination() {
+        let oracle = OracleConfig::on().with_fuel(500);
+        assert!(matches!(
+            observe(&program("(+ 1 2)"), &oracle),
+            Observation::Completed { .. }
+        ));
+        assert!(matches!(
+            observe(&program("(car 5)"), &oracle),
+            Observation::Failed { .. }
+        ));
+        assert_eq!(
+            observe(&program("(letrec ((f (lambda () (f)))) (f))"), &oracle),
+            Observation::OutOfFuel
+        );
+    }
+}

@@ -212,6 +212,14 @@ impl PipelineHealth {
         self.degradations.first().map(|d| &d.error)
     }
 
+    /// True when any degradation was a translation-validation rejection —
+    /// the pipeline caught itself miscompiling and rolled back.
+    pub fn oracle_rejected(&self) -> bool {
+        self.degradations
+            .iter()
+            .any(|d| matches!(d.error, PipelineError::OracleRejected { .. }))
+    }
+
     /// Folds another run's ledger into this one (fixpoint iteration, sweeps).
     pub fn absorb(&mut self, other: PipelineHealth) {
         self.degradations.extend(other.degradations);

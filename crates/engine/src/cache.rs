@@ -105,6 +105,21 @@ impl<K: Eq + Hash + Clone, V: Clone> KeyedCache<K, V> {
         self.map.lock().unwrap().len()
     }
 
+    /// Drops the *ready* entry for `key`, forcing the next asker to
+    /// recompute. In-flight entries are left alone — evicting one would
+    /// strand its waiters — so eviction of a key being computed is a no-op.
+    /// Returns whether an entry was removed.
+    pub(crate) fn evict(&self, key: &K) -> bool {
+        let mut map = self.map.lock().unwrap();
+        match map.get(key) {
+            Some(Slot::Ready(_)) => {
+                map.remove(key);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Returns the value for `key`, computing it at most once across all
     /// threads.
     ///
@@ -242,6 +257,29 @@ mod tests {
         let (v, _) = c.get_or_compute(5, || 11);
         assert_eq!(v, 11);
         owner.join().unwrap();
+    }
+
+    #[test]
+    fn evict_forces_recompute_but_spares_inflight() {
+        let c: Arc<KeyedCache<u64, u64>> = Arc::new(KeyedCache::new());
+        let (v, _) = c.get_or_compute(3, || 30);
+        assert_eq!(v, 30);
+        assert!(c.evict(&3));
+        assert!(!c.evict(&3), "already gone");
+        let (v, hit) = c.get_or_compute(3, || 31);
+        assert_eq!((v, hit), (31, false), "evicted entry recomputes");
+
+        // An in-flight entry survives eviction attempts.
+        let c2 = c.clone();
+        let owner = std::thread::spawn(move || {
+            c2.get_or_compute(4, || {
+                std::thread::sleep(Duration::from_millis(40));
+                44
+            })
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!c.evict(&4), "in-flight entries are not evictable");
+        assert_eq!(owner.join().unwrap().0, 44);
     }
 
     #[test]

@@ -22,11 +22,36 @@
 //! (by [`PipelineConfig::fingerprint`]) to one already in flight returns a
 //! handle to the existing run.
 //!
-//! Fault isolation follows the pipeline's own contract: every phase runs
-//! contained, a panicking or over-budget job degrades through
-//! [`PipelineOutput::health`] (or resolves to a typed [`PipelineError`])
-//! without poisoning the pool, and deterministic failures are negatively
-//! cached like successes.
+//! # Supervision
+//!
+//! Every job runs under a supervisor that classifies failures by
+//! [`PipelineError::is_transient`]: injected faults, phase panics, oracle
+//! rejections, and wall-clock deadline exhaustion are *transient* (a retry
+//! can genuinely clear them — deadlines re-anchor, fault seeds advance);
+//! everything else is deterministic and returned at once. Transient
+//! failures are retried up to [`EngineConfig::max_retries`] times with a
+//! deterministic linear backoff, each attempt re-seeding the job's fault
+//! plan (`seed + attempt`) so an injected failure does not trivially recur.
+//! A job that exhausts its retries is **quarantined**: its last result is
+//! still returned (degraded outputs are outputs), but the job lands on the
+//! poison list ([`Engine::poisoned`]) and in
+//! [`EngineStats::jobs_quarantined`] so a batch report can name it.
+//!
+//! The pool supervises its own threads the same way: a worker killed by the
+//! `worker-panic` chaos seam is respawned (capacity never degrades) and the
+//! task it was holding is rescued and re-run, so no submitted job is lost.
+//!
+//! # Chaos
+//!
+//! An engine built with an enabled [`EngineConfig::faults`] plan threads a
+//! shared [`FaultInjector`] through its cache and pool seams: cache owners
+//! abandoned mid-fill, freshly used entries evicted, stored artifact
+//! checksums corrupted (and caught by a fingerprint recheck before reuse),
+//! workers killed, dequeues delayed. All of it is deterministic in the seed
+//! and none of it may change what a batch computes — only how much work
+//! computing it takes. Cached parse artifacts carry a checksum of their
+//! canonical unparse exactly when chaos is enabled, so corruption detection
+//! costs nothing in production.
 //!
 //! Determinism: the engine's sweeps reuse the sequential sweep's own
 //! order-independent pieces ([`fdi_core::execute_cell`]) and funnel results
@@ -34,11 +59,13 @@
 //! ([`fdi_core::assemble_sweep_rows`]), so an engine sweep at any worker
 //! count is byte-identical to the sequential one.
 //!
-//! Deadline caveat: a configuration with a wall-clock deadline (on the
-//! budget or the analysis limits) is anchored to *its* run's clock, so such
-//! jobs bypass the analysis cache and job dedup entirely (counted in
-//! [`EngineStats::analysis_uncached`]); only the deadline-independent parse
-//! artifact is shared.
+//! Bypass caveat: a job with a wall-clock deadline (on the budget or the
+//! analysis limits) is anchored to *its* run's clock, and a job with its
+//! own fault plan replays injections private to that run; neither may share
+//! artifacts or dedup with anything. Such jobs bypass every cache (counted
+//! in [`EngineStats::analysis_uncached`]) and — since cache keys are their
+//! only consumer — skip fingerprint computation entirely
+//! ([`EngineStats::fingerprints_computed`] stays flat).
 
 mod cache;
 mod pool;
@@ -47,10 +74,11 @@ mod stats;
 pub use stats::EngineStats;
 
 use cache::{Gate, KeyedCache};
+use fdi_core::faults::{FaultInjector, FaultPlan, FaultPoint};
 use fdi_core::{
-    analyze_contained, assemble_sweep_rows, execute_cell, optimize_program,
-    optimize_program_with_analysis, parse_contained, source_fingerprint, FlowAnalysis, Outcome,
-    Phase, PipelineConfig, PipelineError, PipelineOutput, Program, RunConfig, SweepCell, SweepRow,
+    analyze_contained, assemble_sweep_rows, execute_cell, optimize, optimize_program_with_analysis,
+    parse_contained, source_fingerprint, FlowAnalysis, Outcome, Phase, PipelineConfig,
+    PipelineError, PipelineOutput, Program, RunConfig, SweepCell, SweepRow,
 };
 use pool::{Pool, Task};
 use std::collections::hash_map::Entry;
@@ -58,9 +86,9 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Sizing of an [`Engine`].
+/// Sizing and supervision policy of an [`Engine`].
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Worker threads. Defaults to the machine's available parallelism.
@@ -68,6 +96,16 @@ pub struct EngineConfig {
     /// Bounded queue slots *per worker*; a full shard blocks submission
     /// (backpressure). Defaults to 64.
     pub queue_cap: usize,
+    /// The engine-level chaos plan: cache and pool seams (`cache-abandon`,
+    /// `cache-evict`, `cache-corrupt`, `worker-panic`, `queue-delay`) fire
+    /// from one injector shared across workers. Disabled by default.
+    pub faults: FaultPlan,
+    /// Retries granted to a job whose failure is classified transient.
+    /// Defaults to 2 (three attempts total).
+    pub max_retries: u32,
+    /// Base of the deterministic linear backoff between retries (attempt
+    /// `k` sleeps `k × retry_backoff`). Defaults to 10 ms.
+    pub retry_backoff: Duration,
 }
 
 impl EngineConfig {
@@ -87,6 +125,9 @@ impl Default for EngineConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             queue_cap: 64,
+            faults: FaultPlan::default(),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(10),
         }
     }
 }
@@ -116,11 +157,15 @@ impl Job {
         (source_fingerprint(&self.source), self.config.fingerprint())
     }
 
-    /// Does this job carry a wall-clock deadline? Deadlines are anchored to
-    /// the run's own clock, so such jobs share no analysis and dedup with
-    /// nothing.
-    fn has_deadline(&self) -> bool {
-        self.config.budget.deadline.is_some() || self.config.limits.deadline.is_some()
+    /// Does this job bypass the artifact caches and job dedup? True for
+    /// deadline-bearing jobs (the deadline anchors to the run's own clock)
+    /// and for jobs with their own fault plan (injections are private to
+    /// the run). Bypass jobs never compute a fingerprint — cache keys are
+    /// the only thing fingerprints are for.
+    fn bypasses_cache(&self) -> bool {
+        self.config.budget.deadline.is_some()
+            || self.config.limits.deadline.is_some()
+            || self.config.faults.enabled()
     }
 }
 
@@ -132,6 +177,19 @@ pub type JobResult = Result<Arc<PipelineOutput>, PipelineError>;
 
 type ExecResult = Result<Outcome, PipelineError>;
 type JobKey = (u64, u64);
+
+/// A job that exhausted its retries: an entry on the engine's poison list.
+#[derive(Debug, Clone)]
+pub struct PoisonedJob {
+    /// The job's source text.
+    pub source: Arc<str>,
+    /// The inline threshold it ran under (to tell sweep siblings apart).
+    pub threshold: usize,
+    /// Attempts made (initial run + retries).
+    pub attempts: u32,
+    /// The transient failure that kept recurring.
+    pub error: PipelineError,
+}
 
 /// A claim on a submitted job's eventual result.
 #[derive(Debug)]
@@ -150,16 +208,38 @@ impl JobHandle {
     }
 }
 
+/// A cached front-end artifact. The checksum is the fingerprint of the
+/// program's canonical unparse, computed only when engine chaos is enabled;
+/// the `cache-corrupt` seam flips it, and the recheck on every hit catches
+/// the mismatch and recomputes.
+#[derive(Debug, Clone)]
+struct ParseArtifact {
+    program: Arc<Program>,
+    checksum: Arc<AtomicU64>,
+}
+
+/// The content address of a parse artifact's payload.
+fn artifact_checksum(program: &Program) -> u64 {
+    source_fingerprint(&fdi_lang::unparse(program).to_string())
+}
+
 /// Shared engine state: every worker task holds an `Arc<Inner>`.
 struct Inner {
     stats: stats::StatsInner,
+    /// The engine-level chaos injector, shared by caches and the pool.
+    injector: Arc<FaultInjector>,
+    /// Supervision policy (from [`EngineConfig`]).
+    max_retries: u32,
+    retry_backoff: Duration,
+    /// Jobs that exhausted their retries.
+    poisoned: Mutex<Vec<PoisonedJob>>,
     /// Parse artifacts by source fingerprint.
-    programs: KeyedCache<u64, Result<Arc<Program>, PipelineError>>,
+    programs: KeyedCache<u64, Result<ParseArtifact, PipelineError>>,
     /// Flow analyses by (source fingerprint, analysis fingerprint).
     analyses: KeyedCache<JobKey, Result<Arc<FlowAnalysis>, PipelineError>>,
     /// In-flight jobs by whole-job key, for submission dedup.
     inflight: Mutex<HashMap<JobKey, Arc<Gate<JobResult>>>>,
-    /// Round-robin shard assignment for execution tasks.
+    /// Round-robin shard assignment for execution and bypass tasks.
     exec_shard: AtomicU64,
 }
 
@@ -176,15 +256,27 @@ pub struct Engine {
 impl Engine {
     /// An engine sized by `config`.
     pub fn new(config: EngineConfig) -> Engine {
+        let stats = stats::StatsInner::default();
+        let injector = Arc::new(FaultInjector::new(config.faults));
+        let pool = Pool::with_chaos(
+            config.workers,
+            config.queue_cap,
+            injector.clone(),
+            stats.workers_respawned.clone(),
+        );
         Engine {
             inner: Arc::new(Inner {
-                stats: stats::StatsInner::default(),
+                stats,
+                injector,
+                max_retries: config.max_retries,
+                retry_backoff: config.retry_backoff,
+                poisoned: Mutex::new(Vec::new()),
                 programs: KeyedCache::new(),
                 analyses: KeyedCache::new(),
                 inflight: Mutex::new(HashMap::new()),
                 exec_shard: AtomicU64::new(0),
             }),
-            pool: Pool::new(config.workers, config.queue_cap),
+            pool,
         }
     }
 
@@ -203,16 +295,25 @@ impl Engine {
         self.inner.stats.snapshot()
     }
 
+    /// The poison list: jobs that exhausted their retries, in quarantine
+    /// order.
+    pub fn poisoned(&self) -> Vec<PoisonedJob> {
+        self.inner.poisoned.lock().unwrap().clone()
+    }
+
     /// Submits a job, blocking only when the target shard's queue is full.
     ///
-    /// An identical deadline-free job already in flight is joined instead
+    /// An identical cache-eligible job already in flight is joined instead
     /// of re-run: the returned handle (marked `deduped`) resolves to the
-    /// same shared output.
+    /// same shared output. Bypass jobs (deadline or fault plan) are never
+    /// deduplicated and never fingerprinted.
     pub fn submit(&self, job: Job) -> JobHandle {
-        let key = job.key();
-        let dedupable = !job.has_deadline();
         let gate = Arc::new(Gate::new());
-        if dedupable {
+        let key = if job.bypasses_cache() {
+            None
+        } else {
+            self.inner.stats.fingerprints_computed.fetch_add(2, Relaxed);
+            let key = job.key();
             match self.inner.inflight.lock().unwrap().entry(key) {
                 Entry::Occupied(e) => {
                     self.inner.stats.jobs_deduped.fetch_add(1, Relaxed);
@@ -225,23 +326,16 @@ impl Engine {
                     e.insert(gate.clone());
                 }
             }
-        }
+            Some(key)
+        };
         self.inner.stats.jobs_submitted.fetch_add(1, Relaxed);
         self.inner.stats.enqueue();
         let inner = self.inner.clone();
         let task_gate = gate.clone();
         let task: Task = Box::new(move || {
             inner.stats.dequeue();
-            // run_job is built from contained phases; the catch here is the
-            // backstop that keeps a stray unwind from stranding waiters.
-            let result =
-                catch_unwind(AssertUnwindSafe(|| run_job(&inner, &job))).unwrap_or_else(|_| {
-                    Err(PipelineError::PhasePanicked {
-                        phase: Phase::Frontend,
-                        message: "engine job unwound outside phase containment".into(),
-                    })
-                });
-            if dedupable {
+            let result = supervise(&inner, &job);
+            if let Some(key) = key {
                 inner.inflight.lock().unwrap().remove(&key);
             }
             // Count completion before publishing: anyone woken by the gate
@@ -249,7 +343,11 @@ impl Engine {
             inner.stats.jobs_completed.fetch_add(1, Relaxed);
             task_gate.set(result);
         });
-        self.pool.submit(key.0 ^ key.1.rotate_left(32), task);
+        let shard = match key {
+            Some((src, cfg)) => src ^ cfg.rotate_left(32),
+            None => self.inner.exec_shard.fetch_add(1, Relaxed),
+        };
+        self.pool.submit(shard, task);
         JobHandle {
             gate,
             deduped: false,
@@ -386,62 +484,170 @@ impl Engine {
     }
 }
 
+/// The transient failure in `result`, if any: a transient top-level error,
+/// or the first transient degradation of an otherwise completed run.
+fn transient_failure(result: &JobResult) -> Option<PipelineError> {
+    match result {
+        Err(e) if e.is_transient() => Some(e.clone()),
+        Err(_) => None,
+        Ok(out) => out
+            .health
+            .degradations
+            .iter()
+            .find(|d| d.error.is_transient())
+            .map(|d| d.error.clone()),
+    }
+}
+
+/// Runs one job under the retry/quarantine policy.
+///
+/// Each attempt runs [`run_job`] under a panic backstop. A transiently
+/// failed attempt is retried after a deterministic linear backoff, with the
+/// job's fault seed advanced by the attempt number (so a seeded injection —
+/// a pure function of the seed — does not trivially recur, while the whole
+/// retry schedule stays reproducible). A job that exhausts its retries is
+/// quarantined on the poison list; its last result is still returned.
+fn supervise(inner: &Inner, job: &Job) -> JobResult {
+    let mut attempt: u32 = 0;
+    loop {
+        let mut this_attempt = job.clone();
+        if attempt > 0 && this_attempt.config.faults.enabled() {
+            this_attempt.config.faults.seed = job.config.faults.seed.wrapping_add(attempt as u64);
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(inner, &this_attempt)))
+            .unwrap_or_else(|payload| {
+                // Keep the payload text: injected cache-seam panics carry
+                // "injected fault at …", which downstream consumers (fuzz
+                // tolerance, corpus replay) use to classify the failure.
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "no panic message".into());
+                Err(PipelineError::PhasePanicked {
+                    phase: Phase::Frontend,
+                    message: format!("engine job unwound outside phase containment: {detail}"),
+                })
+            });
+        let failure = match transient_failure(&result) {
+            None => return result,
+            Some(e) => e,
+        };
+        if attempt >= inner.max_retries {
+            inner.stats.jobs_quarantined.fetch_add(1, Relaxed);
+            inner.poisoned.lock().unwrap().push(PoisonedJob {
+                source: job.source.clone(),
+                threshold: job.config.threshold,
+                attempts: attempt + 1,
+                error: failure,
+            });
+            return result;
+        }
+        attempt += 1;
+        inner.stats.jobs_retried.fetch_add(1, Relaxed);
+        std::thread::sleep(inner.retry_backoff * attempt);
+    }
+}
+
 /// One job, start to finish, on a worker thread: parse through the artifact
-/// cache, analyze through the artifact cache (unless a deadline forbids
-/// sharing), then run the inline + simplify tail in-process.
+/// cache, analyze through the artifact cache, then run the inline +
+/// simplify tail in-process — unless the job bypasses caching entirely
+/// (deadline or private fault plan), in which case the whole pipeline runs
+/// in-process with no fingerprint ever computed.
 fn run_job(inner: &Inner, job: &Job) -> JobResult {
-    let src_key = source_fingerprint(&job.source);
-
-    let parse_started = Instant::now();
-    let source = job.source.clone();
-    let (parsed, hit) = inner
-        .programs
-        .get_or_compute(src_key, move || parse_contained(&source).map(Arc::new));
-    stats::StatsInner::cache_event(&inner.stats.parse_hits, &inner.stats.parse_misses, hit);
-    stats::StatsInner::add_time(&inner.stats.parse_ns, parse_started.elapsed());
-    let program = parsed?;
-
-    let output = if job.has_deadline() {
-        // The deadline anchors to this run's clock: no artifact of the
-        // analysis phase can be shared, so run the whole pipeline in-process.
+    if job.bypasses_cache() {
         inner.stats.analysis_uncached.fetch_add(1, Relaxed);
         let started = Instant::now();
-        let out = optimize_program(&program, &job.config)
-            .expect("optimize_program degrades instead of failing");
+        let out = optimize(&job.source, &job.config);
         stats::StatsInner::add_time(&inner.stats.transform_ns, started.elapsed());
-        out
-    } else {
-        let analysis_started = Instant::now();
-        let analysis_program = program.clone();
-        let config = job.config;
-        let (analysis, hit) = inner
-            .analyses
-            .get_or_compute((src_key, job.config.analysis_fingerprint()), move || {
-                analyze_contained(&analysis_program, &config).map(Arc::new)
-            });
-        stats::StatsInner::cache_event(
-            &inner.stats.analysis_hits,
-            &inner.stats.analysis_misses,
-            hit,
-        );
-        stats::StatsInner::add_time(&inner.stats.analysis_ns, analysis_started.elapsed());
+        return out.map(Arc::new);
+    }
 
-        let transform_started = Instant::now();
-        let shared = match &analysis {
-            Ok(flow) => Ok(&**flow),
-            Err(e) => Err(e),
-        };
-        let out = optimize_program_with_analysis(&program, &job.config, shared);
-        stats::StatsInner::add_time(&inner.stats.transform_ns, transform_started.elapsed());
-        out
+    let src_key = source_fingerprint(&job.source);
+    inner.stats.fingerprints_computed.fetch_add(1, Relaxed);
+    let chaos = inner.injector.plan().enabled();
+
+    // Obtain the parse artifact, under chaos re-verifying its checksum: a
+    // detected corruption evicts and recomputes (at most one extra lap —
+    // the recompute is a miss, which skips the recheck).
+    let artifact = loop {
+        let parse_started = Instant::now();
+        let source = job.source.clone();
+        let injector = &inner.injector;
+        let (parsed, hit) = inner.programs.get_or_compute(src_key, move || {
+            if injector.poll(FaultPoint::CacheAbandon).is_some() {
+                // The cache's unwind guard abandons the gate (waiters
+                // retry); this owner's job fails transiently and is
+                // retried by its supervisor.
+                panic!("injected fault at cache-abandon");
+            }
+            parse_contained(&source).map(|p| {
+                let program = Arc::new(p);
+                let checksum = if chaos {
+                    artifact_checksum(&program)
+                } else {
+                    0
+                };
+                ParseArtifact {
+                    program,
+                    checksum: Arc::new(AtomicU64::new(checksum)),
+                }
+            })
+        });
+        stats::StatsInner::cache_event(&inner.stats.parse_hits, &inner.stats.parse_misses, hit);
+        stats::StatsInner::add_time(&inner.stats.parse_ns, parse_started.elapsed());
+        let artifact = parsed?;
+        if chaos && hit {
+            if inner.injector.poll(FaultPoint::CacheCorrupt).is_some() {
+                artifact.checksum.fetch_xor(0xDEAD_BEEF_DEAD_BEEF, Relaxed);
+            }
+            if artifact_checksum(&artifact.program) != artifact.checksum.load(Relaxed) {
+                inner.stats.cache_corruptions_detected.fetch_add(1, Relaxed);
+                inner.programs.evict(&src_key);
+                continue;
+            }
+        }
+        if chaos && inner.injector.poll(FaultPoint::CacheEvict).is_some() {
+            // Drop the entry *after* taking our clone: this job proceeds,
+            // the next asker recomputes.
+            if inner.programs.evict(&src_key) {
+                inner.stats.cache_evictions.fetch_add(1, Relaxed);
+            }
+        }
+        break artifact;
     };
-    Ok(Arc::new(output))
+    let program = artifact.program;
+
+    let analysis_started = Instant::now();
+    let analysis_program = program.clone();
+    let config = job.config;
+    inner.stats.fingerprints_computed.fetch_add(1, Relaxed);
+    let (analysis, hit) = inner
+        .analyses
+        .get_or_compute((src_key, job.config.analysis_fingerprint()), move || {
+            analyze_contained(&analysis_program, &config).map(Arc::new)
+        });
+    stats::StatsInner::cache_event(
+        &inner.stats.analysis_hits,
+        &inner.stats.analysis_misses,
+        hit,
+    );
+    stats::StatsInner::add_time(&inner.stats.analysis_ns, analysis_started.elapsed());
+
+    let transform_started = Instant::now();
+    let shared = match &analysis {
+        Ok(flow) => Ok(&**flow),
+        Err(e) => Err(e),
+    };
+    let out = optimize_program_with_analysis(&program, &job.config, shared);
+    stats::StatsInner::add_time(&inner.stats.transform_ns, transform_started.elapsed());
+    Ok(Arc::new(out))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fdi_core::Budget;
+    use fdi_core::{Budget, OracleConfig};
 
     const SRC: &str = "(define (sq x) (* x x)) (cons (sq 2) (sq 3))";
 
@@ -452,6 +658,7 @@ mod tests {
         let engine = Engine::new(EngineConfig {
             workers: 1,
             queue_cap: 8,
+            ..EngineConfig::default()
         });
         let blocker = engine.submit(Job::new(SRC, PipelineConfig::with_threshold(0)));
         let first = engine.submit(Job::new(SRC, PipelineConfig::with_threshold(200)));
@@ -490,6 +697,9 @@ mod tests {
         };
         let degraded = engine.submit(Job::new(SRC, starved)).wait().unwrap();
         assert!(degraded.health.degraded(), "zero fuel must degrade");
+        // Fuel exhaustion is deterministic: no retries, no quarantine.
+        assert_eq!(engine.stats().jobs_retried, 0);
+        assert_eq!(engine.stats().jobs_quarantined, 0);
         // The pool still serves healthy work afterwards.
         let healthy = engine
             .submit(Job::new(SRC, PipelineConfig::with_threshold(200)))
@@ -537,6 +747,26 @@ mod tests {
     }
 
     #[test]
+    fn bypass_jobs_never_compute_fingerprints() {
+        // The whole point of the bypass path: no cache keys, no fingerprints.
+        let engine = Engine::with_jobs(2);
+        let deadline = PipelineConfig {
+            budget: Budget::default().with_deadline(std::time::Duration::from_secs(60)),
+            ..PipelineConfig::with_threshold(200)
+        };
+        engine.submit(Job::new(SRC, deadline)).wait().unwrap();
+        assert_eq!(engine.stats().fingerprints_computed, 0);
+        // A cache-eligible job computes exactly four: source + whole-config
+        // at submission (dedup key), source + analysis policy inside the
+        // run (cache keys).
+        engine
+            .submit(Job::new(SRC, PipelineConfig::with_threshold(200)))
+            .wait()
+            .unwrap();
+        assert_eq!(engine.stats().fingerprints_computed, 4);
+    }
+
+    #[test]
     fn engine_sweep_matches_sequential_sweep() {
         let engine = Engine::with_jobs(4);
         let config = PipelineConfig::default();
@@ -567,5 +797,119 @@ mod tests {
         );
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(PipelineError::Frontend(_))));
+    }
+
+    fn chaos_engine(points: &[FaultPoint], limit: u32) -> Engine {
+        Engine::new(EngineConfig {
+            workers: 2,
+            queue_cap: 8,
+            faults: FaultPlan::only(0xE17, points).with_limit(limit),
+            retry_backoff: Duration::from_millis(1),
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn worker_panic_respawns_and_later_jobs_still_complete() {
+        // Satellite regression: a worker panic mid-batch is followed by
+        // successful completion of later jobs, and the queue high-water
+        // mark stays monotone across snapshots.
+        let engine = chaos_engine(&[FaultPoint::WorkerPanic], 2);
+        let mut highwater = 0;
+        for t in [0usize, 100, 200, 400, 800] {
+            let out = engine
+                .submit(Job::new(SRC, PipelineConfig::with_threshold(t)))
+                .wait()
+                .unwrap();
+            assert!(!out.health.degraded(), "threshold {t} run degraded");
+            let snap = engine.stats();
+            assert!(snap.queue_highwater >= highwater, "high-water regressed");
+            highwater = snap.queue_highwater;
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_completed, 5, "no job lost to worker panics");
+        assert_eq!(stats.workers_respawned, 2, "both injected panics respawned");
+    }
+
+    #[test]
+    fn cache_abandon_is_retried_to_success() {
+        let engine = chaos_engine(&[FaultPoint::CacheAbandon], 1);
+        let out = engine
+            .submit(Job::new(SRC, PipelineConfig::with_threshold(200)))
+            .wait()
+            .unwrap();
+        assert!(!out.health.degraded());
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_retried, 1, "one abandoned fill, one retry");
+        assert_eq!(stats.jobs_quarantined, 0);
+        assert_eq!(stats.parse_misses, 1, "the retry's fill succeeded");
+    }
+
+    #[test]
+    fn cache_corruption_is_detected_and_recomputed() {
+        let engine = chaos_engine(&[FaultPoint::CacheCorrupt], 1);
+        let a = engine
+            .submit(Job::new(SRC, PipelineConfig::with_threshold(0)))
+            .wait()
+            .unwrap();
+        // Same source again: the hit's recheck sees the corrupted checksum.
+        let b = engine
+            .submit(Job::new(SRC, PipelineConfig::with_threshold(200)))
+            .wait()
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.cache_corruptions_detected, 1);
+        assert_eq!(stats.parse_misses, 2, "corrupted artifact was recomputed");
+        // Corruption is repaired, never served: both runs are healthy.
+        assert!(!a.health.degraded() && !b.health.degraded());
+    }
+
+    #[test]
+    fn cache_evict_forces_recompute() {
+        let engine = chaos_engine(&[FaultPoint::CacheEvict], 1);
+        engine
+            .submit(Job::new(SRC, PipelineConfig::with_threshold(0)))
+            .wait()
+            .unwrap();
+        engine
+            .submit(Job::new(SRC, PipelineConfig::with_threshold(200)))
+            .wait()
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.cache_evictions, 1);
+        assert_eq!(stats.parse_misses, 2, "evicted artifact was recomputed");
+    }
+
+    #[test]
+    fn persistent_transient_failures_quarantine() {
+        // A job whose own fault plan miscompiles on *every* seed (rate 1/1,
+        // so reseeding cannot clear it) keeps tripping the oracle; the
+        // supervisor exhausts its retries and quarantines the job.
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            queue_cap: 8,
+            retry_backoff: Duration::from_millis(1),
+            ..EngineConfig::default()
+        });
+        let config = PipelineConfig {
+            faults: FaultPlan::only(5, &[FaultPoint::Miscompile]),
+            oracle: OracleConfig::on(),
+            ..PipelineConfig::with_threshold(200)
+        };
+        let out = engine.submit(Job::new(SRC, config)).wait().unwrap();
+        assert!(
+            out.health.oracle_rejected(),
+            "the miscompile must be caught, not shipped"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_retried, 2, "default policy: two retries");
+        assert_eq!(stats.jobs_quarantined, 1);
+        let poisoned = engine.poisoned();
+        assert_eq!(poisoned.len(), 1);
+        assert_eq!(poisoned[0].attempts, 3);
+        assert!(matches!(
+            poisoned[0].error,
+            PipelineError::OracleRejected { .. }
+        ));
     }
 }

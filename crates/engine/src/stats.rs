@@ -7,6 +7,7 @@
 //! callers consume.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Shared mutable counters, one per engine.
@@ -15,11 +16,19 @@ pub(crate) struct StatsInner {
     pub jobs_submitted: AtomicU64,
     pub jobs_deduped: AtomicU64,
     pub jobs_completed: AtomicU64,
+    pub jobs_retried: AtomicU64,
+    pub jobs_quarantined: AtomicU64,
     pub parse_hits: AtomicU64,
     pub parse_misses: AtomicU64,
     pub analysis_hits: AtomicU64,
     pub analysis_misses: AtomicU64,
     pub analysis_uncached: AtomicU64,
+    pub fingerprints_computed: AtomicU64,
+    pub cache_evictions: AtomicU64,
+    pub cache_corruptions_detected: AtomicU64,
+    /// Behind an `Arc` so the pool's respawn guards can bump it without
+    /// holding the whole stats block.
+    pub workers_respawned: Arc<AtomicU64>,
     pub queue_depth: AtomicU64,
     pub queue_highwater: AtomicU64,
     pub parse_ns: AtomicU64,
@@ -60,11 +69,17 @@ impl StatsInner {
             jobs_submitted: self.jobs_submitted.load(Relaxed),
             jobs_deduped: self.jobs_deduped.load(Relaxed),
             jobs_completed: self.jobs_completed.load(Relaxed),
+            jobs_retried: self.jobs_retried.load(Relaxed),
+            jobs_quarantined: self.jobs_quarantined.load(Relaxed),
             parse_hits: self.parse_hits.load(Relaxed),
             parse_misses: self.parse_misses.load(Relaxed),
             analysis_hits: self.analysis_hits.load(Relaxed),
             analysis_misses: self.analysis_misses.load(Relaxed),
             analysis_uncached: self.analysis_uncached.load(Relaxed),
+            fingerprints_computed: self.fingerprints_computed.load(Relaxed),
+            cache_evictions: self.cache_evictions.load(Relaxed),
+            cache_corruptions_detected: self.cache_corruptions_detected.load(Relaxed),
+            workers_respawned: self.workers_respawned.load(Relaxed),
             queue_highwater: self.queue_highwater.load(Relaxed),
             parse_ns: self.parse_ns.load(Relaxed),
             analysis_ns: self.analysis_ns.load(Relaxed),
@@ -95,6 +110,10 @@ pub struct EngineStats {
     pub jobs_deduped: u64,
     /// Jobs that finished (degraded runs included — they complete).
     pub jobs_completed: u64,
+    /// Supervised retry attempts after a transient failure.
+    pub jobs_retried: u64,
+    /// Jobs quarantined after exhausting their retries (the poison list).
+    pub jobs_quarantined: u64,
     /// Parse artifacts reused.
     pub parse_hits: u64,
     /// Front-end runs performed.
@@ -103,8 +122,17 @@ pub struct EngineStats {
     pub analysis_hits: u64,
     /// Flow analyses performed through the cache.
     pub analysis_misses: u64,
-    /// Jobs that bypassed the analysis cache (wall-clock deadline set).
+    /// Jobs that bypassed the caches (wall-clock deadline or fault plan set).
     pub analysis_uncached: u64,
+    /// Cache-key fingerprints computed (source + config hashes). Bypass
+    /// jobs skip fingerprinting entirely, so they contribute zero here.
+    pub fingerprints_computed: u64,
+    /// Cache entries evicted (injected `cache-evict` faults).
+    pub cache_evictions: u64,
+    /// Corrupted cache artifacts caught by the fingerprint recheck.
+    pub cache_corruptions_detected: u64,
+    /// Pool workers respawned after a panic (capacity never degrades).
+    pub workers_respawned: u64,
     /// Highest number of jobs simultaneously queued or executing.
     pub queue_highwater: u64,
     /// Total time spent obtaining parse artifacts.
@@ -144,19 +172,28 @@ impl EngineStats {
         format!(
             concat!(
                 "{{\"jobs_submitted\":{},\"jobs_deduped\":{},\"jobs_completed\":{},",
+                "\"jobs_retried\":{},\"jobs_quarantined\":{},",
                 "\"parse_hits\":{},\"parse_misses\":{},",
                 "\"analysis_hits\":{},\"analysis_misses\":{},\"analysis_uncached\":{},",
-                "\"queue_highwater\":{},",
+                "\"fingerprints_computed\":{},",
+                "\"cache_evictions\":{},\"cache_corruptions_detected\":{},",
+                "\"workers_respawned\":{},\"queue_highwater\":{},",
                 "\"parse_ms\":{:.3},\"analysis_ms\":{:.3},\"transform_ms\":{:.3},\"execute_ms\":{:.3}}}"
             ),
             self.jobs_submitted,
             self.jobs_deduped,
             self.jobs_completed,
+            self.jobs_retried,
+            self.jobs_quarantined,
             self.parse_hits,
             self.parse_misses,
             self.analysis_hits,
             self.analysis_misses,
             self.analysis_uncached,
+            self.fingerprints_computed,
+            self.cache_evictions,
+            self.cache_corruptions_detected,
+            self.workers_respawned,
             self.queue_highwater,
             self.parse_ns as f64 / 1e6,
             self.analysis_ns as f64 / 1e6,

@@ -23,8 +23,20 @@
 //! aborts, contained panics) and reports them as `;; degraded:` warnings on
 //! stderr; `--strict` turns the first such failure into a non-zero exit.
 //! `--deadline-ms`, `--fuel`, and `--max-growth` bound the run.
+//!
+//! `--validate` arms the translation-validation oracle: after every
+//! transformation checkpoint the candidate program is run against the
+//! original on the cost-model VM (under `--oracle-fuel`), and a divergence
+//! rolls the pipeline back to the last validated program (reported in the
+//! health ledger as an oracle rejection). `--faults SEED` arms the seeded
+//! chaos plan — deterministic injected panics, typed errors, and latency at
+//! every catalogued pipeline fault point; in `batch`, `--engine-faults SEED`
+//! additionally arms the engine's cache and worker-pool seams.
 
-use fdi_core::{optimize, optimize_strict, Budget, PipelineConfig, Polyvariance, RunConfig};
+use fdi_core::{
+    optimize, optimize_strict, Budget, FaultPlan, OracleConfig, PipelineConfig, Polyvariance,
+    RunConfig,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -39,14 +51,19 @@ struct Options {
     dump: bool,
     strict: bool,
     budget: Budget,
+    validate: bool,
+    oracle_fuel: Option<u64>,
+    faults: Option<u64>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: fdi <optimize|run|analyze> <file.scm> \
          [-t THRESHOLD] [--unroll N] [--clref] [--policy 0cfa|poly|1cfa] [--stats] [--dump] \
-         [--strict] [--deadline-ms N] [--fuel N] [--max-growth X]\n       \
-         fdi batch <manifest> [--jobs N] [--out FILE]"
+         [--strict] [--deadline-ms N] [--fuel N] [--max-growth X] \
+         [--validate] [--oracle-fuel N] [--faults SEED]\n       \
+         fdi batch <manifest> [--jobs N] [--out FILE] \
+         [--validate] [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]"
     );
     ExitCode::FAILURE
 }
@@ -65,6 +82,9 @@ fn parse_args() -> Option<Options> {
         dump: false,
         strict: false,
         budget: Budget::default(),
+        validate: false,
+        oracle_fuel: None,
+        faults: None,
     };
     let mut rest: Vec<String> = args.collect();
     let mut i = 0;
@@ -105,6 +125,18 @@ fn parse_args() -> Option<Options> {
             }
             "--max-growth" => {
                 opts.budget = opts.budget.with_max_growth(rest.get(i + 1)?.parse().ok()?);
+                rest.drain(i..=i + 1);
+            }
+            "--validate" => {
+                opts.validate = true;
+                rest.remove(i);
+            }
+            "--oracle-fuel" => {
+                opts.oracle_fuel = Some(rest.get(i + 1)?.parse().ok()?);
+                rest.drain(i..=i + 1);
+            }
+            "--faults" => {
+                opts.faults = Some(rest.get(i + 1)?.parse().ok()?);
                 rest.drain(i..=i + 1);
             }
             "--policy" => {
@@ -193,6 +225,18 @@ fn apply_job_flags(config: &mut PipelineConfig, tokens: &[&str]) -> Result<(), S
                     .map_err(|e| format!("--max-growth: {e}"))?;
                 config.budget = config.budget.with_max_growth(x);
             }
+            "--validate" => config.oracle = OracleConfig::on(),
+            "--oracle-fuel" => {
+                config.oracle.fuel = next(&mut i, "--oracle-fuel")?
+                    .parse()
+                    .map_err(|e| format!("--oracle-fuel: {e}"))?;
+            }
+            "--faults" => {
+                let seed = next(&mut i, "--faults")?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?;
+                config.faults = FaultPlan::new(seed);
+            }
             flag => return Err(format!("unknown job flag {flag:?}")),
         }
         i += 1;
@@ -218,10 +262,30 @@ fn resolve_source(spec: &str) -> Result<String, String> {
     }
 }
 
-/// `fdi batch <manifest> [--jobs N] [--out FILE]`.
+/// Renders a health ledger as a JSON array of degradation objects.
+fn health_json(health: &fdi_core::PipelineHealth) -> String {
+    let entries: Vec<String> = health
+        .degradations
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"phase\":\"{}\",\"error\":\"{}\",\"fallback\":\"{}\"}}",
+                d.phase,
+                json_escape(&d.error.to_string()),
+                json_escape(&d.fallback.to_string())
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+/// `fdi batch <manifest> [--jobs N] [--out FILE] [--validate]
+/// [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]`.
 fn run_batch_command(mut args: Vec<String>) -> ExitCode {
     let mut jobs = None;
     let mut out_file = None;
+    let mut default_config = PipelineConfig::default();
+    let mut engine_faults = FaultPlan::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -237,6 +301,31 @@ fn run_batch_command(mut args: Vec<String>) -> ExitCode {
                     return usage();
                 };
                 out_file = Some(f.clone());
+                args.drain(i..=i + 1);
+            }
+            "--validate" => {
+                default_config.oracle = OracleConfig::on();
+                args.remove(i);
+            }
+            "--oracle-fuel" => {
+                let Some(fuel) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                default_config.oracle.fuel = fuel;
+                args.drain(i..=i + 1);
+            }
+            "--faults" => {
+                let Some(seed) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                default_config.faults = FaultPlan::new(seed);
+                args.drain(i..=i + 1);
+            }
+            "--engine-faults" => {
+                let Some(seed) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                engine_faults = FaultPlan::new(seed);
                 args.drain(i..=i + 1);
             }
             _ => i += 1,
@@ -269,7 +358,7 @@ fn run_batch_command(mut args: Vec<String>) -> ExitCode {
         }
         let tokens: Vec<&str> = line.split_whitespace().collect();
         let spec = tokens[0].to_string();
-        let mut config = PipelineConfig::default();
+        let mut config = default_config;
         if let Err(e) = apply_job_flags(&mut config, &tokens[1..]) {
             eprintln!("fdi: {manifest_path}:{}: {e}", lineno + 1);
             return ExitCode::FAILURE;
@@ -282,10 +371,13 @@ fn run_batch_command(mut args: Vec<String>) -> ExitCode {
         });
     }
 
-    let engine = match jobs {
-        Some(n) => fdi_engine::Engine::with_jobs(n),
-        None => fdi_engine::Engine::new(fdi_engine::EngineConfig::default()),
-    };
+    let engine = fdi_engine::Engine::new(fdi_engine::EngineConfig {
+        faults: engine_faults,
+        ..match jobs {
+            Some(n) => fdi_engine::EngineConfig::with_workers(n),
+            None => fdi_engine::EngineConfig::default(),
+        }
+    });
     let handles: Vec<Option<fdi_engine::JobHandle>> = lines
         .iter()
         .map(|line| {
@@ -321,32 +413,48 @@ fn run_batch_command(mut args: Vec<String>) -> ExitCode {
             }
             Some(Ok(out)) => format!(
                 concat!(
-                    "{},\"ok\":true,\"degraded\":{},\"size_ratio\":{:.6},",
+                    "{},\"ok\":true,\"degraded\":{},\"oracle_rejected\":{},",
+                    "\"size_ratio\":{:.6},",
                     "\"baseline_size\":{},\"optimized_size\":{},\"sites_inlined\":{},",
-                    "\"analysis_ms\":{:.3}{}}}"
+                    "\"analysis_ms\":{:.3},\"health\":{}}}"
                 ),
                 head,
                 out.health.degraded(),
+                out.health.oracle_rejected(),
                 out.size_ratio(),
                 out.baseline_size,
                 out.optimized_size,
                 out.report.sites_inlined,
                 out.flow_stats.duration.as_secs_f64() * 1e3,
-                if out.health.degraded() {
-                    format!(
-                        ",\"degradation\":\"{}\"",
-                        json_escape(&out.health.summary())
-                    )
-                } else {
-                    String::new()
-                },
+                health_json(&out.health),
             ),
         };
         entries.push(entry);
     }
+    // The poison list: jobs the supervisor quarantined after exhausting
+    // their retries. Map each back to its manifest spec by source text.
+    let poisoned: Vec<String> = engine
+        .poisoned()
+        .iter()
+        .map(|p| {
+            let spec = lines
+                .iter()
+                .find(|l| l.source.as_deref().ok() == Some(&*p.source))
+                .map(|l| l.spec.as_str())
+                .unwrap_or("<unknown>");
+            format!(
+                "{{\"spec\":\"{}\",\"threshold\":{},\"attempts\":{},\"error\":\"{}\"}}",
+                json_escape(spec),
+                p.threshold,
+                p.attempts,
+                json_escape(&p.error.to_string())
+            )
+        })
+        .collect();
     let report = format!(
-        "{{\"jobs\":[{}],\"stats\":{}}}\n",
+        "{{\"jobs\":[{}],\"poisoned\":[{}],\"stats\":{}}}\n",
         entries.join(","),
+        poisoned.join(","),
         engine.stats().to_json()
     );
     print!("{report}");
@@ -389,6 +497,15 @@ fn main() -> ExitCode {
     if opts.clref {
         config.mode = fdi_core::InlineMode::ClRef;
     }
+    if opts.validate {
+        config.oracle = OracleConfig::on();
+    }
+    if let Some(fuel) = opts.oracle_fuel {
+        config.oracle.fuel = fuel;
+    }
+    if let Some(seed) = opts.faults {
+        config.faults = FaultPlan::new(seed);
+    }
     // Degrading by default; `--strict` propagates the first phase failure.
     let run_pipeline = |src: &str| {
         let result = if opts.strict {
@@ -398,6 +515,9 @@ fn main() -> ExitCode {
         };
         match result {
             Ok(out) => {
+                if out.health.oracle_rejected() {
+                    eprintln!(";; oracle rejected: rolled back to the last validated program");
+                }
                 if out.health.degraded() {
                     eprintln!(";; degraded: {}", out.health.summary());
                 }

@@ -1,0 +1,6 @@
+;; fuzz-cfg threshold=200 mode=closed policy=poly-split unroll=0 faults=34 validate=1
+;; Chaos seed 34 fires a typed error inside flow analysis: inlining is
+;; skipped entirely and the baseline program carries the run.
+(define (apply-n f n x) (if (zero? n) x (apply-n f (- n 1) (f x))))
+(define (triple x) (* 3 x))
+(display (apply-n triple 4 1))

@@ -1,0 +1,5 @@
+;; fuzz-cfg threshold=200 mode=closed policy=poly-split unroll=0 faults=31 validate=1
+;; Chaos seed 31 panics inside flow analysis; phase containment converts
+;; the unwind into a typed error and degrades to the baseline program.
+(letrec ((len (lambda (xs) (if (null? xs) 0 (+ 1 (len (cdr xs)))))))
+  (display (len (list 1 2 3 4 5))))

@@ -1,0 +1,5 @@
+;; fuzz-cfg threshold=200 mode=closed policy=poly-split unroll=0 faults=39 validate=1
+;; Chaos seed 39 panics while validating the baseline checkpoint: the
+;; pipeline falls all the way back to the original program.
+(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(display (fib 10))

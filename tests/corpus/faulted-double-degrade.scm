@@ -1,0 +1,8 @@
+;; fuzz-cfg threshold=200 mode=closed policy=poly-split unroll=0 faults=21 validate=1
+;; Chaos seed 21 fires twice: the baseline simplify falls back to the
+;; original program AND the post-inline simplify falls back to the inlined
+;; one — two degradations in a single run, both recorded in health.
+(define (compose f g) (lambda (x) (f (g x))))
+(define (inc x) (+ x 1))
+(define (dbl x) (* x 2))
+(display ((compose inc dbl) 20))

@@ -1,0 +1,5 @@
+;; fuzz-cfg threshold=200 mode=closed policy=poly-split unroll=0 faults=9 validate=1
+;; Chaos seed 9 panics inside macro expansion; containment converts the
+;; unwind into a typed PhasePanicked error carrying the injected message.
+(let* ((a 1) (b (+ a 1)) (c (+ b 1)))
+  (display (* a b c)))

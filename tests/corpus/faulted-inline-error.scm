@@ -1,0 +1,6 @@
+;; fuzz-cfg threshold=200 mode=closed policy=poly-split unroll=0 faults=3 validate=1
+;; Chaos seed 3 fires a typed error at the inline phase: the pipeline must
+;; degrade to the baseline program and still print the right answer.
+(define (add1 x) (+ x 1))
+(define (twice f x) (f (f x)))
+(display (twice add1 40))

@@ -1,0 +1,7 @@
+;; fuzz-cfg threshold=200 mode=closed policy=poly-split unroll=0 faults=32 validate=1
+;; Chaos seed 32 miscompiles the inline phase's output; the translation
+;; validation oracle catches the disagreement and rolls the pipeline back
+;; to the baseline program (Health::OracleRejected).
+(define (select p a b) (if p a b))
+(define (clamp n) (select (< n 100) n 100))
+(display (clamp 250))

@@ -1,0 +1,6 @@
+;; fuzz-cfg threshold=200 mode=closed policy=poly-split unroll=0 faults=20 validate=1
+;; Chaos seed 20 fires a typed error at the parse boundary — before any
+;; artifact exists, so the pipeline has nothing to fall back to and must
+;; surface a clean FaultInjected error (never a panic).
+(define (id x) x)
+(display (id 7))

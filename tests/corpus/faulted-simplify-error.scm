@@ -1,0 +1,6 @@
+;; fuzz-cfg threshold=200 mode=closed policy=poly-split unroll=0 faults=19 validate=1
+;; Chaos seed 19 fires a typed error at the simplify phase: the inlined
+;; (but unsimplified) program is the last validated artifact and wins.
+(define (sq x) (* x x))
+(define (sum-sq a b) (+ (sq a) (sq b)))
+(display (sum-sq 3 4))

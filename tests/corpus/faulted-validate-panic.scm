@@ -1,0 +1,6 @@
+;; fuzz-cfg threshold=200 mode=closed policy=poly-split unroll=0 faults=5 validate=1
+;; Chaos seed 5 panics at the validate checkpoint after simplify; the
+;; inlined program is the last validated artifact and is returned.
+(define (curry-add a) (lambda (b) (+ a b)))
+(define add10 (curry-add 10))
+(display (add10 32))

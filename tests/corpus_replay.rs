@@ -9,7 +9,8 @@
 //! behaviour-changing program.
 
 use fdi_cfa::Polyvariance;
-use fdi_core::{Budget, InlineMode, PipelineConfig, PipelineError, RunConfig};
+use fdi_core::faults::FaultPlan;
+use fdi_core::{Budget, InlineMode, OracleConfig, PipelineConfig, PipelineError, RunConfig};
 use std::path::{Path, PathBuf};
 
 fn corpus_files() -> Vec<PathBuf> {
@@ -52,19 +53,40 @@ fn config_of(src: &str) -> PipelineConfig {
                 }
             }
             "unroll" => config.unroll = value.parse().unwrap_or(0),
+            "faults" => {
+                config.faults = FaultPlan::new(value.parse().unwrap_or(0));
+            }
+            "validate" if value != "0" => config.oracle = OracleConfig::on(),
             _ => {}
         }
     }
     config
 }
 
+/// Is this error one a recorded fault plan is allowed to produce?
+///
+/// Under chaos, injected faults surface as `FaultInjected`, as a phase
+/// panic carrying the injected message, or — when the injected miscompile
+/// fires with nothing left to fall back to — as `OracleRejected`. All are
+/// deliberate; anything else is a real bug even in a faulted replay.
+fn injected(e: &PipelineError) -> bool {
+    match e {
+        PipelineError::FaultInjected { .. } | PipelineError::OracleRejected { .. } => true,
+        PipelineError::PhasePanicked { message, .. } => message.contains("injected fault"),
+        _ => false,
+    }
+}
+
 /// One replay: `optimize` must succeed (or reject at the frontend), the
-/// output must validate, and behaviour must match the baseline.
+/// output must validate, and behaviour must match the baseline. Faulted
+/// configs may additionally fail with their own injected errors.
 fn replay(path: &Path, src: &str, config: &PipelineConfig, label: &str) {
     let name = path.file_name().unwrap().to_string_lossy();
+    let chaos = config.faults.enabled();
     let out = match fdi_core::optimize(src, config) {
         Ok(out) => out,
         Err(PipelineError::Frontend(_)) => return, // rejected inputs are fine
+        Err(ref e) if chaos && injected(e) => return, // deliberate chaos
         Err(e) => panic!("{name} [{label}]: non-frontend error: {e}"),
     };
     fdi_lang::validate(&out.optimized)
@@ -112,5 +134,19 @@ fn corpus_degrades_gracefully_under_tiny_budget() {
         let mut config = config_of(&src);
         config.budget = Budget::default().with_fuel(1).with_max_growth(1.0);
         replay(&path, &src, &config, "tiny-budget");
+    }
+}
+
+#[test]
+fn corpus_replays_with_oracle_force_enabled() {
+    // Every entry — faulted or not — must survive translation validation:
+    // the oracle may reject a phase and roll back, but the program that
+    // comes out the other end is always one the oracle (or the VM check
+    // below) vouches for.
+    for path in corpus_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let mut config = config_of(&src);
+        config.oracle = OracleConfig::on();
+        replay(&path, &src, &config, "oracle-on");
     }
 }
