@@ -186,6 +186,17 @@ fn main() {
         stats.parse_misses - cold_stats.parse_misses,
         stats.jobs_completed - cold_stats.jobs_completed,
     );
+    let _ = writeln!(report, "per-pass totals (both sweeps):");
+    for name in fdi_engine::TRACKED_PASSES {
+        let p = stats.pass(name).unwrap_or_default();
+        let _ = writeln!(
+            report,
+            "  {name:<9}: {:>5} runs  {:>10.3} ms  {:>10} fuel",
+            p.runs,
+            p.ns as f64 / 1e6,
+            p.fuel
+        );
+    }
     let _ = writeln!(report, "engine stats (both sweeps)   : {}", stats.to_json());
     print!("{report}");
 

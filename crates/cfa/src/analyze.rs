@@ -167,9 +167,22 @@ impl<'p> Analyzer<'p> {
     /// Adds an edge and propagates the source's current values across it.
     fn edge(&mut self, src: NodeId, dst: NodeId, t: Transfer) {
         if self.graph.add_edge(src, dst, t) {
-            let vals = self.graph.vals(src).clone();
+            let vals = self.graph.vals_handle(src);
             if !vals.is_empty() {
-                let out = self.apply_transfer(t, &vals);
+                self.propagate(dst, t, &vals);
+            }
+        }
+    }
+
+    /// Propagates `vals` across one edge. Copy edges union the snapshot in
+    /// directly; only split edges materialize a rewritten set.
+    fn propagate(&mut self, dst: NodeId, t: Transfer, vals: &ValSet) {
+        match t {
+            Transfer::Copy => {
+                self.graph.union_into(dst, vals);
+            }
+            _ => {
+                let out = self.apply_transfer(t, vals);
                 self.graph.union_into(dst, &out);
             }
         }
@@ -463,7 +476,12 @@ impl<'p> Analyzer<'p> {
 
     fn process_listener(&mut self, lid: ListenerId, node: NodeId) {
         let listener = self.graph.listener(lid);
-        let vals: Vec<AbsVal> = self.graph.vals(node).iter().collect();
+        // Handlers may grow `node`'s own set, so snapshot to a flat Vec and
+        // drop the Arc handle first — holding it across a handler would turn
+        // every insert into the node into a copy-on-write of the whole set.
+        // The loop sees the set as of entry; the node is re-queued and
+        // re-processed for anything added meanwhile.
+        let vals: Vec<AbsVal> = self.graph.vals_handle(node).iter().collect();
         let mut prim_dirty = false;
         for v in vals {
             if !self.graph.listener_first_time(lid, v) {
@@ -525,16 +543,16 @@ impl<'p> Analyzer<'p> {
         let ExprKind::Prim(_, args) = self.program.expr(l) else {
             unreachable!("PrimEval listener on non-prim label");
         };
-        let arg_sets: Vec<ValSet> = args
+        let arg_sets: Vec<std::sync::Arc<ValSet>> = args
             .iter()
             .map(|&a| {
                 self.graph
                     .try_node(NodeKey::ExprAt(a, k))
-                    .map(|n| self.graph.vals(n).clone())
+                    .map(|n| self.graph.vals_handle(n))
                     .unwrap_or_default()
             })
             .collect();
-        let refs: Vec<&ValSet> = arg_sets.iter().collect();
+        let refs: Vec<&ValSet> = arg_sets.iter().map(|s| &**s).collect();
         let out = crate::prims::abstract_prim(p, &refs);
         if !out.is_empty() {
             let result = self.expr_node(l, k);
@@ -733,12 +751,11 @@ impl<'p> Analyzer<'p> {
                     }
                 }
             }
-            let vals = self.graph.vals(n).clone();
+            let vals = self.graph.vals_handle(n);
             let mut i = 0;
             while i < self.graph.succ_count(n) {
                 let (dst, t) = self.graph.succ(n, i);
-                let out = self.apply_transfer(t, &vals);
-                self.graph.union_into(dst, &out);
+                self.propagate(dst, t, &vals);
                 i += 1;
             }
             let mut j = 0;

@@ -10,6 +10,7 @@
 use crate::domain::{AbsVal, ContourId, ValSet};
 use fdi_lang::{Label, PrimOp, VarId};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Final per-expression flow values: label → [(contour, values)].
 pub type ExprTable = HashMap<Label, Vec<(ContourId, ValSet)>>;
@@ -158,7 +159,11 @@ pub enum Listener {
 
 #[derive(Debug, Default)]
 struct NodeData {
-    vals: ValSet,
+    /// The node's value set, behind an `Arc` so the solver can snapshot it
+    /// in O(1) per worklist step ([`FlowGraph::vals_handle`]) instead of
+    /// deep-cloning the `BTreeSet`; mutation goes through `Arc::make_mut`,
+    /// which only copies while a snapshot of *this* node is still alive.
+    vals: Arc<ValSet>,
     succs: Vec<(NodeId, Transfer)>,
     listeners: Vec<ListenerId>,
 }
@@ -207,29 +212,41 @@ impl FlowGraph {
         self.keys.get(&key).copied()
     }
 
-    /// Current value set of a node.
-    pub fn vals(&self, n: NodeId) -> &ValSet {
-        &self.nodes[n.0 as usize].vals
+    /// An O(1) snapshot of a node's value set. The solver reads a node's
+    /// values while mutating its successors; taking a handle instead of
+    /// cloning the `BTreeSet` is what makes each worklist step O(out-degree)
+    /// rather than O(|set| log |set| + out-degree).
+    pub fn vals_handle(&self, n: NodeId) -> Arc<ValSet> {
+        Arc::clone(&self.nodes[n.0 as usize].vals)
     }
 
     /// Adds one value; enqueues the node when it grows.
     pub fn add_val(&mut self, n: NodeId, v: AbsVal) -> bool {
-        if self.nodes[n.0 as usize].vals.insert(v) {
-            self.mark_dirty(n);
-            true
-        } else {
-            false
+        let vals = &mut self.nodes[n.0 as usize].vals;
+        // Membership pre-check: don't force a copy-on-write of a shared set
+        // just to discover the insert would be a no-op.
+        if vals.contains(v) {
+            return false;
         }
+        Arc::make_mut(vals).insert(v);
+        self.mark_dirty(n);
+        true
     }
 
     /// Unions a set into a node; enqueues the node when it grows.
     pub fn union_into(&mut self, n: NodeId, vals: &ValSet) -> bool {
-        if self.nodes[n.0 as usize].vals.union_with(vals) {
-            self.mark_dirty(n);
-            true
-        } else {
-            false
+        let dst = &mut self.nodes[n.0 as usize].vals;
+        // A self-edge propagates a node's snapshot into itself: `vals` aliases
+        // `dst`'s allocation and the union is a no-op. The pointer check also
+        // keeps `make_mut` below from deep-cloning the shared set.
+        if std::ptr::eq(Arc::as_ptr(dst), vals as *const ValSet) {
+            return false;
         }
+        if Arc::make_mut(dst).union_with(vals) {
+            self.mark_dirty(n);
+            return true;
+        }
+        false
     }
 
     fn mark_dirty(&mut self, n: NodeId) {
@@ -323,10 +340,13 @@ impl FlowGraph {
         let mut exprs: HashMap<Label, Vec<(ContourId, ValSet)>> = HashMap::new();
         let mut vars = HashMap::new();
         for (i, data) in self.nodes.into_iter().enumerate() {
+            // By now every solver snapshot has been dropped, so each Arc is
+            // uniquely owned and unwraps without copying.
+            let vals = Arc::try_unwrap(data.vals).unwrap_or_else(|a| (*a).clone());
             match self.node_keys[i] {
-                NodeKey::ExprAt(l, k) => exprs.entry(l).or_default().push((k, data.vals)),
+                NodeKey::ExprAt(l, k) => exprs.entry(l).or_default().push((k, vals)),
                 NodeKey::VarAt(v, k) => {
-                    vars.insert((v, k), data.vals);
+                    vars.insert((v, k), vals);
                 }
                 _ => {}
             }

@@ -34,6 +34,7 @@ mod analyze;
 mod domain;
 mod dump;
 mod graph;
+mod pass;
 mod policy;
 mod prims;
 mod result;
@@ -45,6 +46,7 @@ pub use domain::{
 };
 pub use dump::{dump_analysis, render_absval, render_valset};
 pub use graph::{NodeKey, Transfer};
+pub use pass::AnalyzePass;
 pub use policy::{AbortReason, AnalysisLimits, Polyvariance};
 pub use prims::abstract_prim;
 pub use result::{AnalysisStats, Ctx, FlowAnalysis};

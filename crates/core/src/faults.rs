@@ -132,6 +132,28 @@ impl FaultPoint {
         }
     }
 
+    /// Resolves a pass name to its injection point — the inverse of
+    /// [`FaultPoint::name`] for the pipeline-side points, plus the pass
+    /// aliases the unified pass manager derives points from.
+    ///
+    /// `"baseline"` (the manager's implicit normalization stage) shares the
+    /// [`FaultPoint::Simplify`] point: the stage *is* a simplify run, and
+    /// sharing the point keeps a seeded plan's arrival sequence identical to
+    /// the historical hard-coded chain, which fired `Simplify` for both.
+    /// Engine and pool points have no pass and resolve to `None`.
+    pub fn for_pass(name: &str) -> Option<FaultPoint> {
+        Some(match name {
+            "parse" => FaultPoint::Parse,
+            "expand" => FaultPoint::Expand,
+            "lower" => FaultPoint::Lower,
+            "analyze" => FaultPoint::Analyze,
+            "inline" => FaultPoint::Inline,
+            "simplify" | "baseline" => FaultPoint::Simplify,
+            "validate" => FaultPoint::Validate,
+            _ => return None,
+        })
+    }
+
     /// Short stable name, for error messages and reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -470,6 +492,20 @@ mod tests {
                 "point {p} never fires in 64 arrivals"
             );
         }
+    }
+
+    #[test]
+    fn pass_names_resolve_to_their_points() {
+        // Every pipeline-side point round-trips through its own name…
+        for &p in &ALL_FAULT_POINTS[..7] {
+            assert_eq!(FaultPoint::for_pass(p.name()), Some(p));
+        }
+        // …the manager's implicit baseline stage aliases Simplify…
+        assert_eq!(FaultPoint::for_pass("baseline"), Some(FaultPoint::Simplify));
+        // …and non-pass points don't resolve.
+        assert_eq!(FaultPoint::for_pass("miscompile"), None);
+        assert_eq!(FaultPoint::for_pass("cache-evict"), None);
+        assert_eq!(FaultPoint::for_pass("frontend"), None);
     }
 
     #[test]

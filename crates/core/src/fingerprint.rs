@@ -161,7 +161,7 @@ impl PipelineConfig {
     /// constructed) always collide; the absolute
     /// [`AnalysisLimits::deadline`] is excluded (see the module docs).
     pub fn fingerprint(&self) -> u64 {
-        let f = Fingerprint::new().byte(2); // encoding version
+        let f = Fingerprint::new().byte(3); // encoding version
         let f = encode_limits(encode_policy(f, self.policy), &self.limits);
         let f = f.usize(self.threshold);
         let f = match self.mode {
@@ -180,6 +180,9 @@ impl PipelineConfig {
             .u64(self.faults.mask)
             .u64(self.faults.limit as u64);
         let f = f.byte(self.oracle.enabled as u8).u64(self.oracle.fuel);
+        // The pass schedule determines which transforms run at all, so jobs
+        // are keyed by (everything above, schedule).
+        let f = f.u64(self.schedule.fingerprint());
         f.finish()
     }
 }
@@ -275,6 +278,19 @@ mod tests {
         let mut checked = base;
         checked.oracle = crate::OracleConfig::on();
         for other in [faulted, checked] {
+            assert_eq!(base.analysis_fingerprint(), other.analysis_fingerprint());
+            assert_ne!(base.fingerprint(), other.fingerprint());
+        }
+    }
+
+    #[test]
+    fn schedule_splits_the_job_key_only() {
+        let base = PipelineConfig::with_threshold(200);
+        let mut repeated = base;
+        repeated.schedule = crate::Schedule::parse("analyze,inline,simplify*3").unwrap();
+        let mut fixpoint = base;
+        fixpoint.schedule = crate::Schedule::parse("analyze,inline,simplify*").unwrap();
+        for other in [repeated, fixpoint] {
             assert_eq!(base.analysis_fingerprint(), other.analysis_fingerprint());
             assert_ne!(base.fingerprint(), other.fingerprint());
         }

@@ -39,23 +39,32 @@ mod error;
 pub mod faults;
 mod fingerprint;
 mod oracle;
+pub mod passes;
 mod runner;
 
 use faults::FaultInjector;
-use runner::{run_phase, BudgetTracker};
+use runner::run_phase;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 pub use error::{BudgetKind, Phase, PipelineError};
 pub use faults::{fired_counts, FaultAction, FaultPlan, FaultPoint, ALL_FAULT_POINTS, CHAOS_SEED};
-pub use fdi_cfa::{AbortReason, AnalysisLimits, AnalysisStats, FlowAnalysis, Polyvariance};
-pub use fdi_inline::{InlineConfig, InlineMode, InlineReport};
-pub use fdi_lang::{FrontendError, Program};
-pub use fdi_simplify::SimplifyStats;
+pub use fdi_cfa::{
+    AbortReason, AnalysisLimits, AnalysisStats, AnalyzePass, FlowAnalysis, Polyvariance,
+};
+pub use fdi_inline::{InlineConfig, InlineMode, InlinePass, InlineReport};
+pub use fdi_lang::{
+    ExpandPass, FrontendError, LowerPass, ParsePass, Program, UnparsePass, ValidatePass,
+};
+pub use fdi_simplify::{SimplifyPass, SimplifyStats};
 pub use fdi_vm::{CostModel, Counters, Outcome, RunConfig, VmError};
 pub use fingerprint::{source_fingerprint, Fingerprint};
 pub use oracle::{
     compare_observations, observe, validate_equivalence, Observation, OracleConfig, OracleVerdict,
+};
+pub use passes::{
+    Pass, PassCx, PassDisposition, PassId, PassOutcome, PassTrace, Schedule, ScheduleError,
+    ScheduleStep, MAX_SCHEDULE_STEPS,
 };
 pub use runner::{Budget, Degradation, Fallback, PipelineHealth};
 
@@ -80,6 +89,8 @@ pub struct PipelineConfig {
     pub faults: FaultPlan,
     /// Translation-validation oracle (disabled by default).
     pub oracle: OracleConfig,
+    /// The pass schedule (default: the paper's analyze → inline → simplify).
+    pub schedule: Schedule,
 }
 
 impl PipelineConfig {
@@ -96,6 +107,7 @@ impl PipelineConfig {
             budget: Budget::default(),
             faults: FaultPlan::default(),
             oracle: OracleConfig::default(),
+            schedule: Schedule::default(),
         }
     }
 }
@@ -133,6 +145,13 @@ pub struct PipelineOutput {
     pub lines: usize,
     /// Which phases degraded and why (empty on a fully healthy run).
     pub health: PipelineHealth,
+    /// Per-pass execution traces, in run order: the manager-owned baseline
+    /// stage first, then one entry per schedule step. Entry points that
+    /// parse ([`optimize`]) prepend a `"frontend"` trace.
+    pub passes: Vec<PassTrace>,
+    /// Total fuel charged to the [`Budget`] across all passes; always equals
+    /// the sum of [`PassTrace::fuel`] over [`PipelineOutput::passes`].
+    pub fuel_used: u64,
 }
 
 impl PipelineOutput {
@@ -176,261 +195,7 @@ fn run_pipeline_with(
     config: &PipelineConfig,
     shared: Option<Result<&FlowAnalysis, &PipelineError>>,
 ) -> PipelineOutput {
-    use Phase::{Analysis, Baseline, Inline, Simplify};
-
-    let mut health = PipelineHealth::default();
-    let mut tracker = BudgetTracker::new(&config.budget);
-    // A fresh injector per run: the same seed replays exactly the same
-    // faults. Disabled plans cost one branch per fire site.
-    let injector = FaultInjector::new(config.faults);
-    // The oracle's reference observation — the original program's behaviour
-    // under the capped VM — is computed once and reused at every post-phase
-    // checkpoint.
-    let reference = config
-        .oracle
-        .enabled
-        .then(|| oracle::observe(program, &config.oracle));
-
-    // Phase 0: the baseline — everything later degrades to this (or, if this
-    // phase itself fails, to the untouched original).
-    let baseline = match tracker
-        .admit(Baseline)
-        .and_then(|()| {
-            run_phase(Baseline, || {
-                injector
-                    .fire(FaultPoint::Simplify)
-                    .map(|()| fdi_simplify::simplify_n(program, config.simplify_iters))
-            })
-        })
-        .and_then(|r| r.map(|(b, _)| b))
-        .and_then(|b| {
-            fire_contained(&injector, Baseline, FaultPoint::Validate)?;
-            match fdi_lang::validate(&b) {
-                Ok(()) => Ok(b),
-                Err(error) => Err(PipelineError::Validation {
-                    phase: Baseline,
-                    error,
-                }),
-            }
-        })
-        .and_then(
-            |b| match oracle_gate(reference.as_ref(), &config.oracle, Baseline, &b) {
-                Some(e) => Err(e),
-                None => Ok(b),
-            },
-        ) {
-        Ok(b) => b,
-        Err(e) => {
-            health.record(Baseline, e, Fallback::Original);
-            program.clone()
-        }
-    };
-    tracker.charge(baseline.size() as u64);
-
-    let mut flow_stats = AnalysisStats::default();
-    let mut report = InlineReport::default();
-    let mut simplify_stats = SimplifyStats::default();
-    let mut optimized = baseline.clone();
-
-    // Phases 1–3 under a labelled block: any degradation breaks out with
-    // `optimized` still holding the last validated program.
-    'optimize: {
-        // Phase 1: flow analysis, with the shared deadline threaded into the
-        // solver's own limits so it stops mid-phase, not just between phases.
-        if let Err(e) = tracker.admit(Analysis) {
-            health.record(Analysis, e, Fallback::Baseline);
-            break 'optimize;
-        }
-        let computed: FlowAnalysis;
-        let flow: &FlowAnalysis = match shared {
-            Some(Ok(flow)) => {
-                if let Err(e) = fire_contained(&injector, Analysis, FaultPoint::Analyze) {
-                    health.record(Analysis, e, Fallback::Baseline);
-                    break 'optimize;
-                }
-                flow
-            }
-            Some(Err(e)) => {
-                health.record(Analysis, e.clone(), Fallback::Baseline);
-                break 'optimize;
-            }
-            None => {
-                let mut limits = config.limits;
-                limits.deadline = match (limits.deadline, tracker.deadline()) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
-                match run_phase(Analysis, || {
-                    injector
-                        .fire(FaultPoint::Analyze)
-                        .map(|()| fdi_cfa::analyze_with_limits(program, config.policy, limits))
-                }) {
-                    Ok(Ok(f)) => {
-                        computed = f;
-                        &computed
-                    }
-                    Ok(Err(e)) | Err(e) => {
-                        health.record(Analysis, e, Fallback::Baseline);
-                        break 'optimize;
-                    }
-                }
-            }
-        };
-        flow_stats = flow.stats().clone();
-        tracker.charge(flow_stats.steps);
-        if flow_stats.aborted {
-            health.record(
-                Analysis,
-                PipelineError::AnalysisAborted {
-                    nodes: flow_stats.nodes,
-                    steps: flow_stats.steps,
-                    reason: flow_stats.abort_reason,
-                },
-                Fallback::Baseline,
-            );
-            break 'optimize;
-        }
-
-        // Phase 2: inlining, checkpointed by validation and the growth cap.
-        if let Err(e) = tracker.admit(Inline) {
-            health.record(Inline, e, Fallback::Baseline);
-            break 'optimize;
-        }
-        let inline_config = InlineConfig {
-            threshold: config.threshold,
-            mode: config.mode,
-            unroll: config.unroll,
-        };
-        let (mut inlined, inline_report) = match run_phase(Inline, || {
-            injector
-                .fire(FaultPoint::Inline)
-                .map(|()| fdi_inline::inline_program(program, flow, &inline_config))
-        }) {
-            Ok(Ok(x)) => x,
-            Ok(Err(e)) | Err(e) => {
-                health.record(Inline, e, Fallback::Baseline);
-                break 'optimize;
-            }
-        };
-        // The broken-pass fault: silently substitute a valid but wrong
-        // program. It passes validation and the growth cap by design — only
-        // the translation-validation oracle (or a downstream behaviour
-        // comparison) can catch it.
-        if injector.poll(FaultPoint::Miscompile).is_some() {
-            if let Ok(wrong) = fdi_lang::parse_and_lower("(quote miscompiled)") {
-                inlined = wrong;
-            }
-        }
-        if let Err(e) = fire_contained(&injector, Inline, FaultPoint::Validate) {
-            health.record(Inline, e, Fallback::Baseline);
-            break 'optimize;
-        }
-        if let Err(error) = fdi_lang::validate(&inlined) {
-            health.record(
-                Inline,
-                PipelineError::Validation {
-                    phase: Inline,
-                    error,
-                },
-                Fallback::Baseline,
-            );
-            break 'optimize;
-        }
-        if let Err(e) = tracker.check_growth(Inline, inlined.size(), baseline.size()) {
-            health.record(Inline, e, Fallback::Baseline);
-            break 'optimize;
-        }
-        if let Some(e) = oracle_gate(reference.as_ref(), &config.oracle, Inline, &inlined) {
-            health.record(Inline, e, Fallback::Baseline);
-            break 'optimize;
-        }
-        tracker.charge(inlined.size() as u64);
-        report = inline_report;
-        optimized = inlined;
-
-        // Phase 3: simplification of the inlined program. On failure the
-        // validated inlined program stands.
-        if let Err(e) = tracker.admit(Simplify) {
-            health.record(Simplify, e, Fallback::Inlined);
-            break 'optimize;
-        }
-        match run_phase(Simplify, || {
-            injector
-                .fire(FaultPoint::Simplify)
-                .map(|()| fdi_simplify::simplify_n(&optimized, config.simplify_iters))
-        }) {
-            Ok(Err(e)) | Err(e) => health.record(Simplify, e, Fallback::Inlined),
-            Ok(Ok((simplified, stats))) => {
-                if let Err(e) = fire_contained(&injector, Simplify, FaultPoint::Validate) {
-                    health.record(Simplify, e, Fallback::Inlined);
-                    break 'optimize;
-                }
-                match fdi_lang::validate(&simplified) {
-                    Err(error) => health.record(
-                        Simplify,
-                        PipelineError::Validation {
-                            phase: Simplify,
-                            error,
-                        },
-                        Fallback::Inlined,
-                    ),
-                    Ok(()) => {
-                        match oracle_gate(reference.as_ref(), &config.oracle, Simplify, &simplified)
-                        {
-                            Some(e) => health.record(Simplify, e, Fallback::Inlined),
-                            None => {
-                                tracker.charge(simplified.size() as u64);
-                                simplify_stats = stats;
-                                optimized = simplified;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    PipelineOutput {
-        original_size: program.size(),
-        baseline_size: baseline.size(),
-        optimized_size: optimized.size(),
-        lines: program.line_count(),
-        original: program.clone(),
-        baseline,
-        optimized,
-        flow_stats,
-        report,
-        simplify_stats,
-        health,
-    }
-}
-
-/// Fires a fault point under its own panic containment, so an injected
-/// panic at a seam outside any `run_phase` body still becomes a typed
-/// error. Free when the plan is disabled.
-fn fire_contained(
-    injector: &FaultInjector,
-    phase: Phase,
-    point: FaultPoint,
-) -> Result<(), PipelineError> {
-    if !injector.plan().enabled() {
-        return Ok(());
-    }
-    run_phase(phase, || injector.fire(point)).and_then(|r| r)
-}
-
-/// One oracle checkpoint: compares `candidate` against the reference
-/// observation and returns the typed rejection, if any. `None` when the
-/// oracle is off, the comparison is inconclusive, or the programs agree.
-fn oracle_gate(
-    reference: Option<&Observation>,
-    config: &OracleConfig,
-    phase: Phase,
-    candidate: &Program,
-) -> Option<PipelineError> {
-    let reference = reference?;
-    let verdict = compare_observations(reference, &oracle::observe(candidate, config));
-    oracle::rejection_error(phase, &verdict)
+    passes::run_schedule(program, config, shared)
 }
 
 /// The front end (reader → expander → lowerer), staged so the Parse,
@@ -444,15 +209,8 @@ fn frontend(src: &str, config: &PipelineConfig) -> Result<Program, PipelineError
         return fdi_lang::parse_and_lower(src).map_err(PipelineError::from);
     }
     let injector = FaultInjector::new(config.faults);
-    run_phase(Phase::Frontend, || -> Result<Program, PipelineError> {
-        injector.fire(FaultPoint::Parse)?;
-        let data = fdi_sexpr::parse(src).map_err(|e| PipelineError::Frontend(e.into()))?;
-        let data = fdi_lang::with_prelude(&data);
-        injector.fire(FaultPoint::Expand)?;
-        let core =
-            fdi_lang::expand_program(&data).map_err(|e| PipelineError::Frontend(e.into()))?;
-        injector.fire(FaultPoint::Lower)?;
-        fdi_lang::lower_program(&core).map_err(|e| PipelineError::Frontend(e.into()))
+    run_phase(Phase::Frontend, || {
+        passes::run_staged_frontend(src, &injector)
     })
     .and_then(|r| r)
 }
@@ -473,8 +231,26 @@ fn frontend(src: &str, config: &PipelineConfig) -> Result<Program, PipelineError
 /// enabled fault plan, an injected frontend failure surfaces the same way,
 /// as [`PipelineError::FaultInjected`] or [`PipelineError::PhasePanicked`].
 pub fn optimize(src: &str, config: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
+    let start = Instant::now();
     let program = frontend(src, config)?;
-    optimize_program(&program, config)
+    let wall = start.elapsed();
+    let mut out = optimize_program(&program, config)?;
+    // The frontend runs before the pass manager exists; splice its trace in
+    // front so `--trace` shows the whole run. It charges no fuel (the budget
+    // only meters the transform pipeline).
+    out.passes.insert(
+        0,
+        PassTrace {
+            pass: "frontend",
+            wall,
+            fuel: 0,
+            size_before: 0,
+            size_after: program.size(),
+            runs: 1,
+            disposition: PassDisposition::Completed,
+        },
+    );
+    Ok(out)
 }
 
 /// [`optimize`] for an already-lowered program.
@@ -706,10 +482,12 @@ pub fn sweep_program(
     // A deadline (absolute or budget-relative) makes analyses of the same
     // program diverge between rows, so only deadline-free sweeps share one.
     // An enabled fault plan also forbids sharing: each row must fire its own
-    // analysis-phase faults.
+    // analysis-phase faults. And the schedule must open with the analysis —
+    // a rewrite before it would invalidate the shared result.
     let sharable = config.budget.deadline.is_none()
         && config.limits.deadline.is_none()
-        && !config.faults.enabled();
+        && !config.faults.enabled()
+        && config.schedule.starts_with_analyze();
     let shared = sharable.then(|| analyze_contained(program, config));
     let mut cells = Vec::with_capacity(all.len());
     for t in all {

@@ -1,0 +1,1273 @@
+//! The unified pass manager: one instrumented pipeline over schedulable
+//! passes.
+//!
+//! Historically the pipeline was a hand-stitched chain in `lib.rs` — every
+//! phase repeated the same bookkeeping (budget admission, panic containment,
+//! fault-injection seams, validation checkpoints, oracle gates, rollback)
+//! with small copy-paste variations. This module factors that bookkeeping
+//! into one place:
+//!
+//! * [`Pass`] — the uniform interface every phase implements. The trait
+//!   lives here; the pass *types* live in their phase crates
+//!   ([`fdi_lang::ParsePass`], [`fdi_cfa::AnalyzePass`],
+//!   [`fdi_inline::InlinePass`], [`fdi_simplify::SimplifyPass`], …) and this
+//!   module implements `Pass` over them.
+//! * [`Schedule`] — which transform passes run, in what order, with
+//!   optional repetition (`simplify*3`) or bounded fixpoint iteration
+//!   (`simplify*`). The default schedule is the paper's
+//!   analyze → inline → simplify chain, byte-identical to the historical
+//!   pipeline.
+//! * [`PassManager`] *(internal)* — owns the canonical program artifact and
+//!   threads every cross-cutting concern through one loop: [`crate::Budget`]
+//!   charging, fault points derived from pass names
+//!   ([`FaultPoint::for_pass`]), post-pass validation, the
+//!   translation-validation oracle, and last-validated-program rollback.
+//! * [`PassTrace`] — per-pass instrumentation (wall time, fuel, node-count
+//!   delta, disposition) surfaced through [`crate::PipelineOutput::passes`].
+//!
+//! The baseline stage (threshold-0 simplification of the original program)
+//! is not schedulable: every run performs it first, because it is what every
+//! later failure degrades to.
+
+use crate::faults::{FaultInjector, FaultPoint};
+use crate::fingerprint::Fingerprint;
+use crate::oracle::{self, compare_observations, Observation, OracleConfig};
+use crate::runner::{run_phase, BudgetTracker, Fallback, PipelineHealth};
+use crate::{
+    AnalysisStats, FlowAnalysis, InlineConfig, InlineReport, Phase, PipelineConfig, PipelineError,
+    PipelineOutput, SimplifyStats,
+};
+use fdi_cfa::AnalyzePass;
+use fdi_inline::InlinePass;
+use fdi_lang::{ExpandPass, LowerPass, ParsePass, Program, UnparsePass, ValidatePass};
+use fdi_sexpr::Datum;
+use fdi_simplify::SimplifyPass;
+use std::fmt;
+use std::str::FromStr;
+use std::time::{Duration, Instant};
+
+/// Maximum number of steps in a [`Schedule`] (it is a fixed-size, `Copy`
+/// value so [`PipelineConfig`] stays `Copy`).
+pub const MAX_SCHEDULE_STEPS: usize = 8;
+
+/// Iteration bound for a fixpoint step (`simplify*`): the pass repeats until
+/// its output unparses identically to its input, or this many applications.
+const FIXPOINT_REPS: u32 = 16;
+
+/// A schedulable transform pass.
+///
+/// Frontend stages are passes too, but only the transform passes appear in
+/// schedules: the frontend runs before a [`Program`] exists, and the
+/// baseline stage is the rollback target itself, so neither is reorderable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassId {
+    /// Polyvariant control-flow analysis ([`fdi_cfa::AnalyzePass`]).
+    Analyze,
+    /// Flow-directed inlining ([`fdi_inline::InlinePass`]).
+    Inline,
+    /// Local simplification ([`fdi_simplify::SimplifyPass`]).
+    Simplify,
+}
+
+impl PassId {
+    /// The stable pass name: the schedule-grammar keyword, the trace label,
+    /// and the key [`FaultPoint::for_pass`] resolves.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassId::Analyze => AnalyzePass::NAME,
+            PassId::Inline => InlinePass::NAME,
+            PassId::Simplify => SimplifyPass::NAME,
+        }
+    }
+
+    /// The pass's behaviour-version salt, from its defining crate.
+    fn salt(self) -> u64 {
+        match self {
+            PassId::Analyze => AnalyzePass::SALT,
+            PassId::Inline => InlinePass::SALT,
+            PassId::Simplify => SimplifyPass::SALT,
+        }
+    }
+}
+
+impl fmt::Display for PassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One step of a [`Schedule`]: a pass and a repetition count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleStep {
+    /// Which pass runs.
+    pub pass: PassId,
+    /// How many times: `1` is a single application, `n` applies the pass
+    /// `n` times back to back, and `0` is the fixpoint sentinel — repeat
+    /// (up to an internal bound) until the program stops changing. Only
+    /// simplify may repeat; analysis and inlining are idempotent per
+    /// schedule position.
+    pub repeat: u8,
+}
+
+impl ScheduleStep {
+    /// A single application of `pass`.
+    pub fn once(pass: PassId) -> ScheduleStep {
+        ScheduleStep { pass, repeat: 1 }
+    }
+}
+
+/// A validated pass schedule: which transform passes run, in order.
+///
+/// The grammar is a comma-separated list of pass names, each optionally
+/// suffixed `*N` (repeat `N` times) or `*` (iterate to a bounded fixpoint);
+/// the suffixes are only legal on `simplify`. An `inline` step must be
+/// preceded by an `analyze` step, because inlining consumes the flow
+/// analysis.
+///
+/// The default schedule is `analyze,inline,simplify` — exactly the paper's
+/// pipeline, and byte-identical to the historical hard-coded chain.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_core::Schedule;
+///
+/// let s: Schedule = "analyze, inline, simplify*3".parse().unwrap();
+/// assert_eq!(s.to_string(), "analyze,inline,simplify*3");
+/// assert_eq!(Schedule::default().to_string(), "analyze,inline,simplify");
+/// assert!("inline,simplify".parse::<Schedule>().is_err()); // no analysis
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Schedule {
+    steps: [ScheduleStep; MAX_SCHEDULE_STEPS],
+    len: u8,
+}
+
+impl Schedule {
+    /// The validated steps, in run order.
+    pub fn steps(&self) -> &[ScheduleStep] {
+        &self.steps[..self.len as usize]
+    }
+
+    /// Builds a schedule from explicit steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] when the steps are empty, exceed
+    /// [`MAX_SCHEDULE_STEPS`], repeat a non-simplify pass, or inline
+    /// without a preceding analysis.
+    pub fn from_steps(steps: &[ScheduleStep]) -> Result<Schedule, ScheduleError> {
+        if steps.is_empty() {
+            return Err(ScheduleError(
+                "a schedule needs at least one step".to_string(),
+            ));
+        }
+        if steps.len() > MAX_SCHEDULE_STEPS {
+            return Err(ScheduleError(format!(
+                "too many steps: {} (the limit is {MAX_SCHEDULE_STEPS})",
+                steps.len()
+            )));
+        }
+        let mut analyzed = false;
+        for step in steps {
+            match step.pass {
+                PassId::Analyze => analyzed = true,
+                PassId::Inline if !analyzed => {
+                    return Err(ScheduleError(
+                        "inline needs a flow analysis: schedule an analyze step before it"
+                            .to_string(),
+                    ));
+                }
+                _ => {}
+            }
+            if step.repeat != 1 && step.pass != PassId::Simplify {
+                return Err(ScheduleError(format!(
+                    "only simplify can repeat; {} runs once per step",
+                    step.pass
+                )));
+            }
+        }
+        let mut arr = [ScheduleStep::once(PassId::Simplify); MAX_SCHEDULE_STEPS];
+        arr[..steps.len()].copy_from_slice(steps);
+        Ok(Schedule {
+            steps: arr,
+            len: steps.len() as u8,
+        })
+    }
+
+    /// Parses the schedule grammar (see the type docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] on unknown pass names, malformed repeat
+    /// suffixes, or any [`Schedule::from_steps`] validation failure.
+    pub fn parse(text: &str) -> Result<Schedule, ScheduleError> {
+        let mut steps = Vec::new();
+        for raw in text.split(',') {
+            let token = raw.trim();
+            if token.is_empty() {
+                return Err(ScheduleError(format!("empty step in {text:?}")));
+            }
+            let (name, repeat) = match token.split_once('*') {
+                None => (token, 1u8),
+                Some((name, "")) => (name.trim_end(), 0),
+                Some((name, count)) => {
+                    let n: u8 = count.trim().parse().map_err(|_| {
+                        ScheduleError(format!("bad repeat count {count:?} in step {token:?}"))
+                    })?;
+                    if n == 0 {
+                        return Err(ScheduleError(format!(
+                            "repeat count must be at least 1 in step {token:?} \
+                             (a bare `*` means fixpoint)"
+                        )));
+                    }
+                    (name.trim_end(), n)
+                }
+            };
+            let pass = match name {
+                "analyze" => PassId::Analyze,
+                "inline" => PassId::Inline,
+                "simplify" => PassId::Simplify,
+                other => {
+                    return Err(ScheduleError(format!(
+                        "unknown pass {other:?} (expected analyze, inline, or simplify)"
+                    )));
+                }
+            };
+            steps.push(ScheduleStep { pass, repeat });
+        }
+        Schedule::from_steps(&steps)
+    }
+
+    /// Stable fingerprint of the schedule, folded into
+    /// [`PipelineConfig::fingerprint`] so cached artifacts are keyed by
+    /// `(source, schedule)`. Each step hashes its pass's behaviour-version
+    /// salt, so bumping a salt in a phase crate invalidates exactly the
+    /// cached runs that executed that pass.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new().byte(1).usize(self.steps().len());
+        for step in self.steps() {
+            f = f.u64(step.pass.salt()).byte(step.repeat);
+        }
+        f.finish()
+    }
+
+    /// True when the first step is the analysis — the precondition for a
+    /// sweep to share one pre-computed analysis across rows (any earlier
+    /// rewrite would invalidate it).
+    pub fn starts_with_analyze(&self) -> bool {
+        matches!(
+            self.steps().first(),
+            Some(ScheduleStep {
+                pass: PassId::Analyze,
+                ..
+            })
+        )
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Schedule {
+        Schedule::from_steps(&[
+            ScheduleStep::once(PassId::Analyze),
+            ScheduleStep::once(PassId::Inline),
+            ScheduleStep::once(PassId::Simplify),
+        ])
+        .expect("the default schedule is valid")
+    }
+}
+
+impl PartialEq for Schedule {
+    fn eq(&self, other: &Schedule) -> bool {
+        self.steps() == other.steps()
+    }
+}
+
+impl Eq for Schedule {}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", step.pass)?;
+            match step.repeat {
+                1 => {}
+                0 => write!(f, "*")?,
+                n => write!(f, "*{n}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = ScheduleError;
+
+    fn from_str(s: &str) -> Result<Schedule, ScheduleError> {
+        Schedule::parse(s)
+    }
+}
+
+/// A schedule that failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError(String);
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// What a pass did with its input.
+#[derive(Debug)]
+pub enum PassOutcome {
+    /// The pass rewrote the program; the result is the new canonical
+    /// artifact (after the manager's validation and oracle gates).
+    Rewrite(Program),
+    /// The pass produced a flow analysis, staged in the context.
+    Analyzed,
+    /// The pass staged an intermediate artifact in the context (frontend
+    /// stages) or checked an invariant without rewriting (validation).
+    Staged,
+}
+
+/// The artifact context a [`Pass`] runs in.
+///
+/// A pass reads its input from the borrowed slots (`source`, `program`,
+/// `flow`) and leaves non-program results in the staged slots; the program
+/// itself travels through [`PassOutcome::Rewrite`] so the manager can gate
+/// it before committing.
+#[derive(Debug, Default)]
+pub struct PassCx<'a> {
+    /// The phase this pass runs under — error attribution and panic
+    /// containment labels.
+    pub phase: Option<Phase>,
+    /// Source text (frontend stages only).
+    pub source: Option<&'a str>,
+    /// The pass's input program (transform passes).
+    pub program: Option<&'a Program>,
+    /// The flow analysis directing the inliner.
+    pub flow: Option<&'a FlowAnalysis>,
+    /// Reader output: surface data with the prelude prepended.
+    pub staged_data: Option<Vec<Datum>>,
+    /// Expander output: the core-form program datum.
+    pub staged_core: Option<Datum>,
+    /// Analysis output, staged for the manager to adopt.
+    pub staged_flow: Option<FlowAnalysis>,
+    /// Inliner report, staged alongside its rewrite.
+    pub staged_report: Option<InlineReport>,
+    /// Simplifier counters, staged alongside its rewrite.
+    pub staged_simplify: Option<SimplifyStats>,
+    /// Unparser output: the program rendered as source text.
+    pub staged_text: Option<String>,
+}
+
+impl<'a> PassCx<'a> {
+    /// A context for the frontend stages over `src`.
+    pub fn for_source(src: &'a str) -> PassCx<'a> {
+        PassCx {
+            phase: Some(Phase::Frontend),
+            source: Some(src),
+            ..PassCx::default()
+        }
+    }
+
+    /// A context for a transform pass over `program`.
+    pub fn for_program(
+        phase: Phase,
+        program: &'a Program,
+        flow: Option<&'a FlowAnalysis>,
+    ) -> PassCx<'a> {
+        PassCx {
+            phase: Some(phase),
+            program: Some(program),
+            flow,
+            ..PassCx::default()
+        }
+    }
+
+    fn phase(&self) -> Phase {
+        self.phase.expect("pass context carries a phase")
+    }
+}
+
+/// The uniform pass interface the manager drives.
+///
+/// The pass types themselves live in their phase crates as plain structs
+/// with `NAME`/`SALT` constants and a typed `apply`; this trait is the
+/// manager-facing adapter, implemented here for each of them. A pass that
+/// needs a missing artifact panics — the manager runs every pass under
+/// panic containment, so a mis-wired schedule degrades instead of crashing.
+pub trait Pass {
+    /// Stable name: trace label, schedule keyword, and the key
+    /// [`FaultPoint::for_pass`] resolves.
+    fn name(&self) -> &'static str;
+    /// Behaviour-version salt folded into schedule fingerprints.
+    fn fingerprint_salt(&self) -> u64;
+    /// Runs the pass over the context.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pass's typed [`PipelineError`] (frontend rejections,
+    /// validation failures); infallible passes always return `Ok`.
+    fn run(&self, cx: &mut PassCx<'_>) -> Result<PassOutcome, PipelineError>;
+}
+
+impl Pass for ParsePass {
+    fn name(&self) -> &'static str {
+        ParsePass::NAME
+    }
+
+    fn fingerprint_salt(&self) -> u64 {
+        ParsePass::SALT
+    }
+
+    fn run(&self, cx: &mut PassCx<'_>) -> Result<PassOutcome, PipelineError> {
+        let src = cx.source.expect("parse pass needs source text");
+        cx.staged_data = Some(self.apply(src).map_err(PipelineError::Frontend)?);
+        Ok(PassOutcome::Staged)
+    }
+}
+
+impl Pass for ExpandPass {
+    fn name(&self) -> &'static str {
+        ExpandPass::NAME
+    }
+
+    fn fingerprint_salt(&self) -> u64 {
+        ExpandPass::SALT
+    }
+
+    fn run(&self, cx: &mut PassCx<'_>) -> Result<PassOutcome, PipelineError> {
+        let data = cx
+            .staged_data
+            .take()
+            .expect("expand pass needs parsed data");
+        cx.staged_core = Some(self.apply(&data).map_err(PipelineError::Frontend)?);
+        Ok(PassOutcome::Staged)
+    }
+}
+
+impl Pass for LowerPass {
+    fn name(&self) -> &'static str {
+        LowerPass::NAME
+    }
+
+    fn fingerprint_salt(&self) -> u64 {
+        LowerPass::SALT
+    }
+
+    fn run(&self, cx: &mut PassCx<'_>) -> Result<PassOutcome, PipelineError> {
+        let core = cx
+            .staged_core
+            .take()
+            .expect("lower pass needs expanded core");
+        Ok(PassOutcome::Rewrite(
+            self.apply(&core).map_err(PipelineError::Frontend)?,
+        ))
+    }
+}
+
+impl Pass for ValidatePass {
+    fn name(&self) -> &'static str {
+        ValidatePass::NAME
+    }
+
+    fn fingerprint_salt(&self) -> u64 {
+        ValidatePass::SALT
+    }
+
+    fn run(&self, cx: &mut PassCx<'_>) -> Result<PassOutcome, PipelineError> {
+        let program = cx.program.expect("validate pass needs a program");
+        self.apply(program)
+            .map_err(|error| PipelineError::Validation {
+                phase: cx.phase(),
+                error,
+            })?;
+        Ok(PassOutcome::Staged)
+    }
+}
+
+impl Pass for UnparsePass {
+    fn name(&self) -> &'static str {
+        UnparsePass::NAME
+    }
+
+    fn fingerprint_salt(&self) -> u64 {
+        UnparsePass::SALT
+    }
+
+    fn run(&self, cx: &mut PassCx<'_>) -> Result<PassOutcome, PipelineError> {
+        let program = cx.program.expect("unparse pass needs a program");
+        cx.staged_text = Some(self.apply(program));
+        Ok(PassOutcome::Staged)
+    }
+}
+
+impl Pass for AnalyzePass {
+    fn name(&self) -> &'static str {
+        AnalyzePass::NAME
+    }
+
+    fn fingerprint_salt(&self) -> u64 {
+        AnalyzePass::SALT
+    }
+
+    fn run(&self, cx: &mut PassCx<'_>) -> Result<PassOutcome, PipelineError> {
+        let program = cx.program.expect("analyze pass needs a program");
+        cx.staged_flow = Some(self.apply(program));
+        Ok(PassOutcome::Analyzed)
+    }
+}
+
+impl Pass for InlinePass {
+    fn name(&self) -> &'static str {
+        InlinePass::NAME
+    }
+
+    fn fingerprint_salt(&self) -> u64 {
+        InlinePass::SALT
+    }
+
+    fn run(&self, cx: &mut PassCx<'_>) -> Result<PassOutcome, PipelineError> {
+        let program = cx.program.expect("inline pass needs a program");
+        let flow = cx.flow.expect("inline pass needs a flow analysis");
+        let (out, report) = self.apply(program, flow);
+        cx.staged_report = Some(report);
+        Ok(PassOutcome::Rewrite(out))
+    }
+}
+
+impl Pass for SimplifyPass {
+    fn name(&self) -> &'static str {
+        SimplifyPass::NAME
+    }
+
+    fn fingerprint_salt(&self) -> u64 {
+        SimplifyPass::SALT
+    }
+
+    fn run(&self, cx: &mut PassCx<'_>) -> Result<PassOutcome, PipelineError> {
+        let program = cx.program.expect("simplify pass needs a program");
+        let (out, stats) = self.apply(program);
+        cx.staged_simplify = Some(stats);
+        Ok(PassOutcome::Rewrite(out))
+    }
+}
+
+/// Runs the staged frontend (parse → expand → lower) through the pass
+/// trait, firing each stage's fault point first. Panics are contained by
+/// the caller's `run_phase` envelope.
+pub(crate) fn run_staged_frontend(
+    src: &str,
+    injector: &FaultInjector,
+) -> Result<Program, PipelineError> {
+    let mut cx = PassCx::for_source(src);
+    let stages: [&dyn Pass; 3] = [&ParsePass, &ExpandPass, &LowerPass];
+    for pass in stages {
+        let point = FaultPoint::for_pass(pass.name()).expect("frontend stages have fault points");
+        injector.fire(point)?;
+        if let PassOutcome::Rewrite(p) = pass.run(&mut cx)? {
+            return Ok(p);
+        }
+    }
+    unreachable!("the lowering stage rewrites to a program")
+}
+
+/// How a scheduled pass resolved in one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassDisposition {
+    /// The pass ran and its output was committed.
+    Completed,
+    /// The analysis was served from a shared (cached) result; the fuel
+    /// charge is identical to a computed one.
+    CachedAnalysis,
+    /// The pass failed (or its output was rejected by a gate); the run
+    /// rolled back to the last validated program.
+    Degraded,
+    /// An earlier pass degraded, so this one never started.
+    Skipped,
+}
+
+impl fmt::Display for PassDisposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PassDisposition::Completed => "completed",
+            PassDisposition::CachedAnalysis => "cached-analysis",
+            PassDisposition::Degraded => "degraded",
+            PassDisposition::Skipped => "skipped",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One pass's execution record.
+///
+/// The manager guarantees an accounting invariant: summing `fuel` over a
+/// run's traces equals [`crate::PipelineOutput::fuel_used`] — every unit
+/// the budget was charged is attributed to exactly one pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassTrace {
+    /// The pass's stable name (`"baseline"` and `"frontend"` label the
+    /// manager-owned stages).
+    pub pass: &'static str,
+    /// Wall-clock time spent in the pass, gates included.
+    pub wall: Duration,
+    /// Fuel charged to the budget for this pass.
+    pub fuel: u64,
+    /// Program size (AST nodes) entering the pass.
+    pub size_before: usize,
+    /// Program size after the pass (unchanged for non-rewriting passes and
+    /// rejected rewrites).
+    pub size_after: usize,
+    /// Applications performed: >1 for repeated simplify steps, 0 when the
+    /// pass never ran.
+    pub runs: u32,
+    /// How the pass resolved.
+    pub disposition: PassDisposition,
+}
+
+/// Fires a fault point under its own panic containment, so an injected
+/// panic at a seam outside any `run_phase` body still becomes a typed
+/// error. Free when the plan is disabled.
+fn fire_contained(
+    injector: &FaultInjector,
+    phase: Phase,
+    point: FaultPoint,
+) -> Result<(), PipelineError> {
+    if !injector.plan().enabled() {
+        return Ok(());
+    }
+    run_phase(phase, || injector.fire(point)).and_then(|r| r)
+}
+
+/// One oracle checkpoint: compares `candidate` against the reference
+/// observation and returns the typed rejection, if any. `None` when the
+/// oracle is off, the comparison is inconclusive, or the programs agree.
+fn oracle_gate(
+    reference: Option<&Observation>,
+    config: &OracleConfig,
+    phase: Phase,
+    candidate: &Program,
+) -> Option<PipelineError> {
+    let reference = reference?;
+    let verdict = compare_observations(reference, &oracle::observe(candidate, config));
+    oracle::rejection_error(phase, &verdict)
+}
+
+/// Where the current flow analysis lives.
+enum FlowSlot<'a> {
+    /// No analysis has run (or a rewrite invalidated the shared one).
+    Empty,
+    /// Borrowed from the caller's cache seam.
+    Shared(&'a FlowAnalysis),
+    /// Computed by a scheduled analyze step (boxed: an analysis is two
+    /// orders of magnitude larger than the other variants).
+    Owned(Box<FlowAnalysis>),
+}
+
+impl FlowSlot<'_> {
+    fn get(&self) -> Option<&FlowAnalysis> {
+        match self {
+            FlowSlot::Empty => None,
+            FlowSlot::Shared(f) => Some(f),
+            FlowSlot::Owned(f) => Some(f),
+        }
+    }
+}
+
+/// Signal that a step degraded: the schedule halts and remaining steps are
+/// traced as skipped.
+struct StepHalt;
+
+/// The pass manager: owns the canonical program and runs a schedule over it.
+struct PassManager<'a> {
+    program: &'a Program,
+    config: &'a PipelineConfig,
+    injector: FaultInjector,
+    tracker: BudgetTracker,
+    health: PipelineHealth,
+    reference: Option<Observation>,
+    traces: Vec<PassTrace>,
+    baseline: Program,
+    optimized: Program,
+    flow: FlowSlot<'a>,
+    flow_stats: AnalysisStats,
+    report: InlineReport,
+    simplify_stats: SimplifyStats,
+    /// True once a transform pass has committed a rewrite. Gates two
+    /// things: the rollback target (`Baseline` before, `Inlined` after) and
+    /// the pass input (the original program before, the rewritten one
+    /// after) — reproducing the historical chain, where analysis and
+    /// inlining both consumed the *original* program.
+    rewritten: bool,
+    shared: Option<Result<&'a FlowAnalysis, &'a PipelineError>>,
+}
+
+/// Runs `config.schedule` over `program` — the engine behind every
+/// degrading entry point. Total: any pass failure rolls back to the last
+/// validated program and is recorded in the output's health ledger.
+pub(crate) fn run_schedule(
+    program: &Program,
+    config: &PipelineConfig,
+    shared: Option<Result<&FlowAnalysis, &PipelineError>>,
+) -> PipelineOutput {
+    // A fresh injector per run: the same seed replays exactly the same
+    // faults. Disabled plans cost one branch per fire site.
+    let injector = FaultInjector::new(config.faults);
+    let mut tracker = BudgetTracker::new(&config.budget);
+    let mut health = PipelineHealth::default();
+    // The oracle's reference observation — the original program's behaviour
+    // under the capped VM — is computed once and reused at every gate.
+    let reference = config
+        .oracle
+        .enabled
+        .then(|| oracle::observe(program, &config.oracle));
+    let mut traces = Vec::with_capacity(config.schedule.steps().len() + 1);
+
+    // The baseline stage: everything later degrades to this (or, if this
+    // stage itself fails, to the untouched original).
+    let start = Instant::now();
+    let attempt = baseline_attempt(program, config, &injector, &tracker, reference.as_ref());
+    let (baseline, disposition) = match attempt {
+        Ok(b) => (b, PassDisposition::Completed),
+        Err(e) => {
+            health.record(Phase::Baseline, e, Fallback::Original);
+            (program.clone(), PassDisposition::Degraded)
+        }
+    };
+    tracker.charge(baseline.size() as u64);
+    traces.push(PassTrace {
+        pass: "baseline",
+        wall: start.elapsed(),
+        fuel: baseline.size() as u64,
+        size_before: program.size(),
+        size_after: baseline.size(),
+        runs: 1,
+        disposition,
+    });
+
+    let mut m = PassManager {
+        program,
+        config,
+        injector,
+        tracker,
+        health,
+        reference,
+        traces,
+        optimized: baseline.clone(),
+        baseline,
+        flow: FlowSlot::Empty,
+        flow_stats: AnalysisStats::default(),
+        report: InlineReport::default(),
+        simplify_stats: SimplifyStats::default(),
+        rewritten: false,
+        shared,
+    };
+
+    let schedule = config.schedule;
+    let mut halted = false;
+    for step in schedule.steps() {
+        if halted {
+            m.trace_skipped(*step);
+            continue;
+        }
+        let outcome = match step.pass {
+            PassId::Analyze => m.step_analyze(),
+            PassId::Inline => m.step_inline(),
+            PassId::Simplify => m.step_simplify(step.repeat),
+        };
+        halted = outcome.is_err();
+    }
+    m.finish()
+}
+
+/// The baseline stage body: threshold-0 simplification of the original
+/// program, gated exactly like a scheduled pass. Fails with the first
+/// gate's error; the caller handles rollback and charging.
+fn baseline_attempt(
+    program: &Program,
+    config: &PipelineConfig,
+    injector: &FaultInjector,
+    tracker: &BudgetTracker,
+    reference: Option<&Observation>,
+) -> Result<Program, PipelineError> {
+    tracker.admit(Phase::Baseline)?;
+    let pass = SimplifyPass {
+        iters: config.simplify_iters,
+    };
+    let b = run_phase(Phase::Baseline, || -> Result<Program, PipelineError> {
+        injector.fire(FaultPoint::Simplify)?;
+        let mut cx = PassCx::for_program(Phase::Baseline, program, None);
+        match pass.run(&mut cx)? {
+            PassOutcome::Rewrite(p) => Ok(p),
+            _ => unreachable!("the simplifier always rewrites"),
+        }
+    })
+    .and_then(|r| r)?;
+    fire_contained(injector, Phase::Baseline, FaultPoint::Validate)?;
+    ValidatePass
+        .apply(&b)
+        .map_err(|error| PipelineError::Validation {
+            phase: Phase::Baseline,
+            error,
+        })?;
+    match oracle_gate(reference, &config.oracle, Phase::Baseline, &b) {
+        Some(e) => Err(e),
+        None => Ok(b),
+    }
+}
+
+impl PassManager<'_> {
+    /// The next pass's input: the original program until a rewrite commits,
+    /// the rewritten program after.
+    fn input(&self) -> &Program {
+        if self.rewritten {
+            &self.optimized
+        } else {
+            self.program
+        }
+    }
+
+    /// The rollback target a failure at this point records.
+    fn fallback(&self) -> Fallback {
+        if self.rewritten {
+            Fallback::Inlined
+        } else {
+            Fallback::Baseline
+        }
+    }
+
+    /// Records a degradation, traces the failed pass, and halts the
+    /// schedule.
+    fn degrade(
+        &mut self,
+        phase: Phase,
+        error: PipelineError,
+        start: Instant,
+        pass: &'static str,
+        size_before: usize,
+    ) -> Result<(), StepHalt> {
+        self.health.record(phase, error, self.fallback());
+        self.traces.push(PassTrace {
+            pass,
+            wall: start.elapsed(),
+            fuel: 0,
+            size_before,
+            size_after: self.optimized.size(),
+            runs: 0,
+            disposition: PassDisposition::Degraded,
+        });
+        Err(StepHalt)
+    }
+
+    /// Traces a step that never ran because an earlier one degraded.
+    fn trace_skipped(&mut self, step: ScheduleStep) {
+        self.traces.push(PassTrace {
+            pass: step.pass.name(),
+            wall: Duration::ZERO,
+            fuel: 0,
+            size_before: self.optimized.size(),
+            size_after: self.optimized.size(),
+            runs: 0,
+            disposition: PassDisposition::Skipped,
+        });
+    }
+
+    /// The analyze step. Consumes the caller's shared analysis (cache seam)
+    /// when no rewrite has invalidated it; otherwise computes in-process
+    /// with the budget deadline threaded into the solver's limits.
+    fn step_analyze(&mut self) -> Result<(), StepHalt> {
+        let start = Instant::now();
+        let size = self.input().size();
+        if let Err(e) = self.tracker.admit(Phase::Analysis) {
+            return self.degrade(Phase::Analysis, e, start, "analyze", size);
+        }
+        let mut disposition = PassDisposition::Completed;
+        match if self.rewritten { None } else { self.shared } {
+            Some(Ok(flow)) => {
+                if let Err(e) = fire_contained(&self.injector, Phase::Analysis, FaultPoint::Analyze)
+                {
+                    return self.degrade(Phase::Analysis, e, start, "analyze", size);
+                }
+                self.flow = FlowSlot::Shared(flow);
+                disposition = PassDisposition::CachedAnalysis;
+            }
+            Some(Err(e)) => {
+                let e = e.clone();
+                return self.degrade(Phase::Analysis, e, start, "analyze", size);
+            }
+            None => {
+                let mut limits = self.config.limits;
+                limits.deadline = match (limits.deadline, self.tracker.deadline()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                let pass = AnalyzePass {
+                    policy: self.config.policy,
+                    limits,
+                };
+                let result = {
+                    let injector = &self.injector;
+                    let input = self.input();
+                    run_phase(
+                        Phase::Analysis,
+                        || -> Result<FlowAnalysis, PipelineError> {
+                            injector.fire(FaultPoint::Analyze)?;
+                            let mut cx = PassCx::for_program(Phase::Analysis, input, None);
+                            pass.run(&mut cx)?;
+                            Ok(cx.staged_flow.take().expect("analyze pass stages a flow"))
+                        },
+                    )
+                };
+                match result.and_then(|r| r) {
+                    Ok(f) => self.flow = FlowSlot::Owned(Box::new(f)),
+                    Err(e) => return self.degrade(Phase::Analysis, e, start, "analyze", size),
+                }
+            }
+        }
+        let stats = self
+            .flow
+            .get()
+            .expect("analyze step sets the flow slot")
+            .stats()
+            .clone();
+        self.tracker.charge(stats.steps);
+        let (steps, aborted, nodes, reason) =
+            (stats.steps, stats.aborted, stats.nodes, stats.abort_reason);
+        self.flow_stats = stats;
+        if aborted {
+            self.health.record(
+                Phase::Analysis,
+                PipelineError::AnalysisAborted {
+                    nodes,
+                    steps,
+                    reason,
+                },
+                self.fallback(),
+            );
+            self.traces.push(PassTrace {
+                pass: "analyze",
+                wall: start.elapsed(),
+                fuel: steps,
+                size_before: size,
+                size_after: size,
+                runs: 1,
+                disposition: PassDisposition::Degraded,
+            });
+            return Err(StepHalt);
+        }
+        self.traces.push(PassTrace {
+            pass: "analyze",
+            wall: start.elapsed(),
+            fuel: steps,
+            size_before: size,
+            size_after: size,
+            runs: 1,
+            disposition,
+        });
+        Ok(())
+    }
+
+    /// The inline step, checkpointed by validation, the growth cap, and the
+    /// oracle.
+    fn step_inline(&mut self) -> Result<(), StepHalt> {
+        let start = Instant::now();
+        let size = self.input().size();
+        if let Err(e) = self.tracker.admit(Phase::Inline) {
+            return self.degrade(Phase::Inline, e, start, "inline", size);
+        }
+        if self.flow.get().is_none() {
+            // `Schedule::from_steps` forbids this; only a hand-built
+            // schedule value can reach it.
+            let e = PipelineError::Inline(
+                "no flow analysis: schedule an analyze step first".to_string(),
+            );
+            return self.degrade(Phase::Inline, e, start, "inline", size);
+        }
+        let pass = InlinePass {
+            config: InlineConfig {
+                threshold: self.config.threshold,
+                mode: self.config.mode,
+                unroll: self.config.unroll,
+            },
+        };
+        let result = {
+            let injector = &self.injector;
+            let input = if self.rewritten {
+                &self.optimized
+            } else {
+                self.program
+            };
+            let flow = self.flow.get().expect("checked above");
+            run_phase(
+                Phase::Inline,
+                || -> Result<(Program, InlineReport), PipelineError> {
+                    injector.fire(FaultPoint::Inline)?;
+                    let mut cx = PassCx::for_program(Phase::Inline, input, Some(flow));
+                    match pass.run(&mut cx)? {
+                        PassOutcome::Rewrite(p) => {
+                            Ok((p, cx.staged_report.take().expect("inline stages a report")))
+                        }
+                        _ => unreachable!("the inliner always rewrites"),
+                    }
+                },
+            )
+        };
+        let (mut inlined, inline_report) = match result.and_then(|r| r) {
+            Ok(x) => x,
+            Err(e) => return self.degrade(Phase::Inline, e, start, "inline", size),
+        };
+        // The broken-pass fault: silently substitute a valid but wrong
+        // program. It passes validation and the growth cap by design — only
+        // the translation-validation oracle (or a downstream behaviour
+        // comparison) can catch it.
+        if self.injector.poll(FaultPoint::Miscompile).is_some() {
+            if let Ok(wrong) = fdi_lang::parse_and_lower("(quote miscompiled)") {
+                inlined = wrong;
+            }
+        }
+        if let Err(e) = fire_contained(&self.injector, Phase::Inline, FaultPoint::Validate) {
+            return self.degrade(Phase::Inline, e, start, "inline", size);
+        }
+        if let Err(error) = ValidatePass.apply(&inlined) {
+            let e = PipelineError::Validation {
+                phase: Phase::Inline,
+                error,
+            };
+            return self.degrade(Phase::Inline, e, start, "inline", size);
+        }
+        if let Err(e) =
+            self.tracker
+                .check_growth(Phase::Inline, inlined.size(), self.baseline.size())
+        {
+            return self.degrade(Phase::Inline, e, start, "inline", size);
+        }
+        if let Some(e) = oracle_gate(
+            self.reference.as_ref(),
+            &self.config.oracle,
+            Phase::Inline,
+            &inlined,
+        ) {
+            return self.degrade(Phase::Inline, e, start, "inline", size);
+        }
+        self.tracker.charge(inlined.size() as u64);
+        self.report = inline_report;
+        self.traces.push(PassTrace {
+            pass: "inline",
+            wall: start.elapsed(),
+            fuel: inlined.size() as u64,
+            size_before: size,
+            size_after: inlined.size(),
+            runs: 1,
+            disposition: PassDisposition::Completed,
+        });
+        self.optimized = inlined;
+        self.rewritten = true;
+        Ok(())
+    }
+
+    /// The simplify step: `repeat` back-to-back applications (`0` iterates
+    /// to a bounded fixpoint), validated and oracle-gated once on the final
+    /// program. A single application (`repeat == 1`) performs no fixpoint
+    /// comparison — byte-identical to the historical chain.
+    fn step_simplify(&mut self, repeat: u8) -> Result<(), StepHalt> {
+        let start = Instant::now();
+        let size_before = self.optimized.size();
+        if let Err(e) = self.tracker.admit(Phase::Simplify) {
+            return self.degrade(Phase::Simplify, e, start, "simplify", size_before);
+        }
+        let reps: u32 = if repeat == 0 {
+            FIXPOINT_REPS
+        } else {
+            repeat as u32
+        };
+        let pass = SimplifyPass {
+            iters: self.config.simplify_iters,
+        };
+        let result = {
+            let injector = &self.injector;
+            let input = &self.optimized;
+            run_phase(
+                Phase::Simplify,
+                || -> Result<(Program, SimplifyStats, u32), PipelineError> {
+                    let mut acc = SimplifyStats::default();
+                    let mut runs = 0u32;
+                    let mut cur: Option<Program> = None;
+                    for _ in 0..reps {
+                        injector.fire(FaultPoint::Simplify)?;
+                        let step_input: &Program = cur.as_ref().unwrap_or(input);
+                        let mut cx = PassCx::for_program(Phase::Simplify, step_input, None);
+                        let next = match pass.run(&mut cx)? {
+                            PassOutcome::Rewrite(p) => p,
+                            _ => unreachable!("the simplifier always rewrites"),
+                        };
+                        acc.merge(cx.staged_simplify.take().expect("simplify stages stats"));
+                        runs += 1;
+                        let converged = runs < reps
+                            && UnparsePass.apply(&next) == UnparsePass.apply(step_input);
+                        cur = Some(next);
+                        if converged {
+                            break;
+                        }
+                    }
+                    Ok((cur.expect("at least one simplify application"), acc, runs))
+                },
+            )
+        };
+        let (simplified, acc, runs) = match result.and_then(|r| r) {
+            Ok(x) => x,
+            Err(e) => return self.degrade(Phase::Simplify, e, start, "simplify", size_before),
+        };
+        if let Err(e) = fire_contained(&self.injector, Phase::Simplify, FaultPoint::Validate) {
+            return self.degrade(Phase::Simplify, e, start, "simplify", size_before);
+        }
+        if let Err(error) = ValidatePass.apply(&simplified) {
+            let e = PipelineError::Validation {
+                phase: Phase::Simplify,
+                error,
+            };
+            return self.degrade(Phase::Simplify, e, start, "simplify", size_before);
+        }
+        if let Some(e) = oracle_gate(
+            self.reference.as_ref(),
+            &self.config.oracle,
+            Phase::Simplify,
+            &simplified,
+        ) {
+            return self.degrade(Phase::Simplify, e, start, "simplify", size_before);
+        }
+        self.tracker.charge(simplified.size() as u64);
+        self.simplify_stats.merge(acc);
+        self.traces.push(PassTrace {
+            pass: "simplify",
+            wall: start.elapsed(),
+            fuel: simplified.size() as u64,
+            size_before,
+            size_after: simplified.size(),
+            runs,
+            disposition: PassDisposition::Completed,
+        });
+        self.optimized = simplified;
+        self.rewritten = true;
+        Ok(())
+    }
+
+    fn finish(self) -> PipelineOutput {
+        PipelineOutput {
+            original_size: self.program.size(),
+            baseline_size: self.baseline.size(),
+            optimized_size: self.optimized.size(),
+            lines: self.program.line_count(),
+            original: self.program.clone(),
+            baseline: self.baseline,
+            optimized: self.optimized,
+            flow_stats: self.flow_stats,
+            report: self.report,
+            simplify_stats: self.simplify_stats,
+            health: self.health,
+            fuel_used: self.tracker.charged(),
+            passes: self.traces,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+
+    #[test]
+    fn default_schedule_is_the_paper_pipeline() {
+        let s = Schedule::default();
+        assert_eq!(s.to_string(), "analyze,inline,simplify");
+        assert!(s.starts_with_analyze());
+        assert_eq!(s, "analyze,inline,simplify".parse().unwrap());
+        assert_eq!(s.steps().len(), 3);
+        assert!(s.steps().iter().all(|st| st.repeat == 1));
+    }
+
+    #[test]
+    fn parse_handles_repeats_and_whitespace() {
+        let s = Schedule::parse(" analyze , inline , simplify*3 ").unwrap();
+        assert_eq!(s.to_string(), "analyze,inline,simplify*3");
+        assert_eq!(s.steps()[2].repeat, 3);
+        let fix = Schedule::parse("analyze,inline,simplify*").unwrap();
+        assert_eq!(fix.steps()[2].repeat, 0, "bare * is the fixpoint sentinel");
+        assert_eq!(fix.to_string(), "analyze,inline,simplify*");
+        // Display round-trips through FromStr.
+        assert_eq!(fix, fix.to_string().parse().unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_schedules() {
+        for bad in [
+            "",
+            "analyze,,inline",
+            "optimize",
+            "analyze*2",
+            "inline*",
+            "simplify*0",
+            "simplify*999",
+            "inline,simplify",
+            "simplify,inline,analyze",
+            "analyze,inline,simplify,simplify,simplify,simplify,simplify,simplify,simplify",
+        ] {
+            assert!(Schedule::parse(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn simplify_only_schedules_are_legal() {
+        let s = Schedule::parse("simplify*").unwrap();
+        assert!(!s.starts_with_analyze());
+        assert_eq!(s.steps().len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_schedules() {
+        let keys = [
+            Schedule::default(),
+            Schedule::parse("analyze,inline,simplify*2").unwrap(),
+            Schedule::parse("analyze,inline,simplify*").unwrap(),
+            Schedule::parse("analyze,inline").unwrap(),
+            Schedule::parse("analyze,simplify,inline,simplify").unwrap(),
+        ]
+        .map(|s| s.fingerprint());
+        let mut uniq = keys.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), keys.len(), "{keys:?}");
+        assert_eq!(
+            Schedule::default().fingerprint(),
+            "analyze,inline,simplify"
+                .parse::<Schedule>()
+                .unwrap()
+                .fingerprint(),
+            "equal schedules share a fingerprint"
+        );
+    }
+
+    #[test]
+    fn staged_frontend_matches_the_fused_one() {
+        let src = "(define (sq x) (* x x)) (sq 7)";
+        let injector = FaultInjector::new(FaultPlan::default());
+        let staged = run_staged_frontend(src, &injector).unwrap();
+        let fused = fdi_lang::parse_and_lower(src).unwrap();
+        assert_eq!(UnparsePass.apply(&staged), UnparsePass.apply(&fused));
+    }
+
+    #[test]
+    fn pass_names_resolve_their_fault_points() {
+        for pass in [PassId::Analyze, PassId::Inline, PassId::Simplify] {
+            assert!(
+                FaultPoint::for_pass(pass.name()).is_some(),
+                "{pass} has no fault point"
+            );
+        }
+    }
+}

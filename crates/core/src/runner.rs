@@ -78,6 +78,7 @@ pub(crate) struct BudgetTracker {
     deadline: Option<Instant>,
     fuel_left: Option<u64>,
     max_growth: Option<f64>,
+    charged: u64,
 }
 
 impl BudgetTracker {
@@ -86,6 +87,7 @@ impl BudgetTracker {
             deadline: budget.deadline.map(|d| Instant::now() + d),
             fuel_left: budget.fuel,
             max_growth: budget.max_growth,
+            charged: 0,
         }
     }
 
@@ -115,9 +117,17 @@ impl BudgetTracker {
 
     /// Deducts `units` of work from the shared fuel counter.
     pub(crate) fn charge(&mut self, units: u64) {
+        self.charged = self.charged.saturating_add(units);
         if let Some(f) = &mut self.fuel_left {
             *f = f.saturating_sub(units);
         }
+    }
+
+    /// Total fuel charged so far, whether or not the budget bounds fuel.
+    /// The pass manager reconciles this against the sum of per-pass trace
+    /// fuel, so every `charge` must be attributed to exactly one trace.
+    pub(crate) fn charged(&self) -> u64 {
+        self.charged
     }
 
     /// Checks a phase output against the size-growth cap.
@@ -317,6 +327,15 @@ mod tests {
         assert!(h.degraded());
         assert!(h.summary().contains("analysis"));
         assert!(h.summary().contains("baseline"));
+    }
+
+    #[test]
+    fn charges_accumulate_without_a_fuel_bound() {
+        let mut t = BudgetTracker::new(&Budget::default());
+        t.charge(10);
+        t.charge(5);
+        assert_eq!(t.charged(), 15);
+        assert!(t.admit(Phase::Simplify).is_ok(), "no bound, no gate");
     }
 
     #[test]

@@ -71,14 +71,14 @@ mod cache;
 mod pool;
 mod stats;
 
-pub use stats::EngineStats;
+pub use stats::{EngineStats, PassStat, TRACKED_PASSES};
 
 use cache::{Gate, KeyedCache};
 use fdi_core::faults::{FaultInjector, FaultPlan, FaultPoint};
 use fdi_core::{
-    analyze_contained, assemble_sweep_rows, execute_cell, optimize, optimize_program_with_analysis,
-    parse_contained, source_fingerprint, FlowAnalysis, Outcome, Phase, PipelineConfig,
-    PipelineError, PipelineOutput, Program, RunConfig, SweepCell, SweepRow,
+    analyze_contained, assemble_sweep_rows, execute_cell, optimize, optimize_program,
+    optimize_program_with_analysis, parse_contained, source_fingerprint, FlowAnalysis, Outcome,
+    Phase, PipelineConfig, PipelineError, PipelineOutput, Program, RunConfig, SweepCell, SweepRow,
 };
 use pool::{Pool, Task};
 use std::collections::hash_map::Entry;
@@ -560,6 +560,9 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
         let started = Instant::now();
         let out = optimize(&job.source, &job.config);
         stats::StatsInner::add_time(&inner.stats.transform_ns, started.elapsed());
+        if let Ok(out) = &out {
+            inner.stats.record_passes(&out.passes);
+        }
         return out.map(Arc::new);
     }
 
@@ -618,6 +621,21 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
     };
     let program = artifact.program;
 
+    // A schedule that opens with a rewrite never consumes a shared analysis
+    // (the rewrite would invalidate it — see `run_schedule`'s cache seam),
+    // so there is nothing for the analysis cache to hold: run the transform
+    // tail in-process and let the schedule compute its own analyses.
+    if !job.config.schedule.starts_with_analyze() {
+        inner.stats.analysis_uncached.fetch_add(1, Relaxed);
+        let started = Instant::now();
+        let out = optimize_program(&program, &job.config);
+        stats::StatsInner::add_time(&inner.stats.transform_ns, started.elapsed());
+        if let Ok(out) = &out {
+            inner.stats.record_passes(&out.passes);
+        }
+        return out.map(Arc::new);
+    }
+
     let analysis_started = Instant::now();
     let analysis_program = program.clone();
     let config = job.config;
@@ -641,6 +659,7 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
     };
     let out = optimize_program_with_analysis(&program, &job.config, shared);
     stats::StatsInner::add_time(&inner.stats.transform_ns, transform_started.elapsed());
+    inner.stats.record_passes(&out.passes);
     Ok(Arc::new(out))
 }
 
@@ -764,6 +783,54 @@ mod tests {
             .wait()
             .unwrap();
         assert_eq!(engine.stats().fingerprints_computed, 4);
+    }
+
+    #[test]
+    fn rewrite_first_schedules_skip_the_analysis_cache() {
+        let engine = Engine::with_jobs(2);
+        let config = PipelineConfig {
+            schedule: fdi_core::Schedule::parse("simplify*2").unwrap(),
+            ..PipelineConfig::with_threshold(200)
+        };
+        let out = engine.submit(Job::new(SRC, config)).wait().unwrap();
+        assert!(!out.health.degraded());
+        let stats = engine.stats();
+        // The parse artifact is still shared; only the analysis cache is
+        // moot (a shared analysis would never be consumed).
+        assert_eq!(stats.parse_misses, 1);
+        assert_eq!(stats.analysis_hits + stats.analysis_misses, 0);
+        assert_eq!(stats.analysis_uncached, 1);
+        // And such jobs still dedup by whole-job key.
+        let a = engine.submit(Job::new(SRC, config));
+        let b = engine.submit(Job::new(SRC, config));
+        a.wait().unwrap();
+        b.wait().unwrap();
+        assert!(a.deduped || b.deduped || engine.stats().parse_hits >= 1);
+    }
+
+    #[test]
+    fn per_pass_aggregates_fold_every_completed_job() {
+        let engine = Engine::with_jobs(2);
+        let out = engine
+            .submit(Job::new(SRC, PipelineConfig::with_threshold(200)))
+            .wait()
+            .unwrap();
+        let stats = engine.stats();
+        for name in TRACKED_PASSES {
+            let p = stats.pass(name).unwrap();
+            assert_eq!(p.runs, 1, "{name} must have run exactly once");
+        }
+        // The engine-wide fuel total is the job's own fuel accounting.
+        let total: u64 = stats.passes.iter().map(|p| p.fuel).sum();
+        assert_eq!(total, out.fuel_used);
+        // A second job under a different threshold doubles the run counts
+        // (the cached analysis still counts as an analyze run for the job).
+        engine
+            .submit(Job::new(SRC, PipelineConfig::with_threshold(100)))
+            .wait()
+            .unwrap();
+        assert_eq!(engine.stats().pass("analyze").unwrap().runs, 2);
+        assert_eq!(engine.stats().pass("simplify").unwrap().runs, 2);
     }
 
     #[test]

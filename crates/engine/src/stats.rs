@@ -6,9 +6,23 @@
 //! [`StatsInner::snapshot`] reads them into the plain-data [`EngineStats`]
 //! callers consume.
 
+use fdi_core::PassTrace;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// The pipeline passes the engine aggregates across jobs, in trace order.
+/// The frontend is deliberately absent: the engine's parse cache makes its
+/// cost a cache property (`parse_ns`), not a per-job pass.
+pub const TRACKED_PASSES: [&str; 4] = ["baseline", "analyze", "inline", "simplify"];
+
+/// Atomic accumulator behind one [`PassStat`].
+#[derive(Debug, Default)]
+pub(crate) struct PassCell {
+    runs: AtomicU64,
+    ns: AtomicU64,
+    fuel: AtomicU64,
+}
 
 /// Shared mutable counters, one per engine.
 #[derive(Debug, Default)]
@@ -35,6 +49,8 @@ pub(crate) struct StatsInner {
     pub analysis_ns: AtomicU64,
     pub transform_ns: AtomicU64,
     pub execute_ns: AtomicU64,
+    /// Per-pass aggregates, indexed like [`TRACKED_PASSES`].
+    pub passes: [PassCell; 4],
 }
 
 impl StatsInner {
@@ -52,6 +68,23 @@ impl StatsInner {
     /// Adds a measured phase duration to `counter`.
     pub(crate) fn add_time(counter: &AtomicU64, elapsed: Duration) {
         counter.fetch_add(elapsed.as_nanos() as u64, Relaxed);
+    }
+
+    /// Folds one finished job's per-pass traces into the engine-wide
+    /// aggregates. Untracked trace names (a repeated simplify step still
+    /// reports as `"simplify"`, so in practice only `"frontend"`) are
+    /// skipped.
+    pub(crate) fn record_passes(&self, traces: &[PassTrace]) {
+        for trace in traces {
+            let Some(i) = TRACKED_PASSES.iter().position(|&n| n == trace.pass) else {
+                continue;
+            };
+            self.passes[i].runs.fetch_add(trace.runs as u64, Relaxed);
+            self.passes[i]
+                .ns
+                .fetch_add(trace.wall.as_nanos() as u64, Relaxed);
+            self.passes[i].fuel.fetch_add(trace.fuel, Relaxed);
+        }
     }
 
     /// Bumps a hit or miss counter pair.
@@ -85,8 +118,25 @@ impl StatsInner {
             analysis_ns: self.analysis_ns.load(Relaxed),
             transform_ns: self.transform_ns.load(Relaxed),
             execute_ns: self.execute_ns.load(Relaxed),
+            passes: std::array::from_fn(|i| PassStat {
+                runs: self.passes[i].runs.load(Relaxed),
+                ns: self.passes[i].ns.load(Relaxed),
+                fuel: self.passes[i].fuel.load(Relaxed),
+            }),
         }
     }
+}
+
+/// Engine-wide totals for one pipeline pass, folded from every completed
+/// job's [`PassTrace`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass applications across all jobs (a `simplify*3` step counts 3).
+    pub runs: u64,
+    /// Cumulative wall-clock time in the pass, all workers summed.
+    pub ns: u64,
+    /// Cumulative fuel the pass charged to job budgets.
+    pub fuel: u64,
 }
 
 /// A point-in-time snapshot of one engine's counters.
@@ -143,9 +193,19 @@ pub struct EngineStats {
     pub transform_ns: u64,
     /// Total time executing sweep cells on the VM.
     pub execute_ns: u64,
+    /// Per-pass totals across completed jobs, indexed like
+    /// [`TRACKED_PASSES`] (baseline, analyze, inline, simplify).
+    pub passes: [PassStat; 4],
 }
 
 impl EngineStats {
+    /// The aggregate for a tracked pass, by name.
+    pub fn pass(&self, name: &str) -> Option<PassStat> {
+        TRACKED_PASSES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| self.passes[i])
+    }
     /// Fraction of analysis-cache lookups that reused a result.
     pub fn analysis_hit_rate(&self) -> f64 {
         let total = self.analysis_hits + self.analysis_misses;
@@ -169,6 +229,20 @@ impl EngineStats {
     /// The snapshot as one JSON object (stable key order, no trailing
     /// newline) — for the `fdi batch` CLI and the experiment logs.
     pub fn to_json(&self) -> String {
+        let passes = TRACKED_PASSES
+            .iter()
+            .zip(&self.passes)
+            .map(|(name, p)| {
+                format!(
+                    "\"{}\":{{\"runs\":{},\"ms\":{:.3},\"fuel\":{}}}",
+                    name,
+                    p.runs,
+                    p.ns as f64 / 1e6,
+                    p.fuel
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"jobs_submitted\":{},\"jobs_deduped\":{},\"jobs_completed\":{},",
@@ -178,7 +252,8 @@ impl EngineStats {
                 "\"fingerprints_computed\":{},",
                 "\"cache_evictions\":{},\"cache_corruptions_detected\":{},",
                 "\"workers_respawned\":{},\"queue_highwater\":{},",
-                "\"parse_ms\":{:.3},\"analysis_ms\":{:.3},\"transform_ms\":{:.3},\"execute_ms\":{:.3}}}"
+                "\"parse_ms\":{:.3},\"analysis_ms\":{:.3},\"transform_ms\":{:.3},\"execute_ms\":{:.3},",
+                "\"passes\":{{{}}}}}"
             ),
             self.jobs_submitted,
             self.jobs_deduped,
@@ -199,6 +274,7 @@ impl EngineStats {
             self.analysis_ns as f64 / 1e6,
             self.transform_ns as f64 / 1e6,
             self.execute_ns as f64 / 1e6,
+            passes,
         )
     }
 }
@@ -235,6 +311,39 @@ mod tests {
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"analysis_misses\":0"));
-        assert_eq!(j.matches('{').count(), 1);
+        // One outer object, one "passes" object, one object per tracked pass.
+        assert_eq!(j.matches('{').count(), 2 + TRACKED_PASSES.len());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"passes\":{\"baseline\":{\"runs\":0"));
+    }
+
+    #[test]
+    fn record_passes_folds_tracked_traces_and_skips_the_rest() {
+        use fdi_core::{PassDisposition, PassTrace};
+        let s = StatsInner::default();
+        let trace = |pass, runs, fuel| PassTrace {
+            pass,
+            wall: Duration::from_micros(5),
+            fuel,
+            size_before: 10,
+            size_after: 10,
+            runs,
+            disposition: PassDisposition::Completed,
+        };
+        s.record_passes(&[
+            trace("frontend", 1, 0), // untracked: the parse cache owns it
+            trace("baseline", 1, 10),
+            trace("analyze", 1, 40),
+            trace("inline", 1, 12),
+            trace("simplify", 3, 9),
+        ]);
+        s.record_passes(&[trace("baseline", 1, 10), trace("simplify", 1, 8)]);
+        let snap = s.snapshot();
+        assert_eq!(snap.pass("baseline").unwrap().runs, 2);
+        assert_eq!(snap.pass("analyze").unwrap().fuel, 40);
+        assert_eq!(snap.pass("simplify").unwrap().runs, 4);
+        assert_eq!(snap.pass("simplify").unwrap().fuel, 17);
+        assert_eq!(snap.pass("inline").unwrap().ns, 5_000);
+        assert_eq!(snap.pass("frontend"), None);
     }
 }

@@ -107,6 +107,28 @@ pub struct InlineReport {
     pub unrolled: usize,
 }
 
+/// The inliner packaged for `fdi-core`'s unified pass manager: a plain
+/// struct carrying the inliner's knobs. The `Pass` trait itself lives in
+/// `fdi-core`, which implements it over this type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InlinePass {
+    /// The inliner's configuration.
+    pub config: InlineConfig,
+}
+
+impl InlinePass {
+    /// Stable pass name; also resolves the fault-injection point and the
+    /// schedule-grammar keyword.
+    pub const NAME: &'static str = "inline";
+    /// Schedule-fingerprint salt for this pass's behaviour version.
+    pub const SALT: u64 = 0x1a11_4e01;
+
+    /// One application of the pass: exactly [`inline_program`].
+    pub fn apply(&self, program: &Program, flow: &FlowAnalysis) -> (Program, InlineReport) {
+        inline_program(program, flow, &self.config)
+    }
+}
+
 /// Runs flow-directed inlining over `program` using `flow`.
 ///
 /// The returned program is *not* yet simplified; run

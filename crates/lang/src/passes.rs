@@ -1,0 +1,137 @@
+//! Frontend and observation passes, packaged for the unified pass manager.
+//!
+//! `fdi-core`'s pass manager drives the pipeline through a uniform `Pass`
+//! trait, but the trait itself lives in `fdi-core` (which depends on this
+//! crate). Each stage is therefore exported here as a plain struct with a
+//! stable [`NAME`](ParsePass::NAME), a [`SALT`](ParsePass::SALT) versioning
+//! its behaviour inside schedule fingerprints, and an `apply` method wrapping
+//! the underlying function; `fdi-core` implements its `Pass` trait for these
+//! types.
+//!
+//! The salts are arbitrary fixed constants: bump one when the corresponding
+//! stage's output changes for the same input, and cached artifacts keyed by
+//! schedule fingerprint are invalidated.
+
+use crate::{FrontendError, Program, ValidateError};
+use fdi_sexpr::Datum;
+
+/// The reader stage: source text to data, with the library prelude
+/// prepended (the paper prepends "necessary library procedures" the same
+/// way).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParsePass;
+
+impl ParsePass {
+    /// Stable pass name; also resolves the fault-injection point.
+    pub const NAME: &'static str = "parse";
+    /// Schedule-fingerprint salt for this pass's behaviour version.
+    pub const SALT: u64 = 0x70a5_5e01;
+
+    /// Reads `src` and prepends the prelude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError`] when the reader rejects the text.
+    pub fn apply(&self, src: &str) -> Result<Vec<Datum>, FrontendError> {
+        let data = fdi_sexpr::parse(src)?;
+        Ok(crate::with_prelude(&data))
+    }
+}
+
+/// The macro expander stage: surface data to the core-form program datum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExpandPass;
+
+impl ExpandPass {
+    /// Stable pass name; also resolves the fault-injection point.
+    pub const NAME: &'static str = "expand";
+    /// Schedule-fingerprint salt for this pass's behaviour version.
+    pub const SALT: u64 = 0x70a5_5e02;
+
+    /// Expands surface forms into the core grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError`] when a form does not expand.
+    pub fn apply(&self, data: &[Datum]) -> Result<Datum, FrontendError> {
+        Ok(crate::expand_program(data)?)
+    }
+}
+
+/// The lowering stage: core-form datum to the labeled, α-renamed [`Program`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowerPass;
+
+impl LowerPass {
+    /// Stable pass name; also resolves the fault-injection point.
+    pub const NAME: &'static str = "lower";
+    /// Schedule-fingerprint salt for this pass's behaviour version.
+    pub const SALT: u64 = 0x70a5_5e03;
+
+    /// Lowers the expanded program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError`] on scope-resolution failures.
+    pub fn apply(&self, core: &Datum) -> Result<Program, FrontendError> {
+        Ok(crate::lower_program(core)?)
+    }
+}
+
+/// The well-formedness checkpoint run after every rewriting pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValidatePass;
+
+impl ValidatePass {
+    /// Stable pass name; also resolves the fault-injection point.
+    pub const NAME: &'static str = "validate";
+    /// Schedule-fingerprint salt for this pass's behaviour version.
+    pub const SALT: u64 = 0x70a5_5e04;
+
+    /// Checks `program` for well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn apply(&self, program: &Program) -> Result<(), ValidateError> {
+        crate::validate(program)
+    }
+}
+
+/// The unparser, as an observation pass: renders a program back to source
+/// text. The pass manager also uses it as its fixpoint detector (two
+/// programs are "the same" when they unparse identically).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnparsePass;
+
+impl UnparsePass {
+    /// Stable pass name.
+    pub const NAME: &'static str = "unparse";
+    /// Schedule-fingerprint salt for this pass's behaviour version.
+    pub const SALT: u64 = 0x70a5_5e05;
+
+    /// Renders `program` as source text.
+    pub fn apply(&self, program: &Program) -> String {
+        crate::unparse(program).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_stages_compose_to_parse_and_lower() {
+        let src = "(define (sq x) (* x x)) (sq 7)";
+        let data = ParsePass.apply(src).unwrap();
+        let core = ExpandPass.apply(&data).unwrap();
+        let staged = LowerPass.apply(&core).unwrap();
+        let fused = crate::parse_and_lower(src).unwrap();
+        assert_eq!(
+            UnparsePass.apply(&staged),
+            UnparsePass.apply(&fused),
+            "staged frontend must agree with the fused one"
+        );
+        assert!(ValidatePass.apply(&staged).is_ok());
+    }
+}

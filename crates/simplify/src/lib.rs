@@ -50,6 +50,36 @@ pub fn simplify(program: &Program) -> (Program, SimplifyStats) {
     out
 }
 
+/// The simplifier packaged for `fdi-core`'s unified pass manager: a plain
+/// struct carrying the pass's one knob. The `Pass` trait itself lives in
+/// `fdi-core`, which implements it over this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplifyPass {
+    /// Bound on rebuild iterations per application.
+    pub iters: usize,
+}
+
+impl SimplifyPass {
+    /// Stable pass name; also resolves the fault-injection point and the
+    /// schedule-grammar keyword.
+    pub const NAME: &'static str = "simplify";
+    /// Schedule-fingerprint salt for this pass's behaviour version.
+    pub const SALT: u64 = 0x51a9_11f1;
+
+    /// One application of the pass: exactly [`simplify_n`].
+    pub fn apply(&self, program: &Program) -> (Program, SimplifyStats) {
+        simplify_n(program, self.iters)
+    }
+}
+
+impl Default for SimplifyPass {
+    fn default() -> SimplifyPass {
+        SimplifyPass {
+            iters: DEFAULT_ITERS,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,14 @@ impl SimplifyStats {
         self.begin_drops += other.begin_drops;
         self.formals_removed += other.formals_removed;
     }
+
+    /// Folds another run's counters into this one, iterations included —
+    /// how the pass manager accumulates a repeated simplify step. Merging
+    /// into a default value reproduces `other` exactly.
+    pub fn merge(&mut self, other: SimplifyStats) {
+        self.absorb(other);
+        self.iterations += other.iterations;
+    }
 }
 
 /// Runs rebuild passes to a fixpoint (bounded by `max_iters`).

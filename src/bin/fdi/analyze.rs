@@ -1,0 +1,34 @@
+//! `fdi analyze` — print flow-analysis statistics and inline candidates.
+
+use crate::opts::Options;
+use std::process::ExitCode;
+
+pub fn main(opts: &Options) -> ExitCode {
+    let Some(src) = opts.read_source() else {
+        return ExitCode::FAILURE;
+    };
+    let program = match fdi_lang::parse_and_lower(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fdi: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let flow = fdi_cfa::analyze(&program, opts.policy);
+    let s = flow.stats();
+    let candidates = flow.candidate_call_sites(&program);
+    println!("policy            : {}", opts.policy.name());
+    println!("nodes             : {}", s.nodes);
+    println!("edges             : {}", s.edges);
+    println!("worklist steps    : {}", s.steps);
+    println!("contours          : {}", s.contours);
+    println!("abstract closures : {}", s.closures);
+    println!("analysis time     : {:?}", s.duration);
+    println!("inline candidates : {}", candidates.len());
+    println!("arity mismatches  : {}", s.arity_mismatches);
+    if opts.dump {
+        println!();
+        print!("{}", fdi_cfa::dump_analysis(&flow, &program));
+    }
+    ExitCode::SUCCESS
+}

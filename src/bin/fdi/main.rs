@@ -1,0 +1,72 @@
+//! `fdi` — the flow-directed inlining optimizer as a command-line tool.
+//!
+//! ```text
+//! fdi optimize <file.scm> [-t THRESHOLD] [--clref] [--policy 0cfa|poly|1cfa]
+//! fdi run      <file.scm> [-t THRESHOLD] [--clref] [--stats] [--trace]
+//! fdi analyze  <file.scm> [--policy …]
+//! fdi batch    <manifest> [--jobs N] [--out FILE]
+//! ```
+//!
+//! `optimize` prints the optimized source; `run` executes baseline and
+//! optimized versions on the cost-model VM and reports both; `analyze`
+//! prints flow-analysis statistics and inline candidates.
+//!
+//! `batch` runs a whole manifest of jobs on the concurrent engine
+//! (`fdi-engine`) and emits one JSON report. Each manifest line is a job:
+//! a source — `path/to/file.scm` or `bench:<name>[@<scale>]` — followed by
+//! per-job flags (`-t`, `--policy`, `--unroll`, `--clref`, `--fuel`,
+//! `--deadline-ms`, `--max-growth`, `--passes`). Blank lines and `#`
+//! comments are skipped. Identical jobs dedup in flight, and jobs sharing a
+//! source or an analysis policy share artifacts through the engine's cache.
+//!
+//! `--passes SCHEDULE` replaces the default pass schedule
+//! (`analyze,inline,simplify`) with a custom one: comma-separated pass
+//! names, with `simplify*N` repeating the simplifier N times and a bare
+//! `simplify*` running it to a fixpoint. `--trace` prints one line per
+//! executed pass (wall time, fuel charged, node-count delta, disposition)
+//! to stderr; `batch` reports the same trace per job in its JSON.
+//!
+//! By default the pipeline degrades on phase failures (budget trips, limit
+//! aborts, contained panics) and reports them as `;; degraded:` warnings on
+//! stderr; `--strict` turns the first such failure into a non-zero exit.
+//! `--deadline-ms`, `--fuel`, and `--max-growth` bound the run.
+//!
+//! `--validate` arms the translation-validation oracle: after every
+//! transformation checkpoint the candidate program is run against the
+//! original on the cost-model VM (under `--oracle-fuel`), and a divergence
+//! rolls the pipeline back to the last validated program (reported in the
+//! health ledger as an oracle rejection). `--faults SEED` arms the seeded
+//! chaos plan — deterministic injected panics, typed errors, and latency at
+//! every catalogued pipeline fault point; in `batch`, `--engine-faults SEED`
+//! additionally arms the engine's cache and worker-pool seams.
+
+mod analyze;
+mod batch;
+mod optimize;
+mod opts;
+mod report;
+mod run;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        return opts::usage();
+    };
+    let rest: Vec<String> = argv.collect();
+    // `batch` has its own argument shape; everything else shares the
+    // single-file option parser.
+    if command == "batch" {
+        return batch::main(rest);
+    }
+    let Some(opts) = opts::parse(rest) else {
+        return opts::usage();
+    };
+    match command.as_str() {
+        "optimize" => optimize::main(&opts),
+        "run" => run::main(&opts),
+        "analyze" => analyze::main(&opts),
+        _ => opts::usage(),
+    }
+}

@@ -1,0 +1,22 @@
+//! `fdi optimize` — print the optimized source.
+
+use crate::opts::Options;
+use std::process::ExitCode;
+
+pub fn main(opts: &Options) -> ExitCode {
+    let Some(src) = opts.read_source() else {
+        return ExitCode::FAILURE;
+    };
+    let Some(out) = opts.run_pipeline(&src) else {
+        return ExitCode::FAILURE;
+    };
+    println!("{}", fdi_sexpr::pretty(&fdi_lang::unparse(&out.optimized)));
+    eprintln!(
+        ";; inlined {} sites, pruned {} branches, size ratio {:.2}, analysis {:?}",
+        out.report.sites_inlined,
+        out.report.branches_pruned,
+        out.size_ratio(),
+        out.flow_stats.duration
+    );
+    ExitCode::SUCCESS
+}

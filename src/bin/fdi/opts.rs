@@ -1,0 +1,218 @@
+//! Shared option parsing for the single-file subcommands
+//! (`optimize`, `run`, `analyze`).
+
+use fdi_core::{
+    optimize, optimize_strict, Budget, FaultPlan, OracleConfig, PipelineConfig, PipelineOutput,
+    Polyvariance, Schedule,
+};
+use std::process::ExitCode;
+use std::time::Duration;
+
+pub struct Options {
+    pub file: String,
+    pub threshold: usize,
+    pub unroll: usize,
+    pub clref: bool,
+    pub policy: Polyvariance,
+    pub stats: bool,
+    pub dump: bool,
+    pub strict: bool,
+    pub trace: bool,
+    pub budget: Budget,
+    pub schedule: Option<Schedule>,
+    pub validate: bool,
+    pub oracle_fuel: Option<u64>,
+    pub faults: Option<u64>,
+}
+
+pub fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fdi <optimize|run|analyze> <file.scm> \
+         [-t THRESHOLD] [--unroll N] [--clref] [--policy 0cfa|poly|1cfa] [--stats] [--dump] \
+         [--passes SCHEDULE] [--trace] \
+         [--strict] [--deadline-ms N] [--fuel N] [--max-growth X] \
+         [--validate] [--oracle-fuel N] [--faults SEED]\n       \
+         fdi batch <manifest> [--jobs N] [--out FILE] [--passes SCHEDULE] \
+         [--validate] [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Parses a schedule spec such as `analyze,inline,simplify*3`, reporting
+/// malformed input on stderr.
+pub fn parse_schedule(spec: &str) -> Option<Schedule> {
+    match Schedule::parse(spec) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("fdi: --passes: {e}");
+            None
+        }
+    }
+}
+
+pub fn parse(rest: Vec<String>) -> Option<Options> {
+    let mut opts = Options {
+        file: String::new(),
+        threshold: 200,
+        unroll: 0,
+        clref: false,
+        policy: Polyvariance::PolymorphicSplitting,
+        stats: false,
+        dump: false,
+        strict: false,
+        trace: false,
+        budget: Budget::default(),
+        schedule: None,
+        validate: false,
+        oracle_fuel: None,
+        faults: None,
+    };
+    let mut rest = rest;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "-t" | "--threshold" => {
+                opts.threshold = rest.get(i + 1)?.parse().ok()?;
+                rest.drain(i..=i + 1);
+            }
+            "--unroll" => {
+                opts.unroll = rest.get(i + 1)?.parse().ok()?;
+                rest.drain(i..=i + 1);
+            }
+            "--clref" => {
+                opts.clref = true;
+                rest.remove(i);
+            }
+            "--stats" => {
+                opts.stats = true;
+                rest.remove(i);
+            }
+            "--dump" => {
+                opts.dump = true;
+                rest.remove(i);
+            }
+            "--strict" => {
+                opts.strict = true;
+                rest.remove(i);
+            }
+            "--trace" => {
+                opts.trace = true;
+                rest.remove(i);
+            }
+            "--passes" => {
+                opts.schedule = Some(parse_schedule(rest.get(i + 1)?)?);
+                rest.drain(i..=i + 1);
+            }
+            "--deadline-ms" => {
+                let ms: u64 = rest.get(i + 1)?.parse().ok()?;
+                opts.budget = opts.budget.with_deadline(Duration::from_millis(ms));
+                rest.drain(i..=i + 1);
+            }
+            "--fuel" => {
+                opts.budget = opts.budget.with_fuel(rest.get(i + 1)?.parse().ok()?);
+                rest.drain(i..=i + 1);
+            }
+            "--max-growth" => {
+                opts.budget = opts.budget.with_max_growth(rest.get(i + 1)?.parse().ok()?);
+                rest.drain(i..=i + 1);
+            }
+            "--validate" => {
+                opts.validate = true;
+                rest.remove(i);
+            }
+            "--oracle-fuel" => {
+                opts.oracle_fuel = Some(rest.get(i + 1)?.parse().ok()?);
+                rest.drain(i..=i + 1);
+            }
+            "--faults" => {
+                opts.faults = Some(rest.get(i + 1)?.parse().ok()?);
+                rest.drain(i..=i + 1);
+            }
+            "--policy" => {
+                opts.policy = parse_policy(rest.get(i + 1)?)?;
+                rest.drain(i..=i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    opts.file = rest.into_iter().next()?;
+    Some(opts)
+}
+
+/// Parses a `--policy` spec (shared with the batch manifest flags).
+pub fn parse_policy(spec: &str) -> Option<Polyvariance> {
+    match spec {
+        "0cfa" => Some(Polyvariance::Monovariant),
+        "poly" | "poly-split" => Some(Polyvariance::PolymorphicSplitting),
+        "1cfa" => Some(Polyvariance::CallStrings(1)),
+        "2cfa" => Some(Polyvariance::CallStrings(2)),
+        _ => None,
+    }
+}
+
+impl Options {
+    /// Reads the source file, reporting failures on stderr.
+    pub fn read_source(&self) -> Option<String> {
+        match std::fs::read_to_string(&self.file) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("fdi: cannot read {}: {e}", self.file);
+                None
+            }
+        }
+    }
+
+    /// The pipeline configuration these options describe.
+    pub fn config(&self) -> PipelineConfig {
+        let mut config = PipelineConfig::with_threshold(self.threshold);
+        config.policy = self.policy;
+        config.unroll = self.unroll;
+        config.budget = self.budget;
+        if self.clref {
+            config.mode = fdi_core::InlineMode::ClRef;
+        }
+        if let Some(schedule) = self.schedule {
+            config.schedule = schedule;
+        }
+        if self.validate {
+            config.oracle = OracleConfig::on();
+        }
+        if let Some(fuel) = self.oracle_fuel {
+            config.oracle.fuel = fuel;
+        }
+        if let Some(seed) = self.faults {
+            config.faults = FaultPlan::new(seed);
+        }
+        config
+    }
+
+    /// Runs the pipeline over `src` — degrading by default, `--strict`
+    /// propagating the first phase failure — and reports health (and, under
+    /// `--trace`, the per-pass trace) on stderr.
+    pub fn run_pipeline(&self, src: &str) -> Option<PipelineOutput> {
+        let config = self.config();
+        let result = if self.strict {
+            optimize_strict(src, &config)
+        } else {
+            optimize(src, &config)
+        };
+        match result {
+            Ok(out) => {
+                if out.health.oracle_rejected() {
+                    eprintln!(";; oracle rejected: rolled back to the last validated program");
+                }
+                if out.health.degraded() {
+                    eprintln!(";; degraded: {}", out.health.summary());
+                }
+                if self.trace {
+                    crate::report::print_trace(&out);
+                }
+                Some(out)
+            }
+            Err(e) => {
+                eprintln!("fdi: {e}");
+                None
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Rendering helpers shared by the subcommands: JSON fragments for the
+//! batch report and the human-readable `--trace` table.
+
+use fdi_core::{PassTrace, PipelineHealth, PipelineOutput};
+
+/// Minimal JSON string escaping for the batch report.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a health ledger as a JSON array of degradation objects.
+pub fn health_json(health: &PipelineHealth) -> String {
+    let entries: Vec<String> = health
+        .degradations
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"phase\":\"{}\",\"error\":\"{}\",\"fallback\":\"{}\"}}",
+                d.phase,
+                json_escape(&d.error.to_string()),
+                json_escape(&d.fallback.to_string())
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+/// Renders a run's per-pass traces as a JSON array, in run order.
+pub fn passes_json(passes: &[PassTrace]) -> String {
+    let entries: Vec<String> = passes
+        .iter()
+        .map(|t| {
+            format!(
+                concat!(
+                    "{{\"pass\":\"{}\",\"runs\":{},\"ms\":{:.3},\"fuel\":{},",
+                    "\"size_before\":{},\"size_after\":{},\"disposition\":\"{}\"}}"
+                ),
+                t.pass,
+                t.runs,
+                t.wall.as_secs_f64() * 1e3,
+                t.fuel,
+                t.size_before,
+                t.size_after,
+                t.disposition
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+/// Prints the `--trace` table on stderr: one line per executed pass.
+pub fn print_trace(out: &PipelineOutput) {
+    eprintln!(
+        ";; {:<9} {:>4} {:>10} {:>8} {:>6} {:>6}  disposition",
+        "pass", "runs", "wall", "fuel", "before", "after"
+    );
+    for t in &out.passes {
+        eprintln!(
+            ";; {:<9} {:>4} {:>8.3}ms {:>8} {:>6} {:>6}  {}",
+            t.pass,
+            t.runs,
+            t.wall.as_secs_f64() * 1e3,
+            t.fuel,
+            t.size_before,
+            t.size_after,
+            t.disposition
+        );
+    }
+    eprintln!(";; fuel used: {}", out.fuel_used);
+}

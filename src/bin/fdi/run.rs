@@ -1,0 +1,54 @@
+//! `fdi run` — execute baseline and optimized programs on the cost-model
+//! VM and compare them.
+
+use crate::opts::Options;
+use fdi_core::RunConfig;
+use std::process::ExitCode;
+
+pub fn main(opts: &Options) -> ExitCode {
+    let Some(src) = opts.read_source() else {
+        return ExitCode::FAILURE;
+    };
+    let Some(out) = opts.run_pipeline(&src) else {
+        return ExitCode::FAILURE;
+    };
+    let cfg = RunConfig::default();
+    let base = fdi_vm::run(&out.baseline, &cfg);
+    let opt = fdi_vm::run(&out.optimized, &cfg);
+    match (base, opt) {
+        (Ok(b), Ok(o)) => {
+            print!("{}", o.output);
+            println!("{}", o.value);
+            if b.value != o.value {
+                eprintln!("fdi: MISCOMPILE: baseline computed {}", b.value);
+                return ExitCode::FAILURE;
+            }
+            if opts.stats {
+                let m = &cfg.model;
+                eprintln!(
+                    ";; baseline : total {:>12} (mutator {}, collector {}), {} calls",
+                    b.counters.total(m),
+                    b.counters.mutator,
+                    b.counters.collector(m),
+                    b.counters.calls
+                );
+                eprintln!(
+                    ";; optimized: total {:>12} (mutator {}, collector {}), {} calls",
+                    o.counters.total(m),
+                    o.counters.mutator,
+                    o.counters.collector(m),
+                    o.counters.calls
+                );
+                eprintln!(
+                    ";; speedup  : {:.3}x",
+                    b.counters.total(m) as f64 / o.counters.total(m) as f64
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        (_, Err(e)) | (Err(e), _) => {
+            eprintln!("fdi: runtime error: {}", e.message);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Pass-manager contracts: default-schedule determinism, simplify-schedule
+//! convergence, and `PassTrace` accounting.
+
+use fdi_benchsuite::BENCHMARKS;
+use fdi_core::{
+    optimize, optimize_program, Budget, PassDisposition, PipelineConfig, PipelineOutput, Schedule,
+};
+
+const THRESHOLDS: [usize; 6] = [0, 50, 100, 200, 500, 1000];
+
+fn text(out: &PipelineOutput) -> String {
+    fdi_sexpr::pretty(&fdi_lang::unparse(&out.optimized))
+}
+
+/// The determinism sweep: the default schedule must be byte-identical to the
+/// explicitly spelled `analyze,inline,simplify` — and to itself on a rerun —
+/// across the whole benchmark suite × threshold grid.
+#[test]
+fn default_schedule_is_byte_identical_across_the_sweep() {
+    let explicit = Schedule::parse("analyze,inline,simplify").unwrap();
+    assert_eq!(Schedule::default(), explicit);
+    for b in BENCHMARKS {
+        let src = b.scaled(1);
+        for t in THRESHOLDS {
+            let default_cfg = PipelineConfig::with_threshold(t);
+            let spelled_cfg = PipelineConfig {
+                schedule: explicit,
+                ..default_cfg
+            };
+            let a = optimize(&src, &default_cfg).unwrap();
+            let b2 = optimize(&src, &spelled_cfg).unwrap();
+            let c = optimize(&src, &default_cfg).unwrap();
+            for (other, label) in [(&b2, "explicit schedule"), (&c, "rerun")] {
+                assert_eq!(text(&a), text(other), "{} t={t}: {label}", b.name);
+                assert_eq!(a.baseline_size, other.baseline_size, "{} t={t}", b.name);
+                assert_eq!(a.optimized_size, other.optimized_size, "{} t={t}", b.name);
+                assert_eq!(a.fuel_used, other.fuel_used, "{} t={t}: {label}", b.name);
+                assert_eq!(
+                    a.report.sites_inlined, other.report.sites_inlined,
+                    "{} t={t}",
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+/// Pure simplify steps commute with themselves: splitting a repeated
+/// simplify step into separate steps, or widening its repeat count past the
+/// fixpoint, converges to the same program.
+#[test]
+fn simplify_schedule_reorderings_converge() {
+    let schedules = [
+        "analyze,inline,simplify",
+        "analyze,inline,simplify*2",
+        "analyze,inline,simplify,simplify",
+        "analyze,inline,simplify*4",
+        "analyze,inline,simplify*",
+        "analyze,inline,simplify,simplify*",
+    ];
+    for b in BENCHMARKS.iter().take(4) {
+        let src = b.scaled(1);
+        let outs: Vec<(String, String)> = schedules
+            .iter()
+            .map(|s| {
+                let cfg = PipelineConfig {
+                    schedule: Schedule::parse(s).unwrap(),
+                    ..PipelineConfig::with_threshold(200)
+                };
+                (s.to_string(), text(&optimize(&src, &cfg).unwrap()))
+            })
+            .collect();
+        // One simplifier application already reaches the fixpoint on these
+        // programs (the simplifier's own iteration loop runs to quiescence),
+        // so every schedule must land on the same program.
+        for (name, t) in &outs[1..] {
+            assert_eq!(
+                t, &outs[0].1,
+                "{}: schedule {name} diverged from {}",
+                b.name, outs[0].0
+            );
+        }
+    }
+}
+
+/// The trace-fuel invariant: the fuel the budget was charged is exactly the
+/// sum of the per-pass trace charges — on clean runs and degraded ones.
+#[test]
+fn trace_fuel_sums_to_fuel_charged() {
+    let budgets = [
+        Budget::default(),
+        Budget::default().with_fuel(10_000),
+        Budget::default().with_fuel(2_000), // starves the transform tail
+        Budget::default().with_fuel(0),     // starves everything
+    ];
+    for b in BENCHMARKS {
+        let src = b.scaled(1);
+        for budget in budgets {
+            let cfg = PipelineConfig {
+                budget,
+                ..PipelineConfig::with_threshold(200)
+            };
+            let out = optimize(&src, &cfg).unwrap();
+            let traced: u64 = out.passes.iter().map(|t| t.fuel).sum();
+            assert_eq!(
+                traced, out.fuel_used,
+                "{} fuel={:?}: trace does not account for the charge",
+                b.name, budget.fuel
+            );
+        }
+    }
+}
+
+/// Every scheduled pass appears exactly once per run in the trace, in
+/// schedule order — even when the run degrades and the tail is skipped.
+#[test]
+fn every_scheduled_pass_is_traced_exactly_once() {
+    let src = BENCHMARKS[0].scaled(1);
+
+    let names =
+        |out: &PipelineOutput| -> Vec<&'static str> { out.passes.iter().map(|t| t.pass).collect() };
+
+    let clean = optimize(&src, &PipelineConfig::with_threshold(200)).unwrap();
+    assert_eq!(
+        names(&clean),
+        ["frontend", "baseline", "analyze", "inline", "simplify"]
+    );
+    assert!(clean
+        .passes
+        .iter()
+        .all(|t| t.disposition == PassDisposition::Completed));
+
+    // A custom schedule: one trace entry per schedule step, repeats folded
+    // into the step's `runs` count.
+    let cfg = PipelineConfig {
+        schedule: Schedule::parse("analyze,inline,simplify*3,simplify").unwrap(),
+        ..PipelineConfig::with_threshold(200)
+    };
+    let custom = optimize(&src, &cfg).unwrap();
+    assert_eq!(
+        names(&custom),
+        ["frontend", "baseline", "analyze", "inline", "simplify", "simplify"]
+    );
+    // The repeated step stops at its fixpoint: the first application
+    // rewrites, the second proves quiescence, the third never runs.
+    assert_eq!(custom.passes[4].runs, 2);
+
+    // A starved run still traces the whole schedule: the first inadmissible
+    // step is Degraded, everything after it Skipped with zero cost.
+    let program = fdi_lang::parse_and_lower(&src).unwrap();
+    let starved = PipelineConfig {
+        budget: Budget::default().with_fuel(0),
+        ..PipelineConfig::with_threshold(200)
+    };
+    let out = optimize_program(&program, &starved).unwrap();
+    assert_eq!(names(&out), ["baseline", "analyze", "inline", "simplify"]);
+    assert_eq!(out.passes[1].disposition, PassDisposition::Degraded);
+    for skipped in &out.passes[2..] {
+        assert_eq!(skipped.disposition, PassDisposition::Skipped);
+        assert_eq!(skipped.fuel, 0);
+        assert_eq!(skipped.runs, 0);
+    }
+}
