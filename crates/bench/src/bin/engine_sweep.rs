@@ -197,6 +197,17 @@ fn main() {
             p.fuel
         );
     }
+    let _ = writeln!(report, "inline decisions (both sweeps, per reason):");
+    for (key, n) in stats.decisions.iter() {
+        let _ = writeln!(report, "  {key:<18}: {n:>6}");
+    }
+    let _ = writeln!(
+        report,
+        "  {:<18}: {:>6} inlined / {} rejected",
+        "total",
+        stats.decisions.inlined(),
+        stats.decisions.rejected()
+    );
     let _ = writeln!(report, "engine stats (both sweeps)   : {}", stats.to_json());
     print!("{report}");
 

@@ -1,0 +1,118 @@
+//! Measures what a live telemetry collector costs the pipeline.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fdi-bench --bin telemetry_overhead -- \
+//!     [--reps R] [--assert PCT]
+//! ```
+//!
+//! Optimizes the Table 1 suite twice per repetition — once with the
+//! disabled [`Telemetry`] handle, once with a [`RingSink`] collector
+//! installed — interleaved, taking the median suite wall over `R`
+//! repetitions (default 5). Along the way it asserts the two runs'
+//! optimized programs are byte-identical: telemetry observes decisions, it
+//! never makes them.
+//!
+//! `--assert PCT` turns the report into a gate: exit non-zero when the
+//! collector-on median exceeds the collector-off median by more than `PCT`
+//! percent. A small absolute slack (25 ms per suite pass) is added on top
+//! so that timer noise on loaded CI hosts cannot fail a suite whose entire
+//! wall clock is a few dozen milliseconds.
+
+use fdi_core::{optimize_instrumented, PipelineConfig, Telemetry};
+use fdi_telemetry::RingSink;
+use fdi_testutil::timed;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Timer-noise floor added to the `--assert` budget.
+const SLACK: Duration = Duration::from_millis(25);
+
+fn optimize_suite(
+    sources: &[String],
+    config: &PipelineConfig,
+    telemetry: &Telemetry,
+) -> Vec<String> {
+    sources
+        .iter()
+        .map(|src| {
+            let out = optimize_instrumented(src, config, telemetry).expect("suite optimizes");
+            fdi_sexpr::pretty(&fdi_lang::unparse(&out.optimized))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let reps: usize = flag("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let assert_pct: Option<f64> = flag("--assert").and_then(|s| s.parse().ok());
+
+    let sources: Vec<String> = fdi_benchsuite::BENCHMARKS
+        .iter()
+        .map(|b| b.scaled(b.test_scale))
+        .collect();
+    let config = PipelineConfig::default();
+
+    // Warm-up pass so first-touch costs (allocator, page faults) don't land
+    // on whichever arm happens to run first.
+    let reference = optimize_suite(&sources, &config, &Telemetry::off());
+
+    let mut off_walls = Vec::with_capacity(reps);
+    let mut on_walls = Vec::with_capacity(reps);
+    let mut events = 0usize;
+    for _ in 0..reps {
+        let (off_out, off_wall) = timed(|| optimize_suite(&sources, &config, &Telemetry::off()));
+        let sink = Arc::new(RingSink::default());
+        let telemetry = Telemetry::with_collector(sink.clone());
+        let (on_out, on_wall) = timed(|| optimize_suite(&sources, &config, &telemetry));
+        assert_eq!(
+            off_out, reference,
+            "collector-off output drifted between reps"
+        );
+        assert_eq!(
+            on_out, reference,
+            "collector-on output differs — telemetry steered the pipeline"
+        );
+        events = sink.len();
+        off_walls.push(off_wall);
+        on_walls.push(on_wall);
+    }
+    let median = |walls: &mut Vec<Duration>| {
+        walls.sort();
+        walls[walls.len() / 2]
+    };
+    let off = median(&mut off_walls);
+    let on = median(&mut on_walls);
+    let overhead_pct = (on.as_secs_f64() - off.as_secs_f64()) / off.as_secs_f64() * 100.0;
+
+    println!(
+        "telemetry_overhead: {} benchmarks, median of {} rep(s), {} event(s) per traced suite pass",
+        sources.len(),
+        reps,
+        events
+    );
+    println!("collector off : {off:>10.3?}");
+    println!("collector on  : {on:>10.3?}  ({overhead_pct:+.2}% wall)");
+    println!("outputs       : byte-identical with and without the collector");
+
+    if let Some(pct) = assert_pct {
+        let budget = Duration::from_secs_f64(off.as_secs_f64() * pct / 100.0) + SLACK;
+        if on > off + budget {
+            eprintln!(
+                "telemetry_overhead: FAIL: collector costs {overhead_pct:.2}% \
+                 (> {pct}% + {SLACK:?} slack)"
+            );
+            std::process::exit(1);
+        }
+        println!("assertion     : within {pct}% (+{SLACK:?} slack) of the no-collector wall");
+    }
+}

@@ -1,0 +1,48 @@
+//! Validates Chrome Trace Event Format files produced by `--trace-out`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fdi-bench --bin trace_check -- <trace.json>...
+//! ```
+//!
+//! Each file is parsed with the telemetry crate's own JSON reader and
+//! checked against the structural rules the trace viewers rely on (see
+//! [`fdi_telemetry::validate_chrome_trace`]): a `traceEvents` array, known
+//! phases, required fields, and balanced begin/end spans per track. On
+//! success it prints one summary line per file; any violation fails the
+//! process, which is how CI gates the telemetry job.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: trace_check <trace.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &args {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("trace_check: {path}: {e}");
+                failed = true;
+            }
+            Ok(text) => match fdi_telemetry::validate_chrome_trace(&text) {
+                Ok(s) => println!(
+                    "{path}: ok — {} event(s): {} span(s), {} instant(s), \
+                     {} counter sample(s), {} decision(s), max span depth {}",
+                    s.events, s.spans, s.instants, s.counters, s.decisions, s.max_depth
+                ),
+                Err(e) => {
+                    eprintln!("trace_check: {path}: INVALID: {e}");
+                    failed = true;
+                }
+            },
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -13,8 +13,9 @@ use crate::domain::{
 };
 use crate::graph::{FlowGraph, Listener, ListenerId, NodeId, NodeKey, Transfer, WalkEnv};
 use crate::policy::{AbortReason, AnalysisLimits, Polyvariance};
-use crate::result::{AnalysisStats, FlowAnalysis};
+use crate::result::{valset_bucket, AnalysisStats, FlowAnalysis, VALSET_BUCKETS};
 use fdi_lang::{Binder, Const, ExprKind, FreeVars, Label, PrimOp, Program, VarId};
+use fdi_telemetry::Telemetry;
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -54,9 +55,26 @@ pub fn analyze_with_limits(
     policy: Polyvariance,
     limits: AnalysisLimits,
 ) -> FlowAnalysis {
+    analyze_instrumented(program, policy, limits, &Telemetry::off())
+}
+
+/// Like [`analyze_with_limits`], emitting convergence telemetry: sampled
+/// worklist counters (steps, contours, closures, nodes and their deltas)
+/// every 1024 solver steps, plus the final value-set size histogram and a
+/// `cfa.done` instant. The analysis result is identical regardless of the
+/// telemetry handle; with the handle off, the solver loop pays one branch
+/// per sample window.
+pub fn analyze_instrumented(
+    program: &Program,
+    policy: Polyvariance,
+    limits: AnalysisLimits,
+    telemetry: &Telemetry,
+) -> FlowAnalysis {
     ANALYZE_COUNT.with(|c| c.set(c.get() + 1));
     let start = Instant::now();
+    let _span = telemetry.span("cfa.solve", "cfa");
     let mut a = Analyzer::new(program, policy, limits);
+    a.telemetry = telemetry.clone();
     let root = program.root();
     a.walk(root, ContourId::EMPTY, WalkEnv::EMPTY);
     a.run();
@@ -86,6 +104,9 @@ struct Analyzer<'p> {
     arity_mismatches: u64,
     aborted: bool,
     abort_reason: Option<AbortReason>,
+    telemetry: Telemetry,
+    /// `(contours, nodes)` at the previous telemetry sample, for deltas.
+    sampled: (u64, u64),
 }
 
 impl<'p> Analyzer<'p> {
@@ -124,6 +145,8 @@ impl<'p> Analyzer<'p> {
             arity_mismatches: 0,
             aborted: false,
             abort_reason: None,
+            telemetry: Telemetry::off(),
+            sampled: (0, 0),
         }
     }
 
@@ -742,8 +765,12 @@ impl<'p> Analyzer<'p> {
             }
             // Checking the clock every step would dominate the solver loop;
             // every 1024 steps keeps overshoot of the shared pipeline
-            // deadline bounded to microseconds.
+            // deadline bounded to microseconds. Convergence telemetry rides
+            // the same cadence so the solver's hot path stays one branch.
             if self.steps & 0x3ff == 0 {
+                if self.telemetry.enabled() {
+                    self.sample_convergence();
+                }
                 if let Some(deadline) = self.limits.deadline {
                     if Instant::now() >= deadline {
                         self.abort(AbortReason::Deadline);
@@ -767,8 +794,30 @@ impl<'p> Analyzer<'p> {
         }
     }
 
-    fn finish(self, start: Instant) -> FlowAnalysis {
-        let stats = AnalysisStats {
+    /// One convergence sample: absolute counters plus the delta of contours
+    /// and nodes created since the previous sample (the per-iteration growth
+    /// a splitting blowup shows up in first).
+    fn sample_convergence(&mut self) {
+        let contours = self.contours.len() as u64;
+        let nodes = self.graph.node_count() as u64;
+        let (c0, n0) = self.sampled;
+        self.telemetry.counter("cfa.steps", self.steps);
+        self.telemetry.counter("cfa.contours", contours);
+        self.telemetry
+            .counter("cfa.closures", self.closures.len() as u64);
+        self.telemetry.counter("cfa.nodes", nodes);
+        self.telemetry
+            .counter("cfa.contours_delta", contours.saturating_sub(c0));
+        self.telemetry
+            .counter("cfa.nodes_delta", nodes.saturating_sub(n0));
+        self.sampled = (contours, nodes);
+    }
+
+    fn finish(mut self, start: Instant) -> FlowAnalysis {
+        if self.telemetry.enabled() {
+            self.sample_convergence();
+        }
+        let mut stats = AnalysisStats {
             nodes: self.graph.node_count(),
             edges: self.graph.edge_count(),
             steps: self.steps,
@@ -778,8 +827,34 @@ impl<'p> Analyzer<'p> {
             aborted: self.aborted,
             abort_reason: self.abort_reason,
             arity_mismatches: self.arity_mismatches,
+            valset_histogram: [0; 8],
         };
         let (exprs, vars) = self.graph.into_tables();
+        for entries in exprs.values() {
+            for (_, vs) in entries {
+                stats.valset_histogram[valset_bucket(vs.len())] += 1;
+            }
+        }
+        for vs in vars.values() {
+            stats.valset_histogram[valset_bucket(vs.len())] += 1;
+        }
+        if self.telemetry.enabled() {
+            let buckets: Vec<(&str, u64)> = VALSET_BUCKETS
+                .iter()
+                .copied()
+                .zip(stats.valset_histogram.iter().copied())
+                .collect();
+            self.telemetry.histogram("cfa.valset_sizes", &buckets);
+            self.telemetry.instant(
+                "cfa.done",
+                "cfa",
+                &[
+                    ("steps", stats.steps.to_string()),
+                    ("contours", stats.contours.to_string()),
+                    ("aborted", stats.aborted.to_string()),
+                ],
+            );
+        }
         FlowAnalysis::new(
             exprs,
             vars,

@@ -39,7 +39,7 @@ mod policy;
 mod prims;
 mod result;
 
-pub use analyze::{abs_const, analyze, analyze_count, analyze_with_limits};
+pub use analyze::{abs_const, analyze, analyze_count, analyze_instrumented, analyze_with_limits};
 pub use domain::{
     AbsClosure, AbsConst, AbsEnvId, AbsEnvTable, AbsVal, ClosureId, ClosureTable, ContourId,
     ContourTable, ValSet,
@@ -49,7 +49,7 @@ pub use graph::{NodeKey, Transfer};
 pub use pass::AnalyzePass;
 pub use policy::{AbortReason, AnalysisLimits, Polyvariance};
 pub use prims::abstract_prim;
-pub use result::{AnalysisStats, Ctx, FlowAnalysis};
+pub use result::{valset_bucket, AnalysisStats, Ctx, FlowAnalysis, VALSET_BUCKETS};
 
 #[cfg(test)]
 mod more_tests;

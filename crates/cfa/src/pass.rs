@@ -1,7 +1,10 @@
 //! The flow analysis packaged for `fdi-core`'s unified pass manager.
 
-use crate::{analyze_with_limits, AnalysisLimits, FlowAnalysis, Polyvariance};
+use crate::{
+    analyze_instrumented, analyze_with_limits, AnalysisLimits, FlowAnalysis, Polyvariance,
+};
 use fdi_lang::Program;
+use fdi_telemetry::Telemetry;
 
 /// The analysis as a schedulable pass: a plain struct carrying the contour
 /// policy and safety limits. The `Pass` trait itself lives in `fdi-core`,
@@ -30,6 +33,12 @@ impl AnalyzePass {
     /// manager turns it into a degradation.
     pub fn apply(&self, program: &Program) -> FlowAnalysis {
         analyze_with_limits(program, self.policy, self.limits)
+    }
+
+    /// One application with convergence telemetry: exactly
+    /// [`analyze_instrumented`].
+    pub fn apply_instrumented(&self, program: &Program, telemetry: &Telemetry) -> FlowAnalysis {
+        analyze_instrumented(program, self.policy, self.limits, telemetry)
     }
 }
 

@@ -46,6 +46,25 @@ pub struct AnalysisStats {
     pub abort_reason: Option<crate::policy::AbortReason>,
     /// Calls whose callee arity never matched.
     pub arity_mismatches: u64,
+    /// Histogram of abstract-value-set sizes at fixpoint, over every
+    /// `(expression, contour)` and `(variable, contour)` table entry.
+    /// Bucket `i` is labelled [`VALSET_BUCKETS`]`[i]`; a heavy tail here is
+    /// the signature of a splitting blowup.
+    pub valset_histogram: [u64; 8],
+}
+
+/// Labels of [`AnalysisStats::valset_histogram`] buckets, in order.
+pub const VALSET_BUCKETS: [&str; 8] = ["0", "1", "2", "3", "4-7", "8-15", "16-31", "32+"];
+
+/// The [`AnalysisStats::valset_histogram`] bucket index for a set size.
+pub fn valset_bucket(len: usize) -> usize {
+    match len {
+        0..=3 => len,
+        4..=7 => 4,
+        8..=15 => 5,
+        16..=31 => 6,
+        _ => 7,
+    }
 }
 
 /// A flow analysis `F` of one program.

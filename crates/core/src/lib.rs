@@ -57,6 +57,9 @@ pub use fdi_lang::{
     ExpandPass, FrontendError, LowerPass, ParsePass, Program, UnparsePass, ValidatePass,
 };
 pub use fdi_simplify::{SimplifyPass, SimplifyStats};
+pub use fdi_telemetry::{
+    DecisionReason, DecisionRecord, DecisionTotals, Telemetry, Verdict, REASON_KEYS,
+};
 pub use fdi_vm::{CostModel, Counters, Outcome, RunConfig, VmError};
 pub use fingerprint::{source_fingerprint, Fingerprint};
 pub use oracle::{
@@ -132,6 +135,10 @@ pub struct PipelineOutput {
     pub flow_stats: AnalysisStats,
     /// What the inliner did.
     pub report: InlineReport,
+    /// Per-call-site decision provenance, in the order the inliner visited
+    /// the sites. Always populated (telemetry collector or not) when the
+    /// inline step committed; empty when it never ran or was rolled back.
+    pub decisions: Vec<DecisionRecord>,
     /// What the simplifier did to the inlined program.
     pub simplify_stats: SimplifyStats,
     /// Size of the original program (paper size metric).
@@ -175,7 +182,7 @@ impl PipelineOutput {
 /// so this function is total: given a lowered program it always produces a
 /// semantically equivalent output.
 fn run_pipeline(program: &Program, config: &PipelineConfig) -> PipelineOutput {
-    run_pipeline_with(program, config, None)
+    run_pipeline_with(program, config, None, &Telemetry::off())
 }
 
 /// [`run_pipeline`], optionally reusing a pre-computed flow analysis.
@@ -194,8 +201,9 @@ fn run_pipeline_with(
     program: &Program,
     config: &PipelineConfig,
     shared: Option<Result<&FlowAnalysis, &PipelineError>>,
+    telemetry: &Telemetry,
 ) -> PipelineOutput {
-    passes::run_schedule(program, config, shared)
+    passes::run_schedule(program, config, shared, telemetry)
 }
 
 /// The front end (reader → expander → lowerer), staged so the Parse,
@@ -231,10 +239,30 @@ fn frontend(src: &str, config: &PipelineConfig) -> Result<Program, PipelineError
 /// enabled fault plan, an injected frontend failure surfaces the same way,
 /// as [`PipelineError::FaultInjected`] or [`PipelineError::PhasePanicked`].
 pub fn optimize(src: &str, config: &PipelineConfig) -> Result<PipelineOutput, PipelineError> {
+    optimize_instrumented(src, config, &Telemetry::off())
+}
+
+/// [`optimize`] with a live telemetry stream: the frontend, every scheduled
+/// pass, the analysis solver, and the inliner's decision provenance emit
+/// spans and events into `telemetry`'s collector. With the disabled handle
+/// this is exactly [`optimize`] — same output, one branch per emission site.
+///
+/// # Errors
+///
+/// Exactly [`optimize`]'s contract.
+pub fn optimize_instrumented(
+    src: &str,
+    config: &PipelineConfig,
+    telemetry: &Telemetry,
+) -> Result<PipelineOutput, PipelineError> {
+    let _pipeline = telemetry.span("pipeline", "pipeline");
     let start = Instant::now();
-    let program = frontend(src, config)?;
+    let program = {
+        let _span = telemetry.span("frontend", "pass");
+        frontend(src, config)?
+    };
     let wall = start.elapsed();
-    let mut out = optimize_program(&program, config)?;
+    let mut out = optimize_program_instrumented(&program, config, telemetry)?;
     // The frontend runs before the pass manager exists; splice its trace in
     // front so `--trace` shows the whole run. It charges no fuel (the budget
     // only meters the transform pipeline).
@@ -265,6 +293,20 @@ pub fn optimize_program(
     config: &PipelineConfig,
 ) -> Result<PipelineOutput, PipelineError> {
     Ok(run_pipeline(program, config))
+}
+
+/// [`optimize_program`] with a live telemetry stream (see
+/// [`optimize_instrumented`]).
+///
+/// # Errors
+///
+/// Never fails today; the `Result` keeps the signature uniform.
+pub fn optimize_program_instrumented(
+    program: &Program,
+    config: &PipelineConfig,
+    telemetry: &Telemetry,
+) -> Result<PipelineOutput, PipelineError> {
+    Ok(run_pipeline_with(program, config, None, telemetry))
 }
 
 /// [`optimize`] with the strict, error-propagating contract: the first
@@ -351,7 +393,18 @@ pub fn optimize_program_with_analysis(
     config: &PipelineConfig,
     analysis: Result<&FlowAnalysis, &PipelineError>,
 ) -> PipelineOutput {
-    run_pipeline_with(program, config, Some(analysis))
+    run_pipeline_with(program, config, Some(analysis), &Telemetry::off())
+}
+
+/// [`optimize_program_with_analysis`] with a live telemetry stream (see
+/// [`optimize_instrumented`]) — the engine's instrumented execution path.
+pub fn optimize_program_with_analysis_instrumented(
+    program: &Program,
+    config: &PipelineConfig,
+    analysis: Result<&FlowAnalysis, &PipelineError>,
+    telemetry: &Telemetry,
+) -> PipelineOutput {
+    run_pipeline_with(program, config, Some(analysis), telemetry)
 }
 
 /// Runs the pipeline repeatedly — analyze, inline, simplify, re-analyze —
@@ -496,7 +549,9 @@ pub fn sweep_program(
             ..*config
         };
         let output = match &shared {
-            Some(analysis) => run_pipeline_with(program, &cfg, Some(analysis.as_ref())),
+            Some(analysis) => {
+                run_pipeline_with(program, &cfg, Some(analysis.as_ref()), &Telemetry::off())
+            }
             None => run_pipeline(program, &cfg),
         };
         let exec = execute_cell(&output, t, run_config);

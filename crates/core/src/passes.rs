@@ -42,6 +42,7 @@ use fdi_inline::InlinePass;
 use fdi_lang::{ExpandPass, LowerPass, ParsePass, Program, UnparsePass, ValidatePass};
 use fdi_sexpr::Datum;
 use fdi_simplify::SimplifyPass;
+use fdi_telemetry::{DecisionRecord, Telemetry};
 use std::fmt;
 use std::str::FromStr;
 use std::time::{Duration, Instant};
@@ -364,6 +365,11 @@ pub struct PassCx<'a> {
     pub staged_simplify: Option<SimplifyStats>,
     /// Unparser output: the program rendered as source text.
     pub staged_text: Option<String>,
+    /// Inliner decision provenance, staged alongside its rewrite.
+    pub staged_decisions: Option<Vec<DecisionRecord>>,
+    /// Telemetry handle the pass emits spans and events into. Defaults to
+    /// the disabled handle, which costs one branch per emission site.
+    pub telemetry: Telemetry,
 }
 
 impl<'a> PassCx<'a> {
@@ -388,6 +394,12 @@ impl<'a> PassCx<'a> {
             flow,
             ..PassCx::default()
         }
+    }
+
+    /// The same context with a telemetry handle attached.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> PassCx<'a> {
+        self.telemetry = telemetry.clone();
+        self
     }
 
     fn phase(&self) -> Phase {
@@ -519,7 +531,7 @@ impl Pass for AnalyzePass {
 
     fn run(&self, cx: &mut PassCx<'_>) -> Result<PassOutcome, PipelineError> {
         let program = cx.program.expect("analyze pass needs a program");
-        cx.staged_flow = Some(self.apply(program));
+        cx.staged_flow = Some(self.apply_instrumented(program, &cx.telemetry));
         Ok(PassOutcome::Analyzed)
     }
 }
@@ -536,9 +548,10 @@ impl Pass for InlinePass {
     fn run(&self, cx: &mut PassCx<'_>) -> Result<PassOutcome, PipelineError> {
         let program = cx.program.expect("inline pass needs a program");
         let flow = cx.flow.expect("inline pass needs a flow analysis");
-        let (out, report) = self.apply(program, flow);
-        cx.staged_report = Some(report);
-        Ok(PassOutcome::Rewrite(out))
+        let out = self.apply_recorded(program, flow, &cx.telemetry);
+        cx.staged_report = Some(out.report);
+        cx.staged_decisions = Some(out.decisions);
+        Ok(PassOutcome::Rewrite(out.program))
     }
 }
 
@@ -698,7 +711,9 @@ struct PassManager<'a> {
     flow: FlowSlot<'a>,
     flow_stats: AnalysisStats,
     report: InlineReport,
+    decisions: Vec<DecisionRecord>,
     simplify_stats: SimplifyStats,
+    telemetry: Telemetry,
     /// True once a transform pass has committed a rewrite. Gates two
     /// things: the rollback target (`Baseline` before, `Inlined` after) and
     /// the pass input (the original program before, the rewritten one
@@ -715,6 +730,7 @@ pub(crate) fn run_schedule(
     program: &Program,
     config: &PipelineConfig,
     shared: Option<Result<&FlowAnalysis, &PipelineError>>,
+    telemetry: &Telemetry,
 ) -> PipelineOutput {
     // A fresh injector per run: the same seed replays exactly the same
     // faults. Disabled plans cost one branch per fire site.
@@ -732,6 +748,7 @@ pub(crate) fn run_schedule(
     // The baseline stage: everything later degrades to this (or, if this
     // stage itself fails, to the untouched original).
     let start = Instant::now();
+    let baseline_span = telemetry.span("baseline", "pass");
     let attempt = baseline_attempt(program, config, &injector, &tracker, reference.as_ref());
     let (baseline, disposition) = match attempt {
         Ok(b) => (b, PassDisposition::Completed),
@@ -740,6 +757,7 @@ pub(crate) fn run_schedule(
             (program.clone(), PassDisposition::Degraded)
         }
     };
+    drop(baseline_span);
     tracker.charge(baseline.size() as u64);
     traces.push(PassTrace {
         pass: "baseline",
@@ -764,7 +782,9 @@ pub(crate) fn run_schedule(
         flow: FlowSlot::Empty,
         flow_stats: AnalysisStats::default(),
         report: InlineReport::default(),
+        decisions: Vec::new(),
         simplify_stats: SimplifyStats::default(),
+        telemetry: telemetry.clone(),
         rewritten: false,
         shared,
     };
@@ -852,6 +872,11 @@ impl PassManager<'_> {
         pass: &'static str,
         size_before: usize,
     ) -> Result<(), StepHalt> {
+        self.telemetry.instant(
+            "pass.degraded",
+            "pipeline",
+            &[("pass", pass.to_string()), ("error", error.to_string())],
+        );
         self.health.record(phase, error, self.fallback());
         self.traces.push(PassTrace {
             pass,
@@ -883,6 +908,7 @@ impl PassManager<'_> {
     /// with the budget deadline threaded into the solver's limits.
     fn step_analyze(&mut self) -> Result<(), StepHalt> {
         let start = Instant::now();
+        let _span = self.telemetry.span("analyze", "pass");
         let size = self.input().size();
         if let Err(e) = self.tracker.admit(Phase::Analysis) {
             return self.degrade(Phase::Analysis, e, start, "analyze", size);
@@ -895,6 +921,7 @@ impl PassManager<'_> {
                     return self.degrade(Phase::Analysis, e, start, "analyze", size);
                 }
                 self.flow = FlowSlot::Shared(flow);
+                self.telemetry.instant("analysis.shared", "cache", &[]);
                 disposition = PassDisposition::CachedAnalysis;
             }
             Some(Err(e)) => {
@@ -914,11 +941,13 @@ impl PassManager<'_> {
                 let result = {
                     let injector = &self.injector;
                     let input = self.input();
+                    let telemetry = &self.telemetry;
                     run_phase(
                         Phase::Analysis,
                         || -> Result<FlowAnalysis, PipelineError> {
                             injector.fire(FaultPoint::Analyze)?;
-                            let mut cx = PassCx::for_program(Phase::Analysis, input, None);
+                            let mut cx = PassCx::for_program(Phase::Analysis, input, None)
+                                .with_telemetry(telemetry);
                             pass.run(&mut cx)?;
                             Ok(cx.staged_flow.take().expect("analyze pass stages a flow"))
                         },
@@ -977,6 +1006,7 @@ impl PassManager<'_> {
     /// oracle.
     fn step_inline(&mut self) -> Result<(), StepHalt> {
         let start = Instant::now();
+        let _span = self.telemetry.span("inline", "pass");
         let size = self.input().size();
         if let Err(e) = self.tracker.admit(Phase::Inline) {
             return self.degrade(Phase::Inline, e, start, "inline", size);
@@ -1004,21 +1034,27 @@ impl PassManager<'_> {
                 self.program
             };
             let flow = self.flow.get().expect("checked above");
+            let telemetry = &self.telemetry;
             run_phase(
                 Phase::Inline,
-                || -> Result<(Program, InlineReport), PipelineError> {
+                || -> Result<(Program, InlineReport, Vec<DecisionRecord>), PipelineError> {
                     injector.fire(FaultPoint::Inline)?;
-                    let mut cx = PassCx::for_program(Phase::Inline, input, Some(flow));
+                    let mut cx = PassCx::for_program(Phase::Inline, input, Some(flow))
+                        .with_telemetry(telemetry);
                     match pass.run(&mut cx)? {
-                        PassOutcome::Rewrite(p) => {
-                            Ok((p, cx.staged_report.take().expect("inline stages a report")))
-                        }
+                        PassOutcome::Rewrite(p) => Ok((
+                            p,
+                            cx.staged_report.take().expect("inline stages a report"),
+                            cx.staged_decisions
+                                .take()
+                                .expect("inline stages its decisions"),
+                        )),
                         _ => unreachable!("the inliner always rewrites"),
                     }
                 },
             )
         };
-        let (mut inlined, inline_report) = match result.and_then(|r| r) {
+        let (mut inlined, inline_report, decisions) = match result.and_then(|r| r) {
             Ok(x) => x,
             Err(e) => return self.degrade(Phase::Inline, e, start, "inline", size),
         };
@@ -1047,16 +1083,12 @@ impl PassManager<'_> {
         {
             return self.degrade(Phase::Inline, e, start, "inline", size);
         }
-        if let Some(e) = oracle_gate(
-            self.reference.as_ref(),
-            &self.config.oracle,
-            Phase::Inline,
-            &inlined,
-        ) {
+        if let Some(e) = self.oracle_check(Phase::Inline, &inlined) {
             return self.degrade(Phase::Inline, e, start, "inline", size);
         }
         self.tracker.charge(inlined.size() as u64);
         self.report = inline_report;
+        self.decisions = decisions;
         self.traces.push(PassTrace {
             pass: "inline",
             wall: start.elapsed(),
@@ -1077,6 +1109,7 @@ impl PassManager<'_> {
     /// comparison — byte-identical to the historical chain.
     fn step_simplify(&mut self, repeat: u8) -> Result<(), StepHalt> {
         let start = Instant::now();
+        let _span = self.telemetry.span("simplify", "pass");
         let size_before = self.optimized.size();
         if let Err(e) = self.tracker.admit(Phase::Simplify) {
             return self.degrade(Phase::Simplify, e, start, "simplify", size_before);
@@ -1133,12 +1166,7 @@ impl PassManager<'_> {
             };
             return self.degrade(Phase::Simplify, e, start, "simplify", size_before);
         }
-        if let Some(e) = oracle_gate(
-            self.reference.as_ref(),
-            &self.config.oracle,
-            Phase::Simplify,
-            &simplified,
-        ) {
+        if let Some(e) = self.oracle_check(Phase::Simplify, &simplified) {
             return self.degrade(Phase::Simplify, e, start, "simplify", size_before);
         }
         self.tracker.charge(simplified.size() as u64);
@@ -1157,6 +1185,29 @@ impl PassManager<'_> {
         Ok(())
     }
 
+    /// One oracle checkpoint, leaving an instant in the trace whenever the
+    /// oracle is live. `None` when the oracle is off, the comparison is
+    /// inconclusive, or the programs agree.
+    fn oracle_check(&self, phase: Phase, candidate: &Program) -> Option<PipelineError> {
+        let verdict = oracle_gate(
+            self.reference.as_ref(),
+            &self.config.oracle,
+            phase,
+            candidate,
+        );
+        if self.reference.is_some() {
+            self.telemetry.instant(
+                "oracle.check",
+                "oracle",
+                &[
+                    ("phase", format!("{phase:?}")),
+                    ("rejected", verdict.is_some().to_string()),
+                ],
+            );
+        }
+        verdict
+    }
+
     fn finish(self) -> PipelineOutput {
         PipelineOutput {
             original_size: self.program.size(),
@@ -1168,6 +1219,7 @@ impl PassManager<'_> {
             optimized: self.optimized,
             flow_stats: self.flow_stats,
             report: self.report,
+            decisions: self.decisions,
             simplify_stats: self.simplify_stats,
             health: self.health,
             fuel_used: self.tracker.charged(),

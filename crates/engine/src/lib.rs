@@ -76,10 +76,12 @@ pub use stats::{EngineStats, PassStat, TRACKED_PASSES};
 use cache::{Gate, KeyedCache};
 use fdi_core::faults::{FaultInjector, FaultPlan, FaultPoint};
 use fdi_core::{
-    analyze_contained, assemble_sweep_rows, execute_cell, optimize, optimize_program,
-    optimize_program_with_analysis, parse_contained, source_fingerprint, FlowAnalysis, Outcome,
-    Phase, PipelineConfig, PipelineError, PipelineOutput, Program, RunConfig, SweepCell, SweepRow,
+    analyze_contained, assemble_sweep_rows, execute_cell, optimize_instrumented,
+    optimize_program_instrumented, optimize_program_with_analysis_instrumented, parse_contained,
+    source_fingerprint, FlowAnalysis, Outcome, Phase, PipelineConfig, PipelineError,
+    PipelineOutput, Program, RunConfig, SweepCell, SweepRow,
 };
+use fdi_telemetry::Telemetry;
 use pool::{Pool, Task};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -226,6 +228,10 @@ fn artifact_checksum(program: &Program) -> u64 {
 /// Shared engine state: every worker task holds an `Arc<Inner>`.
 struct Inner {
     stats: stats::StatsInner,
+    /// Telemetry handle shared by every worker: job spans, cache instants,
+    /// retry/quarantine instants, and the pipeline's own events all land in
+    /// one collector, distinguished by worker thread id. Defaults to off.
+    telemetry: Telemetry,
     /// The engine-level chaos injector, shared by caches and the pool.
     injector: Arc<FaultInjector>,
     /// Supervision policy (from [`EngineConfig`]).
@@ -256,6 +262,15 @@ pub struct Engine {
 impl Engine {
     /// An engine sized by `config`.
     pub fn new(config: EngineConfig) -> Engine {
+        Engine::with_telemetry(config, &Telemetry::off())
+    }
+
+    /// An engine whose workers emit into `telemetry`'s collector: per-job
+    /// spans, cache hit/miss instants, retry and quarantine instants, plus
+    /// every job's own pipeline spans and decision events. Events carry the
+    /// worker's thread id, so a chrome-trace export shows one track per
+    /// worker.
+    pub fn with_telemetry(config: EngineConfig, telemetry: &Telemetry) -> Engine {
         let stats = stats::StatsInner::default();
         let injector = Arc::new(FaultInjector::new(config.faults));
         let pool = Pool::with_chaos(
@@ -267,6 +282,7 @@ impl Engine {
         Engine {
             inner: Arc::new(Inner {
                 stats,
+                telemetry: telemetry.clone(),
                 injector,
                 max_retries: config.max_retries,
                 retry_backoff: config.retry_backoff,
@@ -465,6 +481,7 @@ impl Engine {
         self.inner.stats.enqueue();
         let task: Task = Box::new(move || {
             inner.stats.dequeue();
+            let _span = inner.telemetry.span("execute", "engine");
             let started = Instant::now();
             let exec = catch_unwind(AssertUnwindSafe(|| {
                 execute_cell(&output, threshold, &run_config)
@@ -535,6 +552,15 @@ fn supervise(inner: &Inner, job: &Job) -> JobResult {
         };
         if attempt >= inner.max_retries {
             inner.stats.jobs_quarantined.fetch_add(1, Relaxed);
+            inner.telemetry.instant(
+                "job.poisoned",
+                "engine",
+                &[
+                    ("threshold", job.config.threshold.to_string()),
+                    ("attempts", (attempt + 1).to_string()),
+                    ("error", failure.to_string()),
+                ],
+            );
             inner.poisoned.lock().unwrap().push(PoisonedJob {
                 source: job.source.clone(),
                 threshold: job.config.threshold,
@@ -545,6 +571,14 @@ fn supervise(inner: &Inner, job: &Job) -> JobResult {
         }
         attempt += 1;
         inner.stats.jobs_retried.fetch_add(1, Relaxed);
+        inner.telemetry.instant(
+            "job.retry",
+            "engine",
+            &[
+                ("attempt", attempt.to_string()),
+                ("error", failure.to_string()),
+            ],
+        );
         std::thread::sleep(inner.retry_backoff * attempt);
     }
 }
@@ -555,13 +589,15 @@ fn supervise(inner: &Inner, job: &Job) -> JobResult {
 /// (deadline or private fault plan), in which case the whole pipeline runs
 /// in-process with no fingerprint ever computed.
 fn run_job(inner: &Inner, job: &Job) -> JobResult {
+    let _span = inner.telemetry.span("job", "engine");
     if job.bypasses_cache() {
         inner.stats.analysis_uncached.fetch_add(1, Relaxed);
         let started = Instant::now();
-        let out = optimize(&job.source, &job.config);
+        let out = optimize_instrumented(&job.source, &job.config, &inner.telemetry);
         stats::StatsInner::add_time(&inner.stats.transform_ns, started.elapsed());
         if let Ok(out) = &out {
             inner.stats.record_passes(&out.passes);
+            inner.stats.record_decisions(&out.decisions);
         }
         return out.map(Arc::new);
     }
@@ -599,6 +635,9 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
         });
         stats::StatsInner::cache_event(&inner.stats.parse_hits, &inner.stats.parse_misses, hit);
         stats::StatsInner::add_time(&inner.stats.parse_ns, parse_started.elapsed());
+        inner
+            .telemetry
+            .instant("cache.parse", "cache", &[("hit", hit.to_string())]);
         let artifact = parsed?;
         if chaos && hit {
             if inner.injector.poll(FaultPoint::CacheCorrupt).is_some() {
@@ -606,6 +645,9 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
             }
             if artifact_checksum(&artifact.program) != artifact.checksum.load(Relaxed) {
                 inner.stats.cache_corruptions_detected.fetch_add(1, Relaxed);
+                inner
+                    .telemetry
+                    .instant("cache.corruption_detected", "cache", &[]);
                 inner.programs.evict(&src_key);
                 continue;
             }
@@ -615,6 +657,7 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
             // the next asker recomputes.
             if inner.programs.evict(&src_key) {
                 inner.stats.cache_evictions.fetch_add(1, Relaxed);
+                inner.telemetry.instant("cache.evict", "cache", &[]);
             }
         }
         break artifact;
@@ -628,10 +671,11 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
     if !job.config.schedule.starts_with_analyze() {
         inner.stats.analysis_uncached.fetch_add(1, Relaxed);
         let started = Instant::now();
-        let out = optimize_program(&program, &job.config);
+        let out = optimize_program_instrumented(&program, &job.config, &inner.telemetry);
         stats::StatsInner::add_time(&inner.stats.transform_ns, started.elapsed());
         if let Ok(out) = &out {
             inner.stats.record_passes(&out.passes);
+            inner.stats.record_decisions(&out.decisions);
         }
         return out.map(Arc::new);
     }
@@ -651,15 +695,24 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
         hit,
     );
     stats::StatsInner::add_time(&inner.stats.analysis_ns, analysis_started.elapsed());
+    inner
+        .telemetry
+        .instant("cache.analysis", "cache", &[("hit", hit.to_string())]);
 
     let transform_started = Instant::now();
     let shared = match &analysis {
         Ok(flow) => Ok(&**flow),
         Err(e) => Err(e),
     };
-    let out = optimize_program_with_analysis(&program, &job.config, shared);
+    let out = optimize_program_with_analysis_instrumented(
+        &program,
+        &job.config,
+        shared,
+        &inner.telemetry,
+    );
     stats::StatsInner::add_time(&inner.stats.transform_ns, transform_started.elapsed());
     inner.stats.record_passes(&out.passes);
+    inner.stats.record_decisions(&out.decisions);
     Ok(Arc::new(out))
 }
 

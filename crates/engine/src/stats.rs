@@ -7,8 +7,9 @@
 //! callers consume.
 
 use fdi_core::PassTrace;
+use fdi_telemetry::{DecisionRecord, DecisionTotals};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The pipeline passes the engine aggregates across jobs, in trace order.
@@ -51,6 +52,9 @@ pub(crate) struct StatsInner {
     pub execute_ns: AtomicU64,
     /// Per-pass aggregates, indexed like [`TRACKED_PASSES`].
     pub passes: [PassCell; 4],
+    /// Inline decision totals across completed jobs. A mutex, not atomics:
+    /// recorded once per job, read once per snapshot — never hot.
+    pub decisions: Mutex<DecisionTotals>,
 }
 
 impl StatsInner {
@@ -85,6 +89,16 @@ impl StatsInner {
                 .fetch_add(trace.wall.as_nanos() as u64, Relaxed);
             self.passes[i].fuel.fetch_add(trace.fuel, Relaxed);
         }
+    }
+
+    /// Folds one finished job's decision records into the engine-wide
+    /// totals.
+    pub(crate) fn record_decisions(&self, decisions: &[DecisionRecord]) {
+        if decisions.is_empty() {
+            return;
+        }
+        let totals = DecisionTotals::tally(decisions);
+        self.decisions.lock().unwrap().merge(&totals);
     }
 
     /// Bumps a hit or miss counter pair.
@@ -123,6 +137,7 @@ impl StatsInner {
                 ns: self.passes[i].ns.load(Relaxed),
                 fuel: self.passes[i].fuel.load(Relaxed),
             }),
+            decisions: *self.decisions.lock().unwrap(),
         }
     }
 }
@@ -196,6 +211,8 @@ pub struct EngineStats {
     /// Per-pass totals across completed jobs, indexed like
     /// [`TRACKED_PASSES`] (baseline, analyze, inline, simplify).
     pub passes: [PassStat; 4],
+    /// Inline decision totals across completed jobs, bucketed by reason.
+    pub decisions: DecisionTotals,
 }
 
 impl EngineStats {
@@ -253,7 +270,8 @@ impl EngineStats {
                 "\"cache_evictions\":{},\"cache_corruptions_detected\":{},",
                 "\"workers_respawned\":{},\"queue_highwater\":{},",
                 "\"parse_ms\":{:.3},\"analysis_ms\":{:.3},\"transform_ms\":{:.3},\"execute_ms\":{:.3},",
-                "\"passes\":{{{}}}}}"
+                "\"passes\":{{{}}},",
+                "\"telemetry\":{{\"decisions\":{}}}}}"
             ),
             self.jobs_submitted,
             self.jobs_deduped,
@@ -275,6 +293,7 @@ impl EngineStats {
             self.transform_ns as f64 / 1e6,
             self.execute_ns as f64 / 1e6,
             passes,
+            self.decisions.to_json(),
         )
     }
 }
@@ -311,10 +330,12 @@ mod tests {
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"analysis_misses\":0"));
-        // One outer object, one "passes" object, one object per tracked pass.
-        assert_eq!(j.matches('{').count(), 2 + TRACKED_PASSES.len());
+        // One outer object, one "passes" object, one object per tracked
+        // pass, plus the "telemetry" section and its "decisions" object.
+        assert_eq!(j.matches('{').count(), 4 + TRACKED_PASSES.len());
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"passes\":{\"baseline\":{\"runs\":0"));
+        assert!(j.contains("\"telemetry\":{\"decisions\":{\"inlined\":0,"));
     }
 
     #[test]

@@ -39,6 +39,7 @@ use fdi_cfa::{AbsVal, ContourId, Ctx, FlowAnalysis};
 use fdi_lang::{
     Binder, Const, ExprKind, FreeVars, Label, LambdaInfo, PrimOp, Program, VarId, VarInfo,
 };
+use fdi_telemetry::{DecisionReason, DecisionRecord, Telemetry};
 
 /// How inlined procedures access their free variables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,11 +94,20 @@ pub struct InlineReport {
     pub sites_inlined: usize,
     /// Back-edges tied into loops via the loop map.
     pub loops_tied: usize,
-    /// Candidates rejected because the specialized body exceeded the
-    /// threshold.
+    /// Deprecated aggregate, kept populated for one release: always equals
+    /// [`InlineReport::rejected_size`] + [`InlineReport::rejected_loop_guard`].
+    /// Use the split counters instead — this field used to conflate ordinary
+    /// threshold rejections with loop-guard suppressions during unrolling.
     pub rejected_threshold: usize,
     /// Candidates rejected for free-variable reasons (Closed mode).
     pub rejected_open: usize,
+    /// Candidates rejected because the specialized body exceeded the size
+    /// threshold at an ordinary (non-back-edge) site.
+    pub rejected_size: usize,
+    /// Loop-unroll attempts at back-edge sites whose specialization exceeded
+    /// the size threshold; the site was then tied via the loop map (counted
+    /// in [`InlineReport::loops_tied`] as well).
+    pub rejected_loop_guard: usize,
     /// Conditional branches pruned during specialization.
     pub branches_pruned: usize,
     /// Subexpressions pruned to the right of a divergent one (§3.4's
@@ -127,6 +137,33 @@ impl InlinePass {
     pub fn apply(&self, program: &Program, flow: &FlowAnalysis) -> (Program, InlineReport) {
         inline_program(program, flow, &self.config)
     }
+
+    /// One application with full decision provenance and telemetry.
+    pub fn apply_recorded(
+        &self,
+        program: &Program,
+        flow: &FlowAnalysis,
+        telemetry: &Telemetry,
+    ) -> InlineOutcome {
+        inline_program_recorded(program, flow, &self.config, telemetry)
+    }
+}
+
+/// Everything one inlining run produced: the rewritten program, the
+/// aggregate counters, and per-call-site decision provenance.
+#[derive(Debug, Clone)]
+pub struct InlineOutcome {
+    /// The rewritten (not yet simplified) program.
+    pub program: Program,
+    /// Aggregate counters.
+    pub report: InlineReport,
+    /// One record per candidate call site that reached a final verdict, in
+    /// transformation order. Candidates are sites whose operator value set
+    /// contains at least one closure. Records inside *discarded*
+    /// speculations are dropped (the aggregate counters, historically, are
+    /// not rolled back — so counter totals may exceed record totals when
+    /// speculative inlining unwinds).
+    pub decisions: Vec<DecisionRecord>,
 }
 
 /// Runs flow-directed inlining over `program` using `flow`.
@@ -138,6 +175,21 @@ pub fn inline_program(
     flow: &FlowAnalysis,
     config: &InlineConfig,
 ) -> (Program, InlineReport) {
+    let out = inline_program_recorded(program, flow, config, &Telemetry::off());
+    (out.program, out.report)
+}
+
+/// [`inline_program`] with decision provenance: returns per-call-site
+/// [`DecisionRecord`]s alongside the program, and emits each record (plus an
+/// `inline` span) into `telemetry` when a collector is installed. The
+/// rewritten program and report are byte-identical to [`inline_program`]'s
+/// regardless of the telemetry handle.
+pub fn inline_program_recorded(
+    program: &Program,
+    flow: &FlowAnalysis,
+    config: &InlineConfig,
+    telemetry: &Telemetry,
+) -> InlineOutcome {
     let mut rhs_of = std::collections::HashMap::new();
     for l in program.reachable() {
         if let ExprKind::Let(bindings, _) | ExprKind::Letrec(bindings, _) = program.expr(l) {
@@ -156,6 +208,7 @@ pub fn inline_program(
         vmap: Vec::new(),
         loop_map: Vec::new(),
         report: InlineReport::default(),
+        decisions: Vec::new(),
         depth: 0,
         size_marks: Vec::new(),
     };
@@ -168,7 +221,21 @@ pub fn inline_program(
         "inliner produced ill-formed AST: {:?}",
         fdi_lang::validate(&inliner.out)
     );
-    (inliner.out, inliner.report)
+    debug_assert_eq!(
+        inliner.report.rejected_threshold,
+        inliner.report.rejected_size + inliner.report.rejected_loop_guard,
+        "deprecated aggregate must track the split counters"
+    );
+    // Decisions are emitted only once the run is complete, so discarded
+    // speculations never leak ghost records into the collector.
+    for record in &inliner.decisions {
+        telemetry.decision(record);
+    }
+    InlineOutcome {
+        program: inliner.out,
+        report: inliner.report,
+        decisions: inliner.decisions,
+    }
 }
 
 /// Aborts a speculative specialization.
@@ -180,6 +247,26 @@ enum Poison {
     /// The outermost speculation's size budget was exceeded: unwind the
     /// whole nest.
     TooBig,
+}
+
+/// How one specialization attempt ended (internal to the transformer).
+enum Attempt {
+    /// Inlined: the resulting expression and the specialized body size.
+    Inlined(Label, usize),
+    /// Rejected; the caller attributes counters and records the reason.
+    Rejected(Reject),
+}
+
+/// Why a specialization attempt was rejected.
+enum Reject {
+    /// Closed-mode free-variable violation; carries how many free variables
+    /// this speculation had to poison (0 when the blocking reference was
+    /// poisoned by an enclosing speculation).
+    Open { free_vars: usize },
+    /// The specialized body was too big: either measured over the threshold,
+    /// or aborted mid-construction (where `size` counts the arena nodes
+    /// built before the budget tripped).
+    TooBig { size: usize },
 }
 
 /// Hard cap on transform recursion through nested inlines; combined with the
@@ -203,6 +290,9 @@ struct Inliner<'p> {
     /// (call-site specializations do; letrec-registered originals do not).
     loop_map: Vec<((Label, ContourId), (VarId, bool))>,
     report: InlineReport,
+    /// Decision provenance for candidate call sites, in transformation
+    /// order; truncated back when a speculation is discarded.
+    decisions: Vec<DecisionRecord>,
     depth: usize,
     /// Arena sizes at the start of each in-flight speculative inline; a
     /// specialization that grows past its budget aborts immediately instead
@@ -253,6 +343,39 @@ impl Inliner<'_> {
         self.out.add_expr(ExprKind::Const(c))
     }
 
+    /// The contour column of a decision record: `?` is the union contour,
+    /// `∅` a dead context.
+    fn ctx_string(ctx: Ctx) -> String {
+        match ctx {
+            Ctx::Top => "?".to_string(),
+            Ctx::At(k) => k.to_string(),
+            Ctx::Dead => "∅".to_string(),
+        }
+    }
+
+    /// Human-readable callee: the operator variable's source name when the
+    /// operator is a variable, otherwise the callee λ's label (or the
+    /// operator expression's label when no unique callee exists).
+    fn callee_string(&self, op: Label, lambda: Option<Label>) -> String {
+        if let ExprKind::Var(v) = self.old.expr(op) {
+            return self.old.var_name(*v).to_string();
+        }
+        match lambda {
+            Some(l) => format!("λ{l}"),
+            None => format!("<{op}>"),
+        }
+    }
+
+    fn record_decision(&mut self, site: Label, ctx: Ctx, callee: String, reason: DecisionReason) {
+        self.decisions.push(DecisionRecord {
+            site_label: site.to_string(),
+            contour: Self::ctx_string(ctx),
+            callee,
+            verdict: reason.verdict(),
+            reason,
+        });
+    }
+
     // --- the transformation I[e]κρ -----------------------------------------
 
     fn transform(&mut self, l: Label, ctx: Ctx) -> Result<Label, Poison> {
@@ -281,7 +404,7 @@ impl Inliner<'_> {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(self.out.add_expr(ExprKind::Prim(p, new_args)))
             }
-            ExprKind::Call(parts) => self.transform_call(&parts, ctx),
+            ExprKind::Call(parts) => self.transform_call(l, &parts, ctx),
             ExprKind::Apply(f, arg) => {
                 self.report.calls_seen += 1;
                 let nf = self.transform(f, ctx)?;
@@ -444,7 +567,7 @@ impl Inliner<'_> {
         }
     }
 
-    fn transform_call(&mut self, parts: &[Label], ctx: Ctx) -> Result<Label, Poison> {
+    fn transform_call(&mut self, site: Label, parts: &[Label], ctx: Ctx) -> Result<Label, Poison> {
         self.report.calls_seen += 1;
         if let Some(done) = self.prune_divergent_sequence(parts, ctx)? {
             return Ok(done);
@@ -454,12 +577,19 @@ impl Inliner<'_> {
         // §3.3, the closures may differ in environment as long as they share
         // the same code; we additionally require a single specialization
         // contour so Fig. 5's specialization context is well defined.
+        //
+        // A site is a *candidate* (and gets a decision record) when at least
+        // one closure flows to its operator; sites calling only primitives or
+        // unreached code stay silent.
         let fn_vals = self.flow.values(parts[0], ctx);
-        if let Some(cid) = self.unique_code_and_contour(&fn_vals) {
+        let is_candidate = fn_vals.iter().any(|v| matches!(v, AbsVal::Clo(_)));
+        let unique = self.unique_code_and_contour(&fn_vals);
+        if let Some(cid) = unique {
             let c = self.flow.closure(cid);
             let ExprKind::Lambda(lam) = self.old.expr(c.lambda).clone() else {
                 unreachable!("closure over non-lambda")
             };
+            let callee = self.callee_string(parts[0], Some(c.lambda));
             if lam.accepts(argc) {
                 match self.loop_var(c.lambda, c.contour) {
                     Some((y, true)) => {
@@ -472,50 +602,96 @@ impl Inliner<'_> {
                             .filter(|&&(key, (_, w))| key == (c.lambda, c.contour) && w)
                             .count();
                         if unfoldings <= self.config.unroll && self.depth < MAX_INLINE_DEPTH {
-                            if let Some(done) = self.try_inline(parts, ctx, cid, &lam)? {
-                                self.report.unrolled += 1;
-                                return Ok(done);
+                            match self.try_inline(parts, ctx, cid, &lam)? {
+                                Attempt::Inlined(done, size) => {
+                                    self.report.unrolled += 1;
+                                    self.record_decision(
+                                        site,
+                                        ctx,
+                                        callee,
+                                        DecisionReason::Inlined {
+                                            specialized_size: size,
+                                        },
+                                    );
+                                    return Ok(done);
+                                }
+                                Attempt::Rejected(Reject::Open { .. }) => {
+                                    self.report.rejected_open += 1;
+                                }
+                                Attempt::Rejected(Reject::TooBig { .. }) => {
+                                    // Historically folded into the threshold
+                                    // counter; now split out, with the
+                                    // deprecated aggregate kept in sync.
+                                    self.report.rejected_loop_guard += 1;
+                                    self.report.rejected_threshold += 1;
+                                }
                             }
                         }
                         self.report.loops_tied += 1;
+                        self.record_decision(site, ctx, callee, DecisionReason::LoopGuard);
                         return self.emit_loop_call(y, &lam, parts, ctx);
                     }
                     Some((_, false)) => {
                         // A letrec-bound original: leave the call as-is (the
-                        // operator already names the letrec variable).
+                        // operator already names the letrec variable). Not a
+                        // decision — the site was never up for inlining.
                     }
                     None => {
-                        if let Some(done) = self.maybe_inline(parts, ctx, cid, &lam)? {
-                            return Ok(done);
+                        if self.depth < MAX_INLINE_DEPTH {
+                            match self.try_inline(parts, ctx, cid, &lam)? {
+                                Attempt::Inlined(done, size) => {
+                                    self.record_decision(
+                                        site,
+                                        ctx,
+                                        callee,
+                                        DecisionReason::Inlined {
+                                            specialized_size: size,
+                                        },
+                                    );
+                                    return Ok(done);
+                                }
+                                Attempt::Rejected(Reject::Open { free_vars }) => {
+                                    self.report.rejected_open += 1;
+                                    self.record_decision(
+                                        site,
+                                        ctx,
+                                        callee,
+                                        DecisionReason::OpenProcedure { free_vars },
+                                    );
+                                }
+                                Attempt::Rejected(Reject::TooBig { size }) => {
+                                    self.report.rejected_size += 1;
+                                    self.report.rejected_threshold += 1;
+                                    self.record_decision(
+                                        site,
+                                        ctx,
+                                        callee,
+                                        DecisionReason::ThresholdExceeded {
+                                            size,
+                                            limit: self.config.threshold,
+                                        },
+                                    );
+                                }
+                            }
+                        } else {
+                            self.record_decision(site, ctx, callee, DecisionReason::BudgetDenied);
                         }
                     }
                 }
+            } else {
+                // A unique closure that cannot accept this arity: fold into
+                // the non-unique reason (no single *compatible* procedure).
+                self.record_decision(site, ctx, callee, DecisionReason::NonUniqueClosure);
             }
+        } else if is_candidate {
+            let callee = self.callee_string(parts[0], None);
+            self.record_decision(site, ctx, callee, DecisionReason::NonUniqueClosure);
         }
         let new_parts = parts
             .iter()
             .map(|&e| self.transform(e, ctx))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(self.out.add_expr(ExprKind::Call(new_parts)))
-    }
-
-    fn maybe_inline(
-        &mut self,
-        parts: &[Label],
-        ctx: Ctx,
-        cid: fdi_cfa::ClosureId,
-        lam: &LambdaInfo,
-    ) -> Result<Option<Label>, Poison> {
-        {
-            {
-                if self.depth < MAX_INLINE_DEPTH {
-                    if let Some(done) = self.try_inline(parts, ctx, cid, lam)? {
-                        return Ok(Some(done));
-                    }
-                }
-            }
-        }
-        Ok(None)
     }
 
     /// §3.4 generalized pruning: with left-to-right evaluation, everything
@@ -628,16 +804,18 @@ impl Inliner<'_> {
     }
 
     /// Attempts to specialize and inline the unique callee at a call site.
-    /// Returns `Ok(None)` when rejected (threshold, free variables); the
-    /// caller then emits a plain call. Speculative output nodes simply stay
-    /// unreachable in the arena.
+    /// Returns `Ok(Attempt::Rejected(..))` when the speculation fails
+    /// (threshold, free variables); the caller attributes counters, records
+    /// the decision, and emits a plain call. Speculative output nodes simply
+    /// stay unreachable in the arena; speculative decision records are
+    /// truncated on rejection.
     fn try_inline(
         &mut self,
         parts: &[Label],
         ctx: Ctx,
         cid: fdi_cfa::ClosureId,
         lam: &LambdaInfo,
-    ) -> Result<Option<Label>, Poison> {
+    ) -> Result<Attempt, Poison> {
         let c = self.flow.closure(cid);
         let body_ctx = self.flow.closure_body_ctx(cid);
         let free = self
@@ -665,7 +843,9 @@ impl Inliner<'_> {
 
         let vmark = self.vmap.len();
         let lmark = self.loop_map.len();
+        let dmark = self.decisions.len();
         // Free-variable discipline.
+        let mut poisoned = 0usize;
         let mut cl_ref_binds: Vec<(VarId, u32)> = Vec::new(); // (new var, index)
         for (i, &z) in free.iter().enumerate() {
             let info = self.old.var(z);
@@ -683,6 +863,7 @@ impl Inliner<'_> {
                         // reference disappears (pruned branch or inlined
                         // procedure reference).
                         self.vmap.push((z, None));
+                        poisoned += 1;
                     }
                 }
                 InlineMode::ClRef => {
@@ -715,7 +896,8 @@ impl Inliner<'_> {
         // does not track).
         self.loop_map.push(((c.lambda, c.contour), (y, true)));
         self.depth += 1;
-        self.size_marks.push(self.out.expr_count());
+        let smark = self.out.expr_count();
+        self.size_marks.push(smark);
         let body = self.transform(lam.body, body_ctx);
         self.size_marks.pop();
         self.depth -= 1;
@@ -726,16 +908,22 @@ impl Inliner<'_> {
             Err(Poison::Open) => {
                 // This specialization references a disallowed free variable:
                 // reject it and let the caller emit a plain call (enclosing
-                // speculations are unaffected).
-                self.report.rejected_open += 1;
-                return Ok(None);
+                // speculations are unaffected). Counter attribution lives
+                // with the caller, which knows whether this was an unroll
+                // attempt or an ordinary site.
+                self.decisions.truncate(dmark);
+                return Ok(Attempt::Rejected(Reject::Open {
+                    free_vars: poisoned,
+                }));
             }
             Err(Poison::TooBig) => {
                 // The *outermost* budget was exceeded. If that is this
                 // speculation, reject it; otherwise keep unwinding.
                 if self.size_marks.is_empty() {
-                    self.report.rejected_threshold += 1;
-                    return Ok(None);
+                    self.decisions.truncate(dmark);
+                    return Ok(Attempt::Rejected(Reject::TooBig {
+                        size: self.out.expr_count().saturating_sub(smark),
+                    }));
                 }
                 return Err(Poison::TooBig);
             }
@@ -744,8 +932,10 @@ impl Inliner<'_> {
         // Inline? — the size of the specialized body must be under T.
         let specialized_size = fdi_lang::expr_size(&self.out, body);
         if specialized_size >= self.config.threshold {
-            self.report.rejected_threshold += 1;
-            return Ok(None);
+            self.decisions.truncate(dmark);
+            return Ok(Attempt::Rejected(Reject::TooBig {
+                size: specialized_size,
+            }));
         }
 
         // Bind cl-refs around the body (Fig. 5's let of (cl-ref w i)).
@@ -781,7 +971,7 @@ impl Inliner<'_> {
         self.out
             .set_expr(letrec_label, ExprKind::Letrec(vec![(y, lam_label)], ncall));
         self.report.sites_inlined += 1;
-        Ok(Some(letrec_label))
+        Ok(Attempt::Inlined(letrec_label, specialized_size))
     }
 }
 

@@ -1,0 +1,148 @@
+//! Built-in [`Collector`] implementations.
+
+use crate::{Collector, Event};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A bounded in-memory collector: keeps the most recent `capacity` events,
+/// evicting the oldest and counting drops. This is the default sink for the
+/// CLI's `--trace-out` and for tests.
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Copies out the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Removes and returns the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().drain(..).collect()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for RingSink {
+    fn default() -> RingSink {
+        RingSink::with_capacity(1 << 20)
+    }
+}
+
+impl Collector for RingSink {
+    fn record(&self, event: Event) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() >= self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+}
+
+/// A streaming collector: writes one JSON object per event per line.
+/// Suitable for piping long runs to disk without buffering them.
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps `writer`; each recorded event becomes one line of JSON.
+    pub fn new(writer: W) -> JsonLinesSink<W> {
+        JsonLinesSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().unwrap();
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> Collector for JsonLinesSink<W> {
+    fn record(&self, event: Event) {
+        let line = crate::trace::event_json(&event);
+        let mut w = self.writer.lock().unwrap();
+        // Telemetry must never fail the pipeline; drop writes on error.
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &str, value: u64) -> Event {
+        Event::Counter {
+            name: name.to_string(),
+            value,
+            ts_us: value,
+            tid: 7,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let sink = RingSink::with_capacity(3);
+        for i in 0..5 {
+            sink.record(counter("c", i));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let kept: Vec<u64> = sink
+            .snapshot()
+            .iter()
+            .map(|e| match e {
+                Event::Counter { value, .. } => *value,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(kept, [2, 3, 4]);
+        assert_eq!(sink.drain().len(), 3);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_object_per_line() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.record(counter("a", 1));
+        sink.record(counter("b", 2));
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::parse(line).expect("each line parses as JSON");
+        }
+    }
+}

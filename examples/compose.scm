@@ -1,0 +1,13 @@
+;;; Higher-order dispatch. `apply-to-five` is called with two different
+;;; lambdas, so the abstract value set at its call site `(f 5)` holds two
+;;; closures — Condition 1 (unique closure) fails under a monovariant
+;;; analysis and the site is rejected as non-unique. Polyvariant analysis
+;;; splits the contours and recovers both inlines.
+;;;
+;;;   fdi explain examples/compose.scm --policy 0cfa
+;;;   fdi explain examples/compose.scm --policy poly
+
+(define (apply-to-five f) (f 5))
+(define (double x) (+ x x))
+(define (triple x) (+ x (+ x x)))
+(+ (apply-to-five double) (apply-to-five triple))

@@ -1,0 +1,12 @@
+;;; A letrec-bound loop. The loop map marks `go`'s self-call, so the
+;;; inliner's loop guard suppresses unfolding it (unless `--unroll N`
+;;; grants a budget), while the outer driver call still inlines.
+;;;
+;;;   fdi explain examples/loop.scm
+;;;   fdi explain examples/loop.scm --unroll 2
+
+(define (sum-to n)
+  (letrec ((go (lambda (i acc)
+                 (if (> i n) acc (go (+ i 1) (+ acc i))))))
+    (go 1 0)))
+(sum-to 10)

@@ -1,0 +1,8 @@
+;;; The paper's running example shape: a small procedure with one call
+;;; site. The flow analysis proves a unique closure flows to the operator,
+;;; the specialized body fits the threshold, and the site inlines.
+;;;
+;;;   fdi explain examples/sq.scm
+
+(define (sq x) (* x x))
+(sq 7)

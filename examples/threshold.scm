@@ -1,0 +1,12 @@
+;;; A callee whose specialized body is moderately large. At a generous
+;;; threshold it inlines; tighten `-t` and the same site reports
+;;; threshold-exceeded with the measured size and the limit it tripped.
+;;;
+;;;   fdi explain examples/threshold.scm
+;;;   fdi explain examples/threshold.scm -t 5
+
+(define (poly x)
+  (+ (* x (* x (* x x)))
+     (+ (* 3 (* x x))
+        (+ (* 7 x) 11))))
+(poly 2)

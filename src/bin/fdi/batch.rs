@@ -2,9 +2,11 @@
 //! one JSON report.
 
 use crate::opts::{parse_policy, parse_schedule, usage};
-use crate::report::{health_json, json_escape, passes_json};
-use fdi_core::{FaultPlan, OracleConfig, PipelineConfig};
+use crate::report::{health_json, json_escape, passes_json, write_chrome_trace};
+use fdi_core::{FaultPlan, OracleConfig, PipelineConfig, Telemetry};
+use fdi_telemetry::{DecisionTotals, RingSink};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Applies one manifest line's per-job flags to `config`.
@@ -95,11 +97,13 @@ fn resolve_source(spec: &str) -> Result<String, String> {
     }
 }
 
-/// `fdi batch <manifest> [--jobs N] [--out FILE] [--passes SCHEDULE]
-/// [--validate] [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]`.
+/// `fdi batch <manifest> [--jobs N] [--out FILE] [--trace-out FILE]
+/// [--passes SCHEDULE] [--validate] [--oracle-fuel N] [--faults SEED]
+/// [--engine-faults SEED]`.
 pub fn main(mut args: Vec<String>) -> ExitCode {
     let mut jobs = None;
     let mut out_file = None;
+    let mut trace_out = None;
     let mut default_config = PipelineConfig::default();
     let mut engine_faults = FaultPlan::default();
     let mut i = 0;
@@ -117,6 +121,13 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
                     return usage();
                 };
                 out_file = Some(f.clone());
+                args.drain(i..=i + 1);
+            }
+            "--trace-out" => {
+                let Some(f) = args.get(i + 1) else {
+                    return usage();
+                };
+                trace_out = Some(f.clone());
                 args.drain(i..=i + 1);
             }
             "--passes" => {
@@ -194,13 +205,25 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
         });
     }
 
-    let engine = fdi_engine::Engine::new(fdi_engine::EngineConfig {
-        faults: engine_faults,
-        ..match jobs {
-            Some(n) => fdi_engine::EngineConfig::with_workers(n),
-            None => fdi_engine::EngineConfig::default(),
+    // Under `--trace-out`, every engine worker emits into one shared ring;
+    // workers land on separate trace tracks via their thread ids.
+    let (telemetry, sink) = match &trace_out {
+        Some(_) => {
+            let sink = Arc::new(RingSink::default());
+            (Telemetry::with_collector(sink.clone()), Some(sink))
         }
-    });
+        None => (Telemetry::off(), None),
+    };
+    let engine = fdi_engine::Engine::with_telemetry(
+        fdi_engine::EngineConfig {
+            faults: engine_faults,
+            ..match jobs {
+                Some(n) => fdi_engine::EngineConfig::with_workers(n),
+                None => fdi_engine::EngineConfig::default(),
+            }
+        },
+        &telemetry,
+    );
     let handles: Vec<Option<fdi_engine::JobHandle>> = lines
         .iter()
         .map(|line| {
@@ -239,6 +262,7 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
                     "{},\"ok\":true,\"degraded\":{},\"oracle_rejected\":{},",
                     "\"size_ratio\":{:.6},",
                     "\"baseline_size\":{},\"optimized_size\":{},\"sites_inlined\":{},",
+                    "\"decisions\":{},",
                     "\"analysis_ms\":{:.3},\"fuel_used\":{},\"passes\":{},\"health\":{}}}"
                 ),
                 head,
@@ -248,6 +272,7 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
                 out.baseline_size,
                 out.optimized_size,
                 out.report.sites_inlined,
+                DecisionTotals::tally(&out.decisions).to_json(),
                 out.flow_stats.duration.as_secs_f64() * 1e3,
                 out.fuel_used,
                 passes_json(&out.passes),
@@ -283,6 +308,9 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
         engine.stats().to_json()
     );
     print!("{report}");
+    if let (Some(path), Some(sink)) = (&trace_out, &sink) {
+        write_chrome_trace(path, &sink.drain());
+    }
     if let Some(path) = out_file {
         if let Err(e) = std::fs::write(&path, &report) {
             eprintln!("fdi: cannot write {path}: {e}");

@@ -1,0 +1,51 @@
+//! `fdi explain` — per-call-site inlining decision provenance.
+//!
+//! Runs the pipeline and prints, for every candidate call site the inliner
+//! considered, one line with the site label, contour, callee, verdict, and
+//! the typed reason: `l17 @ κ3 -> f: rejected [threshold-exceeded(size=240,
+//! limit=200)]`. `--site LABEL` narrows the output to one site.
+
+use crate::opts::Options;
+use fdi_core::DecisionTotals;
+use std::process::ExitCode;
+
+pub fn main(opts: &Options) -> ExitCode {
+    let Some(src) = opts.read_source() else {
+        return ExitCode::FAILURE;
+    };
+    let Some(out) = opts.run_pipeline(&src) else {
+        return ExitCode::FAILURE;
+    };
+    let decisions: Vec<_> = match &opts.site {
+        Some(label) => out
+            .decisions
+            .iter()
+            .filter(|d| d.site_label == *label)
+            .collect(),
+        None => out.decisions.iter().collect(),
+    };
+    if let (Some(label), true) = (&opts.site, decisions.is_empty()) {
+        eprintln!(
+            "fdi: no decision recorded for site {label:?} ({} candidate site(s) total)",
+            out.decisions.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    if decisions.is_empty() {
+        // Degraded runs roll the inline step back, leaving no provenance;
+        // run_pipeline already printed the health warning in that case.
+        println!(";; no candidate call sites");
+        return ExitCode::SUCCESS;
+    }
+    for d in &decisions {
+        println!("{d}");
+    }
+    let totals = DecisionTotals::tally(decisions.iter().copied());
+    eprintln!(
+        ";; {} candidate site(s): {} inlined, {} rejected",
+        totals.total(),
+        totals.inlined(),
+        totals.rejected()
+    );
+    ExitCode::SUCCESS
+}

@@ -4,12 +4,26 @@
 //! fdi optimize <file.scm> [-t THRESHOLD] [--clref] [--policy 0cfa|poly|1cfa]
 //! fdi run      <file.scm> [-t THRESHOLD] [--clref] [--stats] [--trace]
 //! fdi analyze  <file.scm> [--policy …]
-//! fdi batch    <manifest> [--jobs N] [--out FILE]
+//! fdi explain  <file.scm> [--site LABEL] [-t THRESHOLD] [--policy …]
+//! fdi batch    <manifest> [--jobs N] [--out FILE] [--trace-out FILE]
+//! fdi report   [-t THRESHOLD] [--policy …] [--scale test|default]
 //! ```
 //!
 //! `optimize` prints the optimized source; `run` executes baseline and
 //! optimized versions on the cost-model VM and reports both; `analyze`
 //! prints flow-analysis statistics and inline candidates.
+//!
+//! `explain` prints the inliner's decision provenance: one line per
+//! candidate call site with its contour, callee, verdict, and the typed
+//! reason it was or wasn't inlined (non-unique closure, size threshold,
+//! open procedure, loop guard, inliner budget). `report` optimizes the
+//! Table 1 benchmark suite and prints one row per benchmark with a
+//! decisions column aggregated from the same provenance stream.
+//!
+//! `--trace-out FILE` (on every subcommand that runs the pipeline) collects
+//! the run's telemetry — pass spans, CFA convergence counters, cache and
+//! engine events — and writes it in Chrome Trace Event Format, loadable in
+//! `chrome://tracing` or Perfetto.
 //!
 //! `batch` runs a whole manifest of jobs on the concurrent engine
 //! (`fdi-engine`) and emits one JSON report. Each manifest line is a job:
@@ -42,6 +56,7 @@
 
 mod analyze;
 mod batch;
+mod explain;
 mod optimize;
 mod opts;
 mod report;
@@ -55,10 +70,13 @@ fn main() -> ExitCode {
         return opts::usage();
     };
     let rest: Vec<String> = argv.collect();
-    // `batch` has its own argument shape; everything else shares the
-    // single-file option parser.
+    // `batch` and `report` have their own argument shapes; everything else
+    // shares the single-file option parser.
     if command == "batch" {
         return batch::main(rest);
+    }
+    if command == "report" {
+        return report::main(rest);
     }
     let Some(opts) = opts::parse(rest) else {
         return opts::usage();
@@ -67,6 +85,7 @@ fn main() -> ExitCode {
         "optimize" => optimize::main(&opts),
         "run" => run::main(&opts),
         "analyze" => analyze::main(&opts),
+        "explain" => explain::main(&opts),
         _ => opts::usage(),
     }
 }

@@ -1,11 +1,13 @@
 //! Shared option parsing for the single-file subcommands
-//! (`optimize`, `run`, `analyze`).
+//! (`optimize`, `run`, `analyze`, `explain`).
 
 use fdi_core::{
-    optimize, optimize_strict, Budget, FaultPlan, OracleConfig, PipelineConfig, PipelineOutput,
-    Polyvariance, Schedule,
+    optimize_instrumented, Budget, FaultPlan, OracleConfig, PipelineConfig, PipelineOutput,
+    Polyvariance, Schedule, Telemetry,
 };
+use fdi_telemetry::RingSink;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 pub struct Options {
@@ -23,17 +25,20 @@ pub struct Options {
     pub validate: bool,
     pub oracle_fuel: Option<u64>,
     pub faults: Option<u64>,
+    pub trace_out: Option<String>,
+    pub site: Option<String>,
 }
 
 pub fn usage() -> ExitCode {
     eprintln!(
-        "usage: fdi <optimize|run|analyze> <file.scm> \
+        "usage: fdi <optimize|run|analyze|explain> <file.scm> \
          [-t THRESHOLD] [--unroll N] [--clref] [--policy 0cfa|poly|1cfa] [--stats] [--dump] \
-         [--passes SCHEDULE] [--trace] \
+         [--passes SCHEDULE] [--trace] [--trace-out FILE] [--site LABEL] \
          [--strict] [--deadline-ms N] [--fuel N] [--max-growth X] \
          [--validate] [--oracle-fuel N] [--faults SEED]\n       \
-         fdi batch <manifest> [--jobs N] [--out FILE] [--passes SCHEDULE] \
-         [--validate] [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]"
+         fdi batch <manifest> [--jobs N] [--out FILE] [--passes SCHEDULE] [--trace-out FILE] \
+         [--validate] [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]\n       \
+         fdi report [-t THRESHOLD] [--policy 0cfa|poly|1cfa] [--scale test|default] [--jobs N]"
     );
     ExitCode::FAILURE
 }
@@ -66,6 +71,8 @@ pub fn parse(rest: Vec<String>) -> Option<Options> {
         validate: false,
         oracle_fuel: None,
         faults: None,
+        trace_out: None,
+        site: None,
     };
     let mut rest = rest;
     let mut i = 0;
@@ -132,6 +139,14 @@ pub fn parse(rest: Vec<String>) -> Option<Options> {
                 opts.policy = parse_policy(rest.get(i + 1)?)?;
                 rest.drain(i..=i + 1);
             }
+            "--trace-out" => {
+                opts.trace_out = Some(rest.get(i + 1)?.clone());
+                rest.drain(i..=i + 1);
+            }
+            "--site" => {
+                opts.site = Some(rest.get(i + 1)?.clone());
+                rest.drain(i..=i + 1);
+            }
             _ => i += 1,
         }
     }
@@ -188,14 +203,30 @@ impl Options {
 
     /// Runs the pipeline over `src` — degrading by default, `--strict`
     /// propagating the first phase failure — and reports health (and, under
-    /// `--trace`, the per-pass trace) on stderr.
+    /// `--trace`, the per-pass trace) on stderr. With `--trace-out FILE` the
+    /// run is collected into a ring sink and exported as a Chrome trace.
     pub fn run_pipeline(&self, src: &str) -> Option<PipelineOutput> {
         let config = self.config();
-        let result = if self.strict {
-            optimize_strict(src, &config)
-        } else {
-            optimize(src, &config)
+        let (telemetry, sink) = match &self.trace_out {
+            Some(_) => {
+                let sink = Arc::new(RingSink::default());
+                (Telemetry::with_collector(sink.clone()), Some(sink))
+            }
+            None => (Telemetry::off(), None),
         };
+        // `--strict` keeps `optimize_strict`'s contract: degrade-run the
+        // pipeline, then surface the first recorded phase failure as an error.
+        let result = optimize_instrumented(src, &config, &telemetry).and_then(|out| {
+            match (self.strict, out.health.first_error()) {
+                (true, Some(e)) => Err(e.clone()),
+                _ => Ok(out),
+            }
+        });
+        if let (Some(path), Some(sink)) = (&self.trace_out, &sink) {
+            // Export even on failure: a trace of the run up to the error is
+            // exactly what the file is for.
+            crate::report::write_chrome_trace(path, &sink.drain());
+        }
         match result {
             Ok(out) => {
                 if out.health.oracle_rejected() {

@@ -1,7 +1,11 @@
-//! Rendering helpers shared by the subcommands: JSON fragments for the
-//! batch report and the human-readable `--trace` table.
+//! The `fdi report` subcommand, plus rendering helpers shared by the other
+//! subcommands: JSON fragments for the batch report, the human-readable
+//! `--trace` table, and the Chrome-trace file writer behind `--trace-out`.
 
-use fdi_core::{PassTrace, PipelineHealth, PipelineOutput};
+use crate::opts::{parse_policy, usage};
+use fdi_core::{DecisionTotals, PassTrace, PipelineHealth, PipelineOutput};
+use fdi_telemetry::Event;
+use std::process::ExitCode;
 
 /// Minimal JSON string escaping for the batch report.
 pub fn json_escape(s: &str) -> String {
@@ -81,4 +85,144 @@ pub fn print_trace(out: &PipelineOutput) {
         );
     }
     eprintln!(";; fuel used: {}", out.fuel_used);
+}
+
+/// Writes `events` to `path` in Chrome Trace Event Format. IO failure is
+/// reported but never fails the run — telemetry must not sink a pipeline
+/// that already produced its output.
+pub fn write_chrome_trace(path: &str, events: &[Event]) {
+    let json = fdi_telemetry::chrome_trace(events);
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("fdi: cannot write trace {path}: {e}");
+    } else {
+        eprintln!(";; wrote {} trace event(s) to {path}", events.len());
+    }
+}
+
+/// The most common rejection reason in `totals`, as its stable key.
+fn top_rejection(totals: &DecisionTotals) -> &'static str {
+    totals
+        .iter()
+        .filter(|&(key, n)| key != "inlined" && n > 0)
+        .max_by_key(|&(_, n)| n)
+        .map(|(key, _)| key)
+        .unwrap_or("-")
+}
+
+/// `fdi report [-t THRESHOLD] [--policy P] [--scale test|default] [--jobs N]`
+/// — optimize the Table 1 benchmark suite on the engine and print one table
+/// row per benchmark, with a decisions column from the inliner's telemetry
+/// provenance (sites inlined / sites rejected, plus the dominant rejection
+/// reason).
+pub fn main(args: Vec<String>) -> ExitCode {
+    let mut threshold = 200usize;
+    let mut policy = fdi_core::Polyvariance::PolymorphicSplitting;
+    let mut test_scale = true;
+    let mut jobs = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned();
+        match args[i].as_str() {
+            "-t" | "--threshold" => {
+                let Some(n) = value(i).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                threshold = n;
+                i += 2;
+            }
+            "--policy" => {
+                let Some(p) = value(i).as_deref().and_then(parse_policy) else {
+                    return usage();
+                };
+                policy = p;
+                i += 2;
+            }
+            "--scale" => match value(i).as_deref() {
+                Some("test") => {
+                    test_scale = true;
+                    i += 2;
+                }
+                Some("default") => {
+                    test_scale = false;
+                    i += 2;
+                }
+                _ => return usage(),
+            },
+            "--jobs" => {
+                let Some(n) = value(i).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                jobs = Some(n);
+                i += 2;
+            }
+            other => {
+                eprintln!("fdi: report: unknown argument {other:?}");
+                return usage();
+            }
+        }
+    }
+
+    let engine = fdi_engine::Engine::new(match jobs {
+        Some(n) => fdi_engine::EngineConfig::with_workers(n),
+        None => fdi_engine::EngineConfig::default(),
+    });
+    let mut config = fdi_core::PipelineConfig::with_threshold(threshold);
+    config.policy = policy;
+    let handles: Vec<(&str, fdi_engine::JobHandle)> = fdi_benchsuite::BENCHMARKS
+        .iter()
+        .map(|b| {
+            let scale = if test_scale {
+                b.test_scale
+            } else {
+                b.default_scale
+            };
+            let src = b.scaled(scale);
+            (
+                b.name,
+                engine.submit(fdi_engine::Job::new(src.as_str(), config)),
+            )
+        })
+        .collect();
+
+    println!(
+        "{:<10} {:>8} {:>8} {:>6}  {:<9}  top rejection",
+        "benchmark", "baseline", "opt", "ratio", "decisions"
+    );
+    let mut suite = DecisionTotals::default();
+    let mut failures = 0u32;
+    for (name, handle) in handles {
+        match handle.wait() {
+            Ok(out) => {
+                let totals = DecisionTotals::tally(&out.decisions);
+                suite.merge(&totals);
+                println!(
+                    "{:<10} {:>8} {:>8} {:>6.2}  {:<9}  {}",
+                    name,
+                    out.baseline_size,
+                    out.optimized_size,
+                    out.size_ratio(),
+                    format!("{}/{}", totals.inlined(), totals.rejected()),
+                    top_rejection(&totals),
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{name:<10} failed: {e}");
+            }
+        }
+    }
+    println!(
+        "{:<10} {:>8} {:>8} {:>6}  {:<9}  {}",
+        "total",
+        "",
+        "",
+        "",
+        format!("{}/{}", suite.inlined(), suite.rejected()),
+        top_rejection(&suite),
+    );
+    if failures > 0 {
+        eprintln!("fdi: {failures} benchmark(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
