@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p fdi-bench --bin engine_sweep -- \
-//!     [--jobs N] [--reps R] [--scale test] [--out FILE]
+//!     [--jobs N] [--reps R] [--scale test] [--out FILE] [--json FILE]
 //! ```
 //!
 //! Runs the suite three ways — through `fdi_core::sweep` per benchmark
@@ -14,7 +14,10 @@
 //! parse and analysis cached) — verifies the rows agree, and reports the
 //! wall clocks (median over `--reps R` interleaved repetitions), speedups,
 //! and the engine's cache statistics. `--out FILE` additionally writes the
-//! report (this is how `results/engine_sweep.txt` is produced).
+//! report (this is how `results/engine_sweep.txt` is produced), and
+//! `--json FILE` writes the same snapshot as one machine-readable JSON
+//! object (this is how `results/BENCH_sweep.json` is produced), so perf
+//! trends can be diffed across commits without parsing prose.
 //!
 //! Interpreting the numbers: the cold-engine speedup comes from
 //! parallelism and needs more than one hardware thread (the report states
@@ -55,6 +58,10 @@ fn main() {
     let out_file = args
         .iter()
         .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+    let json_file = args
+        .iter()
+        .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1).cloned());
     let reps: usize = args
         .iter()
@@ -216,6 +223,49 @@ fn main() {
             let _ = std::fs::create_dir_all(dir);
         }
         std::fs::write(&path, &report).unwrap_or_else(|e| {
+            eprintln!("engine_sweep: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(";; wrote {path}");
+    }
+
+    if let Some(path) = json_file {
+        // One flat object plus the embedded engine-stats object: every
+        // headline number from the prose report, machine-readable. Schema
+        // version first so downstream diffing can detect shape changes.
+        let snapshot = format!(
+            concat!(
+                "{{\"v\":1,\"benchmarks\":{},\"thresholds\":{},\"scale\":\"{}\",\"jobs\":{},",
+                "\"reps\":{},\"host_parallelism\":{},\"rows_agree\":{},",
+                "\"sequential_ms\":{:.3},\"cold_ms\":{:.3},\"warm_ms\":{:.3},",
+                "\"cold_speedup\":{:.4},\"warm_speedup\":{:.4},",
+                "\"cold_analysis_misses\":{},\"cold_analysis_hits\":{},",
+                "\"warm_new_analyses\":{},\"warm_new_parses\":{},",
+                "\"decisions\":{},\"stats\":{}}}\n"
+            ),
+            benches.len(),
+            THRESHOLDS.len() + 1,
+            if test_scale { "test" } else { "default" },
+            jobs,
+            reps,
+            std::thread::available_parallelism().map_or(0, |n| n.get()),
+            agree,
+            seq_wall.as_secs_f64() * 1e3,
+            cold_wall.as_secs_f64() * 1e3,
+            warm_wall.as_secs_f64() * 1e3,
+            seq_wall.as_secs_f64() / cold_wall.as_secs_f64(),
+            seq_wall.as_secs_f64() / warm_wall.as_secs_f64(),
+            cold_stats.analysis_misses,
+            cold_stats.analysis_hits,
+            stats.analysis_misses - cold_stats.analysis_misses,
+            stats.parse_misses - cold_stats.parse_misses,
+            stats.decisions.to_json(),
+            stats.to_json(),
+        );
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, &snapshot).unwrap_or_else(|e| {
             eprintln!("engine_sweep: cannot write {path}: {e}");
             std::process::exit(1);
         });

@@ -123,6 +123,13 @@ pub enum PipelineError {
         /// Value computed by the diverging run.
         got: String,
     },
+    /// The disk-backed artifact store failed an IO operation. Store
+    /// failures degrade to recomputation and are never fatal to a job;
+    /// this variant exists so the degradation is typed and countable.
+    Store {
+        /// What the store was doing when it failed.
+        message: String,
+    },
     /// A seeded [`crate::FaultPlan`] fired at this point (chaos testing).
     FaultInjected {
         /// The fault point that fired.
@@ -177,6 +184,9 @@ impl fmt::Display for PipelineError {
                 f,
                 "threshold {threshold} changed the program's behaviour: {expected} vs {got}"
             ),
+            PipelineError::Store { message } => {
+                write!(f, "artifact store failed: {message}")
+            }
             PipelineError::FaultInjected { point } => {
                 write!(f, "injected fault at {point}")
             }
@@ -219,7 +229,9 @@ impl PipelineError {
             PipelineError::Validation { phase, .. }
             | PipelineError::BudgetExhausted { phase, .. }
             | PipelineError::PhasePanicked { phase, .. } => *phase,
-            PipelineError::Vm { .. } | PipelineError::BehaviorDivergence { .. } => Phase::Execution,
+            PipelineError::Vm { .. }
+            | PipelineError::BehaviorDivergence { .. }
+            | PipelineError::Store { .. } => Phase::Execution,
             PipelineError::FaultInjected { point } => point.phase(),
             PipelineError::OracleRejected { phase, .. } => *phase,
         }

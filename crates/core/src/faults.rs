@@ -68,6 +68,16 @@ pub enum FaultPoint {
     WorkerPanic,
     /// Artificial latency at a pool dequeue.
     QueueDelay,
+    /// Tear a disk-store write: instead of the atomic write-then-rename, a
+    /// truncated frame lands at the final path — the footprint of a process
+    /// killed mid-write. A later read must detect, evict, and recompute.
+    StoreWrite,
+    /// Fail a disk-store read (the caller must treat it as a miss and
+    /// recompute, never serve a guess).
+    StoreRead,
+    /// Flip a byte inside a freshly persisted disk-store artifact (the
+    /// checksum recheck on load must catch it).
+    StoreCorrupt,
 }
 
 /// Every catalogued fault point, in a fixed order (also the bit order of
@@ -86,9 +96,12 @@ pub const ALL_FAULT_POINTS: &[FaultPoint] = &[
     FaultPoint::CacheCorrupt,
     FaultPoint::WorkerPanic,
     FaultPoint::QueueDelay,
+    FaultPoint::StoreWrite,
+    FaultPoint::StoreRead,
+    FaultPoint::StoreCorrupt,
 ];
 
-const N_POINTS: usize = 13;
+const N_POINTS: usize = 16;
 
 /// The pinned chaos seed used by the harnesses and CI: under
 /// `FaultPlan::new(CHAOS_SEED)` every catalogued point fires within 64
@@ -112,6 +125,9 @@ impl FaultPoint {
             FaultPoint::CacheCorrupt => 10,
             FaultPoint::WorkerPanic => 11,
             FaultPoint::QueueDelay => 12,
+            FaultPoint::StoreWrite => 13,
+            FaultPoint::StoreRead => 14,
+            FaultPoint::StoreCorrupt => 15,
         }
     }
 
@@ -128,7 +144,10 @@ impl FaultPoint {
             | FaultPoint::CacheEvict
             | FaultPoint::CacheCorrupt
             | FaultPoint::WorkerPanic
-            | FaultPoint::QueueDelay => crate::Phase::Execution,
+            | FaultPoint::QueueDelay
+            | FaultPoint::StoreWrite
+            | FaultPoint::StoreRead
+            | FaultPoint::StoreCorrupt => crate::Phase::Execution,
         }
     }
 
@@ -170,6 +189,9 @@ impl FaultPoint {
             FaultPoint::CacheCorrupt => "cache-corrupt",
             FaultPoint::WorkerPanic => "worker-panic",
             FaultPoint::QueueDelay => "queue-delay",
+            FaultPoint::StoreWrite => "store-write",
+            FaultPoint::StoreRead => "store-read",
+            FaultPoint::StoreCorrupt => "store-corrupt",
         }
     }
 }

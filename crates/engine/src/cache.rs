@@ -78,6 +78,28 @@ impl<V: Clone> Gate<V> {
             s = self.ready.wait(s).unwrap();
         }
     }
+
+    /// Like [`Gate::wait`], but gives up at `deadline`: the outer `None`
+    /// means the gate was still unfilled when time ran out (the computation
+    /// keeps running — only this waiter stops watching). This is what turns
+    /// a serve-mode request deadline into a typed timeout instead of a hung
+    /// connection.
+    pub(crate) fn wait_deadline(&self, deadline: std::time::Instant) -> Option<Option<V>> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(v) = &s.value {
+                return Some(Some(v.clone()));
+            }
+            if s.abandoned {
+                return Some(None);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            (s, _) = self.ready.wait_timeout(s, deadline - now).unwrap();
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -257,6 +279,30 @@ mod tests {
         let (v, _) = c.get_or_compute(5, || 11);
         assert_eq!(v, 11);
         owner.join().unwrap();
+    }
+
+    #[test]
+    fn wait_deadline_times_out_then_still_sees_the_value() {
+        use std::time::Instant;
+        let g: Arc<Gate<u64>> = Arc::new(Gate::new());
+        // Unfilled gate, expired deadline: immediate timeout, not a hang.
+        assert_eq!(g.wait_deadline(Instant::now()), None);
+        let g2 = g.clone();
+        let setter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            g2.set(9);
+        });
+        // A deadline shorter than the fill sees a timeout…
+        assert_eq!(
+            g.wait_deadline(Instant::now() + Duration::from_millis(5)),
+            None
+        );
+        // …and a later generous wait still gets the published value.
+        assert_eq!(
+            g.wait_deadline(Instant::now() + Duration::from_secs(5)),
+            Some(Some(9))
+        );
+        setter.join().unwrap();
     }
 
     #[test]

@@ -70,8 +70,10 @@
 mod cache;
 mod pool;
 mod stats;
+mod store;
 
 pub use stats::{EngineStats, PassStat, TRACKED_PASSES};
+pub use store::StoredOutput;
 
 use cache::{Gate, KeyedCache};
 use fdi_core::faults::{FaultInjector, FaultPlan, FaultPoint};
@@ -81,25 +83,27 @@ use fdi_core::{
     source_fingerprint, FlowAnalysis, Outcome, Phase, PipelineConfig, PipelineError,
     PipelineOutput, Program, RunConfig, SweepCell, SweepRow,
 };
-use fdi_telemetry::Telemetry;
+use fdi_telemetry::{DecisionTotals, Telemetry};
 use pool::{Pool, Task};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Sizing and supervision policy of an [`Engine`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads. Defaults to the machine's available parallelism.
     pub workers: usize,
     /// Bounded queue slots *per worker*; a full shard blocks submission
     /// (backpressure). Defaults to 64.
     pub queue_cap: usize,
-    /// The engine-level chaos plan: cache and pool seams (`cache-abandon`,
-    /// `cache-evict`, `cache-corrupt`, `worker-panic`, `queue-delay`) fire
+    /// The engine-level chaos plan: cache, pool, and disk-store seams
+    /// (`cache-abandon`, `cache-evict`, `cache-corrupt`, `worker-panic`,
+    /// `queue-delay`, `store-write`, `store-read`, `store-corrupt`) fire
     /// from one injector shared across workers. Disabled by default.
     pub faults: FaultPlan,
     /// Retries granted to a job whose failure is classified transient.
@@ -108,6 +112,13 @@ pub struct EngineConfig {
     /// Base of the deterministic linear backoff between retries (attempt
     /// `k` sleeps `k × retry_backoff`). Defaults to 10 ms.
     pub retry_backoff: Duration,
+    /// Root of the disk-backed artifact store ([`crate::store`]). `None`
+    /// (the default) keeps the engine memory-only; `Some(dir)` persists
+    /// every fully healthy, cache-eligible output so a restarted engine
+    /// can answer from disk ([`Engine::lookup_stored`]). An unopenable
+    /// root is reported and the store disabled — never a construction
+    /// failure.
+    pub store: Option<PathBuf>,
 }
 
 impl EngineConfig {
@@ -130,6 +141,7 @@ impl Default for EngineConfig {
             faults: FaultPlan::default(),
             max_retries: 2,
             retry_backoff: Duration::from_millis(10),
+            store: None,
         }
     }
 }
@@ -208,6 +220,17 @@ impl JobHandle {
             .wait()
             .expect("engine job gates are always filled")
     }
+
+    /// Waits at most `timeout` for the job. `None` means the deadline
+    /// passed first: the job keeps running — and still fills the caches and
+    /// the disk store — but this waiter gives up, which is how serve mode
+    /// turns an over-budget request into a typed timeout instead of a hung
+    /// connection.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        self.gate
+            .wait_deadline(Instant::now() + timeout)
+            .map(|v| v.expect("engine job gates are always filled"))
+    }
 }
 
 /// A cached front-end artifact. The checksum is the fingerprint of the
@@ -247,6 +270,8 @@ struct Inner {
     inflight: Mutex<HashMap<JobKey, Arc<Gate<JobResult>>>>,
     /// Round-robin shard assignment for execution and bypass tasks.
     exec_shard: AtomicU64,
+    /// The disk-backed artifact store, when [`EngineConfig::store`] is set.
+    store: Option<store::DiskStore>,
 }
 
 /// The concurrent batch-optimization engine.
@@ -279,6 +304,17 @@ impl Engine {
             injector.clone(),
             stats.workers_respawned.clone(),
         );
+        let disk = config.store.as_ref().and_then(|root| {
+            match store::DiskStore::open(root, injector.clone()) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    // Degrade to memory-only: a missing disk must never
+                    // stop the engine from computing.
+                    eprintln!("fdi-engine: disk store disabled: {e}");
+                    None
+                }
+            }
+        });
         Engine {
             inner: Arc::new(Inner {
                 stats,
@@ -291,6 +327,7 @@ impl Engine {
                 analyses: KeyedCache::new(),
                 inflight: Mutex::new(HashMap::new()),
                 exec_shard: AtomicU64::new(0),
+                store: disk,
             }),
             pool,
         }
@@ -315,6 +352,27 @@ impl Engine {
     /// order.
     pub fn poisoned(&self) -> Vec<PoisonedJob> {
         self.inner.poisoned.lock().unwrap().clone()
+    }
+
+    /// Consults the disk store for a persisted output of `job`, verifying
+    /// the frame checksum on load. A corrupt frame is evicted (and counted
+    /// in [`EngineStats::store_corruptions_detected`]) so the caller's
+    /// recompute repaves it — the store never serves a guess. Bypass jobs
+    /// (deadline or private fault plan) never consult the store, and an
+    /// engine without [`EngineConfig::store`] always misses.
+    pub fn lookup_stored(&self, job: &Job) -> Option<StoredOutput> {
+        let store = self.inner.store.as_ref()?;
+        if job.bypasses_cache() {
+            return None;
+        }
+        self.inner.stats.fingerprints_computed.fetch_add(2, Relaxed);
+        let hit = store.load_counted(job.key(), &self.inner.stats);
+        self.inner.telemetry.instant(
+            "cache.store",
+            "cache",
+            &[("hit", hit.is_some().to_string())],
+        );
+        hit
     }
 
     /// Submits a job, blocking only when the target shard's queue is full.
@@ -524,7 +582,14 @@ fn transient_failure(result: &JobResult) -> Option<PipelineError> {
 /// a pure function of the seed — does not trivially recur, while the whole
 /// retry schedule stays reproducible). A job that exhausts its retries is
 /// quarantined on the poison list; its last result is still returned.
+///
+/// For a job carrying a [`fdi_core::Budget`] deadline, the retry wall is
+/// capped against that deadline: a retry whose backoff sleep would land the
+/// next attempt past the job's own time budget is not taken — the job is
+/// quarantined immediately instead. Supervised retries can therefore never
+/// overshoot a request deadline.
 fn supervise(inner: &Inner, job: &Job) -> JobResult {
+    let started = Instant::now();
     let mut attempt: u32 = 0;
     loop {
         let mut this_attempt = job.clone();
@@ -550,7 +615,16 @@ fn supervise(inner: &Inner, job: &Job) -> JobResult {
             None => return result,
             Some(e) => e,
         };
-        if attempt >= inner.max_retries {
+        // The next retry would sleep `backoff`; a deadline-bearing job
+        // whose remaining budget cannot absorb that sleep is quarantined
+        // now — retrying it could only blow the request deadline.
+        let backoff = inner.retry_backoff * (attempt + 1);
+        let deadline_spent = job
+            .config
+            .budget
+            .deadline
+            .is_some_and(|d| started.elapsed() + backoff >= d);
+        if attempt >= inner.max_retries || deadline_spent {
             inner.stats.jobs_quarantined.fetch_add(1, Relaxed);
             inner.telemetry.instant(
                 "job.poisoned",
@@ -579,7 +653,48 @@ fn supervise(inner: &Inner, job: &Job) -> JobResult {
                 ("error", failure.to_string()),
             ],
         );
-        std::thread::sleep(inner.retry_backoff * attempt);
+        std::thread::sleep(backoff);
+    }
+}
+
+/// Persists a fully healthy, cache-eligible output to the disk store, when
+/// one is attached. Degraded or oracle-rejected runs are never persisted —
+/// a warm restart must recompute them, not replay them. Store failures
+/// degrade: counted in [`EngineStats::store_write_failures`] and traced as
+/// a typed [`PipelineError::Store`], never propagated into the job result
+/// that is already computed.
+fn persist_output(inner: &Inner, job: &Job, src_key: u64, out: &PipelineOutput) {
+    let Some(store) = &inner.store else {
+        return;
+    };
+    if !out.health.degradations.is_empty() || out.health.oracle_rejected() {
+        return;
+    }
+    inner.stats.fingerprints_computed.fetch_add(1, Relaxed);
+    let key = (src_key, job.config.fingerprint());
+    let stored = StoredOutput {
+        optimized: fdi_lang::unparse(&out.optimized).to_string(),
+        baseline_size: out.baseline_size,
+        optimized_size: out.optimized_size,
+        sites_inlined: out.report.sites_inlined,
+        fuel_used: out.fuel_used,
+        decisions: DecisionTotals::tally(&out.decisions),
+    };
+    match store.save(key, &stored) {
+        store::Saved::Written => {
+            inner.stats.store_writes.fetch_add(1, Relaxed);
+        }
+        store::Saved::Torn => {
+            inner.stats.store_write_failures.fetch_add(1, Relaxed);
+            inner.telemetry.instant("store.write_torn", "cache", &[]);
+        }
+        store::Saved::Failed(message) => {
+            inner.stats.store_write_failures.fetch_add(1, Relaxed);
+            let e = PipelineError::Store { message };
+            inner
+                .telemetry
+                .instant("store.write_failed", "cache", &[("error", e.to_string())]);
+        }
     }
 }
 
@@ -676,6 +791,7 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
         if let Ok(out) = &out {
             inner.stats.record_passes(&out.passes);
             inner.stats.record_decisions(&out.decisions);
+            persist_output(inner, job, src_key, out);
         }
         return out.map(Arc::new);
     }
@@ -713,6 +829,7 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
     stats::StatsInner::add_time(&inner.stats.transform_ns, transform_started.elapsed());
     inner.stats.record_passes(&out.passes);
     inner.stats.record_decisions(&out.decisions);
+    persist_output(inner, job, src_key, &out);
     Ok(Arc::new(out))
 }
 
@@ -917,6 +1034,174 @@ mod tests {
         );
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(PipelineError::Frontend(_))));
+    }
+
+    fn store_root(tag: &str) -> PathBuf {
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "fdi-engine-store-{tag}-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store_engine(root: &std::path::Path, faults: FaultPlan) -> Engine {
+        Engine::new(EngineConfig {
+            workers: 2,
+            queue_cap: 8,
+            faults,
+            retry_backoff: Duration::from_millis(1),
+            store: Some(root.to_path_buf()),
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn disk_store_round_trips_across_engine_restarts() {
+        let root = store_root("roundtrip");
+        let job = Job::new(SRC, PipelineConfig::with_threshold(200));
+
+        let first = store_engine(&root, FaultPlan::default());
+        assert!(first.lookup_stored(&job).is_none(), "cold store misses");
+        let out = first.submit(job.clone()).wait().unwrap();
+        let stats = first.stats();
+        assert_eq!(stats.store_writes, 1);
+        assert_eq!(stats.store_misses, 1);
+        drop(first);
+
+        // A fresh engine on the same root — the restart path — answers
+        // from disk with the byte-identical optimized text.
+        let second = store_engine(&root, FaultPlan::default());
+        let stored = second.lookup_stored(&job).expect("warm store hits");
+        assert_eq!(
+            stored.optimized,
+            fdi_lang::unparse(&out.optimized).to_string()
+        );
+        assert_eq!(stored.baseline_size, out.baseline_size);
+        assert_eq!(stored.optimized_size, out.optimized_size);
+        assert_eq!(stored.sites_inlined, out.report.sites_inlined);
+        assert_eq!(stored.fuel_used, out.fuel_used);
+        assert_eq!(
+            stored.decisions,
+            fdi_telemetry::DecisionTotals::tally(&out.decisions)
+        );
+        assert_eq!(second.stats().store_hits, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn degraded_outputs_are_never_persisted() {
+        let root = store_root("degraded");
+        let engine = store_engine(&root, FaultPlan::default());
+        let starved = PipelineConfig {
+            budget: Budget::default().with_fuel(0),
+            ..PipelineConfig::with_threshold(200)
+        };
+        let job = Job::new(SRC, starved);
+        let out = engine.submit(job.clone()).wait().unwrap();
+        assert!(out.health.degraded(), "zero fuel must degrade");
+        assert_eq!(engine.stats().store_writes, 0);
+        assert!(engine.lookup_stored(&job).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bypass_jobs_never_touch_the_store() {
+        let root = store_root("bypass");
+        let engine = store_engine(&root, FaultPlan::default());
+        let deadline = PipelineConfig {
+            budget: Budget::default().with_deadline(Duration::from_secs(60)),
+            ..PipelineConfig::with_threshold(200)
+        };
+        let job = Job::new(SRC, deadline);
+        assert!(engine.lookup_stored(&job).is_none());
+        engine.submit(job).wait().unwrap();
+        let stats = engine.stats();
+        assert_eq!(
+            stats.store_hits + stats.store_misses + stats.store_writes,
+            0
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_store_write_is_evicted_and_repaved() {
+        // One injected `store-write` tears the first persist mid-frame —
+        // the footprint of a process killed mid-write. The next lookup
+        // detects the corruption, evicts, and the recompute repaves it:
+        // zero wrong answers, zero poisoned jobs.
+        let root = store_root("torn");
+        let clean = Engine::new(EngineConfig::with_workers(2));
+        let job = Job::new(SRC, PipelineConfig::with_threshold(200));
+        let expected =
+            fdi_lang::unparse(&clean.submit(job.clone()).wait().unwrap().optimized).to_string();
+
+        let engine = store_engine(
+            &root,
+            FaultPlan::only(0xD15C, &[FaultPoint::StoreWrite]).with_limit(1),
+        );
+        engine.submit(job.clone()).wait().unwrap();
+        assert_eq!(engine.stats().store_write_failures, 1);
+        assert!(engine.lookup_stored(&job).is_none(), "torn frame: miss");
+        assert_eq!(engine.stats().store_corruptions_detected, 1);
+        // Recompute and re-persist (the injector's cap is spent).
+        engine.submit(job.clone()).wait().unwrap();
+        let stored = engine.lookup_stored(&job).expect("repaved artifact");
+        assert_eq!(stored.optimized, expected, "no wrong answers, ever");
+        assert!(engine.poisoned().is_empty(), "no poisoned results");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_corruption_is_detected_on_load() {
+        let root = store_root("corrupt");
+        let engine = store_engine(
+            &root,
+            FaultPlan::only(0xC0DE, &[FaultPoint::StoreCorrupt]).with_limit(1),
+        );
+        let job = Job::new(SRC, PipelineConfig::with_threshold(200));
+        engine.submit(job.clone()).wait().unwrap();
+        assert_eq!(engine.stats().store_writes, 1);
+        assert!(engine.lookup_stored(&job).is_none(), "flipped byte: miss");
+        assert_eq!(engine.stats().store_corruptions_detected, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_by_the_job_deadline() {
+        // A persistent miscompile with generous retries, but a budget
+        // deadline the backoff schedule must not overshoot: without the
+        // cap this job would sleep 80+160+…+800 ms across ten retries.
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            queue_cap: 8,
+            max_retries: 10,
+            retry_backoff: Duration::from_millis(80),
+            ..EngineConfig::default()
+        });
+        let config = PipelineConfig {
+            faults: FaultPlan::only(5, &[FaultPoint::Miscompile]),
+            oracle: OracleConfig::on(),
+            budget: Budget::default().with_deadline(Duration::from_millis(200)),
+            ..PipelineConfig::with_threshold(200)
+        };
+        let started = Instant::now();
+        let out = engine.submit(Job::new(SRC, config)).wait().unwrap();
+        let elapsed = started.elapsed();
+        assert!(out.health.oracle_rejected(), "miscompile still caught");
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_quarantined, 1);
+        assert!(
+            stats.jobs_retried < 10,
+            "deadline must cut the retry schedule short ({} retries)",
+            stats.jobs_retried
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "retry wall must stay inside the deadline's order of magnitude ({elapsed:?})"
+        );
     }
 
     fn chaos_engine(points: &[FaultPoint], limit: u32) -> Engine {

@@ -41,6 +41,11 @@ pub(crate) struct StatsInner {
     pub fingerprints_computed: AtomicU64,
     pub cache_evictions: AtomicU64,
     pub cache_corruptions_detected: AtomicU64,
+    pub store_hits: AtomicU64,
+    pub store_misses: AtomicU64,
+    pub store_corruptions_detected: AtomicU64,
+    pub store_writes: AtomicU64,
+    pub store_write_failures: AtomicU64,
     /// Behind an `Arc` so the pool's respawn guards can bump it without
     /// holding the whole stats block.
     pub workers_respawned: Arc<AtomicU64>,
@@ -126,6 +131,11 @@ impl StatsInner {
             fingerprints_computed: self.fingerprints_computed.load(Relaxed),
             cache_evictions: self.cache_evictions.load(Relaxed),
             cache_corruptions_detected: self.cache_corruptions_detected.load(Relaxed),
+            store_hits: self.store_hits.load(Relaxed),
+            store_misses: self.store_misses.load(Relaxed),
+            store_corruptions_detected: self.store_corruptions_detected.load(Relaxed),
+            store_writes: self.store_writes.load(Relaxed),
+            store_write_failures: self.store_write_failures.load(Relaxed),
             workers_respawned: self.workers_respawned.load(Relaxed),
             queue_highwater: self.queue_highwater.load(Relaxed),
             parse_ns: self.parse_ns.load(Relaxed),
@@ -196,6 +206,18 @@ pub struct EngineStats {
     pub cache_evictions: u64,
     /// Corrupted cache artifacts caught by the fingerprint recheck.
     pub cache_corruptions_detected: u64,
+    /// Disk-store artifacts served without recomputation.
+    pub store_hits: u64,
+    /// Disk-store lookups that found nothing reusable.
+    pub store_misses: u64,
+    /// Corrupt disk-store frames caught by the checksum recheck on load
+    /// (each one evicted, never served).
+    pub store_corruptions_detected: u64,
+    /// Artifacts durably persisted to the disk store.
+    pub store_writes: u64,
+    /// Disk-store writes that failed (IO errors and injected torn writes);
+    /// the engine degrades to recomputation.
+    pub store_write_failures: u64,
     /// Pool workers respawned after a panic (capacity never degrades).
     pub workers_respawned: u64,
     /// Highest number of jobs simultaneously queued or executing.
@@ -243,6 +265,16 @@ impl EngineStats {
         }
     }
 
+    /// Fraction of disk-store lookups that served a verified artifact.
+    pub fn store_hit_rate(&self) -> f64 {
+        let total = self.store_hits + self.store_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.store_hits as f64 / total as f64
+        }
+    }
+
     /// The snapshot as one JSON object (stable key order, no trailing
     /// newline) — for the `fdi batch` CLI and the experiment logs.
     pub fn to_json(&self) -> String {
@@ -268,6 +300,8 @@ impl EngineStats {
                 "\"analysis_hits\":{},\"analysis_misses\":{},\"analysis_uncached\":{},",
                 "\"fingerprints_computed\":{},",
                 "\"cache_evictions\":{},\"cache_corruptions_detected\":{},",
+                "\"store_hits\":{},\"store_misses\":{},\"store_corruptions_detected\":{},",
+                "\"store_writes\":{},\"store_write_failures\":{},",
                 "\"workers_respawned\":{},\"queue_highwater\":{},",
                 "\"parse_ms\":{:.3},\"analysis_ms\":{:.3},\"transform_ms\":{:.3},\"execute_ms\":{:.3},",
                 "\"passes\":{{{}}},",
@@ -286,6 +320,11 @@ impl EngineStats {
             self.fingerprints_computed,
             self.cache_evictions,
             self.cache_corruptions_detected,
+            self.store_hits,
+            self.store_misses,
+            self.store_corruptions_detected,
+            self.store_writes,
+            self.store_write_failures,
             self.workers_respawned,
             self.queue_highwater,
             self.parse_ns as f64 / 1e6,
@@ -330,6 +369,8 @@ mod tests {
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"analysis_misses\":0"));
+        assert!(j.contains("\"store_hits\":0,\"store_misses\":0"));
+        assert!(j.contains("\"store_writes\":0,\"store_write_failures\":0"));
         // One outer object, one "passes" object, one object per tracked
         // pass, plus the "telemetry" section and its "decisions" object.
         assert_eq!(j.matches('{').count(), 4 + TRACKED_PASSES.len());

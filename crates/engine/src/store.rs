@@ -1,0 +1,487 @@
+//! The sharded, disk-backed content-addressed artifact store.
+//!
+//! The in-memory caches ([`crate::cache`]) die with the process; this store
+//! is what makes warm state survive a crash or restart (`fdi serve`'s whole
+//! point). It persists *final job outputs* — the optimized program text plus
+//! the summary numbers a report needs — keyed by the same content address
+//! the engine dedups on: `(source fingerprint, whole-config fingerprint)`.
+//! Only fully healthy outputs are persisted; a degraded or oracle-rejected
+//! run must be recomputed, never replayed from disk.
+//!
+//! # Layout and framing
+//!
+//! ```text
+//! <root>/out/<2-hex shard>/<16-hex src>-<16-hex cfg>.art
+//! ```
+//!
+//! Each artifact file is one frame, mirroring the in-memory corrupted-
+//! artifact discipline (checksum recheck before reuse):
+//!
+//! ```text
+//! magic "FDI\x01" · payload length (u64 LE) · FNV-1a checksum (u64 LE) · payload
+//! ```
+//!
+//! The payload is the [`StoredOutput`] JSON codec. Writes go to a `.tmp`
+//! sibling and are renamed into place, so a clean shutdown never leaves a
+//! half-frame at a final path; stale `.tmp` files from a killed process are
+//! swept on open. A load whose frame fails *any* check — magic, length,
+//! checksum, UTF-8, JSON shape — deletes the file and reports
+//! [`Loaded::Corrupt`]: the caller recomputes, and the store never serves a
+//! guess.
+//!
+//! # Chaos seams
+//!
+//! Three catalogued fault points drive the crash-recovery tests:
+//!
+//! * `store-write` — the atomic rename is skipped and a truncated frame
+//!   lands at the final path: the footprint of a process killed mid-write.
+//! * `store-read` — the load reports a miss; the caller must recompute.
+//! * `store-corrupt` — one payload byte is flipped after a successful
+//!   write; the checksum recheck on the next load must catch it.
+
+use crate::stats::StatsInner;
+use fdi_core::faults::{FaultInjector, FaultPoint};
+use fdi_core::source_fingerprint;
+use fdi_telemetry::json::{parse, Json};
+use fdi_telemetry::{trace::json_string, DecisionTotals};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"FDI\x01";
+const HEADER: usize = 4 + 8 + 8;
+
+/// A persisted job outcome: everything a warm re-serve needs to answer a
+/// request without recomputing — the optimized program text (the
+/// byte-identity anchor) and the summary numbers of a batch-report entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredOutput {
+    /// Canonical unparse of the optimized program.
+    pub optimized: String,
+    /// Size of the threshold-0 baseline (paper size metric).
+    pub baseline_size: usize,
+    /// Size of the optimized program.
+    pub optimized_size: usize,
+    /// Call sites the inliner specialized.
+    pub sites_inlined: usize,
+    /// Total fuel the run charged to its budget.
+    pub fuel_used: u64,
+    /// Inline decision totals, bucketed by reason.
+    pub decisions: DecisionTotals,
+}
+
+impl StoredOutput {
+    /// Table 1's code-size ratio, matching
+    /// [`fdi_core::PipelineOutput::size_ratio`].
+    pub fn size_ratio(&self) -> f64 {
+        self.optimized_size as f64 / self.baseline_size as f64
+    }
+
+    /// The payload codec: one JSON object, stable key order.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"v\":1,\"optimized\":{},\"baseline_size\":{},\"optimized_size\":{},",
+                "\"sites_inlined\":{},\"fuel_used\":{},\"decisions\":{}}}"
+            ),
+            json_string(&self.optimized),
+            self.baseline_size,
+            self.optimized_size,
+            self.sites_inlined,
+            self.fuel_used,
+            self.decisions.to_json(),
+        )
+    }
+
+    /// Decodes [`StoredOutput::to_json`]. Any shape mismatch is an error —
+    /// a half-written or foreign payload must read as corruption, not as a
+    /// zeroed result.
+    pub fn from_json(text: &str) -> Result<StoredOutput, String> {
+        let doc = parse(text)?;
+        let num = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_num)
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        if num("v")? != 1 {
+            return Err("unknown stored-output version".to_string());
+        }
+        let optimized = doc
+            .get("optimized")
+            .and_then(Json::as_str)
+            .ok_or("missing field \"optimized\"")?
+            .to_string();
+        let mut decisions = DecisionTotals::default();
+        for (key, value) in doc
+            .get("decisions")
+            .and_then(Json::as_obj)
+            .ok_or("missing object \"decisions\"")?
+        {
+            let n = value.as_num().ok_or("non-numeric decision count")?;
+            decisions.add(key, n as u64);
+        }
+        Ok(StoredOutput {
+            optimized,
+            baseline_size: num("baseline_size")? as usize,
+            optimized_size: num("optimized_size")? as usize,
+            sites_inlined: num("sites_inlined")? as usize,
+            fuel_used: num("fuel_used")?,
+            decisions,
+        })
+    }
+}
+
+/// What a [`DiskStore::load`] found.
+#[derive(Debug)]
+pub(crate) enum Loaded {
+    /// A verified artifact.
+    Hit(StoredOutput),
+    /// No artifact on disk (or an injected `store-read` fault).
+    Miss,
+    /// A frame that failed verification; the file has been evicted.
+    Corrupt,
+}
+
+/// What a [`DiskStore::save`] did.
+#[derive(Debug)]
+pub(crate) enum Saved {
+    /// The artifact is durably in place.
+    Written,
+    /// An injected `store-write` fault tore the write: a truncated frame
+    /// sits at the final path, exactly as a mid-write kill would leave it.
+    Torn,
+    /// A real IO failure; the store degrades to recomputation.
+    Failed(String),
+}
+
+/// The disk-backed store. Cheap to clone around worker threads is not
+/// needed — the engine holds exactly one behind its shared `Inner`.
+#[derive(Debug)]
+pub(crate) struct DiskStore {
+    root: PathBuf,
+    injector: Arc<FaultInjector>,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store rooted at `root` and sweeps
+    /// stale `.tmp` files left by a killed writer.
+    pub(crate) fn open(root: &Path, injector: Arc<FaultInjector>) -> Result<DiskStore, String> {
+        let out = root.join("out");
+        fs::create_dir_all(&out).map_err(|e| format!("cannot create store {out:?}: {e}"))?;
+        let store = DiskStore {
+            root: root.to_path_buf(),
+            injector,
+        };
+        store.sweep_tmp();
+        Ok(store)
+    }
+
+    /// Removes abandoned `.tmp` files (a write-then-rename interrupted
+    /// before the rename). Final-path artifacts are left for `load`'s
+    /// verification to judge.
+    fn sweep_tmp(&self) {
+        let Ok(shards) = fs::read_dir(self.root.join("out")) else {
+            return;
+        };
+        for shard in shards.flatten() {
+            let Ok(files) = fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for file in files.flatten() {
+                if file.path().extension().is_some_and(|e| e == "tmp") {
+                    let _ = fs::remove_file(file.path());
+                }
+            }
+        }
+    }
+
+    /// The artifact path for a job key, sharded by the source fingerprint's
+    /// top byte.
+    fn path(&self, key: (u64, u64)) -> PathBuf {
+        self.root
+            .join("out")
+            .join(format!("{:02x}", (key.0 >> 56) as u8))
+            .join(format!("{:016x}-{:016x}.art", key.0, key.1))
+    }
+
+    /// Loads and verifies the artifact for `key`. Corrupt frames are
+    /// deleted before reporting, so one bad artifact costs exactly one
+    /// recompute and can never be served twice.
+    pub(crate) fn load(&self, key: (u64, u64)) -> Loaded {
+        if self.injector.poll(FaultPoint::StoreRead).is_some() {
+            return Loaded::Miss;
+        }
+        let path = self.path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return Loaded::Miss,
+        };
+        match decode_frame(&bytes) {
+            Some(out) => Loaded::Hit(out),
+            None => {
+                let _ = fs::remove_file(&path);
+                Loaded::Corrupt
+            }
+        }
+    }
+
+    /// Persists the artifact for `key` with write-then-rename.
+    pub(crate) fn save(&self, key: (u64, u64), out: &StoredOutput) -> Saved {
+        let path = self.path(key);
+        if let Some(dir) = path.parent() {
+            if let Err(e) = fs::create_dir_all(dir) {
+                return Saved::Failed(format!("cannot create shard {dir:?}: {e}"));
+            }
+        }
+        let frame = encode_frame(&out.to_json());
+        if self.injector.poll(FaultPoint::StoreWrite).is_some() {
+            // Simulated mid-write kill: a truncated frame at the *final*
+            // path, bypassing the rename discipline entirely.
+            let _ = fs::write(&path, &frame[..HEADER + (frame.len() - HEADER) / 2]);
+            return Saved::Torn;
+        }
+        let tmp = path.with_extension("tmp");
+        let write = fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(&frame))
+            .and_then(|()| fs::rename(&tmp, &path));
+        if let Err(e) = write {
+            let _ = fs::remove_file(&tmp);
+            return Saved::Failed(format!("cannot write {path:?}: {e}"));
+        }
+        if self.injector.poll(FaultPoint::StoreCorrupt).is_some() {
+            // Silent bit rot after a successful write: flip the payload's
+            // last byte and let the next load's checksum recheck catch it.
+            if let Ok(mut bytes) = fs::read(&path) {
+                if let Some(last) = bytes.last_mut() {
+                    *last ^= 0x40;
+                    let _ = fs::write(&path, &bytes);
+                }
+            }
+        }
+        Saved::Written
+    }
+
+    /// Folds one load outcome into the engine's counters and returns the
+    /// hit, if any.
+    pub(crate) fn load_counted(&self, key: (u64, u64), stats: &StatsInner) -> Option<StoredOutput> {
+        match self.load(key) {
+            Loaded::Hit(out) => {
+                stats.store_hits.fetch_add(1, Relaxed);
+                Some(out)
+            }
+            Loaded::Miss => {
+                stats.store_misses.fetch_add(1, Relaxed);
+                None
+            }
+            Loaded::Corrupt => {
+                stats.store_misses.fetch_add(1, Relaxed);
+                stats.store_corruptions_detected.fetch_add(1, Relaxed);
+                None
+            }
+        }
+    }
+}
+
+/// Frames a payload: magic, length, FNV-1a checksum, bytes.
+fn encode_frame(payload: &str) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER + payload.len());
+    frame.extend_from_slice(MAGIC);
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&source_fingerprint(payload).to_le_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    frame
+}
+
+/// Verifies a frame end to end; `None` means corrupt.
+fn decode_frame(bytes: &[u8]) -> Option<StoredOutput> {
+    if bytes.len() < HEADER || &bytes[..4] != MAGIC {
+        return None;
+    }
+    let len = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    if bytes.len() != HEADER + len {
+        return None;
+    }
+    let payload = std::str::from_utf8(&bytes[HEADER..]).ok()?;
+    if source_fingerprint(payload) != checksum {
+        return None;
+    }
+    StoredOutput::from_json(payload).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_core::faults::FaultPlan;
+    use std::sync::atomic::AtomicU64;
+
+    fn quiet_injector() -> Arc<FaultInjector> {
+        Arc::new(FaultInjector::new(FaultPlan::default()))
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "fdi-store-{tag}-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> StoredOutput {
+        let mut decisions = DecisionTotals::default();
+        decisions.add("inlined", 3);
+        decisions.add("loop_guard", 1);
+        StoredOutput {
+            optimized: "(define (f x) (* x x))\n(f 2)".to_string(),
+            baseline_size: 24,
+            optimized_size: 18,
+            sites_inlined: 3,
+            fuel_used: 97,
+            decisions,
+        }
+    }
+
+    #[test]
+    fn json_codec_round_trips() {
+        let out = sample();
+        let back = StoredOutput::from_json(&out.to_json()).unwrap();
+        assert_eq!(out, back);
+        assert!((out.size_ratio() - 0.75).abs() < 1e-12);
+        // Escaping survives: program text with quotes and newlines.
+        let tricky = StoredOutput {
+            optimized: "(display \"a\nb\\c\")".to_string(),
+            ..sample()
+        };
+        assert_eq!(StoredOutput::from_json(&tricky.to_json()).unwrap(), tricky);
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_shapes() {
+        for bad in [
+            "{}",
+            "{\"v\":2,\"optimized\":\"x\"}",
+            "{\"v\":1,\"optimized\":7}",
+            "{\"v\":1,\"optimized\":\"x\",\"baseline_size\":1}",
+            "not json at all",
+        ] {
+            assert!(StoredOutput::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn save_then_load_round_trips_across_reopen() {
+        let root = tmp_root("roundtrip");
+        let out = sample();
+        let key = (0xAB54_A98C_EB1F_0AD2u64, 0x0123_4567_89AB_CDEFu64);
+        {
+            let store = DiskStore::open(&root, quiet_injector()).unwrap();
+            assert!(matches!(store.save(key, &out), Saved::Written));
+        }
+        // A fresh open — the restart path — still verifies and serves it.
+        let store = DiskStore::open(&root, quiet_injector()).unwrap();
+        match store.load(key) {
+            Loaded::Hit(back) => assert_eq!(back, out),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(store.load((1, 2)), Loaded::Miss));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_frame_is_evicted_not_served() {
+        let root = tmp_root("truncate");
+        let store = DiskStore::open(&root, quiet_injector()).unwrap();
+        let key = (11, 22);
+        store.save(key, &sample());
+        let path = store.path(key);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(store.load(key), Loaded::Corrupt));
+        assert!(!path.exists(), "corrupt artifact must be evicted");
+        // The eviction is terminal: the next load is a plain miss.
+        assert!(matches!(store.load(key), Loaded::Miss));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn flipped_byte_is_evicted_not_served() {
+        let root = tmp_root("flip");
+        let store = DiskStore::open(&root, quiet_injector()).unwrap();
+        let key = (33, 44);
+        store.save(key, &sample());
+        let path = store.path(key);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = HEADER + (bytes.len() - HEADER) / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(store.load(key), Loaded::Corrupt));
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_torn_write_reads_as_corrupt_then_recovers() {
+        let root = tmp_root("torn");
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan::only(7, &[FaultPoint::StoreWrite]).with_limit(1),
+        ));
+        let store = DiskStore::open(&root, injector).unwrap();
+        let key = (55, 66);
+        // First save is torn: a truncated frame sits at the final path.
+        assert!(matches!(store.save(key, &sample()), Saved::Torn));
+        assert!(store.path(key).exists());
+        assert!(matches!(store.load(key), Loaded::Corrupt));
+        // The injector's cap is spent: the re-save lands cleanly.
+        assert!(matches!(store.save(key, &sample()), Saved::Written));
+        assert!(matches!(store.load(key), Loaded::Hit(_)));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_by_the_checksum() {
+        let root = tmp_root("chaos-corrupt");
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan::only(9, &[FaultPoint::StoreCorrupt]).with_limit(1),
+        ));
+        let store = DiskStore::open(&root, injector).unwrap();
+        let key = (77, 88);
+        assert!(matches!(store.save(key, &sample()), Saved::Written));
+        assert!(matches!(store.load(key), Loaded::Corrupt));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_read_fault_is_a_miss_never_a_guess() {
+        let root = tmp_root("chaos-read");
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan::only(3, &[FaultPoint::StoreRead]).with_limit(1),
+        ));
+        let store = DiskStore::open(&root, injector).unwrap();
+        let key = (99, 11);
+        store.save(key, &sample());
+        assert!(matches!(store.load(key), Loaded::Miss), "read fault: miss");
+        assert!(matches!(store.load(key), Loaded::Hit(_)), "cap spent: hit");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_open() {
+        let root = tmp_root("sweep");
+        let store = DiskStore::open(&root, quiet_injector()).unwrap();
+        let key = (12, 34);
+        store.save(key, &sample());
+        let stale = store.path(key).with_extension("tmp");
+        fs::write(&stale, b"half a frame").unwrap();
+        drop(store);
+        let store = DiskStore::open(&root, quiet_injector()).unwrap();
+        assert!(!stale.exists(), "stale tmp must be swept");
+        assert!(matches!(store.load(key), Loaded::Hit(_)));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -94,11 +94,6 @@ pub struct InlineReport {
     pub sites_inlined: usize,
     /// Back-edges tied into loops via the loop map.
     pub loops_tied: usize,
-    /// Deprecated aggregate, kept populated for one release: always equals
-    /// [`InlineReport::rejected_size`] + [`InlineReport::rejected_loop_guard`].
-    /// Use the split counters instead — this field used to conflate ordinary
-    /// threshold rejections with loop-guard suppressions during unrolling.
-    pub rejected_threshold: usize,
     /// Candidates rejected for free-variable reasons (Closed mode).
     pub rejected_open: usize,
     /// Candidates rejected because the specialized body exceeded the size
@@ -220,11 +215,6 @@ pub fn inline_program_recorded(
         fdi_lang::validate(&inliner.out).is_ok(),
         "inliner produced ill-formed AST: {:?}",
         fdi_lang::validate(&inliner.out)
-    );
-    debug_assert_eq!(
-        inliner.report.rejected_threshold,
-        inliner.report.rejected_size + inliner.report.rejected_loop_guard,
-        "deprecated aggregate must track the split counters"
     );
     // Decisions are emitted only once the run is complete, so discarded
     // speculations never leak ghost records into the collector.
@@ -619,11 +609,7 @@ impl Inliner<'_> {
                                     self.report.rejected_open += 1;
                                 }
                                 Attempt::Rejected(Reject::TooBig { .. }) => {
-                                    // Historically folded into the threshold
-                                    // counter; now split out, with the
-                                    // deprecated aggregate kept in sync.
                                     self.report.rejected_loop_guard += 1;
-                                    self.report.rejected_threshold += 1;
                                 }
                             }
                         }
@@ -661,7 +647,6 @@ impl Inliner<'_> {
                                 }
                                 Attempt::Rejected(Reject::TooBig { size }) => {
                                     self.report.rejected_size += 1;
-                                    self.report.rejected_threshold += 1;
                                     self.record_decision(
                                         site,
                                         ctx,

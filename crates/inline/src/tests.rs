@@ -41,7 +41,7 @@ fn threshold_zero_disables_inlining() {
         &InlineConfig::with_threshold(0),
     );
     assert_eq!(report.sites_inlined, 0);
-    assert!(report.rejected_threshold >= 1);
+    assert!(report.rejected_size >= 1);
 }
 
 #[test]
@@ -205,7 +205,7 @@ fn selective_inlining_per_call_site() {
     // The #t site specializes to (+ x 1) — small enough; the #f site's
     // specialization keeps the display chain — too big.
     assert_eq!(report.sites_inlined, 1, "{report:?}");
-    assert_eq!(report.rejected_threshold, 1, "{report:?}");
+    assert_eq!(report.rejected_size, 1, "{report:?}");
 }
 
 #[test]
@@ -223,7 +223,7 @@ fn inlining_inside_large_procedures_still_happens() {
         "tiny inlines inside huge: {report:?}"
     );
     assert!(
-        report.rejected_threshold >= 1,
+        report.rejected_size >= 1,
         "huge itself rejected: {report:?}"
     );
 }

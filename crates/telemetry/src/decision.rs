@@ -194,6 +194,16 @@ impl DecisionTotals {
         self.counts[reason.index()] += 1;
     }
 
+    /// Adds `n` decisions under a stable reason key — the inverse of
+    /// [`DecisionTotals::to_json`], for consumers that rebuild totals from
+    /// a serialized snapshot. Unknown keys are ignored (a snapshot written
+    /// by a future reason catalogue still loads).
+    pub fn add(&mut self, key: &str, n: u64) {
+        if let Some(i) = REASON_KEYS.iter().position(|k| *k == key) {
+            self.counts[i] += n;
+        }
+    }
+
     /// Adds another total into this one.
     pub fn merge(&mut self, other: &DecisionTotals) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -293,6 +303,23 @@ mod tests {
         assert_eq!(t.get("loop_guard"), 2);
         assert_eq!(t.total(), 5);
         assert!(t.to_json().starts_with("{\"inlined\":2,"));
+    }
+
+    #[test]
+    fn add_rebuilds_totals_from_keys() {
+        let mut t = DecisionTotals::default();
+        t.add("inlined", 4);
+        t.add("loop_guard", 2);
+        t.add("not_a_reason", 9); // ignored, not counted
+        assert_eq!(t.inlined(), 4);
+        assert_eq!(t.rejected(), 2);
+        assert_eq!(t.total(), 6);
+        // Round-trip shape: every key in to_json is addable back.
+        let mut u = DecisionTotals::default();
+        for (key, n) in t.iter() {
+            u.add(key, n);
+        }
+        assert_eq!(t, u);
     }
 
     #[test]

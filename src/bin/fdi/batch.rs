@@ -9,8 +9,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Applies one manifest line's per-job flags to `config`.
-fn apply_job_flags(config: &mut PipelineConfig, tokens: &[&str]) -> Result<(), String> {
+/// Applies one manifest line's per-job flags to `config` (also the flag
+/// grammar of serve-mode job requests).
+pub fn apply_job_flags(config: &mut PipelineConfig, tokens: &[&str]) -> Result<(), String> {
     let mut i = 0;
     let next = |i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -80,7 +81,7 @@ fn apply_job_flags(config: &mut PipelineConfig, tokens: &[&str]) -> Result<(), S
 }
 
 /// Resolves a manifest source spec: `bench:<name>[@<scale>]` or a file path.
-fn resolve_source(spec: &str) -> Result<String, String> {
+pub fn resolve_source(spec: &str) -> Result<String, String> {
     if let Some(bench) = spec.strip_prefix("bench:") {
         let (name, scale) = match bench.split_once('@') {
             Some((n, s)) => {

@@ -1,0 +1,125 @@
+//! `fdi client` — a thin JSON-lines client for `fdi serve`.
+//!
+//! ```text
+//! fdi client (--port N | --port-file FILE) ping
+//! fdi client (--port N | --port-file FILE) stats
+//! fdi client (--port N | --port-file FILE) shutdown
+//! fdi client (--port N | --port-file FILE) job <spec> [job-flags…]
+//!            [--request-deadline-ms N]
+//! ```
+//!
+//! `job` sends one request using the `fdi batch` per-job flag grammar
+//! (`-t`, `--policy`, `--validate`, …) and prints the server's one-line
+//! JSON response verbatim on stdout. `--request-deadline-ms` sets the
+//! *serve-layer* deadline (typed `timeout` rejection) — distinct from the
+//! `--deadline-ms` job flag, which budgets the pipeline itself. The exit
+//! code mirrors the response's `"ok"`.
+
+use crate::opts::usage;
+use crate::report::json_escape;
+use fdi_telemetry::json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+pub fn main(mut args: Vec<String>) -> ExitCode {
+    let mut port: Option<u16> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--port" => {
+                let Some(p) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                port = Some(p);
+                args.drain(i..=i + 1);
+            }
+            "--port-file" => {
+                let Some(path) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Ok(text) = std::fs::read_to_string(path) else {
+                    eprintln!("fdi client: cannot read port file {path}");
+                    return ExitCode::FAILURE;
+                };
+                let Ok(p) = text.trim().parse() else {
+                    eprintln!("fdi client: malformed port file {path}");
+                    return ExitCode::FAILURE;
+                };
+                port = Some(p);
+                args.drain(i..=i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    let Some(port) = port else {
+        eprintln!("fdi client: need --port or --port-file");
+        return ExitCode::FAILURE;
+    };
+    let request = match args.first().map(String::as_str) {
+        Some(op @ ("ping" | "stats" | "shutdown")) if args.len() == 1 => {
+            format!("{{\"op\":\"{op}\"}}")
+        }
+        Some("job") => {
+            let mut deadline_ms: Option<u64> = None;
+            let mut rest: Vec<String> = args.split_off(1);
+            let mut i = 0;
+            while i < rest.len() {
+                if rest[i] == "--request-deadline-ms" {
+                    let Some(ms) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                        return usage();
+                    };
+                    deadline_ms = Some(ms);
+                    rest.drain(i..=i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            let Some(spec) = rest.first() else {
+                return usage();
+            };
+            let flags: Vec<String> = rest[1..]
+                .iter()
+                .map(|f| format!("\"{}\"", json_escape(f)))
+                .collect();
+            let deadline = deadline_ms
+                .map(|ms| format!(",\"deadline_ms\":{ms}"))
+                .unwrap_or_default();
+            format!(
+                "{{\"op\":\"job\",\"spec\":\"{}\",\"flags\":[{}]{}}}",
+                json_escape(spec),
+                flags.join(","),
+                deadline
+            )
+        }
+        _ => return usage(),
+    };
+
+    let mut stream = match TcpStream::connect(("127.0.0.1", port)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fdi client: cannot connect to 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if writeln!(stream, "{request}")
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        eprintln!("fdi client: connection lost while sending");
+        return ExitCode::FAILURE;
+    }
+    let mut response = String::new();
+    match BufReader::new(&stream).read_line(&mut response) {
+        Ok(n) if n > 0 => {}
+        _ => {
+            eprintln!("fdi client: server closed the connection without replying");
+            return ExitCode::FAILURE;
+        }
+    }
+    print!("{response}");
+    match json::parse(response.trim()) {
+        Ok(doc) if doc.get("ok") == Some(&json::Json::Bool(true)) => ExitCode::SUCCESS,
+        _ => ExitCode::FAILURE,
+    }
+}

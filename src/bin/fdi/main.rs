@@ -7,6 +7,9 @@
 //! fdi explain  <file.scm> [--site LABEL] [-t THRESHOLD] [--policy …]
 //! fdi batch    <manifest> [--jobs N] [--out FILE] [--trace-out FILE]
 //! fdi report   [-t THRESHOLD] [--policy …] [--scale test|default]
+//! fdi serve    [--port N] [--port-file FILE] [--store DIR] [--jobs N]
+//!              [--max-inflight N] [--deadline-ms N]
+//! fdi client   (--port N | --port-file FILE) <ping|stats|shutdown|job …>
 //! ```
 //!
 //! `optimize` prints the optimized source; `run` executes baseline and
@@ -51,16 +54,26 @@
 //! rolls the pipeline back to the last validated program (reported in the
 //! health ledger as an oracle rejection). `--faults SEED` arms the seeded
 //! chaos plan — deterministic injected panics, typed errors, and latency at
-//! every catalogued pipeline fault point; in `batch`, `--engine-faults SEED`
-//! additionally arms the engine's cache and worker-pool seams.
+//! every catalogued pipeline fault point; in `batch` and `serve`,
+//! `--engine-faults SEED` additionally arms the engine's cache, worker-pool,
+//! and disk-store seams.
+//!
+//! `serve` keeps the engine and its caches hot in a persistent daemon
+//! (JSON lines over localhost TCP) and, with `--store DIR`, persists
+//! finished optimizations to a checksummed disk store that survives crashes
+//! and restarts; `client` is the matching one-shot client. See
+//! `serve.rs` for the protocol and its typed rejections (overloaded,
+//! timeout, draining).
 
 mod analyze;
 mod batch;
+mod client;
 mod explain;
 mod optimize;
 mod opts;
 mod report;
 mod run;
+mod serve;
 
 use std::process::ExitCode;
 
@@ -77,6 +90,12 @@ fn main() -> ExitCode {
     }
     if command == "report" {
         return report::main(rest);
+    }
+    if command == "serve" {
+        return serve::main(rest);
+    }
+    if command == "client" {
+        return client::main(rest);
     }
     let Some(opts) = opts::parse(rest) else {
         return opts::usage();

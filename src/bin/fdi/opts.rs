@@ -38,7 +38,11 @@ pub fn usage() -> ExitCode {
          [--validate] [--oracle-fuel N] [--faults SEED]\n       \
          fdi batch <manifest> [--jobs N] [--out FILE] [--passes SCHEDULE] [--trace-out FILE] \
          [--validate] [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]\n       \
-         fdi report [-t THRESHOLD] [--policy 0cfa|poly|1cfa] [--scale test|default] [--jobs N]"
+         fdi report [-t THRESHOLD] [--policy 0cfa|poly|1cfa] [--scale test|default] [--jobs N]\n       \
+         fdi serve [--port N] [--port-file FILE] [--store DIR] [--jobs N] [--max-inflight N] \
+         [--deadline-ms N] [--engine-faults SEED]\n       \
+         fdi client (--port N | --port-file FILE) <ping|stats|shutdown> | \
+         job <spec> [job-flags…] [--request-deadline-ms N]"
     );
     ExitCode::FAILURE
 }

@@ -1,0 +1,389 @@
+//! `fdi serve` — a persistent, crash-tolerant optimization daemon.
+//!
+//! The daemon keeps one [`fdi_engine::Engine`] — worker pool, parse and
+//! analysis caches, telemetry — hot across requests, and (with `--store DIR`)
+//! fronts it with the engine's disk-backed artifact store, so finished
+//! optimizations survive process death and are re-served byte-identically
+//! after a crash or restart.
+//!
+//! ## Protocol
+//!
+//! JSON lines over TCP on `127.0.0.1` (one request object per line, one
+//! response object per line, same order). The job request/response schema
+//! mirrors the `fdi batch` manifest and report: a job is a source spec plus
+//! the batch per-job flag grammar.
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! {"op":"job","spec":"bench:fib@6","flags":["-t","200"],"deadline_ms":5000}
+//! {"op":"job","source":"(let ((f (lambda (x) x))) (f 1))"}
+//! ```
+//!
+//! Every response carries `"ok"`. Failures are *typed* via `"kind"`:
+//!
+//! * `bad-request` — malformed JSON, unknown op, bad flags, unreadable spec;
+//! * `overloaded` — the bounded admission gate is full; the response carries
+//!   `retry_after_ms` and the request was **not** queued (backpressure is
+//!   explicit, never an unbounded queue);
+//! * `timeout` — the per-request deadline (request `deadline_ms`, else the
+//!   server's `--deadline-ms`) passed before the job finished. The job keeps
+//!   running and still fills the caches and the store — only the connection
+//!   stops waiting, so a slow job can never hang a client;
+//! * `draining` — a shutdown is in progress; no new work is admitted;
+//! * `failed` — the job itself failed (frontend rejection, poisoned, …).
+//!
+//! Successful job responses include the optimized program text, so a warm
+//! re-serve can be checked byte-for-byte against a cold run. `"cached":true`
+//! marks answers served from the disk store without recomputation.
+//!
+//! ## Shutdown
+//!
+//! `{"op":"shutdown"}` is the graceful drain: admission closes, the daemon
+//! waits for every in-flight job, replies with a drain report, and exits.
+//! (Signal-based shutdown would need a libc binding; the protocol-level op
+//! keeps the daemon dependency-free. A SIGKILL instead of a drain is the
+//! crash path the store exists for — see `tests/serve.rs`.)
+
+use crate::batch::{apply_job_flags, resolve_source};
+use crate::opts::usage;
+use crate::report::{health_json, json_escape, passes_json};
+use fdi_core::{FaultPlan, PipelineConfig};
+use fdi_engine::{Engine, EngineConfig, Job};
+use fdi_telemetry::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared daemon state, one per process.
+struct Server {
+    engine: Engine,
+    /// Jobs admitted and not yet finished (including ones whose requester
+    /// timed out — the work is still running and still holds its slot).
+    inflight: AtomicUsize,
+    /// Admission bound: requests beyond this many in-flight jobs are
+    /// rejected with `overloaded`, never queued.
+    max_inflight: usize,
+    /// Set by `shutdown`; admission closes immediately.
+    draining: AtomicBool,
+    /// Default per-request deadline when the request names none.
+    deadline: Duration,
+}
+
+/// What the connection loop should do with a handled request.
+enum Reply {
+    /// Write the line and keep reading.
+    Line(String),
+    /// Write the line, flush, and exit the process (graceful drain done).
+    Shutdown(String),
+}
+
+fn err(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"kind\":\"{kind}\",\"error\":\"{}\"}}",
+        json_escape(message)
+    )
+}
+
+/// `fdi serve [--port N] [--port-file FILE] [--store DIR] [--jobs N]
+/// [--max-inflight N] [--deadline-ms N] [--engine-faults SEED]`.
+pub fn main(args: Vec<String>) -> ExitCode {
+    let mut port: u16 = 0;
+    let mut port_file: Option<String> = None;
+    let mut store: Option<std::path::PathBuf> = None;
+    let mut jobs: Option<usize> = None;
+    let mut max_inflight: usize = 64;
+    let mut deadline = Duration::from_millis(30_000);
+    let mut engine_faults = FaultPlan::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1);
+        match args[i].as_str() {
+            "--port" => match value(i).and_then(|s| s.parse().ok()) {
+                Some(p) => port = p,
+                None => return usage(),
+            },
+            "--port-file" => match value(i) {
+                Some(f) => port_file = Some(f.clone()),
+                None => return usage(),
+            },
+            "--store" => match value(i) {
+                Some(d) => store = Some(std::path::PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--jobs" => match value(i).and_then(|s| s.parse().ok()) {
+                Some(n) => jobs = Some(n),
+                None => return usage(),
+            },
+            "--max-inflight" => match value(i).and_then(|s| s.parse().ok()) {
+                Some(n) => max_inflight = n,
+                None => return usage(),
+            },
+            "--deadline-ms" => match value(i).and_then(|s| s.parse().ok()) {
+                Some(ms) => deadline = Duration::from_millis(ms),
+                None => return usage(),
+            },
+            "--engine-faults" => match value(i).and_then(|s| s.parse().ok()) {
+                Some(seed) => engine_faults = FaultPlan::new(seed),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+
+    let engine = Engine::new(EngineConfig {
+        faults: engine_faults,
+        store,
+        ..match jobs {
+            Some(n) => EngineConfig::with_workers(n),
+            None => EngineConfig::default(),
+        }
+    });
+    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("fdi serve: cannot bind 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = listener.local_addr().expect("bound listener has an addr");
+    if let Some(path) = &port_file {
+        // Write-then-rename so a poller never reads a half-written port.
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, format!("{}\n", addr.port()))
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .is_err()
+        {
+            eprintln!("fdi serve: cannot write port file {path}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "fdi serve: listening on {addr} (pid {})",
+        std::process::id()
+    );
+
+    let server = Arc::new(Server {
+        engine,
+        inflight: AtomicUsize::new(0),
+        max_inflight,
+        draining: AtomicBool::new(false),
+        deadline,
+    });
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let server = server.clone();
+        std::thread::spawn(move || handle_connection(&server, stream));
+    }
+    ExitCode::SUCCESS
+}
+
+fn handle_connection(server: &Arc<Server>, stream: TcpStream) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(reader).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_request(server, &line);
+        let (text, shutdown) = match &reply {
+            Reply::Line(t) => (t, false),
+            Reply::Shutdown(t) => (t, true),
+        };
+        if writeln!(writer, "{text}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if shutdown {
+            // Drained: every admitted job has finished and the reply is on
+            // the wire. Abandoning the accept loop from here is the
+            // protocol's whole graceful-exit path.
+            std::process::exit(0);
+        }
+    }
+}
+
+fn handle_request(server: &Arc<Server>, line: &str) -> Reply {
+    let req = match json::parse(line) {
+        Ok(req) => req,
+        Err(e) => return Reply::Line(err("bad-request", &format!("malformed request: {e}"))),
+    };
+    match req.get("op").and_then(Json::as_str) {
+        Some("ping") => Reply::Line(format!(
+            "{{\"ok\":true,\"op\":\"ping\",\"pid\":{}}}",
+            std::process::id()
+        )),
+        Some("stats") => Reply::Line(format!(
+            "{{\"ok\":true,\"op\":\"stats\",\"inflight\":{},\"draining\":{},\"stats\":{}}}",
+            server.inflight.load(SeqCst),
+            server.draining.load(SeqCst),
+            server.engine.stats().to_json()
+        )),
+        Some("shutdown") => {
+            server.draining.store(true, SeqCst);
+            // Drain: admission is closed, so inflight only falls.
+            while server.inflight.load(SeqCst) > 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Reply::Shutdown(format!(
+                "{{\"ok\":true,\"op\":\"shutdown\",\"jobs_completed\":{}}}",
+                server.engine.stats().jobs_completed
+            ))
+        }
+        Some("job") => Reply::Line(handle_job(server, &req)),
+        Some(other) => Reply::Line(err("bad-request", &format!("unknown op {other:?}"))),
+        None => Reply::Line(err("bad-request", "request has no \"op\"")),
+    }
+}
+
+/// Decrements the in-flight count when dropped, unless responsibility was
+/// handed to a timeout watcher thread via [`InflightSlot::transfer`].
+struct InflightSlot<'a> {
+    server: &'a Server,
+    armed: bool,
+}
+
+impl InflightSlot<'_> {
+    fn transfer(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.server.inflight.fetch_sub(1, SeqCst);
+        }
+    }
+}
+
+fn handle_job(server: &Arc<Server>, req: &Json) -> String {
+    if server.draining.load(SeqCst) {
+        return err("draining", "server is shutting down; resubmit elsewhere");
+    }
+    // Bounded admission: claim a slot or reject *now*. Nothing ever queues
+    // beyond the engine's own worker queues, so a flood degrades to typed
+    // rejections instead of unbounded memory growth and silent latency.
+    if server.inflight.fetch_add(1, SeqCst) >= server.max_inflight {
+        server.inflight.fetch_sub(1, SeqCst);
+        return format!(
+            "{{\"ok\":false,\"kind\":\"overloaded\",\"retry_after_ms\":100,\
+             \"error\":\"{} jobs in flight; retry later\"}}",
+            server.max_inflight
+        );
+    }
+    let slot = InflightSlot {
+        server,
+        armed: true,
+    };
+
+    let (spec, source) = match (
+        req.get("spec").and_then(Json::as_str),
+        req.get("source").and_then(Json::as_str),
+    ) {
+        (Some(spec), None) => match resolve_source(spec) {
+            Ok(src) => (spec.to_string(), src),
+            Err(e) => return err("bad-request", &e),
+        },
+        (None, Some(src)) => ("<inline>".to_string(), src.to_string()),
+        _ => return err("bad-request", "need exactly one of \"spec\" or \"source\""),
+    };
+    let mut config = PipelineConfig::default();
+    let flags: Vec<&str> = match req.get("flags") {
+        None => Vec::new(),
+        Some(flags) => match flags.as_arr() {
+            Some(items) if items.iter().all(|f| f.as_str().is_some()) => {
+                items.iter().filter_map(Json::as_str).collect()
+            }
+            _ => return err("bad-request", "\"flags\" must be an array of strings"),
+        },
+    };
+    if let Err(e) = apply_job_flags(&mut config, &flags) {
+        return err("bad-request", &e);
+    }
+    let deadline = match req.get("deadline_ms").map(|d| d.as_num()) {
+        None => server.deadline,
+        Some(Some(ms)) if ms >= 0.0 => Duration::from_millis(ms as u64),
+        Some(_) => return err("bad-request", "\"deadline_ms\" must be a number"),
+    };
+
+    let job = Job::new(source.as_str(), config);
+    let head = format!(
+        "{{\"ok\":true,\"op\":\"job\",\"spec\":\"{}\",\"threshold\":{}",
+        json_escape(&spec),
+        config.threshold
+    );
+
+    // Warm path: answer straight from the disk store, no recomputation.
+    if let Some(stored) = server.engine.lookup_stored(&job) {
+        return format!(
+            concat!(
+                "{},\"cached\":true,\"degraded\":false,\"oracle_rejected\":false,",
+                "\"size_ratio\":{:.6},\"baseline_size\":{},\"optimized_size\":{},",
+                "\"sites_inlined\":{},\"decisions\":{},\"fuel_used\":{},",
+                "\"optimized\":\"{}\"}}"
+            ),
+            head,
+            stored.size_ratio(),
+            stored.baseline_size,
+            stored.optimized_size,
+            stored.sites_inlined,
+            stored.decisions.to_json(),
+            stored.fuel_used,
+            json_escape(&stored.optimized),
+        );
+    }
+
+    let handle = server.engine.submit(job);
+    let Some(result) = handle.wait_timeout(deadline) else {
+        // The job outlived the request deadline. It keeps running (and will
+        // pave the caches and store for the next asker), so its admission
+        // slot stays claimed until it actually finishes — a watcher thread
+        // inherits the release.
+        slot.transfer();
+        let watcher_server = server.clone();
+        std::thread::spawn(move || {
+            let _ = handle.wait();
+            watcher_server.inflight.fetch_sub(1, SeqCst);
+        });
+        return format!(
+            "{{\"ok\":false,\"kind\":\"timeout\",\"deadline_ms\":{},\
+             \"error\":\"job exceeded its deadline; it keeps running and will warm the cache\"}}",
+            deadline.as_millis()
+        );
+    };
+    drop(slot);
+    match result {
+        Err(e) => err("failed", &e.to_string()),
+        Ok(out) => format!(
+            concat!(
+                "{},\"cached\":false,\"degraded\":{},\"oracle_rejected\":{},",
+                "\"size_ratio\":{:.6},\"baseline_size\":{},\"optimized_size\":{},",
+                "\"sites_inlined\":{},\"decisions\":{},\"fuel_used\":{},",
+                "\"passes\":{},\"health\":{},\"optimized\":\"{}\"}}"
+            ),
+            head,
+            out.health.degraded(),
+            out.health.oracle_rejected(),
+            out.size_ratio(),
+            out.baseline_size,
+            out.optimized_size,
+            out.report.sites_inlined,
+            fdi_telemetry::DecisionTotals::tally(&out.decisions).to_json(),
+            out.fuel_used,
+            passes_json(&out.passes),
+            health_json(&out.health),
+            json_escape(&fdi_lang::unparse(&out.optimized).to_string()),
+        ),
+    }
+}

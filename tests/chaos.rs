@@ -43,6 +43,14 @@ const ENGINE_POINTS: &[FaultPoint] = &[
     FaultPoint::QueueDelay,
 ];
 
+/// The disk-store seams: torn writes, read faults, and bit rot. Only
+/// reachable on engines configured with a store directory.
+const STORE_POINTS: &[FaultPoint] = &[
+    FaultPoint::StoreWrite,
+    FaultPoint::StoreRead,
+    FaultPoint::StoreCorrupt,
+];
+
 fn bench_sources() -> Vec<(&'static str, String)> {
     fdi_benchsuite::BENCHMARKS
         .iter()
@@ -174,6 +182,31 @@ fn chaos_sweep_fires_every_point_and_loses_nothing() {
         let b = engine.submit(Job::new(src.clone(), PipelineConfig::with_threshold(200)));
         assert!(a.wait().is_ok() && b.wait().is_ok(), "{point:?} mini-run");
         drop(engine);
+    }
+
+    // Store-seam coverage: the sweep engines run storeless, so each disk
+    // seam gets its own mini-run against a throwaway store directory. A
+    // save arms the write-side seams (torn write, post-write corruption); a
+    // lookup arms the read-side seam — and in every case the job's answer
+    // is computed fresh and correct, the store fault only costing a miss.
+    for (i, &point) in STORE_POINTS.iter().enumerate() {
+        let root = std::env::temp_dir().join(format!("fdi-chaos-store-{i}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            faults: FaultPlan::only(0xD00D + i as u64, &[point]).with_limit(2),
+            store: Some(root.clone()),
+            ..EngineConfig::default()
+        });
+        let (_, src) = &benches[0];
+        let job = Job::new(src.clone(), PipelineConfig::with_threshold(200));
+        assert!(
+            engine.submit(job.clone()).wait().is_ok(),
+            "{point:?} store mini-run must still answer"
+        );
+        let _ = engine.lookup_stored(&job);
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     let after = fired_counts();

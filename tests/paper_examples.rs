@@ -40,7 +40,7 @@ fn map_with_multiple_sites_is_selective() {
     // Tiny threshold: map is rejected at both sites; the generic map with
     // its apply path must survive.
     let low = optimize(src, &PipelineConfig::with_threshold(10)).expect("pipeline");
-    assert!(low.report.rejected_threshold >= 1, "{:?}", low.report);
+    assert!(low.report.rejected_size >= 1, "{:?}", low.report);
     let printed_low = fdi_lang::unparse(&low.optimized).to_string();
     assert!(
         printed_low.contains("apply"),
@@ -114,7 +114,7 @@ fn selective_and_nested_inlining() {
         out.report
     );
     assert!(
-        out.report.rejected_threshold >= 1,
+        out.report.rejected_size >= 1,
         "big rejected: {:?}",
         out.report
     );

@@ -1,0 +1,340 @@
+//! End-to-end coverage of `fdi serve`: the crash-tolerant optimization
+//! daemon and its disk-backed artifact store.
+//!
+//! These tests drive the real binary (`CARGO_BIN_EXE_fdi`) over its TCP
+//! JSON-lines protocol and check the robustness contract end to end:
+//!
+//! * cold answers match an in-process pipeline run byte for byte, and warm
+//!   answers (same daemon, graceful restart, or post-SIGKILL restart) match
+//!   the cold answers byte for byte;
+//! * a SIGKILL mid-batch loses no correctness: a fresh daemon on the same
+//!   store re-serves every job correctly, answering from disk for the work
+//!   that survived (`store_hits > 0`) and recomputing the rest;
+//! * per-request deadlines are *typed* timeouts — the connection stays
+//!   usable, the job keeps running, and its finished result warms the store;
+//! * admission is bounded: past `--max-inflight`, requests are rejected
+//!   with `overloaded` + `retry_after_ms`, never queued;
+//! * `shutdown` is a graceful drain and exits 0.
+
+use fdi_telemetry::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "fdi-serve-{tag}-{}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+struct Daemon {
+    child: Child,
+    port: u16,
+}
+
+impl Daemon {
+    /// Spawns `fdi serve`, waiting for the port file to learn its address.
+    fn spawn(store: Option<&Path>, extra: &[&str]) -> Daemon {
+        let dir = temp_dir("portfile");
+        let port_file = dir.join("port");
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_fdi"));
+        cmd.arg("serve")
+            .arg("--port-file")
+            .arg(&port_file)
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        if let Some(root) = store {
+            cmd.arg("--store").arg(root);
+        }
+        let child = cmd.spawn().expect("spawn fdi serve");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let port = loop {
+            if let Some(p) = std::fs::read_to_string(&port_file)
+                .ok()
+                .and_then(|text| text.trim().parse().ok())
+            {
+                break p;
+            }
+            assert!(Instant::now() < deadline, "daemon never published its port");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+        Daemon { child, port }
+    }
+
+    fn connect(&self) -> TcpStream {
+        TcpStream::connect(("127.0.0.1", self.port)).expect("connect to daemon")
+    }
+
+    /// One request, one response, on a fresh connection.
+    fn request(&self, line: &str) -> Json {
+        let mut stream = self.connect();
+        send(&mut stream, line)
+    }
+
+    /// Waits (briefly) for the daemon to exit and returns its status.
+    fn wait_exit(&mut self) -> std::process::ExitStatus {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "daemon never exited");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Writes one request line on `stream` and reads one response line.
+fn send(stream: &mut TcpStream, line: &str) -> Json {
+    writeln!(stream, "{line}").expect("send request");
+    stream.flush().expect("flush request");
+    let mut response = String::new();
+    BufReader::new(stream.try_clone().expect("clone stream"))
+        .read_line(&mut response)
+        .expect("read response");
+    json::parse(response.trim()).expect("well-formed response line")
+}
+
+fn is_ok(doc: &Json) -> bool {
+    doc.get("ok") == Some(&Json::Bool(true))
+}
+
+fn str_field<'j>(doc: &'j Json, key: &str) -> &'j str {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("response lacks string {key:?}: {doc:?}"))
+}
+
+fn num_field(doc: &Json, key: &str) -> f64 {
+    doc.get(key)
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("response lacks number {key:?}: {doc:?}"))
+}
+
+fn job_request(spec: &str, deadline_ms: Option<u64>) -> String {
+    let deadline = deadline_ms
+        .map(|ms| format!(",\"deadline_ms\":{ms}"))
+        .unwrap_or_default();
+    format!("{{\"op\":\"job\",\"spec\":\"{spec}\",\"flags\":[\"-t\",\"200\"]{deadline}}}")
+}
+
+/// The optimized text an in-process pipeline run produces for `src` at
+/// threshold 200 — the byte-identity reference for every serve answer.
+fn reference_optimized(src: &str) -> String {
+    let out = fdi_core::optimize(src, &fdi_core::PipelineConfig::with_threshold(200))
+        .expect("reference run succeeds");
+    assert!(out.health.degradations.is_empty(), "reference run is clean");
+    fdi_lang::unparse(&out.optimized).to_string()
+}
+
+fn bench_spec(b: &fdi_benchsuite::Benchmark) -> String {
+    format!("bench:{}@{}", b.name, b.test_scale)
+}
+
+#[test]
+fn ping_stats_and_graceful_shutdown() {
+    let mut daemon = Daemon::spawn(None, &["--jobs", "2"]);
+    let pong = daemon.request("{\"op\":\"ping\"}");
+    assert!(is_ok(&pong), "{pong:?}");
+    assert_eq!(num_field(&pong, "pid") as u32, daemon.child.id());
+
+    let stats = daemon.request("{\"op\":\"stats\"}");
+    assert!(is_ok(&stats), "{stats:?}");
+    assert_eq!(num_field(&stats, "inflight"), 0.0);
+    assert_eq!(stats.get("draining"), Some(&Json::Bool(false)));
+    let engine = stats.get("stats").expect("embedded engine stats");
+    assert_eq!(num_field(engine, "jobs_completed"), 0.0);
+
+    // Unknown ops and malformed lines are typed rejections, not hangups.
+    let bad = daemon.request("{\"op\":\"frobnicate\"}");
+    assert!(!is_ok(&bad));
+    assert_eq!(str_field(&bad, "kind"), "bad-request");
+    let bad = daemon.request("not json at all");
+    assert_eq!(str_field(&bad, "kind"), "bad-request");
+
+    let bye = daemon.request("{\"op\":\"shutdown\"}");
+    assert!(is_ok(&bye), "{bye:?}");
+    assert!(daemon.wait_exit().success(), "graceful shutdown exits 0");
+}
+
+#[test]
+fn warm_answers_are_byte_identical_across_graceful_restart() {
+    let store = temp_dir("warm");
+    let bench = &fdi_benchsuite::BENCHMARKS[0];
+    let spec = bench_spec(bench);
+    let expected = reference_optimized(&bench.scaled(bench.test_scale));
+
+    let mut first = Daemon::spawn(Some(&store), &["--jobs", "2"]);
+    let cold = first.request(&job_request(&spec, None));
+    assert!(is_ok(&cold), "{cold:?}");
+    assert_eq!(cold.get("cached"), Some(&Json::Bool(false)));
+    assert_eq!(
+        str_field(&cold, "optimized"),
+        expected,
+        "cold == in-process"
+    );
+
+    // Same daemon, same job: answered from the disk store without rerunning.
+    let warm = first.request(&job_request(&spec, None));
+    assert!(is_ok(&warm), "{warm:?}");
+    assert_eq!(warm.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(str_field(&warm, "optimized"), expected, "warm == cold");
+    assert!(is_ok(&first.request("{\"op\":\"shutdown\"}")));
+    assert!(first.wait_exit().success());
+
+    // A fresh daemon on the same store starts warm.
+    let second = Daemon::spawn(Some(&store), &["--jobs", "2"]);
+    let restarted = second.request(&job_request(&spec, None));
+    assert!(is_ok(&restarted), "{restarted:?}");
+    assert_eq!(restarted.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(str_field(&restarted, "optimized"), expected);
+    let stats = second.request("{\"op\":\"stats\"}");
+    let engine = stats.get("stats").expect("engine stats");
+    assert!(num_field(engine, "store_hits") >= 1.0, "{stats:?}");
+    assert_eq!(
+        num_field(engine, "jobs_completed"),
+        0.0,
+        "nothing recomputed"
+    );
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn request_deadline_is_a_typed_timeout_not_a_hung_connection() {
+    let store = temp_dir("timeout");
+    let bench = &fdi_benchsuite::BENCHMARKS[0];
+    // Default scale: heavy enough that a 0 ms deadline always loses the race.
+    let spec = format!("bench:{}@{}", bench.name, bench.default_scale);
+
+    let daemon = Daemon::spawn(Some(&store), &["--jobs", "2"]);
+    let mut stream = daemon.connect();
+    let timed_out = send(&mut stream, &job_request(&spec, Some(0)));
+    assert!(!is_ok(&timed_out), "{timed_out:?}");
+    assert_eq!(str_field(&timed_out, "kind"), "timeout");
+    assert_eq!(num_field(&timed_out, "deadline_ms"), 0.0);
+
+    // The same connection answers the next request: timeout ≠ hangup.
+    let pong = send(&mut stream, "{\"op\":\"ping\"}");
+    assert!(is_ok(&pong), "{pong:?}");
+
+    // The abandoned job keeps running, holds its admission slot until done,
+    // and then warms the store: the resubmit is a cache hit.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let stats = daemon.request("{\"op\":\"stats\"}");
+        if num_field(&stats, "inflight") == 0.0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "timed-out job never finished");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let warm = daemon.request(&job_request(&spec, None));
+    assert!(is_ok(&warm), "{warm:?}");
+    assert_eq!(
+        warm.get("cached"),
+        Some(&Json::Bool(true)),
+        "a timed-out job's work is not wasted"
+    );
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn admission_is_bounded_and_rejects_with_retry_hint() {
+    let daemon = Daemon::spawn(None, &["--jobs", "2", "--max-inflight", "0"]);
+    let bench = &fdi_benchsuite::BENCHMARKS[0];
+    let rejected = daemon.request(&job_request(&bench_spec(bench), None));
+    assert!(!is_ok(&rejected), "{rejected:?}");
+    assert_eq!(str_field(&rejected, "kind"), "overloaded");
+    assert!(num_field(&rejected, "retry_after_ms") > 0.0);
+    // The reject is backpressure, not a failure of the daemon: it still
+    // serves control traffic.
+    assert!(is_ok(&daemon.request("{\"op\":\"ping\"}")));
+}
+
+#[test]
+fn sigkill_mid_batch_then_restart_serves_byte_identical_answers() {
+    let store = temp_dir("sigkill");
+    let benches: Vec<(String, String)> = fdi_benchsuite::BENCHMARKS
+        .iter()
+        .map(|b| (bench_spec(b), reference_optimized(&b.scaled(b.test_scale))))
+        .collect();
+
+    let mut daemon = Daemon::spawn(Some(&store), &["--jobs", "2"]);
+    // Complete (and persist) the first three jobs…
+    for (spec, expected) in &benches[..3] {
+        let cold = daemon.request(&job_request(spec, None));
+        assert!(is_ok(&cold), "{cold:?}");
+        assert_eq!(str_field(&cold, "optimized"), expected);
+    }
+    // …then flood the rest in from concurrent clients and SIGKILL the
+    // daemon mid-batch. Whatever was mid-computation — or mid-store-write —
+    // is simply lost; the store must never serve it wrong.
+    let floods: Vec<_> = benches[3..]
+        .iter()
+        .map(|(spec, _)| {
+            let port = daemon.port;
+            let line = job_request(spec, None);
+            std::thread::spawn(move || {
+                if let Ok(mut stream) = TcpStream::connect(("127.0.0.1", port)) {
+                    let _ = writeln!(stream, "{line}");
+                    let _ = stream.flush();
+                    let mut response = String::new();
+                    let _ = BufReader::new(stream).read_line(&mut response);
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+    daemon.child.kill().expect("SIGKILL the daemon");
+    let _ = daemon.child.wait();
+    for t in floods {
+        let _ = t.join();
+    }
+    drop(daemon);
+
+    // A fresh daemon against the same store: every job answers, every
+    // answer is byte-identical to the in-process reference, and the work
+    // that survived the crash is re-served from disk, not recomputed.
+    let restarted = Daemon::spawn(Some(&store), &["--jobs", "2"]);
+    for (spec, expected) in &benches {
+        let resp = restarted.request(&job_request(spec, None));
+        assert!(is_ok(&resp), "{spec}: {resp:?}");
+        assert_eq!(
+            str_field(&resp, "optimized"),
+            expected,
+            "{spec}: wrong answer after crash recovery"
+        );
+    }
+    let stats = restarted.request("{\"op\":\"stats\"}");
+    let engine = stats.get("stats").expect("engine stats");
+    let hits = num_field(engine, "store_hits");
+    let completed = num_field(engine, "jobs_completed");
+    assert!(
+        hits >= 3.0,
+        "pre-kill work must be re-served from disk: {stats:?}"
+    );
+    assert!(
+        completed <= (benches.len() - 3) as f64,
+        "warm re-serve must be cheaper than a cold rerun: {stats:?}"
+    );
+    assert_eq!(num_field(engine, "jobs_quarantined"), 0.0, "zero poisoned");
+    let _ = std::fs::remove_dir_all(&store);
+}
