@@ -161,7 +161,7 @@ impl PipelineConfig {
     /// constructed) always collide; the absolute
     /// [`AnalysisLimits::deadline`] is excluded (see the module docs).
     pub fn fingerprint(&self) -> u64 {
-        let f = Fingerprint::new().byte(3); // encoding version
+        let f = Fingerprint::new().byte(4); // encoding version
         let f = encode_limits(encode_policy(f, self.policy), &self.limits);
         let f = f.usize(self.threshold);
         let f = match self.mode {
@@ -183,6 +183,13 @@ impl PipelineConfig {
         // The pass schedule determines which transforms run at all, so jobs
         // are keyed by (everything above, schedule).
         let f = f.u64(self.schedule.fingerprint());
+        // A profile-guided run reorders the inliner's budget allocation, so
+        // the profile's identity and the size budget both split the job key —
+        // a guided output must never be served from a static run's cache
+        // entry, or vice versa.
+        let f = f
+            .opt(self.profile_fp)
+            .opt(self.size_budget.map(|b| b as u64));
         f.finish()
     }
 }
@@ -294,6 +301,26 @@ mod tests {
             assert_eq!(base.analysis_fingerprint(), other.analysis_fingerprint());
             assert_ne!(base.fingerprint(), other.fingerprint());
         }
+    }
+
+    #[test]
+    fn profile_and_size_budget_split_the_job_key_only() {
+        let base = PipelineConfig::with_threshold(200);
+        let mut guided = base;
+        guided.profile_fp = Some(0xdead_beef);
+        let mut other_profile = base;
+        other_profile.profile_fp = Some(0xfeed_face);
+        let mut capped = base;
+        capped.size_budget = Some(64);
+        let mut both = guided;
+        both.size_budget = Some(64);
+        for other in [guided, other_profile, capped, both] {
+            assert_eq!(base.analysis_fingerprint(), other.analysis_fingerprint());
+            assert_ne!(base.fingerprint(), other.fingerprint());
+        }
+        // Distinct profiles are distinct jobs.
+        assert_ne!(guided.fingerprint(), other_profile.fingerprint());
+        assert_ne!(guided.fingerprint(), both.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! The shared artifact framing discipline.
+//!
+//! Every durable artifact this workspace writes — the engine's disk store
+//! (`fdi-engine`) and the profiler's `Profile` artifact (`fdi-profile`) —
+//! uses one frame layout, so corruption detection behaves identically
+//! everywhere:
+//!
+//! ```text
+//! magic "FDI\x01" · payload length (u64 LE) · FNV-1a checksum (u64 LE) · payload
+//! ```
+//!
+//! [`encode_frame`] wraps a UTF-8 payload; [`decode_frame`] verifies a frame
+//! end to end (magic, length, checksum, UTF-8) and returns the payload, or
+//! `None` for anything short of a byte-perfect frame. Callers layer their
+//! own payload codec (JSON, usually) on top and treat a shape mismatch the
+//! same way: corruption, never a guess.
+
+use crate::fingerprint::source_fingerprint;
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: &[u8; 4] = b"FDI\x01";
+
+/// Frame header size: magic + length + checksum.
+pub const HEADER: usize = 4 + 8 + 8;
+
+/// Frames a payload: magic, length, FNV-1a checksum, bytes.
+///
+/// # Examples
+///
+/// ```
+/// use fdi_core::framing::{decode_frame, encode_frame};
+///
+/// let frame = encode_frame("{\"v\":1}");
+/// assert_eq!(decode_frame(&frame), Some("{\"v\":1}"));
+/// ```
+pub fn encode_frame(payload: &str) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER + payload.len());
+    frame.extend_from_slice(MAGIC);
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&source_fingerprint(payload).to_le_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    frame
+}
+
+/// Verifies a frame end to end and returns its payload; `None` means
+/// corrupt (bad magic, wrong length, checksum mismatch, or invalid UTF-8).
+pub fn decode_frame(bytes: &[u8]) -> Option<&str> {
+    if bytes.len() < HEADER || &bytes[..4] != MAGIC {
+        return None;
+    }
+    let len = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    if bytes.len() != HEADER + len {
+        return None;
+    }
+    let payload = std::str::from_utf8(&bytes[HEADER..]).ok()?;
+    if source_fingerprint(payload) != checksum {
+        return None;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_arbitrary_payloads() {
+        for payload in ["", "x", "{\"v\":1,\"text\":\"a\\nb\"}", "héllo ∀ frames"] {
+            let frame = encode_frame(payload);
+            assert_eq!(frame.len(), HEADER + payload.len());
+            assert_eq!(decode_frame(&frame), Some(payload));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut frame = encode_frame("payload");
+        frame[0] ^= 0x01;
+        assert_eq!(decode_frame(&frame), None);
+    }
+
+    #[test]
+    fn rejects_truncation_and_extension() {
+        let frame = encode_frame("payload");
+        for cut in [0, 3, HEADER - 1, HEADER + 3, frame.len() - 1] {
+            assert_eq!(decode_frame(&frame[..cut]), None, "cut at {cut}");
+        }
+        let mut longer = frame.clone();
+        longer.push(b'!');
+        assert_eq!(decode_frame(&longer), None);
+    }
+
+    #[test]
+    fn rejects_payload_bit_flips() {
+        let mut frame = encode_frame("a checksum-protected payload");
+        let mid = HEADER + (frame.len() - HEADER) / 2;
+        frame[mid] ^= 0x20;
+        assert_eq!(decode_frame(&frame), None);
+    }
+
+    #[test]
+    fn rejects_invalid_utf8() {
+        let mut frame = encode_frame("ascii");
+        frame[HEADER] = 0xFF;
+        let bad = std::str::from_utf8(&frame[HEADER..]).is_err();
+        assert!(bad);
+        assert_eq!(decode_frame(&frame), None);
+    }
+}

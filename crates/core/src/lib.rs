@@ -38,6 +38,7 @@
 mod error;
 pub mod faults;
 mod fingerprint;
+pub mod framing;
 mod oracle;
 pub mod passes;
 mod runner;
@@ -52,7 +53,7 @@ pub use faults::{fired_counts, FaultAction, FaultPlan, FaultPoint, ALL_FAULT_POI
 pub use fdi_cfa::{
     AbortReason, AnalysisLimits, AnalysisStats, AnalyzePass, FlowAnalysis, Polyvariance,
 };
-pub use fdi_inline::{InlineConfig, InlineMode, InlinePass, InlineReport};
+pub use fdi_inline::{InlineConfig, InlineGuide, InlineMode, InlinePass, InlineReport};
 pub use fdi_lang::{
     ExpandPass, FrontendError, LowerPass, ParsePass, Program, UnparsePass, ValidatePass,
 };
@@ -60,7 +61,7 @@ pub use fdi_simplify::{SimplifyPass, SimplifyStats};
 pub use fdi_telemetry::{
     DecisionReason, DecisionRecord, DecisionTotals, Telemetry, Verdict, REASON_KEYS,
 };
-pub use fdi_vm::{CostModel, Counters, Outcome, RunConfig, VmError};
+pub use fdi_vm::{CostModel, Counters, Outcome, RunConfig, SiteCost, VmError};
 pub use fingerprint::{source_fingerprint, Fingerprint};
 pub use oracle::{
     compare_observations, observe, validate_equivalence, Observation, OracleConfig, OracleVerdict,
@@ -94,6 +95,16 @@ pub struct PipelineConfig {
     pub oracle: OracleConfig,
     /// The pass schedule (default: the paper's analyze → inline → simplify).
     pub schedule: Schedule,
+    /// Whole-run cap on the total specialized size the inliner may commit
+    /// (`None` = uncapped, the paper's configuration). With a cap, the
+    /// inliner probes first and allocates the budget over candidate sites —
+    /// hot-first when a profile guide is supplied, syntactic order otherwise.
+    pub size_budget: Option<usize>,
+    /// Fingerprint of the loaded profile artifact guiding this run (`None` =
+    /// static order). The guide itself travels out-of-band (it is not
+    /// `Copy`); this field folds its identity into the job cache key so a
+    /// profile-guided run never collides with a static one.
+    pub profile_fp: Option<u64>,
 }
 
 impl PipelineConfig {
@@ -111,6 +122,8 @@ impl PipelineConfig {
             faults: FaultPlan::default(),
             oracle: OracleConfig::default(),
             schedule: Schedule::default(),
+            size_budget: None,
+            profile_fp: None,
         }
     }
 }
@@ -182,7 +195,7 @@ impl PipelineOutput {
 /// so this function is total: given a lowered program it always produces a
 /// semantically equivalent output.
 fn run_pipeline(program: &Program, config: &PipelineConfig) -> PipelineOutput {
-    run_pipeline_with(program, config, None, &Telemetry::off())
+    run_pipeline_with(program, config, None, &Telemetry::off(), None)
 }
 
 /// [`run_pipeline`], optionally reusing a pre-computed flow analysis.
@@ -202,8 +215,9 @@ fn run_pipeline_with(
     config: &PipelineConfig,
     shared: Option<Result<&FlowAnalysis, &PipelineError>>,
     telemetry: &Telemetry,
+    guide: Option<&InlineGuide>,
 ) -> PipelineOutput {
-    passes::run_schedule(program, config, shared, telemetry)
+    passes::run_schedule(program, config, shared, telemetry, guide)
 }
 
 /// The front end (reader → expander → lowerer), staged so the Parse,
@@ -255,6 +269,26 @@ pub fn optimize_instrumented(
     config: &PipelineConfig,
     telemetry: &Telemetry,
 ) -> Result<PipelineOutput, PipelineError> {
+    optimize_guided(src, config, None, telemetry)
+}
+
+/// [`optimize_instrumented`] with an optional profile guide: when `guide` is
+/// supplied and [`PipelineConfig::size_budget`] is set, the inliner allocates
+/// the size budget over candidate sites hot-first (benefit-ordered) instead
+/// of in syntactic order. With `guide: None` this is exactly
+/// [`optimize_instrumented`]. Callers are responsible for the cache-key half
+/// of the contract: a run with a guide must set
+/// [`PipelineConfig::profile_fp`].
+///
+/// # Errors
+///
+/// Exactly [`optimize`]'s contract.
+pub fn optimize_guided(
+    src: &str,
+    config: &PipelineConfig,
+    guide: Option<&InlineGuide>,
+    telemetry: &Telemetry,
+) -> Result<PipelineOutput, PipelineError> {
     let _pipeline = telemetry.span("pipeline", "pipeline");
     let start = Instant::now();
     let program = {
@@ -262,7 +296,7 @@ pub fn optimize_instrumented(
         frontend(src, config)?
     };
     let wall = start.elapsed();
-    let mut out = optimize_program_instrumented(&program, config, telemetry)?;
+    let mut out = optimize_program_guided(&program, config, guide, telemetry)?;
     // The frontend runs before the pass manager exists; splice its trace in
     // front so `--trace` shows the whole run. It charges no fuel (the budget
     // only meters the transform pipeline).
@@ -306,7 +340,22 @@ pub fn optimize_program_instrumented(
     config: &PipelineConfig,
     telemetry: &Telemetry,
 ) -> Result<PipelineOutput, PipelineError> {
-    Ok(run_pipeline_with(program, config, None, telemetry))
+    Ok(run_pipeline_with(program, config, None, telemetry, None))
+}
+
+/// [`optimize_program_instrumented`] with an optional profile guide (see
+/// [`optimize_guided`]).
+///
+/// # Errors
+///
+/// Never fails today; the `Result` keeps the signature uniform.
+pub fn optimize_program_guided(
+    program: &Program,
+    config: &PipelineConfig,
+    guide: Option<&InlineGuide>,
+    telemetry: &Telemetry,
+) -> Result<PipelineOutput, PipelineError> {
+    Ok(run_pipeline_with(program, config, None, telemetry, guide))
 }
 
 /// [`optimize`] with the strict, error-propagating contract: the first
@@ -393,7 +442,7 @@ pub fn optimize_program_with_analysis(
     config: &PipelineConfig,
     analysis: Result<&FlowAnalysis, &PipelineError>,
 ) -> PipelineOutput {
-    run_pipeline_with(program, config, Some(analysis), &Telemetry::off())
+    run_pipeline_with(program, config, Some(analysis), &Telemetry::off(), None)
 }
 
 /// [`optimize_program_with_analysis`] with a live telemetry stream (see
@@ -404,7 +453,20 @@ pub fn optimize_program_with_analysis_instrumented(
     analysis: Result<&FlowAnalysis, &PipelineError>,
     telemetry: &Telemetry,
 ) -> PipelineOutput {
-    run_pipeline_with(program, config, Some(analysis), telemetry)
+    run_pipeline_with(program, config, Some(analysis), telemetry, None)
+}
+
+/// [`optimize_program_with_analysis_instrumented`] with an optional profile
+/// guide (see [`optimize_guided`]) — the engine's profile-guided execution
+/// path.
+pub fn optimize_program_with_analysis_guided(
+    program: &Program,
+    config: &PipelineConfig,
+    analysis: Result<&FlowAnalysis, &PipelineError>,
+    guide: Option<&InlineGuide>,
+    telemetry: &Telemetry,
+) -> PipelineOutput {
+    run_pipeline_with(program, config, Some(analysis), telemetry, guide)
 }
 
 /// Runs the pipeline repeatedly — analyze, inline, simplify, re-analyze —
@@ -549,9 +611,13 @@ pub fn sweep_program(
             ..*config
         };
         let output = match &shared {
-            Some(analysis) => {
-                run_pipeline_with(program, &cfg, Some(analysis.as_ref()), &Telemetry::off())
-            }
+            Some(analysis) => run_pipeline_with(
+                program,
+                &cfg,
+                Some(analysis.as_ref()),
+                &Telemetry::off(),
+                None,
+            ),
             None => run_pipeline(program, &cfg),
         };
         let exec = execute_cell(&output, t, run_config);
@@ -804,6 +870,53 @@ mod tests {
         assert!(rounds <= 3, "pipeline should converge fast, took {rounds}");
         let r = fdi_vm::run(&out.optimized, &RunConfig::default()).unwrap();
         assert_eq!(r.value, "(16 . 81)");
+    }
+
+    #[test]
+    fn size_budget_and_guide_steer_the_pipeline() {
+        let src = "(define (sq x) (* x x)) (define (inc n) (+ n 1)) (cons (sq 7) (inc 1))";
+        let mut cfg = PipelineConfig::with_threshold(300);
+        let full = optimize(src, &cfg).unwrap();
+        assert!(full.report.sites_inlined >= 2);
+        let expected = fdi_vm::run(&full.optimized, &RunConfig::default()).unwrap();
+
+        // Budget 0: every candidate is cut, behaviour is preserved.
+        cfg.size_budget = Some(0);
+        let none = optimize(src, &cfg).unwrap();
+        assert!(!none.health.degraded());
+        assert_eq!(none.report.sites_inlined, 0);
+        assert!(none.report.rejected_budget >= 2);
+        assert!(none
+            .decisions
+            .iter()
+            .any(|d| matches!(d.reason, DecisionReason::SizeBudgetExhausted { .. })));
+        let r = fdi_vm::run(&none.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, expected.value);
+
+        // A guide under a tight budget spends it on the hot site first.
+        let hot = full
+            .decisions
+            .iter()
+            .rev()
+            .find_map(|d| match d.reason {
+                DecisionReason::Inlined { specialized_size } => {
+                    Some((d.site_label.clone(), specialized_size))
+                }
+                _ => None,
+            })
+            .expect("the full run inlined something");
+        cfg.size_budget = Some(hot.1);
+        cfg.profile_fp = Some(0x1234);
+        let mut guide = InlineGuide::new();
+        guide.set(hot.0.clone(), 1_000_000);
+        let guided = optimize_guided(src, &cfg, Some(&guide), &Telemetry::off()).unwrap();
+        assert!(!guided.health.degraded());
+        assert!(guided
+            .decisions
+            .iter()
+            .any(|d| d.site_label == hot.0 && matches!(d.reason, DecisionReason::Inlined { .. })));
+        let r = fdi_vm::run(&guided.optimized, &RunConfig::default()).unwrap();
+        assert_eq!(r.value, expected.value);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::{
     PipelineOutput, SimplifyStats,
 };
 use fdi_cfa::AnalyzePass;
-use fdi_inline::InlinePass;
+use fdi_inline::{InlineGuide, InlinePass};
 use fdi_lang::{ExpandPass, LowerPass, ParsePass, Program, UnparsePass, ValidatePass};
 use fdi_sexpr::Datum;
 use fdi_simplify::SimplifyPass;
@@ -721,6 +721,10 @@ struct PassManager<'a> {
     /// inlining both consumed the *original* program.
     rewritten: bool,
     shared: Option<Result<&'a FlowAnalysis, &'a PipelineError>>,
+    /// Benefit guide for budgeted inlining (`None` = static order). The
+    /// guide is not `Copy`, so it rides beside the config rather than in it;
+    /// `config.profile_fp` carries its identity into the cache key.
+    guide: Option<&'a InlineGuide>,
 }
 
 /// Runs `config.schedule` over `program` — the engine behind every
@@ -731,6 +735,7 @@ pub(crate) fn run_schedule(
     config: &PipelineConfig,
     shared: Option<Result<&FlowAnalysis, &PipelineError>>,
     telemetry: &Telemetry,
+    guide: Option<&InlineGuide>,
 ) -> PipelineOutput {
     // A fresh injector per run: the same seed replays exactly the same
     // faults. Disabled plans cost one branch per fire site.
@@ -787,6 +792,7 @@ pub(crate) fn run_schedule(
         telemetry: telemetry.clone(),
         rewritten: false,
         shared,
+        guide,
     };
 
     let schedule = config.schedule;
@@ -1035,10 +1041,20 @@ impl PassManager<'_> {
             };
             let flow = self.flow.get().expect("checked above");
             let telemetry = &self.telemetry;
+            let guide = self.guide;
+            let size_budget = self.config.size_budget;
             run_phase(
                 Phase::Inline,
                 || -> Result<(Program, InlineReport, Vec<DecisionRecord>), PipelineError> {
                     injector.fire(FaultPoint::Inline)?;
+                    if size_budget.is_some() {
+                        // The budgeted driver probes, plans the budget over
+                        // candidate sites (benefit-ordered when guided), and
+                        // commits — bypassing the `Pass` seam, which has no
+                        // channel for the out-of-band guide.
+                        let out = pass.apply_budgeted(input, flow, guide, size_budget, telemetry);
+                        return Ok((out.program, out.report, out.decisions));
+                    }
                     let mut cx = PassCx::for_program(Phase::Inline, input, Some(flow))
                         .with_telemetry(telemetry);
                     match pass.run(&mut cx)? {

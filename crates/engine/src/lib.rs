@@ -78,10 +78,10 @@ pub use store::StoredOutput;
 use cache::{Gate, KeyedCache};
 use fdi_core::faults::{FaultInjector, FaultPlan, FaultPoint};
 use fdi_core::{
-    analyze_contained, assemble_sweep_rows, execute_cell, optimize_instrumented,
-    optimize_program_instrumented, optimize_program_with_analysis_instrumented, parse_contained,
-    source_fingerprint, FlowAnalysis, Outcome, Phase, PipelineConfig, PipelineError,
-    PipelineOutput, Program, RunConfig, SweepCell, SweepRow,
+    analyze_contained, assemble_sweep_rows, execute_cell, optimize_guided, optimize_program_guided,
+    optimize_program_with_analysis_guided, parse_contained, source_fingerprint, FlowAnalysis,
+    InlineGuide, Outcome, Phase, PipelineConfig, PipelineError, PipelineOutput, Program, RunConfig,
+    SweepCell, SweepRow,
 };
 use fdi_telemetry::{DecisionTotals, Telemetry};
 use pool::{Pool, Task};
@@ -119,6 +119,28 @@ pub struct EngineConfig {
     /// root is reported and the store disabled — never a construction
     /// failure.
     pub store: Option<PathBuf>,
+    /// A loaded call-site profile to apply engine-wide. Every submitted job
+    /// whose source fingerprint matches is marked profile-guided (splitting
+    /// its cache key and ordering its inline budget hot-first); a mismatch
+    /// leaves the job static and emits a `profile.stale` instant. `None`
+    /// (the default) runs everything in static order.
+    pub profile: Option<EngineProfile>,
+}
+
+/// A verified profile artifact in engine form: the staleness key, the
+/// content fingerprint to fold into job cache keys, and the benefit guide.
+///
+/// The engine does not read profile artifacts itself — the caller (the CLI,
+/// via `fdi-profile`) loads and verifies the artifact and hands over this
+/// distilled form, keeping the engine decoupled from the on-disk format.
+#[derive(Debug, Clone)]
+pub struct EngineProfile {
+    /// [`source_fingerprint`] of the source the profile was collected from.
+    pub source_fp: u64,
+    /// Content fingerprint of the artifact (`Profile::fingerprint`).
+    pub fingerprint: u64,
+    /// The benefit-ordered guide distilled from the profile.
+    pub guide: Arc<InlineGuide>,
 }
 
 impl EngineConfig {
@@ -142,6 +164,7 @@ impl Default for EngineConfig {
             max_retries: 2,
             retry_backoff: Duration::from_millis(10),
             store: None,
+            profile: None,
         }
     }
 }
@@ -272,6 +295,48 @@ struct Inner {
     exec_shard: AtomicU64,
     /// The disk-backed artifact store, when [`EngineConfig::store`] is set.
     store: Option<store::DiskStore>,
+    /// The engine-wide profile, when [`EngineConfig::profile`] is set.
+    profile: Option<EngineProfile>,
+}
+
+impl Inner {
+    /// Marks `job` profile-guided when the engine profile matches its
+    /// source; a stale profile leaves the job static. With `record` set
+    /// (submission) the outcome is counted and a stale match emits a
+    /// `profile.stale` instant; without it (store lookups) the application
+    /// is silent — keys must agree with submission, stats must not move.
+    fn apply_profile(&self, job: &mut Job, record: bool) {
+        let Some(p) = self.profile.as_ref() else {
+            return;
+        };
+        if p.source_fp == source_fingerprint(&job.source) {
+            job.config.profile_fp = Some(p.fingerprint);
+            if record {
+                self.stats.profile_applied.fetch_add(1, Relaxed);
+            }
+        } else if record {
+            self.stats.profile_stale.fetch_add(1, Relaxed);
+            self.telemetry.instant(
+                "profile.stale",
+                "profile",
+                &[
+                    ("profile_fp", format!("{:016x}", p.source_fp)),
+                    (
+                        "source_fp",
+                        format!("{:016x}", source_fingerprint(&job.source)),
+                    ),
+                ],
+            );
+        }
+    }
+}
+
+/// The guide for `job`, if it was marked profile-guided at submission.
+/// Gated on the fingerprint so a job configured against a *different*
+/// profile (or none) never picks up this engine's guide by accident.
+fn job_guide<'a>(inner: &'a Inner, job: &Job) -> Option<&'a InlineGuide> {
+    let p = inner.profile.as_ref()?;
+    (job.config.profile_fp == Some(p.fingerprint)).then(|| p.guide.as_ref())
 }
 
 /// The concurrent batch-optimization engine.
@@ -328,6 +393,7 @@ impl Engine {
                 inflight: Mutex::new(HashMap::new()),
                 exec_shard: AtomicU64::new(0),
                 store: disk,
+                profile: config.profile,
             }),
             pool,
         }
@@ -365,8 +431,13 @@ impl Engine {
         if job.bypasses_cache() {
             return None;
         }
+        // The store key must match what submission would compute, so the
+        // engine profile is applied to a silent copy (no counters, no
+        // instants — this is a read-only probe, not a submission).
+        let mut keyed = job.clone();
+        self.inner.apply_profile(&mut keyed, false);
         self.inner.stats.fingerprints_computed.fetch_add(2, Relaxed);
-        let hit = store.load_counted(job.key(), &self.inner.stats);
+        let hit = store.load_counted(keyed.key(), &self.inner.stats);
         self.inner.telemetry.instant(
             "cache.store",
             "cache",
@@ -381,7 +452,8 @@ impl Engine {
     /// of re-run: the returned handle (marked `deduped`) resolves to the
     /// same shared output. Bypass jobs (deadline or fault plan) are never
     /// deduplicated and never fingerprinted.
-    pub fn submit(&self, job: Job) -> JobHandle {
+    pub fn submit(&self, mut job: Job) -> JobHandle {
+        self.inner.apply_profile(&mut job, true);
         let gate = Arc::new(Gate::new());
         let key = if job.bypasses_cache() {
             None
@@ -708,7 +780,12 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
     if job.bypasses_cache() {
         inner.stats.analysis_uncached.fetch_add(1, Relaxed);
         let started = Instant::now();
-        let out = optimize_instrumented(&job.source, &job.config, &inner.telemetry);
+        let out = optimize_guided(
+            &job.source,
+            &job.config,
+            job_guide(inner, job),
+            &inner.telemetry,
+        );
         stats::StatsInner::add_time(&inner.stats.transform_ns, started.elapsed());
         if let Ok(out) = &out {
             inner.stats.record_passes(&out.passes);
@@ -786,7 +863,12 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
     if !job.config.schedule.starts_with_analyze() {
         inner.stats.analysis_uncached.fetch_add(1, Relaxed);
         let started = Instant::now();
-        let out = optimize_program_instrumented(&program, &job.config, &inner.telemetry);
+        let out = optimize_program_guided(
+            &program,
+            &job.config,
+            job_guide(inner, job),
+            &inner.telemetry,
+        );
         stats::StatsInner::add_time(&inner.stats.transform_ns, started.elapsed());
         if let Ok(out) = &out {
             inner.stats.record_passes(&out.passes);
@@ -820,10 +902,11 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
         Ok(flow) => Ok(&**flow),
         Err(e) => Err(e),
     };
-    let out = optimize_program_with_analysis_instrumented(
+    let out = optimize_program_with_analysis_guided(
         &program,
         &job.config,
         shared,
+        job_guide(inner, job),
         &inner.telemetry,
     );
     stats::StatsInner::add_time(&inner.stats.transform_ns, transform_started.elapsed());
@@ -1316,5 +1399,101 @@ mod tests {
             poisoned[0].error,
             PipelineError::OracleRejected { .. }
         ));
+    }
+
+    /// A matched engine profile for `src` with a distinctive fingerprint.
+    fn test_profile(src: &str) -> EngineProfile {
+        let mut guide = InlineGuide::new();
+        guide.set("l1".to_string(), 1_000);
+        EngineProfile {
+            source_fp: source_fingerprint(src),
+            fingerprint: 0x51de_600d_51de_600d,
+            guide: Arc::new(guide),
+        }
+    }
+
+    #[test]
+    fn guided_and_static_modes_never_share_a_store_key() {
+        let root = store_root("profile-modes");
+        let job = Job::new(SRC, PipelineConfig::with_threshold(200));
+
+        // A static engine persists the job under the static key.
+        let static_engine = store_engine(&root, FaultPlan::default());
+        static_engine.submit(job.clone()).wait().unwrap();
+        assert_eq!(static_engine.stats().store_writes, 1);
+        drop(static_engine);
+
+        // A guided engine over the same root must MISS on lookup: its
+        // profile rewrites the job key, so the static artifact is invisible
+        // to it — no cross-mode cache hit, ever.
+        let guided = Engine::new(EngineConfig {
+            workers: 2,
+            queue_cap: 8,
+            retry_backoff: Duration::from_millis(1),
+            store: Some(root.clone()),
+            profile: Some(test_profile(SRC)),
+            ..EngineConfig::default()
+        });
+        assert!(
+            guided.lookup_stored(&job).is_none(),
+            "a guided engine must not serve a static-mode artifact"
+        );
+        // The probe applied the profile silently: no counter moved.
+        assert_eq!(guided.stats().profile_applied, 0);
+
+        // The guided engine computes and persists under its own key…
+        guided.submit(job.clone()).wait().unwrap();
+        let stats = guided.stats();
+        assert_eq!(stats.profile_applied, 1);
+        assert_eq!(stats.profile_stale, 0);
+        assert_eq!(stats.store_writes, 1, "guided artifact is a new write");
+        // …which it can then find again.
+        assert!(guided.lookup_stored(&job).is_some());
+        drop(guided);
+
+        // And the static view of the same root still resolves to the
+        // original static artifact.
+        let static_again = store_engine(&root, FaultPlan::default());
+        assert!(static_again.lookup_stored(&job).is_some());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_profile_degrades_to_static_with_a_typed_instant() {
+        use fdi_telemetry::{Event, RingSink, Telemetry};
+
+        let sink = Arc::new(RingSink::with_capacity(4096));
+        let telemetry = Telemetry::with_collector(sink.clone());
+        // A profile collected from some *other* source: stale for SRC.
+        let engine = Engine::with_telemetry(
+            EngineConfig {
+                workers: 2,
+                queue_cap: 8,
+                profile: Some(test_profile("(define (other y) y) (other 1)")),
+                ..EngineConfig::default()
+            },
+            &telemetry,
+        );
+        let job = Job::new(SRC, PipelineConfig::with_threshold(200));
+        let out = engine.submit(job.clone()).wait().unwrap();
+
+        let stats = engine.stats();
+        assert_eq!(stats.profile_stale, 1);
+        assert_eq!(stats.profile_applied, 0);
+        assert!(
+            sink.drain()
+                .iter()
+                .any(|e| matches!(e, Event::Instant { name, .. } if name == "profile.stale")),
+            "staleness must be visible in telemetry, not silent"
+        );
+
+        // The degraded run is byte-identical to a profile-less engine's.
+        let plain = Engine::with_jobs(2);
+        let expected = plain.submit(job).wait().unwrap();
+        assert_eq!(
+            fdi_lang::unparse(&out.optimized).to_string(),
+            fdi_lang::unparse(&expected.optimized).to_string()
+        );
+        assert_eq!(out.decisions, expected.decisions);
     }
 }

@@ -46,6 +46,8 @@ pub(crate) struct StatsInner {
     pub store_corruptions_detected: AtomicU64,
     pub store_writes: AtomicU64,
     pub store_write_failures: AtomicU64,
+    pub profile_applied: AtomicU64,
+    pub profile_stale: AtomicU64,
     /// Behind an `Arc` so the pool's respawn guards can bump it without
     /// holding the whole stats block.
     pub workers_respawned: Arc<AtomicU64>,
@@ -136,6 +138,8 @@ impl StatsInner {
             store_corruptions_detected: self.store_corruptions_detected.load(Relaxed),
             store_writes: self.store_writes.load(Relaxed),
             store_write_failures: self.store_write_failures.load(Relaxed),
+            profile_applied: self.profile_applied.load(Relaxed),
+            profile_stale: self.profile_stale.load(Relaxed),
             workers_respawned: self.workers_respawned.load(Relaxed),
             queue_highwater: self.queue_highwater.load(Relaxed),
             parse_ns: self.parse_ns.load(Relaxed),
@@ -218,6 +222,12 @@ pub struct EngineStats {
     /// Disk-store writes that failed (IO errors and injected torn writes);
     /// the engine degrades to recomputation.
     pub store_write_failures: u64,
+    /// Jobs marked profile-guided at submission (the engine's loaded
+    /// profile matched the job's source).
+    pub profile_applied: u64,
+    /// Jobs whose source did not match the engine's loaded profile: the
+    /// job ran in static order and a `profile.stale` instant was emitted.
+    pub profile_stale: u64,
     /// Pool workers respawned after a panic (capacity never degrades).
     pub workers_respawned: u64,
     /// Highest number of jobs simultaneously queued or executing.
@@ -302,6 +312,7 @@ impl EngineStats {
                 "\"cache_evictions\":{},\"cache_corruptions_detected\":{},",
                 "\"store_hits\":{},\"store_misses\":{},\"store_corruptions_detected\":{},",
                 "\"store_writes\":{},\"store_write_failures\":{},",
+                "\"profile_applied\":{},\"profile_stale\":{},",
                 "\"workers_respawned\":{},\"queue_highwater\":{},",
                 "\"parse_ms\":{:.3},\"analysis_ms\":{:.3},\"transform_ms\":{:.3},\"execute_ms\":{:.3},",
                 "\"passes\":{{{}}},",
@@ -325,6 +336,8 @@ impl EngineStats {
             self.store_corruptions_detected,
             self.store_writes,
             self.store_write_failures,
+            self.profile_applied,
+            self.profile_stale,
             self.workers_respawned,
             self.queue_highwater,
             self.parse_ns as f64 / 1e6,

@@ -14,8 +14,9 @@
 //! <root>/out/<2-hex shard>/<16-hex src>-<16-hex cfg>.art
 //! ```
 //!
-//! Each artifact file is one frame, mirroring the in-memory corrupted-
-//! artifact discipline (checksum recheck before reuse):
+//! Each artifact file is one [`fdi_core::framing`] frame — the same layout
+//! the profiler's `Profile` artifact uses — mirroring the in-memory
+//! corrupted-artifact discipline (checksum recheck before reuse):
 //!
 //! ```text
 //! magic "FDI\x01" · payload length (u64 LE) · FNV-1a checksum (u64 LE) · payload
@@ -41,7 +42,7 @@
 
 use crate::stats::StatsInner;
 use fdi_core::faults::{FaultInjector, FaultPoint};
-use fdi_core::source_fingerprint;
+use fdi_core::framing::{decode_frame as decode_payload, encode_frame, HEADER};
 use fdi_telemetry::json::{parse, Json};
 use fdi_telemetry::{trace::json_string, DecisionTotals};
 use std::fs;
@@ -49,9 +50,6 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
-
-const MAGIC: &[u8; 4] = b"FDI\x01";
-const HEADER: usize = 4 + 8 + 8;
 
 /// A persisted job outcome: everything a warm re-serve needs to answer a
 /// request without recomputing — the optimized program text (the
@@ -285,30 +283,10 @@ impl DiskStore {
     }
 }
 
-/// Frames a payload: magic, length, FNV-1a checksum, bytes.
-fn encode_frame(payload: &str) -> Vec<u8> {
-    let mut frame = Vec::with_capacity(HEADER + payload.len());
-    frame.extend_from_slice(MAGIC);
-    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    frame.extend_from_slice(&source_fingerprint(payload).to_le_bytes());
-    frame.extend_from_slice(payload.as_bytes());
-    frame
-}
-
-/// Verifies a frame end to end; `None` means corrupt.
+/// Verifies a frame end to end ([`fdi_core::framing`]) and decodes its
+/// payload; `None` means corrupt.
 fn decode_frame(bytes: &[u8]) -> Option<StoredOutput> {
-    if bytes.len() < HEADER || &bytes[..4] != MAGIC {
-        return None;
-    }
-    let len = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
-    let checksum = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-    if bytes.len() != HEADER + len {
-        return None;
-    }
-    let payload = std::str::from_utf8(&bytes[HEADER..]).ok()?;
-    if source_fingerprint(payload) != checksum {
-        return None;
-    }
+    let payload = decode_payload(bytes)?;
     StoredOutput::from_json(payload).ok()
 }
 

@@ -40,6 +40,8 @@ use fdi_lang::{
     Binder, Const, ExprKind, FreeVars, Label, LambdaInfo, PrimOp, Program, VarId, VarInfo,
 };
 use fdi_telemetry::{DecisionReason, DecisionRecord, Telemetry};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 
 /// How inlined procedures access their free variables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,6 +87,46 @@ impl Default for InlineConfig {
     }
 }
 
+/// Per-call-site benefit estimates from a dynamic profile.
+///
+/// Keys are site labels exactly as [`DecisionRecord::site_label`] renders
+/// them (`"l17"`); values are the estimated mutator cost inlining the site
+/// would save — dynamic call count × per-call overhead, as measured by
+/// `fdi_vm::run_profiled`. Sites absent from the guide have benefit 0. Under
+/// a size budget ([`inline_program_budgeted`]) the guide replaces syntactic
+/// traversal order with benefit order, so hot sites claim the budget first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InlineGuide {
+    benefits: HashMap<String, u64>,
+}
+
+impl InlineGuide {
+    /// An empty guide (every site's benefit is 0).
+    pub fn new() -> InlineGuide {
+        InlineGuide::default()
+    }
+
+    /// Sets one site's estimated benefit.
+    pub fn set(&mut self, site_label: impl Into<String>, benefit: u64) {
+        self.benefits.insert(site_label.into(), benefit);
+    }
+
+    /// The estimated benefit of a site; 0 when unprofiled.
+    pub fn benefit(&self, site_label: &str) -> u64 {
+        self.benefits.get(site_label).copied().unwrap_or(0)
+    }
+
+    /// How many sites carry a benefit estimate.
+    pub fn len(&self) -> usize {
+        self.benefits.len()
+    }
+
+    /// Whether the guide is empty.
+    pub fn is_empty(&self) -> bool {
+        self.benefits.is_empty()
+    }
+}
+
 /// What the inliner did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InlineReport {
@@ -103,6 +145,9 @@ pub struct InlineReport {
     /// the size threshold; the site was then tied via the loop map (counted
     /// in [`InlineReport::loops_tied`] as well).
     pub rejected_loop_guard: usize,
+    /// Candidates denied because the whole-run size budget was already
+    /// spent on higher-priority sites ([`inline_program_budgeted`]).
+    pub rejected_budget: usize,
     /// Conditional branches pruned during specialization.
     pub branches_pruned: usize,
     /// Subexpressions pruned to the right of a divergent one (§3.4's
@@ -141,6 +186,19 @@ impl InlinePass {
         telemetry: &Telemetry,
     ) -> InlineOutcome {
         inline_program_recorded(program, flow, &self.config, telemetry)
+    }
+
+    /// One application under a whole-run size budget with optional
+    /// benefit-ordered priority: exactly [`inline_program_budgeted`].
+    pub fn apply_budgeted(
+        &self,
+        program: &Program,
+        flow: &FlowAnalysis,
+        guide: Option<&InlineGuide>,
+        size_budget: Option<usize>,
+        telemetry: &Telemetry,
+    ) -> InlineOutcome {
+        inline_program_budgeted(program, flow, &self.config, guide, size_budget, telemetry)
     }
 }
 
@@ -185,7 +243,255 @@ pub fn inline_program_recorded(
     config: &InlineConfig,
     telemetry: &Telemetry,
 ) -> InlineOutcome {
-    let mut rhs_of = std::collections::HashMap::new();
+    let out = run_inliner(program, flow, config, None);
+    // Decisions are emitted only once the run is complete, so discarded
+    // speculations never leak ghost records into the collector.
+    for record in &out.decisions {
+        telemetry.decision(record);
+    }
+    out
+}
+
+/// [`inline_program_recorded`] under a whole-run *size budget*: the total
+/// specialized size committed across all inlined sites may not exceed
+/// `size_budget`.
+///
+/// The run is probe-order-commit. A silent probe pass discovers every
+/// site the threshold-driven inliner would specialize and how much total
+/// specialized size each distinct `(site, contour)` key commits. Those
+/// keys are grouped into admission *units* and put in priority order:
+/// static order is one key per unit in probe (syntactic) order; a guide
+/// groups a label's every contour key into one unit and sorts units by
+/// benefit *density* (measured dynamic call overhead per unit of probe
+/// size), ties broken by probe order. The budget is then allocated by
+/// *measurement*, not estimate: a binary search over gated inliner runs
+/// finds the longest prefix of the priority order whose committed total
+/// fits the budget, and a greedy extension pass tries each remaining unit
+/// that could still fit, keeping it only if the re-measured commit stays
+/// within budget. Denied sites record
+/// [`DecisionReason::SizeBudgetExhausted`] and stay plain calls.
+///
+/// Probe estimates steer only the ordering and the extension pruning — a
+/// key may fire in more copies under the gate than the probe saw, so
+/// every kept plan is one the inliner actually committed within budget.
+/// The budget is a **hard cap on the committed total**; an over-budget
+/// commit is never returned. Only the final commit's decisions reach
+/// telemetry.
+///
+/// With `size_budget == None` there is nothing to gate and this is exactly
+/// [`inline_program_recorded`] — guide or not, the output is byte-identical
+/// to the static run.
+pub fn inline_program_budgeted(
+    program: &Program,
+    flow: &FlowAnalysis,
+    config: &InlineConfig,
+    guide: Option<&InlineGuide>,
+    size_budget: Option<usize>,
+    telemetry: &Telemetry,
+) -> InlineOutcome {
+    let Some(budget) = size_budget else {
+        return inline_program_recorded(program, flow, config, telemetry);
+    };
+    let probe = run_inliner(program, flow, config, None);
+    // Committed-size totals per key, as last observed (the estimate the
+    // greedy plan allocates by); plus each key's first probe occurrence,
+    // the static priority and the guide's tie-break.
+    let per_key_totals = |decisions: &[DecisionRecord]| {
+        let mut totals: HashMap<(String, String), usize> = HashMap::new();
+        for d in decisions {
+            if let DecisionReason::Inlined { specialized_size } = d.reason {
+                *totals
+                    .entry((d.site_label.clone(), d.contour.clone()))
+                    .or_insert(0) += specialized_size;
+            }
+        }
+        totals
+    };
+    let estimate = per_key_totals(&probe.decisions);
+    // Planning units: one per admission decision. Static order plans per
+    // (site, contour) key in probe order. A guide plans per *label* — the
+    // profile's granularity — so a hot label's every contour variant is
+    // admitted (and charged) together: crediting the label's full dynamic
+    // cost to each variant separately would spend budget on cold-contour
+    // duplicates of hot labels.
+    struct Unit {
+        index: usize,
+        keys: Vec<(String, String)>,
+        benefit: u64,
+    }
+    // A label the probe tied as a loop back-edge realizes almost none of
+    // its measured benefit: the profile counted every iteration through
+    // the site, but inlining eliminates only the loop *entry* — the
+    // back-edge is tied to a residual loop and keeps paying call overhead.
+    // Such labels sort last (benefit 0) rather than soaking up budget the
+    // hot straight-line sites could use.
+    let loopy: HashSet<&str> = probe
+        .decisions
+        .iter()
+        .filter(|d| matches!(d.reason, DecisionReason::LoopGuard))
+        .map(|d| d.site_label.as_str())
+        .collect();
+    let mut units: Vec<Unit> = Vec::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for (i, d) in probe.decisions.iter().enumerate() {
+        if let DecisionReason::Inlined { .. } = d.reason {
+            let key = (d.site_label.clone(), d.contour.clone());
+            match guide {
+                None => {
+                    if !units.iter().any(|u| u.keys[0] == key) {
+                        units.push(Unit {
+                            index: i,
+                            keys: vec![key],
+                            benefit: 0,
+                        });
+                    }
+                }
+                Some(g) => match seen.entry(d.site_label.clone()) {
+                    Entry::Occupied(e) => {
+                        let unit = &mut units[*e.get()];
+                        if !unit.keys.contains(&key) {
+                            unit.keys.push(key);
+                        }
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(units.len());
+                        units.push(Unit {
+                            index: i,
+                            keys: vec![key],
+                            benefit: if loopy.contains(d.site_label.as_str()) {
+                                0
+                            } else {
+                                g.benefit(&d.site_label)
+                            },
+                        });
+                    }
+                },
+            }
+        }
+    }
+    let unit_size = |u: &Unit, estimate: &HashMap<(String, String), usize>| -> usize {
+        u.keys
+            .iter()
+            .map(|k| estimate.get(k).copied().unwrap_or(0))
+            .sum()
+    };
+    if guide.is_some() {
+        // Greedy knapsack order: benefit *density* (dynamic cost saved per
+        // unit of specialized size committed), not raw benefit — a huge hot
+        // site must not crowd out several cheap warm ones. Cross-multiplied
+        // in u128 so the comparison is exact; zero-size units are free and
+        // sort first; ties fall back to probe order. Sorted once, on probe
+        // estimates, so re-planning rounds never reshuffle priorities.
+        let density: Vec<(u128, u128, usize)> = units
+            .iter()
+            .map(|u| (u.benefit as u128, unit_size(u, &estimate) as u128, u.index))
+            .collect();
+        let mut order: Vec<usize> = (0..units.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ((ba, sa, ia), (bb, sb, ib)) = (density[a], density[b]);
+            (bb * sa).cmp(&(ba * sb)).then(ia.cmp(&ib))
+        });
+        units = {
+            let mut by_pos: Vec<Option<Unit>> = units.into_iter().map(Some).collect();
+            order.iter().map(|&i| by_pos[i].take().unwrap()).collect()
+        };
+    }
+    // Commit under a given admission set, measuring the actual total. The
+    // gate denies any key outside `allow`, so an empty admission commits 0
+    // and every measurement is a plan the inliner really executed.
+    let commit = |admit: &[bool]| -> (InlineOutcome, usize) {
+        let mut gate = Gate {
+            allow: HashSet::new(),
+            denied: HashMap::new(),
+            budget,
+        };
+        for (u, &on) in units.iter().zip(admit) {
+            if on {
+                gate.allow.extend(u.keys.iter().cloned());
+            } else {
+                for k in &u.keys {
+                    gate.denied
+                        .insert(k.clone(), estimate.get(k).copied().unwrap_or(0));
+                }
+            }
+        }
+        let out = run_inliner(program, flow, config, Some(gate));
+        let total = per_key_totals(&out.decisions).values().sum::<usize>();
+        (out, total)
+    };
+    // Longest admissible prefix of the priority order, by measurement: a
+    // gated key can fire in more copies than the probe saw, so probe
+    // estimates cannot allocate the budget — each probe here is a real
+    // commit. The empty prefix commits nothing, so `lo` always holds a
+    // within-budget plan.
+    let mut admit = vec![false; units.len()];
+    let (mut best, mut best_total) = (None, 0usize);
+    let (mut lo, mut hi) = (0usize, units.len());
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        admit[..mid].fill(true);
+        admit[mid..].fill(false);
+        let (out, total) = commit(&admit);
+        if total <= budget {
+            best = Some(out);
+            best_total = total;
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    admit[..lo].fill(true);
+    admit[lo..].fill(false);
+    let mut out = match best {
+        Some(out) => out,
+        None => {
+            let (out, total) = commit(&admit);
+            best_total = total;
+            out
+        }
+    };
+    // Greedy extension: the prefix may stop at one oversized unit while
+    // later, smaller ones still fit. Try each remaining unit whose probe
+    // estimate fits the measured slack; keep it only if the re-measured
+    // commit stays within budget.
+    for i in lo..units.len() {
+        if unit_size(&units[i], &estimate) > budget - best_total {
+            continue;
+        }
+        admit[i] = true;
+        let (ext, total) = commit(&admit);
+        if total <= budget {
+            out = ext;
+            best_total = total;
+        } else {
+            admit[i] = false;
+        }
+    }
+    for record in &out.decisions {
+        telemetry.decision(record);
+    }
+    out
+}
+
+/// The commit-phase allow set of a budgeted run: only keys in `allow` may
+/// inline; `denied` remembers each cut site's planned size for its
+/// [`DecisionReason::SizeBudgetExhausted`] record. Keys are
+/// `(site label, contour)` strings, matching [`DecisionRecord`]s.
+struct Gate {
+    allow: HashSet<(String, String)>,
+    denied: HashMap<(String, String), usize>,
+    budget: usize,
+}
+
+/// One full inliner pass, optionally gated by a budget plan. Emits nothing
+/// into telemetry — callers do, once the run is final.
+fn run_inliner(
+    program: &Program,
+    flow: &FlowAnalysis,
+    config: &InlineConfig,
+    gate: Option<Gate>,
+) -> InlineOutcome {
+    let mut rhs_of = HashMap::new();
     for l in program.reachable() {
         if let ExprKind::Let(bindings, _) | ExprKind::Letrec(bindings, _) = program.expr(l) {
             for &(v, e) in bindings {
@@ -198,6 +504,7 @@ pub fn inline_program_recorded(
         out: Program::new(program.interner().clone()),
         flow,
         config: *config,
+        gate,
         fv: FreeVars::compute(program),
         rhs_of,
         vmap: Vec::new(),
@@ -216,11 +523,6 @@ pub fn inline_program_recorded(
         "inliner produced ill-formed AST: {:?}",
         fdi_lang::validate(&inliner.out)
     );
-    // Decisions are emitted only once the run is complete, so discarded
-    // speculations never leak ghost records into the collector.
-    for record in &inliner.decisions {
-        telemetry.decision(record);
-    }
     InlineOutcome {
         program: inliner.out,
         report: inliner.report,
@@ -269,10 +571,13 @@ struct Inliner<'p> {
     out: Program,
     flow: &'p FlowAnalysis,
     config: InlineConfig,
+    /// Budget plan of a commit pass; `None` runs ungated (the historical
+    /// behaviour, and the probe pass).
+    gate: Option<Gate>,
     fv: FreeVars,
     /// Binding right-hand sides: variable → RHS label, for recognizing
     /// direct calls to locally-bound procedures.
-    rhs_of: std::collections::HashMap<VarId, Label>,
+    rhs_of: HashMap<VarId, Label>,
     /// Scope-ordered variable renaming; `None` marks a poisoned variable.
     vmap: Vec<(VarId, Option<VarId>)>,
     /// The loop map ρ: (λ label, specialization contour) → loop variable,
@@ -353,6 +658,19 @@ impl Inliner<'_> {
         match lambda {
             Some(l) => format!("λ{l}"),
             None => format!("<{op}>"),
+        }
+    }
+
+    /// When a budget plan is active and does not admit this site, the size
+    /// its specialization would have added (0 when the probe never priced
+    /// it). `None` means the site may try to inline.
+    fn gate_denied(&self, site: Label, ctx: Ctx) -> Option<usize> {
+        let gate = self.gate.as_ref()?;
+        let key = (site.to_string(), Self::ctx_string(ctx));
+        if gate.allow.contains(&key) {
+            None
+        } else {
+            Some(gate.denied.get(&key).copied().unwrap_or(0))
         }
     }
 
@@ -592,6 +910,20 @@ impl Inliner<'_> {
                             .filter(|&&(key, (_, w))| key == (c.lambda, c.contour) && w)
                             .count();
                         if unfoldings <= self.config.unroll && self.depth < MAX_INLINE_DEPTH {
+                            if let Some(size) = self.gate_denied(site, ctx) {
+                                // The budget plan cut this unfolding: tie the
+                                // back-edge as if the unroll lost its turn.
+                                self.report.rejected_budget += 1;
+                                self.report.loops_tied += 1;
+                                let budget = self.gate.as_ref().map_or(0, |g| g.budget);
+                                self.record_decision(
+                                    site,
+                                    ctx,
+                                    callee,
+                                    DecisionReason::SizeBudgetExhausted { size, budget },
+                                );
+                                return self.emit_loop_call(y, &lam, parts, ctx);
+                            }
                             match self.try_inline(parts, ctx, cid, &lam)? {
                                 Attempt::Inlined(done, size) => {
                                     self.report.unrolled += 1;
@@ -623,7 +955,18 @@ impl Inliner<'_> {
                         // decision — the site was never up for inlining.
                     }
                     None => {
-                        if self.depth < MAX_INLINE_DEPTH {
+                        if let Some(size) = self.gate_denied(site, ctx) {
+                            // The budget plan cut this site: record the cut
+                            // and fall through to a plain call.
+                            self.report.rejected_budget += 1;
+                            let budget = self.gate.as_ref().map_or(0, |g| g.budget);
+                            self.record_decision(
+                                site,
+                                ctx,
+                                callee,
+                                DecisionReason::SizeBudgetExhausted { size, budget },
+                            );
+                        } else if self.depth < MAX_INLINE_DEPTH {
                             match self.try_inline(parts, ctx, cid, &lam)? {
                                 Attempt::Inlined(done, size) => {
                                     self.record_decision(

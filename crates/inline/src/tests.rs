@@ -341,3 +341,119 @@ fn report_counts_are_consistent() {
     assert!(report.calls_seen >= 2);
     assert_eq!(report.sites_inlined, 2);
 }
+
+#[test]
+fn budgeted_without_budget_is_identical() {
+    use crate::{inline_program_budgeted, inline_program_recorded, InlineGuide};
+    use fdi_telemetry::Telemetry;
+    let src = "(define (sq x) (* x x)) (define (inc n) (+ n 1)) (cons (sq 7) (inc 1))";
+    let p = parse_and_lower(src).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    let cfg = InlineConfig::with_threshold(200);
+    let plain = inline_program_recorded(&p, &flow, &cfg, &Telemetry::off());
+    let mut guide = InlineGuide::new();
+    guide.set("l1", 999);
+    let budgeted = inline_program_budgeted(&p, &flow, &cfg, Some(&guide), None, &Telemetry::off());
+    assert_eq!(
+        fdi_lang::unparse(&plain.program).to_string(),
+        fdi_lang::unparse(&budgeted.program).to_string()
+    );
+    assert_eq!(plain.report, budgeted.report);
+    assert_eq!(plain.decisions, budgeted.decisions);
+}
+
+#[test]
+fn size_budget_caps_committed_specializations() {
+    use crate::{inline_program_budgeted, inline_program_recorded, InlineGuide};
+    use fdi_telemetry::{DecisionReason, Telemetry};
+    let src = "(define (sq x) (* x x))
+               (define (inc n) (+ n 1))
+               (cons (sq 7) (inc 1))";
+    let p = parse_and_lower(src).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    let cfg = InlineConfig::with_threshold(200);
+    let probe = inline_program_recorded(&p, &flow, &cfg, &Telemetry::off());
+    let sizes: Vec<(String, usize)> = probe
+        .decisions
+        .iter()
+        .filter_map(|d| match d.reason {
+            DecisionReason::Inlined { specialized_size } => {
+                Some((d.site_label.clone(), specialized_size))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(sizes.len() >= 2, "{sizes:?}");
+    // A budget that fits either specialization alone but never both.
+    let budget = sizes.iter().map(|s| s.1).max().unwrap();
+    let stat = inline_program_budgeted(&p, &flow, &cfg, None, Some(budget), &Telemetry::off());
+    fdi_lang::validate(&stat.program).unwrap();
+    assert_eq!(stat.report.sites_inlined, 1, "{:?}", stat.report);
+    assert_eq!(stat.report.rejected_budget, 1);
+    // Static order spends the budget on the first probe site.
+    let first = &sizes[0].0;
+    assert!(stat
+        .decisions
+        .iter()
+        .any(|d| d.site_label == *first && matches!(d.reason, DecisionReason::Inlined { .. })));
+    // All the benefit on the second site flips the allocation.
+    let hot = &sizes[1].0;
+    let mut guide = InlineGuide::new();
+    guide.set(hot.clone(), 1_000);
+    let guided = inline_program_budgeted(
+        &p,
+        &flow,
+        &cfg,
+        Some(&guide),
+        Some(budget),
+        &Telemetry::off(),
+    );
+    fdi_lang::validate(&guided.program).unwrap();
+    assert_eq!(guided.report.sites_inlined, 1, "{:?}", guided.report);
+    assert!(guided
+        .decisions
+        .iter()
+        .any(|d| d.site_label == *hot && matches!(d.reason, DecisionReason::Inlined { .. })));
+    let cut = guided
+        .decisions
+        .iter()
+        .find(|d| matches!(d.reason, DecisionReason::SizeBudgetExhausted { .. }))
+        .expect("the cold site records the budget cut");
+    assert_eq!(cut.site_label, *first);
+    // The committed total respects the budget under both orderings.
+    for out in [&stat, &guided] {
+        let committed: usize = out
+            .decisions
+            .iter()
+            .filter_map(|d| match d.reason {
+                DecisionReason::Inlined { specialized_size } => Some(specialized_size),
+                _ => None,
+            })
+            .sum();
+        assert!(committed <= budget, "{committed} > {budget}");
+    }
+}
+
+#[test]
+fn budgeted_runs_are_deterministic() {
+    use crate::{inline_program_budgeted, InlineGuide};
+    use fdi_telemetry::Telemetry;
+    let src = "(define (twice f x) (f (f x)))
+               (define (add1 n) (+ n 1))
+               (define (sq x) (* x x))
+               (cons (twice add1 5) (twice sq 2))";
+    let p = parse_and_lower(src).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    let cfg = InlineConfig::with_threshold(300);
+    let mut guide = InlineGuide::new();
+    guide.set("l9", 70);
+    guide.set("l12", 50);
+    let a = inline_program_budgeted(&p, &flow, &cfg, Some(&guide), Some(30), &Telemetry::off());
+    let b = inline_program_budgeted(&p, &flow, &cfg, Some(&guide), Some(30), &Telemetry::off());
+    assert_eq!(
+        fdi_lang::unparse(&a.program).to_string(),
+        fdi_lang::unparse(&b.program).to_string()
+    );
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.report, b.report);
+}

@@ -1,0 +1,298 @@
+//! The call-site profiler and its persistent artifact.
+//!
+//! Flow-directed inlining decides *which* sites to specialize from static
+//! flow information; this crate supplies the *ordering* evidence a size
+//! budget needs: how hot each call site actually is. A [`Profile`] is
+//! collected by running the **original lowered program** on the cost-model
+//! VM with per-site attribution ([`fdi_vm::run_profiled`]) — the same
+//! program the inliner's decision provenance labels its sites against, so
+//! the profile's site labels (`l17`, …) and a
+//! [`fdi_telemetry::DecisionRecord::site_label`] name the same call sites.
+//!
+//! # The artifact
+//!
+//! A profile persists as one [`fdi_core::framing`] frame (magic · length ·
+//! FNV-1a checksum · JSON payload) — the same torn-write/bit-flip discipline
+//! the engine's disk store uses. The payload is versioned
+//! ([`PROFILE_VERSION`]) and keyed by the [`source_fingerprint`] of the
+//! profiled source text; [`Profile::stale`] is the staleness gate callers
+//! must apply before trusting it against a (possibly edited) source.
+//!
+//! # From profile to guide
+//!
+//! [`Profile::guide`] turns the per-site measurements into an
+//! [`InlineGuide`]: each site's benefit is the total mutator cost the VM
+//! attributed to it — dynamic call count × per-call linkage cost
+//! (`call_overhead + call_per_arg × argc`, plus the argument-spread cost at
+//! `apply` sites). That is exactly the cost a committed specialization
+//! eliminates, so allocating the inliner's size budget in descending benefit
+//! order is hot-first allocation.
+
+use fdi_core::framing::{decode_frame, encode_frame};
+use fdi_core::source_fingerprint;
+use fdi_inline::InlineGuide;
+use fdi_telemetry::json::{parse, Json};
+use fdi_telemetry::trace::json_string;
+use fdi_vm::RunConfig;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Version of the artifact payload this crate writes and accepts.
+pub const PROFILE_VERSION: u64 = 1;
+
+/// One call site's measurements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteProfile {
+    /// The site's label in the lowered program (`l17`), identical to the
+    /// [`fdi_telemetry::DecisionRecord::site_label`] the inliner records.
+    pub site: String,
+    /// Dynamic calls dispatched from this site.
+    pub calls: u64,
+    /// Total mutator cost the VM attributed to this site's call linkage.
+    pub cost: u64,
+}
+
+/// A persistent, checksummed call-site profile of one source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// [`source_fingerprint`] of the profiled source — the staleness key.
+    pub source_fp: u64,
+    /// The `--entry` expression appended for collection, if any (provenance
+    /// only; it does not key anything).
+    pub entry: Option<String>,
+    /// The cost model's per-call overhead at collection time.
+    pub call_overhead: u64,
+    /// The cost model's per-argument cost at collection time.
+    pub call_per_arg: u64,
+    /// Total dynamic calls over the run.
+    pub total_calls: u64,
+    /// Total mutator cost attributed to call linkage over the run.
+    pub total_cost: u64,
+    /// Per-site rows, sorted by label (the VM's deterministic order).
+    pub sites: Vec<SiteProfile>,
+}
+
+/// Why a profile could not be collected, loaded, or saved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// Filesystem failure (path and cause).
+    Io(String),
+    /// The frame failed verification: bad magic, truncation, extension,
+    /// checksum mismatch, or invalid UTF-8. Never trust a partial read.
+    Corrupt,
+    /// A verified frame carrying a payload version this crate does not
+    /// speak.
+    Version(u64),
+    /// A verified frame whose payload is not a profile (shape mismatch).
+    Malformed(String),
+    /// The source under profiling did not lower.
+    Frontend(String),
+    /// The profiled run failed on the VM.
+    Vm(String),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Io(e) => write!(f, "io: {e}"),
+            ProfileError::Corrupt => write!(f, "corrupt profile artifact"),
+            ProfileError::Version(v) => write!(f, "unsupported profile version {v}"),
+            ProfileError::Malformed(e) => write!(f, "malformed profile payload: {e}"),
+            ProfileError::Frontend(e) => write!(f, "frontend: {e}"),
+            ProfileError::Vm(e) => write!(f, "vm: {e}"),
+        }
+    }
+}
+
+impl Profile {
+    /// Collects a profile by running `src` (with `entry` appended, when
+    /// given) on the cost-model VM with per-site attribution.
+    ///
+    /// The profile is keyed by `src` alone: the entry expression is a
+    /// driver, not part of the program the profile will later guide.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::Frontend`] when the combined source does not lower,
+    /// [`ProfileError::Vm`] when the run fails (out of fuel, type error, …).
+    pub fn collect(
+        src: &str,
+        entry: Option<&str>,
+        config: &RunConfig,
+    ) -> Result<Profile, ProfileError> {
+        let combined = match entry {
+            Some(e) => format!("{src}\n{e}"),
+            None => src.to_string(),
+        };
+        let program = fdi_lang::parse_and_lower(&combined)
+            .map_err(|e| ProfileError::Frontend(e.to_string()))?;
+        let (outcome, sites) =
+            fdi_vm::run_profiled(&program, config).map_err(|e| ProfileError::Vm(e.message))?;
+        let sites: Vec<SiteProfile> = sites
+            .into_iter()
+            .map(|s| SiteProfile {
+                site: s.site.to_string(),
+                calls: s.calls,
+                cost: s.cost,
+            })
+            .collect();
+        Ok(Profile {
+            source_fp: source_fingerprint(src),
+            entry: entry.map(str::to_string),
+            call_overhead: config.model.call_overhead,
+            call_per_arg: config.model.call_per_arg,
+            total_calls: outcome.counters.calls,
+            total_cost: sites.iter().map(|s| s.cost).sum(),
+            sites,
+        })
+    }
+
+    /// True when this profile was not collected from `src` — the caller must
+    /// fall back to static order (and say so in telemetry).
+    pub fn stale(&self, src: &str) -> bool {
+        self.source_fp != source_fingerprint(src)
+    }
+
+    /// Stable identity of this profile's *content* — the fingerprint of its
+    /// canonical payload. Fold this into the pipeline cache key
+    /// ([`fdi_core`'s `PipelineConfig::profile_fp`]) so runs guided by
+    /// different profiles never collide.
+    pub fn fingerprint(&self) -> u64 {
+        source_fingerprint(&self.to_json())
+    }
+
+    /// The benefit-ordered inline guide: each site's benefit is the total
+    /// dynamic linkage cost the VM attributed to it.
+    pub fn guide(&self) -> InlineGuide {
+        let mut g = InlineGuide::new();
+        for s in &self.sites {
+            g.set(s.site.clone(), s.cost);
+        }
+        g
+    }
+
+    /// The payload codec: one JSON object, stable key order. Fingerprints
+    /// are 16-hex-digit strings (JSON numbers are doubles and cannot carry a
+    /// full `u64`).
+    pub fn to_json(&self) -> String {
+        let sites: Vec<String> = self
+            .sites
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"site\":{},\"calls\":{},\"cost\":{}}}",
+                    json_string(&s.site),
+                    s.calls,
+                    s.cost
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"v\":{},\"source_fp\":\"{:016x}\",\"entry\":{},",
+                "\"call_overhead\":{},\"call_per_arg\":{},",
+                "\"total_calls\":{},\"total_cost\":{},\"sites\":[{}]}}"
+            ),
+            PROFILE_VERSION,
+            self.source_fp,
+            match &self.entry {
+                Some(e) => json_string(e),
+                None => "null".to_string(),
+            },
+            self.call_overhead,
+            self.call_per_arg,
+            self.total_calls,
+            self.total_cost,
+            sites.join(",")
+        )
+    }
+
+    /// Decodes [`Profile::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::Version`] for a well-formed payload of another
+    /// version; [`ProfileError::Malformed`] for any shape mismatch.
+    pub fn from_json(text: &str) -> Result<Profile, ProfileError> {
+        let doc = parse(text).map_err(ProfileError::Malformed)?;
+        let num = |j: &Json, key: &str| -> Result<u64, ProfileError> {
+            j.get(key)
+                .and_then(Json::as_num)
+                .map(|n| n as u64)
+                .ok_or_else(|| ProfileError::Malformed(format!("missing numeric field {key:?}")))
+        };
+        let v = num(&doc, "v")?;
+        if v != PROFILE_VERSION {
+            return Err(ProfileError::Version(v));
+        }
+        let source_fp = doc
+            .get("source_fp")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| ProfileError::Malformed("missing hex field \"source_fp\"".into()))?;
+        let entry = match doc.get("entry") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_str()
+                    .ok_or_else(|| ProfileError::Malformed("non-string \"entry\"".into()))?
+                    .to_string(),
+            ),
+        };
+        let mut sites = Vec::new();
+        for row in doc
+            .get("sites")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ProfileError::Malformed("missing array \"sites\"".into()))?
+        {
+            sites.push(SiteProfile {
+                site: row
+                    .get("site")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ProfileError::Malformed("site row without label".into()))?
+                    .to_string(),
+                calls: num(row, "calls")?,
+                cost: num(row, "cost")?,
+            });
+        }
+        Ok(Profile {
+            source_fp,
+            entry,
+            call_overhead: num(&doc, "call_overhead")?,
+            call_per_arg: num(&doc, "call_per_arg")?,
+            total_calls: num(&doc, "total_calls")?,
+            total_cost: num(&doc, "total_cost")?,
+            sites,
+        })
+    }
+
+    /// Writes the framed artifact atomically (tmp sibling + rename), so a
+    /// kill mid-write never leaves a half-frame at the final path.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::Io`] on any filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), ProfileError> {
+        let frame = encode_frame(&self.to_json());
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, &frame).map_err(|e| ProfileError::Io(format!("write {tmp:?}: {e}")))?;
+        fs::rename(&tmp, path).map_err(|e| ProfileError::Io(format!("rename to {path:?}: {e}")))
+    }
+
+    /// Loads and verifies a framed artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::Io`] when the file cannot be read,
+    /// [`ProfileError::Corrupt`] when the frame fails verification
+    /// (truncation, bit flips, foreign bytes), and [`Profile::from_json`]'s
+    /// errors for a verified frame with the wrong payload.
+    pub fn load(path: &Path) -> Result<Profile, ProfileError> {
+        let bytes = fs::read(path).map_err(|e| ProfileError::Io(format!("read {path:?}: {e}")))?;
+        let payload = decode_frame(&bytes).ok_or(ProfileError::Corrupt)?;
+        Profile::from_json(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,158 @@
+use super::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+fn tmp_path(tag: &str) -> PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "fdi-profile-{tag}-{}-{}.profile",
+        std::process::id(),
+        NONCE.fetch_add(1, Relaxed)
+    ))
+}
+
+fn sample() -> Profile {
+    Profile {
+        source_fp: 0xabcd_ef01_2345_6789,
+        entry: Some("(main 4)".to_string()),
+        call_overhead: 10,
+        call_per_arg: 1,
+        total_calls: 42,
+        total_cost: 500,
+        sites: vec![
+            SiteProfile {
+                site: "l17".to_string(),
+                calls: 30,
+                cost: 360,
+            },
+            SiteProfile {
+                site: "l9".to_string(),
+                calls: 12,
+                cost: 140,
+            },
+        ],
+    }
+}
+
+#[test]
+fn json_codec_round_trips() {
+    let p = sample();
+    assert_eq!(Profile::from_json(&p.to_json()).unwrap(), p);
+    // Null entry survives too.
+    let anon = Profile {
+        entry: None,
+        ..sample()
+    };
+    assert_eq!(Profile::from_json(&anon.to_json()).unwrap(), anon);
+    // The fingerprint is a pure function of the content.
+    assert_eq!(p.fingerprint(), sample().fingerprint());
+    assert_ne!(p.fingerprint(), anon.fingerprint());
+}
+
+#[test]
+fn save_load_round_trips() {
+    let path = tmp_path("roundtrip");
+    let p = sample();
+    p.save(&path).unwrap();
+    assert_eq!(Profile::load(&path).unwrap(), p);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_frames_are_corrupt() {
+    let path = tmp_path("trunc");
+    sample().save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    for cut in [0, 3, fdi_core::framing::HEADER, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        assert_eq!(
+            Profile::load(&path),
+            Err(ProfileError::Corrupt),
+            "cut {cut}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bit_flips_are_corrupt() {
+    let path = tmp_path("flip");
+    sample().save(&path).unwrap();
+    let clean = std::fs::read(&path).unwrap();
+    for i in [0, 5, fdi_core::framing::HEADER + 7, clean.len() - 1] {
+        let mut bytes = clean.clone();
+        bytes[i] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(Profile::load(&path), Err(ProfileError::Corrupt), "byte {i}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn version_mismatch_is_typed() {
+    let payload = sample().to_json().replacen("{\"v\":1,", "{\"v\":9,", 1);
+    assert_eq!(Profile::from_json(&payload), Err(ProfileError::Version(9)));
+    // A well-framed foreign payload is malformed, not corrupt.
+    let path = tmp_path("foreign");
+    std::fs::write(&path, fdi_core::framing::encode_frame("{\"v\":1}")).unwrap();
+    assert!(matches!(
+        Profile::load(&path),
+        Err(ProfileError::Malformed(_))
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_file_is_io() {
+    let path = tmp_path("missing");
+    assert!(matches!(Profile::load(&path), Err(ProfileError::Io(_))));
+}
+
+#[test]
+fn collect_attributes_the_hot_site() {
+    let src = "(define (hot x) (* x x))
+               (define (cold x) (+ x 1))
+               (letrec ((loop (lambda (n acc)
+                                (if (zero? n) acc (loop (- n 1) (+ acc (hot n)))))))
+                 (cons (loop 50 0) (cold 1)))";
+    let p = Profile::collect(src, None, &RunConfig::default()).unwrap();
+    assert_eq!(p.source_fp, fdi_core::source_fingerprint(src));
+    assert!(p.total_calls >= 100, "{}", p.total_calls);
+    assert_eq!(p.total_cost, p.sites.iter().map(|s| s.cost).sum::<u64>());
+    assert!(!p.stale(src));
+    assert!(p.stale("(+ 1 2)"));
+    // The guide ranks the loop-body sites above the one-shot cold call.
+    let guide = p.guide();
+    let hottest = p.sites.iter().max_by_key(|s| s.cost).unwrap();
+    assert!(hottest.calls >= 50);
+    assert_eq!(guide.benefit(&hottest.site), hottest.cost);
+    assert_eq!(guide.benefit("no-such-site"), 0);
+}
+
+#[test]
+fn entry_drives_collection_but_not_the_key() {
+    let src = "(define (f x) (* x x))";
+    // Without a driver the library alone performs no calls.
+    let bare = Profile::collect(src, None, &RunConfig::default()).unwrap();
+    let driven = Profile::collect(src, Some("(f (f 3))"), &RunConfig::default()).unwrap();
+    assert!(driven.total_calls >= bare.total_calls + 2);
+    assert_eq!(driven.source_fp, bare.source_fp, "entry must not key");
+    assert_eq!(driven.entry.as_deref(), Some("(f (f 3))"));
+    assert!(!driven.stale(src));
+}
+
+#[test]
+fn collect_surfaces_typed_failures() {
+    assert!(matches!(
+        Profile::collect("(((", None, &RunConfig::default()),
+        Err(ProfileError::Frontend(_))
+    ));
+    let starved = RunConfig {
+        fuel: 1,
+        ..Default::default()
+    };
+    assert!(matches!(
+        Profile::collect("(define (f x) x) (f (f (f 1)))", None, &starved),
+        Err(ProfileError::Vm(_))
+    ));
+}

@@ -62,17 +62,27 @@ pub enum DecisionReason {
     /// The inliner's own recursion-depth budget was exhausted before the
     /// site could be considered.
     BudgetDenied,
+    /// The run's size budget ran out before this site's turn: under
+    /// budgeted (profile-guided or static) ordering, hotter/earlier sites
+    /// consumed the shared specialized-size allowance first.
+    SizeBudgetExhausted {
+        /// Specialized size this site would have added.
+        size: usize,
+        /// The configured whole-run size budget.
+        budget: usize,
+    },
 }
 
 /// Stable reason keys, in canonical aggregation order. Index `i` matches
 /// `DecisionTotals` slot `i` and `DecisionReason::key()` values.
-pub const REASON_KEYS: [&str; 6] = [
+pub const REASON_KEYS: [&str; 7] = [
     "inlined",
     "non_unique_closure",
     "threshold_exceeded",
     "open_procedure",
     "loop_guard",
     "budget_denied",
+    "size_budget_exhausted",
 ];
 
 impl DecisionReason {
@@ -84,6 +94,7 @@ impl DecisionReason {
             DecisionReason::OpenProcedure { .. } => 3,
             DecisionReason::LoopGuard => 4,
             DecisionReason::BudgetDenied => 5,
+            DecisionReason::SizeBudgetExhausted { .. } => 6,
         }
     }
 
@@ -116,6 +127,9 @@ impl fmt::Display for DecisionReason {
             }
             DecisionReason::LoopGuard => f.write_str("loop-guard"),
             DecisionReason::BudgetDenied => f.write_str("budget-denied"),
+            DecisionReason::SizeBudgetExhausted { size, budget } => {
+                write!(f, "size-budget-exhausted(size={size}, budget={budget})")
+            }
         }
     }
 }
@@ -148,6 +162,9 @@ impl DecisionRecord {
             }
             DecisionReason::OpenProcedure { free_vars } => {
                 extra = format!(",\"free_vars\":{free_vars}");
+            }
+            DecisionReason::SizeBudgetExhausted { size, budget } => {
+                extra = format!(",\"size\":{size},\"budget\":{budget}");
             }
             _ => {}
         }
@@ -271,6 +288,7 @@ mod tests {
             DecisionReason::OpenProcedure { free_vars: 2 },
             DecisionReason::LoopGuard,
             DecisionReason::BudgetDenied,
+            DecisionReason::SizeBudgetExhausted { size: 5, budget: 2 },
         ];
         let keys: Vec<&str> = reasons.iter().map(|r| r.key()).collect();
         assert_eq!(keys, REASON_KEYS);

@@ -33,7 +33,7 @@ mod resolve;
 mod value;
 
 pub use cost::{CostModel, Counters};
-pub use machine::{run, run_with_checks, Outcome, RunConfig, VmError};
+pub use machine::{run, run_profiled, run_with_checks, Outcome, RunConfig, SiteCost, VmError};
 pub use resolve::{resolve, Code, LambdaCode, Resolved, VarRef};
 pub use value::{ClosId, PairId, StrId, Value, VecId};
 
@@ -273,6 +273,45 @@ mod tests {
         let out = eval_out("(define (f x) x) (begin (f 1) (f 2) (f 3))");
         assert_eq!(out.counters.calls, 3);
         assert!(out.counters.mutator >= 3 * CostModel::default().call_overhead);
+    }
+
+    #[test]
+    fn profiled_run_attributes_every_call() {
+        let src = "(define (f x) x)
+                   (define (g x) (f (f x)))
+                   (begin (g 1) (g 2) (apply f '(3)))";
+        let p = parse_and_lower(src).unwrap();
+        let plain = run(&p, &RunConfig::default()).unwrap();
+        let (out, sites) = run_profiled(&p, &RunConfig::default()).unwrap();
+        // Profiling changes no observable behaviour or counter.
+        assert_eq!(out.value, plain.value);
+        assert_eq!(out.counters, plain.counters);
+        // Per-site attribution is exhaustive: calls sum to the global call
+        // counter and every cost is at least the fixed overhead per call.
+        let m = CostModel::default();
+        assert_eq!(
+            sites.iter().map(|s| s.calls).sum::<u64>(),
+            out.counters.calls
+        );
+        assert!(sites.iter().all(|s| s.cost >= s.calls * m.call_overhead));
+        assert!(sites.iter().map(|s| s.cost).sum::<u64>() <= out.counters.mutator);
+        // Sorted by label, no duplicates.
+        assert!(sites.windows(2).all(|w| w[0].site < w[1].site));
+        // g is called twice from one site; f four times across three sites.
+        assert!(sites.iter().any(|s| s.calls == 2));
+    }
+
+    #[test]
+    fn profiled_run_is_deterministic() {
+        let src = "(define (add a b) (+ a b))
+                   (letrec ((loop (lambda (n acc)
+                                    (if (zero? n) acc (loop (- n 1) (add acc n))))))
+                     (loop 50 0))";
+        let p = parse_and_lower(src).unwrap();
+        let (a, sa) = run_profiled(&p, &RunConfig::default()).unwrap();
+        let (b, sb) = run_profiled(&p, &RunConfig::default()).unwrap();
+        assert_eq!(a.value, b.value);
+        assert_eq!(sa, sb);
     }
 
     #[test]

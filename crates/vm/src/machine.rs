@@ -98,6 +98,51 @@ pub fn run_with_checks(
     m.run()
 }
 
+/// One call site's dynamic execution totals, as gathered by [`run_profiled`].
+///
+/// `cost` is the mutator cost the machine charged to calls entered from this
+/// site: `calls × (call_overhead + call_per_arg × argc)`, plus the
+/// per-element spread cost at `apply` sites — exactly the per-call overhead
+/// inlining the site would eliminate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteCost {
+    /// The call expression's label in the executed program.
+    pub site: Label,
+    /// Dynamic calls entered from this site.
+    pub calls: u64,
+    /// Total mutator cost charged to those calls.
+    pub cost: u64,
+}
+
+/// Like [`run`], additionally attributing dynamic call counts and per-call
+/// mutator cost to each call site's [`Label`] — the profiler's data source.
+///
+/// The returned sites are sorted by label, so the output is deterministic.
+/// Per-site `calls`/`cost` always sum to the run's [`Counters::calls`] and
+/// its call-overhead share of [`Counters::mutator`].
+///
+/// # Errors
+///
+/// Exactly [`run`]'s contract; a failed run yields no profile.
+pub fn run_profiled(
+    program: &Program,
+    config: &RunConfig,
+) -> Result<(Outcome, Vec<SiteCost>), VmError> {
+    let resolved = resolve(program);
+    let mut m = Machine::new(program, &resolved, config);
+    m.sites = Some(HashMap::new());
+    let outcome = m.run()?;
+    let mut sites: Vec<SiteCost> = m
+        .sites
+        .take()
+        .expect("profiling map installed above")
+        .into_iter()
+        .map(|(site, (calls, cost))| SiteCost { site, calls, cost })
+        .collect();
+    sites.sort_unstable_by_key(|s| s.site);
+    Ok((outcome, sites))
+}
+
 #[derive(Clone)]
 pub(crate) struct Env(Option<Rc<Frame>>);
 
@@ -159,6 +204,7 @@ enum Kont {
         clo: Option<ClosId>,
     },
     ApplyArg {
+        label: Label,
         f: Value,
     },
     Begin {
@@ -199,6 +245,9 @@ pub(crate) struct Machine<'p> {
     pub(crate) rng: u64,
     pub(crate) output: String,
     pub(crate) max_output: usize,
+    /// Per-call-site `(calls, cost)` attribution; `Some` only under
+    /// [`run_profiled`].
+    sites: Option<HashMap<Label, (u64, u64)>>,
 }
 
 impl<'p> Machine<'p> {
@@ -218,6 +267,7 @@ impl<'p> Machine<'p> {
             rng: config.seed,
             output: String::new(),
             max_output: config.max_output,
+            sites: None,
         }
     }
 
@@ -483,7 +533,7 @@ impl<'p> Machine<'p> {
                             } else {
                                 let f = vals[0];
                                 let args = &vals[1..];
-                                let (nenv, nclo, body) = self.enter(f, args, 0)?;
+                                let (nenv, nclo, body) = self.enter(label, f, args, 0)?;
                                 env = nenv;
                                 clo = Some(nclo);
                                 control = Ok(body);
@@ -528,13 +578,13 @@ impl<'p> Machine<'p> {
                             let e = *arg;
                             env = senv;
                             clo = sclo;
-                            kont.push(Kont::ApplyArg { f: value });
+                            kont.push(Kont::ApplyArg { label, f: value });
                             control = Ok(e);
                         }
-                        Kont::ApplyArg { f } => {
+                        Kont::ApplyArg { label, f } => {
                             let args = self.list_to_vec(value)?;
-                            self.counters.mutator += self.model.apply_per_elem * args.len() as u64;
-                            let (nenv, nclo, body) = self.enter(f, &args, 0)?;
+                            let spread = self.model.apply_per_elem * args.len() as u64;
+                            let (nenv, nclo, body) = self.enter(label, f, &args, spread)?;
                             env = nenv;
                             clo = Some(nclo);
                             control = Ok(body);
@@ -629,9 +679,11 @@ impl<'p> Machine<'p> {
     }
 
     /// Performs a procedure call: arity check, rest-list collection, cost
-    /// accounting. Returns the callee's activation.
+    /// accounting (attributed to the call expression at `site` when
+    /// profiling). Returns the callee's activation.
     fn enter(
         &mut self,
+        site: Label,
         f: Value,
         args: &[Value],
         extra_cost: u64,
@@ -649,9 +701,15 @@ impl<'p> Machine<'p> {
                 args.len()
             ));
         }
-        self.counters.calls += 1;
-        self.counters.mutator +=
+        let cost =
             self.model.call_overhead + self.model.call_per_arg * args.len() as u64 + extra_cost;
+        self.counters.calls += 1;
+        self.counters.mutator += cost;
+        if let Some(sites) = self.sites.as_mut() {
+            let entry = sites.entry(site).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += cost;
+        }
         let mut frame: Vec<Value> = args[..lc.params].to_vec();
         if lc.rest {
             let mut rest = Value::Nil;

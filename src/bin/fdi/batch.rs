@@ -61,6 +61,12 @@ pub fn apply_job_flags(config: &mut PipelineConfig, tokens: &[&str]) -> Result<(
                     .map_err(|e| format!("--max-growth: {e}"))?;
                 config.budget = config.budget.with_max_growth(x);
             }
+            "--size-budget" => {
+                let b = next(&mut i, "--size-budget")?
+                    .parse()
+                    .map_err(|e| format!("--size-budget: {e}"))?;
+                config.size_budget = Some(b);
+            }
             "--validate" => config.oracle = OracleConfig::on(),
             "--oracle-fuel" => {
                 config.oracle.fuel = next(&mut i, "--oracle-fuel")?
@@ -98,13 +104,28 @@ pub fn resolve_source(spec: &str) -> Result<String, String> {
     }
 }
 
+/// Loads a `--profile` artifact into the engine-wide form: the staleness
+/// key, the content fingerprint for cache keys, and the benefit guide.
+/// Per-job staleness is the *engine's* judgment — a batch mixes sources,
+/// and only jobs whose source matches the profile run guided.
+pub fn load_engine_profile(path: &str) -> Result<fdi_engine::EngineProfile, String> {
+    let profile = fdi_profile::Profile::load(std::path::Path::new(path))
+        .map_err(|e| format!("--profile {path}: {e}"))?;
+    Ok(fdi_engine::EngineProfile {
+        source_fp: profile.source_fp,
+        fingerprint: profile.fingerprint(),
+        guide: Arc::new(profile.guide()),
+    })
+}
+
 /// `fdi batch <manifest> [--jobs N] [--out FILE] [--trace-out FILE]
-/// [--passes SCHEDULE] [--validate] [--oracle-fuel N] [--faults SEED]
-/// [--engine-faults SEED]`.
+/// [--passes SCHEDULE] [--profile FILE] [--size-budget N] [--validate]
+/// [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]`.
 pub fn main(mut args: Vec<String>) -> ExitCode {
     let mut jobs = None;
     let mut out_file = None;
     let mut trace_out = None;
+    let mut profile_path: Option<String> = None;
     let mut default_config = PipelineConfig::default();
     let mut engine_faults = FaultPlan::default();
     let mut i = 0;
@@ -163,6 +184,20 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
                 engine_faults = FaultPlan::new(seed);
                 args.drain(i..=i + 1);
             }
+            "--profile" => {
+                let Some(f) = args.get(i + 1) else {
+                    return usage();
+                };
+                profile_path = Some(f.clone());
+                args.drain(i..=i + 1);
+            }
+            "--size-budget" => {
+                let Some(b) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                default_config.size_budget = Some(b);
+                args.drain(i..=i + 1);
+            }
             _ => i += 1,
         }
     }
@@ -215,9 +250,20 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
         }
         None => (Telemetry::off(), None),
     };
+    let engine_profile = match &profile_path {
+        None => None,
+        Some(path) => match load_engine_profile(path) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("fdi: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let engine = fdi_engine::Engine::with_telemetry(
         fdi_engine::EngineConfig {
             faults: engine_faults,
+            profile: engine_profile,
             ..match jobs {
                 Some(n) => fdi_engine::EngineConfig::with_workers(n),
                 None => fdi_engine::EngineConfig::default(),

@@ -4,6 +4,12 @@
 //! considered, one line with the site label, contour, callee, verdict, and
 //! the typed reason: `l17 @ κ3 -> f: rejected [threshold-exceeded(size=240,
 //! limit=200)]`. `--site LABEL` narrows the output to one site.
+//!
+//! `--json` emits one JSON object per decision instead (stable keys, one
+//! per line). With a fresh `--profile` loaded, each object additionally
+//! carries the site's measured dynamic behavior: `"calls"` (dynamic call
+//! count) and `"benefit"` (attributed mutator cost — the priority the
+//! guided size budget allocates by).
 
 use crate::opts::Options;
 use fdi_core::DecisionTotals;
@@ -13,7 +19,7 @@ pub fn main(opts: &Options) -> ExitCode {
     let Some(src) = opts.read_source() else {
         return ExitCode::FAILURE;
     };
-    let Some(out) = opts.run_pipeline(&src) else {
+    let Some((out, profile)) = opts.run_pipeline_with_profile(&src) else {
         return ExitCode::FAILURE;
     };
     let decisions: Vec<_> = match &opts.site {
@@ -38,7 +44,25 @@ pub fn main(opts: &Options) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     for d in &decisions {
-        println!("{d}");
+        if opts.json {
+            let json = d.to_json();
+            match profile
+                .as_ref()
+                .and_then(|p| p.sites.iter().find(|s| s.site == d.site_label))
+            {
+                // Splice the profile's measurements into the decision
+                // object: drop the closing brace, append, re-close.
+                Some(site) => println!(
+                    "{},\"calls\":{},\"benefit\":{}}}",
+                    &json[..json.len() - 1],
+                    site.calls,
+                    site.cost
+                ),
+                None => println!("{json}"),
+            }
+        } else {
+            println!("{d}");
+        }
     }
     let totals = DecisionTotals::tally(decisions.iter().copied());
     eprintln!(

@@ -4,13 +4,24 @@
 //! fdi optimize <file.scm> [-t THRESHOLD] [--clref] [--policy 0cfa|poly|1cfa]
 //! fdi run      <file.scm> [-t THRESHOLD] [--clref] [--stats] [--trace]
 //! fdi analyze  <file.scm> [--policy …]
-//! fdi explain  <file.scm> [--site LABEL] [-t THRESHOLD] [--policy …]
+//! fdi explain  <file.scm> [--site LABEL] [--json] [-t THRESHOLD] [--policy …]
+//! fdi profile  <file.scm> [--entry EXPR] [-o FILE]
 //! fdi batch    <manifest> [--jobs N] [--out FILE] [--trace-out FILE]
 //! fdi report   [-t THRESHOLD] [--policy …] [--scale test|default]
 //! fdi serve    [--port N] [--port-file FILE] [--store DIR] [--jobs N]
 //!              [--max-inflight N] [--deadline-ms N]
 //! fdi client   (--port N | --port-file FILE) <ping|stats|shutdown|job …>
 //! ```
+//!
+//! `profile` runs the original program on the cost-model VM with per-site
+//! attribution and writes a versioned, checksummed profile artifact
+//! (`<file>.fdiprof`). `--profile FILE` (on `optimize`, `run`, `explain`,
+//! `batch`, and `serve`) loads such an artifact; combined with
+//! `--size-budget N` the inliner allocates its whole-run specialized-size
+//! budget to the hottest sites first (benefit = measured dynamic cost)
+//! instead of syntactic order. A profile collected from a different source
+//! is *stale*: the run degrades to static order with a warning and a
+//! `profile.stale` telemetry instant, never a silent reorder.
 //!
 //! `optimize` prints the optimized source; `run` executes baseline and
 //! optimized versions on the cost-model VM and reports both; `analyze`
@@ -32,7 +43,7 @@
 //! (`fdi-engine`) and emits one JSON report. Each manifest line is a job:
 //! a source — `path/to/file.scm` or `bench:<name>[@<scale>]` — followed by
 //! per-job flags (`-t`, `--policy`, `--unroll`, `--clref`, `--fuel`,
-//! `--deadline-ms`, `--max-growth`, `--passes`). Blank lines and `#`
+//! `--deadline-ms`, `--max-growth`, `--passes`, `--size-budget`). Blank lines and `#`
 //! comments are skipped. Identical jobs dedup in flight, and jobs sharing a
 //! source or an analysis policy share artifacts through the engine's cache.
 //!
@@ -71,6 +82,7 @@ mod client;
 mod explain;
 mod optimize;
 mod opts;
+mod profile;
 mod report;
 mod run;
 mod serve;
@@ -105,6 +117,7 @@ fn main() -> ExitCode {
         "run" => run::main(&opts),
         "analyze" => analyze::main(&opts),
         "explain" => explain::main(&opts),
+        "profile" => profile::main(&opts),
         _ => opts::usage(),
     }
 }

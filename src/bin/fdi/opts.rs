@@ -1,10 +1,11 @@
 //! Shared option parsing for the single-file subcommands
-//! (`optimize`, `run`, `analyze`, `explain`).
+//! (`optimize`, `run`, `analyze`, `explain`, `profile`).
 
 use fdi_core::{
-    optimize_instrumented, Budget, FaultPlan, OracleConfig, PipelineConfig, PipelineOutput,
-    Polyvariance, Schedule, Telemetry,
+    optimize_guided, Budget, FaultPlan, OracleConfig, PipelineConfig, PipelineOutput, Polyvariance,
+    Schedule, Telemetry,
 };
+use fdi_profile::Profile;
 use fdi_telemetry::RingSink;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -27,20 +28,28 @@ pub struct Options {
     pub faults: Option<u64>,
     pub trace_out: Option<String>,
     pub site: Option<String>,
+    pub profile: Option<String>,
+    pub size_budget: Option<usize>,
+    pub json: bool,
+    pub entry: Option<String>,
+    pub output: Option<String>,
 }
 
 pub fn usage() -> ExitCode {
     eprintln!(
         "usage: fdi <optimize|run|analyze|explain> <file.scm> \
          [-t THRESHOLD] [--unroll N] [--clref] [--policy 0cfa|poly|1cfa] [--stats] [--dump] \
-         [--passes SCHEDULE] [--trace] [--trace-out FILE] [--site LABEL] \
+         [--passes SCHEDULE] [--trace] [--trace-out FILE] [--site LABEL] [--json] \
+         [--profile FILE] [--size-budget N] \
          [--strict] [--deadline-ms N] [--fuel N] [--max-growth X] \
          [--validate] [--oracle-fuel N] [--faults SEED]\n       \
+         fdi profile <file.scm> [--entry EXPR] [-o FILE]\n       \
          fdi batch <manifest> [--jobs N] [--out FILE] [--passes SCHEDULE] [--trace-out FILE] \
+         [--profile FILE] [--size-budget N] \
          [--validate] [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]\n       \
          fdi report [-t THRESHOLD] [--policy 0cfa|poly|1cfa] [--scale test|default] [--jobs N]\n       \
          fdi serve [--port N] [--port-file FILE] [--store DIR] [--jobs N] [--max-inflight N] \
-         [--deadline-ms N] [--engine-faults SEED]\n       \
+         [--deadline-ms N] [--profile FILE] [--engine-faults SEED]\n       \
          fdi client (--port N | --port-file FILE) <ping|stats|shutdown> | \
          job <spec> [job-flags…] [--request-deadline-ms N]"
     );
@@ -77,6 +86,11 @@ pub fn parse(rest: Vec<String>) -> Option<Options> {
         faults: None,
         trace_out: None,
         site: None,
+        profile: None,
+        size_budget: None,
+        json: false,
+        entry: None,
+        output: None,
     };
     let mut rest = rest;
     let mut i = 0;
@@ -151,6 +165,26 @@ pub fn parse(rest: Vec<String>) -> Option<Options> {
                 opts.site = Some(rest.get(i + 1)?.clone());
                 rest.drain(i..=i + 1);
             }
+            "--profile" => {
+                opts.profile = Some(rest.get(i + 1)?.clone());
+                rest.drain(i..=i + 1);
+            }
+            "--size-budget" => {
+                opts.size_budget = Some(rest.get(i + 1)?.parse().ok()?);
+                rest.drain(i..=i + 1);
+            }
+            "--json" => {
+                opts.json = true;
+                rest.remove(i);
+            }
+            "--entry" => {
+                opts.entry = Some(rest.get(i + 1)?.clone());
+                rest.drain(i..=i + 1);
+            }
+            "-o" | "--output" => {
+                opts.output = Some(rest.get(i + 1)?.clone());
+                rest.drain(i..=i + 1);
+            }
             _ => i += 1,
         }
     }
@@ -202,7 +236,36 @@ impl Options {
         if let Some(seed) = self.faults {
             config.faults = FaultPlan::new(seed);
         }
+        config.size_budget = self.size_budget;
         config
+    }
+
+    /// Loads `--profile` and verifies it against `src`. A fresh profile is
+    /// returned for guiding; a stale one (collected from a different
+    /// source) degrades to static order — a warning on stderr and a
+    /// `profile.stale` telemetry instant, never a silent reorder. An
+    /// unreadable or corrupt artifact is a hard error: a profile that
+    /// exists but cannot be verified should stop the run, not quietly
+    /// change its meaning.
+    pub fn load_profile(
+        &self,
+        src: &str,
+        telemetry: &Telemetry,
+    ) -> Result<Option<Profile>, String> {
+        let Some(path) = &self.profile else {
+            return Ok(None);
+        };
+        let profile = Profile::load(std::path::Path::new(path))
+            .map_err(|e| format!("--profile {path}: {e}"))?;
+        if profile.stale(src) {
+            telemetry.instant("profile.stale", "profile", &[("path", path.clone())]);
+            eprintln!(
+                ";; profile {path} is stale for {}: falling back to static order",
+                self.file
+            );
+            return Ok(None);
+        }
+        Ok(Some(profile))
     }
 
     /// Runs the pipeline over `src` — degrading by default, `--strict`
@@ -210,7 +273,17 @@ impl Options {
     /// `--trace`, the per-pass trace) on stderr. With `--trace-out FILE` the
     /// run is collected into a ring sink and exported as a Chrome trace.
     pub fn run_pipeline(&self, src: &str) -> Option<PipelineOutput> {
-        let config = self.config();
+        self.run_pipeline_with_profile(src).map(|(out, _)| out)
+    }
+
+    /// [`Options::run_pipeline`], also returning the loaded (fresh)
+    /// profile so callers like `explain --json` can annotate their output
+    /// with per-site dynamic counts and benefits.
+    pub fn run_pipeline_with_profile(
+        &self,
+        src: &str,
+    ) -> Option<(PipelineOutput, Option<Profile>)> {
+        let mut config = self.config();
         let (telemetry, sink) = match &self.trace_out {
             Some(_) => {
                 let sink = Arc::new(RingSink::default());
@@ -218,14 +291,28 @@ impl Options {
             }
             None => (Telemetry::off(), None),
         };
+        let profile = match self.load_profile(src, &telemetry) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("fdi: {e}");
+                return None;
+            }
+        };
+        // A fresh profile keys the run (distinct cache identity from static
+        // mode) and supplies the benefit order for the size budget.
+        let guide = profile.as_ref().map(|p| {
+            config.profile_fp = Some(p.fingerprint());
+            p.guide()
+        });
         // `--strict` keeps `optimize_strict`'s contract: degrade-run the
         // pipeline, then surface the first recorded phase failure as an error.
-        let result = optimize_instrumented(src, &config, &telemetry).and_then(|out| {
-            match (self.strict, out.health.first_error()) {
-                (true, Some(e)) => Err(e.clone()),
-                _ => Ok(out),
-            }
-        });
+        let result =
+            optimize_guided(src, &config, guide.as_ref(), &telemetry).and_then(|out| {
+                match (self.strict, out.health.first_error()) {
+                    (true, Some(e)) => Err(e.clone()),
+                    _ => Ok(out),
+                }
+            });
         if let (Some(path), Some(sink)) = (&self.trace_out, &sink) {
             // Export even on failure: a trace of the run up to the error is
             // exactly what the file is for.
@@ -242,7 +329,7 @@ impl Options {
                 if self.trace {
                     crate::report::print_trace(&out);
                 }
-                Some(out)
+                Some((out, profile))
             }
             Err(e) => {
                 eprintln!("fdi: {e}");

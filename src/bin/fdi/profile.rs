@@ -1,0 +1,55 @@
+//! `fdi profile` — collect a call-site profile and persist the artifact.
+//!
+//! Runs the *original lowered program* on the cost-model VM with per-site
+//! attribution and writes a versioned, checksummed [`fdi_profile::Profile`]
+//! artifact keyed by the source's fingerprint. The artifact then guides
+//! `optimize`/`run`/`batch`/`serve` via `--profile FILE`: with
+//! `--size-budget N`, sites are admitted hot-first by measured dynamic
+//! cost instead of syntactic order.
+//!
+//! `--entry EXPR` appends a driver expression for the profiled run (useful
+//! for library-shaped sources that perform no calls on their own); the
+//! driver is recorded as provenance but does **not** key the artifact —
+//! the profile stays valid for the undriven source. `-o FILE` overrides
+//! the default output path `<file>.fdiprof`.
+
+use crate::opts::Options;
+use fdi_core::RunConfig;
+use fdi_profile::Profile;
+use std::process::ExitCode;
+
+pub fn main(opts: &Options) -> ExitCode {
+    let Some(src) = opts.read_source() else {
+        return ExitCode::FAILURE;
+    };
+    let profile = match Profile::collect(&src, opts.entry.as_deref(), &RunConfig::default()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fdi profile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = opts
+        .output
+        .clone()
+        .unwrap_or_else(|| format!("{}.fdiprof", opts.file));
+    if let Err(e) = profile.save(std::path::Path::new(&out)) {
+        eprintln!("fdi profile: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        ";; {}: {} site(s), {} dynamic call(s), {} attributed cost -> {out}",
+        opts.file,
+        profile.sites.len(),
+        profile.total_calls,
+        profile.total_cost
+    );
+    // The hottest sites, benefit-first — the order a guided size budget
+    // will admit them in.
+    let mut ranked: Vec<_> = profile.sites.iter().collect();
+    ranked.sort_by(|a, b| b.cost.cmp(&a.cost).then(a.site.cmp(&b.site)));
+    for site in ranked.iter().take(10) {
+        println!("{}\tcalls={}\tcost={}", site.site, site.calls, site.cost);
+    }
+    ExitCode::SUCCESS
+}

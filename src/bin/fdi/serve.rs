@@ -90,11 +90,13 @@ fn err(kind: &str, message: &str) -> String {
 }
 
 /// `fdi serve [--port N] [--port-file FILE] [--store DIR] [--jobs N]
-/// [--max-inflight N] [--deadline-ms N] [--engine-faults SEED]`.
+/// [--max-inflight N] [--deadline-ms N] [--profile FILE]
+/// [--engine-faults SEED]`.
 pub fn main(args: Vec<String>) -> ExitCode {
     let mut port: u16 = 0;
     let mut port_file: Option<String> = None;
     let mut store: Option<std::path::PathBuf> = None;
+    let mut profile_path: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut max_inflight: usize = 64;
     let mut deadline = Duration::from_millis(30_000);
@@ -113,6 +115,10 @@ pub fn main(args: Vec<String>) -> ExitCode {
             },
             "--store" => match value(i) {
                 Some(d) => store = Some(std::path::PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--profile" => match value(i) {
+                Some(f) => profile_path = Some(f.clone()),
                 None => return usage(),
             },
             "--jobs" => match value(i).and_then(|s| s.parse().ok()) {
@@ -136,9 +142,23 @@ pub fn main(args: Vec<String>) -> ExitCode {
         i += 2;
     }
 
+    // The daemon's profile applies engine-wide: every job whose source
+    // matches runs guided (under a guided cache key), everything else runs
+    // static with a `profile.stale` accounting — see `Engine::submit`.
+    let profile = match &profile_path {
+        None => None,
+        Some(path) => match crate::batch::load_engine_profile(path) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("fdi serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let engine = Engine::new(EngineConfig {
         faults: engine_faults,
         store,
+        profile,
         ..match jobs {
             Some(n) => EngineConfig::with_workers(n),
             None => EngineConfig::default(),
