@@ -237,6 +237,26 @@ impl FlowAnalysis {
         self.policy
     }
 
+    /// Estimated resident size of this analysis in bytes — the charge a
+    /// byte-budgeted artifact cache accounts for it. An estimate over the
+    /// flow maps' entry counts (weighted by their abstract-value payloads),
+    /// not an exact heap measurement: eviction ordering only needs sizes
+    /// that are *proportional*, stable, and cheap to compute.
+    pub fn approx_bytes(&self) -> usize {
+        let expr_entries: usize = self
+            .exprs
+            .values()
+            .map(|per_contour| {
+                per_contour
+                    .iter()
+                    .map(|(_, vs)| 48 + 16 * vs.len())
+                    .sum::<usize>()
+            })
+            .sum();
+        let var_entries: usize = self.vars.values().map(|vs| 48 + 16 * vs.len()).sum();
+        1024 + expr_entries + var_entries + 32 * self.call_sites.len()
+    }
+
     /// All call/apply sites with the contours they were analyzed in.
     pub fn call_sites(&self) -> &[(Label, ContourId)] {
         &self.call_sites

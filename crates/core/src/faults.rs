@@ -78,6 +78,10 @@ pub enum FaultPoint {
     /// Flip a byte inside a freshly persisted disk-store artifact (the
     /// checksum recheck on load must catch it).
     StoreCorrupt,
+    /// Reject a disk-store write as if the device were full (injected
+    /// ENOSPC). The engine must degrade to memory-only operation — never
+    /// fail the request — and recover when writes succeed again.
+    StoreFull,
 }
 
 /// Every catalogued fault point, in a fixed order (also the bit order of
@@ -99,9 +103,10 @@ pub const ALL_FAULT_POINTS: &[FaultPoint] = &[
     FaultPoint::StoreWrite,
     FaultPoint::StoreRead,
     FaultPoint::StoreCorrupt,
+    FaultPoint::StoreFull,
 ];
 
-const N_POINTS: usize = 16;
+const N_POINTS: usize = 17;
 
 /// The pinned chaos seed used by the harnesses and CI: under
 /// `FaultPlan::new(CHAOS_SEED)` every catalogued point fires within 64
@@ -128,6 +133,7 @@ impl FaultPoint {
             FaultPoint::StoreWrite => 13,
             FaultPoint::StoreRead => 14,
             FaultPoint::StoreCorrupt => 15,
+            FaultPoint::StoreFull => 16,
         }
     }
 
@@ -147,7 +153,8 @@ impl FaultPoint {
             | FaultPoint::QueueDelay
             | FaultPoint::StoreWrite
             | FaultPoint::StoreRead
-            | FaultPoint::StoreCorrupt => crate::Phase::Execution,
+            | FaultPoint::StoreCorrupt
+            | FaultPoint::StoreFull => crate::Phase::Execution,
         }
     }
 
@@ -192,6 +199,7 @@ impl FaultPoint {
             FaultPoint::StoreWrite => "store-write",
             FaultPoint::StoreRead => "store-read",
             FaultPoint::StoreCorrupt => "store-corrupt",
+            FaultPoint::StoreFull => "store-full",
         }
     }
 }
@@ -332,6 +340,33 @@ impl FaultPlan {
             _ => FaultAction::Latency(Duration::from_micros(200 + (h >> 34) % 800)),
         })
     }
+}
+
+/// Deterministic retry backoff with equal jitter: attempt `attempt` against
+/// a server hint of `hint_ms` sleeps between `base/2` and `base`
+/// milliseconds, where `base = min(hint_ms << attempt, cap_ms)` — an
+/// exponential ramp off the hint, capped, with the upper half jittered so a
+/// thundering herd of retriers spreads out instead of re-colliding.
+///
+/// Pure in `(seed, attempt)`: a client replaying the same seed sleeps the
+/// same schedule, which is what lets the retry tests pin exact behaviour.
+///
+/// ```
+/// use fdi_core::jittered_backoff;
+///
+/// let a = jittered_backoff(7, 0, 100, 5_000);
+/// assert_eq!(a, jittered_backoff(7, 0, 100, 5_000));
+/// assert!((50..=100).contains(&a));
+/// // The ramp stays under the cap forever, even at absurd attempt counts.
+/// assert!(jittered_backoff(7, 63, 100, 5_000) <= 5_000);
+/// ```
+pub fn jittered_backoff(seed: u64, attempt: u32, hint_ms: u64, cap_ms: u64) -> u64 {
+    let base = hint_ms
+        .max(1)
+        .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+        .min(cap_ms.max(1));
+    let h = mix(seed.wrapping_add(0xa076_1d64_78bd_642fu64.wrapping_mul(attempt as u64 + 1)));
+    base / 2 + h % (base - base / 2 + 1)
 }
 
 /// Process-wide fired counters, one per fault point. Monotone diagnostics:
@@ -528,6 +563,26 @@ mod tests {
         assert_eq!(FaultPoint::for_pass("miscompile"), None);
         assert_eq!(FaultPoint::for_pass("cache-evict"), None);
         assert_eq!(FaultPoint::for_pass("frontend"), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        for attempt in 0..8 {
+            let a = jittered_backoff(0xfd1, attempt, 100, 2_000);
+            assert_eq!(a, jittered_backoff(0xfd1, attempt, 100, 2_000));
+            let base = (100u64 << attempt).min(2_000);
+            assert!(
+                (base / 2..=base).contains(&a),
+                "attempt {attempt}: {a} outside [{}, {base}]",
+                base / 2
+            );
+        }
+        // Different seeds jitter differently somewhere in the schedule.
+        assert!((0..8)
+            .any(|n| jittered_backoff(1, n, 100, 2_000) != jittered_backoff(2, n, 100, 2_000)));
+        // Degenerate hints cannot divide by zero or sleep forever.
+        assert!(jittered_backoff(9, 0, 0, 0) <= 1);
+        assert!(jittered_backoff(9, 63, u64::MAX, 500) <= 500);
     }
 
     #[test]

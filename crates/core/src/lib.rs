@@ -49,7 +49,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use error::{BudgetKind, Phase, PipelineError};
-pub use faults::{fired_counts, FaultAction, FaultPlan, FaultPoint, ALL_FAULT_POINTS, CHAOS_SEED};
+pub use faults::{
+    fired_counts, jittered_backoff, FaultAction, FaultPlan, FaultPoint, ALL_FAULT_POINTS,
+    CHAOS_SEED,
+};
 pub use fdi_cfa::{
     AbortReason, AnalysisLimits, AnalysisStats, AnalyzePass, FlowAnalysis, Polyvariance,
 };

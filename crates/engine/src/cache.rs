@@ -20,9 +20,20 @@
 //! only passes panic-contained closures). If one unwinds anyway, a guard
 //! abandons the gate — waiters wake up and retry the computation themselves
 //! instead of blocking forever.
+//!
+//! Resource governance: a cache may be constructed *bounded* against a
+//! shared [`CacheBudget`] — a byte limit spanning every cache that charges
+//! it. Ready entries are byte-accounted (via a caller-supplied sizer) and
+//! stamped with a recency tick; when an insert pushes the shared budget over
+//! its limit, the inserting cache evicts its own least-recently-used ready
+//! entries until the budget fits (or it has nothing left to give — a sibling
+//! cache holding the bytes sheds them on *its* next insert). In-flight
+//! entries carry no bytes and are never pressure-evicted: evicting one would
+//! strand its waiters, and its cost isn't known until it resolves.
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 
 #[derive(Debug)]
@@ -102,22 +113,81 @@ impl<V: Clone> Gate<V> {
     }
 }
 
+/// A byte budget shared by every cache constructed against it.
+///
+/// `used` is the sum of ready-entry bytes across all charging caches;
+/// `pressure_evictions` counts entries shed to fit the limit (shared with
+/// [`crate::EngineStats`] so pressure shows up next to fault and corruption
+/// evictions).
+#[derive(Debug)]
+pub(crate) struct CacheBudget {
+    limit: usize,
+    used: AtomicUsize,
+    pressure_evictions: Arc<AtomicU64>,
+}
+
+impl CacheBudget {
+    pub(crate) fn new(limit: usize, pressure_evictions: Arc<AtomicU64>) -> Arc<CacheBudget> {
+        Arc::new(CacheBudget {
+            limit,
+            used: AtomicUsize::new(0),
+            pressure_evictions,
+        })
+    }
+
+    /// Ready-entry bytes currently charged against this budget.
+    pub(crate) fn bytes_used(&self) -> usize {
+        self.used.load(Relaxed)
+    }
+
+    /// The configured limit (`usize::MAX` when accounting-only).
+    pub(crate) fn limit(&self) -> usize {
+        self.limit
+    }
+}
+
+#[derive(Debug)]
+struct Ready<V> {
+    value: V,
+    bytes: usize,
+    last_used: u64,
+}
+
 #[derive(Debug)]
 enum Slot<V> {
     InFlight(Arc<Gate<V>>),
-    Ready(V),
+    Ready(Ready<V>),
 }
 
-/// A content-addressed cache with in-flight deduplication.
+/// A content-addressed cache with in-flight deduplication and (optionally)
+/// byte-accounted LRU eviction against a shared [`CacheBudget`].
 #[derive(Debug)]
 pub(crate) struct KeyedCache<K, V> {
     map: Mutex<HashMap<K, Slot<V>>>,
+    budget: Option<Arc<CacheBudget>>,
+    size_of: fn(&V) -> usize,
+    tick: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> KeyedCache<K, V> {
+    /// An unbounded cache: entries are never pressure-evicted and carry no
+    /// byte accounting.
     pub(crate) fn new() -> KeyedCache<K, V> {
         KeyedCache {
             map: Mutex::new(HashMap::new()),
+            budget: None,
+            size_of: |_| 0,
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache charging `budget` for every ready entry, sized by `size_of`.
+    pub(crate) fn bounded(budget: Arc<CacheBudget>, size_of: fn(&V) -> usize) -> KeyedCache<K, V> {
+        KeyedCache {
+            map: Mutex::new(HashMap::new()),
+            budget: Some(budget),
+            size_of,
+            tick: AtomicU64::new(0),
         }
     }
 
@@ -135,10 +205,42 @@ impl<K: Eq + Hash + Clone, V: Clone> KeyedCache<K, V> {
         let mut map = self.map.lock().unwrap();
         match map.get(key) {
             Some(Slot::Ready(_)) => {
-                map.remove(key);
+                if let Some(Slot::Ready(r)) = map.remove(key) {
+                    self.discharge(r.bytes);
+                }
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Returns the bytes an eviction must give back to the budget.
+    fn discharge(&self, bytes: usize) {
+        if let Some(budget) = &self.budget {
+            budget.used.fetch_sub(bytes, Relaxed);
+        }
+    }
+
+    /// Sheds this cache's least-recently-used ready entries while the
+    /// shared budget is over its limit. Stops when the budget fits or this
+    /// cache has no ready entries left — never touches in-flight slots, and
+    /// never blocks another cache (the budget is atomics, not a lock).
+    fn enforce_budget(&self, map: &mut HashMap<K, Slot<V>>) {
+        let Some(budget) = &self.budget else { return };
+        while budget.used.load(Relaxed) > budget.limit {
+            let lru = map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready(r) => Some((r.last_used, k)),
+                    Slot::InFlight(_) => None,
+                })
+                .min_by_key(|(t, _)| *t)
+                .map(|(_, k)| k.clone());
+            let Some(key) = lru else { break };
+            if let Some(Slot::Ready(r)) = map.remove(&key) {
+                budget.used.fetch_sub(r.bytes, Relaxed);
+                budget.pressure_evictions.fetch_add(1, Relaxed);
+            }
         }
     }
 
@@ -153,8 +255,11 @@ impl<K: Eq + Hash + Clone, V: Clone> KeyedCache<K, V> {
         loop {
             let gate = {
                 let mut map = self.map.lock().unwrap();
-                match map.get(&key) {
-                    Some(Slot::Ready(v)) => return (v.clone(), true),
+                match map.get_mut(&key) {
+                    Some(Slot::Ready(r)) => {
+                        r.last_used = self.tick.fetch_add(1, Relaxed);
+                        return (r.value.clone(), true);
+                    }
                     Some(Slot::InFlight(g)) => g.clone(),
                     None => {
                         let g = Arc::new(Gate::new());
@@ -171,10 +276,23 @@ impl<K: Eq + Hash + Clone, V: Clone> KeyedCache<K, V> {
                         };
                         let v = (compute.take().expect("compute consumed twice"))();
                         guard.armed = false;
-                        self.map
-                            .lock()
-                            .unwrap()
-                            .insert(key.clone(), Slot::Ready(v.clone()));
+                        let bytes = (self.size_of)(&v);
+                        if let Some(budget) = &self.budget {
+                            budget.used.fetch_add(bytes, Relaxed);
+                        }
+                        let mut map = self.map.lock().unwrap();
+                        map.insert(
+                            key.clone(),
+                            Slot::Ready(Ready {
+                                value: v.clone(),
+                                bytes,
+                                // Freshest tick: under pressure the entry
+                                // just computed is the last to go.
+                                last_used: self.tick.fetch_add(1, Relaxed),
+                            }),
+                        );
+                        self.enforce_budget(&mut map);
+                        drop(map);
                         g.set(v.clone());
                         return (v, false);
                     }
@@ -335,5 +453,84 @@ mod tests {
         let (b, _) = c.get_or_compute((1, 2), || 2);
         assert_ne!(a, b);
         assert_eq!(c.len(), 2);
+    }
+
+    fn bounded_cache(limit: usize) -> (KeyedCache<u64, u64>, Arc<AtomicU64>) {
+        let pressure = Arc::new(AtomicU64::new(0));
+        let budget = CacheBudget::new(limit, pressure.clone());
+        // Every value weighs 100 bytes: a limit of N*100 holds N entries.
+        (KeyedCache::bounded(budget, |_| 100), pressure)
+    }
+
+    #[test]
+    fn pressure_evicts_lru_first() {
+        let (c, pressure) = bounded_cache(300);
+        for k in 0..3 {
+            c.get_or_compute(k, || k * 10);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(pressure.load(Relaxed), 0, "under budget: nothing shed");
+        // Touch key 0 so key 1 becomes the LRU, then overflow.
+        c.get_or_compute(0, || 999);
+        c.get_or_compute(3, || 30);
+        assert_eq!(pressure.load(Relaxed), 1);
+        assert_eq!(c.len(), 3);
+        let (v, hit) = c.get_or_compute(1, || 777);
+        assert_eq!((v, hit), (777, false), "LRU key 1 was the one evicted");
+        let (v, hit) = c.get_or_compute(0, || 888);
+        assert_eq!((v, hit), (0, true), "recently touched key 0 survived");
+    }
+
+    #[test]
+    fn budget_accounting_tracks_inserts_and_evictions() {
+        let pressure = Arc::new(AtomicU64::new(0));
+        let budget = CacheBudget::new(usize::MAX, pressure.clone());
+        let c: KeyedCache<u64, u64> = KeyedCache::bounded(budget.clone(), |_| 100);
+        assert_eq!(budget.bytes_used(), 0);
+        c.get_or_compute(1, || 1);
+        c.get_or_compute(2, || 2);
+        assert_eq!(budget.bytes_used(), 200);
+        assert!(c.evict(&1));
+        assert_eq!(budget.bytes_used(), 100, "explicit evict refunds bytes");
+        assert_eq!(pressure.load(Relaxed), 0, "no pressure under MAX limit");
+    }
+
+    #[test]
+    fn shared_budget_spans_caches_and_spares_inflight() {
+        let pressure = Arc::new(AtomicU64::new(0));
+        let budget = CacheBudget::new(250, pressure.clone());
+        let a: Arc<KeyedCache<u64, u64>> = Arc::new(KeyedCache::bounded(budget.clone(), |_| 100));
+        let b: KeyedCache<u64, u64> = KeyedCache::bounded(budget.clone(), |_| 100);
+        a.get_or_compute(1, || 1);
+        b.get_or_compute(1, || 1);
+        assert_eq!(budget.bytes_used(), 200, "both caches charge one budget");
+        // An in-flight computation in `a` holds no bytes and cannot be shed:
+        // when `b`'s insert overflows the budget, `b` evicts its own entry.
+        let a2 = a.clone();
+        let owner = std::thread::spawn(move || {
+            a2.get_or_compute(9, || {
+                std::thread::sleep(Duration::from_millis(40));
+                99
+            })
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        b.get_or_compute(2, || 2);
+        assert_eq!(pressure.load(Relaxed), 1);
+        assert_eq!(b.len(), 1, "b shed its own LRU entry");
+        assert_eq!(a.len(), 2, "a's ready + in-flight entries untouched");
+        assert_eq!(owner.join().unwrap(), (99, false));
+    }
+
+    #[test]
+    fn entry_larger_than_budget_still_serves_then_goes() {
+        let (c, pressure) = bounded_cache(50);
+        // 100-byte value against a 50-byte budget: the caller still gets the
+        // value (bounded wins, but never a wrong/missing answer)…
+        let (v, hit) = c.get_or_compute(1, || 11);
+        assert_eq!((v, hit), (11, false));
+        // …and the entry itself is shed, so the next asker recomputes.
+        assert_eq!(pressure.load(Relaxed), 1);
+        let (v, hit) = c.get_or_compute(1, || 12);
+        assert_eq!((v, hit), (12, false));
     }
 }

@@ -73,9 +73,9 @@ mod stats;
 mod store;
 
 pub use stats::{EngineStats, PassStat, TRACKED_PASSES};
-pub use store::StoredOutput;
+pub use store::{fsck, FsckReport, StoredOutput};
 
-use cache::{Gate, KeyedCache};
+use cache::{CacheBudget, Gate, KeyedCache};
 use fdi_core::faults::{FaultInjector, FaultPlan, FaultPoint};
 use fdi_core::{
     analyze_contained, assemble_sweep_rows, execute_cell, optimize_guided, optimize_program_guided,
@@ -119,6 +119,18 @@ pub struct EngineConfig {
     /// root is reported and the store disabled — never a construction
     /// failure.
     pub store: Option<PathBuf>,
+    /// Byte budget shared by the in-memory artifact caches (parses and
+    /// analyses). `None` (the default) leaves them unbounded; `Some(n)`
+    /// turns on byte accounting with least-recently-used eviction once the
+    /// combined footprint exceeds `n` — pressure evictions are counted in
+    /// [`EngineStats::cache_evictions_pressure`], and in-flight entries are
+    /// exempt (evicting one would strand its waiters).
+    pub cache_bytes: Option<usize>,
+    /// Byte quota for the disk store. `None` (the default) is unbounded;
+    /// `Some(n)` makes each write run a least-recently-used GC until the
+    /// store fits, counted in [`EngineStats::store_gc_evictions`]. The GC
+    /// holds shard write locks, so it never deletes an artifact mid-read.
+    pub store_bytes: Option<u64>,
     /// A loaded call-site profile to apply engine-wide. Every submitted job
     /// whose source fingerprint matches is marked profile-guided (splitting
     /// its cache key and ordering its inline budget hot-first); a mismatch
@@ -164,6 +176,8 @@ impl Default for EngineConfig {
             max_retries: 2,
             retry_backoff: Duration::from_millis(10),
             store: None,
+            cache_bytes: None,
+            store_bytes: None,
             profile: None,
         }
     }
@@ -228,6 +242,25 @@ pub struct PoisonedJob {
     pub error: PipelineError,
 }
 
+/// The engine's resource posture at a point in time — what `fdi serve`'s
+/// `health` op reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceStatus {
+    /// Ready-entry bytes held by the in-memory caches (zero when byte
+    /// accounting is off).
+    pub cache_bytes_used: u64,
+    /// The configured [`EngineConfig::cache_bytes`] budget, if any.
+    pub cache_bytes_limit: Option<u64>,
+    /// Disk-store footprint; `None` when no store is attached.
+    pub store_bytes_used: Option<u64>,
+    /// The configured [`EngineConfig::store_bytes`] quota, if any.
+    pub store_bytes_limit: Option<u64>,
+    /// True when repeated write failures have degraded the engine to
+    /// memory-only operation (answers still flow; nothing persists until a
+    /// probe write succeeds).
+    pub store_degraded: bool,
+}
+
 /// A claim on a submitted job's eventual result.
 #[derive(Debug)]
 pub struct JobHandle {
@@ -271,6 +304,34 @@ fn artifact_checksum(program: &Program) -> u64 {
     source_fingerprint(&fdi_lang::unparse(program).to_string())
 }
 
+/// Consecutive store-write failures before the engine declares the store
+/// unwritable and degrades to memory-only operation.
+const STORE_DEGRADE_AFTER: u64 = 3;
+
+/// While memory-only, every n-th would-be write probes the store so a
+/// recovered disk (space freed, permissions fixed) re-enables persistence
+/// without a restart.
+const STORE_PROBE_EVERY: u64 = 16;
+
+/// Estimated resident bytes of a cached parse artifact, for the byte
+/// budget. Proportional to the AST arena, not exact — eviction ordering
+/// only needs stable, cheap, comparable sizes. Contained errors are
+/// negatively cached at a small flat charge.
+fn parse_artifact_bytes(v: &Result<ParseArtifact, PipelineError>) -> usize {
+    match v {
+        Ok(a) => 128 + 48 * a.program.expr_count() + 24 * a.program.var_count(),
+        Err(_) => 64,
+    }
+}
+
+/// Estimated resident bytes of a cached flow analysis.
+fn analysis_bytes(v: &Result<Arc<FlowAnalysis>, PipelineError>) -> usize {
+    match v {
+        Ok(a) => a.approx_bytes(),
+        Err(_) => 64,
+    }
+}
+
 /// Shared engine state: every worker task holds an `Arc<Inner>`.
 struct Inner {
     stats: stats::StatsInner,
@@ -295,6 +356,16 @@ struct Inner {
     exec_shard: AtomicU64,
     /// The disk-backed artifact store, when [`EngineConfig::store`] is set.
     store: Option<store::DiskStore>,
+    /// The shared cache byte budget, when [`EngineConfig::cache_bytes`] is
+    /// set.
+    cache_budget: Option<Arc<CacheBudget>>,
+    /// Consecutive disk-store write failures. At
+    /// [`STORE_DEGRADE_AFTER`] the engine stops attempting writes
+    /// (memory-only operation) except for a periodic probe; any success
+    /// resets it.
+    store_consec_failures: AtomicU64,
+    /// Writes skipped while memory-only, for probe scheduling.
+    store_skipped: AtomicU64,
     /// The engine-wide profile, when [`EngineConfig::profile`] is set.
     profile: Option<EngineProfile>,
 }
@@ -371,7 +442,7 @@ impl Engine {
         );
         let disk = config.store.as_ref().and_then(|root| {
             match store::DiskStore::open(root, injector.clone()) {
-                Ok(s) => Some(s),
+                Ok(s) => Some(s.with_quota(config.store_bytes)),
                 Err(e) => {
                     // Degrade to memory-only: a missing disk must never
                     // stop the engine from computing.
@@ -380,6 +451,16 @@ impl Engine {
                 }
             }
         });
+        let cache_budget = config
+            .cache_bytes
+            .map(|limit| CacheBudget::new(limit, stats.cache_evictions_pressure.clone()));
+        let (programs, analyses) = match &cache_budget {
+            Some(b) => (
+                KeyedCache::bounded(b.clone(), parse_artifact_bytes),
+                KeyedCache::bounded(b.clone(), analysis_bytes),
+            ),
+            None => (KeyedCache::new(), KeyedCache::new()),
+        };
         Engine {
             inner: Arc::new(Inner {
                 stats,
@@ -388,11 +469,14 @@ impl Engine {
                 max_retries: config.max_retries,
                 retry_backoff: config.retry_backoff,
                 poisoned: Mutex::new(Vec::new()),
-                programs: KeyedCache::new(),
-                analyses: KeyedCache::new(),
+                programs,
+                analyses,
                 inflight: Mutex::new(HashMap::new()),
                 exec_shard: AtomicU64::new(0),
                 store: disk,
+                cache_budget,
+                store_consec_failures: AtomicU64::new(0),
+                store_skipped: AtomicU64::new(0),
                 profile: config.profile,
             }),
             pool,
@@ -409,9 +493,40 @@ impl Engine {
         self.pool.workers()
     }
 
-    /// A point-in-time snapshot of the engine's counters.
+    /// A point-in-time snapshot of the engine's counters, with the
+    /// resource gauges (cache and store footprints, GC evictions) filled
+    /// from their owners.
     pub fn stats(&self) -> EngineStats {
-        self.inner.stats.snapshot()
+        let mut snap = self.inner.stats.snapshot();
+        if let Some(budget) = &self.inner.cache_budget {
+            snap.cache_bytes_used = budget.bytes_used() as u64;
+        }
+        if let Some(store) = &self.inner.store {
+            snap.store_bytes_used = store.bytes_used();
+            snap.store_gc_evictions = store.gc_evictions();
+        }
+        snap
+    }
+
+    /// The engine's resource posture, for serve-mode health reporting.
+    pub fn resources(&self) -> ResourceStatus {
+        ResourceStatus {
+            cache_bytes_used: self
+                .inner
+                .cache_budget
+                .as_ref()
+                .map(|b| b.bytes_used() as u64)
+                .unwrap_or(0),
+            cache_bytes_limit: self
+                .inner
+                .cache_budget
+                .as_ref()
+                .and_then(|b| (b.limit() != usize::MAX).then_some(b.limit() as u64)),
+            store_bytes_used: self.inner.store.as_ref().map(|s| s.bytes_used()),
+            store_bytes_limit: self.inner.store.as_ref().and_then(|s| s.quota()),
+            store_degraded: self.inner.store.is_some()
+                && self.inner.store_consec_failures.load(Relaxed) >= STORE_DEGRADE_AFTER,
+        }
     }
 
     /// The poison list: jobs that exhausted their retries, in quarantine
@@ -742,6 +857,16 @@ fn persist_output(inner: &Inner, job: &Job, src_key: u64, out: &PipelineOutput) 
     if !out.health.degradations.is_empty() || out.health.oracle_rejected() {
         return;
     }
+    // Memory-only mode: after STORE_DEGRADE_AFTER consecutive write
+    // failures (a full disk, most likely), stop hammering the store —
+    // requests keep succeeding from memory — but let every n-th output
+    // probe it, so a recovered disk re-enables persistence by itself.
+    if inner.store_consec_failures.load(Relaxed) >= STORE_DEGRADE_AFTER {
+        let skipped = inner.store_skipped.fetch_add(1, Relaxed) + 1;
+        if !skipped.is_multiple_of(STORE_PROBE_EVERY) {
+            return;
+        }
+    }
     inner.stats.fingerprints_computed.fetch_add(1, Relaxed);
     let key = (src_key, job.config.fingerprint());
     let stored = StoredOutput {
@@ -752,20 +877,38 @@ fn persist_output(inner: &Inner, job: &Job, src_key: u64, out: &PipelineOutput) 
         fuel_used: out.fuel_used,
         decisions: DecisionTotals::tally(&out.decisions),
     };
+    let write_failed = |instant: &str, fields: &[(&str, String)]| {
+        inner.stats.store_write_failures.fetch_add(1, Relaxed);
+        inner.telemetry.instant(instant, "cache", fields);
+        let failures = inner.store_consec_failures.fetch_add(1, Relaxed) + 1;
+        if failures == STORE_DEGRADE_AFTER {
+            // One typed instant at the transition, not one per skipped
+            // write: the signal is "the engine went memory-only", and it
+            // must never surface as a failed request.
+            inner.telemetry.instant(
+                "store.memory_only",
+                "cache",
+                &[("consecutive_failures", failures.to_string())],
+            );
+        }
+    };
     match store.save(key, &stored) {
         store::Saved::Written => {
             inner.stats.store_writes.fetch_add(1, Relaxed);
+            let was = inner.store_consec_failures.swap(0, Relaxed);
+            if was >= STORE_DEGRADE_AFTER {
+                inner.telemetry.instant("store.recovered", "cache", &[]);
+            }
         }
         store::Saved::Torn => {
-            inner.stats.store_write_failures.fetch_add(1, Relaxed);
-            inner.telemetry.instant("store.write_torn", "cache", &[]);
+            write_failed("store.write_torn", &[]);
+        }
+        store::Saved::Full => {
+            write_failed("store.full", &[("error", "injected ENOSPC".to_string())]);
         }
         store::Saved::Failed(message) => {
-            inner.stats.store_write_failures.fetch_add(1, Relaxed);
             let e = PipelineError::Store { message };
-            inner
-                .telemetry
-                .instant("store.write_failed", "cache", &[("error", e.to_string())]);
+            write_failed("store.write_failed", &[("error", e.to_string())]);
         }
     }
 }
@@ -840,7 +983,9 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
                 inner
                     .telemetry
                     .instant("cache.corruption_detected", "cache", &[]);
-                inner.programs.evict(&src_key);
+                if inner.programs.evict(&src_key) {
+                    inner.stats.cache_evictions_corruption.fetch_add(1, Relaxed);
+                }
                 continue;
             }
         }
@@ -848,7 +993,7 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
             // Drop the entry *after* taking our clone: this job proceeds,
             // the next asker recomputes.
             if inner.programs.evict(&src_key) {
-                inner.stats.cache_evictions.fetch_add(1, Relaxed);
+                inner.stats.cache_evictions_fault.fetch_add(1, Relaxed);
                 inner.telemetry.instant("cache.evict", "cache", &[]);
             }
         }
@@ -1249,6 +1394,155 @@ mod tests {
         assert_eq!(engine.stats().store_writes, 1);
         assert!(engine.lookup_stored(&job).is_none(), "flipped byte: miss");
         assert_eq!(engine.stats().store_corruptions_detected, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cache_pressure_evicts_and_recomputes_byte_identically() {
+        // A starvation-level cache budget: every insert overflows it, so
+        // the caches thrash — and the answers must not change.
+        let reference = Engine::with_jobs(2);
+        let starved = Engine::new(EngineConfig {
+            workers: 2,
+            queue_cap: 8,
+            cache_bytes: Some(1),
+            ..EngineConfig::default()
+        });
+        for t in [0usize, 200, 1000] {
+            let job = || Job::new(SRC, PipelineConfig::with_threshold(t));
+            let want = reference.submit(job()).wait().unwrap();
+            let got = starved.submit(job()).wait().unwrap();
+            assert_eq!(
+                fdi_lang::unparse(&got.optimized).to_string(),
+                fdi_lang::unparse(&want.optimized).to_string(),
+                "threshold {t}: pressure eviction changed the answer"
+            );
+            assert!(!got.health.degraded());
+        }
+        let stats = starved.stats();
+        assert!(
+            stats.cache_evictions_pressure > 0,
+            "a 1-byte budget must shed entries"
+        );
+        assert_eq!(stats.cache_evictions_fault, 0);
+        assert_eq!(stats.cache_evictions_corruption, 0);
+        assert_eq!(
+            stats.cache_evictions, stats.cache_evictions_pressure,
+            "legacy counter is the per-cause sum"
+        );
+        assert!(
+            stats.cache_bytes_used <= 1,
+            "footprint gauge must respect the budget at rest"
+        );
+        // The unbounded reference never sheds and reports no byte gauge.
+        assert_eq!(reference.stats().cache_evictions, 0);
+    }
+
+    #[test]
+    fn bounded_cache_still_dedups_inflight_and_serves_hits() {
+        // A roomy budget: entries fit, so bounding must not cost hits.
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            queue_cap: 8,
+            cache_bytes: Some(64 << 20),
+            ..EngineConfig::default()
+        });
+        for t in [0usize, 200] {
+            engine
+                .submit(Job::new(SRC, PipelineConfig::with_threshold(t)))
+                .wait()
+                .unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.parse_misses, 1, "one parse, shared");
+        assert_eq!(stats.parse_hits, 1);
+        assert_eq!(stats.cache_evictions, 0);
+        assert!(stats.cache_bytes_used > 0, "footprint gauge is live");
+    }
+
+    #[test]
+    fn store_quota_gc_bounds_the_footprint_without_losing_answers() {
+        // Size one artifact with an unbounded store first.
+        let probe_root = store_root("quota-probe");
+        let probe = store_engine(&probe_root, FaultPlan::default());
+        probe
+            .submit(Job::new(SRC, PipelineConfig::with_threshold(0)))
+            .wait()
+            .unwrap();
+        let one = probe.stats().store_bytes_used;
+        assert!(one > 0);
+        drop(probe);
+        let _ = std::fs::remove_dir_all(&probe_root);
+
+        let root = store_root("quota");
+        let quota = 2 * one + one / 2;
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            queue_cap: 8,
+            store: Some(root.clone()),
+            store_bytes: Some(quota),
+            ..EngineConfig::default()
+        });
+        for t in [0usize, 100, 200, 400] {
+            let out = engine
+                .submit(Job::new(SRC, PipelineConfig::with_threshold(t)))
+                .wait()
+                .unwrap();
+            assert!(!out.health.degraded());
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.store_writes, 4, "every output persisted");
+        assert!(stats.store_gc_evictions >= 1, "the quota must bite");
+        assert!(
+            stats.store_bytes_used <= quota,
+            "footprint {} over quota {quota}",
+            stats.store_bytes_used
+        );
+        // The most recent artifact survived the GC and serves warm.
+        let last = Job::new(SRC, PipelineConfig::with_threshold(400));
+        assert!(engine.lookup_stored(&last).is_some());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_full_degrades_to_memory_only_and_recovers() {
+        let root = store_root("enospc");
+        // Three injected ENOSPC rejections, then the disk "frees up".
+        let engine = store_engine(
+            &root,
+            FaultPlan::only(0xF11, &[FaultPoint::StoreFull]).with_limit(STORE_DEGRADE_AFTER as u32),
+        );
+        for t in [0usize, 100, 200] {
+            let out = engine
+                .submit(Job::new(SRC, PipelineConfig::with_threshold(t)))
+                .wait()
+                .unwrap();
+            assert!(!out.health.degraded(), "ENOSPC must never fail a request");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.store_writes, 0);
+        assert_eq!(stats.store_write_failures, STORE_DEGRADE_AFTER);
+        assert!(engine.resources().store_degraded, "memory-only after 3");
+        // Memory-only: the next outputs skip the store entirely…
+        for t in 1..STORE_PROBE_EVERY {
+            engine
+                .submit(Job::new(
+                    SRC,
+                    PipelineConfig::with_threshold(1000 + t as usize),
+                ))
+                .wait()
+                .unwrap();
+        }
+        assert_eq!(engine.stats().store_write_failures, STORE_DEGRADE_AFTER);
+        // …until the probe write lands (the injector's cap is spent) and
+        // persistence re-enables itself.
+        engine
+            .submit(Job::new(SRC, PipelineConfig::with_threshold(5000)))
+            .wait()
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.store_writes, 1, "the probe write landed");
+        assert!(!engine.resources().store_degraded, "recovered");
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -39,7 +39,14 @@ pub(crate) struct StatsInner {
     pub analysis_misses: AtomicU64,
     pub analysis_uncached: AtomicU64,
     pub fingerprints_computed: AtomicU64,
-    pub cache_evictions: AtomicU64,
+    /// Cache entries shed by injected `cache-evict` faults.
+    pub cache_evictions_fault: AtomicU64,
+    /// Cache entries shed because the fingerprint recheck caught them
+    /// corrupted.
+    pub cache_evictions_corruption: AtomicU64,
+    /// Cache entries shed to fit `cache_bytes`. Behind an `Arc`: the shared
+    /// [`crate::cache::CacheBudget`] bumps it from inside the caches.
+    pub cache_evictions_pressure: Arc<AtomicU64>,
     pub cache_corruptions_detected: AtomicU64,
     pub store_hits: AtomicU64,
     pub store_misses: AtomicU64,
@@ -131,13 +138,21 @@ impl StatsInner {
             analysis_misses: self.analysis_misses.load(Relaxed),
             analysis_uncached: self.analysis_uncached.load(Relaxed),
             fingerprints_computed: self.fingerprints_computed.load(Relaxed),
-            cache_evictions: self.cache_evictions.load(Relaxed),
+            cache_evictions: self.cache_evictions_fault.load(Relaxed)
+                + self.cache_evictions_corruption.load(Relaxed)
+                + self.cache_evictions_pressure.load(Relaxed),
+            cache_evictions_fault: self.cache_evictions_fault.load(Relaxed),
+            cache_evictions_corruption: self.cache_evictions_corruption.load(Relaxed),
+            cache_evictions_pressure: self.cache_evictions_pressure.load(Relaxed),
+            cache_bytes_used: 0,
             cache_corruptions_detected: self.cache_corruptions_detected.load(Relaxed),
             store_hits: self.store_hits.load(Relaxed),
             store_misses: self.store_misses.load(Relaxed),
             store_corruptions_detected: self.store_corruptions_detected.load(Relaxed),
             store_writes: self.store_writes.load(Relaxed),
             store_write_failures: self.store_write_failures.load(Relaxed),
+            store_gc_evictions: 0,
+            store_bytes_used: 0,
             profile_applied: self.profile_applied.load(Relaxed),
             profile_stale: self.profile_stale.load(Relaxed),
             workers_respawned: self.workers_respawned.load(Relaxed),
@@ -206,8 +221,19 @@ pub struct EngineStats {
     /// Cache-key fingerprints computed (source + config hashes). Bypass
     /// jobs skip fingerprinting entirely, so they contribute zero here.
     pub fingerprints_computed: u64,
-    /// Cache entries evicted (injected `cache-evict` faults).
+    /// Cache entries evicted, all causes summed. Kept for one release as
+    /// the historical aggregate; prefer the per-cause counters below.
     pub cache_evictions: u64,
+    /// Evictions from injected `cache-evict` faults.
+    pub cache_evictions_fault: u64,
+    /// Evictions of entries the fingerprint recheck caught corrupted.
+    pub cache_evictions_corruption: u64,
+    /// Evictions shedding bytes to fit the `cache_bytes` budget (LRU
+    /// order, in-flight entries exempt).
+    pub cache_evictions_pressure: u64,
+    /// Ready-entry bytes currently held by the in-memory caches (a gauge,
+    /// filled at snapshot time; zero when byte accounting is off).
+    pub cache_bytes_used: u64,
     /// Corrupted cache artifacts caught by the fingerprint recheck.
     pub cache_corruptions_detected: u64,
     /// Disk-store artifacts served without recomputation.
@@ -219,9 +245,16 @@ pub struct EngineStats {
     pub store_corruptions_detected: u64,
     /// Artifacts durably persisted to the disk store.
     pub store_writes: u64,
-    /// Disk-store writes that failed (IO errors and injected torn writes);
-    /// the engine degrades to recomputation.
+    /// Disk-store writes that failed (IO errors, injected torn writes, and
+    /// injected `store-full` rejections); the engine degrades to
+    /// recomputation.
     pub store_write_failures: u64,
+    /// Artifacts deleted by the store-quota GC (least-recently-used order,
+    /// never mid-read).
+    pub store_gc_evictions: u64,
+    /// Bytes currently held by the disk store (a gauge, filled at snapshot
+    /// time; zero when no store is attached).
+    pub store_bytes_used: u64,
     /// Jobs marked profile-guided at submission (the engine's loaded
     /// profile matched the job's source).
     pub profile_applied: u64,
@@ -309,9 +342,12 @@ impl EngineStats {
                 "\"parse_hits\":{},\"parse_misses\":{},",
                 "\"analysis_hits\":{},\"analysis_misses\":{},\"analysis_uncached\":{},",
                 "\"fingerprints_computed\":{},",
-                "\"cache_evictions\":{},\"cache_corruptions_detected\":{},",
+                "\"cache_evictions\":{},\"cache_evictions_fault\":{},",
+                "\"cache_evictions_corruption\":{},\"cache_evictions_pressure\":{},",
+                "\"cache_bytes_used\":{},\"cache_corruptions_detected\":{},",
                 "\"store_hits\":{},\"store_misses\":{},\"store_corruptions_detected\":{},",
                 "\"store_writes\":{},\"store_write_failures\":{},",
+                "\"store_gc_evictions\":{},\"store_bytes_used\":{},",
                 "\"profile_applied\":{},\"profile_stale\":{},",
                 "\"workers_respawned\":{},\"queue_highwater\":{},",
                 "\"parse_ms\":{:.3},\"analysis_ms\":{:.3},\"transform_ms\":{:.3},\"execute_ms\":{:.3},",
@@ -330,12 +366,18 @@ impl EngineStats {
             self.analysis_uncached,
             self.fingerprints_computed,
             self.cache_evictions,
+            self.cache_evictions_fault,
+            self.cache_evictions_corruption,
+            self.cache_evictions_pressure,
+            self.cache_bytes_used,
             self.cache_corruptions_detected,
             self.store_hits,
             self.store_misses,
             self.store_corruptions_detected,
             self.store_writes,
             self.store_write_failures,
+            self.store_gc_evictions,
+            self.store_bytes_used,
             self.profile_applied,
             self.profile_stale,
             self.workers_respawned,
@@ -384,12 +426,27 @@ mod tests {
         assert!(j.contains("\"analysis_misses\":0"));
         assert!(j.contains("\"store_hits\":0,\"store_misses\":0"));
         assert!(j.contains("\"store_writes\":0,\"store_write_failures\":0"));
+        assert!(j.contains("\"cache_evictions_pressure\":0"));
+        assert!(j.contains("\"store_gc_evictions\":0,\"store_bytes_used\":0"));
         // One outer object, one "passes" object, one object per tracked
         // pass, plus the "telemetry" section and its "decisions" object.
         assert_eq!(j.matches('{').count(), 4 + TRACKED_PASSES.len());
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"passes\":{\"baseline\":{\"runs\":0"));
         assert!(j.contains("\"telemetry\":{\"decisions\":{\"inlined\":0,"));
+    }
+
+    #[test]
+    fn eviction_sum_spans_the_per_cause_counters() {
+        let s = StatsInner::default();
+        s.cache_evictions_fault.fetch_add(2, Relaxed);
+        s.cache_evictions_corruption.fetch_add(3, Relaxed);
+        s.cache_evictions_pressure.fetch_add(5, Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.cache_evictions_fault, 2);
+        assert_eq!(snap.cache_evictions_corruption, 3);
+        assert_eq!(snap.cache_evictions_pressure, 5);
+        assert_eq!(snap.cache_evictions, 10, "legacy field is the sum");
     }
 
     #[test]

@@ -119,13 +119,14 @@ pub fn load_engine_profile(path: &str) -> Result<fdi_engine::EngineProfile, Stri
 }
 
 /// `fdi batch <manifest> [--jobs N] [--out FILE] [--trace-out FILE]
-/// [--passes SCHEDULE] [--profile FILE] [--size-budget N] [--validate]
-/// [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]`.
+/// [--passes SCHEDULE] [--profile FILE] [--size-budget N] [--cache-bytes N]
+/// [--validate] [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]`.
 pub fn main(mut args: Vec<String>) -> ExitCode {
     let mut jobs = None;
     let mut out_file = None;
     let mut trace_out = None;
     let mut profile_path: Option<String> = None;
+    let mut cache_bytes: Option<usize> = None;
     let mut default_config = PipelineConfig::default();
     let mut engine_faults = FaultPlan::default();
     let mut i = 0;
@@ -136,6 +137,13 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
                     return usage();
                 };
                 jobs = Some(n);
+                args.drain(i..=i + 1);
+            }
+            "--cache-bytes" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cache_bytes = Some(n);
                 args.drain(i..=i + 1);
             }
             "--out" => {
@@ -264,6 +272,7 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
         fdi_engine::EngineConfig {
             faults: engine_faults,
             profile: engine_profile,
+            cache_bytes,
             ..match jobs {
                 Some(n) => fdi_engine::EngineConfig::with_workers(n),
                 None => fdi_engine::EngineConfig::default(),

@@ -1,11 +1,10 @@
-//! `fdi client` — a thin JSON-lines client for `fdi serve`.
+//! `fdi client` — a retrying JSON-lines client for `fdi serve`.
 //!
 //! ```text
-//! fdi client (--port N | --port-file FILE) ping
-//! fdi client (--port N | --port-file FILE) stats
-//! fdi client (--port N | --port-file FILE) shutdown
-//! fdi client (--port N | --port-file FILE) job <spec> [job-flags…]
-//!            [--request-deadline-ms N]
+//! fdi client (--port N | --port-file FILE) [--retries N] [--retry-seed S]
+//!            ping | stats | health | shutdown
+//! fdi client (--port N | --port-file FILE) [--retries N] [--retry-seed S]
+//!            job <spec> [job-flags…] [--request-deadline-ms N]
 //! ```
 //!
 //! `job` sends one request using the `fdi batch` per-job flag grammar
@@ -14,16 +13,60 @@
 //! *serve-layer* deadline (typed `timeout` rejection) — distinct from the
 //! `--deadline-ms` job flag, which budgets the pipeline itself. The exit
 //! code mirrors the response's `"ok"`.
+//!
+//! ## Retries
+//!
+//! With `--retries N`, transient failures — a refused connection (daemon
+//! restarting) or a typed `overloaded` rejection — are retried up to `N`
+//! times with seeded, jittered exponential backoff
+//! ([`fdi_core::jittered_backoff`]; `--retry-seed` pins the jitter for
+//! reproduction). An `overloaded` response's `retry_after_ms` is the
+//! first-attempt backoff hint. Every resubmission is the *same request
+//! bytes*, so a retry can never ask a different question than the original.
+//! Non-transient failures (`bad-request`, `failed`, `timeout`, `draining`)
+//! are never retried.
+//!
+//! When `--request-deadline-ms` is set it also caps the retry loop's wall
+//! clock: a backoff sleep that would cross the deadline is not taken — the
+//! client fails fast with a typed `timeout` error instead of oversleeping.
+//!
+//! ## Protocol version
+//!
+//! Responses must carry `"proto"` equal to the client's
+//! [`crate::serve::PROTO_VERSION`]; anything else (including a pre-`proto`
+//! daemon) is rejected with a typed `proto-mismatch` error rather than
+//! misparsed.
 
 use crate::opts::usage;
 use crate::report::json_escape;
-use fdi_telemetry::json;
+use crate::serve::PROTO_VERSION;
+use fdi_core::jittered_backoff;
+use fdi_telemetry::json::{self, Json};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Ceiling for one backoff sleep; the exponential curve flattens here.
+const BACKOFF_CAP_MS: u64 = 5_000;
+/// Backoff hint when the failure carried none (connection refused).
+const DEFAULT_HINT_MS: u64 = 100;
+
+/// One attempt's outcome, as seen by the retry loop.
+enum Attempt {
+    /// A response arrived; print it verbatim. The flag is `"ok"`.
+    Done(String, bool),
+    /// Transient failure worth a retry, with a backoff hint in ms and a
+    /// human reason (printed if retries run out).
+    Transient(u64, String),
+    /// Hard failure: report and stop, no retry.
+    Fatal(String),
+}
 
 pub fn main(mut args: Vec<String>) -> ExitCode {
     let mut port: Option<u16> = None;
+    let mut retries: u32 = 0;
+    let mut retry_seed: u64 = std::process::id() as u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -49,6 +92,20 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
                 port = Some(p);
                 args.drain(i..=i + 1);
             }
+            "--retries" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                retries = n;
+                args.drain(i..=i + 1);
+            }
+            "--retry-seed" => {
+                let Some(s) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                retry_seed = s;
+                args.drain(i..=i + 1);
+            }
             _ => i += 1,
         }
     }
@@ -56,8 +113,9 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
         eprintln!("fdi client: need --port or --port-file");
         return ExitCode::FAILURE;
     };
+    let mut deadline: Option<Duration> = None;
     let request = match args.first().map(String::as_str) {
-        Some(op @ ("ping" | "stats" | "shutdown")) if args.len() == 1 => {
+        Some(op @ ("ping" | "stats" | "health" | "shutdown")) if args.len() == 1 => {
             format!("{{\"op\":\"{op}\"}}")
         }
         Some("job") => {
@@ -82,44 +140,126 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
                 .iter()
                 .map(|f| format!("\"{}\"", json_escape(f)))
                 .collect();
-            let deadline = deadline_ms
+            deadline = deadline_ms.map(Duration::from_millis);
+            let deadline_field = deadline_ms
                 .map(|ms| format!(",\"deadline_ms\":{ms}"))
                 .unwrap_or_default();
             format!(
                 "{{\"op\":\"job\",\"spec\":\"{}\",\"flags\":[{}]{}}}",
                 json_escape(spec),
                 flags.join(","),
-                deadline
+                deadline_field
             )
         }
         _ => return usage(),
     };
 
+    // The retry loop. `request` is built exactly once above — every attempt
+    // writes the same bytes, so retries are provably identical resubmissions.
+    let started = Instant::now();
+    let mut attempt: u32 = 0;
+    loop {
+        let (hint_ms, reason) = match try_once(port, &request) {
+            Attempt::Done(response, ok) => {
+                print!("{response}");
+                return if ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+            Attempt::Fatal(message) => {
+                eprintln!("fdi client: {message}");
+                return ExitCode::FAILURE;
+            }
+            Attempt::Transient(hint_ms, reason) => (hint_ms, reason),
+        };
+        if attempt >= retries {
+            eprintln!("fdi client: {reason} (after {attempt} retries)");
+            return ExitCode::FAILURE;
+        }
+        let sleep = Duration::from_millis(jittered_backoff(
+            retry_seed,
+            attempt,
+            hint_ms,
+            BACKOFF_CAP_MS,
+        ));
+        // Deadline cap: never sleep past --request-deadline-ms. Failing fast
+        // here beats waking up with no budget left to ask the question.
+        if let Some(deadline) = deadline {
+            if started.elapsed() + sleep >= deadline {
+                eprintln!(
+                    "fdi client: timeout: next backoff ({} ms) would cross the \
+                     {} ms request deadline; giving up after {attempt} retries",
+                    sleep.as_millis(),
+                    deadline.as_millis()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        std::thread::sleep(sleep);
+        attempt += 1;
+    }
+}
+
+/// One connect–send–receive round trip.
+fn try_once(port: u16, request: &str) -> Attempt {
     let mut stream = match TcpStream::connect(("127.0.0.1", port)) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("fdi client: cannot connect to 127.0.0.1:{port}: {e}");
-            return ExitCode::FAILURE;
+            return Attempt::Transient(
+                DEFAULT_HINT_MS,
+                format!("cannot connect to 127.0.0.1:{port}: {e}"),
+            )
         }
     };
     if writeln!(stream, "{request}")
         .and_then(|()| stream.flush())
         .is_err()
     {
-        eprintln!("fdi client: connection lost while sending");
-        return ExitCode::FAILURE;
+        return Attempt::Transient(DEFAULT_HINT_MS, "connection lost while sending".to_string());
     }
     let mut response = String::new();
     match BufReader::new(&stream).read_line(&mut response) {
         Ok(n) if n > 0 => {}
         _ => {
-            eprintln!("fdi client: server closed the connection without replying");
-            return ExitCode::FAILURE;
+            return Attempt::Transient(
+                DEFAULT_HINT_MS,
+                "server closed the connection without replying".to_string(),
+            )
         }
     }
-    print!("{response}");
-    match json::parse(response.trim()) {
-        Ok(doc) if doc.get("ok") == Some(&json::Json::Bool(true)) => ExitCode::SUCCESS,
-        _ => ExitCode::FAILURE,
+    let Ok(doc) = json::parse(response.trim()) else {
+        return Attempt::Fatal(format!(
+            "proto-mismatch: unparseable response: {}",
+            response.trim()
+        ));
+    };
+    // Version gate before any field is trusted: a daemon speaking another
+    // protocol gets a typed rejection, not a misreading.
+    match doc.get("proto").map(|p| p.as_num()) {
+        Some(Some(v)) if v == PROTO_VERSION as f64 => {}
+        got => {
+            return Attempt::Fatal(format!(
+                "proto-mismatch: client speaks proto {PROTO_VERSION}, server sent {}",
+                match got {
+                    Some(Some(v)) => format!("proto {v}"),
+                    _ => "no proto field".to_string(),
+                }
+            ))
+        }
+    }
+    if doc.get("ok") == Some(&Json::Bool(true)) {
+        return Attempt::Done(response, true);
+    }
+    match doc.get("kind").and_then(Json::as_str) {
+        Some("overloaded") => {
+            let hint = match doc.get("retry_after_ms").map(|h| h.as_num()) {
+                Some(Some(ms)) if ms >= 0.0 => ms as u64,
+                _ => DEFAULT_HINT_MS,
+            };
+            Attempt::Transient(hint, "server overloaded".to_string())
+        }
+        _ => Attempt::Done(response, false),
     }
 }

@@ -9,8 +9,11 @@
 //! fdi batch    <manifest> [--jobs N] [--out FILE] [--trace-out FILE]
 //! fdi report   [-t THRESHOLD] [--policy …] [--scale test|default]
 //! fdi serve    [--port N] [--port-file FILE] [--store DIR] [--jobs N]
-//!              [--max-inflight N] [--deadline-ms N]
-//! fdi client   (--port N | --port-file FILE) <ping|stats|shutdown|job …>
+//!              [--max-inflight N] [--deadline-ms N] [--read-deadline-ms N]
+//!              [--cache-bytes N] [--store-bytes N]
+//! fdi client   (--port N | --port-file FILE) [--retries N] [--retry-seed S]
+//!              <ping|stats|health|shutdown|job …>
+//! fdi fsck     <STORE> [--repair]
 //! ```
 //!
 //! `profile` runs the original program on the cost-model VM with per-site
@@ -72,14 +75,24 @@
 //! `serve` keeps the engine and its caches hot in a persistent daemon
 //! (JSON lines over localhost TCP) and, with `--store DIR`, persists
 //! finished optimizations to a checksummed disk store that survives crashes
-//! and restarts; `client` is the matching one-shot client. See
+//! and restarts; `client` is the matching one-shot client, with
+//! `--retries N` for seeded-backoff retry of transient failures. See
 //! `serve.rs` for the protocol and its typed rejections (overloaded,
 //! timeout, draining).
+//!
+//! Resource governance: `--cache-bytes N` (on `batch` and `serve`) bounds
+//! the in-memory artifact caches with byte-accounted LRU eviction, and
+//! `--store-bytes N` (on `serve`) puts the disk store under a quota enforced
+//! by LRU garbage collection. `fdi fsck <STORE> [--repair]` is the offline
+//! integrity checker for a store: it verifies every artifact frame and, with
+//! `--repair`, evicts corrupt and orphaned entries so a damaged store heals
+//! by recomputation instead of serving lies.
 
 mod analyze;
 mod batch;
 mod client;
 mod explain;
+mod fsck;
 mod optimize;
 mod opts;
 mod profile;
@@ -108,6 +121,9 @@ fn main() -> ExitCode {
     }
     if command == "client" {
         return client::main(rest);
+    }
+    if command == "fsck" {
+        return fsck::main(rest);
     }
     let Some(opts) = opts::parse(rest) else {
         return opts::usage();

@@ -45,13 +45,16 @@ pub fn usage() -> ExitCode {
          [--validate] [--oracle-fuel N] [--faults SEED]\n       \
          fdi profile <file.scm> [--entry EXPR] [-o FILE]\n       \
          fdi batch <manifest> [--jobs N] [--out FILE] [--passes SCHEDULE] [--trace-out FILE] \
-         [--profile FILE] [--size-budget N] \
+         [--profile FILE] [--size-budget N] [--cache-bytes N] \
          [--validate] [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]\n       \
          fdi report [-t THRESHOLD] [--policy 0cfa|poly|1cfa] [--scale test|default] [--jobs N]\n       \
          fdi serve [--port N] [--port-file FILE] [--store DIR] [--jobs N] [--max-inflight N] \
-         [--deadline-ms N] [--profile FILE] [--engine-faults SEED]\n       \
-         fdi client (--port N | --port-file FILE) <ping|stats|shutdown> | \
-         job <spec> [job-flags…] [--request-deadline-ms N]"
+         [--deadline-ms N] [--read-deadline-ms N] [--cache-bytes N] [--store-bytes N] \
+         [--profile FILE] [--engine-faults SEED]\n       \
+         fdi client (--port N | --port-file FILE) [--retries N] [--retry-seed S] \
+         <ping|stats|health|shutdown> | \
+         job <spec> [job-flags…] [--request-deadline-ms N]\n       \
+         fdi fsck <STORE> [--repair]"
     );
     ExitCode::FAILURE
 }

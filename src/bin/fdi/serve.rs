@@ -16,12 +16,19 @@
 //! ```text
 //! {"op":"ping"}
 //! {"op":"stats"}
+//! {"op":"health"}
 //! {"op":"shutdown"}
 //! {"op":"job","spec":"bench:fib@6","flags":["-t","200"],"deadline_ms":5000}
 //! {"op":"job","source":"(let ((f (lambda (x) x))) (f 1))"}
 //! ```
 //!
-//! Every response carries `"ok"`. Failures are *typed* via `"kind"`:
+//! Every response carries `"ok"` and `"proto"` (the wire-protocol version,
+//! [`PROTO_VERSION`]) so clients can reject a daemon they do not speak to
+//! instead of misparsing it. `health` is the operator probe: in-flight and
+//! admission numbers, cache/store byte footprints against their configured
+//! limits, memory-only degradation, and uptime.
+//!
+//! Failures are *typed* via `"kind"`:
 //!
 //! * `bad-request` — malformed JSON, unknown op, bad flags, unreadable spec;
 //! * `overloaded` — the bounded admission gate is full; the response carries
@@ -33,6 +40,12 @@
 //!   stops waiting, so a slow job can never hang a client;
 //! * `draining` — a shutdown is in progress; no new work is admitted;
 //! * `failed` — the job itself failed (frontend rejection, poisoned, …).
+//!
+//! Connections that stop sending mid-line are cut by a per-connection read
+//! deadline (`--read-deadline-ms`), so a slowloris client holds a thread for
+//! a bounded time, never forever. Store write failures never fail requests:
+//! after [`fdi_engine`]'s degradation threshold the daemon answers
+//! memory-only and re-probes the disk periodically (visible in `health`).
 //!
 //! Successful job responses include the optimized program text, so a warm
 //! re-serve can be checked byte-for-byte against a cold run. `"cached":true`
@@ -57,7 +70,11 @@ use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Wire-protocol version. Bump on any response-schema change a deployed
+/// client could misparse; clients refuse to talk across a mismatch.
+pub const PROTO_VERSION: u64 = 1;
 
 /// Shared daemon state, one per process.
 struct Server {
@@ -72,6 +89,8 @@ struct Server {
     draining: AtomicBool,
     /// Default per-request deadline when the request names none.
     deadline: Duration,
+    /// When the daemon came up (the `health` uptime gauge).
+    started: Instant,
 }
 
 /// What the connection loop should do with a handled request.
@@ -84,13 +103,14 @@ enum Reply {
 
 fn err(kind: &str, message: &str) -> String {
     format!(
-        "{{\"ok\":false,\"kind\":\"{kind}\",\"error\":\"{}\"}}",
+        "{{\"ok\":false,\"proto\":{PROTO_VERSION},\"kind\":\"{kind}\",\"error\":\"{}\"}}",
         json_escape(message)
     )
 }
 
 /// `fdi serve [--port N] [--port-file FILE] [--store DIR] [--jobs N]
-/// [--max-inflight N] [--deadline-ms N] [--profile FILE]
+/// [--max-inflight N] [--deadline-ms N] [--read-deadline-ms N]
+/// [--cache-bytes N] [--store-bytes N] [--profile FILE]
 /// [--engine-faults SEED]`.
 pub fn main(args: Vec<String>) -> ExitCode {
     let mut port: u16 = 0;
@@ -100,6 +120,9 @@ pub fn main(args: Vec<String>) -> ExitCode {
     let mut jobs: Option<usize> = None;
     let mut max_inflight: usize = 64;
     let mut deadline = Duration::from_millis(30_000);
+    let mut read_deadline = Duration::from_millis(10_000);
+    let mut cache_bytes: Option<usize> = None;
+    let mut store_bytes: Option<u64> = None;
     let mut engine_faults = FaultPlan::default();
     let mut i = 0;
     while i < args.len() {
@@ -133,6 +156,18 @@ pub fn main(args: Vec<String>) -> ExitCode {
                 Some(ms) => deadline = Duration::from_millis(ms),
                 None => return usage(),
             },
+            "--read-deadline-ms" => match value(i).and_then(|s| s.parse().ok()) {
+                Some(ms) => read_deadline = Duration::from_millis(ms),
+                None => return usage(),
+            },
+            "--cache-bytes" => match value(i).and_then(|s| s.parse().ok()) {
+                Some(n) => cache_bytes = Some(n),
+                None => return usage(),
+            },
+            "--store-bytes" => match value(i).and_then(|s| s.parse().ok()) {
+                Some(n) => store_bytes = Some(n),
+                None => return usage(),
+            },
             "--engine-faults" => match value(i).and_then(|s| s.parse().ok()) {
                 Some(seed) => engine_faults = FaultPlan::new(seed),
                 None => return usage(),
@@ -159,6 +194,8 @@ pub fn main(args: Vec<String>) -> ExitCode {
         faults: engine_faults,
         store,
         profile,
+        cache_bytes,
+        store_bytes,
         ..match jobs {
             Some(n) => EngineConfig::with_workers(n),
             None => EngineConfig::default(),
@@ -194,16 +231,23 @@ pub fn main(args: Vec<String>) -> ExitCode {
         max_inflight,
         draining: AtomicBool::new(false),
         deadline,
+        started: Instant::now(),
     });
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
         let server = server.clone();
-        std::thread::spawn(move || handle_connection(&server, stream));
+        std::thread::spawn(move || handle_connection(&server, stream, read_deadline));
     }
     ExitCode::SUCCESS
 }
 
-fn handle_connection(server: &Arc<Server>, stream: TcpStream) {
+fn handle_connection(server: &Arc<Server>, stream: TcpStream, read_deadline: Duration) {
+    // Slowloris guard: a peer that trickles bytes (or none) without ever
+    // finishing a line is cut after `read_deadline`, bounding how long a
+    // connection can pin this thread. Zero disables the guard.
+    if !read_deadline.is_zero() {
+        let _ = stream.set_read_timeout(Some(read_deadline));
+    }
     let Ok(reader) = stream.try_clone() else {
         return;
     };
@@ -240,15 +284,17 @@ fn handle_request(server: &Arc<Server>, line: &str) -> Reply {
     };
     match req.get("op").and_then(Json::as_str) {
         Some("ping") => Reply::Line(format!(
-            "{{\"ok\":true,\"op\":\"ping\",\"pid\":{}}}",
+            "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"op\":\"ping\",\"pid\":{}}}",
             std::process::id()
         )),
         Some("stats") => Reply::Line(format!(
-            "{{\"ok\":true,\"op\":\"stats\",\"inflight\":{},\"draining\":{},\"stats\":{}}}",
+            "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"op\":\"stats\",\
+             \"inflight\":{},\"draining\":{},\"stats\":{}}}",
             server.inflight.load(SeqCst),
             server.draining.load(SeqCst),
             server.engine.stats().to_json()
         )),
+        Some("health") => Reply::Line(health_reply(server)),
         Some("shutdown") => {
             server.draining.store(true, SeqCst);
             // Drain: admission is closed, so inflight only falls.
@@ -256,7 +302,8 @@ fn handle_request(server: &Arc<Server>, line: &str) -> Reply {
                 std::thread::sleep(Duration::from_millis(5));
             }
             Reply::Shutdown(format!(
-                "{{\"ok\":true,\"op\":\"shutdown\",\"jobs_completed\":{}}}",
+                "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"op\":\"shutdown\",\
+                 \"jobs_completed\":{}}}",
                 server.engine.stats().jobs_completed
             ))
         }
@@ -264,6 +311,29 @@ fn handle_request(server: &Arc<Server>, line: &str) -> Reply {
         Some(other) => Reply::Line(err("bad-request", &format!("unknown op {other:?}"))),
         None => Reply::Line(err("bad-request", "request has no \"op\"")),
     }
+}
+
+/// The operator probe: admission load, byte footprints against their
+/// configured limits, degradation, and uptime, in one line.
+fn health_reply(server: &Arc<Server>) -> String {
+    let r = server.engine.resources();
+    let opt = |v: Option<u64>| v.map_or("null".to_string(), |n| n.to_string());
+    format!(
+        "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"op\":\"health\",\"pid\":{},\
+         \"uptime_ms\":{},\"inflight\":{},\"max_inflight\":{},\"draining\":{},\
+         \"cache_bytes_used\":{},\"cache_bytes_limit\":{},\
+         \"store_bytes_used\":{},\"store_bytes_limit\":{},\"store_degraded\":{}}}",
+        std::process::id(),
+        server.started.elapsed().as_millis(),
+        server.inflight.load(SeqCst),
+        server.max_inflight,
+        server.draining.load(SeqCst),
+        r.cache_bytes_used,
+        opt(r.cache_bytes_limit),
+        opt(r.store_bytes_used),
+        opt(r.store_bytes_limit),
+        r.store_degraded,
+    )
 }
 
 /// Decrements the in-flight count when dropped, unless responsibility was
@@ -297,8 +367,8 @@ fn handle_job(server: &Arc<Server>, req: &Json) -> String {
     if server.inflight.fetch_add(1, SeqCst) >= server.max_inflight {
         server.inflight.fetch_sub(1, SeqCst);
         return format!(
-            "{{\"ok\":false,\"kind\":\"overloaded\",\"retry_after_ms\":100,\
-             \"error\":\"{} jobs in flight; retry later\"}}",
+            "{{\"ok\":false,\"proto\":{PROTO_VERSION},\"kind\":\"overloaded\",\
+             \"retry_after_ms\":100,\"error\":\"{} jobs in flight; retry later\"}}",
             server.max_inflight
         );
     }
@@ -339,7 +409,7 @@ fn handle_job(server: &Arc<Server>, req: &Json) -> String {
 
     let job = Job::new(source.as_str(), config);
     let head = format!(
-        "{{\"ok\":true,\"op\":\"job\",\"spec\":\"{}\",\"threshold\":{}",
+        "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"op\":\"job\",\"spec\":\"{}\",\"threshold\":{}",
         json_escape(&spec),
         config.threshold
     );
@@ -377,7 +447,7 @@ fn handle_job(server: &Arc<Server>, req: &Json) -> String {
             watcher_server.inflight.fetch_sub(1, SeqCst);
         });
         return format!(
-            "{{\"ok\":false,\"kind\":\"timeout\",\"deadline_ms\":{},\
+            "{{\"ok\":false,\"proto\":{PROTO_VERSION},\"kind\":\"timeout\",\"deadline_ms\":{},\
              \"error\":\"job exceeded its deadline; it keeps running and will warm the cache\"}}",
             deadline.as_millis()
         );

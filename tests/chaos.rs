@@ -43,12 +43,13 @@ const ENGINE_POINTS: &[FaultPoint] = &[
     FaultPoint::QueueDelay,
 ];
 
-/// The disk-store seams: torn writes, read faults, and bit rot. Only
-/// reachable on engines configured with a store directory.
+/// The disk-store seams: torn writes, read faults, bit rot, and a full
+/// disk. Only reachable on engines configured with a store directory.
 const STORE_POINTS: &[FaultPoint] = &[
     FaultPoint::StoreWrite,
     FaultPoint::StoreRead,
     FaultPoint::StoreCorrupt,
+    FaultPoint::StoreFull,
 ];
 
 fn bench_sources() -> Vec<(&'static str, String)> {
@@ -216,6 +217,112 @@ fn chaos_sweep_fires_every_point_and_loses_nothing() {
             "fault point {point:?} never fired during the chaos sweep"
         );
     }
+}
+
+/// The ISSUE's resource-governance acceptance bar: the full benchmark
+/// sweep under **combined** pressure — a starvation-level cache budget, a
+/// tight store quota driving LRU GC, injected ENOSPC, and injected bit rot
+/// — must lose zero jobs and answer byte-identically to a clean engine.
+/// Then a fresh engine over the survivor store must do the same: whatever
+/// the GC and the corruption left behind is either served faithfully or
+/// recomputed, never served wrong.
+#[test]
+fn combined_resource_pressure_loses_nothing_and_stays_byte_identical() {
+    let benches = bench_sources();
+    let thresholds = [0usize, 200];
+
+    let clean = Engine::new(EngineConfig::with_workers(4));
+    let mut clean_out = Vec::new();
+    for (name, src) in &benches {
+        for &t in &thresholds {
+            let h = clean.submit(Job::new(src.clone(), PipelineConfig::with_threshold(t)));
+            clean_out.push(((*name, t), h));
+        }
+    }
+    let clean_out: Vec<_> = clean_out
+        .into_iter()
+        .map(|(key, h)| {
+            let (text, healthy) = optimized_text(&h).expect("clean run succeeds");
+            assert!(healthy);
+            (key, text)
+        })
+        .collect();
+
+    let root = std::env::temp_dir().join(format!("fdi-chaos-pressure-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    // Far below the suite's total artifact footprint (so the GC must run)
+    // but above its largest single artifact (~18 KiB) — the GC never
+    // self-evicts the artifact whose save triggered it, so a quota smaller
+    // than one artifact is legitimately exceeded by that artifact.
+    let quota: u64 = 32 * 1024;
+    // Two injected ENOSPC rejections — enough to prove writes fail without
+    // failing jobs, but below the engine's memory-only degradation
+    // threshold, so later writes land and the quota GC has work to do.
+    let pressured = Engine::new(EngineConfig {
+        workers: 4,
+        cache_bytes: Some(4096),
+        store: Some(root.clone()),
+        store_bytes: Some(quota),
+        faults: FaultPlan::only(0x9E55, &[FaultPoint::StoreFull]).with_limit(2),
+        retry_backoff: std::time::Duration::from_millis(1),
+        ..EngineConfig::default()
+    });
+    let mut handles = Vec::new();
+    for (name, src) in &benches {
+        for &t in &thresholds {
+            let h = pressured.submit(Job::new(src.clone(), PipelineConfig::with_threshold(t)));
+            handles.push(((*name, t), h));
+        }
+    }
+    // Zero lost jobs, zero wrong answers: resource pressure and disk
+    // faults are absorbed, never surfaced as failures or divergence.
+    for (((name, t), h), ((cname, ct), clean_text)) in handles.iter().zip(clean_out.iter()) {
+        assert_eq!((name, t), (cname, ct));
+        let (text, healthy) =
+            optimized_text(h).unwrap_or_else(|| panic!("{name}@{t}: lost under resource pressure"));
+        assert!(healthy, "{name}@{t}: degraded under resource pressure");
+        assert_eq!(&text, clean_text, "{name}@{t}: diverged under pressure");
+    }
+    let stats = pressured.stats();
+    assert_eq!(stats.jobs_completed, handles.len() as u64);
+    assert_eq!(
+        stats.store_write_failures, 2,
+        "both injected ENOSPC faults must be absorbed: {stats:?}"
+    );
+    assert!(
+        stats.cache_evictions_pressure > 0,
+        "a 4 KiB cache budget over the suite must shed entries: {stats:?}"
+    );
+    assert!(
+        stats.store_gc_evictions >= 1,
+        "the store quota must trigger GC: {stats:?}"
+    );
+    assert!(
+        stats.store_bytes_used <= quota,
+        "store footprint {} over quota {quota}: {stats:?}",
+        stats.store_bytes_used
+    );
+    drop(pressured);
+
+    // Restart over whatever survived: every answer still byte-identical.
+    let survivor = Engine::new(EngineConfig {
+        workers: 4,
+        store: Some(root.clone()),
+        ..EngineConfig::default()
+    });
+    for ((name, t), clean_text) in &clean_out {
+        let h = survivor.submit(Job::new(
+            benches.iter().find(|(n, _)| n == name).unwrap().1.clone(),
+            PipelineConfig::with_threshold(*t),
+        ));
+        let (text, healthy) =
+            optimized_text(&h).unwrap_or_else(|| panic!("{name}@{t}: lost after restart"));
+        assert!(
+            healthy && &text == clean_text,
+            "{name}@{t}: wrong after restart"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]

@@ -14,7 +14,17 @@
 //!   usable, the job keeps running, and its finished result warms the store;
 //! * admission is bounded: past `--max-inflight`, requests are rejected
 //!   with `overloaded` + `retry_after_ms`, never queued;
-//! * `shutdown` is a graceful drain and exits 0.
+//! * `shutdown` is a graceful drain and exits 0;
+//! * every response carries the protocol version, and `fdi client` rejects
+//!   a mismatched daemon with a typed error instead of misparsing it;
+//! * `fdi client --retries` resubmits byte-identical requests with seeded
+//!   backoff, and fails fast — never oversleeps — when the next backoff
+//!   would cross `--request-deadline-ms`;
+//! * a slowloris connection (bytes trickling in, no newline) is cut by the
+//!   per-connection read deadline without hurting other clients;
+//! * `health` reports admission load, byte footprints, and degradation;
+//! * `fdi fsck` detects a flipped byte on disk, `--repair` evicts it, and
+//!   the restarted daemon re-serves the job byte-identically.
 
 use fdi_telemetry::json::{self, Json};
 use std::io::{BufRead, BufReader, Write};
@@ -149,12 +159,48 @@ fn bench_spec(b: &fdi_benchsuite::Benchmark) -> String {
     format!("bench:{}@{}", b.name, b.test_scale)
 }
 
+/// Runs `fdi client --port <port> <args…>` to completion.
+fn client(port: u16, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fdi"))
+        .arg("client")
+        .arg("--port")
+        .arg(port.to_string())
+        .args(args)
+        .output()
+        .expect("run fdi client")
+}
+
+/// A scripted stand-in for `fdi serve`: answers one connection per canned
+/// reply, in order, and returns every request line it saw. Lets the tests
+/// provoke client behaviour (wrong proto, overload-then-accept) that a
+/// healthy daemon won't produce on demand.
+fn fake_server(replies: Vec<String>) -> (u16, std::thread::JoinHandle<Vec<String>>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let port = listener.local_addr().unwrap().port();
+    let handle = std::thread::spawn(move || {
+        let mut seen = Vec::new();
+        for reply in replies {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut line = String::new();
+            BufReader::new(stream.try_clone().expect("clone"))
+                .read_line(&mut line)
+                .expect("read request");
+            seen.push(line.trim().to_string());
+            let mut writer = stream;
+            writeln!(writer, "{reply}").expect("send reply");
+        }
+        seen
+    });
+    (port, handle)
+}
+
 #[test]
 fn ping_stats_and_graceful_shutdown() {
     let mut daemon = Daemon::spawn(None, &["--jobs", "2"]);
     let pong = daemon.request("{\"op\":\"ping\"}");
     assert!(is_ok(&pong), "{pong:?}");
     assert_eq!(num_field(&pong, "pid") as u32, daemon.child.id());
+    assert_eq!(num_field(&pong, "proto"), 1.0, "responses are versioned");
 
     let stats = daemon.request("{\"op\":\"stats\"}");
     assert!(is_ok(&stats), "{stats:?}");
@@ -167,6 +213,7 @@ fn ping_stats_and_graceful_shutdown() {
     let bad = daemon.request("{\"op\":\"frobnicate\"}");
     assert!(!is_ok(&bad));
     assert_eq!(str_field(&bad, "kind"), "bad-request");
+    assert_eq!(num_field(&bad, "proto"), 1.0, "even rejections carry proto");
     let bad = daemon.request("not json at all");
     assert_eq!(str_field(&bad, "kind"), "bad-request");
 
@@ -336,5 +383,281 @@ fn sigkill_mid_batch_then_restart_serves_byte_identical_answers() {
         "warm re-serve must be cheaper than a cold rerun: {stats:?}"
     );
     assert_eq!(num_field(engine, "jobs_quarantined"), 0.0, "zero poisoned");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn health_reports_footprints_limits_and_degradation() {
+    let store = temp_dir("health");
+    let daemon = Daemon::spawn(
+        Some(&store),
+        &[
+            "--jobs",
+            "2",
+            "--cache-bytes",
+            "67108864",
+            "--store-bytes",
+            "67108864",
+        ],
+    );
+    let bench = &fdi_benchsuite::BENCHMARKS[0];
+    assert!(is_ok(
+        &daemon.request(&job_request(&bench_spec(bench), None))
+    ));
+
+    let health = daemon.request("{\"op\":\"health\"}");
+    assert!(is_ok(&health), "{health:?}");
+    assert_eq!(num_field(&health, "proto"), 1.0);
+    assert_eq!(num_field(&health, "pid") as u32, daemon.child.id());
+    assert!(num_field(&health, "uptime_ms") >= 0.0);
+    assert_eq!(num_field(&health, "inflight"), 0.0);
+    assert_eq!(num_field(&health, "max_inflight"), 64.0);
+    assert_eq!(health.get("draining"), Some(&Json::Bool(false)));
+    assert_eq!(num_field(&health, "cache_bytes_limit"), 67108864.0);
+    assert_eq!(num_field(&health, "store_bytes_limit"), 67108864.0);
+    assert!(num_field(&health, "cache_bytes_used") > 0.0, "{health:?}");
+    assert!(num_field(&health, "store_bytes_used") > 0.0, "{health:?}");
+    assert_eq!(health.get("store_degraded"), Some(&Json::Bool(false)));
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn slowloris_connection_is_cut_without_hurting_others() {
+    let daemon = Daemon::spawn(None, &["--jobs", "2", "--read-deadline-ms", "150"]);
+    let mut slow = daemon.connect();
+    // Half a request, then silence: never a newline, never more bytes.
+    slow.write_all(b"{\"op\":\"pi").expect("send partial line");
+    slow.flush().expect("flush");
+    slow.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set client read timeout");
+    let start = Instant::now();
+    let mut buf = [0u8; 64];
+    let n = std::io::Read::read(&mut slow, &mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "the daemon must hang up on a stalled connection");
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "hangup must come from the read deadline, not the test timeout"
+    );
+    // Other clients are unaffected, before and after the cut.
+    assert!(is_ok(&daemon.request("{\"op\":\"ping\"}")));
+}
+
+#[test]
+fn client_rejects_a_proto_mismatched_server_with_a_typed_error() {
+    // A daemon from the future…
+    let (port, server) = fake_server(vec![
+        "{\"ok\":true,\"proto\":99,\"op\":\"ping\",\"pid\":1}".to_string()
+    ]);
+    let out = client(port, &["ping"]);
+    assert!(!out.status.success(), "mismatch must fail the client");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("proto-mismatch"), "stderr: {stderr}");
+    assert!(stderr.contains("proto 99"), "stderr: {stderr}");
+    server.join().expect("fake server");
+
+    // …and a daemon from before versioning existed.
+    let (port, server) = fake_server(vec!["{\"ok\":true,\"op\":\"ping\",\"pid\":1}".to_string()]);
+    let out = client(port, &["ping"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("proto-mismatch"), "stderr: {stderr}");
+    assert!(stderr.contains("no proto field"), "stderr: {stderr}");
+    server.join().expect("fake server");
+}
+
+#[test]
+fn client_retries_resubmit_byte_identical_requests() {
+    let (port, server) = fake_server(vec![
+        "{\"ok\":false,\"proto\":1,\"kind\":\"overloaded\",\"retry_after_ms\":5,\
+         \"error\":\"busy\"}"
+            .to_string(),
+        "{\"ok\":true,\"proto\":1,\"op\":\"job\",\"spec\":\"bench:fib@6\",\
+         \"optimized\":\"x\"}"
+            .to_string(),
+    ]);
+    let out = client(
+        port,
+        &[
+            "--retries",
+            "3",
+            "--retry-seed",
+            "7",
+            "job",
+            "bench:fib@6",
+            "-t",
+            "200",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "retry must reach the accepting server: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"op\":\"job\""), "stdout: {stdout}");
+    let seen = server.join().expect("fake server");
+    assert_eq!(seen.len(), 2, "one retry after the overload");
+    assert_eq!(
+        seen[0], seen[1],
+        "a resubmission must be the same bytes as the original request"
+    );
+    assert!(seen[0].contains("bench:fib@6"));
+}
+
+#[test]
+fn client_backoff_fails_fast_at_the_request_deadline() {
+    // The server's hint (3000 ms) guarantees the very first backoff sleep
+    // would cross the 1000 ms request deadline: the client must fail fast
+    // with a typed timeout instead of taking the sleep.
+    let (port, server) = fake_server(vec![
+        "{\"ok\":false,\"proto\":1,\"kind\":\"overloaded\",\"retry_after_ms\":3000,\
+         \"error\":\"busy\"}"
+            .to_string(),
+    ]);
+    let start = Instant::now();
+    let out = client(
+        port,
+        &[
+            "--retries",
+            "10",
+            "--retry-seed",
+            "7",
+            "job",
+            "bench:fib@6",
+            "--request-deadline-ms",
+            "1000",
+        ],
+    );
+    let elapsed = start.elapsed();
+    assert!(!out.status.success(), "deadline must fail the request");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("timeout"), "stderr: {stderr}");
+    assert!(
+        elapsed < Duration::from_millis(1500),
+        "client overslept: {elapsed:?} (minimum backoff here is 1500 ms)"
+    );
+    server.join().expect("fake server");
+}
+
+#[test]
+fn client_retries_against_a_real_overloaded_daemon() {
+    let daemon = Daemon::spawn(None, &["--jobs", "2", "--max-inflight", "0"]);
+    // health works through the real client…
+    let out = client(daemon.port, &["health"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"op\":\"health\""));
+    // …and a permanently overloaded daemon exhausts the retry budget.
+    let bench = &fdi_benchsuite::BENCHMARKS[0];
+    let start = Instant::now();
+    let out = client(
+        daemon.port,
+        &[
+            "--retries",
+            "2",
+            "--retry-seed",
+            "11",
+            "job",
+            &bench_spec(bench),
+        ],
+    );
+    assert!(!out.status.success(), "overload must exhaust retries");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("after 2 retries"), "stderr: {stderr}");
+    // Three attempts with hint 100 ms: two jittered sleeps in [50,100] and
+    // [100,200] — proof the backoff actually waited, without oversleeping.
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(150),
+        "no backoff? {elapsed:?}"
+    );
+    assert!(elapsed < Duration::from_secs(10), "overslept: {elapsed:?}");
+}
+
+/// Returns every artifact (`.art`) file under the store root.
+fn artifacts(store: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let out = store.join("out");
+    let Ok(shards) = std::fs::read_dir(&out) else {
+        return found;
+    };
+    for shard in shards.flatten() {
+        if let Ok(files) = std::fs::read_dir(shard.path()) {
+            for f in files.flatten() {
+                if f.path().extension().is_some_and(|e| e == "art") {
+                    found.push(f.path());
+                }
+            }
+        }
+    }
+    found
+}
+
+/// Runs `fdi fsck <store> [args…]` and returns (success, stdout).
+fn run_fsck(store: &Path, args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fdi"))
+        .arg("fsck")
+        .arg(store)
+        .args(args)
+        .output()
+        .expect("run fdi fsck");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+    )
+}
+
+#[test]
+fn fsck_detects_repairs_and_restores_byte_identical_serving() {
+    let store = temp_dir("fsck");
+    let bench = &fdi_benchsuite::BENCHMARKS[0];
+    let spec = bench_spec(bench);
+    let expected = reference_optimized(&bench.scaled(bench.test_scale));
+
+    let mut daemon = Daemon::spawn(Some(&store), &["--jobs", "2"]);
+    assert!(is_ok(&daemon.request(&job_request(&spec, None))));
+    assert!(is_ok(&daemon.request("{\"op\":\"shutdown\"}")));
+    assert!(daemon.wait_exit().success());
+
+    // A healthy store passes.
+    let (ok, report) = run_fsck(&store, &[]);
+    assert!(ok, "healthy store must pass fsck: {report}");
+    assert!(report.contains("\"corrupt\":0"), "{report}");
+
+    // Flip one payload byte (offset 25 > the 20-byte frame header).
+    let arts = artifacts(&store);
+    assert_eq!(arts.len(), 1, "one job, one artifact");
+    let mut bytes = std::fs::read(&arts[0]).expect("read artifact");
+    assert!(bytes.len() > 25);
+    bytes[25] ^= 0xff;
+    std::fs::write(&arts[0], &bytes).expect("corrupt artifact");
+
+    // Detected and nonzero without --repair; the file is untouched.
+    let (ok, report) = run_fsck(&store, &[]);
+    assert!(!ok, "unrepaired damage must exit nonzero");
+    assert!(report.contains("\"corrupt\":1"), "{report}");
+    assert!(report.contains("\"unrepaired\":1"), "{report}");
+    assert_eq!(artifacts(&store).len(), 1, "report-only mode never deletes");
+
+    // Repaired: the corrupt artifact is evicted and the store passes again.
+    let (ok, report) = run_fsck(&store, &["--repair"]);
+    assert!(ok, "repair must exit 0: {report}");
+    assert!(report.contains("\"repaired\":1"), "{report}");
+    assert_eq!(artifacts(&store).len(), 0, "the lying artifact is gone");
+    let (ok, _) = run_fsck(&store, &[]);
+    assert!(ok, "a repaired store is healthy");
+
+    // The restarted daemon recomputes the evicted answer byte-identically
+    // and repaves the store.
+    let daemon = Daemon::spawn(Some(&store), &["--jobs", "2"]);
+    let cold = daemon.request(&job_request(&spec, None));
+    assert!(is_ok(&cold), "{cold:?}");
+    assert_eq!(cold.get("cached"), Some(&Json::Bool(false)), "recomputed");
+    assert_eq!(str_field(&cold, "optimized"), expected, "byte-identical");
+    let warm = daemon.request(&job_request(&spec, None));
+    assert_eq!(warm.get("cached"), Some(&Json::Bool(true)), "repaved");
     let _ = std::fs::remove_dir_all(&store);
 }
