@@ -193,6 +193,16 @@ fn main() {
         stats.parse_misses - cold_stats.parse_misses,
         stats.jobs_completed - cold_stats.jobs_completed,
     );
+    let _ = writeln!(
+        report,
+        "specialization cache         : {} hits, {} misses, {} evictions",
+        stats.spec_hits, stats.spec_misses, stats.spec_evictions,
+    );
+    let _ = writeln!(
+        report,
+        "execution cell cache         : {} hits, {} misses",
+        stats.exec_hits, stats.exec_misses,
+    );
     let _ = writeln!(report, "per-pass totals (both sweeps):");
     for name in fdi_engine::TRACKED_PASSES {
         let p = stats.pass(name).unwrap_or_default();
@@ -235,10 +245,11 @@ fn main() {
         // version first so downstream diffing can detect shape changes.
         let snapshot = format!(
             concat!(
-                "{{\"v\":1,\"benchmarks\":{},\"thresholds\":{},\"scale\":\"{}\",\"jobs\":{},",
+                "{{\"v\":2,\"benchmarks\":{},\"thresholds\":{},\"scale\":\"{}\",\"jobs\":{},",
                 "\"reps\":{},\"host_parallelism\":{},\"rows_agree\":{},",
                 "\"sequential_ms\":{:.3},\"cold_ms\":{:.3},\"warm_ms\":{:.3},",
                 "\"cold_speedup\":{:.4},\"warm_speedup\":{:.4},",
+                "\"inline_pass_ms\":{:.3},",
                 "\"cold_analysis_misses\":{},\"cold_analysis_hits\":{},",
                 "\"warm_new_analyses\":{},\"warm_new_parses\":{},",
                 "\"decisions\":{},\"stats\":{}}}\n"
@@ -255,6 +266,7 @@ fn main() {
             warm_wall.as_secs_f64() * 1e3,
             seq_wall.as_secs_f64() / cold_wall.as_secs_f64(),
             seq_wall.as_secs_f64() / warm_wall.as_secs_f64(),
+            stats.pass("inline").unwrap_or_default().ns as f64 / 1e6,
             cold_stats.analysis_misses,
             cold_stats.analysis_hits,
             stats.analysis_misses - cold_stats.analysis_misses,

@@ -82,6 +82,10 @@ pub enum FaultPoint {
     /// ENOSPC). The engine must degrade to memory-only operation — never
     /// fail the request — and recover when writes succeed again.
     StoreFull,
+    /// Clear the shared specialization cache right before an inline step
+    /// (the inliner must fall back to live specialization with byte-identical
+    /// output; the next runs re-record).
+    SpecCacheEvict,
 }
 
 /// Every catalogued fault point, in a fixed order (also the bit order of
@@ -104,9 +108,10 @@ pub const ALL_FAULT_POINTS: &[FaultPoint] = &[
     FaultPoint::StoreRead,
     FaultPoint::StoreCorrupt,
     FaultPoint::StoreFull,
+    FaultPoint::SpecCacheEvict,
 ];
 
-const N_POINTS: usize = 17;
+const N_POINTS: usize = 18;
 
 /// The pinned chaos seed used by the harnesses and CI: under
 /// `FaultPlan::new(CHAOS_SEED)` every catalogued point fires within 64
@@ -134,6 +139,7 @@ impl FaultPoint {
             FaultPoint::StoreRead => 14,
             FaultPoint::StoreCorrupt => 15,
             FaultPoint::StoreFull => 16,
+            FaultPoint::SpecCacheEvict => 17,
         }
     }
 
@@ -144,7 +150,9 @@ impl FaultPoint {
         match self {
             FaultPoint::Parse | FaultPoint::Expand | FaultPoint::Lower => crate::Phase::Frontend,
             FaultPoint::Analyze => crate::Phase::Analysis,
-            FaultPoint::Inline | FaultPoint::Miscompile => crate::Phase::Inline,
+            FaultPoint::Inline | FaultPoint::Miscompile | FaultPoint::SpecCacheEvict => {
+                crate::Phase::Inline
+            }
             FaultPoint::Simplify | FaultPoint::Validate => crate::Phase::Simplify,
             FaultPoint::CacheAbandon
             | FaultPoint::CacheEvict
@@ -200,6 +208,7 @@ impl FaultPoint {
             FaultPoint::StoreRead => "store-read",
             FaultPoint::StoreCorrupt => "store-corrupt",
             FaultPoint::StoreFull => "store-full",
+            FaultPoint::SpecCacheEvict => "spec-cache-evict",
         }
     }
 }
@@ -562,6 +571,7 @@ mod tests {
         // …and non-pass points don't resolve.
         assert_eq!(FaultPoint::for_pass("miscompile"), None);
         assert_eq!(FaultPoint::for_pass("cache-evict"), None);
+        assert_eq!(FaultPoint::for_pass("spec-cache-evict"), None);
         assert_eq!(FaultPoint::for_pass("frontend"), None);
     }
 

@@ -56,7 +56,10 @@ pub use faults::{
 pub use fdi_cfa::{
     AbortReason, AnalysisLimits, AnalysisStats, AnalyzePass, FlowAnalysis, Polyvariance,
 };
-pub use fdi_inline::{InlineConfig, InlineGuide, InlineMode, InlinePass, InlineReport};
+pub use fdi_inline::{
+    CacheLedger, InlineConfig, InlineGuide, InlineMode, InlinePass, InlineReport, SpecCacheStats,
+    SpecializationCache, UnboundedLedger,
+};
 pub use fdi_lang::{
     ExpandPass, FrontendError, LowerPass, ParsePass, Program, UnparsePass, ValidatePass,
 };
@@ -137,6 +140,30 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Shared acceleration state for a pipeline run, orthogonal to
+/// [`PipelineConfig`] — nothing here may change the run's output, only how
+/// fast it is produced, so none of it enters any fingerprint.
+#[derive(Clone, Copy, Default)]
+pub struct PipelineRuntime<'a> {
+    /// Memo table for the inliner's outermost specializations, shared across
+    /// runs and threads (the engine shares one across all its jobs). The
+    /// content salt is derived per run from the input program and the
+    /// analysis/inliner configuration.
+    pub spec_cache: Option<&'a SpecializationCache>,
+    /// Parallel inlining units for the root letrec (0 or 1 = sequential).
+    pub inline_units: usize,
+}
+
+impl PipelineRuntime<'_> {
+    /// No cache, no parallelism — the historical behaviour.
+    pub fn sequential() -> PipelineRuntime<'static> {
+        PipelineRuntime {
+            spec_cache: None,
+            inline_units: 1,
+        }
+    }
+}
+
 /// Everything one pipeline run produces.
 #[derive(Debug)]
 pub struct PipelineOutput {
@@ -201,6 +228,17 @@ fn run_pipeline(program: &Program, config: &PipelineConfig) -> PipelineOutput {
     run_pipeline_with(program, config, None, &Telemetry::off(), None)
 }
 
+fn run_pipeline_runtime(
+    program: &Program,
+    config: &PipelineConfig,
+    shared: Option<Result<&FlowAnalysis, &PipelineError>>,
+    telemetry: &Telemetry,
+    guide: Option<&InlineGuide>,
+    runtime: PipelineRuntime<'_>,
+) -> PipelineOutput {
+    passes::run_schedule(program, config, shared, telemetry, guide, runtime)
+}
+
 /// [`run_pipeline`], optionally reusing a pre-computed flow analysis.
 ///
 /// `shared` is the cache seam: `None` computes the analysis in-process
@@ -220,7 +258,14 @@ fn run_pipeline_with(
     telemetry: &Telemetry,
     guide: Option<&InlineGuide>,
 ) -> PipelineOutput {
-    passes::run_schedule(program, config, shared, telemetry, guide)
+    run_pipeline_runtime(
+        program,
+        config,
+        shared,
+        telemetry,
+        guide,
+        PipelineRuntime::sequential(),
+    )
 }
 
 /// The front end (reader → expander → lowerer), staged so the Parse,
@@ -292,6 +337,24 @@ pub fn optimize_guided(
     guide: Option<&InlineGuide>,
     telemetry: &Telemetry,
 ) -> Result<PipelineOutput, PipelineError> {
+    optimize_runtime(src, config, guide, telemetry, PipelineRuntime::sequential())
+}
+
+/// [`optimize_guided`] under an explicit [`PipelineRuntime`] (shared
+/// specialization cache, parallel inlining units). The runtime is
+/// output-transparent: for any runtime value this produces exactly
+/// [`optimize_guided`]'s bytes.
+///
+/// # Errors
+///
+/// Exactly [`optimize`]'s contract.
+pub fn optimize_runtime(
+    src: &str,
+    config: &PipelineConfig,
+    guide: Option<&InlineGuide>,
+    telemetry: &Telemetry,
+    runtime: PipelineRuntime<'_>,
+) -> Result<PipelineOutput, PipelineError> {
     let _pipeline = telemetry.span("pipeline", "pipeline");
     let start = Instant::now();
     let program = {
@@ -299,7 +362,7 @@ pub fn optimize_guided(
         frontend(src, config)?
     };
     let wall = start.elapsed();
-    let mut out = optimize_program_guided(&program, config, guide, telemetry)?;
+    let mut out = run_pipeline_runtime(&program, config, None, telemetry, guide, runtime);
     // The frontend runs before the pass manager exists; splice its trace in
     // front so `--trace` shows the whole run. It charges no fuel (the budget
     // only meters the transform pipeline).
@@ -359,6 +422,24 @@ pub fn optimize_program_guided(
     telemetry: &Telemetry,
 ) -> Result<PipelineOutput, PipelineError> {
     Ok(run_pipeline_with(program, config, None, telemetry, guide))
+}
+
+/// [`optimize_program_guided`] under an explicit [`PipelineRuntime`] (see
+/// [`optimize_runtime`]).
+///
+/// # Errors
+///
+/// Never fails today; the `Result` keeps the signature uniform.
+pub fn optimize_program_runtime(
+    program: &Program,
+    config: &PipelineConfig,
+    guide: Option<&InlineGuide>,
+    telemetry: &Telemetry,
+    runtime: PipelineRuntime<'_>,
+) -> Result<PipelineOutput, PipelineError> {
+    Ok(run_pipeline_runtime(
+        program, config, None, telemetry, guide, runtime,
+    ))
 }
 
 /// [`optimize`] with the strict, error-propagating contract: the first
@@ -470,6 +551,21 @@ pub fn optimize_program_with_analysis_guided(
     telemetry: &Telemetry,
 ) -> PipelineOutput {
     run_pipeline_with(program, config, Some(analysis), telemetry, guide)
+}
+
+/// [`optimize_program_with_analysis_guided`] under an explicit
+/// [`PipelineRuntime`] — the engine's accelerated execution path: a shared
+/// specialization cache and parallel inlining units, both output-transparent
+/// (byte-identical to the sequential, cache-free run).
+pub fn optimize_program_with_analysis_runtime(
+    program: &Program,
+    config: &PipelineConfig,
+    analysis: Result<&FlowAnalysis, &PipelineError>,
+    guide: Option<&InlineGuide>,
+    telemetry: &Telemetry,
+    runtime: PipelineRuntime<'_>,
+) -> PipelineOutput {
+    run_pipeline_runtime(program, config, Some(analysis), telemetry, guide, runtime)
 }
 
 /// Runs the pipeline repeatedly — analyze, inline, simplify, re-analyze —

@@ -35,10 +35,10 @@ use crate::oracle::{self, compare_observations, Observation, OracleConfig};
 use crate::runner::{run_phase, BudgetTracker, Fallback, PipelineHealth};
 use crate::{
     AnalysisStats, FlowAnalysis, InlineConfig, InlineReport, Phase, PipelineConfig, PipelineError,
-    PipelineOutput, SimplifyStats,
+    PipelineOutput, PipelineRuntime, SimplifyStats,
 };
 use fdi_cfa::AnalyzePass;
-use fdi_inline::{InlineGuide, InlinePass};
+use fdi_inline::{InlineGuide, InlinePass, InlineRuntime};
 use fdi_lang::{ExpandPass, LowerPass, ParsePass, Program, UnparsePass, ValidatePass};
 use fdi_sexpr::Datum;
 use fdi_simplify::SimplifyPass;
@@ -725,17 +725,21 @@ struct PassManager<'a> {
     /// guide is not `Copy`, so it rides beside the config rather than in it;
     /// `config.profile_fp` carries its identity into the cache key.
     guide: Option<&'a InlineGuide>,
+    /// Output-transparent acceleration state (specialization cache, parallel
+    /// inlining units); never enters any fingerprint.
+    runtime: PipelineRuntime<'a>,
 }
 
 /// Runs `config.schedule` over `program` — the engine behind every
 /// degrading entry point. Total: any pass failure rolls back to the last
 /// validated program and is recorded in the output's health ledger.
-pub(crate) fn run_schedule(
-    program: &Program,
-    config: &PipelineConfig,
-    shared: Option<Result<&FlowAnalysis, &PipelineError>>,
+pub(crate) fn run_schedule<'a>(
+    program: &'a Program,
+    config: &'a PipelineConfig,
+    shared: Option<Result<&'a FlowAnalysis, &'a PipelineError>>,
     telemetry: &Telemetry,
-    guide: Option<&InlineGuide>,
+    guide: Option<&'a InlineGuide>,
+    runtime: PipelineRuntime<'a>,
 ) -> PipelineOutput {
     // A fresh injector per run: the same seed replays exactly the same
     // faults. Disabled plans cost one branch per fire site.
@@ -793,6 +797,7 @@ pub(crate) fn run_schedule(
         rewritten: false,
         shared,
         guide,
+        runtime,
     };
 
     let schedule = config.schedule;
@@ -848,7 +853,7 @@ fn baseline_attempt(
     }
 }
 
-impl PassManager<'_> {
+impl<'a> PassManager<'a> {
     /// The next pass's input: the original program until a rewrite commits,
     /// the rewritten program after.
     fn input(&self) -> &Program {
@@ -1008,6 +1013,42 @@ impl PassManager<'_> {
         Ok(())
     }
 
+    /// Resolve the shared [`PipelineRuntime`] into the inliner's runtime for
+    /// this step.
+    ///
+    /// The specialization cache is keyed by a salt covering everything that
+    /// determines a specialized body besides the threshold: the source text,
+    /// the analysis configuration, and the inliner's mode and unroll depth.
+    /// The cache is only offered when the inliner runs on the pristine input
+    /// program (the common case for every schedule in this crate); once an
+    /// earlier rewrite has run, the source fingerprint would no longer name
+    /// the bytes the inliner sees, so the step falls back to live
+    /// specialization.
+    fn inline_runtime(&self) -> InlineRuntime<'a> {
+        let cache = if self.rewritten {
+            None
+        } else {
+            self.runtime.spec_cache.map(|cache| {
+                let src = fdi_lang::unparse(self.program).to_string();
+                let salt = Fingerprint::new()
+                    .u64(InlinePass::SALT)
+                    .u64(crate::fingerprint::source_fingerprint(&src))
+                    .u64(self.config.analysis_fingerprint())
+                    .byte(match self.config.mode {
+                        crate::InlineMode::Closed => 0,
+                        crate::InlineMode::ClRef => 1,
+                    })
+                    .usize(self.config.unroll)
+                    .finish();
+                (cache, salt)
+            })
+        };
+        InlineRuntime {
+            cache,
+            units: self.runtime.inline_units.max(1),
+        }
+    }
+
     /// The inline step, checkpointed by validation, the growth cap, and the
     /// oracle.
     fn step_inline(&mut self) -> Result<(), StepHalt> {
@@ -1032,6 +1073,15 @@ impl PassManager<'_> {
                 unroll: self.config.unroll,
             },
         };
+        // Chaos seam: clearing the shared specialization cache right before
+        // the pass must be invisible in the output (the inliner falls back
+        // to live specialization).
+        if self.injector.poll(FaultPoint::SpecCacheEvict).is_some() {
+            if let Some(cache) = self.runtime.spec_cache {
+                cache.clear();
+            }
+        }
+        let inline_rt = self.inline_runtime();
         let result = {
             let injector = &self.injector;
             let input = if self.rewritten {
@@ -1052,7 +1102,20 @@ impl PassManager<'_> {
                         // candidate sites (benefit-ordered when guided), and
                         // commits — bypassing the `Pass` seam, which has no
                         // channel for the out-of-band guide.
-                        let out = pass.apply_budgeted(input, flow, guide, size_budget, telemetry);
+                        let out = pass.apply_budgeted_with(
+                            input,
+                            flow,
+                            guide,
+                            size_budget,
+                            telemetry,
+                            inline_rt,
+                        );
+                        return Ok((out.program, out.report, out.decisions));
+                    }
+                    if inline_rt.cache.is_some() || inline_rt.units > 1 {
+                        // The accelerated path bypasses the `Pass` seam the
+                        // same way; the output is byte-identical.
+                        let out = pass.apply_with(input, flow, telemetry, inline_rt);
                         return Ok((out.program, out.report, out.decisions));
                     }
                     let mut cx = PassCx::for_program(Phase::Inline, input, Some(flow))

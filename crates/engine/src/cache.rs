@@ -146,6 +146,28 @@ impl CacheBudget {
     }
 }
 
+/// Lets the inliner's shared [`fdi_core::SpecializationCache`] charge the
+/// same byte budget as the engine's keyed caches: one `cache_bytes` limit
+/// spans parses, analyses, exec cells, and specializations. The spec cache
+/// sheds its own LRU entries while [`CacheLedger::over_limit`] holds, and
+/// counts those sheds itself ([`fdi_core::SpecCacheStats::evictions`]), so
+/// this adapter moves bytes only — never the pressure-eviction counter.
+pub(crate) struct BudgetLedger(pub(crate) Arc<CacheBudget>);
+
+impl fdi_core::CacheLedger for BudgetLedger {
+    fn charge(&self, bytes: usize) {
+        self.0.used.fetch_add(bytes, Relaxed);
+    }
+
+    fn release(&self, bytes: usize) {
+        self.0.used.fetch_sub(bytes, Relaxed);
+    }
+
+    fn over_limit(&self) -> bool {
+        self.0.used.load(Relaxed) > self.0.limit
+    }
+}
+
 #[derive(Debug)]
 struct Ready<V> {
     value: V,

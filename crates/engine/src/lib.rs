@@ -75,13 +75,13 @@ mod store;
 pub use stats::{EngineStats, PassStat, TRACKED_PASSES};
 pub use store::{fsck, FsckReport, StoredOutput};
 
-use cache::{CacheBudget, Gate, KeyedCache};
+use cache::{BudgetLedger, CacheBudget, Gate, KeyedCache};
 use fdi_core::faults::{FaultInjector, FaultPlan, FaultPoint};
 use fdi_core::{
-    analyze_contained, assemble_sweep_rows, execute_cell, optimize_guided, optimize_program_guided,
-    optimize_program_with_analysis_guided, parse_contained, source_fingerprint, FlowAnalysis,
-    InlineGuide, Outcome, Phase, PipelineConfig, PipelineError, PipelineOutput, Program, RunConfig,
-    SweepCell, SweepRow,
+    analyze_contained, assemble_sweep_rows, execute_cell, optimize_program_runtime,
+    optimize_program_with_analysis_runtime, optimize_runtime, parse_contained, source_fingerprint,
+    FlowAnalysis, InlineGuide, Outcome, Phase, PipelineConfig, PipelineError, PipelineOutput,
+    PipelineRuntime, Program, RunConfig, SpecializationCache, SweepCell, SweepRow,
 };
 use fdi_telemetry::{DecisionTotals, Telemetry};
 use pool::{Pool, Task};
@@ -99,7 +99,10 @@ pub struct EngineConfig {
     /// Worker threads. Defaults to the machine's available parallelism.
     pub workers: usize,
     /// Bounded queue slots *per worker*; a full shard blocks submission
-    /// (backpressure). Defaults to 64.
+    /// (backpressure). Defaults to 8 — a deep backlog only inflates the
+    /// queue high-water mark and submission latency, it cannot make the
+    /// workers faster, and on hosts with little parallelism a cold batch
+    /// behind long queues was measurably slower than sequential.
     pub queue_cap: usize,
     /// The engine-level chaos plan: cache, pool, and disk-store seams
     /// (`cache-abandon`, `cache-evict`, `cache-corrupt`, `worker-panic`,
@@ -171,7 +174,7 @@ impl Default for EngineConfig {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
-            queue_cap: 64,
+            queue_cap: 8,
             faults: FaultPlan::default(),
             max_retries: 2,
             retry_backoff: Duration::from_millis(10),
@@ -332,6 +335,14 @@ fn analysis_bytes(v: &Result<Arc<FlowAnalysis>, PipelineError>) -> usize {
     }
 }
 
+/// Estimated resident bytes of a memoized sweep-cell execution.
+fn exec_bytes(v: &ExecResult) -> usize {
+    match v {
+        Ok(o) => 128 + o.value.len() + o.output.len(),
+        Err(_) => 64,
+    }
+}
+
 /// Shared engine state: every worker task holds an `Arc<Inner>`.
 struct Inner {
     stats: stats::StatsInner,
@@ -368,9 +379,33 @@ struct Inner {
     store_skipped: AtomicU64,
     /// The engine-wide profile, when [`EngineConfig::profile`] is set.
     profile: Option<EngineProfile>,
+    /// The inliner's memoized-specialization cache, shared by every job on
+    /// every worker. Byte-accounted against [`EngineConfig::cache_bytes`]
+    /// when set; its hit/miss/evict counters surface as
+    /// [`EngineStats::spec_hits`] and friends. Output-transparent by
+    /// construction — it only changes how fast the inline pass runs.
+    spec_cache: SpecializationCache,
+    /// Parallel inlining units handed to each job's pipeline:
+    /// `max(1, available_parallelism / workers)`, so inline-level threads
+    /// never oversubscribe a pool that already saturates the host.
+    inline_units: usize,
+    /// Memoized sweep-cell executions, keyed by the optimized program's
+    /// canonical unparse and the run configuration. Distinct thresholds
+    /// routinely converge on the same optimized bytes, and a warm engine
+    /// re-sweeps identical cells; both reuse the VM run. Never consulted
+    /// when engine chaos is enabled.
+    exec_cells: KeyedCache<u64, ExecResult>,
 }
 
 impl Inner {
+    /// The shared acceleration state handed to every job's pipeline run.
+    fn runtime(&self) -> PipelineRuntime<'_> {
+        PipelineRuntime {
+            spec_cache: Some(&self.spec_cache),
+            inline_units: self.inline_units,
+        }
+    }
+
     /// Marks `job` profile-guided when the engine profile matches its
     /// source; a stale profile leaves the job static. With `record` set
     /// (submission) the outcome is counted and a stale match emits a
@@ -454,13 +489,22 @@ impl Engine {
         let cache_budget = config
             .cache_bytes
             .map(|limit| CacheBudget::new(limit, stats.cache_evictions_pressure.clone()));
-        let (programs, analyses) = match &cache_budget {
+        let (programs, analyses, exec_cells) = match &cache_budget {
             Some(b) => (
                 KeyedCache::bounded(b.clone(), parse_artifact_bytes),
                 KeyedCache::bounded(b.clone(), analysis_bytes),
+                KeyedCache::bounded(b.clone(), exec_bytes),
             ),
-            None => (KeyedCache::new(), KeyedCache::new()),
+            None => (KeyedCache::new(), KeyedCache::new(), KeyedCache::new()),
         };
+        let spec_cache = match &cache_budget {
+            Some(b) => SpecializationCache::new(Box::new(BudgetLedger(b.clone()))),
+            None => SpecializationCache::unbounded(),
+        };
+        let inline_units = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            / config.workers.max(1);
         Engine {
             inner: Arc::new(Inner {
                 stats,
@@ -478,6 +522,9 @@ impl Engine {
                 store_consec_failures: AtomicU64::new(0),
                 store_skipped: AtomicU64::new(0),
                 profile: config.profile,
+                spec_cache,
+                inline_units: inline_units.max(1),
+                exec_cells,
             }),
             pool,
         }
@@ -498,6 +545,10 @@ impl Engine {
     /// from their owners.
     pub fn stats(&self) -> EngineStats {
         let mut snap = self.inner.stats.snapshot();
+        let spec = self.inner.spec_cache.stats();
+        snap.spec_hits = spec.hits;
+        snap.spec_misses = spec.misses;
+        snap.spec_evictions = spec.evictions;
         if let Some(budget) = &self.inner.cache_budget {
             snap.cache_bytes_used = budget.bytes_used() as u64;
         }
@@ -712,7 +763,15 @@ impl Engine {
             .collect()
     }
 
-    /// Puts one sweep cell's VM execution on the pool.
+    /// Puts one sweep cell's VM execution on the pool, memoized through the
+    /// exec-cell cache: the VM is deterministic in (program bytes, run
+    /// configuration), so cells whose optimized programs coincide — distinct
+    /// thresholds converging on the same bytes, or a warm re-sweep — share
+    /// one run. A hit on a cached [`PipelineError::Vm`] is re-stamped with
+    /// this cell's threshold (the error's only cell-dependent field). With
+    /// engine chaos enabled the cache is skipped outright, and a panicking
+    /// execution is evicted after publication so it is never replayed as an
+    /// answer.
     fn submit_exec(
         &self,
         output: Arc<PipelineOutput>,
@@ -723,20 +782,49 @@ impl Engine {
         let task_gate = gate.clone();
         let inner = self.inner.clone();
         let run_config = *run_config;
+        let memoize = !self.inner.injector.plan().enabled();
         self.inner.stats.enqueue();
         let task: Task = Box::new(move || {
             inner.stats.dequeue();
             let _span = inner.telemetry.span("execute", "engine");
             let started = Instant::now();
-            let exec = catch_unwind(AssertUnwindSafe(|| {
-                execute_cell(&output, threshold, &run_config)
-            }))
-            .unwrap_or_else(|_| {
-                Err(PipelineError::PhasePanicked {
-                    phase: Phase::Execution,
-                    message: "engine execution unwound outside phase containment".into(),
+            let run = || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    execute_cell(&output, threshold, &run_config)
+                }))
+                .unwrap_or_else(|_| {
+                    Err(PipelineError::PhasePanicked {
+                        phase: Phase::Execution,
+                        message: "engine execution unwound outside phase containment".into(),
+                    })
                 })
-            });
+            };
+            let exec = if memoize {
+                let key = source_fingerprint(&format!(
+                    "{}\n{run_config:?}",
+                    fdi_lang::unparse(&output.optimized)
+                ));
+                inner.stats.fingerprints_computed.fetch_add(1, Relaxed);
+                let (mut exec, hit) = inner.exec_cells.get_or_compute(key, run);
+                stats::StatsInner::cache_event(
+                    &inner.stats.exec_hits,
+                    &inner.stats.exec_misses,
+                    hit,
+                );
+                inner
+                    .telemetry
+                    .instant("cache.exec", "cache", &[("hit", hit.to_string())]);
+                match &mut exec {
+                    Err(PipelineError::Vm { threshold: t, .. }) => *t = threshold,
+                    Err(PipelineError::PhasePanicked { .. }) => {
+                        inner.exec_cells.evict(&key);
+                    }
+                    _ => {}
+                }
+                exec
+            } else {
+                run()
+            };
             stats::StatsInner::add_time(&inner.stats.execute_ns, started.elapsed());
             task_gate.set(exec);
         });
@@ -923,11 +1011,16 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
     if job.bypasses_cache() {
         inner.stats.analysis_uncached.fetch_add(1, Relaxed);
         let started = Instant::now();
-        let out = optimize_guided(
+        // Bypass jobs skip the *artifact* caches (their deadlines and fault
+        // plans are private to the run), but still share the specialization
+        // cache: it is output-transparent, and its fault seam
+        // (`spec-cache-evict`) is only reachable from a job-level plan.
+        let out = optimize_runtime(
             &job.source,
             &job.config,
             job_guide(inner, job),
             &inner.telemetry,
+            inner.runtime(),
         );
         stats::StatsInner::add_time(&inner.stats.transform_ns, started.elapsed());
         if let Ok(out) = &out {
@@ -1008,11 +1101,12 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
     if !job.config.schedule.starts_with_analyze() {
         inner.stats.analysis_uncached.fetch_add(1, Relaxed);
         let started = Instant::now();
-        let out = optimize_program_guided(
+        let out = optimize_program_runtime(
             &program,
             &job.config,
             job_guide(inner, job),
             &inner.telemetry,
+            inner.runtime(),
         );
         stats::StatsInner::add_time(&inner.stats.transform_ns, started.elapsed());
         if let Ok(out) = &out {
@@ -1047,12 +1141,13 @@ fn run_job(inner: &Inner, job: &Job) -> JobResult {
         Ok(flow) => Ok(&**flow),
         Err(e) => Err(e),
     };
-    let out = optimize_program_with_analysis_guided(
+    let out = optimize_program_with_analysis_runtime(
         &program,
         &job.config,
         shared,
         job_guide(inner, job),
         &inner.telemetry,
+        inner.runtime(),
     );
     stats::StatsInner::add_time(&inner.stats.transform_ns, transform_started.elapsed());
     inner.stats.record_passes(&out.passes);
@@ -1426,16 +1521,18 @@ mod tests {
         );
         assert_eq!(stats.cache_evictions_fault, 0);
         assert_eq!(stats.cache_evictions_corruption, 0);
-        assert_eq!(
-            stats.cache_evictions, stats.cache_evictions_pressure,
-            "legacy counter is the per-cause sum"
-        );
         assert!(
             stats.cache_bytes_used <= 1,
             "footprint gauge must respect the budget at rest"
         );
+        // The specialization cache charges the same budget and must shed
+        // under it too, never holding bytes the keyed caches were denied.
+        assert!(
+            stats.spec_evictions > 0,
+            "a 1-byte budget must shed specializations"
+        );
         // The unbounded reference never sheds and reports no byte gauge.
-        assert_eq!(reference.stats().cache_evictions, 0);
+        assert_eq!(reference.stats().cache_evictions_pressure, 0);
     }
 
     #[test]
@@ -1456,7 +1553,7 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.parse_misses, 1, "one parse, shared");
         assert_eq!(stats.parse_hits, 1);
-        assert_eq!(stats.cache_evictions, 0);
+        assert_eq!(stats.cache_evictions_pressure, 0);
         assert!(stats.cache_bytes_used > 0, "footprint gauge is live");
     }
 
@@ -1658,7 +1755,7 @@ mod tests {
             .wait()
             .unwrap();
         let stats = engine.stats();
-        assert_eq!(stats.cache_evictions, 1);
+        assert_eq!(stats.cache_evictions_fault, 1);
         assert_eq!(stats.parse_misses, 2, "evicted artifact was recomputed");
     }
 

@@ -48,6 +48,10 @@ pub(crate) struct StatsInner {
     /// [`crate::cache::CacheBudget`] bumps it from inside the caches.
     pub cache_evictions_pressure: Arc<AtomicU64>,
     pub cache_corruptions_detected: AtomicU64,
+    /// Memoized sweep-cell executions served without a VM run.
+    pub exec_hits: AtomicU64,
+    /// Sweep-cell executions actually run on the VM through the cache.
+    pub exec_misses: AtomicU64,
     pub store_hits: AtomicU64,
     pub store_misses: AtomicU64,
     pub store_corruptions_detected: AtomicU64,
@@ -138,14 +142,16 @@ impl StatsInner {
             analysis_misses: self.analysis_misses.load(Relaxed),
             analysis_uncached: self.analysis_uncached.load(Relaxed),
             fingerprints_computed: self.fingerprints_computed.load(Relaxed),
-            cache_evictions: self.cache_evictions_fault.load(Relaxed)
-                + self.cache_evictions_corruption.load(Relaxed)
-                + self.cache_evictions_pressure.load(Relaxed),
             cache_evictions_fault: self.cache_evictions_fault.load(Relaxed),
             cache_evictions_corruption: self.cache_evictions_corruption.load(Relaxed),
             cache_evictions_pressure: self.cache_evictions_pressure.load(Relaxed),
             cache_bytes_used: 0,
             cache_corruptions_detected: self.cache_corruptions_detected.load(Relaxed),
+            spec_hits: 0,
+            spec_misses: 0,
+            spec_evictions: 0,
+            exec_hits: self.exec_hits.load(Relaxed),
+            exec_misses: self.exec_misses.load(Relaxed),
             store_hits: self.store_hits.load(Relaxed),
             store_misses: self.store_misses.load(Relaxed),
             store_corruptions_detected: self.store_corruptions_detected.load(Relaxed),
@@ -221,9 +227,6 @@ pub struct EngineStats {
     /// Cache-key fingerprints computed (source + config hashes). Bypass
     /// jobs skip fingerprinting entirely, so they contribute zero here.
     pub fingerprints_computed: u64,
-    /// Cache entries evicted, all causes summed. Kept for one release as
-    /// the historical aggregate; prefer the per-cause counters below.
-    pub cache_evictions: u64,
     /// Evictions from injected `cache-evict` faults.
     pub cache_evictions_fault: u64,
     /// Evictions of entries the fingerprint recheck caught corrupted.
@@ -236,6 +239,18 @@ pub struct EngineStats {
     pub cache_bytes_used: u64,
     /// Corrupted cache artifacts caught by the fingerprint recheck.
     pub cache_corruptions_detected: u64,
+    /// Inliner specializations replayed from the shared memo cache (a
+    /// gauge filled at snapshot time from the cache's own counters).
+    pub spec_hits: u64,
+    /// Inliner specializations recorded into the shared memo cache.
+    pub spec_misses: u64,
+    /// Specialization entries shed — byte pressure, variant-slot reuse,
+    /// and the `spec-cache-evict` chaos seam all land here.
+    pub spec_evictions: u64,
+    /// Memoized sweep-cell executions served without a VM run.
+    pub exec_hits: u64,
+    /// Sweep-cell executions actually run on the VM through the cache.
+    pub exec_misses: u64,
     /// Disk-store artifacts served without recomputation.
     pub store_hits: u64,
     /// Disk-store lookups that found nothing reusable.
@@ -342,9 +357,11 @@ impl EngineStats {
                 "\"parse_hits\":{},\"parse_misses\":{},",
                 "\"analysis_hits\":{},\"analysis_misses\":{},\"analysis_uncached\":{},",
                 "\"fingerprints_computed\":{},",
-                "\"cache_evictions\":{},\"cache_evictions_fault\":{},",
+                "\"cache_evictions_fault\":{},",
                 "\"cache_evictions_corruption\":{},\"cache_evictions_pressure\":{},",
                 "\"cache_bytes_used\":{},\"cache_corruptions_detected\":{},",
+                "\"spec_hits\":{},\"spec_misses\":{},\"spec_evictions\":{},",
+                "\"exec_hits\":{},\"exec_misses\":{},",
                 "\"store_hits\":{},\"store_misses\":{},\"store_corruptions_detected\":{},",
                 "\"store_writes\":{},\"store_write_failures\":{},",
                 "\"store_gc_evictions\":{},\"store_bytes_used\":{},",
@@ -365,12 +382,16 @@ impl EngineStats {
             self.analysis_misses,
             self.analysis_uncached,
             self.fingerprints_computed,
-            self.cache_evictions,
             self.cache_evictions_fault,
             self.cache_evictions_corruption,
             self.cache_evictions_pressure,
             self.cache_bytes_used,
             self.cache_corruptions_detected,
+            self.spec_hits,
+            self.spec_misses,
+            self.spec_evictions,
+            self.exec_hits,
+            self.exec_misses,
             self.store_hits,
             self.store_misses,
             self.store_corruptions_detected,
@@ -427,6 +448,12 @@ mod tests {
         assert!(j.contains("\"store_hits\":0,\"store_misses\":0"));
         assert!(j.contains("\"store_writes\":0,\"store_write_failures\":0"));
         assert!(j.contains("\"cache_evictions_pressure\":0"));
+        assert!(
+            !j.contains("\"cache_evictions\":"),
+            "the deprecated all-cause sum must be gone"
+        );
+        assert!(j.contains("\"spec_hits\":0,\"spec_misses\":0,\"spec_evictions\":0"));
+        assert!(j.contains("\"exec_hits\":0,\"exec_misses\":0"));
         assert!(j.contains("\"store_gc_evictions\":0,\"store_bytes_used\":0"));
         // One outer object, one "passes" object, one object per tracked
         // pass, plus the "telemetry" section and its "decisions" object.
@@ -437,7 +464,7 @@ mod tests {
     }
 
     #[test]
-    fn eviction_sum_spans_the_per_cause_counters() {
+    fn eviction_causes_snapshot_independently() {
         let s = StatsInner::default();
         s.cache_evictions_fault.fetch_add(2, Relaxed);
         s.cache_evictions_corruption.fetch_add(3, Relaxed);
@@ -446,7 +473,6 @@ mod tests {
         assert_eq!(snap.cache_evictions_fault, 2);
         assert_eq!(snap.cache_evictions_corruption, 3);
         assert_eq!(snap.cache_evictions_pressure, 5);
-        assert_eq!(snap.cache_evictions, 10, "legacy field is the sum");
     }
 
     #[test]

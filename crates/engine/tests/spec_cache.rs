@@ -1,0 +1,89 @@
+//! The specialization- and execution-cache contracts: the caches are pure
+//! memoization, so a cached sweep is byte-identical to the cache-free
+//! sequential path (asserted in `determinism.rs`) *and* the counters prove
+//! the caches actually worked — a threshold sweep re-specializes nothing it
+//! has already specialized, and a warm resweep re-executes nothing at all.
+
+use fdi_core::{PipelineConfig, RunConfig, SweepRow};
+use fdi_engine::Engine;
+
+fn render(rows: &[SweepRow]) -> String {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "t={} size={:016x} tot={:016x} val={:?} ctr={:?}",
+                r.threshold,
+                r.size_ratio.to_bits(),
+                r.norm_total.to_bits(),
+                r.value,
+                r.counters,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn threshold_sweep_reuses_specializations_across_the_batch() {
+    let bench = &fdi_benchsuite::BENCHMARKS[0];
+    let src = bench.scaled(bench.test_scale);
+    let thresholds = [50, 100, 200, 500, 1000];
+    let config = PipelineConfig::default();
+
+    let engine = Engine::with_jobs(4);
+    engine
+        .sweep(&src, &thresholds, &config, &RunConfig::default())
+        .expect("sweep succeeds");
+
+    let stats = engine.stats();
+    assert!(
+        stats.spec_misses > 0,
+        "the first threshold populates the specialization cache"
+    );
+    assert!(
+        stats.spec_hits > 0,
+        "later thresholds re-evaluate the gate on cached specializations \
+         instead of re-specializing (hits={} misses={})",
+        stats.spec_hits,
+        stats.spec_misses
+    );
+}
+
+#[test]
+fn warm_resweep_is_byte_identical_and_skips_execution() {
+    let sources: Vec<String> = fdi_benchsuite::BENCHMARKS
+        .iter()
+        .take(3)
+        .map(|b| b.scaled(b.test_scale))
+        .collect();
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let thresholds = [100, 500];
+    let config = PipelineConfig::default();
+    let run_config = RunConfig::default();
+
+    let engine = Engine::with_jobs(4);
+    let cold: Vec<String> = engine
+        .sweep_many(&refs, &thresholds, &config, &run_config)
+        .into_iter()
+        .map(|r| render(&r.expect("cold sweep succeeds")))
+        .collect();
+    let cold_exec_misses = engine.stats().exec_misses;
+    assert!(cold_exec_misses > 0, "cold sweep actually executed");
+
+    let warm: Vec<String> = engine
+        .sweep_many(&refs, &thresholds, &config, &run_config)
+        .into_iter()
+        .map(|r| render(&r.expect("warm sweep succeeds")))
+        .collect();
+    assert_eq!(cold, warm, "warm rows must be byte-identical to cold rows");
+
+    let stats = engine.stats();
+    assert_eq!(
+        stats.exec_misses, cold_exec_misses,
+        "warm resweep: zero new VM executions"
+    );
+    assert!(
+        stats.exec_hits >= cold_exec_misses,
+        "every warm execution was served from the cell cache"
+    );
+}

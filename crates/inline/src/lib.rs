@@ -22,6 +22,13 @@
 //!   to procedures that are themselves inlined — exactly the paper's two
 //!   exceptions.
 //!
+//! Two orthogonal accelerations preserve byte-identical output (see
+//! [`InlineRuntime`]): outermost specializations can be memoized in a
+//! [`SpecializationCache`] shared across runs (a threshold sweep then only
+//! re-evaluates the `Inline?` gate per threshold), and the root letrec's
+//! bindings can be specialized on parallel threads and merged back in
+//! binding order.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,13 +42,18 @@
 //! # let _ = out;
 //! ```
 
-use fdi_cfa::{AbsVal, ContourId, Ctx, FlowAnalysis};
+use fdi_cfa::{AbsVal, ClosureId, ContourId, Ctx, FlowAnalysis};
 use fdi_lang::{
     Binder, Const, ExprKind, FreeVars, Label, LambdaInfo, PrimOp, Program, VarId, VarInfo,
 };
 use fdi_telemetry::{DecisionReason, DecisionRecord, Telemetry};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+
+mod spec_cache;
+
+pub use spec_cache::{CacheLedger, SpecCacheStats, SpecializationCache, UnboundedLedger};
+use spec_cache::{FootDep, Recording, SpecEntry};
 
 /// How inlined procedures access their free variables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,6 +96,38 @@ impl Default for InlineConfig {
     fn default() -> InlineConfig {
         // The paper's sweet spot is between 200 and 500 (§4).
         InlineConfig::with_threshold(200)
+    }
+}
+
+/// Shared runtime context of one inliner run, orthogonal to
+/// [`InlineConfig`] (which is fingerprinted into artifact identities —
+/// nothing here may change the output, only how fast it is produced).
+#[derive(Clone, Copy)]
+pub struct InlineRuntime<'a> {
+    /// Specialization memo table plus the content salt its entries are
+    /// valid under. The salt must fingerprint everything the construction
+    /// can read besides the threshold: source program, flow analysis
+    /// configuration, and the inliner's mode/unroll.
+    pub cache: Option<(&'a SpecializationCache, u64)>,
+    /// Split the root letrec's bindings across this many threads
+    /// (1 = fully sequential). The merge is deterministic: output arenas
+    /// are label-for-label identical to the sequential run.
+    pub units: usize,
+}
+
+impl InlineRuntime<'_> {
+    /// No cache, no parallelism — the historical behaviour.
+    pub fn sequential() -> InlineRuntime<'static> {
+        InlineRuntime {
+            cache: None,
+            units: 1,
+        }
+    }
+}
+
+impl Default for InlineRuntime<'static> {
+    fn default() -> Self {
+        InlineRuntime::sequential()
     }
 }
 
@@ -157,6 +201,40 @@ pub struct InlineReport {
     pub unrolled: usize,
 }
 
+impl InlineReport {
+    /// Field-wise `self - base` (counters only ever grow during a run).
+    pub(crate) fn delta_from(self, base: InlineReport) -> InlineReport {
+        InlineReport {
+            calls_seen: self.calls_seen - base.calls_seen,
+            sites_inlined: self.sites_inlined - base.sites_inlined,
+            loops_tied: self.loops_tied - base.loops_tied,
+            rejected_open: self.rejected_open - base.rejected_open,
+            rejected_size: self.rejected_size - base.rejected_size,
+            rejected_loop_guard: self.rejected_loop_guard - base.rejected_loop_guard,
+            rejected_budget: self.rejected_budget - base.rejected_budget,
+            branches_pruned: self.branches_pruned - base.branches_pruned,
+            divergence_prunes: self.divergence_prunes - base.divergence_prunes,
+            unrolled: self.unrolled - base.unrolled,
+        }
+    }
+
+    /// Field-wise `self + delta`.
+    pub(crate) fn merged(self, d: InlineReport) -> InlineReport {
+        InlineReport {
+            calls_seen: self.calls_seen + d.calls_seen,
+            sites_inlined: self.sites_inlined + d.sites_inlined,
+            loops_tied: self.loops_tied + d.loops_tied,
+            rejected_open: self.rejected_open + d.rejected_open,
+            rejected_size: self.rejected_size + d.rejected_size,
+            rejected_loop_guard: self.rejected_loop_guard + d.rejected_loop_guard,
+            rejected_budget: self.rejected_budget + d.rejected_budget,
+            branches_pruned: self.branches_pruned + d.branches_pruned,
+            divergence_prunes: self.divergence_prunes + d.divergence_prunes,
+            unrolled: self.unrolled + d.unrolled,
+        }
+    }
+}
+
 /// The inliner packaged for `fdi-core`'s unified pass manager: a plain
 /// struct carrying the inliner's knobs. The `Pass` trait itself lives in
 /// `fdi-core`, which implements it over this type.
@@ -188,6 +266,19 @@ impl InlinePass {
         inline_program_recorded(program, flow, &self.config, telemetry)
     }
 
+    /// [`InlinePass::apply_recorded`] under an explicit runtime (shared
+    /// specialization cache, parallel units). Output is byte-identical to
+    /// the sequential, cache-free run.
+    pub fn apply_with(
+        &self,
+        program: &Program,
+        flow: &FlowAnalysis,
+        telemetry: &Telemetry,
+        rt: InlineRuntime<'_>,
+    ) -> InlineOutcome {
+        inline_program_with(program, flow, &self.config, rt, telemetry)
+    }
+
     /// One application under a whole-run size budget with optional
     /// benefit-ordered priority: exactly [`inline_program_budgeted`].
     pub fn apply_budgeted(
@@ -199,6 +290,28 @@ impl InlinePass {
         telemetry: &Telemetry,
     ) -> InlineOutcome {
         inline_program_budgeted(program, flow, &self.config, guide, size_budget, telemetry)
+    }
+
+    /// [`InlinePass::apply_budgeted`] under an explicit runtime.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_budgeted_with(
+        &self,
+        program: &Program,
+        flow: &FlowAnalysis,
+        guide: Option<&InlineGuide>,
+        size_budget: Option<usize>,
+        telemetry: &Telemetry,
+        rt: InlineRuntime<'_>,
+    ) -> InlineOutcome {
+        inline_program_budgeted_with(
+            program,
+            flow,
+            &self.config,
+            guide,
+            size_budget,
+            telemetry,
+            rt,
+        )
     }
 }
 
@@ -243,7 +356,30 @@ pub fn inline_program_recorded(
     config: &InlineConfig,
     telemetry: &Telemetry,
 ) -> InlineOutcome {
-    let out = run_inliner(program, flow, config, None);
+    inline_program_with(
+        program,
+        flow,
+        config,
+        InlineRuntime::sequential(),
+        telemetry,
+    )
+}
+
+/// [`inline_program_recorded`] under an explicit [`InlineRuntime`]: a shared
+/// [`SpecializationCache`] memoizes outermost specializations across runs,
+/// and `units > 1` shards the root letrec's bindings across threads. Both
+/// are transparent — the output is byte-identical to the sequential,
+/// cache-free run (replays carry an exact footprint of the ambient facts the
+/// recorded construction consulted, and stale footprints fall back to a live
+/// specialization).
+pub fn inline_program_with(
+    program: &Program,
+    flow: &FlowAnalysis,
+    config: &InlineConfig,
+    rt: InlineRuntime<'_>,
+    telemetry: &Telemetry,
+) -> InlineOutcome {
+    let out = run_inliner(program, flow, config, None, rt, telemetry);
     // Decisions are emitted only once the run is complete, so discarded
     // speculations never leak ghost records into the collector.
     for record in &out.decisions {
@@ -289,10 +425,35 @@ pub fn inline_program_budgeted(
     size_budget: Option<usize>,
     telemetry: &Telemetry,
 ) -> InlineOutcome {
+    inline_program_budgeted_with(
+        program,
+        flow,
+        config,
+        guide,
+        size_budget,
+        telemetry,
+        InlineRuntime::sequential(),
+    )
+}
+
+/// [`inline_program_budgeted`] under an explicit [`InlineRuntime`]. The
+/// ungated probe pass may reuse memoized specializations; gated commit
+/// passes always specialize live (a budget gate changes which nested sites
+/// inline, which the memo footprint does not model).
+#[allow(clippy::too_many_arguments)]
+pub fn inline_program_budgeted_with(
+    program: &Program,
+    flow: &FlowAnalysis,
+    config: &InlineConfig,
+    guide: Option<&InlineGuide>,
+    size_budget: Option<usize>,
+    telemetry: &Telemetry,
+    rt: InlineRuntime<'_>,
+) -> InlineOutcome {
     let Some(budget) = size_budget else {
-        return inline_program_recorded(program, flow, config, telemetry);
+        return inline_program_with(program, flow, config, rt, telemetry);
     };
-    let probe = run_inliner(program, flow, config, None);
+    let probe = run_inliner(program, flow, config, None, rt, telemetry);
     // Committed-size totals per key, as last observed (the estimate the
     // greedy plan allocates by); plus each key's first probe occurrence,
     // the static priority and the guide's tie-break.
@@ -415,7 +576,7 @@ pub fn inline_program_budgeted(
                 }
             }
         }
-        let out = run_inliner(program, flow, config, Some(gate));
+        let out = run_inliner(program, flow, config, Some(gate), rt, telemetry);
         let total = per_key_totals(&out.decisions).values().sum::<usize>();
         (out, total)
     };
@@ -484,12 +645,15 @@ struct Gate {
 }
 
 /// One full inliner pass, optionally gated by a budget plan. Emits nothing
-/// into telemetry — callers do, once the run is final.
+/// into telemetry besides cache/unit tracing — callers emit decisions, once
+/// the run is final.
 fn run_inliner(
     program: &Program,
     flow: &FlowAnalysis,
     config: &InlineConfig,
     gate: Option<Gate>,
+    rt: InlineRuntime<'_>,
+    telemetry: &Telemetry,
 ) -> InlineOutcome {
     let mut rhs_of = HashMap::new();
     for l in program.reachable() {
@@ -499,21 +663,26 @@ fn run_inliner(
             }
         }
     }
-    let mut inliner = Inliner {
+    // Pre-intern the inliner's generated names: after this point no
+    // transformation interns anything (copied variables reuse their source
+    // `Sym`s), so every parallel unit — and every run over the same source —
+    // shares one interner layout. This is what lets memoized entries store
+    // `Sym`s directly and lets units discard their interner clones at merge.
+    let mut interner = program.interner().clone();
+    interner.intern("%inl");
+    interner.intern("%w");
+    let shared = Shared {
         old: program,
-        out: Program::new(program.interner().clone()),
         flow,
         config: *config,
         gate,
         fv: FreeVars::compute(program),
         rhs_of,
-        vmap: Vec::new(),
-        loop_map: Vec::new(),
-        report: InlineReport::default(),
-        decisions: Vec::new(),
-        depth: 0,
-        size_marks: Vec::new(),
+        cache: rt.cache,
+        units: rt.units.max(1),
+        telemetry,
     };
+    let mut inliner = Inliner::new(&shared, Program::new(interner));
     let root = inliner
         .transform(program.root(), Ctx::At(ContourId::EMPTY))
         .expect("top-level transform cannot poison");
@@ -523,6 +692,16 @@ fn run_inliner(
         "inliner produced ill-formed AST: {:?}",
         fdi_lang::validate(&inliner.out)
     );
+    if shared.cache.is_some() {
+        telemetry.instant(
+            "specialize.cache",
+            "inline",
+            &[
+                ("hits", inliner.run_hits.to_string()),
+                ("misses", inliner.run_misses.to_string()),
+            ],
+        );
+    }
     InlineOutcome {
         program: inliner.out,
         report: inliner.report,
@@ -561,14 +740,45 @@ enum Reject {
     TooBig { size: usize },
 }
 
+/// A constructed (pre-gate) specialization: everything [`Inliner::try_inline`]
+/// needs to run the `Inline?` gate and, on acceptance, commit the
+/// `(letrec ((y λ')) (call y …))` wrapper. All labels/variables index the
+/// current output arena — memoized entries store these record-side and
+/// relocate on replay.
+#[derive(Debug, Clone)]
+pub(crate) struct SpecData {
+    letrec_label: Label,
+    lam_label: Label,
+    y: VarId,
+    w: VarId,
+    new_params: Vec<VarId>,
+    body: Label,
+    cl_ref_binds: Vec<(VarId, u32)>,
+    specialized_size: usize,
+}
+
+/// How one outermost-eligible specialization construction ended. Unlike
+/// [`Attempt`], the `Inline?` gate has *not* run yet: `Done` may still be
+/// rejected by size at the current threshold. This is the memoization unit.
+#[derive(Debug, Clone)]
+pub(crate) enum SpecAttempt {
+    /// Construction finished; the gate decides.
+    Done(SpecData),
+    /// Closed-mode free-variable violation (see [`Reject::Open`]).
+    Open { free_vars: usize },
+    /// Construction aborted past the size budget (see [`Reject::TooBig`]).
+    TooBig { size: usize },
+}
+
 /// Hard cap on transform recursion through nested inlines; combined with the
 /// loop map this cannot trigger on sane thresholds, but keeps adversarial
 /// configurations from overflowing the stack.
 const MAX_INLINE_DEPTH: usize = 64;
 
-struct Inliner<'p> {
+/// Run-wide immutable state, shared by the main transformer and every
+/// parallel inlining unit.
+struct Shared<'p> {
     old: &'p Program,
-    out: Program,
     flow: &'p FlowAnalysis,
     config: InlineConfig,
     /// Budget plan of a commit pass; `None` runs ungated (the historical
@@ -578,6 +788,16 @@ struct Inliner<'p> {
     /// Binding right-hand sides: variable → RHS label, for recognizing
     /// direct calls to locally-bound procedures.
     rhs_of: HashMap<VarId, Label>,
+    /// Memo table for outermost specializations, with its content salt.
+    cache: Option<(&'p SpecializationCache, u64)>,
+    /// Parallel inlining units for the root letrec (1 = sequential).
+    units: usize,
+    telemetry: &'p Telemetry,
+}
+
+struct Inliner<'p, 's> {
+    sh: &'s Shared<'p>,
+    out: Program,
     /// Scope-ordered variable renaming; `None` marks a poisoned variable.
     vmap: Vec<(VarId, Option<VarId>)>,
     /// The loop map ρ: (λ label, specialization contour) → loop variable,
@@ -595,10 +815,79 @@ struct Inliner<'p> {
     /// specialized size "without actually constructing it"; we construct,
     /// but bail out as soon as the budget is exceeded).
     size_marks: Vec<usize>,
+    /// Live footprint/validity bookkeeping while an outermost
+    /// specialization records a cache entry.
+    rec: Option<Recording>,
+    run_hits: u64,
+    run_misses: u64,
 }
 
-impl Inliner<'_> {
-    fn lookup(&self, v: VarId) -> Option<Option<VarId>> {
+/// One parallel unit's results, merged back in binding order.
+struct UnitOut {
+    out: Program,
+    /// Unit-arena labels of the transformed binding λs, in binding order.
+    lambdas: Vec<Label>,
+    report: InlineReport,
+    decisions: Vec<DecisionRecord>,
+    run_hits: u64,
+    run_misses: u64,
+}
+
+/// Split `n` bindings into at most `units` contiguous, near-even chunks.
+fn chunk_ranges(n: usize, units: usize) -> Vec<(usize, usize)> {
+    let units = units.min(n).max(1);
+    let (base, extra) = (n / units, n % units);
+    let mut out = Vec::with_capacity(units);
+    let mut start = 0;
+    for i in 0..units {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+impl<'p, 's> Inliner<'p, 's> {
+    fn new(sh: &'s Shared<'p>, out: Program) -> Inliner<'p, 's> {
+        Inliner {
+            sh,
+            out,
+            vmap: Vec::new(),
+            loop_map: Vec::new(),
+            report: InlineReport::default(),
+            decisions: Vec::new(),
+            depth: 0,
+            size_marks: Vec::new(),
+            rec: None,
+            run_hits: 0,
+            run_misses: 0,
+        }
+    }
+
+    fn lookup(&mut self, v: VarId) -> Option<Option<VarId>> {
+        let found = self
+            .vmap
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &(w, _))| w == v);
+        let (idx, res) = match found {
+            Some((i, &(_, nv))) => (Some(i), Some(nv)),
+            None => (None, None),
+        };
+        if let Some(rec) = &mut self.rec {
+            // Resolutions below the region's watermark (or misses) read
+            // *ambient* state: they are part of the entry's footprint.
+            if idx.is_none_or(|i| i < rec.vmark) {
+                rec.note_var(v, res);
+            }
+        }
+        res
+    }
+
+    /// [`Inliner::lookup`] without footprint recording, for probing whether
+    /// a candidate entry's recorded footprint still holds.
+    fn lookup_raw(&self, v: VarId) -> Option<Option<VarId>> {
         self.vmap
             .iter()
             .rev()
@@ -606,7 +895,26 @@ impl Inliner<'_> {
             .map(|&(_, nv)| nv)
     }
 
-    fn loop_var(&self, lam: Label, k: ContourId) -> Option<(VarId, bool)> {
+    fn loop_var(&mut self, lam: Label, k: ContourId) -> Option<(VarId, bool)> {
+        let found = self
+            .loop_map
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &(key, _))| key == (lam, k));
+        let (idx, res) = match found {
+            Some((i, &(_, y))) => (Some(i), Some(y)),
+            None => (None, None),
+        };
+        if let Some(rec) = &mut self.rec {
+            if idx.is_none_or(|i| i < rec.lmark) {
+                rec.note_loop(lam, k, res);
+            }
+        }
+        res
+    }
+
+    fn loop_var_raw(&self, lam: Label, k: ContourId) -> Option<(VarId, bool)> {
         self.loop_map
             .iter()
             .rev()
@@ -624,7 +932,7 @@ impl Inliner<'_> {
     }
 
     fn fresh_from(&mut self, old_var: VarId, binder: Binder) -> VarId {
-        let info = *self.old.var(old_var);
+        let info = *self.sh.old.var(old_var);
         let nv = self.out.add_var(VarInfo {
             name: info.name,
             binder,
@@ -652,8 +960,8 @@ impl Inliner<'_> {
     /// operator is a variable, otherwise the callee λ's label (or the
     /// operator expression's label when no unique callee exists).
     fn callee_string(&self, op: Label, lambda: Option<Label>) -> String {
-        if let ExprKind::Var(v) = self.old.expr(op) {
-            return self.old.var_name(*v).to_string();
+        if let ExprKind::Var(v) = self.sh.old.expr(op) {
+            return self.sh.old.var_name(*v).to_string();
         }
         match lambda {
             Some(l) => format!("λ{l}"),
@@ -665,7 +973,7 @@ impl Inliner<'_> {
     /// its specialization would have added (0 when the probe never priced
     /// it). `None` means the site may try to inline.
     fn gate_denied(&self, site: Label, ctx: Ctx) -> Option<usize> {
-        let gate = self.gate.as_ref()?;
+        let gate = self.sh.gate.as_ref()?;
         let key = (site.to_string(), Self::ctx_string(ctx));
         if gate.allow.contains(&key) {
             None
@@ -690,12 +998,22 @@ impl Inliner<'_> {
         if let Some(&mark) = self.size_marks.first() {
             // Generous slack: arena nodes include speculative garbage, and
             // the size metric is roughly one unit per node.
-            let budget = mark + self.config.threshold.max(1) * 8;
-            if self.out.expr_count() > budget {
+            let budget = mark + self.sh.config.threshold.max(1) * 8;
+            let count = self.out.expr_count();
+            if count > budget {
+                if let Some(rec) = &mut self.rec {
+                    // The outermost mark is the recording region's own, so
+                    // this growth is exactly the one a replaying threshold
+                    // must also trip on.
+                    rec.trip_growth = Some(count - mark);
+                }
                 return Err(Poison::TooBig);
             }
+            if let Some(rec) = &mut self.rec {
+                rec.max_growth = rec.max_growth.max(count - mark);
+            }
         }
-        match self.old.expr(l).clone() {
+        match self.sh.old.expr(l).clone() {
             ExprKind::Const(c) => Ok(self.konst(c)),
             ExprKind::Var(v) => match self.lookup(v) {
                 Some(Some(nv)) => Ok(self.out.add_expr(ExprKind::Var(nv))),
@@ -731,7 +1049,7 @@ impl Inliner<'_> {
             }
             ExprKind::If(c, t, e) => self.transform_if(c, t, e, ctx),
             ExprKind::Let(bindings, body) => {
-                let rhs_ctx = self.flow.extend_ctx(ctx, l);
+                let rhs_ctx = self.sh.flow.extend_ctx(ctx, l);
                 let label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
                 let mark = self.vmap.len();
                 let mut rhss = Vec::new();
@@ -773,12 +1091,16 @@ impl Inliner<'_> {
         // pinned to the source free-variable order, so the `cl-ref` indices
         // emitted at inline sites stay valid under later simplification
         // (§3.5's `[z1 … zm]` annotation).
-        if self.config.mode == InlineMode::ClRef {
-            if let Some(free) = self.fv.get(old_label) {
+        if self.sh.config.mode == InlineMode::ClRef {
+            if let Some(free) = self.sh.fv.get(old_label) {
+                let free = free.to_vec();
                 let mapped: Option<Vec<VarId>> =
                     free.iter().map(|&z| self.lookup(z).flatten()).collect();
                 if let Some(pins) = mapped {
                     if !pins.is_empty() {
+                        if let Some(rec) = &mut self.rec {
+                            rec.pins.push((label, pins.clone()));
+                        }
                         self.out.pin_captures(label, pins);
                     }
                 }
@@ -806,7 +1128,8 @@ impl Inliner<'_> {
         body: Label,
         ctx: Ctx,
     ) -> Result<Label, Poison> {
-        let rhs_ctx = self.flow.extend_ctx(ctx, l);
+        let units = self.plan_units(l, bindings);
+        let rhs_ctx = self.sh.flow.extend_ctx(ctx, l);
         let label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
         let vmark = self.vmap.len();
         let lmark = self.loop_map.len();
@@ -820,33 +1143,168 @@ impl Inliner<'_> {
             // unfolding. Only meaningful under a splitting policy — without
             // splitting every call shares the binding contour and
             // registration would suppress inlining entirely.
-            if self.flow.policy().splits() {
+            if self.sh.flow.policy().splits() {
                 if let Ctx::At(k) = rhs_ctx {
                     self.loop_map.push(((f, k), (ny, false)));
                 }
             }
         }
-        let result = (|| -> Result<Label, Poison> {
-            let mut new_bindings = Vec::new();
-            for (i, &(_, f)) in bindings.iter().enumerate() {
-                let ExprKind::Lambda(lam) = self.old.expr(f).clone() else {
-                    unreachable!("letrec rhs is a lambda")
-                };
-                let nf = self.transform_lambda(f, &lam, Ctx::Top)?;
-                new_bindings.push((new_vars[i], nf));
-            }
-            let nbody = self.transform(body, ctx)?;
-            self.out
-                .set_expr(label, ExprKind::Letrec(new_bindings, nbody));
-            Ok(label)
-        })();
+        let result = if units > 1 {
+            self.transform_letrec_parallel(bindings, body, ctx, label, &new_vars, units)
+        } else {
+            (|| -> Result<Label, Poison> {
+                let mut new_bindings = Vec::new();
+                for (i, &(_, f)) in bindings.iter().enumerate() {
+                    let ExprKind::Lambda(lam) = self.sh.old.expr(f).clone() else {
+                        unreachable!("letrec rhs is a lambda")
+                    };
+                    let nf = self.transform_lambda(f, &lam, Ctx::Top)?;
+                    new_bindings.push((new_vars[i], nf));
+                }
+                let nbody = self.transform(body, ctx)?;
+                self.out
+                    .set_expr(label, ExprKind::Letrec(new_bindings, nbody));
+                Ok(label)
+            })()
+        };
         self.vmap.truncate(vmark);
         self.loop_map.truncate(lmark);
         result
     }
 
+    /// How many parallel units to split this letrec across. Only the
+    /// outermost (root) letrec — the top-level `define` chain — is sharded:
+    /// its bindings transform independently (each `transform_lambda`
+    /// restores every stack it touches), so chunks of bindings can run on
+    /// separate threads against private output arenas and merge in binding
+    /// order with a pure index relocation.
+    fn plan_units(&self, l: Label, bindings: &[(VarId, Label)]) -> usize {
+        if self.sh.units <= 1
+            || self.depth != 0
+            || l != self.sh.old.root()
+            || self.rec.is_some()
+            || bindings.len() < 2
+        {
+            return 1;
+        }
+        self.sh.units.min(bindings.len())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn transform_letrec_parallel(
+        &mut self,
+        bindings: &[(VarId, Label)],
+        body: Label,
+        ctx: Ctx,
+        label: Label,
+        new_vars: &[VarId],
+        units: usize,
+    ) -> Result<Label, Poison> {
+        let sh = self.sh;
+        let v_base = self.out.var_count();
+        let seed_vars: Vec<VarInfo> = (0..v_base)
+            .map(|i| *self.out.var(VarId(i as u32)))
+            .collect();
+        let chunks = chunk_ranges(bindings.len(), units);
+        let unit_outs: Vec<Result<UnitOut, Poison>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(start, end)| {
+                    let vmap = self.vmap.clone();
+                    let loop_map = self.loop_map.clone();
+                    let interner = self.out.interner().clone();
+                    let seed = &seed_vars;
+                    scope.spawn(move || {
+                        let _span = sh.telemetry.span("inline.unit", "inline");
+                        let mut out = Program::new(interner);
+                        for vi in seed {
+                            out.add_var(*vi);
+                        }
+                        let mut unit = Inliner::new(sh, out);
+                        unit.vmap = vmap;
+                        unit.loop_map = loop_map;
+                        let mut lambdas = Vec::new();
+                        for &(_, f) in &bindings[start..end] {
+                            let ExprKind::Lambda(lam) = sh.old.expr(f).clone() else {
+                                unreachable!("letrec rhs is a lambda")
+                            };
+                            lambdas.push(unit.transform_lambda(f, &lam, Ctx::Top)?);
+                        }
+                        Ok(UnitOut {
+                            out: unit.out,
+                            lambdas,
+                            report: unit.report,
+                            decisions: unit.decisions,
+                            run_hits: unit.run_hits,
+                            run_misses: unit.run_misses,
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("inlining unit panicked"))
+                .collect()
+        });
+        let mut new_bindings = Vec::new();
+        let mut idx = 0usize;
+        for r in unit_outs {
+            let u = r?;
+            for nf in self.merge_unit(u, v_base) {
+                new_bindings.push((new_vars[idx], nf));
+                idx += 1;
+            }
+        }
+        let nbody = self.transform(body, ctx)?;
+        self.out
+            .set_expr(label, ExprKind::Letrec(new_bindings, nbody));
+        Ok(label)
+    }
+
+    /// Appends one unit's private arena onto the main one. Unit expressions
+    /// only reference unit labels (0-based), and unit variables split into
+    /// the seeded ambient prefix (`< v_base`, kept verbatim — those indices
+    /// are the main arena's) and unit-fresh variables (relocated). Because
+    /// units are merged in binding order and each binding's allocations are
+    /// self-contained, the merged arena is label-for-label identical to the
+    /// sequential run's.
+    fn merge_unit(&mut self, u: UnitOut, v_base: usize) -> Vec<Label> {
+        let label_offset = self.out.expr_count() as u32;
+        let var_offset = self.out.var_count() as u32 - v_base as u32;
+        let vb = v_base as u32;
+        let rl = move |l: Label| Label(l.0 + label_offset);
+        let rv = move |v: VarId| {
+            if v.0 < vb {
+                v
+            } else {
+                VarId(v.0 + var_offset)
+            }
+        };
+        for l in 0..u.out.expr_count() {
+            let nk = fdi_lang::map_expr_refs(u.out.expr(Label(l as u32)), rl, rv);
+            self.out.add_expr(nk);
+        }
+        for v in v_base..u.out.var_count() {
+            let vi = *u.out.var(VarId(v as u32));
+            self.out.add_var(VarInfo {
+                name: vi.name,
+                binder: vi.binder.map_label(rl),
+                top_level: vi.top_level,
+            });
+        }
+        for (l, pins) in u.out.pinned_captures_all() {
+            self.out
+                .pin_captures(rl(l), pins.iter().map(|&p| rv(p)).collect());
+        }
+        self.report = self.report.merged(u.report);
+        self.decisions.extend(u.decisions);
+        self.run_hits += u.run_hits;
+        self.run_misses += u.run_misses;
+        u.lambdas.iter().map(|&l| rl(l)).collect()
+    }
+
     fn transform_if(&mut self, c: Label, t: Label, e: Label, ctx: Ctx) -> Result<Label, Poison> {
-        let test_vals = self.flow.values(c, ctx);
+        let test_vals = self.sh.flow.values(c, ctx);
         let may_true = test_vals.may_be_true();
         let may_false = test_vals.may_be_false();
         let nc = self.transform(c, ctx)?;
@@ -889,12 +1347,12 @@ impl Inliner<'_> {
         // A site is a *candidate* (and gets a decision record) when at least
         // one closure flows to its operator; sites calling only primitives or
         // unreached code stay silent.
-        let fn_vals = self.flow.values(parts[0], ctx);
+        let fn_vals = self.sh.flow.values(parts[0], ctx);
         let is_candidate = fn_vals.iter().any(|v| matches!(v, AbsVal::Clo(_)));
         let unique = self.unique_code_and_contour(&fn_vals);
         if let Some(cid) = unique {
-            let c = self.flow.closure(cid);
-            let ExprKind::Lambda(lam) = self.old.expr(c.lambda).clone() else {
+            let c = self.sh.flow.closure(cid);
+            let ExprKind::Lambda(lam) = self.sh.old.expr(c.lambda).clone() else {
                 unreachable!("closure over non-lambda")
             };
             let callee = self.callee_string(parts[0], Some(c.lambda));
@@ -909,13 +1367,13 @@ impl Inliner<'_> {
                             .iter()
                             .filter(|&&(key, (_, w))| key == (c.lambda, c.contour) && w)
                             .count();
-                        if unfoldings <= self.config.unroll && self.depth < MAX_INLINE_DEPTH {
+                        if unfoldings <= self.sh.config.unroll && self.depth < MAX_INLINE_DEPTH {
                             if let Some(size) = self.gate_denied(site, ctx) {
                                 // The budget plan cut this unfolding: tie the
                                 // back-edge as if the unroll lost its turn.
                                 self.report.rejected_budget += 1;
                                 self.report.loops_tied += 1;
-                                let budget = self.gate.as_ref().map_or(0, |g| g.budget);
+                                let budget = self.sh.gate.as_ref().map_or(0, |g| g.budget);
                                 self.record_decision(
                                     site,
                                     ctx,
@@ -959,7 +1417,7 @@ impl Inliner<'_> {
                             // The budget plan cut this site: record the cut
                             // and fall through to a plain call.
                             self.report.rejected_budget += 1;
-                            let budget = self.gate.as_ref().map_or(0, |g| g.budget);
+                            let budget = self.sh.gate.as_ref().map_or(0, |g| g.budget);
                             self.record_decision(
                                 site,
                                 ctx,
@@ -996,7 +1454,7 @@ impl Inliner<'_> {
                                         callee,
                                         DecisionReason::ThresholdExceeded {
                                             size,
-                                            limit: self.config.threshold,
+                                            limit: self.sh.config.threshold,
                                         },
                                     );
                                 }
@@ -1039,7 +1497,7 @@ impl Inliner<'_> {
         }
         let divergent = parts
             .iter()
-            .position(|&e| self.flow.reached(e, ctx) && self.flow.values(e, ctx).is_empty());
+            .position(|&e| self.sh.flow.reached(e, ctx) && self.sh.flow.values(e, ctx).is_empty());
         let Some(i) = divergent else {
             return Ok(None);
         };
@@ -1058,11 +1516,11 @@ impl Inliner<'_> {
     }
 
     /// All values are closures over one λ in one contour → representative.
-    fn unique_code_and_contour(&self, vals: &fdi_cfa::ValSet) -> Option<fdi_cfa::ClosureId> {
-        let mut rep: Option<(fdi_cfa::ClosureId, Label, ContourId)> = None;
+    fn unique_code_and_contour(&self, vals: &fdi_cfa::ValSet) -> Option<ClosureId> {
+        let mut rep: Option<(ClosureId, Label, ContourId)> = None;
         for v in vals.iter() {
             let AbsVal::Clo(id) = v else { return None };
-            let c = self.flow.closure(id);
+            let c = self.sh.flow.closure(id);
             match rep {
                 None => rep = Some((id, c.lambda, c.contour)),
                 Some((_, l0, k0)) if l0 == c.lambda && k0 == c.contour => {}
@@ -1079,8 +1537,8 @@ impl Inliner<'_> {
     /// exception) — becomes the unspecified constant. In ClRef mode the body
     /// loads captures through `w`, so the operator must be passed for real.
     fn w_argument(&mut self, e0: Label, ctx: Ctx) -> Result<Label, Poison> {
-        let w_unused = self.config.mode == InlineMode::Closed;
-        if w_unused && matches!(self.old.expr(e0), ExprKind::Var(_)) {
+        let w_unused = self.sh.config.mode == InlineMode::Closed;
+        if w_unused && matches!(self.sh.old.expr(e0), ExprKind::Var(_)) {
             Ok(self.konst(Const::Unspecified))
         } else {
             self.transform(e0, ctx)
@@ -1141,16 +1599,9 @@ impl Inliner<'_> {
         &mut self,
         parts: &[Label],
         ctx: Ctx,
-        cid: fdi_cfa::ClosureId,
+        cid: ClosureId,
         lam: &LambdaInfo,
     ) -> Result<Attempt, Poison> {
-        let c = self.flow.closure(cid);
-        let body_ctx = self.flow.closure_body_ctx(cid);
-        let free = self
-            .fv
-            .get(c.lambda)
-            .map(<[VarId]>::to_vec)
-            .unwrap_or_default();
         // A *direct local call*: the operator is a let/letrec variable whose
         // right-hand side is this very λ. Such a call always receives the
         // closure created by the current activation of the enclosing scope,
@@ -1158,10 +1609,236 @@ impl Inliner<'_> {
         // visible here and may be referenced directly — this is what lets
         // Fig. 2 specialize `map1` (whose `f` is free) inside the inlined
         // copy of `map`.
-        let direct_local = match self.old.expr(parts[0]) {
-            ExprKind::Var(v) => self.rhs_of.get(v) == Some(&c.lambda),
+        let direct_local = match self.sh.old.expr(parts[0]) {
+            ExprKind::Var(v) => self.sh.rhs_of.get(v) == Some(&self.sh.flow.closure(cid).lambda),
             _ => false,
         };
+        let dmark = self.decisions.len();
+        let spec = match self.specialize_cached(cid, lam, direct_local)? {
+            SpecAttempt::Open { free_vars } => {
+                return Ok(Attempt::Rejected(Reject::Open { free_vars }));
+            }
+            SpecAttempt::TooBig { size } => {
+                return Ok(Attempt::Rejected(Reject::TooBig { size }));
+            }
+            SpecAttempt::Done(d) => d,
+        };
+
+        // Inline? — the size of the specialized body must be under T. The
+        // verdict (but never the construction above) depends on the
+        // threshold, which is why it runs outside the memoized region; a
+        // recording in progress notes it to bound the entry's validity.
+        if spec.specialized_size >= self.sh.config.threshold {
+            if let Some(rec) = &mut self.rec {
+                rec.note_gate(spec.specialized_size, false);
+            }
+            self.decisions.truncate(dmark);
+            return Ok(Attempt::Rejected(Reject::TooBig {
+                size: spec.specialized_size,
+            }));
+        }
+        if let Some(rec) = &mut self.rec {
+            rec.note_gate(spec.specialized_size, true);
+        }
+
+        // Bind cl-refs around the body (Fig. 5's let of (cl-ref w i)).
+        let final_body = if spec.cl_ref_binds.is_empty() {
+            spec.body
+        } else {
+            let let_label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
+            let mut binds = Vec::new();
+            for &(nz, i) in &spec.cl_ref_binds {
+                self.out.set_var_binder(nz, Binder::Let(let_label));
+                let wref = self.out.add_expr(ExprKind::Var(spec.w));
+                let clref = self.out.add_expr(ExprKind::ClRef(wref, i));
+                binds.push((nz, clref));
+            }
+            self.out
+                .set_expr(let_label, ExprKind::Let(binds, spec.body));
+            let_label
+        };
+
+        self.out.set_expr(
+            spec.lam_label,
+            ExprKind::Lambda(LambdaInfo {
+                params: spec.new_params.clone(),
+                rest: None,
+                body: final_body,
+            }),
+        );
+        // (letrec ((y λ')) (call y I[e0] I[e1] … I[en]))
+        let yref = self.out.add_expr(ExprKind::Var(spec.y));
+        let warg = self.w_argument(parts[0], ctx)?;
+        let mut call_parts = vec![yref, warg];
+        call_parts.extend(self.loop_call_args(lam, parts, ctx)?);
+        let ncall = self.out.add_expr(ExprKind::Call(call_parts));
+        self.out.set_expr(
+            spec.letrec_label,
+            ExprKind::Letrec(vec![(spec.y, spec.lam_label)], ncall),
+        );
+        self.report.sites_inlined += 1;
+        Ok(Attempt::Inlined(spec.letrec_label, spec.specialized_size))
+    }
+
+    /// [`Inliner::specialize`] through the memo table when this site is
+    /// *outermost* (depth 0, no budget gate, no recording already open):
+    /// a valid cached variant is replayed into the arena; a miss records
+    /// the live construction as a new variant.
+    fn specialize_cached(
+        &mut self,
+        cid: ClosureId,
+        lam: &LambdaInfo,
+        direct_local: bool,
+    ) -> Result<SpecAttempt, Poison> {
+        let Some((cache, salt)) = self.sh.cache else {
+            return self.specialize(cid, lam, direct_local);
+        };
+        if self.depth != 0 || self.sh.gate.is_some() || self.rec.is_some() {
+            return self.specialize(cid, lam, direct_local);
+        }
+        let key = (salt, cid, direct_local);
+        let hit = cache.probe(key, self.sh.config.threshold, |deps| self.deps_hold(deps));
+        if let Some(entry) = hit {
+            self.run_hits += 1;
+            return Ok(self.replay(&entry));
+        }
+        self.run_misses += 1;
+        self.rec = Some(Recording::new(
+            self.vmap.len(),
+            self.loop_map.len(),
+            self.decisions.len(),
+            self.out.expr_count(),
+            self.out.var_count(),
+            self.report,
+        ));
+        let result = self.specialize(cid, lam, direct_local);
+        let rec = self.rec.take().expect("recording survives specialization");
+        if let Ok(attempt) = &result {
+            cache.insert(key, self.build_entry(rec, attempt));
+        }
+        result
+    }
+
+    /// Does a recorded footprint still describe the current ambient scope?
+    fn deps_hold(&self, deps: &[FootDep]) -> bool {
+        deps.iter().all(|d| match *d {
+            FootDep::Var(v, expect) => self.lookup_raw(v) == expect,
+            FootDep::Loop(l, k, expect) => self.loop_var_raw(l, k) == expect,
+        })
+    }
+
+    /// Splices a memoized arena delta into the output, relocating region
+    /// labels/variables to the current bases (ambient references recorded
+    /// below the entry's bases are kept verbatim — the footprint check
+    /// guarantees they resolve identically here).
+    fn replay(&mut self, entry: &SpecEntry) -> SpecAttempt {
+        let eb = self.out.expr_count() as u32;
+        let vb = self.out.var_count() as u32;
+        let (e0, v0) = entry.bases();
+        let rl = move |l: Label| {
+            if l.0 >= e0 {
+                Label(l.0 - e0 + eb)
+            } else {
+                l
+            }
+        };
+        let rv = move |v: VarId| {
+            if v.0 >= v0 {
+                VarId(v.0 - v0 + vb)
+            } else {
+                v
+            }
+        };
+        for k in entry.exprs() {
+            let nk = fdi_lang::map_expr_refs(k, rl, rv);
+            self.out.add_expr(nk);
+        }
+        for vi in entry.vars() {
+            self.out.add_var(VarInfo {
+                name: vi.name,
+                binder: vi.binder.map_label(rl),
+                top_level: vi.top_level,
+            });
+        }
+        for (l, pins) in entry.pins() {
+            self.out
+                .pin_captures(rl(*l), pins.iter().map(|&p| rv(p)).collect());
+        }
+        self.report = self.report.merged(entry.report_delta());
+        for d in entry.decisions() {
+            let mut d = d.clone();
+            // Nested threshold rejections embed the recording run's limit;
+            // restate them against the current one.
+            if let DecisionReason::ThresholdExceeded { size, .. } = d.reason {
+                d.reason = DecisionReason::ThresholdExceeded {
+                    size,
+                    limit: self.sh.config.threshold,
+                };
+                d.verdict = d.reason.verdict();
+            }
+            self.decisions.push(d);
+        }
+        match entry.outcome() {
+            SpecAttempt::Open { free_vars } => SpecAttempt::Open {
+                free_vars: *free_vars,
+            },
+            SpecAttempt::TooBig { size } => SpecAttempt::TooBig { size: *size },
+            SpecAttempt::Done(d) => SpecAttempt::Done(SpecData {
+                letrec_label: rl(d.letrec_label),
+                lam_label: rl(d.lam_label),
+                y: rv(d.y),
+                w: rv(d.w),
+                new_params: d.new_params.iter().map(|&p| rv(p)).collect(),
+                body: rl(d.body),
+                cl_ref_binds: d.cl_ref_binds.iter().map(|&(v, i)| (rv(v), i)).collect(),
+                specialized_size: d.specialized_size,
+            }),
+        }
+    }
+
+    /// Packages a finished recording as a cache entry: the arena delta
+    /// since the recording's bases plus footprint, validity interval, and
+    /// report/decision deltas.
+    fn build_entry(&self, rec: Recording, attempt: &SpecAttempt) -> SpecEntry {
+        let exprs: Vec<ExprKind> = (rec.e0..self.out.expr_count())
+            .map(|i| self.out.expr(Label(i as u32)).clone())
+            .collect();
+        let vars: Vec<VarInfo> = (rec.v0..self.out.var_count())
+            .map(|i| *self.out.var(VarId(i as u32)))
+            .collect();
+        SpecEntry::from_recording(
+            rec,
+            attempt.clone(),
+            exprs,
+            vars,
+            self.report,
+            &self.decisions,
+        )
+    }
+
+    /// Constructs the specialized copy of the unique callee: skeleton
+    /// labels, free-variable discipline, parameter renaming, loop-map
+    /// registration, and the recursive body transform. Everything here is a
+    /// deterministic function of `(cid, direct_local)`, the run
+    /// configuration, and the ambient facts the construction looks up —
+    /// crucially, *not* of the size threshold, which only enters through
+    /// the caller's `Inline?` gate and the abort guard (both captured in a
+    /// recording's validity interval). That is what makes this the
+    /// memoization boundary.
+    fn specialize(
+        &mut self,
+        cid: ClosureId,
+        lam: &LambdaInfo,
+        direct_local: bool,
+    ) -> Result<SpecAttempt, Poison> {
+        let c = self.sh.flow.closure(cid);
+        let body_ctx = self.sh.flow.closure_body_ctx(cid);
+        let free = self
+            .sh
+            .fv
+            .get(c.lambda)
+            .map(<[VarId]>::to_vec)
+            .unwrap_or_default();
 
         // Set up the specialized λ skeleton.
         let letrec_label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
@@ -1176,8 +1853,8 @@ impl Inliner<'_> {
         let mut poisoned = 0usize;
         let mut cl_ref_binds: Vec<(VarId, u32)> = Vec::new(); // (new var, index)
         for (i, &z) in free.iter().enumerate() {
-            let info = self.old.var(z);
-            match self.config.mode {
+            let info = *self.sh.old.var(z);
+            match self.sh.config.mode {
                 InlineMode::Closed => {
                     if (info.top_level || direct_local)
                         && self.lookup(z).is_some_and(|m| m.is_some())
@@ -1200,7 +1877,7 @@ impl Inliner<'_> {
                     {
                         // Direct references beat cl-ref loads when sound.
                     } else {
-                        let name = self.old.var_name(z).to_string();
+                        let name = self.sh.old.var_name(z).to_string();
                         let nz = self.fresh_var(&name, Binder::Let(Label(0)), false);
                         self.vmap.push((z, Some(nz)));
                         cl_ref_binds.push((nz, i as u32));
@@ -1240,66 +1917,34 @@ impl Inliner<'_> {
                 // with the caller, which knows whether this was an unroll
                 // attempt or an ordinary site.
                 self.decisions.truncate(dmark);
-                return Ok(Attempt::Rejected(Reject::Open {
+                return Ok(SpecAttempt::Open {
                     free_vars: poisoned,
-                }));
+                });
             }
             Err(Poison::TooBig) => {
                 // The *outermost* budget was exceeded. If that is this
                 // speculation, reject it; otherwise keep unwinding.
                 if self.size_marks.is_empty() {
                     self.decisions.truncate(dmark);
-                    return Ok(Attempt::Rejected(Reject::TooBig {
+                    return Ok(SpecAttempt::TooBig {
                         size: self.out.expr_count().saturating_sub(smark),
-                    }));
+                    });
                 }
                 return Err(Poison::TooBig);
             }
         };
 
-        // Inline? — the size of the specialized body must be under T.
         let specialized_size = fdi_lang::expr_size(&self.out, body);
-        if specialized_size >= self.config.threshold {
-            self.decisions.truncate(dmark);
-            return Ok(Attempt::Rejected(Reject::TooBig {
-                size: specialized_size,
-            }));
-        }
-
-        // Bind cl-refs around the body (Fig. 5's let of (cl-ref w i)).
-        let final_body = if cl_ref_binds.is_empty() {
-            body
-        } else {
-            let let_label = self.out.add_expr(ExprKind::Const(Const::Unspecified));
-            let mut binds = Vec::new();
-            for (nz, i) in cl_ref_binds {
-                self.out.set_var_binder(nz, Binder::Let(let_label));
-                let wref = self.out.add_expr(ExprKind::Var(w));
-                let clref = self.out.add_expr(ExprKind::ClRef(wref, i));
-                binds.push((nz, clref));
-            }
-            self.out.set_expr(let_label, ExprKind::Let(binds, body));
-            let_label
-        };
-
-        self.out.set_expr(
+        Ok(SpecAttempt::Done(SpecData {
+            letrec_label,
             lam_label,
-            ExprKind::Lambda(LambdaInfo {
-                params: new_params,
-                rest: None,
-                body: final_body,
-            }),
-        );
-        // (letrec ((y λ')) (call y I[e0] I[e1] … I[en]))
-        let yref = self.out.add_expr(ExprKind::Var(y));
-        let warg = self.w_argument(parts[0], ctx)?;
-        let mut call_parts = vec![yref, warg];
-        call_parts.extend(self.loop_call_args(lam, parts, ctx)?);
-        let ncall = self.out.add_expr(ExprKind::Call(call_parts));
-        self.out
-            .set_expr(letrec_label, ExprKind::Letrec(vec![(y, lam_label)], ncall));
-        self.report.sites_inlined += 1;
-        Ok(Attempt::Inlined(letrec_label, specialized_size))
+            y,
+            w,
+            new_params,
+            body,
+            cl_ref_binds,
+            specialized_size,
+        }))
     }
 }
 

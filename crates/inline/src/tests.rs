@@ -457,3 +457,215 @@ fn budgeted_runs_are_deterministic() {
     assert_eq!(a.decisions, b.decisions);
     assert_eq!(a.report, b.report);
 }
+
+// --- specialization cache & parallel units ---------------------------------
+
+/// A source with enough distinct callees, recursion, and higher-order flow
+/// to exercise replay, footprints, and threshold validity intervals.
+const CACHE_SRC: &str = "
+  (define (sq x) (* x x))
+  (define (inc n) (+ n 1))
+  (define (twice f x) (f (f x)))
+  (define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+  (define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))
+  (define data (cons 1 (cons 2 (cons 3 '()))))
+  (cons (twice inc (sq 4))
+        (cons (len data) (cons (sum data) (map sq data))))";
+
+fn outcome_fingerprint(out: &crate::InlineOutcome) -> (String, InlineReport, usize) {
+    (
+        fdi_lang::unparse(&out.program).to_string(),
+        out.report,
+        out.decisions.len(),
+    )
+}
+
+#[test]
+fn spec_cache_sweep_is_byte_identical_and_hits() {
+    use crate::{inline_program_with, InlineRuntime, SpecializationCache};
+    use fdi_telemetry::Telemetry;
+    let p = parse_and_lower(CACHE_SRC).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    let cache = SpecializationCache::unbounded();
+    let salt = 0xfeed_beef_u64;
+    for &t in &[0usize, 50, 100, 200, 500, 1000] {
+        let cfg = InlineConfig::with_threshold(t);
+        let base = crate::inline_program_recorded(&p, &flow, &cfg, &Telemetry::off());
+        let rt = InlineRuntime {
+            cache: Some((&cache, salt)),
+            units: 1,
+        };
+        let cached = inline_program_with(&p, &flow, &cfg, rt, &Telemetry::off());
+        assert_eq!(
+            outcome_fingerprint(&base),
+            outcome_fingerprint(&cached),
+            "threshold {t}"
+        );
+        assert_eq!(base.decisions, cached.decisions, "threshold {t}");
+    }
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "sweep must replay entries: {stats:?}");
+    assert!(stats.misses > 0, "{stats:?}");
+    // A second identical sweep replays from cache.
+    let before = cache.stats();
+    let cfg = InlineConfig::with_threshold(200);
+    let rt = InlineRuntime {
+        cache: Some((&cache, salt)),
+        units: 1,
+    };
+    let again = inline_program_with(&p, &flow, &cfg, rt, &Telemetry::off());
+    fdi_lang::validate(&again.program).unwrap();
+    assert!(cache.stats().hits > before.hits);
+}
+
+#[test]
+fn spec_cache_salt_separates_sources() {
+    use crate::{inline_program_with, InlineRuntime, SpecializationCache};
+    use fdi_telemetry::Telemetry;
+    let cache = SpecializationCache::unbounded();
+    let cfg = InlineConfig::with_threshold(200);
+    for (salt, src) in [
+        (1u64, "(define (sq x) (* x x)) (sq 7)"),
+        (2u64, "(define (sq x) (+ x x)) (sq 7)"),
+    ] {
+        let p = parse_and_lower(src).unwrap();
+        let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+        let base = crate::inline_program_recorded(&p, &flow, &cfg, &Telemetry::off());
+        let rt = InlineRuntime {
+            cache: Some((&cache, salt)),
+            units: 1,
+        };
+        let cached = inline_program_with(&p, &flow, &cfg, rt, &Telemetry::off());
+        assert_eq!(outcome_fingerprint(&base), outcome_fingerprint(&cached));
+    }
+}
+
+#[test]
+fn spec_cache_clear_mid_sweep_is_transparent() {
+    use crate::{inline_program_with, InlineRuntime, SpecializationCache};
+    use fdi_telemetry::Telemetry;
+    let p = parse_and_lower(CACHE_SRC).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    let cache = SpecializationCache::unbounded();
+    let cfg = InlineConfig::with_threshold(200);
+    let base = crate::inline_program_recorded(&p, &flow, &cfg, &Telemetry::off());
+    let rt = InlineRuntime {
+        cache: Some((&cache, 7)),
+        units: 1,
+    };
+    let warm = inline_program_with(&p, &flow, &cfg, rt, &Telemetry::off());
+    cache.clear();
+    let cold = inline_program_with(&p, &flow, &cfg, rt, &Telemetry::off());
+    assert_eq!(outcome_fingerprint(&base), outcome_fingerprint(&warm));
+    assert_eq!(outcome_fingerprint(&base), outcome_fingerprint(&cold));
+    assert!(cache.stats().evictions > 0, "{:?}", cache.stats());
+}
+
+#[test]
+fn parallel_units_are_byte_identical() {
+    use crate::{inline_program_with, InlineRuntime};
+    use fdi_telemetry::Telemetry;
+    let p = parse_and_lower(CACHE_SRC).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    for &t in &[0usize, 100, 200, 500] {
+        let cfg = InlineConfig::with_threshold(t);
+        let base = crate::inline_program_recorded(&p, &flow, &cfg, &Telemetry::off());
+        for units in [2usize, 4, 8] {
+            let rt = InlineRuntime { cache: None, units };
+            let par = inline_program_with(&p, &flow, &cfg, rt, &Telemetry::off());
+            assert_eq!(
+                outcome_fingerprint(&base),
+                outcome_fingerprint(&par),
+                "threshold {t}, units {units}"
+            );
+            assert_eq!(
+                base.decisions, par.decisions,
+                "threshold {t}, units {units}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_and_units_compose_byte_identically() {
+    use crate::{inline_program_with, InlineRuntime, SpecializationCache};
+    use fdi_telemetry::Telemetry;
+    let p = parse_and_lower(CACHE_SRC).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    let cache = SpecializationCache::unbounded();
+    for &t in &[100usize, 200, 500] {
+        let cfg = InlineConfig::with_threshold(t);
+        let base = crate::inline_program_recorded(&p, &flow, &cfg, &Telemetry::off());
+        let rt = InlineRuntime {
+            cache: Some((&cache, 3)),
+            units: 4,
+        };
+        let both = inline_program_with(&p, &flow, &cfg, rt, &Telemetry::off());
+        assert_eq!(
+            outcome_fingerprint(&base),
+            outcome_fingerprint(&both),
+            "threshold {t}"
+        );
+    }
+    assert!(cache.stats().misses > 0);
+}
+
+#[test]
+fn budgeted_with_cache_runtime_is_identical() {
+    use crate::{
+        inline_program_budgeted, inline_program_budgeted_with, InlineRuntime, SpecializationCache,
+    };
+    use fdi_telemetry::Telemetry;
+    let p = parse_and_lower(CACHE_SRC).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    let cfg = InlineConfig::with_threshold(300);
+    let cache = SpecializationCache::unbounded();
+    let base = inline_program_budgeted(&p, &flow, &cfg, None, Some(40), &Telemetry::off());
+    let rt = InlineRuntime {
+        cache: Some((&cache, 11)),
+        units: 2,
+    };
+    let cached =
+        inline_program_budgeted_with(&p, &flow, &cfg, None, Some(40), &Telemetry::off(), rt);
+    assert_eq!(outcome_fingerprint(&base), outcome_fingerprint(&cached));
+    assert_eq!(base.decisions, cached.decisions);
+}
+
+#[test]
+fn spec_cache_ledger_sheds_under_pressure() {
+    use crate::{inline_program_with, CacheLedger, InlineRuntime, SpecializationCache};
+    use fdi_telemetry::Telemetry;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    struct TinyLedger {
+        used: AtomicUsize,
+        limit: usize,
+    }
+    impl CacheLedger for TinyLedger {
+        fn charge(&self, bytes: usize) {
+            self.used.fetch_add(bytes, Ordering::Relaxed);
+        }
+        fn release(&self, bytes: usize) {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+        }
+        fn over_limit(&self) -> bool {
+            self.used.load(Ordering::Relaxed) > self.limit
+        }
+    }
+    let cache = SpecializationCache::new(Box::new(TinyLedger {
+        used: AtomicUsize::new(0),
+        limit: 512,
+    }));
+    let p = parse_and_lower(CACHE_SRC).unwrap();
+    let flow = analyze(&p, Polyvariance::PolymorphicSplitting);
+    let cfg = InlineConfig::with_threshold(500);
+    let base = crate::inline_program_recorded(&p, &flow, &cfg, &Telemetry::off());
+    let rt = InlineRuntime {
+        cache: Some((&cache, 5)),
+        units: 1,
+    };
+    let out = inline_program_with(&p, &flow, &cfg, rt, &Telemetry::off());
+    assert_eq!(outcome_fingerprint(&base), outcome_fingerprint(&out));
+    let stats = cache.stats();
+    assert!(stats.evictions > 0, "tiny ledger must shed: {stats:?}");
+    assert!(stats.bytes <= 4096, "{stats:?}");
+}

@@ -53,6 +53,48 @@ impl Binder {
             Binder::Lambda(l) | Binder::Let(l) | Binder::Letrec(l) => l,
         }
     }
+
+    /// The same binder kind with its label mapped through `f`.
+    pub fn map_label(self, f: impl FnOnce(Label) -> Label) -> Binder {
+        match self {
+            Binder::Lambda(l) => Binder::Lambda(f(l)),
+            Binder::Let(l) => Binder::Let(f(l)),
+            Binder::Letrec(l) => Binder::Letrec(f(l)),
+        }
+    }
+}
+
+/// Rebuild an expression with every child [`Label`] mapped through `fl` and
+/// every [`VarId`] mapped through `fv`. Used to relocate expressions between
+/// arenas (specialization-cache replay, parallel inlining-unit merge).
+pub fn map_expr_refs(
+    kind: &ExprKind,
+    mut fl: impl FnMut(Label) -> Label,
+    mut fv: impl FnMut(VarId) -> VarId,
+) -> ExprKind {
+    match kind {
+        ExprKind::Const(c) => ExprKind::Const(*c),
+        ExprKind::Var(v) => ExprKind::Var(fv(*v)),
+        ExprKind::Prim(op, args) => ExprKind::Prim(*op, args.iter().map(|&l| fl(l)).collect()),
+        ExprKind::Call(parts) => ExprKind::Call(parts.iter().map(|&l| fl(l)).collect()),
+        ExprKind::Apply(f, a) => ExprKind::Apply(fl(*f), fl(*a)),
+        ExprKind::Begin(es) => ExprKind::Begin(es.iter().map(|&l| fl(l)).collect()),
+        ExprKind::If(c, t, e) => ExprKind::If(fl(*c), fl(*t), fl(*e)),
+        ExprKind::Let(binds, body) => ExprKind::Let(
+            binds.iter().map(|&(v, l)| (fv(v), fl(l))).collect(),
+            fl(*body),
+        ),
+        ExprKind::Letrec(binds, body) => ExprKind::Letrec(
+            binds.iter().map(|&(v, l)| (fv(v), fl(l))).collect(),
+            fl(*body),
+        ),
+        ExprKind::Lambda(lam) => ExprKind::Lambda(LambdaInfo {
+            params: lam.params.iter().map(|&v| fv(v)).collect(),
+            rest: lam.rest.map(&mut fv),
+            body: fl(lam.body),
+        }),
+        ExprKind::ClRef(e, n) => ExprKind::ClRef(fl(*e), *n),
+    }
 }
 
 /// Metadata for one variable binding.
@@ -177,6 +219,15 @@ impl Program {
     /// materialized: the simplifier may not substitute them away).
     pub fn pinned_capture_vars(&self) -> impl Iterator<Item = VarId> + '_ {
         self.pinned_captures.values().flatten().copied()
+    }
+
+    /// Every pinned capture layout, keyed by λ label. Iteration order is
+    /// unspecified; callers that merge layouts into another program get the
+    /// same *map contents* regardless of order.
+    pub fn pinned_captures_all(&self) -> impl Iterator<Item = (Label, &[VarId])> {
+        self.pinned_captures
+            .iter()
+            .map(|(&l, vs)| (l, vs.as_slice()))
     }
 
     /// The root expression.

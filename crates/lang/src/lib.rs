@@ -40,7 +40,7 @@ mod size;
 mod unparse;
 mod validate;
 
-pub use ast::{Binder, ExprKind, Label, LambdaInfo, Program, VarId, VarInfo};
+pub use ast::{map_expr_refs, Binder, ExprKind, Label, LambdaInfo, Program, VarId, VarInfo};
 pub use consts::Const;
 pub use error::FrontendError;
 pub use expand::{expand_expr_standalone, expand_program, ExpandError};

@@ -21,14 +21,16 @@ use fdi_core::faults::{fired_counts, FaultPlan, FaultPoint, ALL_FAULT_POINTS, CH
 use fdi_core::{OracleConfig, PipelineConfig, RunConfig};
 use fdi_engine::{Engine, EngineConfig, Job, JobHandle};
 
-/// The seven pipeline-side points plus the oracle's miscompile seam — the
-/// ones driven by a *job's* fault plan rather than the engine's.
+/// The pipeline-side points plus the oracle's miscompile seam and the
+/// specialization-cache evict seam — the ones driven by a *job's* fault
+/// plan rather than the engine's.
 const PIPELINE_POINTS: &[FaultPoint] = &[
     FaultPoint::Parse,
     FaultPoint::Expand,
     FaultPoint::Lower,
     FaultPoint::Analyze,
     FaultPoint::Inline,
+    FaultPoint::SpecCacheEvict,
     FaultPoint::Simplify,
     FaultPoint::Validate,
     FaultPoint::Miscompile,
@@ -372,4 +374,38 @@ fn miscompiled_program_is_caught_and_degraded() {
     let base = fdi_vm::run(&out.baseline, &run_cfg).expect("baseline runs");
     let opt = fdi_vm::run(&out.optimized, &run_cfg).expect("degraded output runs");
     assert_eq!(base.value, opt.value, "rollback preserved behaviour");
+}
+
+/// The specialization cache is pure memoization, so chaos-evicting it
+/// mid-flight must be invisible in the output: a batch whose jobs carry a
+/// seeded spec-cache-evict fault answers byte-identically to a clean
+/// engine, with zero degradations — the evict only costs re-specialization.
+#[test]
+fn spec_cache_evict_is_output_invisible() {
+    let before = fired_counts();
+    let benches = bench_sources();
+    let thresholds = [0usize, 200, 1000];
+
+    let clean = Engine::new(EngineConfig::with_workers(2));
+    let chaos = Engine::new(EngineConfig::with_workers(2));
+    for (name, src) in benches.iter().take(3) {
+        for (i, &t) in thresholds.iter().enumerate() {
+            let clean_h = clean.submit(Job::new(src.clone(), PipelineConfig::with_threshold(t)));
+            let mut config = PipelineConfig::with_threshold(t);
+            config.faults =
+                FaultPlan::only(0x5EC5 + i as u64, &[FaultPoint::SpecCacheEvict]).with_limit(2);
+            let chaos_h = chaos.submit(Job::new(src.clone(), config));
+            let (want, _) = optimized_text(&clean_h).expect("clean job succeeds");
+            let (got, healthy) = optimized_text(&chaos_h).expect("evicted job succeeds");
+            assert!(healthy, "{name}@{t}: spec-cache evict must not degrade");
+            assert_eq!(got, want, "{name}@{t}: spec-cache evict changed the output");
+        }
+    }
+
+    let after = fired_counts();
+    let idx = FaultPoint::SpecCacheEvict.index();
+    assert!(
+        after[idx] > before[idx],
+        "the spec-cache-evict seam must actually fire"
+    );
 }
