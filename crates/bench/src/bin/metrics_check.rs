@@ -1,0 +1,231 @@
+//! Validates a Prometheus text exposition document — the CI check behind
+//! the daemon's `{"op":"metrics","format":"text"}` endpoint.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p fdi-bench --bin metrics_check -- <FILE|->
+//! ```
+//!
+//! Checks the subset of the text format the daemon emits:
+//!
+//! * every non-comment line is `name value` or `name{label="v",…} value`,
+//!   with a metric name matching `[a-zA-Z_:][a-zA-Z0-9_:]*` and a value
+//!   that parses as a finite float;
+//! * every `# TYPE name type` names a known type (`counter`, `gauge`,
+//!   `histogram`) and appears at most once per name;
+//! * every sample belongs to a `# TYPE`-declared family (histogram samples
+//!   via their `_bucket`/`_sum`/`_count` suffixes);
+//! * histogram bucket series are *cumulative* — within one label set the
+//!   counts never decrease as `le` grows — and end with an `le="+Inf"`
+//!   bucket equal to that series' `_count`.
+//!
+//! Prints a summary and exits nonzero on the first rule violation. A
+//! document with no samples is also a failure: a daemon that exposes
+//! nothing is not observable.
+
+use std::collections::{BTreeMap, HashSet};
+use std::io::Read;
+
+fn fail(line_no: usize, line: &str, why: &str) -> ! {
+    eprintln!("metrics_check: FAIL at line {line_no}: {why}\n  {line}");
+    std::process::exit(1);
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits a sample line into (metric name, label text, value).
+fn split_sample(line: &str) -> Option<(&str, Option<&str>, f64)> {
+    let (series, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    if !value.is_finite() {
+        return None;
+    }
+    match series.split_once('{') {
+        None => Some((series, None, value)),
+        Some((name, rest)) => {
+            let labels = rest.strip_suffix('}')?;
+            Some((name, Some(labels), value))
+        }
+    }
+}
+
+/// Validates `k="v",…` label syntax and returns the value of `want_key`.
+fn label_value(labels: &str, want_key: &str, line_no: usize, line: &str) -> Option<String> {
+    let mut found = None;
+    for pair in labels.split(',') {
+        let Some((key, quoted)) = pair.split_once('=') else {
+            fail(line_no, line, "label pair has no '='");
+        };
+        if !valid_name(key) {
+            fail(line_no, line, "bad label name");
+        }
+        let Some(value) = quoted.strip_prefix('"').and_then(|q| q.strip_suffix('"')) else {
+            fail(line_no, line, "label value is not quoted");
+        };
+        if key == want_key {
+            found = Some(value.to_string());
+        }
+    }
+    found
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: metrics_check <FILE|->");
+        std::process::exit(2);
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| {
+                eprintln!("metrics_check: cannot read stdin: {e}");
+                std::process::exit(2);
+            });
+        buf
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("metrics_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    // (histogram family, label set minus `le`) → cumulative bucket counts
+    // in document order, and the series' `_count` value.
+    let mut buckets: BTreeMap<(String, String), Vec<(String, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut seen_names: HashSet<String> = HashSet::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let words: Vec<&str> = comment.split_whitespace().collect();
+            if words.first() == Some(&"TYPE") {
+                let [_, name, kind] = words.as_slice() else {
+                    fail(line_no, line, "malformed # TYPE line");
+                };
+                if !valid_name(name) {
+                    fail(line_no, line, "bad metric name in # TYPE");
+                }
+                if !["counter", "gauge", "histogram"].contains(kind) {
+                    fail(line_no, line, "unknown metric type");
+                }
+                if types
+                    .insert((*name).to_string(), (*kind).to_string())
+                    .is_some()
+                {
+                    fail(line_no, line, "duplicate # TYPE for this name");
+                }
+            }
+            continue;
+        }
+        let Some((name, labels, value)) = split_sample(line) else {
+            fail(line_no, line, "not a `name[{labels}] value` sample");
+        };
+        if !valid_name(name) {
+            fail(line_no, line, "bad metric name");
+        }
+        samples += 1;
+        seen_names.insert(name.to_string());
+        // Resolve the declared family: exact name, or a histogram suffix.
+        let family = types
+            .get(name)
+            .map(|t| (name.to_string(), t.clone()))
+            .or_else(|| {
+                ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+                    let base = name.strip_suffix(suffix)?;
+                    let t = types.get(base)?;
+                    (t == "histogram").then(|| (base.to_string(), t.clone()))
+                })
+            });
+        let Some((base, kind)) = family else {
+            fail(line_no, line, "sample has no preceding # TYPE declaration");
+        };
+        if kind == "histogram" {
+            let labels = labels.unwrap_or("");
+            let others: String = labels
+                .split(',')
+                .filter(|p| !p.starts_with("le="))
+                .collect::<Vec<_>>()
+                .join(",");
+            if name.ends_with("_bucket") {
+                let Some(le) = label_value(labels, "le", line_no, line) else {
+                    fail(line_no, line, "_bucket sample has no le label");
+                };
+                buckets
+                    .entry((base.clone(), others))
+                    .or_default()
+                    .push((le, value));
+            } else if name.ends_with("_count") {
+                if labels.split(',').filter(|p| !p.is_empty()).count()
+                    != others.split(',').filter(|p| !p.is_empty()).count()
+                {
+                    fail(line_no, line, "_count sample carries an le label");
+                }
+                counts.insert((base.clone(), others), value);
+            }
+        } else if let Some(labels) = labels {
+            // Counters/gauges may be labelled; just validate the syntax.
+            label_value(labels, "\u{0}", line_no, line);
+        }
+    }
+
+    if samples == 0 {
+        eprintln!("metrics_check: FAIL: document has no samples");
+        std::process::exit(1);
+    }
+    for ((family, labels), series) in &buckets {
+        let mut prev = f64::NEG_INFINITY;
+        for (le, count) in series {
+            if *count < prev {
+                eprintln!(
+                    "metrics_check: FAIL: {family}{{{labels}}}: bucket le=\"{le}\" \
+                     count {count} < previous {prev} (not cumulative)"
+                );
+                std::process::exit(1);
+            }
+            prev = *count;
+        }
+        let Some((last_le, last_count)) = series.last() else {
+            continue;
+        };
+        if last_le != "+Inf" {
+            eprintln!(
+                "metrics_check: FAIL: {family}{{{labels}}}: bucket series ends at \
+                 le=\"{last_le}\", not le=\"+Inf\""
+            );
+            std::process::exit(1);
+        }
+        if let Some(total) = counts.get(&(family.clone(), labels.clone())) {
+            if total != last_count {
+                eprintln!(
+                    "metrics_check: FAIL: {family}{{{labels}}}: _count {total} != \
+                     le=\"+Inf\" bucket {last_count}"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "metrics_check: OK — {} sample(s), {} declared famil(ies), \
+         {} histogram series, all rules hold",
+        samples,
+        types.len(),
+        buckets.len()
+    );
+}

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p fdi-bench --bin telemetry_overhead -- \
-//!     [--reps R] [--assert PCT]
+//!     [--serve] [--reps R] [--assert PCT]
 //! ```
 //!
 //! Optimizes the Table 1 suite twice per repetition — once with the
@@ -14,6 +14,13 @@
 //! optimized programs are byte-identical: telemetry observes decisions, it
 //! never makes them.
 //!
+//! `--serve` measures the *daemon's* observability plane instead: the suite
+//! runs on the batch engine, once bare and once with `fdi serve`'s exact
+//! collector stack installed — a [`MetricsRegistry`] and a
+//! [`FlightRecorder`] behind a [`Fanout`] — so the number gates what the
+//! always-on metrics/flight plane costs a live daemon, not just what a
+//! passive ring buffer costs the pipeline.
+//!
 //! `--assert PCT` turns the report into a gate: exit non-zero when the
 //! collector-on median exceeds the collector-off median by more than `PCT`
 //! percent. A small absolute slack (25 ms per suite pass) is added on top
@@ -21,7 +28,8 @@
 //! wall clock is a few dozen milliseconds.
 
 use fdi_core::{optimize_instrumented, PipelineConfig, Telemetry};
-use fdi_telemetry::RingSink;
+use fdi_engine::{Engine, EngineConfig, Job};
+use fdi_telemetry::{Fanout, FlightRecorder, MetricsRegistry, RingSink};
 use fdi_testutil::timed;
 use std::sync::Arc;
 use std::time::Duration;
@@ -43,6 +51,89 @@ fn optimize_suite(
         .collect()
 }
 
+/// Applies the `--assert PCT` gate (shared by both legs): exits nonzero
+/// when `on` exceeds `off` by more than `pct` percent plus [`SLACK`].
+fn gate(who: &str, off: Duration, on: Duration, assert_pct: Option<f64>) {
+    let overhead_pct = (on.as_secs_f64() - off.as_secs_f64()) / off.as_secs_f64() * 100.0;
+    if let Some(pct) = assert_pct {
+        let budget = Duration::from_secs_f64(off.as_secs_f64() * pct / 100.0) + SLACK;
+        if on > off + budget {
+            eprintln!(
+                "{who}: FAIL: collector costs {overhead_pct:.2}% (> {pct}% + {SLACK:?} slack)"
+            );
+            std::process::exit(1);
+        }
+        println!("assertion     : within {pct}% (+{SLACK:?} slack) of the no-collector wall");
+    }
+}
+
+fn median(walls: &mut Vec<Duration>) -> Duration {
+    walls.sort();
+    walls[walls.len() / 2]
+}
+
+/// The `--serve` leg: suite on the batch engine, bare vs the daemon's
+/// always-on metrics + flight collector stack. Fresh engines per arm per
+/// rep, so every rep pays the full cold compute the collectors must shadow.
+fn serve_leg(reps: usize, assert_pct: Option<f64>) {
+    let sources: Vec<String> = fdi_benchsuite::BENCHMARKS
+        .iter()
+        .map(|b| b.scaled(b.test_scale))
+        .collect();
+    let config = PipelineConfig::default();
+    let run_suite = |engine: &Engine| -> Vec<String> {
+        engine
+            .run_batch(sources.iter().map(|src| Job::new(src.as_str(), config)))
+            .into_iter()
+            .map(|r| {
+                let out = r.expect("suite optimizes");
+                fdi_sexpr::pretty(&fdi_lang::unparse(&out.optimized))
+            })
+            .collect()
+    };
+    // Warm-up (allocator, page faults), also the byte-identity reference.
+    let reference = run_suite(&Engine::new(EngineConfig::default()));
+
+    let mut off_walls = Vec::with_capacity(reps);
+    let mut on_walls = Vec::with_capacity(reps);
+    let mut events = 0u64;
+    for _ in 0..reps {
+        let engine_off = Engine::new(EngineConfig::default());
+        let (off_out, off_wall) = timed(|| run_suite(&engine_off));
+        let metrics = Arc::new(MetricsRegistry::new());
+        let flight = Arc::new(FlightRecorder::with_capacity(64));
+        let telemetry =
+            Telemetry::with_collector(Arc::new(Fanout::new(vec![metrics.clone(), flight])));
+        let engine_on = Engine::with_telemetry(EngineConfig::default(), &telemetry);
+        let (on_out, on_wall) = timed(|| run_suite(&engine_on));
+        assert_eq!(
+            off_out, reference,
+            "bare-engine output drifted between reps"
+        );
+        assert_eq!(
+            on_out, reference,
+            "metrics-on output differs — the observability plane steered the engine"
+        );
+        events = metrics.overhead().0;
+        off_walls.push(off_wall);
+        on_walls.push(on_wall);
+    }
+    let off = median(&mut off_walls);
+    let on = median(&mut on_walls);
+    let overhead_pct = (on.as_secs_f64() - off.as_secs_f64()) / off.as_secs_f64() * 100.0;
+    println!(
+        "telemetry_overhead --serve: {} benchmarks, median of {} rep(s), \
+         {} event(s) per metered suite pass",
+        sources.len(),
+        reps,
+        events
+    );
+    println!("plane off     : {off:>10.3?}");
+    println!("plane on      : {on:>10.3?}  ({overhead_pct:+.2}% wall)");
+    println!("outputs       : byte-identical with and without the plane");
+    gate("telemetry_overhead --serve", off, on, assert_pct);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| {
@@ -55,6 +146,10 @@ fn main() {
         .unwrap_or(5)
         .max(1);
     let assert_pct: Option<f64> = flag("--assert").and_then(|s| s.parse().ok());
+    if args.iter().any(|a| a == "--serve") {
+        serve_leg(reps, assert_pct);
+        return;
+    }
 
     let sources: Vec<String> = fdi_benchsuite::BENCHMARKS
         .iter()
@@ -86,10 +181,6 @@ fn main() {
         off_walls.push(off_wall);
         on_walls.push(on_wall);
     }
-    let median = |walls: &mut Vec<Duration>| {
-        walls.sort();
-        walls[walls.len() / 2]
-    };
     let off = median(&mut off_walls);
     let on = median(&mut on_walls);
     let overhead_pct = (on.as_secs_f64() - off.as_secs_f64()) / off.as_secs_f64() * 100.0;
@@ -103,16 +194,5 @@ fn main() {
     println!("collector off : {off:>10.3?}");
     println!("collector on  : {on:>10.3?}  ({overhead_pct:+.2}% wall)");
     println!("outputs       : byte-identical with and without the collector");
-
-    if let Some(pct) = assert_pct {
-        let budget = Duration::from_secs_f64(off.as_secs_f64() * pct / 100.0) + SLACK;
-        if on > off + budget {
-            eprintln!(
-                "telemetry_overhead: FAIL: collector costs {overhead_pct:.2}% \
-                 (> {pct}% + {SLACK:?} slack)"
-            );
-            std::process::exit(1);
-        }
-        println!("assertion     : within {pct}% (+{SLACK:?} slack) of the no-collector wall");
-    }
+    gate("telemetry_overhead", off, on, assert_pct);
 }

@@ -97,6 +97,7 @@ pub fn table1_row_on(
     let results = engine.run_batch(THRESHOLDS.iter().map(|&t| Job {
         source: source.clone(),
         config: PipelineConfig::with_threshold(t),
+        trace: None,
     }));
     let mut ratios = Vec::new();
     let mut warnings = Vec::new();

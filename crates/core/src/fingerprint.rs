@@ -120,6 +120,24 @@ pub fn source_fingerprint(src: &str) -> u64 {
     Fingerprint::new().bytes(src.as_bytes()).finish()
 }
 
+/// The request-scoped trace id of one `(source, configuration)` job.
+///
+/// Deterministic — purely a mix of [`source_fingerprint`] and
+/// [`PipelineConfig::fingerprint`] — so every surface that sees the same
+/// job computes the same id: a serve response, the daemon's flight
+/// recorder, `fdi batch` per-job JSON, and `fdi explain --json` can all be
+/// joined on it without any id having been passed between them. The
+/// rotation keeps the two halves from cancelling when source and config
+/// hashes collide bytewise.
+pub fn trace_id(src: &str, config: &PipelineConfig) -> u64 {
+    source_fingerprint(src) ^ config.fingerprint().rotate_left(32)
+}
+
+/// [`trace_id`] in its wire form: exactly 16 lowercase hex digits.
+pub fn trace_id_hex(src: &str, config: &PipelineConfig) -> String {
+    format!("{:016x}", trace_id(src, config))
+}
+
 fn encode_policy(f: Fingerprint, p: Polyvariance) -> Fingerprint {
     match p {
         Polyvariance::Monovariant => f.byte(0),
@@ -330,6 +348,21 @@ mod tests {
         assert_eq!(a, source_fingerprint("(define (f x) x)"));
         assert_ne!(a, source_fingerprint("(define (f y) y)"));
         assert_ne!(source_fingerprint("ab"), source_fingerprint("ba"));
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_split_by_source_and_config() {
+        let src = "(let ((f (lambda (x) x))) (f 1))";
+        let base = PipelineConfig::default();
+        assert_eq!(trace_id(src, &base), trace_id(src, &base));
+        assert_ne!(trace_id(src, &base), trace_id("(+ 1 2)", &base));
+        let mut other = base;
+        other.threshold += 1;
+        assert_ne!(trace_id(src, &base), trace_id(src, &other));
+        let hex = trace_id_hex(src, &base);
+        assert_eq!(hex.len(), 16);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(hex, format!("{:016x}", trace_id(src, &base)));
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use fdi_telemetry::{
     DecisionReason, DecisionRecord, DecisionTotals, Telemetry, Verdict, REASON_KEYS,
 };
 pub use fdi_vm::{CostModel, Counters, Outcome, RunConfig, SiteCost, VmError};
-pub use fingerprint::{source_fingerprint, Fingerprint};
+pub use fingerprint::{source_fingerprint, trace_id, trace_id_hex, Fingerprint};
 pub use oracle::{
     compare_observations, observe, validate_equivalence, Observation, OracleConfig, OracleVerdict,
 };

@@ -193,6 +193,10 @@ pub struct Job {
     pub source: Arc<str>,
     /// The pipeline configuration to run it under.
     pub config: PipelineConfig,
+    /// Request-scoped trace id, echoed into the job's telemetry span so a
+    /// serve request can be joined against the engine's trace. Correlation
+    /// only: never part of [`Job::key`], never influences the output.
+    pub trace: Option<u64>,
 }
 
 impl Job {
@@ -201,7 +205,14 @@ impl Job {
         Job {
             source: source.into(),
             config,
+            trace: None,
         }
+    }
+
+    /// The same job, carrying `trace` as its correlation id.
+    pub fn with_trace(mut self, trace: u64) -> Job {
+        self.trace = Some(trace);
+        self
     }
 
     /// The job's identity: (source fingerprint, whole-config fingerprint).
@@ -722,6 +733,7 @@ impl Engine {
                                 threshold: t,
                                 ..*config
                             },
+                            trace: None,
                         })
                     })
                     .collect()
@@ -1008,6 +1020,15 @@ fn persist_output(inner: &Inner, job: &Job, src_key: u64, out: &PipelineOutput) 
 /// in-process with no fingerprint ever computed.
 fn run_job(inner: &Inner, job: &Job) -> JobResult {
     let _span = inner.telemetry.span("job", "engine");
+    if let Some(trace) = job.trace {
+        // Inside the span, so a trace viewer (and the flight recorder's
+        // time base) can join the request id against the engine's work.
+        inner.telemetry.instant(
+            "job.trace",
+            "engine",
+            &[("trace_id", format!("{trace:016x}"))],
+        );
+    }
     if job.bypasses_cache() {
         inner.stats.analysis_uncached.fetch_add(1, Relaxed);
         let started = Instant::now();

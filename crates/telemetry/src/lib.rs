@@ -5,7 +5,12 @@
 //! with monotonic wall-clock timing, typed instants/counters/histograms,
 //! per-call-site inlining [`DecisionRecord`]s, and a Chrome Trace Event
 //! Format exporter ([`trace::chrome_trace`]) whose output loads in
-//! `chrome://tracing` and Perfetto.
+//! `chrome://tracing` and Perfetto. On top of the event stream sit the live
+//! observability pieces: a [`MetricsRegistry`] (windowed counters, gauges,
+//! fixed-bucket duration histograms, JSON and Prometheus text exposition)
+//! and a [`FlightRecorder`] (bounded last-N-requests ring with optional disk
+//! write-through for post-mortems), both plain [`Collector`]s that can be
+//! [`Fanout`]ed behind one handle.
 //!
 //! The design constraint is that telemetry must be *free when off*: a
 //! [`Telemetry`] handle is a single `Option<Arc<_>>`, every emission site
@@ -33,12 +38,16 @@
 //! ```
 
 mod decision;
+pub mod flight;
 pub mod json;
+pub mod metrics;
 mod sink;
 pub mod trace;
 
 pub use decision::{DecisionReason, DecisionRecord, DecisionTotals, Verdict, REASON_KEYS};
-pub use sink::{JsonLinesSink, RingSink};
+pub use flight::{FlightEntry, FlightRecorder};
+pub use metrics::MetricsRegistry;
+pub use sink::{Fanout, JsonLinesSink, RingSink};
 pub use trace::{chrome_trace, validate_chrome_trace, TraceSummary};
 
 use std::collections::hash_map::DefaultHasher;

@@ -68,6 +68,32 @@ impl Collector for RingSink {
     }
 }
 
+/// A tee: replicates every event to each downstream collector, in order.
+/// This is how the serve daemon feeds one [`crate::Telemetry`] handle into
+/// the metrics registry and the flight recorder at once.
+pub struct Fanout {
+    sinks: Vec<std::sync::Arc<dyn Collector>>,
+}
+
+impl Fanout {
+    /// A fanout over `sinks`; an empty list is a valid black hole.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Collector>>) -> Fanout {
+        Fanout { sinks }
+    }
+}
+
+impl Collector for Fanout {
+    fn record(&self, event: Event) {
+        let Some((last, rest)) = self.sinks.split_last() else {
+            return;
+        };
+        for sink in rest {
+            sink.record(event.clone());
+        }
+        last.record(event);
+    }
+}
+
 /// A streaming collector: writes one JSON object per event per line.
 /// Suitable for piping long runs to disk without buffering them.
 pub struct JsonLinesSink<W: Write + Send> {

@@ -283,19 +283,30 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
     let handles: Vec<Option<fdi_engine::JobHandle>> = lines
         .iter()
         .map(|line| {
-            line.source
-                .as_ref()
-                .ok()
-                .map(|src| engine.submit(fdi_engine::Job::new(src.as_str(), line.config)))
+            line.source.as_ref().ok().map(|src| {
+                let trace = fdi_core::trace_id(src, &line.config);
+                engine.submit(fdi_engine::Job::new(src.as_str(), line.config).with_trace(trace))
+            })
         })
         .collect();
 
     let mut entries = Vec::new();
     let mut failures = 0u32;
     for (line, handle) in lines.iter().zip(handles) {
+        // The same deterministic trace id `fdi serve` answers with for this
+        // (source, config) — the join key across batch reports, daemon
+        // responses, and flight-recorder entries. Unresolvable sources have
+        // no job, hence no id.
+        let trace = line
+            .source
+            .as_deref()
+            .ok()
+            .map(|src| format!("\"{}\"", fdi_core::trace_id_hex(src, &line.config)))
+            .unwrap_or_else(|| "null".to_string());
         let head = format!(
-            "{{\"spec\":\"{}\",\"threshold\":{}",
+            "{{\"spec\":\"{}\",\"trace_id\":{},\"threshold\":{}",
             json_escape(&line.spec),
+            trace,
             line.config.threshold
         );
         let entry = match handle.map(|h| h.wait()) {

@@ -1,0 +1,472 @@
+//! `fdi bench-diff` — the perf-regression watchdog.
+//!
+//! ```text
+//! fdi bench-diff <baseline.json> <current.json>
+//!                [--tolerance PCT] [--hit-rate-tolerance ABS] [--wins-drop N]
+//! ```
+//!
+//! Compares two benchmark snapshots and exits nonzero when the current one
+//! regressed past tolerance — the CI perf gate, replacing hand-maintained
+//! absolute thresholds (which go stale the moment the suite or the runner
+//! changes) with a relative check against the committed snapshot.
+//!
+//! Two snapshot schemas are recognised by their keys:
+//!
+//! * **engine sweeps** (`results/BENCH_sweep.json`, schema `v:2`, written by
+//!   `engine_sweep --json`): wall clocks (`sequential_ms`, `cold_ms`,
+//!   `warm_ms`, `inline_pass_ms`) may grow at most `--tolerance` percent
+//!   (default 50 — CI runners are noisy; catch the 2× cliff, not the 5%
+//!   jitter); cache hit *rates* (analysis, spec, exec) may drop at most
+//!   `--hit-rate-tolerance` absolute (default 0.05); `rows_agree` must stay
+//!   true; warm runs must not start re-analysing (`warm_new_analyses`/
+//!   `warm_new_parses` must not grow); and the decision totals must match
+//!   exactly — the sweep is deterministic at a fixed scale, so any drift
+//!   means the optimizer changed behaviour, not just speed.
+//! * **profile snapshots** (`results/BENCH_profile.json`, schema `v:1`,
+//!   written by `fdi-profile --json`): the number of `guided_win`
+//!   benchmarks may drop at most `--wins-drop` (default 1 — individual wins
+//!   at test scale sit close to the line), and per-benchmark
+//!   `sites_inlined` for the static and guided runs must match exactly.
+//!
+//! Snapshots are only comparable like-for-like: a schema-version or scale
+//! mismatch (or unreadable input) is a usage error (exit 2), not a
+//! regression (exit 1). Improvements are reported but never fail the gate.
+
+use crate::opts::usage;
+use fdi_telemetry::json::{self, Json};
+use std::process::ExitCode;
+
+/// Wall-clock growth allowed before a sweep counts as regressed, percent.
+const DEFAULT_TOLERANCE_PCT: f64 = 50.0;
+/// Absolute hit-rate drop allowed (0.05 = five percentage points).
+const DEFAULT_RATE_TOLERANCE: f64 = 0.05;
+/// Guided-win flips allowed in a profile snapshot comparison.
+const DEFAULT_WINS_DROP: i64 = 1;
+
+pub fn main(args: Vec<String>) -> ExitCode {
+    let mut tolerance = DEFAULT_TOLERANCE_PCT;
+    let mut rate_tolerance = DEFAULT_RATE_TOLERANCE;
+    let mut wins_drop = DEFAULT_WINS_DROP;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(pct) => {
+                    tolerance = pct;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--hit-rate-tolerance" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(abs) => {
+                    rate_tolerance = abs;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            "--wins-drop" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(n) => {
+                    wins_drop = n;
+                    i += 2;
+                }
+                None => return usage(),
+            },
+            flag if flag.starts_with("--") => return usage(),
+            _ => {
+                files.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        return usage();
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        json::parse(text.trim()).map_err(|e| format!("{path}: malformed JSON: {e}"))
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("fdi bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match diff(&baseline, &current, tolerance, rate_tolerance, wins_drop) {
+        Err(e) => {
+            eprintln!("fdi bench-diff: {e}");
+            ExitCode::from(2)
+        }
+        Ok(report) => {
+            for line in &report.lines {
+                println!("{line}");
+            }
+            if report.regressions == 0 {
+                println!(
+                    "bench-diff: OK — {} checks, no regressions \
+                     ({baseline_path} → {current_path})",
+                    report.checks
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "bench-diff: REGRESSION — {} of {} checks failed \
+                     ({baseline_path} → {current_path})",
+                    report.regressions, report.checks
+                );
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+/// The comparison verdict: every check's line, plus the tally the exit code
+/// is derived from.
+pub struct DiffReport {
+    /// One human-readable line per check (prefixed `ok:` or `REGRESSION:`).
+    pub lines: Vec<String>,
+    /// Checks run.
+    pub checks: usize,
+    /// Checks failed.
+    pub regressions: usize,
+}
+
+impl DiffReport {
+    fn new() -> DiffReport {
+        DiffReport {
+            lines: Vec::new(),
+            checks: 0,
+            regressions: 0,
+        }
+    }
+
+    fn pass(&mut self, line: String) {
+        self.checks += 1;
+        self.lines.push(format!("ok: {line}"));
+    }
+
+    fn fail(&mut self, line: String) {
+        self.checks += 1;
+        self.regressions += 1;
+        self.lines.push(format!("REGRESSION: {line}"));
+    }
+}
+
+/// Compares two parsed snapshots of the same schema.
+///
+/// # Errors
+///
+/// Returns a message when the snapshots are not comparable (unknown or
+/// mismatched schema, mismatched scale or benchmark set) — a usage problem,
+/// distinct from a regression.
+pub fn diff(
+    baseline: &Json,
+    current: &Json,
+    tolerance_pct: f64,
+    rate_tolerance: f64,
+    wins_drop: i64,
+) -> Result<DiffReport, String> {
+    let version = |doc: &Json, who: &str| {
+        doc.get("v")
+            .and_then(Json::as_num)
+            .ok_or(format!("{who} snapshot has no schema version \"v\""))
+    };
+    let (bv, cv) = (version(baseline, "baseline")?, version(current, "current")?);
+    if bv != cv {
+        return Err(format!(
+            "schema mismatch: baseline v{bv}, current v{cv} — regenerate the baseline"
+        ));
+    }
+    for key in ["scale", "jobs"] {
+        let (b, c) = (baseline.get(key), current.get(key));
+        if b.is_some() && b != c {
+            return Err(format!(
+                "\"{key}\" mismatch — snapshots are only comparable like-for-like"
+            ));
+        }
+    }
+    if baseline.get("inline_pass_ms").is_some() {
+        Ok(diff_sweep(baseline, current, tolerance_pct, rate_tolerance))
+    } else if baseline.get("benchmarks").and_then(Json::as_arr).is_some() {
+        diff_profile(baseline, current, wins_drop)
+    } else {
+        Err("unrecognised snapshot schema (neither an engine sweep nor a profile run)".to_string())
+    }
+}
+
+/// The `engine_sweep --json` (v2) comparison.
+fn diff_sweep(
+    baseline: &Json,
+    current: &Json,
+    tolerance_pct: f64,
+    rate_tolerance: f64,
+) -> DiffReport {
+    let mut report = DiffReport::new();
+    let num = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_num);
+
+    // Wall clocks: relative ceiling. A missing field on either side is
+    // itself a failure — the gate must never silently skip a check.
+    for key in ["sequential_ms", "cold_ms", "warm_ms", "inline_pass_ms"] {
+        match (num(baseline, key), num(current, key)) {
+            (Some(b), Some(c)) if b > 0.0 => {
+                let growth_pct = (c / b - 1.0) * 100.0;
+                if growth_pct > tolerance_pct {
+                    report.fail(format!(
+                        "{key}: {b:.1} → {c:.1} ms (+{growth_pct:.1}%, tolerance {tolerance_pct:.0}%)"
+                    ));
+                } else {
+                    report.pass(format!("{key}: {b:.1} → {c:.1} ms ({growth_pct:+.1}%)"));
+                }
+            }
+            _ => report.fail(format!("{key}: missing or non-positive in a snapshot")),
+        }
+    }
+
+    // The sweep's own cross-mode agreement bit.
+    match current.get("rows_agree") {
+        Some(&Json::Bool(true)) => report.pass("rows_agree: true".to_string()),
+        _ => report.fail("rows_agree: sequential and engine rows diverged".to_string()),
+    }
+
+    // Warm runs must stay warm: re-analyses or re-parses appearing where the
+    // baseline had none means a cache key or invalidation regressed.
+    for key in ["warm_new_analyses", "warm_new_parses"] {
+        match (num(baseline, key), num(current, key)) {
+            (Some(b), Some(c)) if c <= b => report.pass(format!("{key}: {b} → {c}")),
+            (Some(b), Some(c)) => report.fail(format!("{key}: {b} → {c} (warm cache regressed)")),
+            _ => report.fail(format!("{key}: missing in a snapshot")),
+        }
+    }
+
+    // Hit rates, from the embedded engine stats: absolute floor.
+    let rate = |doc: &Json, hits: &str, misses: &str| -> Option<f64> {
+        let stats = doc.get("stats")?;
+        let (h, m) = (num(stats, hits)?, num(stats, misses)?);
+        if h + m == 0.0 {
+            None
+        } else {
+            Some(h / (h + m))
+        }
+    };
+    for (name, hits, misses) in [
+        ("analysis_hit_rate", "analysis_hits", "analysis_misses"),
+        ("spec_hit_rate", "spec_hits", "spec_misses"),
+        ("exec_hit_rate", "exec_hits", "exec_misses"),
+    ] {
+        match (rate(baseline, hits, misses), rate(current, hits, misses)) {
+            (Some(b), Some(c)) => {
+                let drop = b - c;
+                if drop > rate_tolerance {
+                    report.fail(format!(
+                        "{name}: {b:.3} → {c:.3} (dropped {drop:.3}, tolerance {rate_tolerance:.3})"
+                    ));
+                } else {
+                    report.pass(format!("{name}: {b:.3} → {c:.3}"));
+                }
+            }
+            (None, _) => report.pass(format!("{name}: unused in baseline, skipped")),
+            (Some(b), None) => report.fail(format!("{name}: {b:.3} → cache unused in current")),
+        }
+    }
+
+    // Decisions are deterministic at a fixed scale: exact match, any drift
+    // is a behaviour change the walls can't see.
+    match (baseline.get("decisions"), current.get("decisions")) {
+        (Some(b), Some(c)) if b == c => report.pass("decisions: identical".to_string()),
+        (Some(_), Some(_)) => {
+            report.fail("decisions: totals drifted (optimizer behaviour changed)".to_string())
+        }
+        _ => report.fail("decisions: missing in a snapshot".to_string()),
+    }
+    report
+}
+
+/// The `fdi-profile --json` (v1) comparison.
+fn diff_profile(baseline: &Json, current: &Json, wins_drop: i64) -> Result<DiffReport, String> {
+    let mut report = DiffReport::new();
+    fn rows<'a>(doc: &'a Json, who: &str) -> Result<&'a [Json], String> {
+        doc.get("benchmarks")
+            .and_then(Json::as_arr)
+            .ok_or(format!("{who} snapshot has no \"benchmarks\" array"))
+    }
+    let (b_rows, c_rows) = (rows(baseline, "baseline")?, rows(current, "current")?);
+    let name = |row: &Json| row.get("name").and_then(Json::as_str).map(str::to_string);
+    let b_names: Vec<_> = b_rows.iter().filter_map(name).collect();
+    let c_names: Vec<_> = c_rows.iter().filter_map(name).collect();
+    if b_names != c_names {
+        return Err(
+            "benchmark sets differ — snapshots are only comparable like-for-like".to_string(),
+        );
+    }
+
+    let wins = |rows: &[Json]| -> i64 {
+        rows.iter()
+            .filter(|r| r.get("guided_win") == Some(&Json::Bool(true)))
+            .count() as i64
+    };
+    let (bw, cw) = (wins(b_rows), wins(c_rows));
+    if bw - cw > wins_drop {
+        report.fail(format!(
+            "guided wins: {bw} → {cw} of {} (allowed drop {wins_drop})",
+            b_names.len()
+        ));
+    } else {
+        report.pass(format!("guided wins: {bw} → {cw} of {}", b_names.len()));
+    }
+
+    // Inlining itself is deterministic: per-benchmark site counts must hold
+    // exactly for both the static and the guided run.
+    for (b_row, c_row) in b_rows.iter().zip(c_rows) {
+        let bench = name(b_row).unwrap_or_default();
+        for mode in ["static", "guided"] {
+            let sites = |row: &Json| {
+                row.get(mode)
+                    .and_then(|m| m.get("sites_inlined"))
+                    .and_then(Json::as_num)
+            };
+            match (sites(b_row), sites(c_row)) {
+                (Some(b), Some(c)) if b == c => {
+                    report.pass(format!("{bench}/{mode}: sites_inlined {b}"))
+                }
+                (Some(b), Some(c)) => report.fail(format!(
+                    "{bench}/{mode}: sites_inlined {b} → {c} (deterministic count drifted)"
+                )),
+                _ => report.fail(format!("{bench}/{mode}: sites_inlined missing")),
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(inline_ms: f64, spec_hits: u64, inlined: u64) -> Json {
+        sweep_at("test", inline_ms, spec_hits, inlined)
+    }
+
+    fn sweep_at(scale: &str, inline_ms: f64, spec_hits: u64, inlined: u64) -> Json {
+        json::parse(&format!(
+            r#"{{"v":2,"scale":"{scale}","jobs":4,"rows_agree":true,
+                "sequential_ms":1800.0,"cold_ms":1700.0,"warm_ms":500.0,
+                "inline_pass_ms":{inline_ms},
+                "warm_new_analyses":0,"warm_new_parses":0,
+                "decisions":{{"inlined":{inlined},"loop_guard":4}},
+                "stats":{{"analysis_hits":88,"analysis_misses":8,
+                          "spec_hits":{spec_hits},"spec_misses":900,
+                          "exec_hits":55,"exec_misses":41}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_sweeps_pass() {
+        let a = sweep(2300.0, 5000, 9000);
+        let r = diff(&a, &a, 50.0, 0.05, 1).unwrap();
+        assert_eq!(r.regressions, 0, "{:?}", r.lines);
+        assert!(r.checks >= 10);
+    }
+
+    #[test]
+    fn wall_regression_past_tolerance_fails() {
+        let r = diff(
+            &sweep(2300.0, 5000, 9000),
+            &sweep(4000.0, 5000, 9000),
+            50.0,
+            0.05,
+            1,
+        )
+        .unwrap();
+        assert_eq!(r.regressions, 1, "{:?}", r.lines);
+        assert!(r.lines.iter().any(|l| l.contains("inline_pass_ms")));
+        // The same degradation passes under a looser gate.
+        let loose = diff(
+            &sweep(2300.0, 5000, 9000),
+            &sweep(3000.0, 5000, 9000),
+            50.0,
+            0.05,
+            1,
+        )
+        .unwrap();
+        assert_eq!(loose.regressions, 0, "{:?}", loose.lines);
+    }
+
+    #[test]
+    fn hit_rate_collapse_fails() {
+        let r = diff(
+            &sweep(2300.0, 5000, 9000),
+            &sweep(2300.0, 0, 9000),
+            50.0,
+            0.05,
+            1,
+        )
+        .unwrap();
+        assert_eq!(r.regressions, 1, "{:?}", r.lines);
+        assert!(r.lines.iter().any(|l| l.contains("spec_hit_rate")));
+    }
+
+    #[test]
+    fn decision_drift_fails() {
+        let r = diff(
+            &sweep(2300.0, 5000, 9000),
+            &sweep(2300.0, 5000, 9001),
+            50.0,
+            0.05,
+            1,
+        )
+        .unwrap();
+        assert_eq!(r.regressions, 1, "{:?}", r.lines);
+        assert!(r.lines.iter().any(|l| l.contains("decisions")));
+    }
+
+    #[test]
+    fn schema_and_scale_mismatches_are_usage_errors_not_regressions() {
+        let a = sweep(2300.0, 5000, 9000);
+        let other_scale = sweep_at("small", 2300.0, 5000, 9000);
+        assert!(diff(&a, &other_scale, 50.0, 0.05, 1).is_err());
+        let v1 = json::parse(r#"{"v":1,"benchmarks":[]}"#).unwrap();
+        assert!(diff(&a, &v1, 50.0, 0.05, 1).is_err());
+    }
+
+    fn profile(wins: [bool; 3], lattice_guided_sites: u64) -> Json {
+        let row = |name: &str, win: bool, gsites: u64| {
+            format!(
+                r#"{{"name":"{name}","guided_win":{win},
+                    "static":{{"sites_inlined":36}},
+                    "guided":{{"sites_inlined":{gsites}}}}}"#
+            )
+        };
+        json::parse(&format!(
+            r#"{{"v":1,"scale":"test","benchmarks":[{},{},{}]}}"#,
+            row("lattice", wins[0], lattice_guided_sites),
+            row("boyer", wins[1], 45),
+            row("graphs", wins[2], 45),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_win_drop_within_allowance_passes_past_it_fails() {
+        let base = profile([true, true, true], 45);
+        let one_flip = profile([true, true, false], 45);
+        let two_flips = profile([true, false, false], 45);
+        assert_eq!(
+            diff(&base, &one_flip, 50.0, 0.05, 1).unwrap().regressions,
+            0
+        );
+        assert_eq!(
+            diff(&base, &two_flips, 50.0, 0.05, 1).unwrap().regressions,
+            1
+        );
+    }
+
+    #[test]
+    fn profile_site_count_drift_fails() {
+        let base = profile([true, true, true], 45);
+        let drifted = profile([true, true, true], 46);
+        let r = diff(&base, &drifted, 50.0, 0.05, 1).unwrap();
+        assert_eq!(r.regressions, 1, "{:?}", r.lines);
+    }
+}

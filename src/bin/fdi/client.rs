@@ -2,10 +2,18 @@
 //!
 //! ```text
 //! fdi client (--port N | --port-file FILE) [--retries N] [--retry-seed S]
-//!            ping | stats | health | shutdown
+//!            ping | stats | health | flight | shutdown
+//! fdi client (--port N | --port-file FILE) [--retries N] [--retry-seed S]
+//!            metrics [--metrics-text]
 //! fdi client (--port N | --port-file FILE) [--retries N] [--retry-seed S]
 //!            job <spec> [job-flags…] [--request-deadline-ms N]
 //! ```
+//!
+//! `metrics` fetches the daemon's live metrics registry as one JSON line;
+//! with `--metrics-text` the client asks for (and prints, unwrapped) the
+//! Prometheus text exposition format instead, ready to pipe to a scrape
+//! file. `flight` dumps the daemon's flight recorder — the last requests
+//! with their `trace_id`s and outcomes, plus notable incidents.
 //!
 //! `job` sends one request using the `fdi batch` per-job flag grammar
 //! (`-t`, `--policy`, `--validate`, …) and prints the server's one-line
@@ -114,9 +122,15 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let mut deadline: Option<Duration> = None;
+    let mut metrics_text = false;
     let request = match args.first().map(String::as_str) {
-        Some(op @ ("ping" | "stats" | "health" | "shutdown")) if args.len() == 1 => {
+        Some(op @ ("ping" | "stats" | "health" | "flight" | "shutdown")) if args.len() == 1 => {
             format!("{{\"op\":\"{op}\"}}")
+        }
+        Some("metrics") if args.len() == 1 => "{\"op\":\"metrics\"}".to_string(),
+        Some("metrics") if args.len() == 2 && args[1] == "--metrics-text" => {
+            metrics_text = true;
+            "{\"op\":\"metrics\",\"format\":\"text\"}".to_string()
         }
         Some("job") => {
             let mut deadline_ms: Option<u64> = None;
@@ -161,7 +175,24 @@ pub fn main(mut args: Vec<String>) -> ExitCode {
     loop {
         let (hint_ms, reason) = match try_once(port, &request) {
             Attempt::Done(response, ok) => {
-                print!("{response}");
+                // --metrics-text: unwrap the exposition payload so stdout is
+                // the scrapeable text itself, not a JSON envelope.
+                let unwrapped = ok
+                    .then(|| {
+                        if !metrics_text {
+                            return None;
+                        }
+                        json::parse(response.trim())
+                            .ok()?
+                            .get("text")
+                            .and_then(Json::as_str)
+                            .map(str::to_string)
+                    })
+                    .flatten();
+                match unwrapped {
+                    Some(text) => print!("{text}"),
+                    None => print!("{response}"),
+                }
                 return if ok {
                     ExitCode::SUCCESS
                 } else {

@@ -6,10 +6,14 @@
 //! limit=200)]`. `--site LABEL` narrows the output to one site.
 //!
 //! `--json` emits one JSON object per decision instead (stable keys, one
-//! per line). With a fresh `--profile` loaded, each object additionally
-//! carries the site's measured dynamic behavior: `"calls"` (dynamic call
-//! count) and `"benefit"` (attributed mutator cost — the priority the
-//! guided size budget allocates by).
+//! per line). Every object leads with `"trace_id"` — the deterministic
+//! fingerprint of this (source, config), the same id `fdi serve` and
+//! `fdi batch` answer with for the identical job — so a puzzling daemon
+//! response can be explained offline and joined back by id. With a fresh
+//! `--profile` loaded, each object additionally carries the site's measured
+//! dynamic behavior: `"calls"` (dynamic call count) and `"benefit"`
+//! (attributed mutator cost — the priority the guided size budget
+//! allocates by).
 
 use crate::opts::Options;
 use fdi_core::DecisionTotals;
@@ -43,9 +47,12 @@ pub fn main(opts: &Options) -> ExitCode {
         println!(";; no candidate call sites");
         return ExitCode::SUCCESS;
     }
+    let trace_hex = fdi_core::trace_id_hex(&src, &opts.config());
     for d in &decisions {
         if opts.json {
-            let json = d.to_json();
+            // Lead with the job's trace id (see the module docs), keeping
+            // the decision record's own keys untouched after it.
+            let json = format!("{{\"trace_id\":\"{trace_hex}\",{}", &d.to_json()[1..]);
             match profile
                 .as_ref()
                 .and_then(|p| p.sites.iter().find(|s| s.site == d.site_label))

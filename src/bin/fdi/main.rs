@@ -8,12 +8,15 @@
 //! fdi profile  <file.scm> [--entry EXPR] [-o FILE]
 //! fdi batch    <manifest> [--jobs N] [--out FILE] [--trace-out FILE]
 //! fdi report   [-t THRESHOLD] [--policy …] [--scale test|default]
+//!              [--metrics FILE|-]
 //! fdi serve    [--port N] [--port-file FILE] [--store DIR] [--jobs N]
 //!              [--max-inflight N] [--deadline-ms N] [--read-deadline-ms N]
 //!              [--cache-bytes N] [--store-bytes N]
 //! fdi client   (--port N | --port-file FILE) [--retries N] [--retry-seed S]
-//!              <ping|stats|health|shutdown|job …>
+//!              <ping|stats|health|metrics [--metrics-text]|flight|shutdown|job …>
 //! fdi fsck     <STORE> [--repair]
+//! fdi bench-diff <baseline.json> <current.json> [--tolerance PCT]
+//!              [--hit-rate-tolerance ABS] [--wins-drop N]
 //! ```
 //!
 //! `profile` runs the original program on the cost-model VM with per-site
@@ -80,6 +83,18 @@
 //! `serve.rs` for the protocol and its typed rejections (overloaded,
 //! timeout, draining).
 //!
+//! The daemon carries a live observability plane: `{"op":"metrics"}`
+//! returns windowed counters, gauges, and span-duration histograms (as JSON,
+//! or Prometheus text via `fdi client metrics --metrics-text`);
+//! `{"op":"flight"}` dumps the flight recorder — the last requests with
+//! their deterministic `trace_id`s (shared with `batch` and
+//! `explain --json` output for the same source and config) and any notable
+//! incidents. `fdi report --metrics FILE|-` renders a scraped metrics JSON
+//! document as tables. `fdi bench-diff` is the perf-regression watchdog:
+//! it compares two benchmark snapshots (`results/BENCH_sweep.json` /
+//! `BENCH_profile.json`) and exits nonzero past tolerance — the CI perf
+//! gate.
+//!
 //! Resource governance: `--cache-bytes N` (on `batch` and `serve`) bounds
 //! the in-memory artifact caches with byte-accounted LRU eviction, and
 //! `--store-bytes N` (on `serve`) puts the disk store under a quota enforced
@@ -90,6 +105,7 @@
 
 mod analyze;
 mod batch;
+mod bench_diff;
 mod client;
 mod explain;
 mod fsck;
@@ -124,6 +140,9 @@ fn main() -> ExitCode {
     }
     if command == "fsck" {
         return fsck::main(rest);
+    }
+    if command == "bench-diff" {
+        return bench_diff::main(rest);
     }
     let Some(opts) = opts::parse(rest) else {
         return opts::usage();

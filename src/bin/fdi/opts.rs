@@ -47,14 +47,17 @@ pub fn usage() -> ExitCode {
          fdi batch <manifest> [--jobs N] [--out FILE] [--passes SCHEDULE] [--trace-out FILE] \
          [--profile FILE] [--size-budget N] [--cache-bytes N] \
          [--validate] [--oracle-fuel N] [--faults SEED] [--engine-faults SEED]\n       \
-         fdi report [-t THRESHOLD] [--policy 0cfa|poly|1cfa] [--scale test|default] [--jobs N]\n       \
+         fdi report [-t THRESHOLD] [--policy 0cfa|poly|1cfa] [--scale test|default] [--jobs N] \
+         [--metrics FILE|-]\n       \
          fdi serve [--port N] [--port-file FILE] [--store DIR] [--jobs N] [--max-inflight N] \
          [--deadline-ms N] [--read-deadline-ms N] [--cache-bytes N] [--store-bytes N] \
          [--profile FILE] [--engine-faults SEED]\n       \
          fdi client (--port N | --port-file FILE) [--retries N] [--retry-seed S] \
-         <ping|stats|health|shutdown> | \
+         <ping|stats|health|flight|shutdown> | metrics [--metrics-text] | \
          job <spec> [job-flags…] [--request-deadline-ms N]\n       \
-         fdi fsck <STORE> [--repair]"
+         fdi fsck <STORE> [--repair]\n       \
+         fdi bench-diff <baseline.json> <current.json> [--tolerance PCT] \
+         [--hit-rate-tolerance ABS] [--wins-drop N]"
     );
     ExitCode::FAILURE
 }

@@ -109,11 +109,105 @@ fn top_rejection(totals: &DecisionTotals) -> &'static str {
         .unwrap_or("-")
 }
 
+/// `fdi report --metrics FILE|-` — render a scraped daemon metrics document
+/// (the `{"op":"metrics"}` response, or the bare registry JSON) as tables:
+/// windowed counters, gauges, span-duration histograms, decision totals.
+fn metrics_main(path: &str) -> ExitCode {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        use std::io::Read;
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("fdi: report: cannot read metrics from stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fdi: report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let doc = match fdi_telemetry::json::parse(text.trim()) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("fdi: report: {path}: malformed metrics JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Accept the client's response envelope or the bare registry document.
+    let m = doc.get("metrics").unwrap_or(&doc);
+    let num = |j: Option<&fdi_telemetry::json::Json>| j.and_then(|v| v.as_num()).unwrap_or(0.0);
+    if m.get("counters").is_none() {
+        eprintln!("fdi: report: {path}: not a metrics document (no \"counters\")");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "daemon metrics (uptime {:.0}s, {} events, {:.0} µs recording)",
+        num(m.get("uptime_s")),
+        num(m.get("overhead").and_then(|o| o.get("events"))),
+        num(m.get("overhead").and_then(|o| o.get("record_us"))),
+    );
+    if let Some(counters) = m.get("counters").and_then(|c| c.as_obj()) {
+        println!(
+            "\n{:<36} {:>10} {:>8} {:>8}",
+            "counter", "total", "1m", "5m"
+        );
+        for (name, c) in counters {
+            println!(
+                "{:<36} {:>10} {:>8} {:>8}",
+                name,
+                num(c.get("total")),
+                num(c.get("w1m")),
+                num(c.get("w5m")),
+            );
+        }
+    }
+    if let Some(gauges) = m.get("gauges").and_then(|g| g.as_obj()) {
+        println!("\n{:<36} {:>14}", "gauge", "value");
+        for (name, v) in gauges {
+            println!("{:<36} {:>14.3}", name, v.as_num().unwrap_or(0.0));
+        }
+    }
+    if let Some(histos) = m.get("histograms").and_then(|h| h.as_obj()) {
+        println!(
+            "\n{:<20} {:>8} {:>12} {:>8} {:>8}",
+            "span", "count", "mean µs", "1m", "5m"
+        );
+        for (name, h) in histos {
+            let count = num(h.get("count"));
+            let mean = if count > 0.0 {
+                num(h.get("sum_us")) / count
+            } else {
+                0.0
+            };
+            println!(
+                "{:<20} {:>8} {:>12.1} {:>8} {:>8}",
+                name,
+                count,
+                mean,
+                num(h.get("w1m").and_then(|w| w.get("count"))),
+                num(h.get("w5m").and_then(|w| w.get("count"))),
+            );
+        }
+    }
+    if let Some(decisions) = m.get("decisions").and_then(|d| d.as_obj()) {
+        println!("\n{:<24} {:>10}", "decision", "count");
+        for (reason, n) in decisions {
+            println!("{:<24} {:>10}", reason, n.as_num().unwrap_or(0.0));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// `fdi report [-t THRESHOLD] [--policy P] [--scale test|default] [--jobs N]`
 /// — optimize the Table 1 benchmark suite on the engine and print one table
 /// row per benchmark, with a decisions column from the inliner's telemetry
 /// provenance (sites inlined / sites rejected, plus the dominant rejection
-/// reason).
+/// reason). `--metrics FILE|-` switches to rendering a scraped daemon
+/// metrics document instead (see [`metrics_main`]).
 pub fn main(args: Vec<String>) -> ExitCode {
     let mut threshold = 200usize;
     let mut policy = fdi_core::Polyvariance::PolymorphicSplitting;
@@ -154,6 +248,12 @@ pub fn main(args: Vec<String>) -> ExitCode {
                 };
                 jobs = Some(n);
                 i += 2;
+            }
+            "--metrics" => {
+                let Some(path) = value(i) else {
+                    return usage();
+                };
+                return metrics_main(&path);
             }
             other => {
                 eprintln!("fdi: report: unknown argument {other:?}");

@@ -17,16 +17,37 @@
 //! {"op":"ping"}
 //! {"op":"stats"}
 //! {"op":"health"}
+//! {"op":"metrics"}
+//! {"op":"metrics","format":"text"}
+//! {"op":"flight"}
 //! {"op":"shutdown"}
 //! {"op":"job","spec":"bench:fib@6","flags":["-t","200"],"deadline_ms":5000}
 //! {"op":"job","source":"(let ((f (lambda (x) x))) (f 1))"}
 //! ```
 //!
-//! Every response carries `"ok"` and `"proto"` (the wire-protocol version,
-//! [`PROTO_VERSION`]) so clients can reject a daemon they do not speak to
-//! instead of misparsing it. `health` is the operator probe: in-flight and
+//! Every response carries `"ok"`, `"proto"` (the wire-protocol version,
+//! [`PROTO_VERSION`]) and `"trace_id"` — for job requests a deterministic
+//! fingerprint of `(source, config)` shared with `fdi batch` and
+//! `fdi explain --json`, for everything else a fingerprint of the request
+//! line — so a client log line can be joined against the daemon's flight
+//! recorder and Chrome traces. `health` is the operator probe: in-flight and
 //! admission numbers, cache/store byte footprints against their configured
-//! limits, memory-only degradation, and uptime.
+//! limits, memory-only degradation (with a typed `degraded_reason`),
+//! telemetry overhead, flight-recorder occupancy, and uptime.
+//!
+//! ## Observability
+//!
+//! The daemon's engine always emits into a [`fdi_telemetry::MetricsRegistry`]
+//! (windowed counters, gauges, per-span duration histograms) and a
+//! [`fdi_telemetry::FlightRecorder`] (bounded ring of the last requests plus
+//! notable incidents). `{"op":"metrics"}` returns the registry as JSON;
+//! with `"format":"text"` the payload is the Prometheus text exposition
+//! format instead (also `fdi client metrics --metrics-text`).
+//! `{"op":"flight"}` dumps the recorder. With `--store DIR` the recorder
+//! writes each finished request through to `DIR/flight/requests.jsonl` and
+//! re-seeds from it on startup, so the last pre-kill requests are still
+//! listed after a SIGKILL; on panic and on graceful drain the full recorder
+//! state is additionally dumped to `DIR/flight/last_flight.json`.
 //!
 //! Failures are *typed* via `"kind"`:
 //!
@@ -54,19 +75,22 @@
 //! ## Shutdown
 //!
 //! `{"op":"shutdown"}` is the graceful drain: admission closes, the daemon
-//! waits for every in-flight job, replies with a drain report, and exits.
-//! (Signal-based shutdown would need a libc binding; the protocol-level op
-//! keeps the daemon dependency-free. A SIGKILL instead of a drain is the
-//! crash path the store exists for — see `tests/serve.rs`.)
+//! waits for every in-flight job, dumps the flight recorder, replies with a
+//! drain report, and exits. (Signal-based shutdown would need a libc
+//! binding; the protocol-level op keeps the daemon dependency-free. A
+//! SIGKILL instead of a drain is the crash path the store — and the flight
+//! write-through — exist for; see `tests/serve.rs` and `tests/chaos.rs`.)
 
 use crate::batch::{apply_job_flags, resolve_source};
 use crate::opts::usage;
 use crate::report::{health_json, json_escape, passes_json};
-use fdi_core::{FaultPlan, PipelineConfig};
+use fdi_core::{FaultPlan, PipelineConfig, Telemetry};
 use fdi_engine::{Engine, EngineConfig, Job};
 use fdi_telemetry::json::{self, Json};
+use fdi_telemetry::{Fanout, FlightEntry, FlightRecorder, MetricsRegistry};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
@@ -74,11 +98,24 @@ use std::time::{Duration, Instant};
 
 /// Wire-protocol version. Bump on any response-schema change a deployed
 /// client could misparse; clients refuse to talk across a mismatch.
+/// (Additive fields — `trace_id`, the `metrics`/`flight` ops, the health
+/// extensions — do not bump it: old clients ignore keys they don't read.)
 pub const PROTO_VERSION: u64 = 1;
+
+/// Requests the flight recorder remembers.
+const FLIGHT_CAPACITY: usize = 64;
 
 /// Shared daemon state, one per process.
 struct Server {
     engine: Engine,
+    /// The engine's telemetry handle (always on; also the flight time base).
+    telemetry: Telemetry,
+    /// Live counters/gauges/histograms, fed by the engine's event stream.
+    metrics: Arc<MetricsRegistry>,
+    /// The last-requests ring, write-through-backed when a store is set.
+    flight: Arc<FlightRecorder>,
+    /// The store directory, for flight dumps (panic, drain).
+    store_dir: Option<PathBuf>,
     /// Jobs admitted and not yet finished (including ones whose requester
     /// timed out — the work is still running and still holds its slot).
     inflight: AtomicUsize,
@@ -101,9 +138,10 @@ enum Reply {
     Shutdown(String),
 }
 
-fn err(kind: &str, message: &str) -> String {
+fn err(kind: &str, message: &str, trace: &str) -> String {
     format!(
-        "{{\"ok\":false,\"proto\":{PROTO_VERSION},\"kind\":\"{kind}\",\"error\":\"{}\"}}",
+        "{{\"ok\":false,\"proto\":{PROTO_VERSION},\"trace_id\":\"{trace}\",\
+         \"kind\":\"{kind}\",\"error\":\"{}\"}}",
         json_escape(message)
     )
 }
@@ -190,17 +228,48 @@ pub fn main(args: Vec<String>) -> ExitCode {
             }
         },
     };
-    let engine = Engine::new(EngineConfig {
-        faults: engine_faults,
-        store,
-        profile,
-        cache_bytes,
-        store_bytes,
-        ..match jobs {
-            Some(n) => EngineConfig::with_workers(n),
-            None => EngineConfig::default(),
+
+    // The observability plane is always on: the registry and the flight
+    // recorder ride the engine's own telemetry stream (the
+    // `telemetry_overhead --serve` gate holds their cost under 5%). With a
+    // store, the recorder writes through to disk and re-seeds from it, so a
+    // SIGKILL'd daemon's last requests are still listed after restart.
+    let metrics = Arc::new(MetricsRegistry::new());
+    let flight = Arc::new(match &store {
+        Some(dir) => {
+            FlightRecorder::with_writethrough(FLIGHT_CAPACITY, &dir.join("flight/requests.jsonl"))
         }
+        None => FlightRecorder::with_capacity(FLIGHT_CAPACITY),
     });
+    let telemetry =
+        Telemetry::with_collector(Arc::new(Fanout::new(vec![metrics.clone(), flight.clone()])));
+    if let Some(dir) = &store {
+        // Post-mortem on panic: dump the recorder before unwinding proceeds.
+        // (Contained chaos panics also land here; the dump is an overwrite,
+        // so the freshest state always wins.)
+        let hook_flight = flight.clone();
+        let hook_path = dir.join("flight/last_flight.json");
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = hook_flight.dump_to(&hook_path);
+            previous(info);
+        }));
+    }
+
+    let engine = Engine::with_telemetry(
+        EngineConfig {
+            faults: engine_faults,
+            store: store.clone(),
+            profile,
+            cache_bytes,
+            store_bytes,
+            ..match jobs {
+                Some(n) => EngineConfig::with_workers(n),
+                None => EngineConfig::default(),
+            }
+        },
+        &telemetry,
+    );
     let listener = match TcpListener::bind(("127.0.0.1", port)) {
         Ok(l) => l,
         Err(e) => {
@@ -227,6 +296,10 @@ pub fn main(args: Vec<String>) -> ExitCode {
 
     let server = Arc::new(Server {
         engine,
+        telemetry,
+        metrics,
+        flight,
+        store_dir: store,
         inflight: AtomicUsize::new(0),
         max_inflight,
         draining: AtomicBool::new(false),
@@ -278,51 +351,99 @@ fn handle_connection(server: &Arc<Server>, stream: TcpStream, read_deadline: Dur
 }
 
 fn handle_request(server: &Arc<Server>, line: &str) -> Reply {
+    // Control requests and malformed lines get a line-derived trace id:
+    // deterministic for identical request bytes, joinable against client
+    // logs. Job requests recompute theirs from (source, config) below so
+    // the id matches `fdi batch` / `fdi explain --json` for the same job.
+    let line_trace = format!("{:016x}", fdi_core::source_fingerprint(line.trim()));
     let req = match json::parse(line) {
         Ok(req) => req,
-        Err(e) => return Reply::Line(err("bad-request", &format!("malformed request: {e}"))),
+        Err(e) => {
+            return Reply::Line(err(
+                "bad-request",
+                &format!("malformed request: {e}"),
+                &line_trace,
+            ))
+        }
     };
-    match req.get("op").and_then(Json::as_str) {
+    let op = req.get("op").and_then(Json::as_str);
+    if let Some(op) = op {
+        server.metrics.add(&format!("serve.op.{op}"), 1);
+    }
+    match op {
         Some("ping") => Reply::Line(format!(
-            "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"op\":\"ping\",\"pid\":{}}}",
+            "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"trace_id\":\"{line_trace}\",\
+             \"op\":\"ping\",\"pid\":{}}}",
             std::process::id()
         )),
         Some("stats") => Reply::Line(format!(
-            "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"op\":\"stats\",\
-             \"inflight\":{},\"draining\":{},\"stats\":{}}}",
+            "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"trace_id\":\"{line_trace}\",\
+             \"op\":\"stats\",\"inflight\":{},\"draining\":{},\"stats\":{}}}",
             server.inflight.load(SeqCst),
             server.draining.load(SeqCst),
             server.engine.stats().to_json()
         )),
-        Some("health") => Reply::Line(health_reply(server)),
+        Some("health") => Reply::Line(health_reply(server, &line_trace)),
+        Some("metrics") => Reply::Line(metrics_reply(server, &req, &line_trace)),
+        Some("flight") => Reply::Line(format!(
+            "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"trace_id\":\"{line_trace}\",\
+             \"op\":\"flight\",\"flight\":{}}}",
+            server.flight.to_json()
+        )),
         Some("shutdown") => {
             server.draining.store(true, SeqCst);
             // Drain: admission is closed, so inflight only falls.
             while server.inflight.load(SeqCst) > 0 {
                 std::thread::sleep(Duration::from_millis(5));
             }
+            // The drain post-mortem: same file the panic hook writes.
+            if let Some(dir) = &server.store_dir {
+                let _ = server.flight.dump_to(&dir.join("flight/last_flight.json"));
+            }
             Reply::Shutdown(format!(
-                "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"op\":\"shutdown\",\
-                 \"jobs_completed\":{}}}",
+                "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"trace_id\":\"{line_trace}\",\
+                 \"op\":\"shutdown\",\"jobs_completed\":{}}}",
                 server.engine.stats().jobs_completed
             ))
         }
-        Some("job") => Reply::Line(handle_job(server, &req)),
-        Some(other) => Reply::Line(err("bad-request", &format!("unknown op {other:?}"))),
-        None => Reply::Line(err("bad-request", "request has no \"op\"")),
+        Some("job") => Reply::Line(handle_job(server, &req, &line_trace)),
+        Some(other) => Reply::Line(err(
+            "bad-request",
+            &format!("unknown op {other:?}"),
+            &line_trace,
+        )),
+        None => Reply::Line(err("bad-request", "request has no \"op\"", &line_trace)),
     }
 }
 
 /// The operator probe: admission load, byte footprints against their
-/// configured limits, degradation, and uptime, in one line.
-fn health_reply(server: &Arc<Server>) -> String {
+/// configured limits, degradation (typed), telemetry overhead, flight
+/// occupancy, and uptime, in one line.
+fn health_reply(server: &Arc<Server>, trace: &str) -> String {
     let r = server.engine.resources();
+    let stats = server.engine.stats();
     let opt = |v: Option<u64>| v.map_or("null".to_string(), |n| n.to_string());
+    // One typed reason so operators can tell the failure modes apart
+    // without diffing counters: a degraded store beats cache pressure
+    // (it loses durability, not just speed).
+    let degraded_reason = if r.store_degraded {
+        "\"store-unwritable\"".to_string()
+    } else if stats.cache_evictions_pressure > 0 {
+        "\"cache-pressure\"".to_string()
+    } else {
+        "null".to_string()
+    };
+    let (telemetry_events, telemetry_record_ns) = server.metrics.overhead();
+    let (flight_len, flight_capacity) = server.flight.occupancy();
     format!(
-        "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"op\":\"health\",\"pid\":{},\
+        "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"trace_id\":\"{trace}\",\
+         \"op\":\"health\",\"pid\":{},\
          \"uptime_ms\":{},\"inflight\":{},\"max_inflight\":{},\"draining\":{},\
          \"cache_bytes_used\":{},\"cache_bytes_limit\":{},\
-         \"store_bytes_used\":{},\"store_bytes_limit\":{},\"store_degraded\":{}}}",
+         \"store_bytes_used\":{},\"store_bytes_limit\":{},\"store_degraded\":{},\
+         \"degraded_reason\":{},\
+         \"telemetry\":{{\"events\":{},\"record_us\":{}}},\
+         \"flight\":{{\"len\":{},\"capacity\":{}}}}}",
         std::process::id(),
         server.started.elapsed().as_millis(),
         server.inflight.load(SeqCst),
@@ -333,7 +454,73 @@ fn health_reply(server: &Arc<Server>) -> String {
         opt(r.store_bytes_used),
         opt(r.store_bytes_limit),
         r.store_degraded,
+        degraded_reason,
+        telemetry_events,
+        telemetry_record_ns / 1_000,
+        flight_len,
+        flight_capacity,
     )
+}
+
+/// `{"op":"metrics"}`: refresh the registry's gauges from the engine's
+/// counters and resource footprint, then render — as JSON, or (with
+/// `"format":"text"`) as Prometheus text under a `"text"` key.
+fn metrics_reply(server: &Arc<Server>, req: &Json, trace: &str) -> String {
+    let stats = server.engine.stats();
+    let r = server.engine.resources();
+    let m = &server.metrics;
+    let rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
+    m.set_gauge("cache_bytes_used", r.cache_bytes_used as f64);
+    m.set_gauge("store_bytes_used", r.store_bytes_used.unwrap_or(0) as f64);
+    m.set_gauge("inflight", server.inflight.load(SeqCst) as f64);
+    m.set_gauge("max_inflight", server.max_inflight as f64);
+    m.set_gauge("uptime_s", server.started.elapsed().as_secs() as f64);
+    m.set_gauge("spec_hit_rate", rate(stats.spec_hits, stats.spec_misses));
+    m.set_gauge("exec_hit_rate", rate(stats.exec_hits, stats.exec_misses));
+    m.set_gauge("analysis_hit_rate", stats.analysis_hit_rate());
+    // Mirror the headline engine counters so one scrape answers "is the
+    // cache working" without a second `stats` round trip. (Counters
+    // semantically; exposed as gauges since the engine owns the totals.)
+    for (name, v) in [
+        ("engine.jobs_completed", stats.jobs_completed),
+        ("engine.jobs_deduped", stats.jobs_deduped),
+        ("engine.parse_hits", stats.parse_hits),
+        ("engine.analysis_hits", stats.analysis_hits),
+        ("engine.analysis_misses", stats.analysis_misses),
+        ("engine.spec_hits", stats.spec_hits),
+        ("engine.spec_misses", stats.spec_misses),
+        ("engine.exec_hits", stats.exec_hits),
+        ("engine.exec_misses", stats.exec_misses),
+        ("engine.store_hits", stats.store_hits),
+        ("engine.store_writes", stats.store_writes),
+        ("engine.workers_respawned", stats.workers_respawned),
+    ] {
+        m.set_gauge(name, v as f64);
+    }
+    match req.get("format").and_then(Json::as_str) {
+        Some("text") => format!(
+            "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"trace_id\":\"{trace}\",\
+             \"op\":\"metrics\",\"format\":\"text\",\"text\":\"{}\"}}",
+            json_escape(&m.to_prometheus_text())
+        ),
+        None | Some("json") => format!(
+            "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"trace_id\":\"{trace}\",\
+             \"op\":\"metrics\",\"metrics\":{}}}",
+            m.to_json()
+        ),
+        Some(other) => err(
+            "bad-request",
+            &format!("unknown metrics format {other:?}"),
+            trace,
+        ),
+    }
 }
 
 /// Decrements the in-flight count when dropped, unless responsibility was
@@ -357,19 +544,61 @@ impl Drop for InflightSlot<'_> {
     }
 }
 
-fn handle_job(server: &Arc<Server>, req: &Json) -> String {
+/// Runs one job request and records it: outcome counter, request-duration
+/// histogram, and a flight-recorder entry carrying the same trace id the
+/// response does.
+fn handle_job(server: &Arc<Server>, req: &Json, line_trace: &str) -> String {
+    let started = Instant::now();
+    let (reply, outcome, trace, what) = handle_job_inner(server, req, line_trace);
+    server.metrics.add(&format!("serve.job.{outcome}"), 1);
+    server
+        .metrics
+        .observe_us("request", started.elapsed().as_micros() as u64);
+    server.flight.record_request(FlightEntry {
+        trace_id: trace,
+        what,
+        outcome: outcome.to_string(),
+        duration_us: started.elapsed().as_micros() as u64,
+        ts_us: server.telemetry.now_us(),
+    });
+    reply
+}
+
+/// The job path proper. Returns `(response line, outcome key, trace id,
+/// what-was-asked)` so the wrapper can account for every exit uniformly.
+fn handle_job_inner(
+    server: &Arc<Server>,
+    req: &Json,
+    line_trace: &str,
+) -> (String, &'static str, String, String) {
+    let fallback = |reply: String, outcome: &'static str, what: &str| {
+        (reply, outcome, line_trace.to_string(), what.to_string())
+    };
     if server.draining.load(SeqCst) {
-        return err("draining", "server is shutting down; resubmit elsewhere");
+        return fallback(
+            err(
+                "draining",
+                "server is shutting down; resubmit elsewhere",
+                line_trace,
+            ),
+            "draining",
+            "job",
+        );
     }
     // Bounded admission: claim a slot or reject *now*. Nothing ever queues
     // beyond the engine's own worker queues, so a flood degrades to typed
     // rejections instead of unbounded memory growth and silent latency.
     if server.inflight.fetch_add(1, SeqCst) >= server.max_inflight {
         server.inflight.fetch_sub(1, SeqCst);
-        return format!(
-            "{{\"ok\":false,\"proto\":{PROTO_VERSION},\"kind\":\"overloaded\",\
-             \"retry_after_ms\":100,\"error\":\"{} jobs in flight; retry later\"}}",
-            server.max_inflight
+        return fallback(
+            format!(
+                "{{\"ok\":false,\"proto\":{PROTO_VERSION},\"trace_id\":\"{line_trace}\",\
+                 \"kind\":\"overloaded\",\"retry_after_ms\":100,\
+                 \"error\":\"{} jobs in flight; retry later\"}}",
+                server.max_inflight
+            ),
+            "overloaded",
+            "job",
         );
     }
     let slot = InflightSlot {
@@ -383,10 +612,20 @@ fn handle_job(server: &Arc<Server>, req: &Json) -> String {
     ) {
         (Some(spec), None) => match resolve_source(spec) {
             Ok(src) => (spec.to_string(), src),
-            Err(e) => return err("bad-request", &e),
+            Err(e) => return fallback(err("bad-request", &e, line_trace), "bad-request", spec),
         },
         (None, Some(src)) => ("<inline>".to_string(), src.to_string()),
-        _ => return err("bad-request", "need exactly one of \"spec\" or \"source\""),
+        _ => {
+            return fallback(
+                err(
+                    "bad-request",
+                    "need exactly one of \"spec\" or \"source\"",
+                    line_trace,
+                ),
+                "bad-request",
+                "job",
+            )
+        }
     };
     let mut config = PipelineConfig::default();
     let flags: Vec<&str> = match req.get("flags") {
@@ -395,42 +634,75 @@ fn handle_job(server: &Arc<Server>, req: &Json) -> String {
             Some(items) if items.iter().all(|f| f.as_str().is_some()) => {
                 items.iter().filter_map(Json::as_str).collect()
             }
-            _ => return err("bad-request", "\"flags\" must be an array of strings"),
+            _ => {
+                return fallback(
+                    err(
+                        "bad-request",
+                        "\"flags\" must be an array of strings",
+                        line_trace,
+                    ),
+                    "bad-request",
+                    &spec,
+                )
+            }
         },
     };
     if let Err(e) = apply_job_flags(&mut config, &flags) {
-        return err("bad-request", &e);
+        return fallback(err("bad-request", &e, line_trace), "bad-request", &spec);
     }
     let deadline = match req.get("deadline_ms").map(|d| d.as_num()) {
         None => server.deadline,
         Some(Some(ms)) if ms >= 0.0 => Duration::from_millis(ms as u64),
-        Some(_) => return err("bad-request", "\"deadline_ms\" must be a number"),
+        Some(_) => {
+            return fallback(
+                err(
+                    "bad-request",
+                    "\"deadline_ms\" must be a number",
+                    line_trace,
+                ),
+                "bad-request",
+                &spec,
+            )
+        }
     };
 
-    let job = Job::new(source.as_str(), config);
+    // From here the job is fully determined, and so is its trace id — the
+    // same fingerprint `fdi batch` and `fdi explain --json` compute for
+    // this (source, config), threaded into the engine's job span.
+    let trace = fdi_core::trace_id(&source, &config);
+    let trace_hex = format!("{trace:016x}");
+    let done = |reply: String, outcome: &'static str| {
+        let t = trace_hex.clone();
+        (reply, outcome, t, spec.clone())
+    };
+    let job = Job::new(source.as_str(), config).with_trace(trace);
     let head = format!(
-        "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"op\":\"job\",\"spec\":\"{}\",\"threshold\":{}",
+        "{{\"ok\":true,\"proto\":{PROTO_VERSION},\"trace_id\":\"{trace_hex}\",\
+         \"op\":\"job\",\"spec\":\"{}\",\"threshold\":{}",
         json_escape(&spec),
         config.threshold
     );
 
     // Warm path: answer straight from the disk store, no recomputation.
     if let Some(stored) = server.engine.lookup_stored(&job) {
-        return format!(
-            concat!(
-                "{},\"cached\":true,\"degraded\":false,\"oracle_rejected\":false,",
-                "\"size_ratio\":{:.6},\"baseline_size\":{},\"optimized_size\":{},",
-                "\"sites_inlined\":{},\"decisions\":{},\"fuel_used\":{},",
-                "\"optimized\":\"{}\"}}"
+        return done(
+            format!(
+                concat!(
+                    "{},\"cached\":true,\"degraded\":false,\"oracle_rejected\":false,",
+                    "\"size_ratio\":{:.6},\"baseline_size\":{},\"optimized_size\":{},",
+                    "\"sites_inlined\":{},\"decisions\":{},\"fuel_used\":{},",
+                    "\"optimized\":\"{}\"}}"
+                ),
+                head,
+                stored.size_ratio(),
+                stored.baseline_size,
+                stored.optimized_size,
+                stored.sites_inlined,
+                stored.decisions.to_json(),
+                stored.fuel_used,
+                json_escape(&stored.optimized),
             ),
-            head,
-            stored.size_ratio(),
-            stored.baseline_size,
-            stored.optimized_size,
-            stored.sites_inlined,
-            stored.decisions.to_json(),
-            stored.fuel_used,
-            json_escape(&stored.optimized),
+            "cached",
         );
     }
 
@@ -446,34 +718,41 @@ fn handle_job(server: &Arc<Server>, req: &Json) -> String {
             let _ = handle.wait();
             watcher_server.inflight.fetch_sub(1, SeqCst);
         });
-        return format!(
-            "{{\"ok\":false,\"proto\":{PROTO_VERSION},\"kind\":\"timeout\",\"deadline_ms\":{},\
-             \"error\":\"job exceeded its deadline; it keeps running and will warm the cache\"}}",
-            deadline.as_millis()
+        return done(
+            format!(
+                "{{\"ok\":false,\"proto\":{PROTO_VERSION},\"trace_id\":\"{trace_hex}\",\
+                 \"kind\":\"timeout\",\"deadline_ms\":{},\
+                 \"error\":\"job exceeded its deadline; it keeps running and will warm the cache\"}}",
+                deadline.as_millis()
+            ),
+            "timeout",
         );
     };
     drop(slot);
     match result {
-        Err(e) => err("failed", &e.to_string()),
-        Ok(out) => format!(
-            concat!(
-                "{},\"cached\":false,\"degraded\":{},\"oracle_rejected\":{},",
-                "\"size_ratio\":{:.6},\"baseline_size\":{},\"optimized_size\":{},",
-                "\"sites_inlined\":{},\"decisions\":{},\"fuel_used\":{},",
-                "\"passes\":{},\"health\":{},\"optimized\":\"{}\"}}"
+        Err(e) => done(err("failed", &e.to_string(), &trace_hex), "failed"),
+        Ok(out) => done(
+            format!(
+                concat!(
+                    "{},\"cached\":false,\"degraded\":{},\"oracle_rejected\":{},",
+                    "\"size_ratio\":{:.6},\"baseline_size\":{},\"optimized_size\":{},",
+                    "\"sites_inlined\":{},\"decisions\":{},\"fuel_used\":{},",
+                    "\"passes\":{},\"health\":{},\"optimized\":\"{}\"}}"
+                ),
+                head,
+                out.health.degraded(),
+                out.health.oracle_rejected(),
+                out.size_ratio(),
+                out.baseline_size,
+                out.optimized_size,
+                out.report.sites_inlined,
+                fdi_telemetry::DecisionTotals::tally(&out.decisions).to_json(),
+                out.fuel_used,
+                passes_json(&out.passes),
+                health_json(&out.health),
+                json_escape(&fdi_lang::unparse(&out.optimized).to_string()),
             ),
-            head,
-            out.health.degraded(),
-            out.health.oracle_rejected(),
-            out.size_ratio(),
-            out.baseline_size,
-            out.optimized_size,
-            out.report.sites_inlined,
-            fdi_telemetry::DecisionTotals::tally(&out.decisions).to_json(),
-            out.fuel_used,
-            passes_json(&out.passes),
-            health_json(&out.health),
-            json_escape(&fdi_lang::unparse(&out.optimized).to_string()),
+            "ok",
         ),
     }
 }

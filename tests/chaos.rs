@@ -409,3 +409,205 @@ fn spec_cache_evict_is_output_invisible() {
         "the spec-cache-evict seam must actually fire"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Observability under chaos: the flight recorder and metrics registry must
+// tell the truth through the same failures the engine survives. These two
+// tests drive the real daemon binary, because the properties under test —
+// surviving SIGKILL via the store-backed write-through, and counters staying
+// monotone while the engine's worker pool panics and respawns — only exist
+// at the process boundary.
+
+/// Minimal `fdi serve` driver (see tests/serve.rs for the full-featured
+/// twin; this one only needs spawn/request/kill).
+struct ChaosDaemon {
+    child: std::process::Child,
+    port: u16,
+}
+
+impl ChaosDaemon {
+    fn spawn(store: &std::path::Path, extra: &[&str]) -> ChaosDaemon {
+        let port_file = store.join("chaos-port");
+        let _ = std::fs::remove_file(&port_file);
+        let child = std::process::Command::new(env!("CARGO_BIN_EXE_fdi"))
+            .arg("serve")
+            .arg("--port-file")
+            .arg(&port_file)
+            .arg("--store")
+            .arg(store)
+            .args(extra)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn fdi serve");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let port = loop {
+            if let Some(p) = std::fs::read_to_string(&port_file)
+                .ok()
+                .and_then(|text| text.trim().parse().ok())
+            {
+                break p;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never published its port"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        ChaosDaemon { child, port }
+    }
+
+    fn request(&self, line: &str) -> fdi_telemetry::json::Json {
+        use std::io::{BufRead, BufReader, Write};
+        let mut stream =
+            std::net::TcpStream::connect(("127.0.0.1", self.port)).expect("connect to daemon");
+        writeln!(stream, "{line}").expect("send request");
+        stream.flush().expect("flush request");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_line(&mut response)
+            .expect("read response");
+        fdi_telemetry::json::parse(response.trim()).expect("well-formed response")
+    }
+}
+
+impl Drop for ChaosDaemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn chaos_temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdi-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A SIGKILL mid-batch must not erase the flight recorder: the store-backed
+/// write-through re-seeds a fresh daemon's ring, so the pre-kill requests —
+/// identified by the trace ids the clients were told — are still listed
+/// after the crash, and the on-disk journal holds them too.
+#[test]
+fn flight_recorder_survives_a_mid_batch_sigkill() {
+    use fdi_telemetry::json::Json;
+    let store = chaos_temp_dir("flight");
+    let mut pre_kill_traces = Vec::new();
+    {
+        let mut daemon = ChaosDaemon::spawn(&store, &["--jobs", "2"]);
+        for b in fdi_benchsuite::BENCHMARKS.iter().take(3) {
+            let reply = daemon.request(&format!(
+                "{{\"op\":\"job\",\"spec\":\"bench:{}@{}\"}}",
+                b.name, b.test_scale
+            ));
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+            let trace = reply
+                .get("trace_id")
+                .and_then(Json::as_str)
+                .expect("trace id");
+            pre_kill_traces.push(trace.to_string());
+        }
+        // The crash: no drain, no dump hook — only the write-through holds.
+        daemon.child.kill().expect("SIGKILL daemon");
+        let _ = daemon.child.wait();
+    }
+
+    let journal = std::fs::read_to_string(store.join("flight/requests.jsonl"))
+        .expect("write-through journal survives the kill");
+    for trace in &pre_kill_traces {
+        assert!(journal.contains(trace), "journal lost request {trace}");
+    }
+
+    let daemon = ChaosDaemon::spawn(&store, &["--jobs", "2"]);
+    let reply = daemon.request("{\"op\":\"flight\"}");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+    let requests = reply
+        .get("flight")
+        .and_then(|f| f.get("requests"))
+        .and_then(Json::as_arr)
+        .expect("requests ring");
+    let listed: Vec<&str> = requests
+        .iter()
+        .filter_map(|r| r.get("trace_id").and_then(Json::as_str))
+        .collect();
+    for trace in &pre_kill_traces {
+        assert!(
+            listed.contains(&trace.as_str()),
+            "restarted recorder lost pre-kill request {trace}: {listed:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// Under a chaos fault plan that panics workers, the metrics registry's
+/// counters and histograms must stay monotone across scrapes: a respawned
+/// worker continues the totals, it never resets or double-books them.
+#[test]
+fn metrics_counters_stay_monotone_across_worker_respawns() {
+    use fdi_telemetry::json::Json;
+    let store = chaos_temp_dir("metrics");
+    let daemon = ChaosDaemon::spawn(
+        &store,
+        &["--jobs", "2", "--engine-faults", &CHAOS_SEED.to_string()],
+    );
+    let scrape = |daemon: &ChaosDaemon| -> (f64, f64, f64) {
+        let reply = daemon.request("{\"op\":\"metrics\"}");
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+        let m = reply.get("metrics").expect("metrics payload");
+        let num = |j: Option<&Json>| j.and_then(Json::as_num).unwrap_or(0.0);
+        (
+            num(m
+                .get("counters")
+                .and_then(|c| c.get("serve.op.job"))
+                .and_then(|c| c.get("total"))),
+            num(m
+                .get("histograms")
+                .and_then(|h| h.get("job"))
+                .and_then(|h| h.get("count"))),
+            num(m.get("gauges").and_then(|g| g.get("engine.jobs_completed"))),
+        )
+    };
+
+    let mut last = scrape(&daemon);
+    let mut answered = 0;
+    for b in fdi_benchsuite::BENCHMARKS.iter() {
+        let reply = daemon.request(&format!(
+            "{{\"op\":\"job\",\"spec\":\"bench:{}@{}\"}}",
+            b.name, b.test_scale
+        ));
+        // Chaos may fail individual jobs (typed), never the daemon; every
+        // reply is a well-formed line either way.
+        if reply.get("ok") == Some(&Json::Bool(true)) {
+            answered += 1;
+        }
+        let now = scrape(&daemon);
+        assert!(
+            now.0 >= last.0,
+            "serve.op.job went backwards: {last:?} → {now:?}"
+        );
+        assert!(
+            now.1 >= last.1,
+            "job histogram went backwards: {last:?} → {now:?}"
+        );
+        assert!(
+            now.2 >= last.2,
+            "jobs_completed went backwards: {last:?} → {now:?}"
+        );
+        last = now;
+    }
+    assert!(answered > 0, "chaos must not take out the whole suite");
+
+    // The pool really did lose (and replace) workers along the way.
+    let stats = daemon.request("{\"op\":\"stats\"}");
+    let respawned = stats
+        .get("stats")
+        .and_then(|s| s.get("workers_respawned"))
+        .and_then(Json::as_num)
+        .expect("workers_respawned");
+    assert!(
+        respawned > 0.0,
+        "chaos seed must respawn workers: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -22,9 +22,18 @@
 //!   would cross `--request-deadline-ms`;
 //! * a slowloris connection (bytes trickling in, no newline) is cut by the
 //!   per-connection read deadline without hurting other clients;
-//! * `health` reports admission load, byte footprints, and degradation;
+//! * `health` reports admission load, byte footprints, degradation (with a
+//!   typed reason), telemetry overhead, and flight-recorder occupancy;
 //! * `fdi fsck` detects a flipped byte on disk, `--repair` evicts it, and
-//!   the restarted daemon re-serves the job byte-identically.
+//!   the restarted daemon re-serves the job byte-identically;
+//! * `{"op":"metrics"}` exposes live windowed counters, engine gauges, and
+//!   span-duration histograms (and, as `format:"text"`, valid Prometheus
+//!   text exposition), all fed by the daemon's always-on telemetry;
+//! * `{"op":"flight"}` lists the last requests with trace ids
+//!   byte-identical to the ones the job responses carried;
+//! * every response — including typed rejections — carries a `trace_id`,
+//!   and for a given (source, config) the daemon, `fdi batch`, and
+//!   `fdi explain --json` all derive the *same* id.
 
 use fdi_telemetry::json::{self, Json};
 use std::io::{BufRead, BufReader, Write};
@@ -418,6 +427,19 @@ fn health_reports_footprints_limits_and_degradation() {
     assert!(num_field(&health, "cache_bytes_used") > 0.0, "{health:?}");
     assert!(num_field(&health, "store_bytes_used") > 0.0, "{health:?}");
     assert_eq!(health.get("store_degraded"), Some(&Json::Bool(false)));
+    assert_eq!(
+        health.get("degraded_reason"),
+        Some(&Json::Null),
+        "healthy daemon names no degradation: {health:?}"
+    );
+    // The observability plane accounts for itself: the engine's events were
+    // recorded, and the job landed in the flight recorder.
+    let telemetry = health.get("telemetry").expect("telemetry overhead");
+    assert!(num_field(telemetry, "events") > 0.0, "{health:?}");
+    assert!(num_field(telemetry, "record_us") >= 0.0);
+    let flight = health.get("flight").expect("flight occupancy");
+    assert_eq!(num_field(flight, "len"), 1.0, "{health:?}");
+    assert_eq!(num_field(flight, "capacity"), 64.0);
     let _ = std::fs::remove_dir_all(&store);
 }
 
@@ -660,4 +682,197 @@ fn fsck_detects_repairs_and_restores_byte_identical_serving() {
     let warm = daemon.request(&job_request(&spec, None));
     assert_eq!(warm.get("cached"), Some(&Json::Bool(true)), "repaved");
     let _ = std::fs::remove_dir_all(&store);
+}
+
+/// `trace_id` must be exactly 16 lowercase hex digits, on every response.
+fn assert_trace_shape(doc: &Json) -> String {
+    let trace = str_field(doc, "trace_id");
+    assert_eq!(trace.len(), 16, "trace_id {trace:?}");
+    assert!(
+        trace
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()),
+        "trace_id {trace:?}"
+    );
+    trace.to_string()
+}
+
+#[test]
+fn metrics_op_exposes_live_counters_gauges_and_histograms() {
+    let daemon = Daemon::spawn(None, &["--jobs", "2"]);
+    let bench = &fdi_benchsuite::BENCHMARKS[0];
+    let spec = bench_spec(bench);
+    // Two thresholds over one source: the second job hits the shared
+    // analysis cache, so the hit/miss-split counters light up.
+    for t in ["200", "100"] {
+        let req = format!("{{\"op\":\"job\",\"spec\":\"{spec}\",\"flags\":[\"-t\",\"{t}\"]}}");
+        assert!(is_ok(&daemon.request(&req)));
+    }
+
+    let reply = daemon.request("{\"op\":\"metrics\"}");
+    assert!(is_ok(&reply), "{reply:?}");
+    assert_trace_shape(&reply);
+    let m = reply.get("metrics").expect("metrics payload");
+
+    // Counters: live, and inside the one-minute window we just ran in.
+    let counter = |name: &str, window: &str| {
+        m.get("counters")
+            .and_then(|c| c.get(name))
+            .map(|c| num_field(c, window))
+            .unwrap_or_else(|| panic!("no counter {name:?} in {m:?}"))
+    };
+    assert!(counter("serve.op.job", "total") >= 2.0);
+    assert!(counter("serve.job.ok", "w1m") >= 2.0, "1m window is live");
+    assert!(
+        counter("cache.analysis.hit", "total") >= 1.0,
+        "cache hits split"
+    );
+    assert!(counter("cache.analysis.miss", "total") >= 1.0);
+
+    // Gauges mirror the engine's headline counters — nonzero after real work.
+    let gauge = |name: &str| {
+        m.get("gauges")
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_num)
+            .unwrap_or_else(|| panic!("no gauge {name:?} in {m:?}"))
+    };
+    assert_eq!(gauge("engine.jobs_completed"), 2.0);
+    assert!(gauge("engine.spec_hits") > 0.0, "spec cache was exercised");
+    assert!(gauge("engine.analysis_hits") >= 1.0);
+    assert_eq!(gauge("max_inflight"), 64.0);
+
+    // Histograms: the engine's job span landed, with a live 1m window.
+    let job_histo = m
+        .get("histograms")
+        .and_then(|h| h.get("job"))
+        .expect("job-span histogram");
+    assert!(num_field(job_histo, "count") >= 2.0);
+    assert!(
+        num_field(job_histo.get("w1m").expect("w1m"), "count") >= 1.0,
+        "{job_histo:?}"
+    );
+
+    // The text rendering is the same registry in Prometheus clothes.
+    let text_reply = daemon.request("{\"op\":\"metrics\",\"format\":\"text\"}");
+    assert!(is_ok(&text_reply), "{text_reply:?}");
+    let text = str_field(&text_reply, "text");
+    assert!(
+        text.contains("# TYPE fdi_span_duration_us histogram"),
+        "{text}"
+    );
+    assert!(text.contains("fdi_serve_op_job_total"), "{text}");
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+    assert!(text.contains("fdi_inline_decisions_total{reason=\"inlined\"}"));
+
+    let bad = daemon.request("{\"op\":\"metrics\",\"format\":\"yaml\"}");
+    assert!(!is_ok(&bad));
+    assert_eq!(str_field(&bad, "kind"), "bad-request");
+}
+
+#[test]
+fn flight_lists_requests_with_byte_identical_trace_ids() {
+    let daemon = Daemon::spawn(None, &["--jobs", "2"]);
+    let bench = &fdi_benchsuite::BENCHMARKS[1];
+    let spec = bench_spec(bench);
+    let first = daemon.request(&job_request(&spec, None));
+    assert!(is_ok(&first), "{first:?}");
+    let trace = assert_trace_shape(&first);
+    // The identical request answers with the identical id.
+    assert_eq!(
+        assert_trace_shape(&daemon.request(&job_request(&spec, None))),
+        trace
+    );
+    // A typed rejection still carries a (line-derived) trace id.
+    let rejected = daemon.request("{\"op\":\"job\",\"spec\":\"bench:nonesuch@1\"}");
+    assert!(!is_ok(&rejected));
+    let rejected_trace = assert_trace_shape(&rejected);
+
+    let reply = daemon.request("{\"op\":\"flight\"}");
+    assert!(is_ok(&reply), "{reply:?}");
+    let flight = reply.get("flight").expect("flight payload");
+    assert_eq!(num_field(flight, "len"), 3.0);
+    assert_eq!(num_field(flight, "dropped"), 0.0);
+    let requests = flight
+        .get("requests")
+        .and_then(Json::as_arr)
+        .expect("requests ring");
+    let outcome_of = |wanted: &str| -> Vec<&str> {
+        requests
+            .iter()
+            .filter(|r| str_field(r, "trace_id") == wanted)
+            .map(|r| str_field(r, "outcome"))
+            .collect()
+    };
+    // Byte-identical join: the response ids ARE the recorder ids.
+    assert_eq!(outcome_of(&trace), ["ok", "ok"], "{requests:?}");
+    assert_eq!(outcome_of(&rejected_trace), ["bad-request"], "{requests:?}");
+    assert!(requests.iter().all(|r| num_field(r, "ts_us") > 0.0));
+}
+
+#[test]
+fn trace_ids_agree_across_serve_batch_and_explain() {
+    let dir = temp_dir("traceid");
+    let program = "(let ((compose (lambda (f g) (lambda (x) (f (g x))))) \
+                          (inc (lambda (n) (+ n 1)))) \
+                     ((compose inc inc) 40))";
+    let source = dir.join("compose.scm");
+    std::fs::write(&source, program).expect("write source");
+    let spec = source.display().to_string();
+
+    let daemon = Daemon::spawn(None, &[]);
+    let served = daemon.request(&job_request(&spec, None));
+    assert!(is_ok(&served), "{served:?}");
+    let trace = assert_trace_shape(&served);
+
+    let fdi = env!("CARGO_BIN_EXE_fdi");
+    let run = |args: &[&str]| -> String {
+        let out = Command::new(fdi).args(args).output().expect("run fdi");
+        assert!(out.status.success(), "{args:?}: {out:?}");
+        String::from_utf8(out.stdout).expect("utf8 stdout")
+    };
+
+    // `fdi explain --json`: every decision object leads with the same id.
+    let explained = run(&["explain", &spec, "--json", "-t", "200"]);
+    let mut decisions = 0;
+    for line in explained.lines().filter(|l| l.starts_with('{')) {
+        let doc = json::parse(line).expect("decision object");
+        assert_eq!(str_field(&doc, "trace_id"), trace, "{line}");
+        decisions += 1;
+    }
+    assert!(decisions > 0, "explain printed decisions: {explained}");
+
+    // `fdi batch`: the per-job entry carries the same id.
+    let manifest = dir.join("manifest.txt");
+    std::fs::write(&manifest, format!("{spec} -t 200\n")).expect("write manifest");
+    let report =
+        json::parse(run(&["batch", manifest.to_str().unwrap()]).trim()).expect("batch report");
+    let jobs = report.get("jobs").and_then(Json::as_arr).expect("jobs");
+    assert_eq!(jobs.len(), 1);
+    assert_eq!(str_field(&jobs[0], "trace_id"), trace);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_response_carries_a_trace_id_even_malformed_ones() {
+    let daemon = Daemon::spawn(None, &[]);
+    for (request, ok) in [
+        ("{\"op\":\"ping\"}", true),
+        ("{\"op\":\"stats\"}", true),
+        ("{\"op\":\"health\"}", true),
+        ("{\"op\":\"metrics\"}", true),
+        ("{\"op\":\"flight\"}", true),
+        ("{\"op\":\"warp\"}", false),
+        ("{\"flags\":[]}", false),
+        ("{not json", false),
+    ] {
+        let doc = daemon.request(request);
+        assert_eq!(is_ok(&doc), ok, "{request}: {doc:?}");
+        assert_trace_shape(&doc);
+        // Identical request bytes, identical id — deterministic joins.
+        assert_eq!(
+            assert_trace_shape(&daemon.request(request)),
+            assert_trace_shape(&doc),
+            "{request}"
+        );
+    }
 }
